@@ -1,0 +1,267 @@
+//! Bitonic sorting network — the in-place GPU sort family.
+//!
+//! The paper's related work covers in-place bitonic GPU sorts (Peters
+//! et al. \[35\]); Thrust's radix won out historically, but bitonic
+//! remains the canonical data-oblivious network: a fixed sequence of
+//! compare-exchange stages independent of the data, O(n·log²n) work.
+//!
+//! Bitonic networks require power-of-two lengths. For arbitrary `n` we
+//! pad to the next power of two with an explicit `+∞` sentinel
+//! (`Padded(None)`), run the network, and keep the first `n` outputs —
+//! the sentinels provably sort to the tail. (A "virtual padding" trick
+//! that merely skips out-of-range comparisons is *not* correct for
+//! bitonic networks: descending stages must move sentinels, which
+//! skipping forbids. The first version of this module did exactly that
+//! and was caught by the arbitrary-size tests.)
+//!
+//! The stage-parallel variant runs each `(k, j)` stage's independent
+//! compare-exchanges on worker threads — the parallelism a GPU exploits.
+
+use crate::keys::SortOrd;
+use crate::par::{par_parts, split_evenly};
+
+/// Element plus `+∞` sentinel for padding (None sorts after everything).
+#[derive(Debug, Clone, Copy)]
+struct Padded<T>(Option<T>);
+
+impl<T: SortOrd> SortOrd for Padded<T> {
+    #[inline(always)]
+    fn total_order(&self, other: &Self) -> std::cmp::Ordering {
+        match (&self.0, &other.0) {
+            (Some(a), Some(b)) => a.total_order(b),
+            (Some(_), None) => std::cmp::Ordering::Less,
+            (None, Some(_)) => std::cmp::Ordering::Greater,
+            (None, None) => std::cmp::Ordering::Equal,
+        }
+    }
+}
+
+/// Sort in place with a sequential bitonic network (pads to the next
+/// power of two internally; O(n·log²n) compare-exchanges).
+pub fn bitonic_sort<T: SortOrd>(data: &mut [T]) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    if n.is_power_of_two() {
+        network(data, |d, i, l, asc| compare_exchange(d, i, l, asc));
+        return;
+    }
+    let m = n.next_power_of_two();
+    let mut padded: Vec<Padded<T>> = Vec::with_capacity(m);
+    padded.extend(data.iter().map(|&x| Padded(Some(x))));
+    padded.resize(m, Padded(None));
+    network(&mut padded, |d, i, l, asc| compare_exchange(d, i, l, asc));
+    for (slot, p) in data.iter_mut().zip(padded.into_iter()) {
+        *slot = p.0.expect("sentinels sort to the tail");
+    }
+}
+
+/// Stage-parallel bitonic sort on `threads` workers.
+pub fn par_bitonic_sort<T: SortOrd>(threads: usize, data: &mut [T]) {
+    let n = data.len();
+    let threads = threads.max(1);
+    if threads == 1 || n < 4096 {
+        bitonic_sort(data);
+        return;
+    }
+    if n.is_power_of_two() {
+        par_network(threads, data);
+        return;
+    }
+    let m = n.next_power_of_two();
+    let mut padded: Vec<Padded<T>> = Vec::with_capacity(m);
+    padded.extend(data.iter().map(|&x| Padded(Some(x))));
+    padded.resize(m, Padded(None));
+    par_network(threads, &mut padded);
+    for (slot, p) in data.iter_mut().zip(padded.into_iter()) {
+        *slot = p.0.expect("sentinels sort to the tail");
+    }
+}
+
+#[inline(always)]
+fn compare_exchange<T: SortOrd>(data: &mut [T], i: usize, l: usize, ascending: bool) {
+    let out_of_order = if ascending {
+        data[l].lt(&data[i])
+    } else {
+        data[i].lt(&data[l])
+    };
+    if out_of_order {
+        data.swap(i, l);
+    }
+}
+
+/// Run the full network on a power-of-two slice, invoking `exchange`
+/// for every in-range pair.
+fn network<T, F>(data: &mut [T], mut exchange: F)
+where
+    F: FnMut(&mut [T], usize, usize, bool),
+{
+    let m = data.len();
+    debug_assert!(m.is_power_of_two());
+    let mut k = 2usize;
+    while k <= m {
+        let mut j = k / 2;
+        while j >= 1 {
+            for i in 0..m {
+                let l = i ^ j;
+                if l > i {
+                    let ascending = (i & k) == 0;
+                    exchange(data, i, l, ascending);
+                }
+            }
+            j /= 2;
+        }
+        k *= 2;
+    }
+}
+
+/// One stage-parallel network over a power-of-two slice.
+fn par_network<T: SortOrd>(threads: usize, data: &mut [T]) {
+    let m = data.len();
+    debug_assert!(m.is_power_of_two());
+    // Shared output pointer for disjoint compare-exchange pairs.
+    struct Cell<T>(*mut T);
+    unsafe impl<T: Send> Sync for Cell<T> {}
+    let mut k = 2usize;
+    while k <= m {
+        let mut j = k / 2;
+        while j >= 1 {
+            let cell = Cell(data.as_mut_ptr());
+            let cell_ref = &cell;
+            let ranges = split_evenly(m, threads);
+            par_parts(threads, ranges, move |_, range| {
+                for i in range {
+                    let l = i ^ j;
+                    if l > i {
+                        let ascending = (i & k) == 0;
+                        // SAFETY: within one (k, j) stage, `i ^ j` is an
+                        // involution, so the index pairs {i, i^j} are
+                        // pairwise disjoint; only the lower index acts,
+                        // and each lower index is visited by exactly
+                        // one worker. The scoped join orders stages.
+                        unsafe {
+                            let a = &*cell_ref.0.add(i);
+                            let b = &*cell_ref.0.add(l);
+                            let out_of_order =
+                                if ascending { b.lt(a) } else { a.lt(b) };
+                            if out_of_order {
+                                std::ptr::swap(cell_ref.0.add(i), cell_ref.0.add(l));
+                            }
+                        }
+                    }
+                }
+            });
+            j /= 2;
+        }
+        k *= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::introsort::introsort;
+    use crate::verify::{fingerprint, is_sorted};
+
+    fn lcg(seed: u64, n: usize) -> Vec<f64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sorts_power_of_two_sizes() {
+        for n in [2usize, 4, 64, 1024] {
+            let mut v = lcg(1, n);
+            let fp = fingerprint(&v);
+            bitonic_sort(&mut v);
+            assert!(is_sorted(&v), "n={n}");
+            assert_eq!(fingerprint(&v), fp, "n={n}");
+        }
+    }
+
+    #[test]
+    fn sorts_arbitrary_sizes() {
+        for n in [0usize, 1, 3, 5, 100, 999, 1000, 1025, 4097] {
+            let mut v = lcg(n as u64 + 1, n);
+            let mut expect = v.clone();
+            introsort(&mut expect);
+            bitonic_sort(&mut v);
+            assert_eq!(
+                v.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                expect.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        for n in [5000usize, 8192, 10_000] {
+            let base = lcg(7, n);
+            let mut a = base.clone();
+            bitonic_sort(&mut a);
+            for threads in [2usize, 3, 8] {
+                let mut c = base.clone();
+                par_bitonic_sort(threads, &mut c);
+                assert_eq!(
+                    a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    c.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "n={n} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn handles_duplicates_and_specials() {
+        let mut v = vec![
+            1.0f64,
+            f64::NAN,
+            -0.0,
+            0.0,
+            1.0,
+            f64::NEG_INFINITY,
+            1.0,
+            f64::INFINITY,
+        ];
+        bitonic_sort(&mut v);
+        assert!(is_sorted(&v));
+        assert_eq!(v[0], f64::NEG_INFINITY);
+        assert!(v[7].is_nan());
+    }
+
+    #[test]
+    fn sorted_and_reverse() {
+        let mut v: Vec<i64> = (0..3000).collect();
+        bitonic_sort(&mut v);
+        assert!(is_sorted(&v));
+        let mut v: Vec<i64> = (0..3000).rev().collect();
+        par_bitonic_sort(4, &mut v);
+        assert!(is_sorted(&v));
+        assert_eq!(v[0], 0);
+    }
+
+    #[test]
+    fn key_value_records_too() {
+        use crate::keys::KeyValue;
+        let mut v: Vec<KeyValue> = lcg(5, 777)
+            .into_iter()
+            .enumerate()
+            .map(|(i, key)| KeyValue {
+                key,
+                value: i as u64,
+            })
+            .collect();
+        bitonic_sort(&mut v);
+        assert!(is_sorted(&v));
+        let mut payloads: Vec<u64> = v.iter().map(|r| r.value).collect();
+        payloads.sort_unstable();
+        assert!(payloads.iter().enumerate().all(|(i, &p)| p == i as u64));
+    }
+}

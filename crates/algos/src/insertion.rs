@@ -1,0 +1,60 @@
+//! Insertion sort — the small-array finisher used by the quicksort
+//! family, plus a guarded variant for use on subranges whose left
+//! neighbour is already a lower bound.
+
+use crate::keys::SortOrd;
+
+/// Sort a small slice by binary-shift insertion. O(n²) moves but minimal
+/// constant factors; used below [`crate::introsort::INSERTION_CUTOFF`].
+pub fn insertion_sort<T: SortOrd>(data: &mut [T]) {
+    for i in 1..data.len() {
+        let x = data[i];
+        let mut j = i;
+        while j > 0 && x.lt(&data[j - 1]) {
+            data[j] = data[j - 1];
+            j -= 1;
+        }
+        data[j] = x;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_reverse() {
+        let mut v = vec![5, 4, 3, 2, 1];
+        insertion_sort(&mut v);
+        assert_eq!(v, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let mut v: Vec<i32> = vec![];
+        insertion_sort(&mut v);
+        assert!(v.is_empty());
+        let mut v = vec![9];
+        insertion_sort(&mut v);
+        assert_eq!(v, vec![9]);
+    }
+
+    #[test]
+    fn stable_on_duplicates_by_value() {
+        let mut v = vec![3, 1, 3, 1, 3];
+        insertion_sort(&mut v);
+        assert_eq!(v, vec![1, 1, 3, 3, 3]);
+    }
+
+    #[test]
+    fn sorts_floats_with_total_order() {
+        let mut v = vec![0.0f64, -0.0, 1.0, -1.0, f64::NAN, f64::NEG_INFINITY];
+        insertion_sort(&mut v);
+        assert!(v[0] == f64::NEG_INFINITY);
+        assert!(v[1] == -1.0);
+        assert!(v[2].is_sign_negative() && v[2] == 0.0); // -0.0
+        assert!(v[3].is_sign_positive() && v[3] == 0.0); // +0.0
+        assert!(v[4] == 1.0);
+        assert!(v[5].is_nan());
+    }
+}

@@ -1,0 +1,205 @@
+//! Introsort — the `std::sort` stand-in of the reference implementation.
+//!
+//! Median-of-three quicksort with a heapsort fallback when recursion
+//! exceeds `2·⌊log2 n⌋` (Musser's bound) and an insertion-sort finish
+//! below a small cutoff. This mirrors what libstdc++'s `std::sort`
+//! does, which Figure 4 of the paper uses as the sequential baseline
+//! (and which matches the GNU parallel sort at 1 thread).
+
+use crate::insertion::insertion_sort;
+use crate::keys::SortOrd;
+
+/// Below this length, ranges are finished with insertion sort.
+pub const INSERTION_CUTOFF: usize = 24;
+
+/// Sort `data` in place with introsort under the crate's total order.
+pub fn introsort<T: SortOrd>(data: &mut [T]) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    let depth_limit = 2 * usize::BITS.saturating_sub(n.leading_zeros()) as usize;
+    introsort_rec(data, depth_limit);
+}
+
+fn introsort_rec<T: SortOrd>(mut data: &mut [T], mut depth: usize) {
+    // Tail-recurse into the larger side iteratively.
+    while data.len() > INSERTION_CUTOFF {
+        if depth == 0 {
+            heapsort(data);
+            return;
+        }
+        depth -= 1;
+        let p = partition(data);
+        let (lo, hi) = data.split_at_mut(p);
+        let hi = &mut hi[1..]; // pivot in final position
+        if lo.len() < hi.len() {
+            introsort_rec(lo, depth);
+            data = hi;
+        } else {
+            introsort_rec(hi, depth);
+            data = lo;
+        }
+    }
+    insertion_sort(data);
+}
+
+/// Hoare-style partition around a median-of-three pivot; returns the
+/// pivot's final index.
+fn partition<T: SortOrd>(data: &mut [T]) -> usize {
+    let n = data.len();
+    let mid = n / 2;
+    // Median-of-three: order data[0], data[mid], data[n-1].
+    if data[mid].lt(&data[0]) {
+        data.swap(mid, 0);
+    }
+    if data[n - 1].lt(&data[0]) {
+        data.swap(n - 1, 0);
+    }
+    if data[n - 1].lt(&data[mid]) {
+        data.swap(n - 1, mid);
+    }
+    // Use median (at mid) as pivot; park it at n-2.
+    data.swap(mid, n - 2);
+    let pivot = data[n - 2];
+    let mut i = 0usize;
+    let mut j = n - 2;
+    loop {
+        i += 1;
+        while data[i].lt(&pivot) {
+            i += 1;
+        }
+        j -= 1;
+        while pivot.lt(&data[j]) {
+            j -= 1;
+        }
+        if i >= j {
+            break;
+        }
+        data.swap(i, j);
+    }
+    data.swap(i, n - 2);
+    i
+}
+
+/// Bottom-up heapsort (the introsort fallback; also exposed for tests).
+pub fn heapsort<T: SortOrd>(data: &mut [T]) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    for i in (0..n / 2).rev() {
+        sift_down(data, i, n);
+    }
+    for end in (1..n).rev() {
+        data.swap(0, end);
+        sift_down(data, 0, end);
+    }
+}
+
+fn sift_down<T: SortOrd>(data: &mut [T], mut root: usize, end: usize) {
+    loop {
+        let mut child = 2 * root + 1;
+        if child >= end {
+            return;
+        }
+        if child + 1 < end && data[child].lt(&data[child + 1]) {
+            child += 1;
+        }
+        if data[root].lt(&data[child]) {
+            data.swap(root, child);
+            root = child;
+        } else {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::is_sorted;
+
+    fn check(mut v: Vec<i64>) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        introsort(&mut v);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        check(vec![]);
+        check(vec![1]);
+        check(vec![2, 1]);
+        check(vec![1, 2]);
+    }
+
+    #[test]
+    fn random_like_patterns() {
+        // Deterministic pseudo-random via LCG.
+        let mut x = 0x243F6A8885A308D3u64;
+        let v: Vec<i64> = (0..10_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 16) as i64 - (1 << 47)
+            })
+            .collect();
+        check(v);
+    }
+
+    #[test]
+    fn adversarial_patterns() {
+        check((0..5000).collect()); // sorted
+        check((0..5000).rev().collect()); // reverse
+        check(vec![7; 5000]); // constant
+        let organ: Vec<i64> = (0..2500).chain((0..2500).rev()).collect();
+        check(organ); // organ pipe
+        let saw: Vec<i64> = (0..5000).map(|i| i % 17).collect();
+        check(saw); // many duplicates
+    }
+
+    #[test]
+    fn heapsort_directly() {
+        let mut v: Vec<i64> = (0..1000).rev().collect();
+        heapsort(&mut v);
+        assert!(is_sorted(&v));
+        let mut v: Vec<i64> = vec![];
+        heapsort(&mut v);
+    }
+
+    #[test]
+    fn floats_with_nans_and_zeros() {
+        let mut v = vec![
+            1.5f64,
+            f64::NAN,
+            -0.0,
+            f64::NEG_INFINITY,
+            0.0,
+            -f64::NAN,
+            3.0,
+            f64::INFINITY,
+        ];
+        introsort(&mut v);
+        assert!(v[0].is_nan() && v[0].is_sign_negative()); // -NaN first
+        assert_eq!(v[1], f64::NEG_INFINITY);
+        assert!(v[2] == 0.0 && v[2].is_sign_negative());
+        assert!(v[3] == 0.0 && v[3].is_sign_positive());
+        assert_eq!(v[4], 1.5);
+        assert_eq!(v[5], 3.0);
+        assert_eq!(v[6], f64::INFINITY);
+        assert!(v[7].is_nan() && v[7].is_sign_positive()); // +NaN last
+    }
+
+    #[test]
+    fn exactly_cutoff_sizes() {
+        for n in [
+            INSERTION_CUTOFF - 1,
+            INSERTION_CUTOFF,
+            INSERTION_CUTOFF + 1,
+            2 * INSERTION_CUTOFF,
+        ] {
+            check((0..n as i64).rev().collect());
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Radix-key transforms and total-order helpers.
+//!
+//! LSD radix sort needs each element mapped to an unsigned integer whose
+//! natural order equals the element's sort order. For IEEE-754 floats
+//! the classic bijection is: flip all bits of negatives, flip only the
+//! sign bit of non-negatives. The transform puts `-NaN < -inf < … <
+//! -0.0 < +0.0 < … < +inf < +NaN`, which is exactly Rust's
+//! `f64::total_cmp` order, so comparison sorts (via [`SortOrd`]) and
+//! radix sorts agree bit-for-bit even on pathological inputs.
+
+/// Element that can be sorted by an order-preserving unsigned radix key.
+pub trait RadixKey: Copy + Send + Sync {
+    /// The unsigned integer key type's width in bytes.
+    const KEY_BYTES: usize;
+    /// Map to a `u64` key such that `a.key() <= b.key()` iff `a` sorts
+    /// before-or-equal `b`. Keys of widths below 8 bytes must occupy the
+    /// low-order bytes.
+    fn radix_key(self) -> u64;
+}
+
+impl RadixKey for u32 {
+    const KEY_BYTES: usize = 4;
+    #[inline(always)]
+    fn radix_key(self) -> u64 {
+        self as u64
+    }
+}
+
+impl RadixKey for u64 {
+    const KEY_BYTES: usize = 8;
+    #[inline(always)]
+    fn radix_key(self) -> u64 {
+        self
+    }
+}
+
+impl RadixKey for i32 {
+    const KEY_BYTES: usize = 4;
+    #[inline(always)]
+    fn radix_key(self) -> u64 {
+        (self as u32 ^ 0x8000_0000) as u64
+    }
+}
+
+impl RadixKey for i64 {
+    const KEY_BYTES: usize = 8;
+    #[inline(always)]
+    fn radix_key(self) -> u64 {
+        self as u64 ^ 0x8000_0000_0000_0000
+    }
+}
+
+impl RadixKey for f32 {
+    const KEY_BYTES: usize = 4;
+    #[inline(always)]
+    fn radix_key(self) -> u64 {
+        let bits = self.to_bits();
+        let mask = (((bits as i32) >> 31) as u32) | 0x8000_0000;
+        (bits ^ mask) as u64
+    }
+}
+
+impl RadixKey for f64 {
+    const KEY_BYTES: usize = 8;
+    #[inline(always)]
+    fn radix_key(self) -> u64 {
+        let bits = self.to_bits();
+        let mask = (((bits as i64) >> 63) as u64) | 0x8000_0000_0000_0000;
+        bits ^ mask
+    }
+}
+
+/// A 16-byte key/value record: the workload of Stehle & Jacobsen \[5\]
+/// (375 million 64-bit key / 64-bit value pairs = 6 GB), which the
+/// paper's §IV-E reproduction replaces with bare 8-byte keys. Sorting
+/// is by key only; the value rides along, exactly as in CUB's pairs
+/// sort.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KeyValue {
+    /// Sort key.
+    pub key: f64,
+    /// Payload (untouched by comparisons).
+    pub value: u64,
+}
+
+impl RadixKey for KeyValue {
+    const KEY_BYTES: usize = 8;
+    #[inline(always)]
+    fn radix_key(self) -> u64 {
+        self.key.radix_key()
+    }
+}
+
+impl SortOrd for KeyValue {
+    #[inline(always)]
+    fn total_order(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.total_cmp(&other.key)
+    }
+}
+
+/// Total ordering used by every comparison sort in this crate.
+///
+/// For floats this is IEEE-754 `totalOrder` (`total_cmp`), matching the
+/// radix-key order exactly; for integers it is the natural order.
+pub trait SortOrd: Copy + Send + Sync {
+    /// Three-way comparison under the crate's total order.
+    fn total_order(&self, other: &Self) -> std::cmp::Ordering;
+
+    /// `self` sorts strictly before `other`.
+    #[inline(always)]
+    fn lt(&self, other: &Self) -> bool {
+        self.total_order(other) == std::cmp::Ordering::Less
+    }
+
+    /// `self` sorts before or equal to `other`.
+    #[inline(always)]
+    fn le(&self, other: &Self) -> bool {
+        self.total_order(other) != std::cmp::Ordering::Greater
+    }
+}
+
+macro_rules! sort_ord_int {
+    ($($t:ty),*) => {$(
+        impl SortOrd for $t {
+            #[inline(always)]
+            fn total_order(&self, other: &Self) -> std::cmp::Ordering {
+                Ord::cmp(self, other)
+            }
+        }
+    )*};
+}
+sort_ord_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SortOrd for f32 {
+    #[inline(always)]
+    fn total_order(&self, other: &Self) -> std::cmp::Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl SortOrd for f64 {
+    #[inline(always)]
+    fn total_order(&self, other: &Self) -> std::cmp::Ordering {
+        self.total_cmp(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key_order_matches<T: RadixKey + SortOrd>(vals: &[T]) {
+        for a in vals {
+            for b in vals {
+                let by_key = a.radix_key().cmp(&b.radix_key());
+                let by_ord = a.total_order(b);
+                assert_eq!(by_key, by_ord, "key order mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn u64_keys_are_identity() {
+        assert_eq!(42u64.radix_key(), 42);
+        key_order_matches(&[0u64, 1, u64::MAX, u64::MAX / 2]);
+    }
+
+    #[test]
+    fn i64_keys_preserve_order() {
+        key_order_matches(&[i64::MIN, -1, 0, 1, i64::MAX]);
+    }
+
+    #[test]
+    fn i32_keys_preserve_order() {
+        key_order_matches(&[i32::MIN, -7, 0, 7, i32::MAX]);
+    }
+
+    #[test]
+    fn f64_keys_preserve_order_incl_specials() {
+        key_order_matches(&[
+            f64::NEG_INFINITY,
+            -1e300,
+            -1.0,
+            -f64::MIN_POSITIVE,
+            -0.0,
+            0.0,
+            f64::MIN_POSITIVE,
+            1.0,
+            1e300,
+            f64::INFINITY,
+            f64::NAN,
+            -f64::NAN,
+        ]);
+    }
+
+    #[test]
+    fn f32_keys_preserve_order() {
+        key_order_matches(&[
+            f32::NEG_INFINITY,
+            -2.5,
+            -0.0,
+            0.0,
+            2.5,
+            f32::INFINITY,
+            f32::NAN,
+        ]);
+    }
+
+    #[test]
+    fn neg_zero_sorts_before_pos_zero() {
+        assert!((-0.0f64).radix_key() < 0.0f64.radix_key());
+        assert_eq!((-0.0f64).total_order(&0.0), std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn narrow_keys_fit_low_bytes() {
+        assert!(u32::MAX.radix_key() <= u32::MAX as u64);
+        assert!(i32::MAX.radix_key() <= u32::MAX as u64);
+        assert!(f32::NAN.radix_key() <= u32::MAX as u64);
+    }
+
+    #[test]
+    fn key_value_sorts_by_key_only() {
+        let a = KeyValue { key: 1.0, value: 99 };
+        let b = KeyValue { key: 2.0, value: 0 };
+        assert!(SortOrd::lt(&a, &b));
+        assert_eq!(a.radix_key(), 1.0f64.radix_key());
+        // Values do not affect order.
+        let c = KeyValue { key: 1.0, value: 7 };
+        assert_eq!(a.total_order(&c), std::cmp::Ordering::Equal);
+        assert_eq!(a.radix_key(), c.radix_key());
+        assert_eq!(std::mem::size_of::<KeyValue>(), 16);
+    }
+
+    #[test]
+    fn sort_ord_helpers() {
+        assert!(SortOrd::lt(&1.0f64, &2.0));
+        assert!(SortOrd::le(&2.0f64, &2.0));
+        assert!(!SortOrd::lt(&2.0f64, &2.0));
+    }
+}

@@ -1,0 +1,57 @@
+//! # hetsort-algos — CPU sorting and merging algorithms, from scratch
+//!
+//! The paper treats the CPU side as a set of library black boxes: the GNU
+//! libstdc++ parallel mode sort (a multiway mergesort, \[19\]\[20\]), the GNU
+//! parallel multiway merge, Intel TBB's parallel sort, `std::sort`
+//! (introsort), and `qsort`. This crate rebuilds all of them in safe,
+//! portable Rust so the reproduction is self-contained:
+//!
+//! * [`mod@introsort`] — sequential introsort (`std::sort` stand-in):
+//!   median-of-three quicksort, heapsort depth fallback, insertion
+//!   finish.
+//! * [`qsort`] — a C-`qsort`-style driver through an opaque comparator
+//!   function pointer (reproduces the paper's observed ≈2× slowdown from
+//!   uninlinable comparators).
+//! * [`radix`] — LSD radix sort with order-preserving key transforms for
+//!   floats (the Thrust/CUB device-sort stand-in used by the functional
+//!   executor).
+//! * [`radix_par`] — the parallel count/scan/scatter radix sort, the
+//!   structural twin of what Thrust actually runs on the device.
+//! * [`merge`] — sequential two-way merge plus the *merge path* parallel
+//!   pairwise merge (Green et al. \[18\]) used by the PIPEMERGE pipeline.
+//! * [`multiway`] — loser-tree k-way merge plus a co-rank-partitioned
+//!   parallel multiway merge (the GNU parallel-mode stand-in).
+//! * [`mergesort`] — parallel multiway mergesort (sort p runs, multiway
+//!   merge), the reference CPU implementation of the paper.
+//! * [`samplesort`] — a TBB-flavored parallel samplesort baseline.
+//! * [`par`] — the minimal scoped-thread parallel runtime everything
+//!   above uses (`std::thread::scope`; no work-stealing dependency).
+//! * [`keys`] — radix-key transforms and total-order helpers for floats.
+//! * [`verify`] — sortedness checks and multiset fingerprints used by
+//!   tests and the functional executor.
+//!
+//! All parallel entry points take an explicit `threads` argument so the
+//! scalability experiments (Figures 4 and 6) can sweep thread counts
+//! deterministically.
+
+pub mod bitonic;
+pub mod insertion;
+pub mod introsort;
+pub mod keys;
+pub mod merge;
+pub mod mergesort;
+pub mod multiway;
+pub mod par;
+pub mod qsort;
+pub mod radix;
+pub mod radix_par;
+pub mod samplesort;
+pub mod verify;
+
+pub use introsort::introsort;
+pub use merge::{merge_into, par_merge_into};
+pub use mergesort::par_mergesort;
+pub use multiway::{multiway_merge_into, par_multiway_merge_into};
+pub use radix::radix_sort;
+pub use radix_par::par_radix_sort;
+pub use samplesort::par_samplesort;

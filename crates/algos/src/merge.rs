@@ -1,0 +1,221 @@
+//! Two-way merging: sequential merge and the *merge path* parallel merge.
+//!
+//! PIPEMERGE (paper §III-D3) merges pairs of sorted batches on the CPU
+//! while the GPU is still sorting; Figure 6 measures the scalability of
+//! exactly this parallel pairwise merge (8.14× on 16 cores). The
+//! parallel algorithm here is Merge Path (Green, Odeh & Birk \[18\]): the
+//! output is cut into `p` equal ranges, each range's input split point
+//! (*co-rank*) is found by binary search along the merge-path diagonal,
+//! and the `p` sub-merges proceed independently.
+//!
+//! All merges are **stable**: on ties the element from `a` precedes the
+//! element from `b`.
+
+use crate::keys::SortOrd;
+use crate::par::{par_parts, split_evenly, split_ranges_mut};
+
+/// Sequentially merge sorted `a` and `b` into `out`.
+///
+/// # Panics
+///
+/// Panics if `out.len() != a.len() + b.len()`.
+pub fn merge_into<T: SortOrd>(a: &[T], b: &[T], out: &mut [T]) {
+    assert_eq!(
+        out.len(),
+        a.len() + b.len(),
+        "output must hold both inputs"
+    );
+    let mut i = 0;
+    let mut j = 0;
+    for slot in out.iter_mut() {
+        // Stable: take from `a` on ties.
+        if i < a.len() && (j >= b.len() || a[i].le(&b[j])) {
+            *slot = a[i];
+            i += 1;
+        } else {
+            *slot = b[j];
+            j += 1;
+        }
+    }
+}
+
+/// Find the merge-path co-rank for output position `k`: the unique
+/// `(i, j)` with `i + j = k` such that the first `k` merged elements are
+/// exactly `a[..i]` and `b[..j]` under stable (a-first) merging.
+pub fn co_rank<T: SortOrd>(k: usize, a: &[T], b: &[T]) -> (usize, usize) {
+    debug_assert!(k <= a.len() + b.len());
+    let mut lo = k.saturating_sub(b.len());
+    let mut hi = k.min(a.len());
+    while lo < hi {
+        let m = lo + (hi - lo) / 2;
+        // Take a[m] into the prefix iff a[m] <= b[k-m-1] (stability:
+        // equal keys prefer `a`).
+        if a[m].le(&b[k - m - 1]) {
+            lo = m + 1;
+        } else {
+            hi = m;
+        }
+    }
+    (lo, k - lo)
+}
+
+/// Merge sorted `a` and `b` into `out` using `threads` workers
+/// (Merge Path partitioning). Falls back to [`merge_into`] for a single
+/// thread or tiny inputs.
+pub fn par_merge_into<T: SortOrd>(threads: usize, a: &[T], b: &[T], out: &mut [T]) {
+    assert_eq!(
+        out.len(),
+        a.len() + b.len(),
+        "output must hold both inputs"
+    );
+    let n = out.len();
+    let threads = threads.max(1);
+    if threads == 1 || n < 4 * threads {
+        merge_into(a, b, out);
+        return;
+    }
+    let out_ranges = split_evenly(n, threads);
+    // Co-ranks at each output range boundary.
+    let mut cuts = Vec::with_capacity(threads + 1);
+    cuts.push((0usize, 0usize));
+    for r in &out_ranges[..threads - 1] {
+        cuts.push(co_rank(r.end, a, b));
+    }
+    cuts.push((a.len(), b.len()));
+
+    let out_chunks = split_ranges_mut(out, &out_ranges);
+    let parts: Vec<(usize, &mut [T])> = out_chunks.into_iter().enumerate().collect();
+    par_parts(threads, parts, |_, (p, chunk)| {
+        let (ai0, bi0) = cuts[p];
+        let (ai1, bi1) = cuts[p + 1];
+        merge_into(&a[ai0..ai1], &b[bi0..bi1], chunk);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{combine, fingerprint, is_sorted};
+
+    fn lcg_sorted(seed: u64, n: usize) -> Vec<u64> {
+        let mut x = seed | 1;
+        let mut v: Vec<u64> = (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x
+            })
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn merge_basic() {
+        let a = [1u64, 3, 5];
+        let b = [2u64, 4, 6];
+        let mut out = [0u64; 6];
+        merge_into(&a, &b, &mut out);
+        assert_eq!(out, [1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn merge_empty_sides() {
+        let a = [1u64, 2];
+        let mut out = [0u64; 2];
+        merge_into(&a, &[], &mut out);
+        assert_eq!(out, [1, 2]);
+        merge_into(&[], &a, &mut out);
+        assert_eq!(out, [1, 2]);
+        let mut empty: [u64; 0] = [];
+        merge_into(&[], &[], &mut empty);
+    }
+
+    #[test]
+    #[should_panic(expected = "output must hold")]
+    fn merge_size_mismatch_panics() {
+        let mut out = [0u64; 3];
+        merge_into(&[1u64], &[2u64], &mut out);
+    }
+
+    #[test]
+    fn co_rank_boundaries() {
+        let a = [10u64, 20, 30];
+        let b = [15u64, 25];
+        assert_eq!(co_rank(0, &a, &b), (0, 0));
+        assert_eq!(co_rank(5, &a, &b), (3, 2));
+        // First 2 of merge are 10,15 → i=1, j=1.
+        assert_eq!(co_rank(2, &a, &b), (1, 1));
+        // First 3 are 10,15,20 → i=2, j=1.
+        assert_eq!(co_rank(3, &a, &b), (2, 1));
+    }
+
+    #[test]
+    fn co_rank_with_ties_prefers_a() {
+        let a = [5u64, 5];
+        let b = [5u64, 5];
+        // Stable merge = a[0], a[1], b[0], b[1].
+        assert_eq!(co_rank(1, &a, &b), (1, 0));
+        assert_eq!(co_rank(2, &a, &b), (2, 0));
+        assert_eq!(co_rank(3, &a, &b), (2, 1));
+    }
+
+    #[test]
+    fn co_rank_disjoint_ranges() {
+        let a = [1u64, 2, 3];
+        let b = [10u64, 11];
+        assert_eq!(co_rank(3, &a, &b), (3, 0));
+        assert_eq!(co_rank(4, &a, &b), (3, 1));
+        let (i, j) = co_rank(2, &b, &a); // b first: prefix 1,2 all from `a` arg
+        assert_eq!((i, j), (0, 2));
+    }
+
+    #[test]
+    fn par_merge_matches_sequential() {
+        for (na, nb) in [(1000, 1000), (37, 9123), (0, 100), (100, 0), (1, 1)] {
+            let a = lcg_sorted(1, na);
+            let b = lcg_sorted(2, nb);
+            let mut seq = vec![0u64; na + nb];
+            merge_into(&a, &b, &mut seq);
+            for threads in [1, 2, 3, 8] {
+                let mut par = vec![0u64; na + nb];
+                par_merge_into(threads, &a, &b, &mut par);
+                assert_eq!(par, seq, "threads={threads} na={na} nb={nb}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_merge_is_permutation_and_sorted() {
+        let a = lcg_sorted(5, 4321);
+        let b = lcg_sorted(6, 1234);
+        let mut out = vec![0u64; a.len() + b.len()];
+        par_merge_into(4, &a, &b, &mut out);
+        assert!(is_sorted(&out));
+        assert_eq!(
+            combine(fingerprint(&a), fingerprint(&b)),
+            fingerprint(&out)
+        );
+    }
+
+    #[test]
+    fn par_merge_heavy_duplicates() {
+        let a = vec![7u64; 500];
+        let mut b = vec![7u64; 300];
+        b.extend_from_slice(&[8; 200]);
+        let mut out = vec![0u64; 1000];
+        par_merge_into(4, &a, &b, &mut out);
+        assert!(is_sorted(&out));
+        assert_eq!(out.iter().filter(|&&x| x == 7).count(), 800);
+    }
+
+    #[test]
+    fn par_merge_floats() {
+        let mut a: Vec<f64> = (0..1000).map(|i| (i as f64) * 0.5 - 100.0).collect();
+        let mut b: Vec<f64> = (0..800).map(|i| (i as f64) * 0.7 - 50.0).collect();
+        a.push(f64::INFINITY);
+        b.insert(0, f64::NEG_INFINITY);
+        let mut out = vec![0.0f64; a.len() + b.len()];
+        par_merge_into(3, &a, &b, &mut out);
+        assert!(is_sorted(&out));
+    }
+}

@@ -1,0 +1,240 @@
+//! Minimal scoped-thread parallel runtime.
+//!
+//! A deliberately small substitute for OpenMP/TBB: every parallel
+//! algorithm in this crate expresses its parallelism as a fixed set of
+//! *parts* executed by up to `threads` scoped worker threads. Parts are
+//! distributed round-robin at spawn time (deterministic assignment, no
+//! work stealing) — the same static scheduling the GNU parallel mode
+//! uses for its sort and merge, which is what the paper benchmarks.
+//!
+//! `threads == 0` and `threads == 1` both mean "run inline on the
+//! calling thread" (zero spawn overhead), so sequential baselines are
+//! exactly the same code path measured in Figure 4's single-thread
+//! columns.
+
+/// Split `len` items into `parts` contiguous ranges differing in length
+/// by at most one. Returns exactly `parts` ranges (possibly empty when
+/// `len < parts`).
+pub fn split_evenly(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(parts > 0, "split_evenly requires parts > 0");
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let sz = base + usize::from(i < extra);
+        out.push(start..start + sz);
+        start += sz;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+/// Execute one closure per part on up to `threads` scoped threads.
+///
+/// Parts are moved into workers round-robin by index: worker `w` runs
+/// parts `w, w+threads, w+2·threads, …` in order. The closure receives
+/// `(part_index, part)`.
+pub fn par_parts<P, F>(threads: usize, parts: Vec<P>, f: F)
+where
+    P: Send,
+    F: Fn(usize, P) + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 || parts.len() <= 1 {
+        for (i, p) in parts.into_iter().enumerate() {
+            f(i, p);
+        }
+        return;
+    }
+    let nworkers = threads.min(parts.len());
+    // Round-robin assignment: preserve per-worker order for determinism.
+    let mut buckets: Vec<Vec<(usize, P)>> = (0..nworkers).map(|_| Vec::new()).collect();
+    for (i, p) in parts.into_iter().enumerate() {
+        buckets[i % nworkers].push((i, p));
+    }
+    let fref = &f;
+    std::thread::scope(|s| {
+        // First worker runs on the calling thread to save one spawn.
+        let mut iter = buckets.into_iter();
+        let mine = iter.next().unwrap();
+        for bucket in iter {
+            s.spawn(move || {
+                for (i, p) in bucket {
+                    fref(i, p);
+                }
+            });
+        }
+        for (i, p) in mine {
+            fref(i, p);
+        }
+    });
+}
+
+/// Split `data` into `parts` contiguous mutable chunks of near-equal
+/// size and run `f(part_index, chunk)` on up to `threads` threads.
+pub fn par_chunks_mut<T, F>(threads: usize, parts: usize, data: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let ranges = split_evenly(data.len(), parts.max(1));
+    let chunks = split_ranges_mut(data, &ranges);
+    par_parts(threads, chunks, f);
+}
+
+/// Carve a mutable slice into the given disjoint, ascending ranges.
+///
+/// # Panics
+///
+/// Panics if ranges overlap, descend, or exceed the slice length.
+pub fn split_ranges_mut<'a, T>(
+    mut data: &'a mut [T],
+    ranges: &[std::ops::Range<usize>],
+) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(ranges.len());
+    let mut offset = 0usize;
+    for r in ranges {
+        assert!(r.start >= offset, "ranges must be ascending and disjoint");
+        let skip = r.start - offset;
+        let (_, rest) = data.split_at_mut(skip);
+        let (chunk, rest) = rest.split_at_mut(r.end - r.start);
+        out.push(chunk);
+        data = rest;
+        offset = r.end;
+    }
+    out
+}
+
+/// Run two closures, possibly in parallel (when `threads > 1`), and
+/// return both results. A tiny `join` used by recursive algorithms.
+pub fn join<A, B, RA, RB>(threads: usize, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if threads <= 1 {
+        let ra = a();
+        let rb = b();
+        (ra, rb)
+    } else {
+        std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            let rb = hb.join().expect("parallel task panicked");
+            (ra, rb)
+        })
+    }
+}
+
+/// Default worker count: the machine's available parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn split_evenly_exact_division() {
+        let r = split_evenly(12, 4);
+        assert_eq!(r, vec![0..3, 3..6, 6..9, 9..12]);
+    }
+
+    #[test]
+    fn split_evenly_with_remainder() {
+        let r = split_evenly(10, 3);
+        assert_eq!(r, vec![0..4, 4..7, 7..10]);
+    }
+
+    #[test]
+    fn split_evenly_more_parts_than_items() {
+        let r = split_evenly(2, 4);
+        assert_eq!(r, vec![0..1, 1..2, 2..2, 2..2]);
+    }
+
+    #[test]
+    fn split_evenly_zero_len() {
+        let r = split_evenly(0, 3);
+        assert!(r.iter().all(|r| r.is_empty()));
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "parts > 0")]
+    fn split_evenly_zero_parts_panics() {
+        split_evenly(5, 0);
+    }
+
+    #[test]
+    fn par_parts_runs_every_part_once() {
+        for threads in [1, 2, 4, 9] {
+            let counter = AtomicUsize::new(0);
+            let hits: Vec<AtomicUsize> = (0..17).map(|_| AtomicUsize::new(0)).collect();
+            let parts: Vec<usize> = (0..17).collect();
+            par_parts(threads, parts, |i, p| {
+                assert_eq!(i, p);
+                hits[i].fetch_add(1, Ordering::Relaxed);
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), 17);
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn par_parts_empty_is_noop() {
+        par_parts::<usize, _>(4, Vec::new(), |_, _| panic!("should not run"));
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_slice() {
+        let mut v: Vec<usize> = vec![0; 103];
+        par_chunks_mut(4, 7, &mut v, |i, chunk| {
+            for x in chunk {
+                *x = i + 1;
+            }
+        });
+        assert!(v.iter().all(|&x| x >= 1 && x <= 7));
+        // First chunk has ceil(103/7)=15 elements of value 1.
+        assert_eq!(v.iter().filter(|&&x| x == 1).count(), 15);
+    }
+
+    #[test]
+    fn split_ranges_mut_disjoint() {
+        let mut v: Vec<u32> = (0..10).collect();
+        let ranges = vec![0..3, 5..7, 7..10];
+        let chunks = split_ranges_mut(&mut v, &ranges);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0], &[0, 1, 2]);
+        assert_eq!(chunks[1], &[5, 6]);
+        assert_eq!(chunks[2], &[7, 8, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn split_ranges_mut_rejects_overlap() {
+        let mut v = [0u8; 10];
+        split_ranges_mut(&mut v, &[0..5, 3..7]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        for threads in [1, 2] {
+            let (a, b) = join(threads, || 6 * 7, || "ok");
+            assert_eq!(a, 42);
+            assert_eq!(b, "ok");
+        }
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! A C-`qsort`-style sort: quicksort driven through an opaque comparator
+//! function pointer.
+//!
+//! Figure 4 of the paper shows `std::qsort` running roughly half as fast
+//! as `std::sort`; the cause is the uninlinable indirect comparator call
+//! per comparison. We reproduce that boundary faithfully: the comparator
+//! is a `fn` pointer invoked through a `#[inline(never)]` trampoline, so
+//! the optimizer cannot specialize the sort for the element type.
+
+use std::cmp::Ordering;
+
+/// Comparator signature, mirroring C's `int (*)(const void*, const void*)`.
+pub type Comparator<T> = fn(&T, &T) -> Ordering;
+
+#[inline(never)]
+fn call_cmp<T>(cmp: Comparator<T>, a: &T, b: &T) -> Ordering {
+    cmp(a, b)
+}
+
+/// Sort through an opaque comparator, like C's `qsort`.
+pub fn qsort<T: Copy>(data: &mut [T], cmp: Comparator<T>) {
+    if data.len() <= 1 {
+        return;
+    }
+    qsort_rec(data, cmp);
+}
+
+fn qsort_rec<T: Copy>(mut data: &mut [T], cmp: Comparator<T>) {
+    while data.len() > 12 {
+        let p = partition(data, cmp);
+        let (lo, hi) = data.split_at_mut(p);
+        let hi = &mut hi[1..];
+        if lo.len() < hi.len() {
+            qsort_rec(lo, cmp);
+            data = hi;
+        } else {
+            qsort_rec(hi, cmp);
+            data = lo;
+        }
+    }
+    // Insertion finish through the same opaque comparator.
+    for i in 1..data.len() {
+        let x = data[i];
+        let mut j = i;
+        while j > 0 && call_cmp(cmp, &x, &data[j - 1]) == Ordering::Less {
+            data[j] = data[j - 1];
+            j -= 1;
+        }
+        data[j] = x;
+    }
+}
+
+fn partition<T: Copy>(data: &mut [T], cmp: Comparator<T>) -> usize {
+    let n = data.len();
+    let mid = n / 2;
+    if call_cmp(cmp, &data[mid], &data[0]) == Ordering::Less {
+        data.swap(mid, 0);
+    }
+    if call_cmp(cmp, &data[n - 1], &data[0]) == Ordering::Less {
+        data.swap(n - 1, 0);
+    }
+    if call_cmp(cmp, &data[n - 1], &data[mid]) == Ordering::Less {
+        data.swap(n - 1, mid);
+    }
+    data.swap(mid, n - 2);
+    let pivot = data[n - 2];
+    let mut i = 0usize;
+    let mut j = n - 2;
+    loop {
+        i += 1;
+        while call_cmp(cmp, &data[i], &pivot) == Ordering::Less {
+            i += 1;
+        }
+        j -= 1;
+        while call_cmp(cmp, &pivot, &data[j]) == Ordering::Less {
+            j -= 1;
+        }
+        if i >= j {
+            break;
+        }
+        data.swap(i, j);
+    }
+    data.swap(i, n - 2);
+    i
+}
+
+/// The comparator Figure 4 effectively uses: `f64` total order.
+pub fn cmp_f64(a: &f64, b: &f64) -> Ordering {
+    a.total_cmp(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::is_sorted;
+
+    #[test]
+    fn sorts_ints() {
+        let mut v: Vec<i32> = (0..2000).rev().collect();
+        qsort(&mut v, |a, b| a.cmp(b));
+        let expect: Vec<i32> = (0..2000).collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn sorts_f64_via_total_cmp() {
+        let mut x = 1u64;
+        let mut v: Vec<f64> = (0..5000)
+            .map(|_| {
+                x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                (x >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect();
+        qsort(&mut v, cmp_f64);
+        assert!(is_sorted(&v));
+    }
+
+    #[test]
+    fn duplicates_and_patterns() {
+        let mut v = vec![5i64; 500];
+        qsort(&mut v, |a, b| a.cmp(b));
+        assert!(v.iter().all(|&x| x == 5));
+        let mut v: Vec<i64> = (0..1000).map(|i| i % 3).collect();
+        qsort(&mut v, |a, b| a.cmp(b));
+        assert!(is_sorted(&v));
+    }
+
+    #[test]
+    fn empty_and_small() {
+        let mut v: Vec<i32> = vec![];
+        qsort(&mut v, |a, b| a.cmp(b));
+        let mut v = vec![2, 1];
+        qsort(&mut v, |a, b| a.cmp(b));
+        assert_eq!(v, vec![1, 2]);
+    }
+
+    #[test]
+    fn reverse_comparator_sorts_descending() {
+        let mut v: Vec<i32> = (0..100).collect();
+        qsort(&mut v, |a, b| b.cmp(a));
+        let expect: Vec<i32> = (0..100).rev().collect();
+        assert_eq!(v, expect);
+    }
+}

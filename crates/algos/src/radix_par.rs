@@ -1,0 +1,273 @@
+//! Parallel LSD radix sort — the Thrust device sort modeled faithfully.
+//!
+//! Thrust's radix sort is a sequence of count → scan → scatter passes
+//! over thousands of GPU threads. This is the CPU translation: each
+//! pass computes per-worker digit histograms in parallel, prefix-scans
+//! them into disjoint per-(bucket, worker) output blocks, and scatters
+//! in parallel. Stability is preserved (workers own contiguous input
+//! chunks, scanned in order), so the pass sequence sorts exactly like
+//! the sequential [`crate::radix`] — verified bit-for-bit by tests.
+//!
+//! The scatter writes through a raw pointer because each worker's
+//! targets interleave globally while remaining *pairwise disjoint* —
+//! the canonical counting-sort partition. See the `SAFETY` notes.
+
+use crate::keys::RadixKey;
+use crate::par::{par_parts, split_evenly};
+
+const BUCKETS: usize = 256;
+
+/// Shared mutable output for the scatter phase.
+///
+/// SAFETY invariant: all concurrent writers write pairwise-disjoint
+/// index sets (guaranteed by the exclusive scan over per-worker bucket
+/// counts), and the pointer outlives the scoped threads.
+struct ScatterTarget<T>(*mut T);
+unsafe impl<T: Send> Sync for ScatterTarget<T> {}
+unsafe impl<T: Send> Send for ScatterTarget<T> {}
+
+/// Sort `data` with a parallel LSD radix sort on `threads` workers.
+///
+/// Falls back to the sequential radix sort for small inputs or one
+/// thread. Allocates one scratch buffer of equal length.
+pub fn par_radix_sort<T: RadixKey + Default>(threads: usize, data: &mut [T]) {
+    let threads = threads.max(1);
+    let n = data.len();
+    if threads == 1 || n < 8 * 1024 {
+        crate::radix::radix_sort(data);
+        return;
+    }
+    let mut scratch: Vec<T> = vec![T::default(); n];
+    let passes = par_radix_with_scratch(threads, data, &mut scratch);
+    if passes % 2 == 1 {
+        data.copy_from_slice(&scratch);
+    }
+}
+
+/// Parallel radix sort with a caller-provided scratch buffer; returns
+/// the number of permute passes (odd → result lives in `scratch`).
+pub fn par_radix_with_scratch<T: RadixKey>(
+    threads: usize,
+    data: &mut [T],
+    scratch: &mut [T],
+) -> usize {
+    assert_eq!(data.len(), scratch.len(), "scratch must match input length");
+    let n = data.len();
+    if n <= 1 {
+        return 0;
+    }
+    let digits = T::KEY_BYTES;
+    let chunks = split_evenly(n, threads);
+
+    // Global histograms for every digit in one parallel pass
+    // (per-worker local tables, reduced afterwards).
+    let mut local_hists: Vec<Vec<u32>>;
+    {
+        let mut slots: Vec<Vec<u32>> = (0..threads)
+            .map(|_| vec![0u32; BUCKETS * digits])
+            .collect();
+        let parts: Vec<(std::ops::Range<usize>, &mut Vec<u32>)> = chunks
+            .iter()
+            .cloned()
+            .zip(slots.iter_mut())
+            .collect();
+        let data_ref: &[T] = data;
+        par_parts(threads, parts, |_, (range, hist)| {
+            for &x in &data_ref[range] {
+                let key = x.radix_key();
+                for d in 0..digits {
+                    let byte = ((key >> (8 * d)) & 0xFF) as usize;
+                    hist[d * BUCKETS + byte] += 1;
+                }
+            }
+        });
+        local_hists = slots;
+    }
+    let mut global = vec![0u64; BUCKETS * digits];
+    for h in &local_hists {
+        for (g, &c) in global.iter_mut().zip(h.iter()) {
+            *g += c as u64;
+        }
+    }
+
+    let mut passes = 0usize;
+    let mut src_is_data = true;
+    for d in 0..digits {
+        let g = &global[d * BUCKETS..(d + 1) * BUCKETS];
+        if g.iter().any(|&c| c as usize == n) {
+            continue; // constant digit, skip the permute
+        }
+        // Exclusive scan over (bucket, worker): worker w's block for
+        // bucket b starts at Σ_{b'<b} total[b'] + Σ_{w'<w} hist[w'][b].
+        let mut bucket_starts = [0usize; BUCKETS];
+        let mut sum = 0usize;
+        for (b, s) in bucket_starts.iter_mut().enumerate() {
+            *s = sum;
+            sum += g[b] as usize;
+        }
+        let mut worker_offsets: Vec<[usize; BUCKETS]> =
+            vec![[0usize; BUCKETS]; threads];
+        for b in 0..BUCKETS {
+            let mut off = bucket_starts[b];
+            for (w, wo) in worker_offsets.iter_mut().enumerate() {
+                wo[b] = off;
+                off += local_hists[w][d * BUCKETS + b] as usize;
+            }
+        }
+
+        let (src, dst): (&[T], &mut [T]) = if src_is_data {
+            (&*data, &mut *scratch)
+        } else {
+            (&*scratch, &mut *data)
+        };
+        let target = ScatterTarget(dst.as_mut_ptr());
+        let parts: Vec<(std::ops::Range<usize>, [usize; BUCKETS])> = chunks
+            .iter()
+            .cloned()
+            .zip(worker_offsets.into_iter())
+            .collect();
+        let target_ref = &target;
+        par_parts(threads, parts, move |_, (range, mut offsets)| {
+            for &x in &src[range] {
+                let byte = ((x.radix_key() >> (8 * d)) & 0xFF) as usize;
+                // SAFETY: `offsets[byte]` walks this worker's private
+                // block for `byte` (exclusive scan above): no two
+                // workers ever produce the same index, every index is
+                // in-bounds (Σ blocks = n), and the scoped-thread join
+                // sequences all writes before the next pass reads.
+                unsafe {
+                    *target_ref.0.add(offsets[byte]) = x;
+                }
+                offsets[byte] += 1;
+            }
+        });
+
+        // Histograms stay valid across passes: counting-sort permutes,
+        // never changes the multiset, but per-worker *chunk contents*
+        // change — recompute local histograms for the remaining digits.
+        if d + 1 < digits {
+            let next_src: &[T] = if src_is_data { &*scratch } else { &*data };
+            let mut slots: Vec<Vec<u32>> = (0..threads)
+                .map(|_| vec![0u32; BUCKETS * digits])
+                .collect();
+            let parts: Vec<(std::ops::Range<usize>, &mut Vec<u32>)> = chunks
+                .iter()
+                .cloned()
+                .zip(slots.iter_mut())
+                .collect();
+            par_parts(threads, parts, |_, (range, hist)| {
+                for &x in &next_src[range] {
+                    let key = x.radix_key();
+                    for dd in 0..digits {
+                        let byte = ((key >> (8 * dd)) & 0xFF) as usize;
+                        hist[dd * BUCKETS + byte] += 1;
+                    }
+                }
+            });
+            local_hists = slots;
+        }
+
+        src_is_data = !src_is_data;
+        passes += 1;
+    }
+    passes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::radix::radix_sort;
+    use crate::verify::{fingerprint, is_sorted};
+
+    fn lcg(seed: u64, n: usize) -> Vec<u64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_sequential_radix_u64() {
+        for n in [0usize, 1, 100, 8 * 1024, 50_000] {
+            let base = lcg(3, n);
+            let mut a = base.clone();
+            let mut b = base;
+            radix_sort(&mut a);
+            par_radix_sort(4, &mut b);
+            assert_eq!(a, b, "n={n}");
+        }
+    }
+
+    #[test]
+    fn matches_sequential_radix_f64() {
+        let base: Vec<f64> = lcg(7, 60_000)
+            .into_iter()
+            .map(|b| f64::from_bits(b & !(0x7FF << 52)) - 0.5)
+            .collect();
+        let mut a = base.clone();
+        let mut b = base;
+        radix_sort(&mut a);
+        par_radix_sort(3, &mut b);
+        assert_eq!(
+            a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn preserves_multiset() {
+        let v0 = lcg(11, 40_000);
+        let fp = fingerprint(&v0);
+        let mut v = v0;
+        par_radix_sort(5, &mut v);
+        assert!(is_sorted(&v));
+        assert_eq!(fingerprint(&v), fp);
+    }
+
+    #[test]
+    fn handles_signed_and_small_ranges() {
+        let mut v: Vec<i64> = lcg(13, 30_000).into_iter().map(|x| x as i64).collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        par_radix_sort(4, &mut v);
+        assert_eq!(v, expect);
+        // Low-entropy: only 1 active digit → 1 permute pass.
+        let mut v: Vec<u64> = lcg(17, 20_000).into_iter().map(|x| x % 200).collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        par_radix_sort(4, &mut v);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn various_thread_counts_agree() {
+        let base = lcg(19, 30_000);
+        let mut expect = base.clone();
+        radix_sort(&mut expect);
+        for threads in [2usize, 3, 7, 16] {
+            let mut v = base.clone();
+            par_radix_sort(threads, &mut v);
+            assert_eq!(v, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scratch_parity_reported() {
+        let mut v = lcg(23, 20_000);
+        let mut scratch = vec![0u64; v.len()];
+        let passes = par_radix_with_scratch(4, &mut v, &mut scratch);
+        let out: &[u64] = if passes % 2 == 1 { &scratch } else { &v };
+        assert!(is_sorted(out));
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch must match")]
+    fn scratch_mismatch_panics() {
+        let mut v = vec![1u64, 2];
+        let mut s = vec![0u64; 3];
+        par_radix_with_scratch(2, &mut v, &mut s);
+    }
+}

@@ -1,0 +1,127 @@
+//! Sortedness checks and multiset fingerprints.
+//!
+//! A correct sort is (a) sorted and (b) a permutation of its input.
+//! Checking (b) exactly needs O(n) extra memory; instead we use an
+//! order-independent multiset fingerprint (sum + xor + rotated-sum of
+//! key bits), which is cheap, streaming, and collision-resistant enough
+//! for test purposes.
+
+use crate::keys::{RadixKey, SortOrd};
+
+/// Is the slice non-decreasing under the crate's total order?
+pub fn is_sorted<T: SortOrd>(data: &[T]) -> bool {
+    data.windows(2).all(|w| w[0].le(&w[1]))
+}
+
+/// Order-independent multiset fingerprint of arbitrary radix-keyable
+/// elements. Equal multisets give equal fingerprints; differing
+/// multisets collide with negligible probability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fingerprint {
+    /// Wrapping sum of mixed keys.
+    pub sum: u64,
+    /// Xor of mixed keys.
+    pub xor: u64,
+    /// Wrapping sum of squared mixed keys (catches xor/sum collisions).
+    pub sq: u64,
+    /// Element count.
+    pub count: u64,
+}
+
+/// Strong 64-bit mixer (splitmix64 finalizer).
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Compute the fingerprint of any radix-keyable slice.
+pub fn fingerprint<T: RadixKey>(data: &[T]) -> Fingerprint {
+    let mut sum = 0u64;
+    let mut xor = 0u64;
+    let mut sq = 0u64;
+    for &x in data {
+        let m = mix(x.radix_key());
+        sum = sum.wrapping_add(m);
+        xor ^= m;
+        sq = sq.wrapping_add(m.wrapping_mul(m));
+    }
+    Fingerprint {
+        sum,
+        xor,
+        sq,
+        count: data.len() as u64,
+    }
+}
+
+/// Fingerprint specialized for `f64` (the paper's datatype).
+pub fn fingerprint_f64(data: &[f64]) -> Fingerprint {
+    fingerprint(data)
+}
+
+/// Combine fingerprints of disjoint pieces (multiset union).
+pub fn combine(a: Fingerprint, b: Fingerprint) -> Fingerprint {
+    Fingerprint {
+        sum: a.sum.wrapping_add(b.sum),
+        xor: a.xor ^ b.xor,
+        sq: a.sq.wrapping_add(b.sq),
+        count: a.count + b.count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_sorted_basic() {
+        assert!(is_sorted::<i32>(&[]));
+        assert!(is_sorted(&[1]));
+        assert!(is_sorted(&[1, 1, 2, 3]));
+        assert!(!is_sorted(&[2, 1]));
+    }
+
+    #[test]
+    fn is_sorted_floats_total_order() {
+        assert!(is_sorted(&[f64::NEG_INFINITY, -0.0, 0.0, 1.0, f64::NAN]));
+        assert!(!is_sorted(&[0.0, -0.0])); // -0.0 sorts before +0.0
+    }
+
+    #[test]
+    fn fingerprint_is_order_independent() {
+        let a = [3u64, 1, 4, 1, 5, 9, 2, 6];
+        let b = [9u64, 6, 5, 4, 3, 2, 1, 1];
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn fingerprint_detects_changes() {
+        let a = [3u64, 1, 4, 1, 5];
+        let mut b = a;
+        b[2] = 7;
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        // Dropping an element changes count.
+        assert_ne!(fingerprint(&a), fingerprint(&a[..4]));
+        // Duplicating one element while removing another is caught by sum/sq.
+        let c = [3u64, 1, 4, 1, 1];
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn combine_matches_concatenation() {
+        let a = [1.5f64, -2.0, 0.0];
+        let b = [7.25f64, f64::INFINITY];
+        let whole = [1.5f64, -2.0, 0.0, 7.25, f64::INFINITY];
+        assert_eq!(
+            combine(fingerprint(&a), fingerprint(&b)),
+            fingerprint(&whole)
+        );
+    }
+
+    #[test]
+    fn distinguishes_pos_and_neg_zero() {
+        assert_ne!(fingerprint(&[0.0f64]), fingerprint(&[-0.0f64]));
+    }
+}

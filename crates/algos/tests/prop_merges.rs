@@ -1,0 +1,152 @@
+//! Property tests for the merge machinery: co-rank invariants, merge
+//! path partitioning, multisequence selection, and parallel/sequential
+//! agreement of every merge variant.
+
+use hetsort_algos::merge::{co_rank, merge_into, par_merge_into};
+use hetsort_algos::multiway::{
+    multiway_cuts, multiway_merge_into, par_multiway_merge_into,
+};
+use hetsort_algos::verify::{combine, fingerprint, is_sorted, Fingerprint};
+use proptest::prelude::*;
+
+fn sorted_vec(max_len: usize) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0u32..1000, 0..max_len).prop_map(|mut v| {
+        v.sort_unstable();
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(250))]
+
+    #[test]
+    fn merge_is_sorted_permutation(a in sorted_vec(200), b in sorted_vec(200)) {
+        let mut out = vec![0u32; a.len() + b.len()];
+        merge_into(&a, &b, &mut out);
+        prop_assert!(is_sorted(&out));
+        prop_assert_eq!(
+            fingerprint(&out),
+            combine(fingerprint(&a), fingerprint(&b))
+        );
+    }
+
+    #[test]
+    fn co_rank_defines_exact_prefix(
+        a in sorted_vec(100),
+        b in sorted_vec(100),
+        kf in 0.0f64..=1.0,
+    ) {
+        let total = a.len() + b.len();
+        let k = ((total as f64) * kf) as usize;
+        let (i, j) = co_rank(k, &a, &b);
+        prop_assert_eq!(i + j, k);
+        // Merge-path invariants: everything in the prefix ≤ everything
+        // in the suffix, with stability (a wins ties at the boundary):
+        if i > 0 && j < b.len() {
+            prop_assert!(a[i - 1] <= b[j], "a-prefix must be ≤ b-suffix");
+        }
+        if j > 0 && i < a.len() {
+            prop_assert!(b[j - 1] < a[i], "b-prefix must be < a-suffix (stability)");
+        }
+    }
+
+    #[test]
+    fn par_merge_equals_seq_merge(
+        a in sorted_vec(300),
+        b in sorted_vec(300),
+        threads in 1usize..6,
+    ) {
+        let mut seq = vec![0u32; a.len() + b.len()];
+        merge_into(&a, &b, &mut seq);
+        let mut par = vec![0u32; a.len() + b.len()];
+        par_merge_into(threads, &a, &b, &mut par);
+        prop_assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn multiway_is_sorted_permutation(
+        lists in prop::collection::vec(sorted_vec(80), 0..8),
+    ) {
+        let refs: Vec<&[u32]> = lists.iter().map(|v| v.as_slice()).collect();
+        let total: usize = refs.iter().map(|l| l.len()).sum();
+        let mut out = vec![0u32; total];
+        multiway_merge_into(&refs, &mut out);
+        prop_assert!(is_sorted(&out));
+        let mut fp = Fingerprint { sum: 0, xor: 0, sq: 0, count: 0 };
+        for l in &refs {
+            fp = combine(fp, fingerprint(l));
+        }
+        prop_assert_eq!(fingerprint(&out), fp);
+    }
+
+    #[test]
+    fn multiway_equals_iterated_pairwise(
+        lists in prop::collection::vec(sorted_vec(60), 1..7),
+    ) {
+        let refs: Vec<&[u32]> = lists.iter().map(|v| v.as_slice()).collect();
+        let total: usize = refs.iter().map(|l| l.len()).sum();
+        let mut out = vec![0u32; total];
+        multiway_merge_into(&refs, &mut out);
+        // Oracle: fold with stable pairwise merges left-to-right.
+        let mut acc: Vec<u32> = Vec::new();
+        for l in &refs {
+            let mut next = vec![0u32; acc.len() + l.len()];
+            merge_into(&acc, l, &mut next);
+            acc = next;
+        }
+        prop_assert_eq!(out, acc);
+    }
+
+    #[test]
+    fn multiway_cuts_partition_prefix(
+        lists in prop::collection::vec(sorted_vec(50), 1..6),
+        kf in 0.0f64..=1.0,
+    ) {
+        let refs: Vec<&[u32]> = lists.iter().map(|v| v.as_slice()).collect();
+        let total: usize = refs.iter().map(|l| l.len()).sum();
+        let k = ((total as f64) * kf) as usize;
+        let cuts = multiway_cuts(&refs, k);
+        prop_assert_eq!(cuts.iter().sum::<usize>(), k);
+        // Prefix multiset equals the first k of the true merge.
+        let mut out = vec![0u32; total];
+        multiway_merge_into(&refs, &mut out);
+        let mut expect = out[..k].to_vec();
+        expect.sort_unstable();
+        let mut prefix: Vec<u32> = Vec::new();
+        for (t, &c) in cuts.iter().enumerate() {
+            prefix.extend_from_slice(&refs[t][..c]);
+        }
+        prefix.sort_unstable();
+        prop_assert_eq!(prefix, expect);
+    }
+
+    #[test]
+    fn par_multiway_equals_seq(
+        lists in prop::collection::vec(sorted_vec(100), 1..7),
+        threads in 1usize..6,
+    ) {
+        let refs: Vec<&[u32]> = lists.iter().map(|v| v.as_slice()).collect();
+        let total: usize = refs.iter().map(|l| l.len()).sum();
+        let mut seq = vec![0u32; total];
+        multiway_merge_into(&refs, &mut seq);
+        let mut par = vec![0u32; total];
+        par_multiway_merge_into(threads, &refs, &mut par);
+        prop_assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn merges_handle_float_specials(
+        mut a in prop::collection::vec(any::<f64>(), 0..100),
+        mut b in prop::collection::vec(any::<f64>(), 0..100),
+    ) {
+        a.sort_by(f64::total_cmp);
+        b.sort_by(f64::total_cmp);
+        let mut out = vec![0.0f64; a.len() + b.len()];
+        par_merge_into(3, &a, &b, &mut out);
+        prop_assert!(is_sorted(&out));
+        prop_assert_eq!(
+            fingerprint(&out),
+            combine(fingerprint(&a), fingerprint(&b))
+        );
+    }
+}

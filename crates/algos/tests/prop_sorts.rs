@@ -1,0 +1,123 @@
+//! Property tests: every sort in the crate is (a) sorted output under
+//! the total order and (b) a multiset permutation of its input — for
+//! arbitrary inputs including NaNs, infinities, and signed zeros — and
+//! all sorts agree bit-for-bit with the introsort oracle.
+
+use hetsort_algos::introsort::{heapsort, introsort};
+use hetsort_algos::mergesort::par_mergesort;
+use hetsort_algos::qsort::{cmp_f64, qsort};
+use hetsort_algos::radix::radix_sort;
+use hetsort_algos::radix_par::par_radix_sort;
+use hetsort_algos::samplesort::par_samplesort;
+use hetsort_algos::verify::{fingerprint, is_sorted};
+use proptest::prelude::*;
+
+/// Arbitrary f64 including specials, from raw bit patterns.
+fn arb_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        4 => any::<f64>(),
+        1 => prop::sample::select(vec![
+            0.0, -0.0, f64::INFINITY, f64::NEG_INFINITY, f64::NAN, -f64::NAN,
+            f64::MIN_POSITIVE, -f64::MIN_POSITIVE, 1.0, -1.0,
+        ]),
+        1 => any::<u64>().prop_map(f64::from_bits),
+    ]
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn introsort_correct(v in prop::collection::vec(arb_f64(), 0..500)) {
+        let fp = fingerprint(&v);
+        let mut s = v.clone();
+        introsort(&mut s);
+        prop_assert!(is_sorted(&s));
+        prop_assert_eq!(fingerprint(&s), fp);
+    }
+
+    #[test]
+    fn heapsort_matches_introsort(v in prop::collection::vec(arb_f64(), 0..300)) {
+        let mut a = v.clone();
+        let mut b = v;
+        introsort(&mut a);
+        heapsort(&mut b);
+        prop_assert_eq!(bits(&a), bits(&b));
+    }
+
+    #[test]
+    fn radix_matches_introsort(v in prop::collection::vec(arb_f64(), 0..500)) {
+        let mut a = v.clone();
+        let mut b = v;
+        introsort(&mut a);
+        radix_sort(&mut b);
+        prop_assert_eq!(bits(&a), bits(&b));
+    }
+
+    #[test]
+    fn radix_u64_matches_std(v in prop::collection::vec(any::<u64>(), 0..500)) {
+        let mut a = v.clone();
+        let mut b = v;
+        a.sort_unstable();
+        radix_sort(&mut b);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn radix_i64_matches_std(v in prop::collection::vec(any::<i64>(), 0..500)) {
+        let mut a = v.clone();
+        let mut b = v;
+        a.sort_unstable();
+        radix_sort(&mut b);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn par_radix_matches_serial_radix(
+        v in prop::collection::vec(arb_f64(), 0..9000),
+        threads in 2usize..6,
+    ) {
+        let mut a = v.clone();
+        let mut b = v;
+        radix_sort(&mut a);
+        par_radix_sort(threads, &mut b);
+        prop_assert_eq!(bits(&a), bits(&b));
+    }
+
+    #[test]
+    fn qsort_matches_introsort(v in prop::collection::vec(arb_f64(), 0..400)) {
+        let mut a = v.clone();
+        let mut b = v;
+        introsort(&mut a);
+        qsort(&mut b, cmp_f64);
+        prop_assert_eq!(bits(&a), bits(&b));
+    }
+
+    #[test]
+    fn par_mergesort_matches_introsort(
+        v in prop::collection::vec(arb_f64(), 0..600),
+        threads in 1usize..6,
+    ) {
+        let mut a = v.clone();
+        let mut b = v;
+        introsort(&mut a);
+        par_mergesort(threads, &mut b);
+        prop_assert_eq!(bits(&a), bits(&b));
+    }
+
+    #[test]
+    fn par_samplesort_matches_introsort(
+        v in prop::collection::vec(arb_f64(), 0..2000),
+        threads in 1usize..5,
+    ) {
+        let mut a = v.clone();
+        let mut b = v;
+        introsort(&mut a);
+        par_samplesort(threads, &mut b);
+        prop_assert_eq!(bits(&a), bits(&b));
+    }
+}

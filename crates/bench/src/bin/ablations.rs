@@ -1,0 +1,163 @@
+//! Extension experiments beyond the paper's figures:
+//!
+//! 1. **Batch-size / stream-count trade-off** (§IV-F text): more streams
+//!    allow more transfer overlap but force smaller batches → more
+//!    batches → more CPU merge work.
+//! 2. **Pinned-buffer-size sweep** (§IV-E text): tiny buffers pay
+//!    per-chunk sync; a whole-input buffer pays the 2.2 s allocation.
+//! 3. **NVLink what-if** (§V discussion): raising link bandwidth ~6×
+//!    leaves total time dominated by the CPU merge — the paper's closing
+//!    claim that "the CPU merging bottleneck" worsens in the NVLink era.
+//! 4. **Pageable vs pinned transfers** (§V: pinned ≈ 2×).
+//!
+//! Usage: `cargo run --release -p hetsort-bench --bin ablations`
+
+use hetsort_bench::write_csv;
+use hetsort_core::{simulate, Approach, HetSortConfig};
+use hetsort_vgpu::platform1;
+
+fn main() {
+    let n = 4_000_000_000usize;
+    let plat = platform1();
+
+    // ---------------- 1. batch size / stream count --------------------
+    println!("=== Ablation 1: b_s × n_s trade-off (PipeMerge, n = 4e9, PLATFORM1) ===");
+    println!("{:>6} {:>12} {:>6} {:>10} {:>8}", "n_s", "b_s", "n_b", "total(s)", "merge(s)");
+    let mut rows = Vec::new();
+    for ns in [1usize, 2, 4, 8] {
+        let bs = plat.max_batch_elems(ns);
+        let bs = (bs / 1_000_000) * 1_000_000;
+        let cfg = HetSortConfig::paper_defaults(plat.clone(), Approach::PipeMerge)
+            .with_streams(ns)
+            .with_batch_elems(bs);
+        let r = simulate(cfg, n).expect("ablation sim");
+        println!(
+            "{:>6} {:>12} {:>6} {:>10.3} {:>8.3}",
+            ns,
+            bs,
+            r.nb,
+            r.total_s,
+            r.component("MultiwayMerge")
+        );
+        rows.push(format!("{ns},{bs},{},{:.4},{:.4}", r.nb, r.total_s, r.component("MultiwayMerge")));
+    }
+    write_csv("ablation_batch_streams.csv", "n_s,b_s,n_b,total_s,multiway_s", &rows);
+
+    // ---------------- 2. pinned buffer size ---------------------------
+    println!("\n=== Ablation 2: pinned buffer size p_s (PipeData, n = 2e9) ===");
+    println!("{:>12} {:>10} {:>10} {:>10}", "p_s", "total(s)", "alloc(s)", "sync ops");
+    let mut rows = Vec::new();
+    for ps in [100_000usize, 1_000_000, 10_000_000, 100_000_000, 500_000_000] {
+        let cfg = HetSortConfig::paper_defaults(plat.clone(), Approach::PipeData)
+            .with_batch_elems(500_000_000)
+            .with_pinned_elems(ps);
+        let r = simulate(cfg, 2_000_000_000).expect("ablation sim");
+        let syncs = (r.sync_s / plat.pcie.chunk_sync_s).round();
+        println!(
+            "{:>12} {:>10.3} {:>10.3} {:>10}",
+            ps,
+            r.total_s,
+            r.component("PinnedAlloc"),
+            syncs
+        );
+        rows.push(format!("{ps},{:.4},{:.4},{syncs}", r.total_s, r.component("PinnedAlloc")));
+    }
+    write_csv("ablation_pinned_size.csv", "p_s,total_s,alloc_s,sync_chunks", &rows);
+
+    // ---------------- 3. NVLink what-if -------------------------------
+    println!("\n=== Ablation 3: NVLink what-if (PipeMerge+ParMemCpy, n = 5e9) ===");
+    println!(
+        "{:>12} {:>10} {:>12} {:>16}",
+        "link GB/s", "total(s)", "multiway(s)", "multiway share %"
+    );
+    let n_nvlink = 5_000_000_000usize;
+    let mut rows = Vec::new();
+    for link_gbs in [12.0f64, 25.0, 50.0, 75.0, 150.0] {
+        let mut p = platform1();
+        p.pcie.pinned_bps = link_gbs * 1e9;
+        p.pcie.bidir_total_bps = 2.0 * link_gbs * 1e9 * 0.55;
+        let cfg = HetSortConfig::paper_defaults(p, Approach::PipeMerge)
+            .with_batch_elems(500_000_000)
+            .with_par_memcpy();
+        let r = simulate(cfg, n_nvlink).expect("ablation sim");
+        // The final multiway merge never overlaps anything, so its busy
+        // time is an honest share of the makespan.
+        let merge = r.component("MultiwayMerge");
+        println!(
+            "{:>12.0} {:>10.3} {:>12.3} {:>16.1}",
+            link_gbs,
+            r.total_s,
+            merge,
+            100.0 * merge / r.total_s
+        );
+        rows.push(format!("{link_gbs},{:.4},{:.4}", r.total_s, merge));
+    }
+    write_csv("ablation_nvlink.csv", "link_gbs,total_s,merge_s", &rows);
+    println!("(the CPU merge share grows as the link speeds up — §V's closing claim)");
+
+    // ---------------- 3b. pair-merge thread budget ---------------------
+    println!("\n=== Ablation 3b: pair-merge thread budget (PipeMerge, n = 5e9) ===");
+    println!("{:>8} {:>10}", "threads", "total(s)");
+    let mut rows = Vec::new();
+    for t in [2u32, 4, 8, 12, 16] {
+        let mut cfg = HetSortConfig::paper_defaults(plat.clone(), Approach::PipeMerge)
+            .with_batch_elems(500_000_000);
+        cfg.pair_merge_threads = t;
+        let r = simulate(cfg, 5_000_000_000).expect("ablation sim");
+        println!("{t:>8} {:>10.3}", r.total_s);
+        rows.push(format!("{t},{:.4}", r.total_s));
+    }
+    write_csv("ablation_pair_merge_threads.csv", "threads,total_s", &rows);
+    println!("(too few threads → merges lag the pipeline; too many → they starve");
+    println!(" the staging copies — the load-imbalance §III-D3 warns about)");
+
+    // ---------------- 4. pageable vs pinned ---------------------------
+    println!("\n=== Ablation 4: pageable cudaMemcpy vs pinned staging (BLine, n = 8e8) ===");
+    let cfg = HetSortConfig::paper_defaults(plat.clone(), Approach::BLine);
+    let pinned = simulate(cfg, 800_000_000).expect("sim");
+    // Pageable path: model as transfers at the pageable rate with no
+    // staging copies (the driver stages internally).
+    let mut m = hetsort_vgpu::Machine::new(plat.clone());
+    let h = m.transfer(
+        hetsort_vgpu::TransferDir::HtoD,
+        0,
+        6.4e9,
+        false,
+        false,
+        None,
+        &[],
+        None,
+        0,
+    );
+    let s = m.gpu_sort(0, 8e8, None, &[h], None, 0);
+    let _d = m.transfer(
+        hetsort_vgpu::TransferDir::DtoH,
+        0,
+        6.4e9,
+        false,
+        false,
+        None,
+        &[s],
+        None,
+        0,
+    );
+    let tl = m.run().expect("sim");
+    println!(
+        "pinned staging: {:.3} s   plain pageable cudaMemcpy: {:.3} s",
+        pinned.total_s,
+        tl.makespan()
+    );
+    println!(
+        "(raw link rates: pinned {:.0} GB/s vs pageable {:.0} GB/s — the paper's ~2x;\n the serial chunked staging of the blocking baseline gives some of it back,\n which is exactly the overhead argument of §IV-E — the piped approaches\n recover it by overlapping the staging copies across streams)",
+        plat.pcie.pinned_bps / 1e9,
+        plat.pcie.pageable_bps / 1e9
+    );
+    write_csv(
+        "ablation_pageable.csv",
+        "variant,total_s",
+        &[
+            format!("pinned_staging,{:.4}", pinned.total_s),
+            format!("pageable,{:.4}", tl.makespan()),
+        ],
+    );
+}

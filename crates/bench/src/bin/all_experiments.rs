@@ -1,0 +1,126 @@
+//! Run every reproduced experiment and write all CSVs under `results/`.
+//!
+//! `cargo run --release -p hetsort-bench --bin all_experiments`
+
+use hetsort_bench::experiments as ex;
+use hetsort_bench::write_csv;
+use hetsort_vgpu::platform1;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+
+    println!("[1/9] Figures 1-3 (schedules)");
+    let (f1, f2, f3) = ex::fig01_03();
+    write_csv(
+        "fig01_03_gantt.txt",
+        "ascii gantt renderings",
+        &[f1, f2, f3],
+    );
+
+    println!("[2/9] Figure 4 (CPU sort scalability)");
+    let rows = ex::fig04(&platform1());
+    write_csv(
+        "fig04_cpu_sort_scalability.csv",
+        "n,threads,gnu_s,tbb_s,std_sort_s,qsort_s",
+        &rows.iter().map(|r| r.csv()).collect::<Vec<_>>(),
+    );
+
+    println!("[3/9] Figure 5 (BLine vs reference)");
+    let rows = ex::fig05();
+    write_csv(
+        "fig05_bline_vs_ref.csv",
+        "n,bline_s,ref_s,ratio",
+        &rows.iter().map(|r| r.csv()).collect::<Vec<_>>(),
+    );
+
+    println!("[4/9] Figure 6 (merge scalability)");
+    let rows = ex::fig06();
+    write_csv(
+        "fig06_merge_scalability.csv",
+        "threads,time_s,speedup",
+        &rows.iter().map(|r| r.csv()).collect::<Vec<_>>(),
+    );
+
+    println!("[5/9] Figures 7+8 (missing overhead)");
+    let d = ex::fig07();
+    write_csv(
+        "fig07_components.csv",
+        "component,ours_s,related_s",
+        &[
+            format!("HtoD,{:.4},{:.4}", d.ours.0, d.related.0),
+            format!("DtoH,{:.4},{:.4}", d.ours.1, d.related.1),
+            format!("GPUSort,{:.4},{:.4}", d.ours.2, d.related.2),
+            format!("literature_total,{:.4},", d.report.literature_total_s),
+            format!("full_total,{:.4},", d.report.total_s),
+        ],
+    );
+    let rows = ex::fig08();
+    write_csv(
+        "fig08_missing_overhead.csv",
+        "n,htod_s,dtoh_s,sort_s,literature_total_s,full_total_s",
+        &rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{},{:.4},{:.4},{:.4},{:.4},{:.4}",
+                    r.n, r.htod_s, r.dtoh_s, r.sort_s, r.literature_total_s, r.full_total_s
+                )
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    println!("[6/9] Figure 9 (PLATFORM1 approaches)");
+    let rows = ex::fig09();
+    write_csv(
+        "fig09_platform1_approaches.csv",
+        "n,n_gpus,blinemulti_s,pipedata_s,pipemerge_s,pipemerge_parmemcpy_s,reference_s",
+        &rows.iter().map(|r| r.csv()).collect::<Vec<_>>(),
+    );
+
+    println!("[7/9] Figure 10 (PLATFORM2 multi-GPU)");
+    let (one, two) = ex::fig10();
+    let mut csv: Vec<String> = one.iter().map(|r| r.csv()).collect();
+    csv.extend(two.iter().map(|r| r.csv()));
+    write_csv(
+        "fig10_platform2_multi_gpu.csv",
+        "n,n_gpus,blinemulti_s,pipedata_s,pipemerge_s,pipemerge_parmemcpy_s,reference_s",
+        &csv,
+    );
+
+    println!("[8/9] Figure 11 (lower bounds)");
+    let d = ex::fig11();
+    write_csv(
+        "fig11_lower_bound.csv",
+        "n,model1_s,pipedata1_s,model2_s,pipedata2_s",
+        &d.points
+            .iter()
+            .map(|&(n, t1, t2)| {
+                format!(
+                    "{},{:.4},{:.4},{:.4},{:.4}",
+                    n,
+                    d.model1.predict(n),
+                    t1,
+                    d.model2.predict(n),
+                    t2
+                )
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    println!("[9/9] span-level trace of the flagship run");
+    let cfg = hetsort_core::HetSortConfig::paper_defaults(
+        platform1(),
+        hetsort_core::Approach::PipeMerge,
+    )
+    .with_batch_elems(500_000_000)
+    .with_par_memcpy();
+    let r = hetsort_core::simulate(cfg, 5_000_000_000).expect("flagship sim");
+    std::fs::write(
+        hetsort_bench::results_dir().join("fig09_pipemerge_spans.csv"),
+        r.timeline.spans_csv(),
+    )
+    .expect("write spans");
+
+    println!("done in {:.1} s", t0.elapsed().as_secs_f64());
+    println!("CSVs written under {}", hetsort_bench::results_dir().display());
+}

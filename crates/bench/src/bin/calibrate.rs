@@ -1,0 +1,160 @@
+//! Calibration report: every headline number the paper states, next to
+//! what the simulator currently produces. Used to tune the platform
+//! constants; re-run after any change to `hetsort-vgpu`.
+//!
+//! Usage: `cargo run --release -p hetsort-bench --bin calibrate`
+
+use hetsort_core::{simulate, Approach, HetSortConfig};
+use hetsort_core::reference::reference_time_full;
+use hetsort_vgpu::{platform1, platform2};
+
+fn row(name: &str, paper: f64, ours: f64) {
+    let err = if paper != 0.0 {
+        100.0 * (ours - paper) / paper
+    } else {
+        0.0
+    };
+    println!("{name:<58} {paper:>9.3} {ours:>9.3} {err:>+7.1}%");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--components") {
+        dump_components();
+        return;
+    }
+    println!(
+        "{:<58} {:>9} {:>9} {:>8}",
+        "target (paper value)", "paper", "model", "err"
+    );
+    println!("{}", "-".repeat(88));
+
+    let p1 = platform1();
+    let p2 = platform2();
+
+    // --- Figure 4 (PLATFORM1 CPU reference) -------------------------
+    let t1 = reference_time(&p1, 1_000_000_000, 1);
+    let t16 = reference_time(&p1, 1_000_000_000, 16);
+    row("Fig4a ref sort n=1e9 1 thread (s)", 140.0, t1);
+    row("Fig4b speedup n=1e9, 16t", 10.12, t1 / t16);
+    let s6 = reference_time(&p1, 1_000_000, 1) / reference_time(&p1, 1_000_000, 16);
+    row("Fig4b speedup n=1e6, 16t", 3.17, s6);
+
+    // --- Figure 5 (PLATFORM2, BLine vs ref) -------------------------
+    for &n in &[200_000_000usize, 400_000_000, 700_000_000] {
+        let cfg = HetSortConfig::paper_defaults(p2.clone(), Approach::BLine);
+        let r = simulate(cfg, n).unwrap();
+        let ref_t = reference_time_full(&p2, n);
+        row(
+            &format!("Fig5 ratio CPU/GPU at n={:.0e} (1.22..1.32)", n as f64),
+            1.27,
+            ref_t / r.total_s,
+        );
+        if n == 700_000_000 {
+            row("Fig5/IV-G BLine n=7e8 total (6.278 ns/elem → s)", 6.278e-9 * n as f64, r.total_s);
+        }
+    }
+
+    // --- Figure 7 (PLATFORM1, n=8e8 components) ---------------------
+    let cfg = HetSortConfig::paper_defaults(p1.clone(), Approach::BLine);
+    let r7 = simulate(cfg, 800_000_000).unwrap();
+    row("Fig7 HtoD (s)", 0.536, r7.component("HtoD"));
+    row("Fig7 DtoH (s)", 0.484, r7.component("DtoH"));
+    row("Fig7 GPUSort ~ (s)", 0.42, r7.component("GPUSort"));
+    row("Fig8 literature total @8e8 (s)", 1.44, r7.literature_total_s);
+    println!(
+        "{:<58} {:>9} {:>9.3}",
+        "Fig8 full total @8e8 (s, paper shows 'much larger')", "> 2.5", r7.total_s
+    );
+
+    // --- Figure 9 (PLATFORM1, b_s=5e8, n_s=2) -----------------------
+    let n9 = 5_000_000_000usize;
+    let mk = |a: Approach, pm: bool| {
+        let mut c =
+            HetSortConfig::paper_defaults(p1.clone(), a).with_batch_elems(500_000_000);
+        if pm {
+            c = c.with_par_memcpy();
+        }
+        simulate(c, n9).unwrap().total_s
+    };
+    let blm = mk(Approach::BLineMulti, false);
+    let pd = mk(Approach::PipeData, false);
+    let pmg = mk(Approach::PipeMerge, false);
+    let pmc = mk(Approach::PipeMerge, true);
+    let refi = reference_time_full(&p1, n9);
+    row("Fig9 BLineMulti n=5e9 (s)", 31.2, blm);
+    row("Fig9 PipeData n=5e9 (s)", 25.55, pd);
+    row("Fig9 PipeData gain over BLineMulti (22%)", 0.22, (blm - pd) / blm);
+    row("Fig9 PipeMerge n=5e9 (s, ≲ PipeData)", 25.0, pmg);
+    row("Fig9 ParMemCpy gain over PipeMerge (13%)", 0.13, (pmg - pmc) / pmg);
+    row("Fig9 speedup fastest vs ref @5e9", 3.21, refi / pmc);
+    let n1 = 1_000_000_000usize;
+    let pmc1 = {
+        let c = HetSortConfig::paper_defaults(p1.clone(), Approach::PipeMerge)
+            .with_batch_elems(500_000_000)
+            .with_par_memcpy();
+        simulate(c, n1).unwrap().total_s
+    };
+    row("Fig9 speedup fastest vs ref @1e9", 3.47, reference_time_full(&p1, n1) / pmc1);
+
+    // --- Figure 10 (PLATFORM2, b_s=3.5e8, 1 vs 2 GPUs) ---------------
+    let n10 = 4_900_000_000usize;
+    let mk2 = |plat: hetsort_vgpu::PlatformSpec, a: Approach, pm: bool, n: usize| {
+        let mut c = HetSortConfig::paper_defaults(plat, a).with_batch_elems(350_000_000);
+        if pm {
+            c = c.with_par_memcpy();
+        }
+        simulate(c, n).unwrap().total_s
+    };
+    let mut p2_1g = p2.clone();
+    p2_1g.gpus.truncate(1);
+    let pmc2_big = mk2(p2.clone(), Approach::PipeMerge, true, n10);
+    let ref2_big = reference_time_full(&p2, n10);
+    row("Fig10 speedup fastest(2gpu) vs ref @4.9e9", 2.02, ref2_big / pmc2_big);
+    let n10s = 1_400_000_000usize;
+    let pmc2_small = mk2(p2.clone(), Approach::PipeMerge, true, n10s);
+    row("Fig10 speedup fastest(2gpu) vs ref @1.4e9", 1.89, reference_time_full(&p2, n10s) / pmc2_small);
+
+    // --- Figure 11 (lower-bound models) ------------------------------
+    // 1-GPU model slope from BLine at n=7e8 (must be 6.278 ns/elem).
+    let cfg = HetSortConfig::paper_defaults(p2_1g.clone(), Approach::BLine);
+    let slope1 = simulate(cfg, 700_000_000).unwrap().total_s / 7e8;
+    row("Fig11 1-GPU model slope (ns/elem)", 6.278, slope1 * 1e9);
+    // 2-GPU model: BLineMulti, n=1.4e9, b_s = n/2 per GPU.
+    let cfg = HetSortConfig::paper_defaults(p2.clone(), Approach::BLineMulti)
+        .with_batch_elems(700_000_000);
+    let slope2 = simulate(cfg, 1_400_000_000).unwrap().total_s / 1.4e9;
+    row("Fig11 2-GPU model slope (ns/elem)", 3.706, slope2 * 1e9);
+    // PipeData vs model at n=4.9e9.
+    let pd2_1g = mk2(p2_1g.clone(), Approach::PipeData, false, n10);
+    let pd2_2g = mk2(p2.clone(), Approach::PipeData, false, n10);
+    row("Fig11 PipeData/model 1 GPU @4.9e9 (slowdown 0.93x)", 1.0 / 0.93, pd2_1g / (slope1 * n10 as f64));
+    row("Fig11 PipeData/model 2 GPU @4.9e9 (slowdown 0.88x)", 1.0 / 0.88, pd2_2g / (slope2 * n10 as f64));
+}
+
+fn reference_time(plat: &hetsort_vgpu::PlatformSpec, n: usize, threads: u32) -> f64 {
+    hetsort_core::reference::reference_time(plat, n, threads)
+}
+
+fn dump_components() {
+    let p1 = platform1();
+    let n = 5_000_000_000usize;
+    for (a, pm) in [
+        (Approach::BLineMulti, false),
+        (Approach::PipeData, false),
+        (Approach::PipeMerge, false),
+        (Approach::PipeMerge, true),
+    ] {
+        let mut c = HetSortConfig::paper_defaults(p1.clone(), a).with_batch_elems(500_000_000);
+        if pm {
+            c = c.with_par_memcpy();
+        }
+        let r = simulate(c, n).unwrap();
+        println!("par_memcpy={pm}\n{}", r.summary());
+        // Window of the multiway merge: when did it start vs end?
+        if let Some(tag) = r.timeline.find_tag("MultiwayMerge") {
+            if let Some((s, e)) = r.timeline.window(tag) {
+                println!("  multiway window: {s:.2} .. {e:.2}\n");
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Figure 4: CPU sorting scalability on PLATFORM1 — (a) response time
+//! vs threads for the GNU parallel sort and a TBB-like sort at four
+//! input sizes, with sequential `std::sort` / `qsort` reference lines;
+//! (b) GNU speedup vs threads.
+
+use hetsort_bench::experiments::{fig04, THREAD_SWEEP};
+use hetsort_bench::write_csv;
+use hetsort_vgpu::platform1;
+
+fn main() {
+    let rows = fig04(&platform1());
+    println!("=== Figure 4a: response time (s) vs threads, PLATFORM1 ===");
+    println!(
+        "{:>12} {:>4} {:>10} {:>10} {:>10} {:>10}",
+        "n", "thr", "GNU", "TBB", "std::sort", "qsort"
+    );
+    for r in &rows {
+        println!(
+            "{:>12} {:>4} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+            r.n, r.threads, r.gnu_s, r.tbb_s, r.std_sort_s, r.qsort_s
+        );
+    }
+
+    println!("\n=== Figure 4b: GNU speedup vs threads ===");
+    print!("{:>12}", "n");
+    for t in THREAD_SWEEP {
+        print!(" {t:>6}");
+    }
+    println!();
+    for n in [1_000_000usize, 10_000_000, 100_000_000, 1_000_000_000] {
+        let one = rows
+            .iter()
+            .find(|r| r.n == n && r.threads == 1)
+            .expect("1-thread row");
+        print!("{n:>12}");
+        for t in THREAD_SWEEP {
+            let r = rows.iter().find(|r| r.n == n && r.threads == t).unwrap();
+            print!(" {:>6.2}", r.speedup_vs(one));
+        }
+        println!();
+    }
+
+    let csv: Vec<String> = rows.iter().map(|r| r.csv()).collect();
+    let p = write_csv("fig04_cpu_sort_scalability.csv", "n,threads,gnu_s,tbb_s,std_sort_s,qsort_s", &csv);
+    println!("\nwrote {}", p.display());
+}

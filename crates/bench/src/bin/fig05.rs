@@ -1,0 +1,27 @@
+//! Figure 5: BLINE (single batch) vs the 20-thread reference
+//! implementation on PLATFORM2, with the CPU/GPU time ratio on the
+//! right axis (the paper reports 1.22–1.32).
+
+use hetsort_bench::experiments::fig05;
+use hetsort_bench::write_csv;
+
+fn main() {
+    let rows = fig05();
+    println!("=== Figure 5: BLine vs reference, PLATFORM2 (n_b = 1) ===");
+    println!(
+        "{:>12} {:>10} {:>10} {:>7}",
+        "n", "BLine(s)", "Ref(s)", "ratio"
+    );
+    for r in &rows {
+        println!(
+            "{:>12} {:>10.3} {:>10.3} {:>7.3}",
+            r.n,
+            r.bline_s,
+            r.ref_s,
+            r.ratio()
+        );
+    }
+    let csv: Vec<String> = rows.iter().map(|r| r.csv()).collect();
+    let p = write_csv("fig05_bline_vs_ref.csv", "n,bline_s,ref_s,ratio", &csv);
+    println!("\nwrote {}", p.display());
+}

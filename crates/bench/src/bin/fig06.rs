@@ -1,0 +1,18 @@
+//! Figure 6: pairwise-merge scalability on PLATFORM1 (two sorted
+//! sublists of 0.5·10⁹ elements, 1–16 threads; the paper reports an
+//! 8.14× speedup on 16 cores).
+
+use hetsort_bench::experiments::fig06;
+use hetsort_bench::write_csv;
+
+fn main() {
+    let rows = fig06();
+    println!("=== Figure 6: pair-merge scalability, PLATFORM1, n = 1e9 ===");
+    println!("{:>4} {:>10} {:>8}", "thr", "time(s)", "speedup");
+    for r in &rows {
+        println!("{:>4} {:>10.3} {:>8.2}", r.threads, r.time_s, r.speedup);
+    }
+    let csv: Vec<String> = rows.iter().map(|r| r.csv()).collect();
+    let p = write_csv("fig06_merge_scalability.csv", "threads,time_s,speedup", &csv);
+    println!("\nwrote {}", p.display());
+}

@@ -1,0 +1,38 @@
+//! Figure 7: the end-to-end components at n = 8·10⁸ (5.96 GiB) on
+//! PLATFORM1 next to the values the paper estimates from \[5\]'s CUB bar
+//! — plus the components the literature's accounting omits.
+
+use hetsort_bench::experiments::fig07;
+use hetsort_bench::write_csv;
+
+fn main() {
+    let d = fig07();
+    println!("=== Figure 7: components at n = 8e8 (5.96 GiB), PLATFORM1 ===");
+    println!("{:<10} {:>10} {:>14}", "component", "our work", "related work");
+    println!("{:<10} {:>10.3} {:>14.3}", "HtoD", d.ours.0, d.related.0);
+    println!("{:<10} {:>10.3} {:>14.3}", "DtoH", d.ours.1, d.related.1);
+    println!("{:<10} {:>10.3} {:>14.3}", "GPUSort", d.ours.2, d.related.2);
+    println!("\nComponents the related work omits:");
+    for tag in hetsort_vgpu::tags::OMITTED_COMPONENTS {
+        let t = d.report.component(tag);
+        if t > 0.0 {
+            println!("  {tag:<12} {t:>8.3} s");
+        }
+    }
+    println!(
+        "\nliterature end-to-end: {:>7.3} s\nfull end-to-end:       {:>7.3} s\nmissing overhead:      {:>7.3} s ({:.0}% of the truth)",
+        d.report.literature_total_s,
+        d.report.total_s,
+        d.report.missing_overhead_s(),
+        100.0 * d.report.missing_overhead_s() / d.report.total_s
+    );
+    let rows = vec![
+        format!("HtoD,{:.4},{:.4}", d.ours.0, d.related.0),
+        format!("DtoH,{:.4},{:.4}", d.ours.1, d.related.1),
+        format!("GPUSort,{:.4},{:.4}", d.ours.2, d.related.2),
+        format!("literature_total,{:.4},", d.report.literature_total_s),
+        format!("full_total,{:.4},", d.report.total_s),
+    ];
+    let p = write_csv("fig07_components.csv", "component,ours_s,related_s", &rows);
+    println!("\nwrote {}", p.display());
+}

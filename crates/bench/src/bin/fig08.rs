@@ -1,0 +1,41 @@
+//! Figure 8: the missing-overhead sweep — component times, the
+//! literature's "end-to-end" (1+2+3), and the full total with all
+//! overheads, vs input size (BLINE, PLATFORM1).
+
+use hetsort_bench::experiments::fig08;
+use hetsort_bench::write_csv;
+
+fn main() {
+    let rows = fig08();
+    println!("=== Figure 8: BLine components vs n, PLATFORM1 ===");
+    println!(
+        "{:>12} {:>8} {:>8} {:>8} {:>10} {:>10} {:>9}",
+        "n", "HtoD", "DtoH", "Sort", "lit(1+2+3)", "full", "missing"
+    );
+    for r in &rows {
+        println!(
+            "{:>12} {:>8.3} {:>8.3} {:>8.3} {:>10.3} {:>10.3} {:>9.3}",
+            r.n, r.htod_s, r.dtoh_s, r.sort_s, r.literature_total_s, r.full_total_s,
+            r.missing_s()
+        );
+    }
+    println!(
+        "\nAt the largest size the literature's method misses {:.0}% of the true time.",
+        100.0 * rows.last().unwrap().missing_fraction()
+    );
+    let csv: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{},{:.4},{:.4},{:.4},{:.4},{:.4}",
+                r.n, r.htod_s, r.dtoh_s, r.sort_s, r.literature_total_s, r.full_total_s
+            )
+        })
+        .collect();
+    let p = write_csv(
+        "fig08_missing_overhead.csv",
+        "n,htod_s,dtoh_s,sort_s,literature_total_s,full_total_s",
+        &csv,
+    );
+    println!("wrote {}", p.display());
+}

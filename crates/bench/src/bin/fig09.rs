@@ -1,0 +1,46 @@
+//! Figure 9: response time vs n for every approach on PLATFORM1
+//! (b_s = 5·10⁸, n_s = 2) against the 16-thread reference.
+
+use hetsort_bench::experiments::fig09;
+use hetsort_bench::write_csv;
+
+const LABELS: [&str; 5] = [
+    "BLineMulti",
+    "PipeData",
+    "PipeMerge",
+    "PipeMerge+ParMemCpy",
+    "Reference",
+];
+
+fn main() {
+    let rows = fig09();
+    println!("=== Figure 9: approaches vs n, PLATFORM1 (b_s=5e8, n_s=2) ===");
+    print!("{:>12}", "n");
+    for l in LABELS {
+        print!(" {l:>20}");
+    }
+    println!();
+    for r in &rows {
+        print!("{:>12}", r.n);
+        for l in LABELS {
+            print!(" {:>20.3}", r.total(l).unwrap());
+        }
+        println!();
+    }
+    let last = rows.last().unwrap();
+    let first = rows.first().unwrap();
+    println!(
+        "\nspeedup of fastest vs reference: {:.2}x at n={:.0e}, {:.2}x at n={:.0e} (paper: 3.47x / 3.21x)",
+        first.total("Reference").unwrap() / first.total("PipeMerge+ParMemCpy").unwrap(),
+        first.n as f64,
+        last.total("Reference").unwrap() / last.total("PipeMerge+ParMemCpy").unwrap(),
+        last.n as f64,
+    );
+    let csv: Vec<String> = rows.iter().map(|r| r.csv()).collect();
+    let p = write_csv(
+        "fig09_platform1_approaches.csv",
+        "n,n_gpus,blinemulti_s,pipedata_s,pipemerge_s,pipemerge_parmemcpy_s,reference_s",
+        &csv,
+    );
+    println!("wrote {}", p.display());
+}

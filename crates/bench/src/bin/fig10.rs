@@ -1,0 +1,50 @@
+//! Figure 10: response time vs n on PLATFORM2 with 1 GPU (solid lines
+//! in the paper) and 2 GPUs (dashed), b_s = 3.5·10⁸.
+
+use hetsort_bench::experiments::fig10;
+use hetsort_bench::write_csv;
+
+const LABELS: [&str; 5] = [
+    "BLineMulti",
+    "PipeData",
+    "PipeMerge",
+    "PipeMerge+ParMemCpy",
+    "Reference",
+];
+
+fn main() {
+    let (one, two) = fig10();
+    for (name, rows) in [("1 GPU", &one), ("2 GPUs", &two)] {
+        println!("=== Figure 10 ({name}): PLATFORM2, b_s=3.5e8 ===");
+        print!("{:>12}", "n");
+        for l in LABELS {
+            print!(" {l:>20}");
+        }
+        println!();
+        for r in rows {
+            print!("{:>12}", r.n);
+            for l in LABELS {
+                print!(" {:>20.3}", r.total(l).unwrap());
+            }
+            println!();
+        }
+        println!();
+    }
+    let f2 = two.first().unwrap();
+    let l2 = two.last().unwrap();
+    println!(
+        "speedup of fastest (2 GPUs) vs reference: {:.2}x at n={:.1e}, {:.2}x at n={:.1e} (paper: 1.89x / 2.02x)",
+        f2.total("Reference").unwrap() / f2.total("PipeMerge+ParMemCpy").unwrap(),
+        f2.n as f64,
+        l2.total("Reference").unwrap() / l2.total("PipeMerge+ParMemCpy").unwrap(),
+        l2.n as f64,
+    );
+    let mut csv: Vec<String> = one.iter().map(|r| r.csv()).collect();
+    csv.extend(two.iter().map(|r| r.csv()));
+    let p = write_csv(
+        "fig10_platform2_multi_gpu.csv",
+        "n,n_gpus,blinemulti_s,pipedata_s,pipemerge_s,pipemerge_parmemcpy_s,reference_s",
+        &csv,
+    );
+    println!("wrote {}", p.display());
+}

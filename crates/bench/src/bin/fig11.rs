@@ -1,0 +1,68 @@
+//! Figure 11: the §IV-G lower-bound baseline models vs PIPEDATA on 1
+//! and 2 GPUs (PLATFORM2). Reports the model slopes, the beats/trails
+//! crossover, and the slowdown at the largest size (paper: 0.93× and
+//! 0.88×).
+
+use hetsort_bench::experiments::fig11;
+use hetsort_bench::write_csv;
+
+fn main() {
+    let d = fig11();
+    println!("=== Figure 11: lower-bound models vs PipeData, PLATFORM2 ===");
+    println!(
+        "1-GPU model: y = {:.3e}·n   (paper: y = 6.278e-9·n)",
+        d.model1.slope
+    );
+    println!(
+        "2-GPU model: y = {:.3e}·n   (paper: y = 3.706e-9·n)\n",
+        d.model2.slope
+    );
+    println!(
+        "{:>12} {:>12} {:>12} {:>12} {:>12}",
+        "n", "model1(s)", "pipe1(s)", "model2(s)", "pipe2(s)"
+    );
+    for &(n, t1, t2) in &d.points {
+        println!(
+            "{:>12} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
+            n,
+            d.model1.predict(n),
+            t1,
+            d.model2.predict(n),
+            t2
+        );
+    }
+    match d.crossover_1gpu() {
+        Some(c) => println!(
+            "\nPipeData (1 GPU) stops beating the model at n ≈ {:.1e} (paper: ≈ 2.1e9)",
+            c as f64
+        ),
+        None => println!("\nno crossover in the sweep range"),
+    }
+    let n_big = d.points.last().unwrap().0;
+    println!(
+        "slowdown vs model at n={:.1e}: {:.2}x (1 GPU), {:.2}x (2 GPUs)  (paper: 0.93x / 0.88x)",
+        n_big as f64,
+        d.slowdown_1gpu(n_big).unwrap(),
+        d.slowdown_2gpu(n_big).unwrap()
+    );
+    let csv: Vec<String> = d
+        .points
+        .iter()
+        .map(|&(n, t1, t2)| {
+            format!(
+                "{},{:.4},{:.4},{:.4},{:.4}",
+                n,
+                d.model1.predict(n),
+                t1,
+                d.model2.predict(n),
+                t2
+            )
+        })
+        .collect();
+    let p = write_csv(
+        "fig11_lower_bound.csv",
+        "n,model1_s,pipedata1_s,model2_s,pipedata2_s",
+        &csv,
+    );
+    println!("wrote {}", p.display());
+}

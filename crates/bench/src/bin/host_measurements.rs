@@ -1,0 +1,107 @@
+//! Real-machine counterpart of Figures 4 and 6: run the *actual*
+//! from-scratch algorithms across thread counts on this host.
+//!
+//! On the paper's 16/20-core Xeons these curves reproduce Figure 4/6's
+//! shapes directly; on a small CI container they mostly document
+//! sequential costs (speedups ≈ 1). Either way the qualitative
+//! relations the paper states — `qsort ≈ 2× std::sort`, radix ≫
+//! comparison sorts on doubles — hold on real silicon, not just in the
+//! calibrated model.
+//!
+//! Usage: `cargo run --release -p hetsort-bench --bin host_measurements [n]`
+
+use std::time::Instant;
+
+use hetsort_algos::introsort::introsort;
+use hetsort_algos::merge::par_merge_into;
+use hetsort_algos::mergesort::par_mergesort;
+use hetsort_algos::qsort::{cmp_f64, qsort};
+use hetsort_algos::radix::radix_sort;
+use hetsort_algos::radix_par::par_radix_sort;
+use hetsort_algos::samplesort::par_samplesort;
+use hetsort_bench::write_csv;
+use hetsort_workloads::{generate, generate_batch_sorted, Distribution};
+
+fn time<F: FnMut()>(mut f: F) -> f64 {
+    // Best of 3 (small, stable; criterion covers the rigorous version).
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500_000);
+    let host = hetsort_algos::par::default_threads();
+    let threads: Vec<usize> = [1usize, 2, 4, 8, 16]
+        .into_iter()
+        .filter(|&t| t <= host.max(1) * 4)
+        .collect();
+    let base = generate(Distribution::Uniform, n, 42).data;
+
+    println!("=== Figure 4 (real algorithms on this host, n = {n}, {host} hw threads) ===");
+    let t_intro = time(|| {
+        let mut v = base.clone();
+        introsort(&mut v);
+    });
+    let t_qsort = time(|| {
+        let mut v = base.clone();
+        qsort(&mut v, cmp_f64);
+    });
+    let t_radix = time(|| {
+        let mut v = base.clone();
+        radix_sort(&mut v);
+    });
+    println!("introsort (std::sort):   {:.4} s", t_intro);
+    println!(
+        "qsort (fn-ptr cmp):      {:.4} s  ({:.2}x of introsort; paper: ~2x)",
+        t_qsort,
+        t_qsort / t_intro
+    );
+    println!(
+        "LSD radix:               {:.4} s  ({:.2}x of introsort)",
+        t_radix,
+        t_radix / t_intro
+    );
+    let mut rows = vec![format!("introsort,1,{t_intro:.6}"), format!("qsort,1,{t_qsort:.6}"), format!("radix,1,{t_radix:.6}")];
+    println!("\n{:>8} {:>12} {:>12} {:>12}", "threads", "mergesort", "samplesort", "par_radix");
+    for &p in &threads {
+        let tm = time(|| {
+            let mut v = base.clone();
+            par_mergesort(p, &mut v);
+        });
+        let ts = time(|| {
+            let mut v = base.clone();
+            par_samplesort(p, &mut v);
+        });
+        let tr = time(|| {
+            let mut v = base.clone();
+            par_radix_sort(p, &mut v);
+        });
+        println!("{p:>8} {tm:>12.4} {ts:>12.4} {tr:>12.4}");
+        rows.push(format!("par_mergesort,{p},{tm:.6}"));
+        rows.push(format!("par_samplesort,{p},{ts:.6}"));
+        rows.push(format!("par_radix,{p},{tr:.6}"));
+    }
+    write_csv("host_fig04_sorts.csv", "algorithm,threads,seconds", &rows);
+
+    println!("\n=== Figure 6 (real pair merge, two sorted halves of n = {n}) ===");
+    let w = generate_batch_sorted(Distribution::Uniform, n / 2, 2, 7);
+    let (a, b) = w.split_at(n / 2);
+    let mut out = vec![0.0f64; a.len() + b.len()];
+    let t1 = time(|| par_merge_into(1, a, b, &mut out));
+    let mut rows = Vec::new();
+    println!("{:>8} {:>12} {:>9}", "threads", "seconds", "speedup");
+    for &p in &threads {
+        let t = time(|| par_merge_into(p, a, b, &mut out));
+        println!("{p:>8} {t:>12.4} {:>9.2}", t1 / t);
+        rows.push(format!("{p},{t:.6},{:.4}", t1 / t));
+    }
+    write_csv("host_fig06_merge.csv", "threads,seconds,speedup", &rows);
+}

@@ -1,0 +1,162 @@
+//! §V's closing research direction, prototyped: "Sorting in the NVLink
+//! era using multi-GPU systems needs to address the problem of merging
+//! using the GPUs, such that the CPU does not need to carry out all
+//! merging tasks."
+//!
+//! Two hand-built pipelines on an NVLink-class platform (75 GB/s link,
+//! V100-class device), n = 4·10⁹ over 8 batches in 2 streams:
+//!
+//! * **CPU-merge** (the paper's architecture): sort batches on the GPU,
+//!   ship them back, pair-merge + multiway-merge on the CPU.
+//! * **GPU-merge-assist**: after two consecutive batches of a stream
+//!   pair are sorted, merge them *on the device* (bandwidth-bound, ~30
+//!   G elem/s on HBM2 vs ~1.2 G elem/s for the CPU's bus-bound merge),
+//!   ship the doubled runs back, and let the CPU multiway-merge half as
+//!   many, longer runs.
+//!
+//! The device DAGs are built directly on [`hetsort_vgpu::Machine`] —
+//! this is a forward-looking experiment, not one of the paper's
+//! figures.
+//!
+//! Usage: `cargo run --release -p hetsort-bench --bin nvlink_future`
+
+use hetsort_bench::write_csv;
+use hetsort_core::{simulate, Approach, HetSortConfig};
+use hetsort_vgpu::{platform1, Machine, PlatformSpec, TransferDir};
+
+fn nvlink_platform() -> PlatformSpec {
+    let mut p = platform1();
+    p.name = "NVLINK-ERA".into();
+    p.pcie.pinned_bps = 75.0e9;
+    p.pcie.pageable_bps = 30.0e9;
+    p.pcie.bidir_total_bps = 120.0e9;
+    p.pcie.chunk_sync_s = 0.2e-3;
+    p.gpus[0].global_mem_bytes = 32.0 * 1024.0 * 1024.0 * 1024.0;
+    p.gpus[0].sort_keys_per_s = 3.2e9;
+    p.gpus[0].mem_bw_bps = 900.0e9;
+    p
+}
+
+/// GPU-merge-assist pipeline, hand-built with double buffering: two
+/// buffer *sets* (A/B) of two streams each alternate between pairs, so
+/// pair k+1 uploads and sorts in set B while pair k's device-merged run
+/// drains to the host from set A. The 32 GiB device affords the four
+/// slots (4 × 2·b_s·8 B = 16 GB at b_s = 2.5·10⁸).
+fn gpu_merge_assist(plat: &PlatformSpec, n: usize, bs: usize, ps: usize) -> (f64, f64) {
+    let nb = n / bs;
+    assert_eq!(nb % 2, 0, "demo assumes even batch count");
+    let mut m = Machine::new(plat.clone());
+    let sets = [
+        [m.stream("sA0"), m.stream("sA1")],
+        [m.stream("sB0"), m.stream("sB1")],
+    ];
+    let elem_bytes = 8.0;
+    let chunks = bs / ps;
+
+    // One pinned buffer per stream.
+    let mut allocs = [[None; 2]; 2];
+    for (si, set) in sets.iter().enumerate() {
+        let _ = set;
+        for half in 0..2 {
+            allocs[si][half] = Some(m.pinned_alloc(elem_bytes * ps as f64, &[], None));
+        }
+    }
+
+    let mut merged_outs = Vec::new();
+    for k in 0..nb / 2 {
+        let set = k % 2;
+        let queues = sets[set];
+        let mut sorts = Vec::new();
+        for half in 0..2 {
+            let q = queues[half];
+            let mut last = allocs[set][half].expect("alloc");
+            for c in 0..chunks {
+                let key = (2 * k + half) as u64 * 10_000 + c as u64;
+                let st = m.host_memcpy(true, elem_bytes * ps as f64, 1, Some(q), &[last], None, key);
+                last = m.transfer(
+                    TransferDir::HtoD,
+                    0,
+                    elem_bytes * ps as f64,
+                    true,
+                    true,
+                    Some(q),
+                    &[st],
+                    None,
+                    key,
+                );
+            }
+            sorts.push(m.gpu_sort(0, bs as f64, Some(q), &[last], None, (2 * k + half) as u64));
+        }
+        // Device merge of the two sorted runs (exclusive on the GPU).
+        let gm = m.gpu_merge(0, 2.0 * bs as f64, elem_bytes, Some(queues[0]), &sorts, None);
+        // Ship the merged run back through this set's first stream; the
+        // other set's next pair proceeds concurrently.
+        let mut last = gm;
+        for c in 0..2 * chunks {
+            let key = k as u64 * 100_000 + c as u64;
+            let dt = m.transfer(
+                TransferDir::DtoH,
+                0,
+                elem_bytes * ps as f64,
+                true,
+                true,
+                Some(queues[0]),
+                &[last],
+                None,
+                key,
+            );
+            last = m.host_memcpy(false, elem_bytes * ps as f64, 1, Some(queues[0]), &[dt], None, key);
+        }
+        merged_outs.push(last);
+    }
+    // CPU multiway merge of nb/2 double-length runs.
+    let mw = m.multiway_merge(n as f64, nb / 2, plat.cpu.cores, &merged_outs, None);
+    let tl = m.run().expect("gpu-merge-assist sim");
+    (tl.makespan(), tl.span(mw).duration())
+}
+
+fn main() {
+    let plat = nvlink_platform();
+    let n = 4_000_000_000usize;
+    let bs = 250_000_000usize; // 4 double-buffered slots fit in 32 GiB
+    let ps = 1_000_000usize;
+
+    // Baseline: the paper's architecture on the same platform.
+    let cpu_arch = simulate(
+        HetSortConfig::paper_defaults(plat.clone(), Approach::PipeMerge)
+            .with_batch_elems(bs)
+            .with_par_memcpy(),
+        n,
+    )
+    .expect("baseline sim");
+    let cpu_merge_time =
+        cpu_arch.component("MultiwayMerge") + cpu_arch.component("PairMerge");
+
+    let (assist_total, assist_mw) = gpu_merge_assist(&plat, n, bs, ps);
+
+    println!("=== §V prototype: who should merge in the NVLink era? (n = 4e9, {}) ===\n", plat.name);
+    println!(
+        "{:<34} {:>10} {:>16}",
+        "architecture", "total(s)", "CPU merge (s)"
+    );
+    println!(
+        "{:<34} {:>10.3} {:>16.3}",
+        "paper (all merging on CPU)", cpu_arch.total_s, cpu_merge_time
+    );
+    println!(
+        "{:<34} {:>10.3} {:>16.3}",
+        "GPU-merge assist (pairs on GPU)", assist_total, assist_mw
+    );
+    println!(
+        "\nDevice pair-merging shrinks the CPU's share and the end-to-end time by {:.0}% —\nexactly the paper's closing argument for GPU-side merging.",
+        100.0 * (cpu_arch.total_s - assist_total) / cpu_arch.total_s
+    );
+    write_csv(
+        "ablation_nvlink_gpu_merge.csv",
+        "architecture,total_s,cpu_merge_s",
+        &[
+            format!("cpu_merge,{:.4},{:.4}", cpu_arch.total_s, cpu_merge_time),
+            format!("gpu_merge_assist,{:.4},{:.4}", assist_total, assist_mw),
+        ],
+    );
+}

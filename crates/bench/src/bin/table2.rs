@@ -1,0 +1,40 @@
+//! Table II: the hardware platforms, as modeled.
+
+use hetsort_vgpu::{platform1, platform2};
+
+fn main() {
+    println!("=== Table II: hardware platforms (as modeled) ===");
+    for p in [platform1(), platform2()] {
+        println!("\n{}", p.name);
+        println!("  CPU   cores: {}", p.cpu.cores);
+        println!(
+            "  CPU   memcpy/core: {:.1} GB/s, bus: {:.0} GB/s traffic",
+            p.cpu.memcpy_core_bps / 1e9,
+            p.cpu.bus_traffic_bps / 1e9
+        );
+        for g in &p.gpus {
+            println!(
+                "  GPU   {}: {:.0} GiB, sort {:.2e} keys/s",
+                g.name,
+                g.global_mem_bytes / (1024.0 * 1024.0 * 1024.0),
+                g.sort_keys_per_s
+            );
+        }
+        println!(
+            "  PCIe  pinned {:.0} GB/s per dir, pageable {:.0} GB/s, bidir cap {:.0} GB/s, sync {:.1} ms/chunk",
+            p.pcie.pinned_bps / 1e9,
+            p.pcie.pageable_bps / 1e9,
+            p.pcie.bidir_total_bps / 1e9,
+            p.pcie.chunk_sync_s * 1e3
+        );
+        println!(
+            "  Pinned alloc: {:.1} ms + {:.3} ns/B",
+            p.pinned_alloc.cost.base_s * 1e3,
+            p.pinned_alloc.cost.per_unit_s * 1e9
+        );
+        println!(
+            "  Max b_s (n_s=2): {:.3e} elements",
+            p.max_batch_elems(2) as f64
+        );
+    }
+}

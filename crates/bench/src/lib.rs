@@ -1,0 +1,26 @@
+//! # hetsort-bench — the experiment harness
+//!
+//! One module per reproduced table/figure; each binary under `src/bin`
+//! is a thin wrapper that prints the series and writes a CSV under
+//! `results/`. `cargo run -p hetsort-bench --bin all_experiments`
+//! regenerates everything.
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `fig01_03` | Figures 1–3 (illustrative schedules, ASCII Gantt) |
+//! | `fig04` | Figure 4 (CPU sort scalability + speedup) |
+//! | `fig05` | Figure 5 (BLINE vs reference, PLATFORM2) |
+//! | `fig06` | Figure 6 (pair-merge scalability) |
+//! | `fig07` | Figure 7 (end-to-end components vs related work) |
+//! | `fig08` | Figure 8 (the missing-overhead sweep) |
+//! | `fig09` | Figure 9 (all approaches, PLATFORM1) |
+//! | `fig10` | Figure 10 (1 vs 2 GPUs, PLATFORM2) |
+//! | `fig11` | Figure 11 (lower-bound models vs PIPEDATA) |
+//! | `table2` | Table II (platform inventory) |
+//! | `calibrate` | calibration report (model vs paper headline numbers) |
+//! | `ablations` | extension: b_s / n_s / p_s sweeps + distribution sensitivity |
+
+pub mod experiments;
+pub mod output;
+
+pub use output::{results_dir, write_csv};

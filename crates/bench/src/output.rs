@@ -1,0 +1,53 @@
+//! CSV/console output helpers (hand-rolled; no serde dependency).
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// The repository's `results/` directory (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("HETSORT_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            // crates/bench → workspace root.
+            Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("results")
+        });
+    std::fs::create_dir_all(&dir).expect("cannot create results dir");
+    dir
+}
+
+/// Write a CSV file into `results/` and return its path.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
+    let path = results_dir().join(name);
+    let mut f = std::fs::File::create(&path).expect("cannot create CSV");
+    writeln!(f, "{header}").unwrap();
+    for r in rows {
+        writeln!(f, "{r}").unwrap();
+    }
+    path
+}
+
+/// Format seconds with 3 decimals, right-aligned in 9 columns.
+pub fn fmt_s(x: f64) -> String {
+    format!("{x:>9.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip() {
+        std::env::set_var("HETSORT_RESULTS", std::env::temp_dir().join("hetsort_test_results"));
+        let p = write_csv("t.csv", "a,b", &["1,2".into(), "3,4".into()]);
+        let s = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(s, "a,b\n1,2\n3,4\n");
+        std::env::remove_var("HETSORT_RESULTS");
+    }
+
+    #[test]
+    fn fmt_has_width() {
+        assert_eq!(fmt_s(1.5).len(), 9);
+    }
+}

@@ -1,0 +1,384 @@
+//! Configuration: the paper's Table I notation as a typed struct.
+//!
+//! | Symbol | Field | Meaning |
+//! |---|---|---|
+//! | `n` | run argument | input size |
+//! | `n_b` | derived | number of batches (⌈n / b_s⌉) |
+//! | `n_GPU` | `platform.gpus.len()` | number of GPUs used |
+//! | `n_s` | `streams_per_gpu` | streams per GPU |
+//! | `b_s` | `batch_elems` | batch size |
+//! | `p_s` | `pinned_elems` | pinned staging buffer size |
+//! | `A` | input | unsorted list |
+//! | `B` | output | sorted list |
+//! | `W` | internal | working memory for sorted sublists |
+
+use hetsort_vgpu::PlatformSpec;
+
+/// The paper's heterogeneous sorting approaches (§III-D4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Approach {
+    /// Single batch (`n_b = 1`), blocking copies, default stream.
+    BLine,
+    /// BLINE per batch plus a final CPU multiway merge.
+    BLineMulti,
+    /// Pinned-memory staging in `n_s` streams per GPU overlapping HtoD
+    /// and DtoH transfers.
+    PipeData,
+    /// PIPEDATA plus pair-wise merges pipelined while the GPU sorts.
+    PipeMerge,
+}
+
+impl Approach {
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Approach::BLine => "BLine",
+            Approach::BLineMulti => "BLineMulti",
+            Approach::PipeData => "PipeData",
+            Approach::PipeMerge => "PipeMerge",
+        }
+    }
+
+    /// Does this approach overlap transfers with streams?
+    pub fn is_piped(&self) -> bool {
+        matches!(self, Approach::PipeData | Approach::PipeMerge)
+    }
+}
+
+/// Scheduling strategy for the pipelined two-way merges (§III-D3).
+///
+/// The paper evaluates PIPEMERGE with the batch-pair heuristic and
+/// explicitly *rejects* the two alternatives: "We find that merging
+/// sublists in an 'online' fashion (i.e., as they are produced on the
+/// GPU), or using a merge tree to determine optimal merges, results in
+/// delaying the multiway merging procedure, and thus degrades
+/// performance." All three are implemented so the rejection is testable
+/// (`cargo run -p hetsort-bench --bin rejected_strategies`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PairStrategy {
+    /// The paper's heuristic: merge the first `⌊(n_b−1)/2⌋` (1 GPU) or
+    /// `⌊(n_b−1)/2^n_GPU⌋` (multi-GPU) consecutive batch pairs, never
+    /// re-merging a merge output; the rest go to the multiway merge.
+    #[default]
+    PaperHeuristic,
+    /// Rejected: fold each arriving batch into one growing run.
+    Online,
+    /// Rejected: a full binary merge tree replacing the multiway merge.
+    MergeTree,
+}
+
+/// Which sort runs on the (virtual) device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeviceSortKind {
+    /// Thrust's radix sort: fastest, but out-of-place — each resident
+    /// batch occupies `2·b_s` of global memory (§III-B).
+    #[default]
+    ThrustRadix,
+    /// An in-place bitonic network (Peters et al. \[35\]): only `1·b_s`
+    /// of global memory per batch — so batches can be twice as large
+    /// and the CPU merges fewer sublists — but the sort itself is a
+    /// few times slower. The ablation quantifies the trade.
+    BitonicInPlace,
+}
+
+impl DeviceSortKind {
+    /// Device-memory footprint per resident batch, in units of `b_s`.
+    pub fn mem_factor(&self) -> f64 {
+        match self {
+            DeviceSortKind::ThrustRadix => 2.0,
+            DeviceSortKind::BitonicInPlace => 1.0,
+        }
+    }
+
+    /// Sort-throughput multiplier relative to the radix calibration
+    /// (in-place bitonic runs ~5× slower at these sizes — the reason
+    /// radix won historically, cf. \[35\] vs \[5\]).
+    pub fn throughput_factor(&self) -> f64 {
+        match self {
+            DeviceSortKind::ThrustRadix => 1.0,
+            DeviceSortKind::BitonicInPlace => 0.2,
+        }
+    }
+}
+
+/// A fully specified heterogeneous sort configuration.
+#[derive(Debug, Clone)]
+pub struct HetSortConfig {
+    /// Hardware model (Table II row).
+    pub platform: PlatformSpec,
+    /// Pipeline approach.
+    pub approach: Approach,
+    /// PARMEMCPY: parallelize host↔pinned staging copies.
+    pub par_memcpy: bool,
+    /// Batch size `b_s` in elements.
+    pub batch_elems: usize,
+    /// Streams per GPU `n_s` (piped approaches; blocking approaches use
+    /// the single default stream regardless).
+    pub streams_per_gpu: usize,
+    /// Pinned staging buffer size `p_s` in elements.
+    pub pinned_elems: usize,
+    /// Threads for the final multiway merge; 0 = all cores.
+    pub merge_threads: u32,
+    /// Threads for *pipelined* pair-wise merges; 0 = half the cores.
+    /// Pair merges run concurrently with the staging pipeline, so
+    /// giving them every core would starve the staging copies and delay
+    /// batches — the load imbalance §III-D3 warns about.
+    pub pair_merge_threads: u32,
+    /// Scheduling strategy for pipelined merges (PIPEMERGE only).
+    pub pair_strategy: PairStrategy,
+    /// Element size in bytes: 8 for the paper's `f64` keys, 16 for the
+    /// key/value records of \[5\] (`hetsort_algos::keys::KeyValue`).
+    /// Drives every transfer/staging volume and the GPU memory check.
+    pub elem_bytes: f64,
+    /// Which sort runs on the device.
+    pub device_sort: DeviceSortKind,
+}
+
+impl HetSortConfig {
+    /// Paper defaults for a platform: all cores for merging, `n_s = 2`
+    /// (§IV-F Experiment 1), `p_s = 10⁶` elements (§IV-E), and the
+    /// largest batch that fits the streams on the smallest GPU.
+    pub fn paper_defaults(platform: PlatformSpec, approach: Approach) -> Self {
+        let streams_per_gpu = 2;
+        // Blocking approaches keep one batch in flight, so the whole
+        // device (minus the out-of-place scratch) is one batch.
+        let sizing_streams = if approach.is_piped() {
+            streams_per_gpu
+        } else {
+            1
+        };
+        let batch_elems = platform.max_batch_elems(sizing_streams);
+        HetSortConfig {
+            platform,
+            approach,
+            par_memcpy: false,
+            batch_elems,
+            streams_per_gpu,
+            pinned_elems: 1_000_000,
+            merge_threads: 0,
+            pair_merge_threads: 0,
+            pair_strategy: PairStrategy::default(),
+            elem_bytes: 8.0,
+            device_sort: DeviceSortKind::default(),
+        }
+    }
+
+    /// Enable PARMEMCPY.
+    pub fn with_par_memcpy(mut self) -> Self {
+        self.par_memcpy = true;
+        self
+    }
+
+    /// Set `b_s`.
+    pub fn with_batch_elems(mut self, b: usize) -> Self {
+        self.batch_elems = b;
+        self
+    }
+
+    /// Set `n_s`.
+    pub fn with_streams(mut self, s: usize) -> Self {
+        self.streams_per_gpu = s;
+        self
+    }
+
+    /// Set `p_s`.
+    pub fn with_pinned_elems(mut self, p: usize) -> Self {
+        self.pinned_elems = p;
+        self
+    }
+
+    /// Select a pipelined-merge scheduling strategy (§III-D3).
+    pub fn with_pair_strategy(mut self, s: PairStrategy) -> Self {
+        self.pair_strategy = s;
+        self
+    }
+
+    /// Set the element size in bytes (8 = keys, 16 = key/value records).
+    pub fn with_elem_bytes(mut self, b: f64) -> Self {
+        self.elem_bytes = b;
+        self
+    }
+
+    /// Select the device sort implementation.
+    pub fn with_device_sort(mut self, k: DeviceSortKind) -> Self {
+        self.device_sort = k;
+        self
+    }
+
+    /// Effective multiway-merge thread count.
+    pub fn merge_threads_eff(&self) -> u32 {
+        if self.merge_threads == 0 {
+            self.platform.cpu.cores
+        } else {
+            self.merge_threads
+        }
+    }
+
+    /// Effective pipelined pair-merge thread count.
+    pub fn pair_merge_threads_eff(&self) -> u32 {
+        if self.pair_merge_threads == 0 {
+            (self.platform.cpu.cores / 2).max(1)
+        } else {
+            self.pair_merge_threads
+        }
+    }
+
+    /// Staging copy thread count (PARMEMCPY uses all cores, §III-D2).
+    pub fn memcpy_threads_eff(&self) -> u32 {
+        if self.par_memcpy {
+            self.platform.cpu.cores
+        } else {
+            1
+        }
+    }
+
+    /// Number of batches `n_b` for an input of `n` elements.
+    pub fn n_batches(&self, n: usize) -> usize {
+        n.div_ceil(self.batch_elems.max(1))
+    }
+
+    /// The paper's pair-merge count heuristic (§III-D3):
+    /// `⌊(n_b−1)/2⌋` on one GPU, `⌊(n_b−1)/2^n_GPU⌋` on multi-GPU.
+    pub fn pipelined_pair_merges(&self, nb: usize) -> usize {
+        if self.approach != Approach::PipeMerge || nb < 2 {
+            return 0;
+        }
+        let ngpu = self.platform.n_gpus().max(1) as u32;
+        if ngpu == 1 {
+            (nb - 1) / 2
+        } else {
+            (nb - 1) / 2usize.pow(ngpu)
+        }
+    }
+
+    /// Validate against the hardware model and `n`.
+    pub fn validate(&self, n: usize) -> Result<(), String> {
+        if n == 0 {
+            return Err("input size n must be positive".into());
+        }
+        if self.batch_elems == 0 {
+            return Err("batch_elems (b_s) must be positive".into());
+        }
+        if self.pinned_elems == 0 {
+            return Err("pinned_elems (p_s) must be positive".into());
+        }
+        if self.pinned_elems > self.batch_elems {
+            return Err(format!(
+                "pinned buffer p_s={} exceeds batch size b_s={}",
+                self.pinned_elems, self.batch_elems
+            ));
+        }
+        if self.approach.is_piped() && self.streams_per_gpu == 0 {
+            return Err("piped approaches need at least one stream".into());
+        }
+        // Thrust's 2× footprint per in-flight batch, per stream (§III-B).
+        let streams = if self.approach.is_piped() {
+            self.streams_per_gpu
+        } else {
+            1
+        };
+        if !self.elem_bytes.is_finite() || self.elem_bytes <= 0.0 {
+            return Err(format!("invalid element size {} bytes", self.elem_bytes));
+        }
+        let need = self.device_sort.mem_factor()
+            * self.elem_bytes
+            * self.batch_elems as f64
+            * streams as f64;
+        let min_mem = self
+            .platform
+            .gpus
+            .iter()
+            .map(|g| g.global_mem_bytes)
+            .fold(f64::INFINITY, f64::min);
+        if need > min_mem {
+            return Err(format!(
+                "b_s={} with {streams} stream(s) needs {need:.3e} B on the GPU but only {min_mem:.3e} B exist",
+                self.batch_elems
+            ));
+        }
+        if self.approach == Approach::BLine && self.n_batches(n) > 1 {
+            return Err(format!(
+                "BLine requires n_b = 1 but n={n} with b_s={} gives n_b={}; use BLineMulti",
+                self.batch_elems,
+                self.n_batches(n)
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsort_vgpu::{platform1, platform2};
+
+    #[test]
+    fn paper_defaults_platform1() {
+        let c = HetSortConfig::paper_defaults(platform1(), Approach::PipeData);
+        assert_eq!(c.streams_per_gpu, 2);
+        assert_eq!(c.pinned_elems, 1_000_000);
+        // b_s close to the paper's 5e8 (§IV-F Experiment 1).
+        assert!((4.8e8..5.5e8).contains(&(c.batch_elems as f64)), "{}", c.batch_elems);
+        assert_eq!(c.merge_threads_eff(), 16);
+        assert_eq!(c.memcpy_threads_eff(), 1);
+        assert_eq!(c.clone().with_par_memcpy().memcpy_threads_eff(), 16);
+    }
+
+    #[test]
+    fn batch_count() {
+        let c = HetSortConfig::paper_defaults(platform1(), Approach::BLineMulti)
+            .with_batch_elems(500);
+        assert_eq!(c.n_batches(1000), 2);
+        assert_eq!(c.n_batches(1001), 3);
+        assert_eq!(c.n_batches(499), 1);
+    }
+
+    #[test]
+    fn pair_merge_heuristic_matches_paper() {
+        // Figure 3 example: n_b = 6 on one GPU → 2 pair merges.
+        let c = HetSortConfig::paper_defaults(platform1(), Approach::PipeMerge);
+        assert_eq!(c.pipelined_pair_merges(6), 2);
+        // Odd n_b leaves the last batch unmerged: n_b=7 → 3.
+        assert_eq!(c.pipelined_pair_merges(7), 3);
+        assert_eq!(c.pipelined_pair_merges(1), 0);
+        assert_eq!(c.pipelined_pair_merges(2), 0);
+        // Two GPUs divide by 2^n_GPU = 4: n_b=10 → 2.
+        let c2 = HetSortConfig::paper_defaults(platform2(), Approach::PipeMerge);
+        assert_eq!(c2.pipelined_pair_merges(10), 2);
+        // Non-PipeMerge approaches never pipeline merges.
+        let c3 = HetSortConfig::paper_defaults(platform1(), Approach::PipeData);
+        assert_eq!(c3.pipelined_pair_merges(10), 0);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let base = HetSortConfig::paper_defaults(platform1(), Approach::PipeData);
+        assert!(base.validate(1000).is_ok());
+        assert!(base.clone().with_batch_elems(0).validate(10).is_err());
+        assert!(base.clone().with_pinned_elems(0).validate(10).is_err());
+        // p_s > b_s.
+        assert!(base
+            .clone()
+            .with_batch_elems(100)
+            .with_pinned_elems(200)
+            .validate(100)
+            .is_err());
+        // GPU memory overflow: 3 streams × 2 × 5e8 × 8 B = 24 GB > 16 GiB.
+        assert!(base.clone().with_streams(3).validate(1000).is_err());
+        // BLine with multiple batches.
+        let bl = HetSortConfig::paper_defaults(platform1(), Approach::BLine)
+            .with_batch_elems(100)
+            .with_pinned_elems(10);
+        assert!(bl.validate(150).is_err());
+        assert!(bl.validate(100).is_ok());
+        assert!(base.validate(0).is_err());
+    }
+
+    #[test]
+    fn approach_names() {
+        assert_eq!(Approach::BLine.name(), "BLine");
+        assert_eq!(Approach::PipeMerge.name(), "PipeMerge");
+        assert!(Approach::PipeData.is_piped());
+        assert!(!Approach::BLineMulti.is_piped());
+    }
+}

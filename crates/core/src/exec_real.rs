@@ -1,0 +1,381 @@
+//! Functional execution: run the *same* plan on real data.
+//!
+//! Interprets a [`Plan`] step by step with actual memory movement:
+//! staging chunks through pinned-buffer stand-ins, "device" batch
+//! buffers sorted with the real LSD radix sort (the Thrust stand-in),
+//! real merge-path pair merges, and the real parallel multiway merge.
+//! Steps execute in submission order, which the planner guarantees is a
+//! valid topological order — including the pinned-buffer reuse hazards
+//! (a chunk's `StageIn` never overwrites the buffer before the previous
+//! chunk's `HtoD` drained it, exactly as the stream FIFO enforces on
+//! real hardware).
+//!
+//! The output is verified (sorted + multiset-preserving) so every test
+//! of the simulated pipelines is backed by a functional proof of the
+//! identical orchestration.
+
+use hetsort_algos::keys::{RadixKey, SortOrd};
+use hetsort_algos::merge::par_merge_into;
+use hetsort_algos::multiway::par_multiway_merge_into;
+use hetsort_algos::radix_par::par_radix_sort;
+use hetsort_algos::verify::{fingerprint, is_sorted};
+
+use crate::config::HetSortConfig;
+use crate::plan::{MergeInput, Plan, StepKind};
+
+/// Result of a functional run (over `f64` keys by default; any
+/// [`RadixKey`]+[`SortOrd`] element works, e.g.
+/// [`hetsort_algos::keys::KeyValue`] records).
+#[derive(Debug)]
+pub struct RealOutcome<T = f64> {
+    /// The sorted output `B`.
+    pub sorted: Vec<T>,
+    /// Wall-clock seconds of the run (this machine, not the simulated
+    /// platform — use [`crate::simulate`] for paper-scale timing).
+    pub wall_s: f64,
+    /// Output is sorted and a permutation of the input.
+    pub verified: bool,
+    /// Number of batches executed.
+    pub nb: usize,
+    /// Number of pipelined pair merges executed.
+    pub pair_merges: usize,
+}
+
+/// Sort `data` with the configured heterogeneous pipeline, functionally.
+///
+/// # Errors
+///
+/// Configuration/plan errors as strings.
+pub fn sort_real<T>(config: HetSortConfig, data: &[T]) -> Result<RealOutcome<T>, String>
+where
+    T: RadixKey + SortOrd + Default,
+{
+    let plan = Plan::build(config, data.len())?;
+    sort_real_plan(&plan, data)
+}
+
+/// Execute an already-built plan on `data` (must match `plan.n` and the
+/// configured element size).
+pub fn sort_real_plan<T>(plan: &Plan, data: &[T]) -> Result<RealOutcome<T>, String>
+where
+    T: RadixKey + SortOrd + Default,
+{
+    if data.len() != plan.n {
+        return Err(format!(
+            "data length {} does not match plan n = {}",
+            data.len(),
+            plan.n
+        ));
+    }
+    if std::mem::size_of::<T>() as f64 != plan.config.elem_bytes {
+        return Err(format!(
+            "element type is {} bytes but the config models {} — call with_elem_bytes",
+            std::mem::size_of::<T>(),
+            plan.config.elem_bytes
+        ));
+    }
+    let cfg = &plan.config;
+    let n = plan.n;
+    let nb = plan.nb();
+    let input_fp = fingerprint(data);
+    let t0 = std::time::Instant::now();
+
+    // Memory: A (borrowed), W (working memory for sorted sublists),
+    // B (output), per-stream pinned buffers and device batch buffers.
+    let mut w = vec![T::default(); if nb > 1 { n } else { 0 }];
+    let mut b_out = vec![T::default(); n];
+    let ps = cfg.pinned_elems;
+    let mut pinned_in: Vec<Vec<T>> = (0..plan.total_streams).map(|_| Vec::new()).collect();
+    let mut pinned_out: Vec<Vec<T>> = (0..plan.total_streams).map(|_| Vec::new()).collect();
+    let mut device: Vec<Vec<T>> =
+        (0..plan.total_streams).map(|_| Vec::new()).collect();
+    let mut pair_out: Vec<Vec<T>> = (0..plan.pairs.len()).map(|_| Vec::new()).collect();
+    let merge_threads = cfg.merge_threads_eff() as usize;
+    // Cap the functional thread count at this machine's parallelism ×4:
+    // simulated platforms may have more cores than the host.
+    let host_threads = merge_threads.min(4 * hetsort_algos::par::default_threads());
+    let device_sort_threads = hetsort_algos::par::default_threads();
+
+    let mut pair_merges_done = 0usize;
+    for step in &plan.steps {
+        match &step.kind {
+            StepKind::PinnedAlloc { stream, dir_in, .. } => {
+                let buf = if *dir_in {
+                    &mut pinned_in[*stream]
+                } else {
+                    &mut pinned_out[*stream]
+                };
+                buf.resize(ps, T::default());
+                if !*dir_in || !plan.asynchronous {
+                    // Blocking approaches reuse the inbound buffer for
+                    // the outbound direction too.
+                    if pinned_out[*stream].is_empty() {
+                        pinned_out[*stream] = vec![T::default(); ps];
+                    }
+                }
+            }
+            StepKind::StageIn {
+                batch,
+                start,
+                len,
+                ..
+            } => {
+                let s = plan.batches[*batch].stream;
+                pinned_in[s][..*len].copy_from_slice(&data[*start..*start + *len]);
+            }
+            StepKind::HtoD {
+                batch,
+                start,
+                len,
+                ..
+            } => {
+                let b = &plan.batches[*batch];
+                let s = b.stream;
+                if device[s].len() < b.len {
+                    device[s].resize(b.len, T::default());
+                }
+                let off = *start - b.start;
+                device[s][off..off + *len].copy_from_slice(&pinned_in[s][..*len]);
+            }
+            StepKind::GpuSort { batch } => {
+                let b = &plan.batches[*batch];
+                let s = b.stream;
+                // Thrust stand-in: the parallel count/scan/scatter radix
+                // sort (bit-identical to the sequential one) — or the
+                // in-place bitonic network when configured.
+                match cfg.device_sort {
+                    crate::config::DeviceSortKind::ThrustRadix => {
+                        par_radix_sort(device_sort_threads, &mut device[s][..b.len])
+                    }
+                    crate::config::DeviceSortKind::BitonicInPlace => {
+                        hetsort_algos::bitonic::par_bitonic_sort(
+                            device_sort_threads,
+                            &mut device[s][..b.len],
+                        )
+                    }
+                }
+            }
+            StepKind::DtoH {
+                batch,
+                start,
+                len,
+                ..
+            } => {
+                let b = &plan.batches[*batch];
+                let s = b.stream;
+                let off = *start - b.start;
+                pinned_out[s][..*len].copy_from_slice(&device[s][off..off + *len]);
+            }
+            StepKind::StageOut {
+                batch,
+                start,
+                len,
+                ..
+            } => {
+                let s = plan.batches[*batch].stream;
+                let dst = if nb > 1 { &mut w } else { &mut b_out };
+                dst[*start..*start + *len].copy_from_slice(&pinned_out[s][..*len]);
+            }
+            StepKind::PairMerge { slot } => {
+                let spec = plan.pairs[*slot];
+                let resolve = |src: crate::plan::MergeSrc| -> &[T] {
+                    match src {
+                        crate::plan::MergeSrc::Batch(b) => {
+                            let bi = &plan.batches[b];
+                            &w[bi.start..bi.start + bi.len]
+                        }
+                        crate::plan::MergeSrc::Merged(p) => pair_out[p].as_slice(),
+                    }
+                };
+                let mut out = vec![T::default(); spec.out_elems];
+                par_merge_into(host_threads, resolve(spec.left), resolve(spec.right), &mut out);
+                pair_out[*slot] = out;
+                pair_merges_done += 1;
+            }
+            StepKind::MultiwayMerge { inputs } => {
+                let lists: Vec<&[T]> = inputs
+                    .iter()
+                    .map(|inp| match *inp {
+                        MergeInput::Batch(b) => {
+                            let bi = &plan.batches[b];
+                            &w[bi.start..bi.start + bi.len]
+                        }
+                        MergeInput::Pair(p) => pair_out[p].as_slice(),
+                    })
+                    .collect();
+                par_multiway_merge_into(host_threads, &lists, &mut b_out);
+            }
+        }
+    }
+
+    let wall_s = t0.elapsed().as_secs_f64();
+    let verified = is_sorted(&b_out) && fingerprint(&b_out) == input_fp;
+    Ok(RealOutcome {
+        sorted: b_out,
+        wall_s,
+        verified,
+        nb,
+        pair_merges: pair_merges_done,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Approach;
+    use hetsort_algos::introsort::introsort;
+    use hetsort_vgpu::{platform1, platform2};
+
+    fn data(n: usize, seed: u64) -> Vec<f64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    fn cfg(approach: Approach, bs: usize, ps: usize) -> HetSortConfig {
+        HetSortConfig::paper_defaults(platform1(), approach)
+            .with_batch_elems(bs)
+            .with_pinned_elems(ps)
+    }
+
+    fn check(approach: Approach, n: usize, bs: usize, ps: usize) -> RealOutcome {
+        let d = data(n, 42);
+        let mut expect = d.clone();
+        introsort(&mut expect);
+        let out = sort_real(cfg(approach, bs, ps), &d).unwrap();
+        assert!(out.verified, "{approach:?} failed verification");
+        assert_eq!(
+            out.sorted.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            expect.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            "{approach:?} output mismatch"
+        );
+        out
+    }
+
+    #[test]
+    fn bline_single_batch() {
+        let out = check(Approach::BLine, 10_000, 10_000, 1_000);
+        assert_eq!(out.nb, 1);
+        assert_eq!(out.pair_merges, 0);
+    }
+
+    #[test]
+    fn bline_multi_batches() {
+        let out = check(Approach::BLineMulti, 50_000, 8_000, 1_000);
+        assert_eq!(out.nb, 7);
+        assert_eq!(out.pair_merges, 0);
+    }
+
+    #[test]
+    fn pipedata_streams() {
+        let out = check(Approach::PipeData, 60_000, 7_000, 1_000);
+        assert_eq!(out.nb, 9);
+    }
+
+    #[test]
+    fn pipemerge_with_pair_merges() {
+        let out = check(Approach::PipeMerge, 60_000, 6_000, 1_500);
+        assert_eq!(out.nb, 10);
+        assert_eq!(out.pair_merges, 4); // ⌊9/2⌋
+    }
+
+    #[test]
+    fn parmemcpy_changes_nothing_functionally() {
+        let d = data(30_000, 7);
+        let a = sort_real(cfg(Approach::PipeMerge, 4_000, 500), &d).unwrap();
+        let b = sort_real(cfg(Approach::PipeMerge, 4_000, 500).with_par_memcpy(), &d).unwrap();
+        assert!(a.verified && b.verified);
+        assert_eq!(
+            a.sorted.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            b.sorted.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn multi_gpu_platform() {
+        let d = data(40_000, 9);
+        let mut expect = d.clone();
+        introsort(&mut expect);
+        let c = HetSortConfig::paper_defaults(platform2(), Approach::PipeMerge)
+            .with_batch_elems(5_000)
+            .with_pinned_elems(1_000);
+        let out = sort_real(c, &d).unwrap();
+        assert!(out.verified);
+        assert_eq!(out.nb, 8);
+        assert_eq!(
+            out.sorted.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            expect.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ragged_sizes() {
+        // n not divisible by b_s, b_s not divisible by p_s.
+        check(Approach::PipeMerge, 12_345, 1_234, 100);
+        check(Approach::BLineMulti, 9_999, 1_000, 333);
+    }
+
+    #[test]
+    fn special_values_survive_pipeline() {
+        let mut d = data(5_000, 3);
+        d[0] = f64::INFINITY;
+        d[1] = f64::NEG_INFINITY;
+        d[2] = -0.0;
+        d[3] = 0.0;
+        d[4] = f64::NAN;
+        let mut expect = d.clone();
+        introsort(&mut expect);
+        let out = sort_real(cfg(Approach::PipeData, 600, 100), &d).unwrap();
+        assert!(out.verified);
+        assert_eq!(
+            out.sorted.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            expect.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn rejected_strategies_still_sort_correctly() {
+        use crate::config::PairStrategy;
+        for strategy in [PairStrategy::Online, PairStrategy::MergeTree] {
+            let d = data(40_000, 13);
+            let mut expect = d.clone();
+            introsort(&mut expect);
+            let c = cfg(Approach::PipeMerge, 6_000, 1_000).with_pair_strategy(strategy);
+            let out = sort_real(c, &d).unwrap();
+            assert!(out.verified, "{strategy:?}");
+            assert_eq!(
+                out.sorted.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                expect.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "{strategy:?}"
+            );
+            // Online merges n_b−1 times; tree merges n_b−1 times too.
+            assert_eq!(out.pair_merges, out.nb - 1, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn bitonic_device_sort_is_equivalent() {
+        use crate::config::DeviceSortKind;
+        let d = data(30_000, 21);
+        let mut expect = d.clone();
+        introsort(&mut expect);
+        let c = cfg(Approach::PipeMerge, 5_000, 1_000)
+            .with_device_sort(DeviceSortKind::BitonicInPlace);
+        let out = sort_real(c, &d).unwrap();
+        assert!(out.verified);
+        assert_eq!(
+            out.sorted.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            expect.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let plan = Plan::build(cfg(Approach::BLineMulti, 1_000, 100), 5_000).unwrap();
+        assert!(sort_real_plan(&plan, &data(4_999, 1)).is_err());
+    }
+}

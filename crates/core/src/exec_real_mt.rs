@@ -1,0 +1,322 @@
+//! Concurrent functional execution: the multi-threaded counterpart of
+//! [`crate::exec_real`].
+//!
+//! The sequential interpreter proves the plan's data path correct; this
+//! executor proves its *concurrency structure* correct by actually
+//! running it concurrently, the way the paper's implementation does:
+//!
+//! * one worker thread per stream executes that stream's steps in FIFO
+//!   order (staging copies, transfers, device sorts) with stream-local
+//!   pinned and device buffers — exactly the per-stream state of the
+//!   CUDA implementation;
+//! * finished sorted batches flow over a channel to a merge coordinator
+//!   that fires each pipelined pair merge the moment both inputs exist
+//!   (PIPEMERGE semantics) and finally runs the multiway merge.
+//!
+//! Batch payloads are owned `Vec`s handed over the channel, so there is
+//! no shared mutable state at all — the safe-Rust translation of the
+//! paper's `W` buffer (which is only ever written once per region).
+
+use crossbeam::channel;
+
+use hetsort_algos::keys::{RadixKey, SortOrd};
+use hetsort_algos::merge::par_merge_into;
+use hetsort_algos::multiway::par_multiway_merge_into;
+use hetsort_algos::radix_par::par_radix_sort;
+use hetsort_algos::verify::{fingerprint, is_sorted};
+
+use crate::exec_real::RealOutcome;
+use crate::plan::{MergeInput, MergeSrc, Plan, StepKind};
+
+/// Sort `data` by executing the plan's streams on real OS threads.
+///
+/// Produces bit-identical output to [`crate::exec_real::sort_real_plan`]
+/// (the data path is deterministic; only wall-clock interleaving
+/// differs).
+///
+/// # Errors
+///
+/// Plan/data mismatches and worker panics as strings.
+pub fn sort_real_parallel<T>(plan: &Plan, data: &[T]) -> Result<RealOutcome<T>, String>
+where
+    T: RadixKey + SortOrd + Default,
+{
+    if data.len() != plan.n {
+        return Err(format!(
+            "data length {} does not match plan n = {}",
+            data.len(),
+            plan.n
+        ));
+    }
+    if std::mem::size_of::<T>() as f64 != plan.config.elem_bytes {
+        return Err(format!(
+            "element type is {} bytes but the config models {} — call with_elem_bytes",
+            std::mem::size_of::<T>(),
+            plan.config.elem_bytes
+        ));
+    }
+    let nb = plan.nb();
+    let input_fp = fingerprint(data);
+    let t0 = std::time::Instant::now();
+    let merge_threads = (plan.config.merge_threads_eff() as usize)
+        .min(4 * hetsort_algos::par::default_threads());
+    let device_sort_threads = hetsort_algos::par::default_threads();
+
+    // Per-stream step lists (indices into plan.steps, already in FIFO
+    // order because the planner emits them that way).
+    let mut per_stream: Vec<Vec<usize>> = vec![Vec::new(); plan.total_streams];
+    for (i, step) in plan.steps.iter().enumerate() {
+        if let Some(s) = step.stream {
+            per_stream[s].push(i);
+        }
+    }
+
+    let (tx, rx) = channel::unbounded::<(usize, Vec<T>)>();
+
+    let mut sorted_batches: Vec<Option<Vec<T>>> = (0..nb).map(|_| None).collect();
+    let mut pair_out: Vec<Option<Vec<T>>> =
+        (0..plan.pairs.len()).map(|_| None).collect();
+    let mut b_out: Vec<T> = Vec::new();
+
+    std::thread::scope(|scope| -> Result<(), String> {
+        // ---- stream workers ----------------------------------------
+        for steps in per_stream.iter() {
+            let tx = tx.clone();
+            let plan_ref = plan;
+            scope.spawn(move || {
+                let ps = plan_ref.config.pinned_elems;
+                let mut pinned_in: Vec<T> = Vec::new();
+                let mut pinned_out: Vec<T> = Vec::new();
+                let mut device: Vec<T> = Vec::new();
+                // The batch currently being assembled in "W".
+                let mut assembling: Option<(usize, Vec<T>)> = None;
+                for &si in steps {
+                    match &plan_ref.steps[si].kind {
+                        StepKind::PinnedAlloc { dir_in, .. } => {
+                            if *dir_in {
+                                pinned_in.resize(ps, T::default());
+                            } else {
+                                pinned_out.resize(ps, T::default());
+                            }
+                            // Blocking plans reuse one buffer both ways.
+                            if pinned_out.is_empty() && !plan_ref.asynchronous {
+                                pinned_out.resize(ps, T::default());
+                            }
+                        }
+                        StepKind::StageIn { start, len, .. } => {
+                            pinned_in[..*len].copy_from_slice(&data[*start..*start + *len]);
+                        }
+                        StepKind::HtoD {
+                            batch, start, len, ..
+                        } => {
+                            let b = &plan_ref.batches[*batch];
+                            if device.len() < b.len {
+                                device.resize(b.len, T::default());
+                            }
+                            let off = *start - b.start;
+                            device[off..off + *len].copy_from_slice(&pinned_in[..*len]);
+                        }
+                        StepKind::GpuSort { batch } => {
+                            let b = &plan_ref.batches[*batch];
+                            match plan_ref.config.device_sort {
+                                crate::config::DeviceSortKind::ThrustRadix => {
+                                    par_radix_sort(device_sort_threads, &mut device[..b.len])
+                                }
+                                crate::config::DeviceSortKind::BitonicInPlace => {
+                                    hetsort_algos::bitonic::par_bitonic_sort(
+                                        device_sort_threads,
+                                        &mut device[..b.len],
+                                    )
+                                }
+                            }
+                        }
+                        StepKind::DtoH {
+                            batch, start, len, ..
+                        } => {
+                            let b = &plan_ref.batches[*batch];
+                            let off = *start - b.start;
+                            pinned_out[..*len].copy_from_slice(&device[off..off + *len]);
+                        }
+                        StepKind::StageOut { batch, len, .. } => {
+                            let b = &plan_ref.batches[*batch];
+                            let (_, buf) = assembling
+                                .get_or_insert_with(|| (*batch, Vec::with_capacity(b.len)));
+                            buf.extend_from_slice(&pinned_out[..*len]);
+                            if buf.len() == b.len {
+                                let (idx, done) = assembling.take().expect("assembling");
+                                tx.send((idx, done)).expect("coordinator alive");
+                            }
+                        }
+                        // Merges never carry a stream.
+                        StepKind::PairMerge { .. } | StepKind::MultiwayMerge { .. } => {
+                            unreachable!("merge steps are not stream-bound")
+                        }
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        // ---- merge coordinator (this thread) ------------------------
+        let mut received = 0usize;
+        let src_ready = |src: MergeSrc,
+                         batches: &Vec<Option<Vec<T>>>,
+                         pairs: &Vec<Option<Vec<T>>>| match src {
+            MergeSrc::Batch(b) => batches[b].is_some(),
+            MergeSrc::Merged(p) => pairs[p].is_some(),
+        };
+        let mut pending_pairs: Vec<usize> = (0..plan.pairs.len()).collect();
+        while received < nb {
+            let (idx, buf) = rx.recv().map_err(|e| format!("worker hangup: {e}"))?;
+            sorted_batches[idx] = Some(buf);
+            received += 1;
+            // Fire every pair merge whose inputs just became ready
+            // (loop: an Online/MergeTree merge may unlock the next).
+            loop {
+                let Some(pos) = pending_pairs.iter().position(|&slot| {
+                    src_ready(plan.pairs[slot].left, &sorted_batches, &pair_out)
+                        && src_ready(plan.pairs[slot].right, &sorted_batches, &pair_out)
+                }) else {
+                    break;
+                };
+                let slot = pending_pairs.remove(pos);
+                let spec = plan.pairs[slot];
+                let resolve = |src: MergeSrc| -> &[T] {
+                    match src {
+                        MergeSrc::Batch(b) => sorted_batches[b].as_deref().expect("ready"),
+                        MergeSrc::Merged(p) => pair_out[p].as_deref().expect("ready"),
+                    }
+                };
+                let mut out = vec![T::default(); spec.out_elems];
+                par_merge_into(merge_threads, resolve(spec.left), resolve(spec.right), &mut out);
+                pair_out[slot] = Some(out);
+            }
+        }
+        if !pending_pairs.is_empty() {
+            return Err(format!(
+                "{} pair merges never became ready",
+                pending_pairs.len()
+            ));
+        }
+
+        // ---- final merge --------------------------------------------
+        b_out = vec![T::default(); plan.n];
+        if nb == 1 {
+            b_out.copy_from_slice(sorted_batches[0].as_deref().expect("batch 0"));
+        } else {
+            let inputs = plan
+                .steps
+                .iter()
+                .rev()
+                .find_map(|s| match &s.kind {
+                    StepKind::MultiwayMerge { inputs } => Some(inputs.clone()),
+                    _ => None,
+                })
+                .ok_or("plan has no final merge")?;
+            let lists: Vec<&[T]> = inputs
+                .iter()
+                .map(|inp| match *inp {
+                    MergeInput::Batch(b) => sorted_batches[b].as_deref().expect("batch"),
+                    MergeInput::Pair(p) => pair_out[p].as_deref().expect("pair"),
+                })
+                .collect();
+            par_multiway_merge_into(merge_threads, &lists, &mut b_out);
+        }
+        Ok(())
+    })?;
+
+    let wall_s = t0.elapsed().as_secs_f64();
+    let verified = is_sorted(&b_out) && fingerprint(&b_out) == input_fp;
+    Ok(RealOutcome {
+        sorted: b_out,
+        wall_s,
+        verified,
+        nb,
+        pair_merges: plan.pairs.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Approach, HetSortConfig, PairStrategy};
+    use crate::exec_real::sort_real_plan;
+    use hetsort_vgpu::{platform1, platform2};
+
+    fn data(n: usize, seed: u64) -> Vec<f64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect()
+    }
+
+    fn check_equivalence(cfg: HetSortConfig, n: usize) {
+        let d = data(n, 77);
+        let plan = Plan::build(cfg, n).expect("plan");
+        let seq = sort_real_plan(&plan, &d).expect("sequential");
+        let par = sort_real_parallel(&plan, &d).expect("parallel");
+        assert!(seq.verified && par.verified);
+        assert_eq!(
+            par.sorted.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            seq.sorted.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(par.nb, seq.nb);
+    }
+
+    #[test]
+    fn matches_sequential_for_all_approaches() {
+        for approach in [Approach::BLineMulti, Approach::PipeData, Approach::PipeMerge] {
+            let cfg = HetSortConfig::paper_defaults(platform1(), approach)
+                .with_batch_elems(5_000)
+                .with_pinned_elems(1_000);
+            check_equivalence(cfg, 42_000);
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_multi_gpu() {
+        let cfg = HetSortConfig::paper_defaults(platform2(), Approach::PipeMerge)
+            .with_batch_elems(4_000)
+            .with_pinned_elems(700);
+        check_equivalence(cfg, 37_123);
+    }
+
+    #[test]
+    fn matches_sequential_for_rejected_strategies() {
+        for strategy in [PairStrategy::Online, PairStrategy::MergeTree] {
+            let cfg = HetSortConfig::paper_defaults(platform1(), Approach::PipeMerge)
+                .with_batch_elems(3_000)
+                .with_pinned_elems(500)
+                .with_pair_strategy(strategy);
+            check_equivalence(cfg, 25_000);
+        }
+    }
+
+    #[test]
+    fn single_batch_bline() {
+        let cfg = HetSortConfig::paper_defaults(platform1(), Approach::BLine)
+            .with_batch_elems(8_000)
+            .with_pinned_elems(1_000);
+        check_equivalence(cfg, 8_000);
+    }
+
+    #[test]
+    fn ragged_sizes() {
+        let cfg = HetSortConfig::paper_defaults(platform1(), Approach::PipeMerge)
+            .with_batch_elems(1_234)
+            .with_pinned_elems(100);
+        check_equivalence(cfg, 9_999);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let cfg = HetSortConfig::paper_defaults(platform1(), Approach::BLineMulti)
+            .with_batch_elems(1_000)
+            .with_pinned_elems(100);
+        let plan = Plan::build(cfg, 5_000).unwrap();
+        assert!(sort_real_parallel(&plan, &data(4_000, 1)).is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! # hetsort-core — heterogeneous CPU/GPU sorting
+//!
+//! The paper's contribution (Gowanlock & Karsin, IPPS 2018): sort an
+//! input larger than GPU global memory by sorting batches on the GPU
+//! and merging on the CPU, with a family of pipeline optimizations:
+//!
+//! | Approach | §III-D | What it adds |
+//! |---|---|---|
+//! | [`Approach::BLine`] | baseline | single batch, blocking copies, default stream |
+//! | [`Approach::BLineMulti`] | §III-D1 | multiple batches + final multiway merge |
+//! | [`Approach::PipeData`] | §III-D2 | streams + pinned staging overlap HtoD/DtoH |
+//! | [`Approach::PipeMerge`] | §III-D3 | pair-wise merges pipelined under GPU sorting |
+//! | `par_memcpy` flag | PARMEMCPY | parallel staging copies (host-side bottleneck) |
+//!
+//! A [`plan::Plan`] is the static step DAG of one configured run. Two
+//! executors interpret the *same* plan:
+//!
+//! * [`exec_sim`] lowers it onto the calibrated [`hetsort_vgpu::Machine`]
+//!   and returns a [`report::TimingReport`] (paper-scale timing);
+//! * [`exec_real`] executes it on actual `f64` data — staging copies,
+//!   device-resident radix sorts, pair and multiway merges — and
+//!   verifies the output (laptop-scale functional truth).
+//!
+//! This split is the substitution strategy for the missing GPU: pipeline
+//! *semantics* are executed for real, pipeline *durations* come from the
+//! calibrated simulator. See `DESIGN.md`.
+
+pub mod accounting;
+pub mod config;
+pub mod exec_real;
+pub mod exec_real_mt;
+pub mod exec_sim;
+pub mod plan;
+pub mod reference;
+pub mod report;
+
+pub use config::{Approach, DeviceSortKind, HetSortConfig, PairStrategy};
+pub use exec_real::{sort_real, RealOutcome};
+pub use exec_real_mt::sort_real_parallel;
+pub use exec_sim::simulate;
+pub use plan::Plan;
+pub use report::TimingReport;

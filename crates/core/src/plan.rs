@@ -1,0 +1,774 @@
+//! The static step DAG of one heterogeneous sort run.
+//!
+//! A [`Plan`] encodes, independent of any executor, exactly which
+//! operations the configured approach performs and in what dependency
+//! order: staging copies chunk by chunk through the pinned buffers,
+//! transfers, device sorts, pipelined pair merges, and the final
+//! multiway merge. Both the simulated executor ([`crate::exec_sim`])
+//! and the functional executor ([`crate::exec_real`]) interpret this
+//! same structure, so what we time is what we proved correct.
+//!
+//! Workflows encoded (paper §III-D):
+//!
+//! * `BLine`   (n_b = 1):  `A → Stage → HtoD → GPUSort → DtoH → Stage → B`
+//! * `BLineMulti`:         `A → Stage → HtoD → GPUSort → DtoH → Stage → W → Merge → B`
+//! * `PipeData/PipeMerge`: same per batch, but chunks flow through
+//!   per-stream pinned buffers in `n_s` streams per GPU, and PipeMerge
+//!   inserts pair-wise merges as soon as both batches of a pair are
+//!   resident in `W`.
+
+use crate::config::{HetSortConfig, PairStrategy};
+
+/// One contiguous batch of the input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchInfo {
+    /// Batch index `0..n_b`.
+    pub index: usize,
+    /// First element offset in `A`.
+    pub start: usize,
+    /// Element count (the last batch may be short).
+    pub len: usize,
+    /// Global stream index the batch is processed in.
+    pub stream: usize,
+    /// GPU executing this batch.
+    pub gpu: usize,
+}
+
+/// Input of the final multiway merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeInput {
+    /// An unpaired sorted batch resident in `W`.
+    Batch(usize),
+    /// The output of pipelined pair merge slot `p`.
+    Pair(usize),
+}
+
+/// Source of one side of a pipelined two-way merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeSrc {
+    /// A sorted batch resident in `W`.
+    Batch(usize),
+    /// The output of an earlier pair-merge slot.
+    Merged(usize),
+}
+
+/// One pipelined two-way merge: its inputs and output size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairSpec {
+    /// Left input.
+    pub left: MergeSrc,
+    /// Right input.
+    pub right: MergeSrc,
+    /// Output length in elements.
+    pub out_elems: usize,
+}
+
+/// What a step does.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepKind {
+    /// Allocate a pinned staging buffer for a stream (`dir_in` selects
+    /// the inbound or outbound buffer).
+    PinnedAlloc {
+        /// Owning stream.
+        stream: usize,
+        /// Buffer size in bytes.
+        bytes: f64,
+        /// Inbound (A→device) or outbound (device→W/B) buffer.
+        dir_in: bool,
+    },
+    /// Copy a chunk of `A` into the stream's inbound pinned buffer.
+    StageIn {
+        /// Batch index.
+        batch: usize,
+        /// Chunk index within the batch.
+        chunk: usize,
+        /// Global element offset of the chunk.
+        start: usize,
+        /// Chunk length in elements.
+        len: usize,
+    },
+    /// DMA the inbound pinned buffer to the device batch buffer.
+    HtoD {
+        /// Batch index.
+        batch: usize,
+        /// Chunk index.
+        chunk: usize,
+        /// Global element offset.
+        start: usize,
+        /// Chunk length.
+        len: usize,
+    },
+    /// Sort the device-resident batch (Thrust stand-in).
+    GpuSort {
+        /// Batch index.
+        batch: usize,
+    },
+    /// DMA a chunk of the sorted batch into the outbound pinned buffer.
+    DtoH {
+        /// Batch index.
+        batch: usize,
+        /// Chunk index.
+        chunk: usize,
+        /// Global element offset.
+        start: usize,
+        /// Chunk length.
+        len: usize,
+    },
+    /// Copy the outbound pinned buffer into `W` (or `B` when n_b = 1).
+    StageOut {
+        /// Batch index.
+        batch: usize,
+        /// Chunk index.
+        chunk: usize,
+        /// Global element offset.
+        start: usize,
+        /// Chunk length.
+        len: usize,
+    },
+    /// Pipelined two-way merge (PIPEMERGE and the rejected strategies);
+    /// inputs and output size live in [`Plan::pairs`] at this slot.
+    PairMerge {
+        /// Index into [`Plan::pairs`].
+        slot: usize,
+    },
+    /// Final multiway merge into `B`.
+    MultiwayMerge {
+        /// Sublists merged.
+        inputs: Vec<MergeInput>,
+    },
+}
+
+/// One step plus its explicit dependencies (indices into
+/// [`Plan::steps`]; always backward).
+#[derive(Debug, Clone)]
+pub struct Step {
+    /// The operation.
+    pub kind: StepKind,
+    /// Indices of steps that must complete first. Intra-stream FIFO
+    /// ordering is *also* encoded here (dependency on the previous step
+    /// of the same stream), so executors need no queue support.
+    pub deps: Vec<usize>,
+    /// Stream this step is submitted to, if any (transfers and staging
+    /// copies; merges and the blocking approaches' host ops included —
+    /// blocking approaches use stream 0 as "the default stream").
+    pub stream: Option<usize>,
+}
+
+/// The full static DAG.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Configuration the plan was built from.
+    pub config: HetSortConfig,
+    /// Input size.
+    pub n: usize,
+    /// Batches.
+    pub batches: Vec<BatchInfo>,
+    /// Pipelined two-way merges (inputs + output sizes per slot).
+    pub pairs: Vec<PairSpec>,
+    /// Steps in submission (topological) order.
+    pub steps: Vec<Step>,
+    /// Total streams (`n_s · n_GPU` for piped approaches, 1 otherwise).
+    pub total_streams: usize,
+    /// Whether transfers are asynchronous chunked copies (piped).
+    pub asynchronous: bool,
+}
+
+impl Plan {
+    /// Build the plan for sorting `n` elements under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HetSortConfig::validate`] failures.
+    pub fn build(config: HetSortConfig, n: usize) -> Result<Plan, String> {
+        config.validate(n)?;
+        let nb = config.n_batches(n);
+        let ngpu = config.platform.n_gpus().max(1);
+        let piped = config.approach.is_piped();
+        // Piped: n_s streams per GPU. Blocking: one host thread per GPU
+        // (the paper's 2-GPU lower-bound run drives both K40m's with
+        // blocking calls concurrently, §IV-G), never more than n_b.
+        let total_streams = if piped {
+            (config.streams_per_gpu * ngpu).min(nb.max(1))
+        } else {
+            ngpu.min(nb.max(1))
+        };
+
+        // Batch geometry and stream/GPU assignment (round-robin; each
+        // GPU owns n_s stream slots → batches alternate across GPUs).
+        let bs = config.batch_elems;
+        let mut batches = Vec::with_capacity(nb);
+        for b in 0..nb {
+            let start = b * bs;
+            let len = bs.min(n - start);
+            let stream = b % total_streams;
+            let gpu = stream % ngpu;
+            batches.push(BatchInfo {
+                index: b,
+                start,
+                len,
+                stream,
+                gpu,
+            });
+        }
+        // Blocking approaches still use GPU 0 only (default stream on
+        // the default device, §III-D1).
+        // Pipelined merge schedule per the configured strategy.
+        let batch_len = |b: usize| bs.min(n - b * bs);
+        let (pairs, final_inputs): (Vec<PairSpec>, Vec<MergeInput>) =
+            match (nb > 1, config.pair_strategy) {
+                (false, _) => (Vec::new(), Vec::new()),
+                (true, PairStrategy::PaperHeuristic) => {
+                    let npairs = config.pipelined_pair_merges(nb);
+                    let pairs: Vec<PairSpec> = (0..npairs)
+                        .map(|p| PairSpec {
+                            left: MergeSrc::Batch(2 * p),
+                            right: MergeSrc::Batch(2 * p + 1),
+                            out_elems: batch_len(2 * p) + batch_len(2 * p + 1),
+                        })
+                        .collect();
+                    let mut inputs: Vec<MergeInput> =
+                        (0..npairs).map(MergeInput::Pair).collect();
+                    inputs.extend((2 * npairs..nb).map(MergeInput::Batch));
+                    (pairs, inputs)
+                }
+                (true, PairStrategy::Online) => {
+                    // Rejected strategy (§III-D3): fold each arriving
+                    // batch into one growing run. Re-merges the
+                    // accumulated prefix every time.
+                    let mut pairs = Vec::new();
+                    let mut acc = MergeSrc::Batch(0);
+                    let mut acc_len = batch_len(0);
+                    for b in 1..nb {
+                        acc_len += batch_len(b);
+                        pairs.push(PairSpec {
+                            left: acc,
+                            right: MergeSrc::Batch(b),
+                            out_elems: acc_len,
+                        });
+                        acc = MergeSrc::Merged(pairs.len() - 1);
+                    }
+                    (pairs, vec![MergeInput::Pair(nb - 2)])
+                }
+                (true, PairStrategy::MergeTree) => {
+                    // Rejected strategy (§III-D3): a full binary merge
+                    // tree; upper levels are giant pairwise merges that
+                    // replace the cache-efficient multiway merge.
+                    let mut pairs: Vec<PairSpec> = Vec::new();
+                    let mut level: Vec<(MergeSrc, usize)> =
+                        (0..nb).map(|b| (MergeSrc::Batch(b), batch_len(b))).collect();
+                    while level.len() > 1 {
+                        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+                        let mut it = level.into_iter();
+                        while let Some((l, ll)) = it.next() {
+                            match it.next() {
+                                Some((r, rl)) => {
+                                    pairs.push(PairSpec {
+                                        left: l,
+                                        right: r,
+                                        out_elems: ll + rl,
+                                    });
+                                    next.push((MergeSrc::Merged(pairs.len() - 1), ll + rl));
+                                }
+                                None => next.push((l, ll)),
+                            }
+                        }
+                        level = next;
+                    }
+                    let root = match level[0].0 {
+                        MergeSrc::Merged(slot) => MergeInput::Pair(slot),
+                        MergeSrc::Batch(b) => MergeInput::Batch(b),
+                    };
+                    (pairs, vec![root])
+                }
+            };
+
+        let mut steps: Vec<Step> = Vec::new();
+        // Last step index per stream, for FIFO chaining.
+        let mut stream_tail: Vec<Option<usize>> = vec![None; total_streams];
+        let push = |steps: &mut Vec<Step>,
+                        stream_tail: &mut Vec<Option<usize>>,
+                        kind: StepKind,
+                        mut deps: Vec<usize>,
+                        stream: Option<usize>| {
+            if let Some(s) = stream {
+                if let Some(prev) = stream_tail[s] {
+                    deps.push(prev);
+                }
+            }
+            let idx = steps.len();
+            steps.push(Step { kind, deps, stream });
+            if let Some(s) = stream {
+                stream_tail[s] = Some(idx);
+            }
+            idx
+        };
+
+        // 1. Pinned allocations: one buffer for blocking approaches
+        //    (reused in both directions, as in §IV-E's reproduction),
+        //    two per stream (in + out) for piped approaches.
+        let ps_bytes = config.elem_bytes * config.pinned_elems as f64;
+        if piped {
+            for s in 0..total_streams {
+                push(
+                    &mut steps,
+                    &mut stream_tail,
+                    StepKind::PinnedAlloc {
+                        stream: s,
+                        bytes: ps_bytes,
+                        dir_in: true,
+                    },
+                    vec![],
+                    Some(s),
+                );
+                push(
+                    &mut steps,
+                    &mut stream_tail,
+                    StepKind::PinnedAlloc {
+                        stream: s,
+                        bytes: ps_bytes,
+                        dir_in: false,
+                    },
+                    vec![],
+                    Some(s),
+                );
+            }
+        } else {
+            // Blocking approaches reuse one staging buffer per host
+            // thread for both directions (as in the §IV-E reproduction).
+            for s in 0..total_streams {
+                push(
+                    &mut steps,
+                    &mut stream_tail,
+                    StepKind::PinnedAlloc {
+                        stream: s,
+                        bytes: ps_bytes,
+                        dir_in: true,
+                    },
+                    vec![],
+                    Some(s),
+                );
+            }
+        }
+
+        // 2. Per batch: chunked stage-in/HtoD, sort, chunked DtoH/
+        //    stage-out, all FIFO within the batch's stream.
+        let ps = config.pinned_elems;
+        let mut last_stage_out: Vec<usize> = vec![0; nb];
+        for b in &batches {
+            let stream = Some(b.stream);
+            let nchunks = b.len.div_ceil(ps);
+            let mut last_htod = 0usize;
+            for c in 0..nchunks {
+                let cstart = b.start + c * ps;
+                let clen = ps.min(b.start + b.len - cstart);
+                push(
+                    &mut steps,
+                    &mut stream_tail,
+                    StepKind::StageIn {
+                        batch: b.index,
+                        chunk: c,
+                        start: cstart,
+                        len: clen,
+                    },
+                    vec![],
+                    stream,
+                );
+                last_htod = push(
+                    &mut steps,
+                    &mut stream_tail,
+                    StepKind::HtoD {
+                        batch: b.index,
+                        chunk: c,
+                        start: cstart,
+                        len: clen,
+                    },
+                    vec![],
+                    stream,
+                );
+            }
+            let sort = push(
+                &mut steps,
+                &mut stream_tail,
+                StepKind::GpuSort { batch: b.index },
+                vec![last_htod],
+                stream,
+            );
+            let mut prev = sort;
+            for c in 0..nchunks {
+                let cstart = b.start + c * ps;
+                let clen = ps.min(b.start + b.len - cstart);
+                push(
+                    &mut steps,
+                    &mut stream_tail,
+                    StepKind::DtoH {
+                        batch: b.index,
+                        chunk: c,
+                        start: cstart,
+                        len: clen,
+                    },
+                    vec![],
+                    stream,
+                );
+                prev = push(
+                    &mut steps,
+                    &mut stream_tail,
+                    StepKind::StageOut {
+                        batch: b.index,
+                        chunk: c,
+                        start: cstart,
+                        len: clen,
+                    },
+                    vec![],
+                    stream,
+                );
+            }
+            last_stage_out[b.index] = prev;
+        }
+
+        // 3. Pipelined two-way merges: ready when both inputs exist.
+        let mut pair_steps: Vec<usize> = Vec::with_capacity(pairs.len());
+        let src_dep = |src: MergeSrc, pair_steps: &Vec<usize>| match src {
+            MergeSrc::Batch(b) => last_stage_out[b],
+            MergeSrc::Merged(slot) => pair_steps[slot],
+        };
+        for (slot, spec) in pairs.iter().enumerate() {
+            let deps = vec![
+                src_dep(spec.left, &pair_steps),
+                src_dep(spec.right, &pair_steps),
+            ];
+            let idx = push(
+                &mut steps,
+                &mut stream_tail,
+                StepKind::PairMerge { slot },
+                deps,
+                None,
+            );
+            pair_steps.push(idx);
+        }
+
+        // 4. Final multiway merge (absent when n_b = 1: StageOut wrote B).
+        if nb > 1 {
+            let deps: Vec<usize> = final_inputs
+                .iter()
+                .map(|inp| match *inp {
+                    MergeInput::Batch(b) => last_stage_out[b],
+                    MergeInput::Pair(slot) => pair_steps[slot],
+                })
+                .collect();
+            push(
+                &mut steps,
+                &mut stream_tail,
+                StepKind::MultiwayMerge {
+                    inputs: final_inputs,
+                },
+                deps,
+                None,
+            );
+        }
+
+        Ok(Plan {
+            config,
+            n,
+            batches,
+            pairs,
+            steps,
+            total_streams,
+            asynchronous: piped,
+        })
+    }
+
+    /// Number of batches.
+    pub fn nb(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// The final multiway merge's input count `k` (0 when n_b = 1).
+    pub fn multiway_k(&self) -> usize {
+        self.steps
+            .iter()
+            .rev()
+            .find_map(|s| match &s.kind {
+                StepKind::MultiwayMerge { inputs } => Some(inputs.len()),
+                _ => None,
+            })
+            .unwrap_or(0)
+    }
+
+    /// Sanity-check internal invariants (used heavily by tests):
+    /// deps point backward, chunks tile batches exactly, pair merges
+    /// reference distinct batches, merge inputs cover all batches once.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, s) in self.steps.iter().enumerate() {
+            for &d in &s.deps {
+                if d >= i {
+                    return Err(format!("step {i} depends forward on {d}"));
+                }
+            }
+        }
+        // Chunk tiling.
+        let mut covered = vec![0usize; self.nb()];
+        for s in &self.steps {
+            if let StepKind::StageIn { batch, len, .. } = s.kind {
+                covered[batch] += len;
+            }
+        }
+        for b in &self.batches {
+            if covered[b.index] != b.len {
+                return Err(format!(
+                    "batch {} stages {} of {} elements",
+                    b.index, covered[b.index], b.len
+                ));
+            }
+        }
+        // Merge coverage: resolving pair slots recursively, every batch
+        // must reach the final merge exactly once, every slot must be
+        // consumed exactly once, and slot output sizes must add up.
+        if self.nb() > 1 {
+            let mut batch_seen = vec![false; self.nb()];
+            let mut slot_seen = vec![false; self.pairs.len()];
+            let visit_src = |src: MergeSrc,
+                                 batch_seen: &mut Vec<bool>,
+                                 slot_seen: &mut Vec<bool>|
+             -> Result<(), String> {
+                let mut stack = vec![src];
+                while let Some(s) = stack.pop() {
+                    match s {
+                        MergeSrc::Batch(b) => {
+                            if batch_seen[b] {
+                                return Err(format!("batch {b} merged twice"));
+                            }
+                            batch_seen[b] = true;
+                        }
+                        MergeSrc::Merged(p) => {
+                            if slot_seen[p] {
+                                return Err(format!("slot {p} consumed twice"));
+                            }
+                            slot_seen[p] = true;
+                            stack.push(self.pairs[p].left);
+                            stack.push(self.pairs[p].right);
+                        }
+                    }
+                }
+                Ok(())
+            };
+            for s in &self.steps {
+                if let StepKind::MultiwayMerge { inputs } = &s.kind {
+                    for inp in inputs {
+                        let src = match *inp {
+                            MergeInput::Batch(b) => MergeSrc::Batch(b),
+                            MergeInput::Pair(p) => MergeSrc::Merged(p),
+                        };
+                        visit_src(src, &mut batch_seen, &mut slot_seen)?;
+                    }
+                }
+            }
+            if !batch_seen.iter().all(|&x| x) {
+                return Err("some batch missing from the final merge".into());
+            }
+            if !slot_seen.iter().all(|&x| x) {
+                return Err("some pair-merge output never consumed".into());
+            }
+            // Output sizes add up.
+            let src_len = |src: MergeSrc| match src {
+                MergeSrc::Batch(b) => self.batches[b].len,
+                MergeSrc::Merged(p) => self.pairs[p].out_elems,
+            };
+            for (i, p) in self.pairs.iter().enumerate() {
+                if src_len(p.left) + src_len(p.right) != p.out_elems {
+                    return Err(format!("pair slot {i} output size mismatch"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Approach;
+    use hetsort_vgpu::{platform1, platform2};
+
+    fn cfg(approach: Approach) -> HetSortConfig {
+        HetSortConfig::paper_defaults(platform1(), approach)
+            .with_batch_elems(1000)
+            .with_pinned_elems(300)
+    }
+
+    #[test]
+    fn bline_single_batch_plan_shape() {
+        let plan = Plan::build(cfg(Approach::BLine), 1000).unwrap();
+        plan.check_invariants().unwrap();
+        assert_eq!(plan.nb(), 1);
+        assert_eq!(plan.total_streams, 1);
+        assert!(!plan.asynchronous);
+        // 1 alloc + 4 chunks × (StageIn + HtoD) + sort + 4 × (DtoH + StageOut).
+        assert_eq!(plan.steps.len(), 1 + 4 * 2 + 1 + 4 * 2);
+        assert_eq!(plan.multiway_k(), 0);
+        assert!(plan.pairs.is_empty());
+    }
+
+    #[test]
+    fn bline_multi_has_final_merge() {
+        let plan = Plan::build(cfg(Approach::BLineMulti), 5000).unwrap();
+        plan.check_invariants().unwrap();
+        assert_eq!(plan.nb(), 5);
+        assert_eq!(plan.multiway_k(), 5); // no pair merges
+        assert!(plan.pairs.is_empty());
+        assert_eq!(plan.total_streams, 1);
+    }
+
+    #[test]
+    fn pipedata_uses_streams_and_async() {
+        let plan = Plan::build(cfg(Approach::PipeData), 6000).unwrap();
+        plan.check_invariants().unwrap();
+        assert_eq!(plan.total_streams, 2); // ns=2 × 1 GPU
+        assert!(plan.asynchronous);
+        // Round-robin batches across streams.
+        assert_eq!(plan.batches[0].stream, 0);
+        assert_eq!(plan.batches[1].stream, 1);
+        assert_eq!(plan.batches[2].stream, 0);
+        assert_eq!(plan.multiway_k(), 6);
+    }
+
+    #[test]
+    fn pipemerge_pairs_match_figure3() {
+        // n_b = 6 on 1 GPU → 2 pair merges (b0,b1), (b2,b3); final
+        // multiway merges 4 sublists: 2 pairs + b4 + b5 (§III-D3).
+        let plan = Plan::build(cfg(Approach::PipeMerge), 6000).unwrap();
+        plan.check_invariants().unwrap();
+        assert_eq!(
+            plan.pairs,
+            vec![
+                PairSpec {
+                    left: MergeSrc::Batch(0),
+                    right: MergeSrc::Batch(1),
+                    out_elems: 2000,
+                },
+                PairSpec {
+                    left: MergeSrc::Batch(2),
+                    right: MergeSrc::Batch(3),
+                    out_elems: 2000,
+                },
+            ]
+        );
+        assert_eq!(plan.multiway_k(), 4);
+    }
+
+    #[test]
+    fn pipemerge_odd_batches_leaves_last_unmerged() {
+        let plan = Plan::build(cfg(Approach::PipeMerge), 7000).unwrap();
+        plan.check_invariants().unwrap();
+        assert_eq!(plan.pairs.len(), 3); // ⌊6/2⌋
+        assert_eq!(plan.multiway_k(), 3 + 1); // 3 pairs + b6
+    }
+
+    #[test]
+    fn multi_gpu_assignment_alternates() {
+        let cfg = HetSortConfig::paper_defaults(platform2(), Approach::PipeData)
+            .with_batch_elems(1000)
+            .with_pinned_elems(250);
+        let plan = Plan::build(cfg, 8000).unwrap();
+        plan.check_invariants().unwrap();
+        assert_eq!(plan.total_streams, 4); // 2 streams × 2 GPUs
+        let gpus: Vec<usize> = plan.batches.iter().map(|b| b.gpu).collect();
+        assert_eq!(gpus, vec![0, 1, 0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn multi_gpu_pipemerge_heuristic() {
+        // n_b = 10 on 2 GPUs → ⌊9/4⌋ = 2 pair merges → k = 8.
+        let cfg = HetSortConfig::paper_defaults(platform2(), Approach::PipeMerge)
+            .with_batch_elems(1000)
+            .with_pinned_elems(250);
+        let plan = Plan::build(cfg, 10_000).unwrap();
+        plan.check_invariants().unwrap();
+        assert_eq!(plan.pairs.len(), 2);
+        assert_eq!(plan.multiway_k(), 2 + 6);
+    }
+
+    #[test]
+    fn short_last_batch_is_tiled_exactly() {
+        let plan = Plan::build(cfg(Approach::BLineMulti), 2345).unwrap();
+        plan.check_invariants().unwrap();
+        assert_eq!(plan.nb(), 3);
+        assert_eq!(plan.batches[2].len, 345);
+        // Last chunk of last batch is short too.
+        let lens: Vec<usize> = plan
+            .steps
+            .iter()
+            .filter_map(|s| match s.kind {
+                StepKind::StageIn { batch: 2, len, .. } => Some(len),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lens, vec![300, 45]);
+    }
+
+    #[test]
+    fn streams_never_exceed_batches() {
+        let plan = Plan::build(cfg(Approach::PipeData), 1000).unwrap();
+        assert_eq!(plan.total_streams, 1); // one batch → one stream
+    }
+
+    #[test]
+    fn invalid_configs_propagate() {
+        assert!(Plan::build(cfg(Approach::BLine), 5000).is_err()); // nb>1
+        assert!(Plan::build(cfg(Approach::PipeData), 0).is_err());
+    }
+
+    #[test]
+    fn online_strategy_chains_merges() {
+        use crate::config::PairStrategy;
+        let cfg = cfg(Approach::PipeMerge).with_pair_strategy(PairStrategy::Online);
+        let plan = Plan::build(cfg, 5000).unwrap();
+        plan.check_invariants().unwrap();
+        // n_b = 5 → 4 chained merges; the final multiway has 1 input.
+        assert_eq!(plan.pairs.len(), 4);
+        assert_eq!(plan.multiway_k(), 1);
+        assert_eq!(plan.pairs[0].left, MergeSrc::Batch(0));
+        assert_eq!(plan.pairs[3].left, MergeSrc::Merged(2));
+        assert_eq!(plan.pairs[3].out_elems, 5000);
+    }
+
+    #[test]
+    fn merge_tree_strategy_builds_binary_tree() {
+        use crate::config::PairStrategy;
+        let cfg = cfg(Approach::PipeMerge).with_pair_strategy(PairStrategy::MergeTree);
+        let plan = Plan::build(cfg, 6000).unwrap();
+        plan.check_invariants().unwrap();
+        // n_b = 6 → 3 + 1 + 1 = 5 tree merges, root feeds the "merge".
+        assert_eq!(plan.pairs.len(), 5);
+        assert_eq!(plan.multiway_k(), 1);
+        assert_eq!(plan.pairs.last().unwrap().out_elems, 6000);
+        // Odd counts carry the straggler up a level.
+        let cfg = cfg2_tree();
+        let plan = Plan::build(cfg, 7000).unwrap();
+        plan.check_invariants().unwrap();
+        assert_eq!(plan.pairs.last().unwrap().out_elems, 7000);
+    }
+
+    fn cfg2_tree() -> HetSortConfig {
+        use crate::config::PairStrategy;
+        cfg(Approach::PipeMerge).with_pair_strategy(PairStrategy::MergeTree)
+    }
+
+    #[test]
+    fn fifo_chaining_is_encoded_in_deps() {
+        let plan = Plan::build(cfg(Approach::PipeData), 2000).unwrap();
+        // Every step in a stream (except the first) depends on the
+        // previous step of that stream.
+        let mut last: Vec<Option<usize>> = vec![None; plan.total_streams];
+        for (i, s) in plan.steps.iter().enumerate() {
+            if let Some(st) = s.stream {
+                if let Some(prev) = last[st] {
+                    assert!(
+                        s.deps.contains(&prev),
+                        "step {i} missing FIFO dep on {prev}"
+                    );
+                }
+                last[st] = Some(i);
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! The parallel CPU reference implementation (§IV-C).
+//!
+//! The paper benchmarks the GNU parallel mode sort with 16 threads
+//! (PLATFORM1) or 20 threads (PLATFORM2) as the baseline every
+//! heterogeneous approach is compared against. Two faces here:
+//!
+//! * [`reference_time`] — simulated response time from the calibrated
+//!   black-box model (used at paper scale);
+//! * [`reference_sort_real`] — the real from-scratch parallel multiway
+//!   mergesort on actual data (used at functional scale).
+
+use hetsort_vgpu::{Machine, PlatformSpec};
+
+/// Simulated response time of the parallel reference sort.
+pub fn reference_time(plat: &PlatformSpec, n: usize, threads: u32) -> f64 {
+    let mut m = Machine::new(plat.clone());
+    let op = m.ref_sort(n as f64, threads, &[], None);
+    let tl = m.run().expect("reference sort simulation cannot fail");
+    tl.span(op).duration()
+}
+
+/// Simulated reference time at the platform's full thread count.
+pub fn reference_time_full(plat: &PlatformSpec, n: usize) -> f64 {
+    reference_time(plat, n, plat.cpu.cores)
+}
+
+/// Real parallel mergesort (the GNU stand-in), for functional runs.
+pub fn reference_sort_real(threads: usize, data: &mut [f64]) {
+    hetsort_algos::par_mergesort(threads, data);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsort_algos::verify::is_sorted;
+    use hetsort_vgpu::{platform1, platform2};
+
+    #[test]
+    fn reference_scales_with_threads() {
+        let p = platform1();
+        let t1 = reference_time(&p, 1_000_000_000, 1);
+        let t16 = reference_time(&p, 1_000_000_000, 16);
+        let speedup = t1 / t16;
+        // Figure 4b: 10.12× at n = 1e9 with 16 threads.
+        assert!((speedup - 10.12).abs() < 1.0, "speedup={speedup}");
+    }
+
+    #[test]
+    fn small_n_scales_poorly() {
+        // Figure 4b: 3.17× at n = 1e6.
+        let p = platform1();
+        let s = reference_time(&p, 1_000_000, 1) / reference_time(&p, 1_000_000, 16);
+        assert!((s - 3.17).abs() < 0.8, "speedup={s}");
+    }
+
+    #[test]
+    fn platform2_uses_20_threads() {
+        let p = platform2();
+        let t = reference_time_full(&p, 700_000_000);
+        // Figure 5: ratio CPU/GPU between 1.22 and 1.32 where the GPU
+        // BLINE takes ≈ 6.278 ns/elem → reference ∈ [5.36, 5.80] s.
+        assert!((4.9..6.5).contains(&t), "t={t}");
+    }
+
+    #[test]
+    fn real_reference_sorts() {
+        let mut v: Vec<f64> = (0..10_000).rev().map(|i| i as f64).collect();
+        reference_sort_real(4, &mut v);
+        assert!(is_sorted(&v));
+    }
+}

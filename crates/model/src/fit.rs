@@ -1,0 +1,87 @@
+//! Least-squares fitting used to extract model slopes from sweeps.
+
+/// Result of a least-squares linear fit `y = slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Slope.
+    pub slope: f64,
+    /// Intercept.
+    pub intercept: f64,
+    /// Coefficient of determination (1.0 = perfect fit).
+    pub r2: f64,
+}
+
+/// Ordinary least squares over `(x, y)` points.
+///
+/// # Panics
+///
+/// Panics on fewer than 2 points or zero x-variance.
+pub fn linear_fit(points: &[(f64, f64)]) -> LinearFit {
+    assert!(points.len() >= 2, "need at least two points");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > 0.0, "x values are degenerate");
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    let mean_y = sy / n;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - slope * p.0 - intercept).powi(2))
+        .sum();
+    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    LinearFit {
+        slope,
+        intercept,
+        r2,
+    }
+}
+
+/// Least-squares slope of `y = slope·x` (line through the origin — the
+/// form of the paper's lower-bound models).
+pub fn fit_line_through_origin(points: &[(f64, f64)]) -> f64 {
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    assert!(sxx > 0.0, "x values are degenerate");
+    sxy / sxx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let pts: Vec<(f64, f64)> = (1..10).map(|i| (i as f64, 3.0 * i as f64 + 2.0)).collect();
+        let f = linear_fit(&pts);
+        assert!((f.slope - 3.0).abs() < 1e-12);
+        assert!((f.intercept - 2.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_fit_has_lower_r2() {
+        let pts = [(1.0, 3.0), (2.0, 5.5), (3.0, 8.6), (4.0, 11.1), (5.0, 16.0)];
+        let f = linear_fit(&pts);
+        assert!(f.r2 < 1.0);
+        assert!(f.r2 > 0.9);
+        assert!(f.slope > 2.5 && f.slope < 3.5);
+    }
+
+    #[test]
+    fn origin_fit() {
+        let pts: Vec<(f64, f64)> = (1..6).map(|i| (i as f64, 6.278e-9 * i as f64)).collect();
+        let s = fit_line_through_origin(&pts);
+        assert!((s - 6.278e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn too_few_points_panics() {
+        linear_fit(&[(1.0, 1.0)]);
+    }
+}

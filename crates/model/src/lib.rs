@@ -1,0 +1,22 @@
+//! # hetsort-model — lower-bound performance models (§IV-G)
+//!
+//! The paper derives simple analytical lower bounds on heterogeneous
+//! sorting time from BLINE's peak throughput, then measures how close
+//! PIPEDATA gets:
+//!
+//! * **1 GPU**: the fit `y = 6.278·10⁻⁹ · n` seconds, the per-element
+//!   cost of BLINE at the largest single-batch size on PLATFORM2;
+//! * **2 GPUs**: `y = 3.706·10⁻⁹ · n`, from BLINE on both GPUs with
+//!   `b_s = n/2` plus one unavoidable CPU merge.
+//!
+//! [`lower_bound`] rebuilds both models *from the simulator* (the same
+//! way the paper builds them from measurements), and [`fit`] provides
+//! the least-squares affine fitting used to extract slopes.
+
+pub mod efficiency;
+pub mod fit;
+pub mod lower_bound;
+
+pub use efficiency::Efficiency;
+pub use fit::{fit_line_through_origin, linear_fit, LinearFit};
+pub use lower_bound::{LowerBoundModel, PAPER_SLOPE_1GPU, PAPER_SLOPE_2GPU};

@@ -1,0 +1,751 @@
+//! The event loop: admission, rate computation, progress, completion.
+
+use crate::error::SimError;
+use crate::fairshare::{max_min_rates, Flow};
+use crate::op::{Op, OpId, OpSpec};
+use crate::resource::{
+    FluidId, FluidResource, LaneId, QueueId, TokenId, TokenResource,
+};
+use crate::trace::{Span, Timeline};
+use crate::TIME_EPS;
+
+/// Builder for a simulation: register resources, queues, tags, and ops,
+/// then [`run`](SimBuilder::run) the whole DAG to completion.
+///
+/// All ops are submitted before the run (static DAG); the heterogeneous
+/// sorting plans are fully static, including the pair-merge heuristic.
+#[derive(Debug, Default)]
+pub struct SimBuilder {
+    fluids: Vec<FluidResource>,
+    tokens: Vec<TokenResource>,
+    queues: Vec<QueueState>,
+    tags: Vec<String>,
+    lanes: Vec<String>,
+    ops: Vec<OpSpec>,
+}
+
+#[derive(Debug, Clone)]
+struct QueueState {
+    name: String,
+    last: Option<OpId>,
+}
+
+impl SimBuilder {
+    /// Create an empty simulation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a fluid resource with `capacity` units/second.
+    pub fn fluid(&mut self, name: impl Into<String>, capacity: f64) -> FluidId {
+        self.fluids.push(FluidResource {
+            name: name.into(),
+            capacity,
+        });
+        FluidId(self.fluids.len() - 1)
+    }
+
+    /// Register a token resource with `total` slots.
+    pub fn tokens(&mut self, name: impl Into<String>, total: u32) -> TokenId {
+        self.tokens.push(TokenResource {
+            name: name.into(),
+            total,
+        });
+        TokenId(self.tokens.len() - 1)
+    }
+
+    /// Register a FIFO queue (CUDA-stream semantics): ops submitted to
+    /// the same queue are chained with implicit dependencies.
+    pub fn queue(&mut self, name: impl Into<String>) -> QueueId {
+        self.queues.push(QueueState {
+            name: name.into(),
+            last: None,
+        });
+        QueueId(self.queues.len() - 1)
+    }
+
+    /// Intern a tag name, reusing the id when the name already exists.
+    pub fn tag(&mut self, name: impl AsRef<str>) -> crate::op::OpTag {
+        let name = name.as_ref();
+        if let Some(i) = self.tags.iter().position(|t| t == name) {
+            return crate::op::OpTag(i as u32);
+        }
+        self.tags.push(name.to_string());
+        crate::op::OpTag((self.tags.len() - 1) as u32)
+    }
+
+    /// Register a display lane for Gantt rendering.
+    pub fn lane(&mut self, name: impl Into<String>) -> LaneId {
+        self.lanes.push(name.into());
+        LaneId(self.lanes.len() - 1)
+    }
+
+    /// Submit an op; returns its id. Queue chaining happens here.
+    pub fn op(&mut self, op: Op) -> OpId {
+        let mut spec = op.into_spec();
+        let id = OpId(self.ops.len());
+        if let Some(q) = spec.queue {
+            if let Some(qs) = self.queues.get_mut(q.0) {
+                if let Some(prev) = qs.last {
+                    spec.deps.push(prev);
+                }
+                qs.last = Some(id);
+            }
+        }
+        self.ops.push(spec);
+        id
+    }
+
+    /// Number of ops submitted so far.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Validate the DAG and run it to completion, returning the timeline.
+    pub fn run(self) -> Result<Timeline, SimError> {
+        self.validate()?;
+        Engine::new(self).run()
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
+        for (r, f) in self.fluids.iter().enumerate() {
+            if !f.capacity.is_finite() || f.capacity < 0.0 {
+                return Err(SimError::InvalidNumber {
+                    context: format!("capacity of fluid '{}' ({r})", f.name),
+                    value: f.capacity,
+                });
+            }
+        }
+        for (i, spec) in self.ops.iter().enumerate() {
+            let id = OpId(i);
+            for &(FluidId(r), d) in &spec.demands {
+                if r >= self.fluids.len() {
+                    return Err(SimError::UnknownReference {
+                        op: id,
+                        what: format!("fluid resource {r}"),
+                    });
+                }
+                if !d.is_finite() || d < 0.0 {
+                    return Err(SimError::InvalidNumber {
+                        context: format!("demand of op {i} on fluid {r}"),
+                        value: d,
+                    });
+                }
+            }
+            for &(TokenId(r), count) in &spec.tokens {
+                let res = self.tokens.get(r).ok_or_else(|| SimError::UnknownReference {
+                    op: id,
+                    what: format!("token resource {r}"),
+                })?;
+                if count > res.total {
+                    return Err(SimError::ImpossibleTokenRequest {
+                        op: id,
+                        resource: res.name.clone(),
+                        requested: count,
+                        available: res.total,
+                    });
+                }
+            }
+            for &OpId(d) in &spec.deps {
+                if d >= self.ops.len() {
+                    return Err(SimError::UnknownReference {
+                        op: id,
+                        what: format!("dependency op {d}"),
+                    });
+                }
+            }
+            if let Some(q) = spec.queue {
+                if q.0 >= self.queues.len() {
+                    return Err(SimError::UnknownReference {
+                        op: id,
+                        what: format!("queue {}", q.0),
+                    });
+                }
+            }
+            if spec.tag.0 as usize >= self.tags.len() {
+                return Err(SimError::UnknownReference {
+                    op: id,
+                    what: format!("tag {}", spec.tag.0),
+                });
+            }
+            if !spec.work.is_finite() || spec.work < 0.0 {
+                return Err(SimError::InvalidNumber {
+                    context: format!("work of op {i}"),
+                    value: spec.work,
+                });
+            }
+            if !spec.latency.is_finite() || spec.latency < 0.0 {
+                return Err(SimError::InvalidNumber {
+                    context: format!("latency of op {i}"),
+                    value: spec.latency,
+                });
+            }
+            if !spec.weight.is_finite() || spec.weight <= 0.0 {
+                return Err(SimError::InvalidNumber {
+                    context: format!("weight of op {i}"),
+                    value: spec.weight,
+                });
+            }
+            if let Some(c) = spec.cap {
+                if !c.is_finite() || c <= 0.0 {
+                    return Err(SimError::InvalidNumber {
+                        context: format!("cap of op {i}"),
+                        value: c,
+                    });
+                }
+            }
+            if spec.work > 0.0 && spec.cap.is_none() && spec.demands.iter().all(|&(_, d)| d <= 0.0)
+            {
+                return Err(SimError::UnboundedRate(id));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Execution phase of one op.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    /// Dependencies unmet.
+    Waiting,
+    /// Dependencies met, tokens not yet acquired.
+    Ready,
+    /// Admitted; serving the fixed latency. Field = remaining seconds.
+    Latency(f64),
+    /// Rate phase. Field = work done so far.
+    Running(f64),
+    /// Complete.
+    Done,
+}
+
+struct Engine {
+    fluids: Vec<FluidResource>,
+    usage_samples: Vec<(f64, Vec<f64>)>,
+    token_totals: Vec<u32>,
+    token_free: Vec<u32>,
+    tags: Vec<String>,
+    lanes: Vec<String>,
+    queues: Vec<String>,
+    ops: Vec<OpSpec>,
+    phase: Vec<Phase>,
+    unmet: Vec<usize>,
+    dependents: Vec<Vec<usize>>,
+    t_start: Vec<f64>,
+    t_end: Vec<f64>,
+}
+
+impl Engine {
+    fn new(b: SimBuilder) -> Self {
+        let n = b.ops.len();
+        let mut unmet = vec![0usize; n];
+        let mut dependents = vec![Vec::new(); n];
+        for (i, spec) in b.ops.iter().enumerate() {
+            // Deduplicate deps so unmet counting is exact.
+            let mut deps = spec.deps.clone();
+            deps.sort_unstable();
+            deps.dedup();
+            unmet[i] = deps.len();
+            for OpId(d) in deps {
+                dependents[d].push(i);
+            }
+        }
+        let token_totals: Vec<u32> = b.tokens.iter().map(|t| t.total).collect();
+        Engine {
+            usage_samples: Vec::new(),
+            fluids: b.fluids,
+            token_free: token_totals.clone(),
+            token_totals,
+            tags: b.tags,
+            lanes: b.lanes,
+            queues: b.queues.into_iter().map(|q| q.name).collect(),
+            phase: vec![Phase::Waiting; n],
+            unmet,
+            dependents,
+            t_start: vec![0.0; n],
+            t_end: vec![0.0; n],
+            ops: b.ops,
+        }
+    }
+
+    fn run(mut self) -> Result<Timeline, SimError> {
+        let n = self.ops.len();
+        let mut done = 0usize;
+        let mut t = 0.0_f64;
+
+        // Initially ready: no unmet deps.
+        for i in 0..n {
+            if self.unmet[i] == 0 {
+                self.phase[i] = Phase::Ready;
+            }
+        }
+        self.admit(t);
+
+        while done < n {
+            // Active op indices split by phase.
+            let running: Vec<usize> = (0..n)
+                .filter(|&i| matches!(self.phase[i], Phase::Running(_)))
+                .collect();
+            let in_latency: Vec<usize> = (0..n)
+                .filter(|&i| matches!(self.phase[i], Phase::Latency(_)))
+                .collect();
+
+            if running.is_empty() && in_latency.is_empty() {
+                // Nothing active but ops remain: cycle or token deadlock.
+                let waiting: Vec<OpId> = (0..n)
+                    .filter(|&i| {
+                        matches!(self.phase[i], Phase::Waiting | Phase::Ready)
+                    })
+                    .map(OpId)
+                    .collect();
+                if waiting.iter().all(|&OpId(i)| self.phase[i] == Phase::Waiting) {
+                    return Err(SimError::DependencyCycle {
+                        stuck: waiting.len(),
+                    });
+                }
+                return Err(SimError::Stalled {
+                    time: t,
+                    zero_rate: Vec::new(),
+                    waiting,
+                });
+            }
+
+            // Rates for running ops via max-min fair sharing.
+            let flows: Vec<Flow> = running
+                .iter()
+                .map(|&i| Flow {
+                    weight: self.ops[i].weight,
+                    cap: self.ops[i].cap,
+                    demands: self.ops[i]
+                        .demands
+                        .iter()
+                        .map(|&(FluidId(r), d)| (r, d))
+                        .collect(),
+                })
+                .collect();
+            let caps: Vec<f64> = self.fluids.iter().map(|f| f.capacity).collect();
+            let rates = max_min_rates(&flows, &caps)?;
+
+            // Record the piecewise-constant fluid usage of this segment.
+            let mut usage = vec![0.0f64; self.fluids.len()];
+            for (k, &i) in running.iter().enumerate() {
+                for &(FluidId(r), d) in &self.ops[i].demands {
+                    usage[r] += rates[k] * d;
+                }
+            }
+            self.usage_samples.push((t, usage));
+
+            // Earliest next event: latency expiry or work completion.
+            let mut dt = f64::INFINITY;
+            for (k, &i) in in_latency.iter().enumerate() {
+                let _ = k;
+                if let Phase::Latency(rem) = self.phase[i] {
+                    dt = dt.min(rem);
+                }
+            }
+            for (k, &i) in running.iter().enumerate() {
+                if let Phase::Running(donework) = self.phase[i] {
+                    let remaining = self.ops[i].work - donework;
+                    if remaining <= 0.0 {
+                        dt = 0.0;
+                    } else if rates[k] > 0.0 {
+                        dt = dt.min(remaining / rates[k]);
+                    }
+                }
+            }
+
+            if !dt.is_finite() {
+                let zero_rate = running.iter().map(|&i| OpId(i)).collect();
+                let waiting = (0..n)
+                    .filter(|&i| matches!(self.phase[i], Phase::Waiting | Phase::Ready))
+                    .map(OpId)
+                    .collect();
+                return Err(SimError::Stalled {
+                    time: t,
+                    zero_rate,
+                    waiting,
+                });
+            }
+
+            t += dt;
+
+            // Credit progress and collect completions/transitions.
+            let mut finished: Vec<usize> = Vec::new();
+            for &i in &in_latency {
+                if let Phase::Latency(rem) = self.phase[i] {
+                    let rem = rem - dt;
+                    if rem <= TIME_EPS {
+                        if self.ops[i].work > 0.0 {
+                            self.phase[i] = Phase::Running(0.0);
+                        } else {
+                            finished.push(i);
+                        }
+                    } else {
+                        self.phase[i] = Phase::Latency(rem);
+                    }
+                }
+            }
+            for (k, &i) in running.iter().enumerate() {
+                if let Phase::Running(donework) = self.phase[i] {
+                    let new_done = donework + rates[k] * dt;
+                    let work = self.ops[i].work;
+                    // Complete when within time-epsilon of finishing.
+                    if new_done >= work - rates[k].max(1.0) * TIME_EPS {
+                        finished.push(i);
+                    } else {
+                        self.phase[i] = Phase::Running(new_done);
+                    }
+                }
+            }
+
+            for i in finished {
+                self.phase[i] = Phase::Done;
+                self.t_end[i] = t;
+                done += 1;
+                for &(TokenId(r), count) in &self.ops[i].tokens {
+                    self.token_free[r] += count;
+                    debug_assert!(self.token_free[r] <= self.token_totals[r]);
+                }
+                // Wake dependents. Dedup was applied to the unmet counts,
+                // so decrement once per unique edge.
+                let deps = std::mem::take(&mut self.dependents[i]);
+                for j in deps {
+                    self.unmet[j] -= 1;
+                    if self.unmet[j] == 0 && self.phase[j] == Phase::Waiting {
+                        self.phase[j] = Phase::Ready;
+                    }
+                }
+            }
+
+            self.admit(t);
+        }
+
+        let spans = (0..n)
+            .map(|i| Span {
+                op: OpId(i),
+                tag: self.ops[i].tag,
+                lane: self.ops[i].lane,
+                queue: self.ops[i].queue,
+                user_key: self.ops[i].user_key,
+                work: self.ops[i].work,
+                t_start: self.t_start[i],
+                t_end: self.t_end[i],
+            })
+            .collect();
+        let fluid_info: Vec<(String, f64)> = self
+            .fluids
+            .iter()
+            .map(|f| (f.name.clone(), f.capacity))
+            .collect();
+        Ok(Timeline::new(
+            spans,
+            self.tags,
+            self.lanes,
+            self.queues,
+            t,
+            fluid_info,
+            self.usage_samples,
+        ))
+    }
+
+    /// Admit ready ops in op-id order with conservative FIFO reservation:
+    /// once an op cannot start, every token resource it needs becomes
+    /// blocked for later ops, preserving first-come-first-served order
+    /// and preventing gang-request starvation.
+    fn admit(&mut self, t: f64) {
+        let n = self.ops.len();
+        let mut blocked = vec![false; self.token_totals.len()];
+        for i in 0..n {
+            if self.phase[i] != Phase::Ready {
+                continue;
+            }
+            let needs_blocked = self.ops[i]
+                .tokens
+                .iter()
+                .any(|&(TokenId(r), _)| blocked[r]);
+            let available = self.ops[i]
+                .tokens
+                .iter()
+                .all(|&(TokenId(r), c)| self.token_free[r] >= c);
+            if !needs_blocked && available {
+                for &(TokenId(r), c) in &self.ops[i].tokens {
+                    self.token_free[r] -= c;
+                }
+                self.t_start[i] = t;
+                self.phase[i] = if self.ops[i].latency > 0.0 {
+                    Phase::Latency(self.ops[i].latency)
+                } else if self.ops[i].work > 0.0 {
+                    Phase::Running(0.0)
+                } else {
+                    // Zero-latency zero-work op: completes at admission.
+                    Phase::Latency(0.0)
+                };
+            } else {
+                for &(TokenId(r), _) in &self.ops[i].tokens {
+                    blocked[r] = true;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+
+    #[test]
+    fn empty_sim_completes_instantly() {
+        let sim = SimBuilder::new();
+        let tl = sim.run().unwrap();
+        assert_eq!(tl.makespan(), 0.0);
+        assert!(tl.spans().is_empty());
+    }
+
+    #[test]
+    fn single_op_duration_is_work_over_cap() {
+        let mut sim = SimBuilder::new();
+        let tag = sim.tag("x");
+        let op = sim.op(Op::new(tag, 100.0).cap(25.0));
+        let tl = sim.run().unwrap();
+        let s = tl.span(op);
+        assert!((s.duration() - 4.0).abs() < 1e-9, "{}", s.duration());
+        assert!((tl.makespan() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_precedes_work() {
+        let mut sim = SimBuilder::new();
+        let tag = sim.tag("x");
+        let op = sim.op(Op::new(tag, 10.0).cap(10.0).latency(2.0));
+        let tl = sim.run().unwrap();
+        assert!((tl.span(op).duration() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pure_latency_op() {
+        let mut sim = SimBuilder::new();
+        let tag = sim.tag("sync");
+        let op = sim.op(Op::fixed(tag, 0.25));
+        let tl = sim.run().unwrap();
+        assert!((tl.span(op).duration() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_work_zero_latency_op_is_instant() {
+        let mut sim = SimBuilder::new();
+        let tag = sim.tag("noop");
+        let a = sim.op(Op::fixed(tag, 1.0));
+        let b = sim.op(Op::new(tag, 0.0).dep(a));
+        let tl = sim.run().unwrap();
+        assert!((tl.span(b).t_start - 1.0).abs() < 1e-9);
+        assert!((tl.span(b).t_end - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dependency_serializes() {
+        let mut sim = SimBuilder::new();
+        let tag = sim.tag("x");
+        let a = sim.op(Op::new(tag, 10.0).cap(10.0));
+        let b = sim.op(Op::new(tag, 10.0).cap(10.0).dep(a));
+        let tl = sim.run().unwrap();
+        assert!((tl.span(a).t_end - 1.0).abs() < 1e-9);
+        assert!((tl.span(b).t_start - 1.0).abs() < 1e-9);
+        assert!((tl.makespan() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_ops_on_shared_fluid_halve_rate() {
+        let mut sim = SimBuilder::new();
+        let link = sim.fluid("link", 10.0);
+        let tag = sim.tag("x");
+        let a = sim.op(Op::new(tag, 10.0).demand(link, 1.0));
+        let b = sim.op(Op::new(tag, 10.0).demand(link, 1.0));
+        let tl = sim.run().unwrap();
+        // Each gets 5 units/s → 2 s; both run concurrently.
+        assert!((tl.span(a).duration() - 2.0).abs() < 1e-9);
+        assert!((tl.span(b).duration() - 2.0).abs() < 1e-9);
+        assert!((tl.makespan() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn staggered_ops_speed_up_after_first_finishes() {
+        // a: 10 work, b: 30 work on a 10-cap link. Phase 1: both at 5 →
+        // a done at t=2 (b has 10 done). Phase 2: b alone at 10 →
+        // remaining 20 in 2 s. b ends at t=4.
+        let mut sim = SimBuilder::new();
+        let link = sim.fluid("link", 10.0);
+        let tag = sim.tag("x");
+        let a = sim.op(Op::new(tag, 10.0).demand(link, 1.0));
+        let b = sim.op(Op::new(tag, 30.0).demand(link, 1.0));
+        let tl = sim.run().unwrap();
+        assert!((tl.span(a).t_end - 2.0).abs() < 1e-9);
+        assert!((tl.span(b).t_end - 4.0).abs() < 1e-9, "{}", tl.span(b).t_end);
+    }
+
+    #[test]
+    fn tokens_serialize_exclusive_ops() {
+        let mut sim = SimBuilder::new();
+        let gpu = sim.tokens("gpu", 1);
+        let tag = sim.tag("sort");
+        let a = sim.op(Op::new(tag, 10.0).cap(10.0).tokens(gpu, 1));
+        let b = sim.op(Op::new(tag, 10.0).cap(10.0).tokens(gpu, 1));
+        let tl = sim.run().unwrap();
+        assert!((tl.span(a).t_end - 1.0).abs() < 1e-9);
+        assert!((tl.span(b).t_start - 1.0).abs() < 1e-9);
+        assert!((tl.makespan() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn token_admission_is_fifo_and_gang_safe() {
+        // Op a holds 1 of 2 tokens; op b needs 2 (must wait for a);
+        // op c needs 1 and was submitted after b, so it must NOT jump
+        // ahead of b (conservative FIFO blocking).
+        let mut sim = SimBuilder::new();
+        let pool = sim.tokens("pool", 2);
+        let tag = sim.tag("x");
+        let a = sim.op(Op::new(tag, 10.0).cap(10.0).tokens(pool, 1));
+        let b = sim.op(Op::new(tag, 10.0).cap(10.0).tokens(pool, 2));
+        let c = sim.op(Op::new(tag, 10.0).cap(10.0).tokens(pool, 1));
+        let tl = sim.run().unwrap();
+        assert!((tl.span(a).t_start - 0.0).abs() < 1e-9);
+        // b starts when a releases (t=1); c starts when b releases (t=2).
+        assert!((tl.span(b).t_start - 1.0).abs() < 1e-9);
+        assert!(tl.span(c).t_start >= tl.span(b).t_end - 1e-9);
+    }
+
+    #[test]
+    fn queue_enforces_fifo() {
+        let mut sim = SimBuilder::new();
+        let q = sim.queue("stream0");
+        let tag = sim.tag("x");
+        let a = sim.op(Op::new(tag, 10.0).cap(10.0).queue(q));
+        let b = sim.op(Op::new(tag, 10.0).cap(10.0).queue(q));
+        let tl = sim.run().unwrap();
+        assert!(tl.span(b).t_start >= tl.span(a).t_end - 1e-9);
+    }
+
+    #[test]
+    fn separate_queues_overlap() {
+        let mut sim = SimBuilder::new();
+        let q0 = sim.queue("s0");
+        let q1 = sim.queue("s1");
+        let tag = sim.tag("x");
+        let a = sim.op(Op::new(tag, 10.0).cap(10.0).queue(q0));
+        let b = sim.op(Op::new(tag, 10.0).cap(10.0).queue(q1));
+        let tl = sim.run().unwrap();
+        assert!((tl.span(a).t_start).abs() < 1e-9);
+        assert!((tl.span(b).t_start).abs() < 1e-9);
+        assert!((tl.makespan() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diamond_dag_joins_correctly() {
+        let mut sim = SimBuilder::new();
+        let tag = sim.tag("x");
+        let a = sim.op(Op::new(tag, 10.0).cap(10.0));
+        let b = sim.op(Op::new(tag, 20.0).cap(10.0).dep(a));
+        let c = sim.op(Op::new(tag, 10.0).cap(10.0).dep(a));
+        let d = sim.op(Op::new(tag, 10.0).cap(10.0).dep(b).dep(c));
+        let tl = sim.run().unwrap();
+        assert!((tl.span(d).t_start - 3.0).abs() < 1e-9); // max(1+2, 1+1)
+        assert!((tl.makespan() - 4.0).abs() < 1e-9);
+        let _ = (b, c);
+    }
+
+    #[test]
+    fn duplicate_deps_counted_once() {
+        let mut sim = SimBuilder::new();
+        let tag = sim.tag("x");
+        let a = sim.op(Op::new(tag, 10.0).cap(10.0));
+        let b = sim.op(Op::new(tag, 10.0).cap(10.0).dep(a).dep(a).dep(a));
+        let tl = sim.run().unwrap();
+        assert!((tl.span(b).t_start - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycle_is_reported() {
+        let mut sim = SimBuilder::new();
+        let tag = sim.tag("x");
+        // Both ops reference the other (forward reference allowed by
+        // construction order: op 0 deps on op 1).
+        let _a = sim.op(Op::new(tag, 1.0).cap(1.0).dep(OpId(1)));
+        let _b = sim.op(Op::new(tag, 1.0).cap(1.0).dep(OpId(0)));
+        match sim.run() {
+            Err(SimError::DependencyCycle { stuck }) => assert_eq!(stuck, 2),
+            other => panic!("expected cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbounded_rate_rejected_at_validation() {
+        let mut sim = SimBuilder::new();
+        let tag = sim.tag("x");
+        sim.op(Op::new(tag, 1.0)); // no cap, no demand
+        assert!(matches!(sim.run(), Err(SimError::UnboundedRate(_))));
+    }
+
+    #[test]
+    fn impossible_token_request_rejected() {
+        let mut sim = SimBuilder::new();
+        let pool = sim.tokens("pool", 2);
+        let tag = sim.tag("x");
+        sim.op(Op::new(tag, 1.0).cap(1.0).tokens(pool, 3));
+        assert!(matches!(
+            sim.run(),
+            Err(SimError::ImpossibleTokenRequest { .. })
+        ));
+    }
+
+    #[test]
+    fn tag_interning_reuses_ids() {
+        let mut sim = SimBuilder::new();
+        let a = sim.tag("HtoD");
+        let b = sim.tag("DtoH");
+        let c = sim.tag("HtoD");
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn cap_and_fluid_interact() {
+        // Two ops with caps of 3 share a fluid of capacity 4:
+        // max-min gives 2 each (fluid binds first).
+        let mut sim = SimBuilder::new();
+        let link = sim.fluid("link", 4.0);
+        let tag = sim.tag("x");
+        let a = sim.op(Op::new(tag, 6.0).cap(3.0).demand(link, 1.0));
+        let b = sim.op(Op::new(tag, 6.0).cap(3.0).demand(link, 1.0));
+        let tl = sim.run().unwrap();
+        assert!((tl.span(a).duration() - 3.0).abs() < 1e-9);
+        assert!((tl.span(b).duration() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn determinism_same_build_same_timeline() {
+        let build = || {
+            let mut sim = SimBuilder::new();
+            let link = sim.fluid("link", 7.0);
+            let pool = sim.tokens("pool", 2);
+            let q = sim.queue("q");
+            let tag = sim.tag("x");
+            for i in 0..20 {
+                let mut op = Op::new(tag, 5.0 + i as f64).demand(link, 1.0);
+                if i % 3 == 0 {
+                    op = op.tokens(pool, 1);
+                }
+                if i % 4 == 0 {
+                    op = op.queue(q);
+                }
+                sim.op(op);
+            }
+            sim.run().unwrap()
+        };
+        let t1 = build();
+        let t2 = build();
+        assert_eq!(t1.makespan(), t2.makespan());
+        for (a, b) in t1.spans().iter().zip(t2.spans()) {
+            assert_eq!(a.t_start, b.t_start);
+            assert_eq!(a.t_end, b.t_end);
+        }
+    }
+}

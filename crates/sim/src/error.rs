@@ -1,0 +1,130 @@
+//! Error types for simulation construction and execution.
+
+use std::fmt;
+
+use crate::op::OpId;
+
+/// Errors raised while building or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// An op references a resource, queue, tag, or op id that was never
+    /// registered with the builder.
+    UnknownReference {
+        /// Which op held the dangling reference.
+        op: OpId,
+        /// Human-readable description of what was missing.
+        what: String,
+    },
+    /// An op has neither an intrinsic rate cap nor any fluid demand, so
+    /// its rate would be unbounded.
+    UnboundedRate(OpId),
+    /// An op requests more tokens of a resource than exist in total, so
+    /// it could never be admitted.
+    ImpossibleTokenRequest {
+        /// The op making the impossible request.
+        op: OpId,
+        /// Name of the token resource.
+        resource: String,
+        /// Tokens requested.
+        requested: u32,
+        /// Tokens that exist.
+        available: u32,
+    },
+    /// A numeric parameter (work, cap, weight, demand, capacity, latency)
+    /// is negative, NaN, or otherwise out of domain.
+    InvalidNumber {
+        /// Where the bad number appeared.
+        context: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// The dependency graph contains a cycle (some ops can never become
+    /// ready).
+    DependencyCycle {
+        /// Number of ops left unfinished when progress stopped.
+        stuck: usize,
+    },
+    /// Simulation stalled: unfinished ops exist but nothing can make
+    /// progress (all running rates are zero and no latency is pending).
+    Stalled {
+        /// Virtual time at which the stall was detected.
+        time: f64,
+        /// Ops that were running with zero rate.
+        zero_rate: Vec<OpId>,
+        /// Ops still waiting for admission.
+        waiting: Vec<OpId>,
+    },
+    /// The fair-share solver could not bound the rate of a flow (every
+    /// demand points at an already-saturated or zero-capacity resource
+    /// while the flow has no cap).
+    UnboundedFlow(usize),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownReference { op, what } => {
+                write!(f, "op {op:?} references unknown {what}")
+            }
+            SimError::UnboundedRate(op) => write!(
+                f,
+                "op {op:?} has no rate cap and no fluid demand; its rate would be unbounded"
+            ),
+            SimError::ImpossibleTokenRequest {
+                op,
+                resource,
+                requested,
+                available,
+            } => write!(
+                f,
+                "op {op:?} requests {requested} tokens of '{resource}' but only {available} exist"
+            ),
+            SimError::InvalidNumber { context, value } => {
+                write!(f, "invalid number {value} in {context}")
+            }
+            SimError::DependencyCycle { stuck } => {
+                write!(f, "dependency cycle: {stuck} ops can never become ready")
+            }
+            SimError::Stalled {
+                time,
+                zero_rate,
+                waiting,
+            } => write!(
+                f,
+                "simulation stalled at t={time}: {} zero-rate ops, {} waiting ops",
+                zero_rate.len(),
+                waiting.len()
+            ),
+            SimError::UnboundedFlow(idx) => {
+                write!(f, "fair-share flow {idx} has unbounded rate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::UnboundedRate(OpId(3));
+        assert!(e.to_string().contains("OpId(3)"));
+        let e = SimError::ImpossibleTokenRequest {
+            op: OpId(1),
+            resource: "cores".into(),
+            requested: 32,
+            available: 16,
+        };
+        let s = e.to_string();
+        assert!(s.contains("cores") && s.contains("32") && s.contains("16"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,73 @@
+//! Resource, queue, and lane identifiers plus their definitions.
+//!
+//! All identifiers are plain indices into builder-owned tables; they are
+//! cheap to copy and cannot dangle as long as they are only used with the
+//! builder that produced them (validated at [`crate::SimBuilder::run`]).
+
+/// Identifier of a fluid (bandwidth-like) resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FluidId(pub usize);
+
+/// Identifier of a token (slot-like) resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TokenId(pub usize);
+
+/// Identifier of a FIFO queue (CUDA-stream-like submission ordering).
+///
+/// Ops submitted to the same queue execute strictly in submission order;
+/// the builder realizes this by chaining an implicit dependency from each
+/// op to the previously submitted op of the same queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueueId(pub usize);
+
+/// Identifier of a display lane for Gantt rendering (purely cosmetic;
+/// has no effect on scheduling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LaneId(pub usize);
+
+/// Definition of a fluid resource: a capacity in units/second shared
+/// max-min-fairly among concurrent demanders.
+#[derive(Debug, Clone)]
+pub struct FluidResource {
+    /// Human-readable name (diagnostics, traces).
+    pub name: String,
+    /// Capacity in units per second. Must be finite and positive.
+    pub capacity: f64,
+}
+
+/// Definition of a token resource: a finite pool of indivisible slots.
+#[derive(Debug, Clone)]
+pub struct TokenResource {
+    /// Human-readable name (diagnostics, traces).
+    pub name: String,
+    /// Total number of tokens in the pool.
+    pub total: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(FluidId(0) < FluidId(1));
+        assert!(TokenId(2) > TokenId(1));
+        assert_eq!(QueueId(5), QueueId(5));
+    }
+
+    #[test]
+    fn resources_are_cloneable() {
+        let f = FluidResource {
+            name: "pcie".into(),
+            capacity: 12e9,
+        };
+        let g = f.clone();
+        assert_eq!(g.name, "pcie");
+        assert_eq!(g.capacity, 12e9);
+        let t = TokenResource {
+            name: "cores".into(),
+            total: 16,
+        };
+        assert_eq!(t.clone().total, 16);
+    }
+}

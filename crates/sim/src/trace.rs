@@ -1,0 +1,452 @@
+//! Timeline: the complete record of a finished simulation.
+//!
+//! Provides the aggregations the experiment harness needs: per-tag busy
+//! time (sum of span durations — the paper's "component time"), per-tag
+//! *union* time (wall-clock occupied by at least one span of the tag —
+//! the right measure for overlapped pipelines), windows, and an ASCII
+//! Gantt renderer used for the Figure 1–3 illustrations.
+
+use crate::op::{OpId, OpTag};
+use crate::resource::{LaneId, QueueId};
+
+/// One executed op: when it started, when it ended, what it was.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// The op this span records.
+    pub op: OpId,
+    /// Classification tag.
+    pub tag: OpTag,
+    /// Display lane, if assigned.
+    pub lane: Option<LaneId>,
+    /// Queue (stream), if assigned.
+    pub queue: Option<QueueId>,
+    /// User correlation key.
+    pub user_key: u64,
+    /// Work units performed.
+    pub work: f64,
+    /// Admission time (seconds).
+    pub t_start: f64,
+    /// Completion time (seconds).
+    pub t_end: f64,
+}
+
+impl Span {
+    /// Span duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.t_end - self.t_start
+    }
+}
+
+/// Complete result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    spans: Vec<Span>,
+    tag_names: Vec<String>,
+    lane_names: Vec<String>,
+    queue_names: Vec<String>,
+    makespan: f64,
+    /// `(name, capacity)` of every fluid resource.
+    fluid_info: Vec<(String, f64)>,
+    /// Piecewise-constant fluid usage: `(segment start, usage per fluid)`.
+    usage_samples: Vec<(f64, Vec<f64>)>,
+}
+
+impl Timeline {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        spans: Vec<Span>,
+        tag_names: Vec<String>,
+        lane_names: Vec<String>,
+        queue_names: Vec<String>,
+        makespan: f64,
+        fluid_info: Vec<(String, f64)>,
+        usage_samples: Vec<(f64, Vec<f64>)>,
+    ) -> Self {
+        Timeline {
+            spans,
+            tag_names,
+            lane_names,
+            queue_names,
+            makespan,
+            fluid_info,
+            usage_samples,
+        }
+    }
+
+    /// Names and capacities of the fluid resources.
+    pub fn fluids(&self) -> &[(String, f64)] {
+        &self.fluid_info
+    }
+
+    /// Look up a fluid resource index by name.
+    pub fn find_fluid(&self, name: &str) -> Option<usize> {
+        self.fluid_info.iter().position(|(n, _)| n == name)
+    }
+
+    /// Time-averaged utilization of a fluid resource over the whole run,
+    /// as a fraction of its capacity in `[0, 1]`.
+    pub fn utilization(&self, fluid: usize) -> f64 {
+        let cap = self.fluid_info[fluid].1;
+        if cap <= 0.0 || self.makespan <= 0.0 {
+            return 0.0;
+        }
+        let mut weighted = 0.0;
+        for (i, (t0, usage)) in self.usage_samples.iter().enumerate() {
+            let t1 = self
+                .usage_samples
+                .get(i + 1)
+                .map(|(t, _)| *t)
+                .unwrap_or(self.makespan);
+            weighted += usage[fluid] * (t1 - t0).max(0.0);
+        }
+        weighted / (cap * self.makespan)
+    }
+
+    /// Peak instantaneous usage of a fluid as a fraction of capacity.
+    pub fn peak_utilization(&self, fluid: usize) -> f64 {
+        let cap = self.fluid_info[fluid].1;
+        if cap <= 0.0 {
+            return 0.0;
+        }
+        self.usage_samples
+            .iter()
+            .map(|(_, u)| u[fluid])
+            .fold(0.0f64, f64::max)
+            / cap
+    }
+
+    /// Total simulated wall-clock (time of the last completion).
+    pub fn makespan(&self) -> f64 {
+        self.makespan
+    }
+
+    /// All spans, indexed by op id.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// The span of a specific op.
+    pub fn span(&self, op: OpId) -> &Span {
+        &self.spans[op.0]
+    }
+
+    /// Name of a tag.
+    pub fn tag_name(&self, tag: OpTag) -> &str {
+        &self.tag_names[tag.0 as usize]
+    }
+
+    /// Look up a tag id by name, if any op used it.
+    pub fn find_tag(&self, name: &str) -> Option<OpTag> {
+        self.tag_names
+            .iter()
+            .position(|t| t == name)
+            .map(|i| OpTag(i as u32))
+    }
+
+    /// All registered tags in id order.
+    pub fn tags(&self) -> impl Iterator<Item = (OpTag, &str)> {
+        self.tag_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (OpTag(i as u32), n.as_str()))
+    }
+
+    /// Sum of durations of all spans with this tag (the paper's additive
+    /// "component time"; counts overlap multiply).
+    pub fn busy_time(&self, tag: OpTag) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.tag == tag)
+            .map(Span::duration)
+            .sum()
+    }
+
+    /// Wall-clock covered by at least one span of this tag (union of
+    /// intervals; the honest measure under overlap).
+    pub fn union_time(&self, tag: OpTag) -> f64 {
+        let mut iv: Vec<(f64, f64)> = self
+            .spans
+            .iter()
+            .filter(|s| s.tag == tag && s.t_end > s.t_start)
+            .map(|s| (s.t_start, s.t_end))
+            .collect();
+        union_length(&mut iv)
+    }
+
+    /// `(first start, last end)` over spans with this tag; `None` if the
+    /// tag was never used.
+    pub fn window(&self, tag: OpTag) -> Option<(f64, f64)> {
+        let mut out: Option<(f64, f64)> = None;
+        for s in self.spans.iter().filter(|s| s.tag == tag) {
+            out = Some(match out {
+                None => (s.t_start, s.t_end),
+                Some((a, b)) => (a.min(s.t_start), b.max(s.t_end)),
+            });
+        }
+        out
+    }
+
+    /// Total work performed under a tag.
+    pub fn total_work(&self, tag: OpTag) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.tag == tag)
+            .map(|s| s.work)
+            .sum()
+    }
+
+    /// Number of spans under a tag.
+    pub fn count(&self, tag: OpTag) -> usize {
+        self.spans.iter().filter(|s| s.tag == tag).count()
+    }
+
+    /// Render an ASCII Gantt chart, one row per lane, `width` columns.
+    ///
+    /// Each op is drawn with the first letter of its tag; overlapping ops
+    /// within one lane are drawn left-to-right by start time (later spans
+    /// overwrite). Lanes without any span are omitted.
+    pub fn gantt(&self, width: usize) -> String {
+        if self.makespan <= 0.0 || width == 0 {
+            return String::new();
+        }
+        let label_w = self
+            .lane_names
+            .iter()
+            .map(|n| n.len())
+            .max()
+            .unwrap_or(0)
+            .max(4);
+        let scale = width as f64 / self.makespan;
+        let mut out = String::new();
+        for (lane_idx, lane_name) in self.lane_names.iter().enumerate() {
+            let mut row = vec![b'.'; width];
+            let mut any = false;
+            let mut lane_spans: Vec<&Span> = self
+                .spans
+                .iter()
+                .filter(|s| s.lane == Some(LaneId(lane_idx)))
+                .collect();
+            lane_spans.sort_by(|a, b| a.t_start.total_cmp(&b.t_start));
+            for s in lane_spans {
+                any = true;
+                let c0 = ((s.t_start * scale) as usize).min(width - 1);
+                let c1 = ((s.t_end * scale).ceil() as usize).clamp(c0 + 1, width);
+                let ch = self
+                    .tag_name(s.tag)
+                    .bytes()
+                    .next()
+                    .unwrap_or(b'#');
+                for cell in &mut row[c0..c1] {
+                    *cell = ch;
+                }
+            }
+            if any {
+                out.push_str(&format!(
+                    "{lane_name:>label_w$} |{}|\n",
+                    String::from_utf8_lossy(&row)
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "{:>label_w$}  0{}{:.3}s\n",
+            "t",
+            " ".repeat(width.saturating_sub(8)),
+            self.makespan
+        ));
+        out
+    }
+
+    /// Queue (stream) names registered at build time.
+    pub fn queue_names(&self) -> &[String] {
+        &self.queue_names
+    }
+
+    /// Export every span as CSV (`op,tag,lane,queue,key,work,t_start,
+    /// t_end`) — the raw material for external plotting tools.
+    pub fn spans_csv(&self) -> String {
+        let mut out = String::from("op,tag,lane,queue,key,work,t_start,t_end
+");
+        for s in &self.spans {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{:.9},{:.9}
+",
+                s.op.0,
+                self.tag_name(s.tag),
+                s.lane
+                    .map(|l| self.lane_names[l.0].clone())
+                    .unwrap_or_default(),
+                s.queue
+                    .map(|q| self.queue_names[q.0].clone())
+                    .unwrap_or_default(),
+                s.user_key,
+                s.work,
+                s.t_start,
+                s.t_end
+            ));
+        }
+        out
+    }
+}
+
+/// Length of the union of half-open intervals; sorts in place.
+fn union_length(iv: &mut [(f64, f64)]) -> f64 {
+    if iv.is_empty() {
+        return 0.0;
+    }
+    iv.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut total = 0.0;
+    let (mut cur_s, mut cur_e) = iv[0];
+    for &(s, e) in iv.iter().skip(1) {
+        if s > cur_e {
+            total += cur_e - cur_s;
+            cur_s = s;
+            cur_e = e;
+        } else if e > cur_e {
+            cur_e = e;
+        }
+    }
+    total + (cur_e - cur_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SimBuilder;
+    use crate::op::Op;
+
+    fn two_op_timeline() -> (Timeline, OpId, OpId) {
+        let mut sim = SimBuilder::new();
+        let tag_a = sim.tag("alpha");
+        let tag_b = sim.tag("beta");
+        let lane = sim.lane("L0");
+        let a = sim.op(Op::new(tag_a, 10.0).cap(10.0).lane(lane));
+        let b = sim.op(Op::new(tag_b, 10.0).cap(5.0).lane(lane).dep(a));
+        (sim.run().unwrap(), a, b)
+    }
+
+    #[test]
+    fn busy_time_sums_durations() {
+        let (tl, _, _) = two_op_timeline();
+        let alpha = tl.find_tag("alpha").unwrap();
+        let beta = tl.find_tag("beta").unwrap();
+        assert!((tl.busy_time(alpha) - 1.0).abs() < 1e-9);
+        assert!((tl.busy_time(beta) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_covers_tag() {
+        let (tl, _, _) = two_op_timeline();
+        let beta = tl.find_tag("beta").unwrap();
+        let (s, e) = tl.window(beta).unwrap();
+        assert!((s - 1.0).abs() < 1e-9);
+        assert!((e - 3.0).abs() < 1e-9);
+        assert!(tl.find_tag("gamma").is_none());
+    }
+
+    #[test]
+    fn union_time_merges_overlap() {
+        // Two concurrent ops with the same tag on one fluid: both spans
+        // cover [0,2], union is 2, busy is 4.
+        let mut sim = SimBuilder::new();
+        let link = sim.fluid("l", 10.0);
+        let tag = sim.tag("x");
+        sim.op(Op::new(tag, 10.0).demand(link, 1.0));
+        sim.op(Op::new(tag, 10.0).demand(link, 1.0));
+        let tl = sim.run().unwrap();
+        assert!((tl.busy_time(tag) - 4.0).abs() < 1e-9);
+        assert!((tl.union_time(tag) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn union_length_handles_gaps() {
+        let mut iv = vec![(0.0, 1.0), (2.0, 3.0), (2.5, 2.75), (10.0, 10.5)];
+        assert!((union_length(&mut iv) - 2.5).abs() < 1e-12);
+        assert_eq!(union_length(&mut []), 0.0);
+    }
+
+    #[test]
+    fn total_work_and_count() {
+        let (tl, _, _) = two_op_timeline();
+        let alpha = tl.find_tag("alpha").unwrap();
+        assert_eq!(tl.count(alpha), 1);
+        assert!((tl.total_work(alpha) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gantt_renders_lanes() {
+        let (tl, _, _) = two_op_timeline();
+        let g = tl.gantt(30);
+        assert!(g.contains("L0"), "{g}");
+        assert!(g.contains('a'), "{g}"); // alpha
+        assert!(g.contains('b'), "{g}"); // beta
+    }
+
+    #[test]
+    fn gantt_empty_timeline_is_empty() {
+        let sim = SimBuilder::new();
+        let tl = sim.run().unwrap();
+        assert!(tl.gantt(40).is_empty());
+    }
+
+    #[test]
+    fn utilization_full_and_half() {
+        // One op saturating a fluid for the whole run → utilization 1.
+        let mut sim = SimBuilder::new();
+        let link = sim.fluid("l", 10.0);
+        let tag = sim.tag("x");
+        sim.op(Op::new(tag, 20.0).demand(link, 1.0));
+        let tl = sim.run().unwrap();
+        let f = tl.find_fluid("l").unwrap();
+        assert!((tl.utilization(f) - 1.0).abs() < 1e-9, "{}", tl.utilization(f));
+        assert!((tl.peak_utilization(f) - 1.0).abs() < 1e-9);
+
+        // Capped op using half the capacity → utilization 0.5.
+        let mut sim = SimBuilder::new();
+        let link = sim.fluid("l", 10.0);
+        let tag = sim.tag("x");
+        sim.op(Op::new(tag, 10.0).cap(5.0).demand(link, 1.0));
+        let tl = sim.run().unwrap();
+        let f = tl.find_fluid("l").unwrap();
+        assert!((tl.utilization(f) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_averages_over_phases() {
+        // Phase 1: two ops (full). Phase 2: one op capped at half.
+        // a: work 10 at 5/s (cap). b: work 5 at 5/s → done at t=1.
+        // After t=1, a continues alone at 5/s until t=2.
+        // Usage: [0,1): 10/10; [1,2): 5/10 → avg 0.75.
+        let mut sim = SimBuilder::new();
+        let link = sim.fluid("l", 10.0);
+        let tag = sim.tag("x");
+        sim.op(Op::new(tag, 10.0).cap(5.0).demand(link, 1.0));
+        sim.op(Op::new(tag, 5.0).cap(5.0).demand(link, 1.0));
+        let tl = sim.run().unwrap();
+        let f = tl.find_fluid("l").unwrap();
+        assert!((tl.utilization(f) - 0.75).abs() < 1e-6, "{}", tl.utilization(f));
+    }
+
+    #[test]
+    fn spans_csv_roundtrip() {
+        let (tl, _, _) = two_op_timeline();
+        let csv = tl.spans_csv();
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 spans
+        assert!(lines[0].starts_with("op,tag"));
+        assert!(lines[1].contains("alpha"));
+        assert!(lines[2].contains("beta"));
+        // Parse a timestamp back.
+        let t_end: f64 = lines[2].split(',').last().unwrap().parse().unwrap();
+        assert!((t_end - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn span_accessors() {
+        let (tl, a, b) = two_op_timeline();
+        assert_eq!(tl.span(a).op, a);
+        assert!((tl.span(b).duration() - 2.0).abs() < 1e-9);
+        assert_eq!(tl.spans().len(), 2);
+        let names: Vec<&str> = tl.tags().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["alpha", "beta"]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Property-based tests for the simulation engine.
+//!
+//! On randomly generated DAGs with random resources:
+//! * every op completes with `t_end ≥ t_start ≥ 0`;
+//! * dependencies are respected (`t_start ≥ max(dep.t_end)`);
+//! * queue FIFO holds;
+//! * the run is deterministic;
+//! * makespan is bounded below by the critical path over intrinsic
+//!   durations and above by the sum of all intrinsic durations (ops
+//!   never run faster than `cap`, and serialization cannot exceed full
+//!   sequentialization of a DAG executed at worst-case rates).
+
+use hetsort_sim::{Op, OpId, SimBuilder};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct GenOp {
+    work: f64,
+    cap: f64,
+    latency: f64,
+    use_fluid: Option<usize>,
+    use_tokens: Option<(usize, u32)>,
+    queue: Option<usize>,
+    // Dependencies as backward offsets (mapped to earlier op ids).
+    dep_offsets: Vec<usize>,
+}
+
+fn arb_genop() -> impl Strategy<Value = GenOp> {
+    (
+        0.0f64..50.0,
+        0.5f64..20.0,
+        prop::option::of(0.0f64..0.5),
+        prop::option::of(0usize..2),
+        prop::option::of((0usize..2, 1u32..=2)),
+        prop::option::of(0usize..3),
+        prop::collection::vec(1usize..10, 0..3),
+    )
+        .prop_map(
+            |(work, cap, latency, use_fluid, use_tokens, queue, dep_offsets)| GenOp {
+                work,
+                cap,
+                latency: latency.unwrap_or(0.0),
+                use_fluid,
+                use_tokens,
+                queue,
+                dep_offsets,
+            },
+        )
+}
+
+fn build(ops: &[GenOp]) -> (SimBuilder, Vec<OpId>) {
+    let mut sim = SimBuilder::new();
+    let fluids = [sim.fluid("f0", 10.0), sim.fluid("f1", 25.0)];
+    let tokens = [sim.tokens("t0", 2), sim.tokens("t1", 3)];
+    let queues = [sim.queue("q0"), sim.queue("q1"), sim.queue("q2")];
+    let tag = sim.tag("w");
+    let mut ids = Vec::new();
+    for (i, g) in ops.iter().enumerate() {
+        let mut op = Op::new(tag, g.work).cap(g.cap).latency(g.latency);
+        if let Some(f) = g.use_fluid {
+            op = op.demand(fluids[f], 1.0);
+        }
+        if let Some((t, c)) = g.use_tokens {
+            op = op.tokens(tokens[t], c);
+        }
+        if let Some(q) = g.queue {
+            op = op.queue(queues[q]);
+        }
+        for &off in &g.dep_offsets {
+            if off <= i && i > 0 {
+                let d = i - ((off - 1) % i + 1);
+                op = op.dep(ids[d]);
+            }
+        }
+        ids.push(sim.op(op));
+    }
+    (sim, ids)
+}
+
+/// Intrinsic (uncontended) duration of one op.
+fn intrinsic(g: &GenOp) -> f64 {
+    g.latency + g.work / g.cap
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    #[test]
+    fn dag_invariants(ops in prop::collection::vec(arb_genop(), 1..25)) {
+        let (sim, ids) = build(&ops);
+        // Rebuild dep lists the same way `build` does, for checking.
+        let mut deps: Vec<Vec<usize>> = vec![Vec::new(); ops.len()];
+        for (i, g) in ops.iter().enumerate() {
+            for &off in &g.dep_offsets {
+                if off <= i && i > 0 {
+                    deps[i].push(i - ((off - 1) % i + 1));
+                }
+            }
+        }
+        let tl = sim.run().unwrap();
+
+        let mut sum_intrinsic = 0.0;
+        for (i, g) in ops.iter().enumerate() {
+            let s = tl.span(ids[i]);
+            prop_assert!(s.t_start >= -1e-12);
+            prop_assert!(s.t_end >= s.t_start - 1e-12);
+            // No op can beat its intrinsic duration.
+            prop_assert!(
+                s.duration() >= intrinsic(g) - 1e-6,
+                "op {i} duration {} < intrinsic {}",
+                s.duration(),
+                intrinsic(g)
+            );
+            for &d in &deps[i] {
+                prop_assert!(
+                    s.t_start >= tl.span(ids[d]).t_end - 1e-9,
+                    "op {i} started before dep {d} finished"
+                );
+            }
+            sum_intrinsic += intrinsic(g);
+        }
+
+        // Ops sharing fluid f run at ≥ cap_f / n_concurrent... a crude
+        // but valid upper bound on makespan: full serialization with each
+        // op at the slower of its cap and its fluid's capacity.
+        let mut upper = 0.0;
+        for g in &ops {
+            let fluid_cap = match g.use_fluid {
+                Some(0) => 10.0,
+                Some(1) => 25.0,
+                _ => f64::INFINITY,
+            };
+            upper += g.latency + g.work / g.cap.min(fluid_cap);
+        }
+        prop_assert!(
+            tl.makespan() <= upper + 1e-6,
+            "makespan {} exceeds serialization bound {upper}",
+            tl.makespan()
+        );
+        prop_assert!(tl.makespan() <= sum_intrinsic.max(upper) + 1e-6);
+
+        // Queue FIFO: ops in the same queue start in submission order
+        // and never overlap.
+        for q in 0..3 {
+            let mut prev_end = -1e-12;
+            for (i, g) in ops.iter().enumerate() {
+                if g.queue == Some(q) {
+                    let s = tl.span(ids[i]);
+                    prop_assert!(
+                        s.t_start >= prev_end - 1e-9,
+                        "queue {q} op {i} overlapped predecessor"
+                    );
+                    prev_end = s.t_end;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_deterministic(ops in prop::collection::vec(arb_genop(), 1..20)) {
+        let (sim1, _) = build(&ops);
+        let (sim2, _) = build(&ops);
+        let t1 = sim1.run().unwrap();
+        let t2 = sim2.run().unwrap();
+        prop_assert_eq!(t1.makespan(), t2.makespan());
+        for (a, b) in t1.spans().iter().zip(t2.spans()) {
+            prop_assert_eq!(a.t_start, b.t_start);
+            prop_assert_eq!(a.t_end, b.t_end);
+        }
+    }
+
+    #[test]
+    fn critical_path_lower_bounds_makespan(
+        ops in prop::collection::vec(arb_genop(), 1..20)
+    ) {
+        let (sim, ids) = build(&ops);
+        let mut deps: Vec<Vec<usize>> = vec![Vec::new(); ops.len()];
+        for (i, g) in ops.iter().enumerate() {
+            for &off in &g.dep_offsets {
+                if off <= i && i > 0 {
+                    deps[i].push(i - ((off - 1) % i + 1));
+                }
+            }
+        }
+        let tl = sim.run().unwrap();
+        // Longest path of intrinsic durations (ops are topologically
+        // ordered by id already).
+        let mut finish = vec![0.0f64; ops.len()];
+        let mut cp = 0.0f64;
+        for (i, g) in ops.iter().enumerate() {
+            let start = deps[i]
+                .iter()
+                .map(|&d| finish[d])
+                .fold(0.0f64, f64::max);
+            finish[i] = start + intrinsic(g);
+            cp = cp.max(finish[i]);
+        }
+        prop_assert!(
+            tl.makespan() >= cp - 1e-6,
+            "makespan {} below critical path {cp}",
+            tl.makespan()
+        );
+        let _ = ids;
+    }
+}

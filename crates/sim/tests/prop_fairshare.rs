@@ -1,0 +1,171 @@
+//! Property-based tests for the max-min fair-share solver.
+//!
+//! Invariants checked on arbitrary flow sets:
+//! 1. **Feasibility** — no fluid resource is over-committed.
+//! 2. **Cap respect** — no flow exceeds its intrinsic cap.
+//! 3. **Pareto efficiency** — every flow is pinned by its cap or by at
+//!    least one saturated resource (no rate can be raised unilaterally).
+//! 4. **Weighted max-min** — if flow `a`'s normalized rate is below flow
+//!    `b`'s, then `a` is blocked by a resource `b` also uses or by its cap.
+
+use hetsort_sim::{max_min_rates, Flow};
+use proptest::prelude::*;
+
+const REL: f64 = 1e-6;
+
+fn arb_flow(nres: usize) -> impl Strategy<Value = Flow> {
+    let demand = (0..nres, 0.1f64..10.0);
+    (
+        0.1f64..10.0,
+        prop::option::of(0.1f64..100.0),
+        prop::collection::vec(demand, 0..=3.min(nres)),
+    )
+        .prop_map(|(weight, cap, demands)| Flow {
+            weight,
+            cap,
+            demands,
+        })
+        .prop_filter("must be bounded", |f| {
+            f.cap.is_some() || f.demands.iter().any(|&(_, d)| d > 0.0)
+        })
+}
+
+fn arb_case() -> impl Strategy<Value = (Vec<Flow>, Vec<f64>)> {
+    (1usize..=4).prop_flat_map(|nres| {
+        (
+            prop::collection::vec(arb_flow(nres), 1..=8),
+            prop::collection::vec(0.5f64..100.0, nres),
+        )
+    })
+}
+
+/// Demand of flow `f` on resource `r` (summing duplicate entries the way
+/// the solver does).
+fn dem(f: &Flow, r: usize) -> f64 {
+    f.demands
+        .iter()
+        .filter(|&&(res, _)| res == r)
+        .map(|&(_, d)| d)
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn feasible_and_capped((flows, caps) in arb_case()) {
+        let rates = max_min_rates(&flows, &caps).unwrap();
+        // 1. Feasibility per resource.
+        for (r, &c) in caps.iter().enumerate() {
+            let usage: f64 = flows
+                .iter()
+                .zip(&rates)
+                .map(|(f, &rate)| rate * dem(f, r))
+                .sum();
+            prop_assert!(
+                usage <= c * (1.0 + REL) + 1e-9,
+                "resource {r} over-committed: {usage} > {c}"
+            );
+        }
+        // 2. Cap respect.
+        for (i, (f, &rate)) in flows.iter().zip(&rates).enumerate() {
+            if let Some(cap) = f.cap {
+                prop_assert!(rate <= cap * (1.0 + REL), "flow {i}: {rate} > cap {cap}");
+            }
+            prop_assert!(rate >= 0.0);
+        }
+    }
+
+    #[test]
+    fn pareto_efficient((flows, caps) in arb_case()) {
+        let rates = max_min_rates(&flows, &caps).unwrap();
+        let saturated: Vec<bool> = caps
+            .iter()
+            .enumerate()
+            .map(|(r, &c)| {
+                let usage: f64 = flows
+                    .iter()
+                    .zip(&rates)
+                    .map(|(f, &rate)| rate * dem(f, r))
+                    .sum();
+                usage >= c * (1.0 - 10.0 * REL)
+            })
+            .collect();
+        for (i, (f, &rate)) in flows.iter().zip(&rates).enumerate() {
+            let at_cap = f.cap.map(|c| rate >= c * (1.0 - 10.0 * REL)).unwrap_or(false);
+            let blocked = f
+                .demands
+                .iter()
+                .any(|&(r, d)| d > 0.0 && saturated[r]);
+            prop_assert!(
+                at_cap || blocked,
+                "flow {i} (rate {rate}) is neither capped nor blocked; caps={caps:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_max_min_fairness((flows, caps) in arb_case()) {
+        let rates = max_min_rates(&flows, &caps).unwrap();
+        let saturated: Vec<bool> = caps
+            .iter()
+            .enumerate()
+            .map(|(r, &c)| {
+                let usage: f64 = flows
+                    .iter()
+                    .zip(&rates)
+                    .map(|(f, &rate)| rate * dem(f, r))
+                    .sum();
+                usage >= c * (1.0 - 10.0 * REL)
+            })
+            .collect();
+        // If flow a's normalized level θ_a = rate/weight is strictly less
+        // than flow b's, a must be pinned: at cap, or on a saturated
+        // resource. (Weighted max-min: you can only be below someone if
+        // something you use is exhausted.)
+        for (i, (fa, &ra)) in flows.iter().zip(&rates).enumerate() {
+            let ta = ra / fa.weight;
+            let someone_higher = flows
+                .iter()
+                .zip(&rates)
+                .any(|(fb, &rb)| rb / fb.weight > ta * (1.0 + 100.0 * REL));
+            if someone_higher {
+                let at_cap = fa.cap.map(|c| ra >= c * (1.0 - 10.0 * REL)).unwrap_or(false);
+                let blocked = fa.demands.iter().any(|&(r, d)| d > 0.0 && saturated[r]);
+                prop_assert!(
+                    at_cap || blocked,
+                    "flow {i} below others but unpinned (rate {ra})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic((flows, caps) in arb_case()) {
+        let a = max_min_rates(&flows, &caps).unwrap();
+        let b = max_min_rates(&flows, &caps).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scale_invariance((flows, caps) in arb_case(), k in 0.5f64..8.0) {
+        // Scaling every capacity and every cap by k scales all rates by k.
+        let a = max_min_rates(&flows, &caps).unwrap();
+        let scaled_flows: Vec<Flow> = flows
+            .iter()
+            .map(|f| Flow {
+                weight: f.weight,
+                cap: f.cap.map(|c| c * k),
+                demands: f.demands.clone(),
+            })
+            .collect();
+        let scaled_caps: Vec<f64> = caps.iter().map(|c| c * k).collect();
+        let b = max_min_rates(&scaled_flows, &scaled_caps).unwrap();
+        for (ra, rb) in a.iter().zip(&b) {
+            prop_assert!(
+                (rb - ra * k).abs() <= (ra * k).abs() * 1e-6 + 1e-9,
+                "scaling violated: {ra} * {k} != {rb}"
+            );
+        }
+    }
+}

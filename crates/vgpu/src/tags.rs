@@ -1,0 +1,60 @@
+//! Canonical op-tag names: the component taxonomy of the paper's
+//! end-to-end accounting (Table I + §IV-E).
+
+/// Host→device transfer over PCIe.
+pub const HTOD: &str = "HtoD";
+/// Device→host transfer over PCIe.
+pub const DTOH: &str = "DtoH";
+/// On-device sort kernel (Thrust stand-in).
+pub const GPU_SORT: &str = "GPUSort";
+/// Host-to-host copy from pageable memory into the pinned staging
+/// buffer (the inbound half of the paper's `MCpy`).
+pub const MCPY_IN: &str = "MCpyIn";
+/// Host-to-host copy from the pinned staging buffer into pageable
+/// memory (the outbound half of `MCpy`).
+pub const MCPY_OUT: &str = "MCpyOut";
+/// Pinned-memory allocation (`cudaMallocHost`).
+pub const PINNED_ALLOC: &str = "PinnedAlloc";
+/// Pipelined pair-wise merge on the CPU (PIPEMERGE).
+pub const PAIR_MERGE: &str = "PairMerge";
+/// Device-side merge of sorted runs (the §V future-work experiment).
+pub const GPU_MERGE: &str = "GpuMerge";
+/// Final multiway merge on the CPU.
+pub const MULTIWAY_MERGE: &str = "MultiwayMerge";
+/// Parallel CPU reference sort (GNU parallel mode stand-in).
+pub const REF_SORT: &str = "RefSort";
+/// Synchronization / barrier / fork-join latency.
+pub const SYNC: &str = "Sync";
+
+/// The component tags that the *literature's* end-to-end accounting
+/// includes (§IV-E: "(i) transfer unsorted sublists CPU→GPU, (ii) sorted
+/// sublists GPU→CPU, (iii) sort on the GPU, (iv) merge on the host").
+pub const LITERATURE_COMPONENTS: &[&str] = &[HTOD, DTOH, GPU_SORT, PAIR_MERGE, MULTIWAY_MERGE];
+
+/// The components the literature *omits* (§IV-E bullet list).
+pub const OMITTED_COMPONENTS: &[&str] = &[MCPY_IN, MCPY_OUT, PINNED_ALLOC, SYNC];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomies_are_disjoint() {
+        for a in LITERATURE_COMPONENTS {
+            assert!(!OMITTED_COMPONENTS.contains(a), "{a} in both lists");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut all: Vec<&str> = LITERATURE_COMPONENTS
+            .iter()
+            .chain(OMITTED_COMPONENTS)
+            .copied()
+            .collect();
+        let n = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), n);
+    }
+}

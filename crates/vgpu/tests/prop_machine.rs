@@ -1,0 +1,170 @@
+//! Property tests for the virtual machine's physical invariants.
+//!
+//! For arbitrary small op mixes on both platforms:
+//! * no transfer ever beats its link bandwidth, no host op its core
+//!   rate;
+//! * the makespan is bounded below by every resource's aggregate
+//!   demand over capacity (bandwidth conservation);
+//! * utilization stays within [0, 1] for every fluid;
+//! * the run is deterministic.
+
+use hetsort_vgpu::{platform1, platform2, Machine, TransferDir};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum GenOp {
+    Transfer { dir_h2d: bool, gpu: usize, mb: u32, pinned: bool },
+    Memcpy { inbound: bool, mb: u32, threads: u32 },
+    Sort { gpu: usize, melem: u32 },
+    PairMerge { melem: u32, threads: u32 },
+}
+
+fn arb_op() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        (any::<bool>(), 0usize..2, 1u32..2000, any::<bool>()).prop_map(
+            |(dir_h2d, gpu, mb, pinned)| GenOp::Transfer {
+                dir_h2d,
+                gpu,
+                mb,
+                pinned
+            }
+        ),
+        (any::<bool>(), 1u32..2000, 1u32..17)
+            .prop_map(|(inbound, mb, threads)| GenOp::Memcpy { inbound, mb, threads }),
+        (0usize..2, 1u32..500).prop_map(|(gpu, melem)| GenOp::Sort { gpu, melem }),
+        (1u32..500, 1u32..17).prop_map(|(melem, threads)| GenOp::PairMerge { melem, threads }),
+    ]
+}
+
+fn build(two_gpus: bool, ops: &[GenOp], chain: bool) -> Machine {
+    let plat = if two_gpus { platform2() } else { platform1() };
+    let mut m = Machine::new(plat);
+    let mut prev = None;
+    for op in ops {
+        let deps: Vec<_> = if chain { prev.into_iter().collect() } else { Vec::new() };
+        let id = match *op {
+            GenOp::Transfer {
+                dir_h2d,
+                gpu,
+                mb,
+                pinned,
+            } => {
+                let dir = if dir_h2d {
+                    TransferDir::HtoD
+                } else {
+                    TransferDir::DtoH
+                };
+                let gpu = gpu % m.plat().n_gpus();
+                m.transfer(dir, gpu, mb as f64 * 1e6, pinned, false, None, &deps, None, 0)
+            }
+            GenOp::Memcpy { inbound, mb, threads } => {
+                m.host_memcpy(inbound, mb as f64 * 1e6, threads, None, &deps, None, 0)
+            }
+            GenOp::Sort { gpu, melem } => {
+                let gpu = gpu % m.plat().n_gpus();
+                m.gpu_sort(gpu, melem as f64 * 1e6, None, &deps, None, 0)
+            }
+            GenOp::PairMerge { melem, threads } => {
+                m.pair_merge(melem as f64 * 1e6, threads, &deps, None)
+            }
+        };
+        prev = Some(id);
+    }
+    m
+}
+
+/// Uncontended service time of one op (its physical lower bound).
+fn min_duration(two_gpus: bool, op: &GenOp) -> f64 {
+    let plat = if two_gpus { platform2() } else { platform1() };
+    match *op {
+        GenOp::Transfer { mb, pinned, .. } => {
+            let rate = if pinned {
+                plat.pcie.pinned_bps
+            } else {
+                plat.pcie.pageable_bps
+            };
+            mb as f64 * 1e6 / rate
+        }
+        GenOp::Memcpy { mb, threads, .. } => {
+            mb as f64 * 1e6 / (threads as f64 * plat.cpu.memcpy_core_bps)
+        }
+        GenOp::Sort { gpu, melem } => {
+            let gpu = gpu % plat.n_gpus();
+            melem as f64 * 1e6 / plat.gpus[gpu].sort_keys_per_s + plat.gpus[gpu].kernel_launch_s
+        }
+        GenOp::PairMerge { melem, .. } => {
+            // At best every core helps and the bus is free.
+            let per_core = 1e9 / plat.cpu.merge_ns_per_elem_core;
+            melem as f64 * 1e6 / (plat.cpu.cores as f64 * per_core)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    #[test]
+    fn spans_respect_physical_rates(
+        two_gpus in any::<bool>(),
+        ops in prop::collection::vec(arb_op(), 1..12),
+        chain in any::<bool>(),
+    ) {
+        let m = build(two_gpus, &ops, chain);
+        let tl = m.run().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        for (i, op) in ops.iter().enumerate() {
+            let span = &tl.spans()[i];
+            let floor = min_duration(two_gpus, op);
+            prop_assert!(
+                span.duration() >= floor * (1.0 - 1e-9),
+                "op {i} ran faster than physics: {} < {floor}",
+                span.duration()
+            );
+        }
+        // Makespan ≥ serial bound when chained.
+        if chain {
+            let serial: f64 = ops.iter().map(|o| min_duration(two_gpus, o)).sum();
+            prop_assert!(tl.makespan() >= serial * (1.0 - 1e-9));
+        }
+        // Utilization in [0, 1] everywhere.
+        for f in 0..tl.fluids().len() {
+            let u = tl.utilization(f);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&u), "fluid {f}: {u}");
+            prop_assert!(tl.peak_utilization(f) <= 1.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn machine_is_deterministic(
+        two_gpus in any::<bool>(),
+        ops in prop::collection::vec(arb_op(), 1..10),
+    ) {
+        let t1 = build(two_gpus, &ops, false).run().unwrap();
+        let t2 = build(two_gpus, &ops, false).run().unwrap();
+        prop_assert_eq!(t1.makespan(), t2.makespan());
+        for (a, b) in t1.spans().iter().zip(t2.spans()) {
+            prop_assert_eq!(a.t_start, b.t_start);
+            prop_assert_eq!(a.t_end, b.t_end);
+        }
+    }
+
+    #[test]
+    fn bandwidth_conservation_bounds_makespan(
+        two_gpus in any::<bool>(),
+        mbs in prop::collection::vec(1u32..3000, 1..8),
+    ) {
+        // All-HtoD pinned transfers to GPU 0: total bytes over link
+        // bandwidth is a hard lower bound on the makespan.
+        let plat = if two_gpus { platform2() } else { platform1() };
+        let mut m = Machine::new(plat.clone());
+        let total_bytes: f64 = mbs.iter().map(|&mb| mb as f64 * 1e6).sum();
+        for &mb in &mbs {
+            m.transfer(TransferDir::HtoD, 0, mb as f64 * 1e6, true, false, None, &[], None, 0);
+        }
+        let tl = m.run().unwrap();
+        prop_assert!(
+            tl.makespan() >= total_bytes / plat.pcie.pinned_bps * (1.0 - 1e-9),
+            "makespan {} below conservation bound",
+            tl.makespan()
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Input distributions for sorting workloads.
+
+use std::fmt;
+
+/// The input distributions used across the sorting literature.
+///
+/// `Uniform` is the paper's evaluation workload (§IV-A); the rest cover
+/// the sensitivity study of \[11\] and standard adversarial patterns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// Uniform over `[0, 1)` — the paper's workload.
+    Uniform,
+    /// Standard normal (Box–Muller).
+    Normal,
+    /// Already sorted ascending.
+    Sorted,
+    /// Sorted descending.
+    Reverse,
+    /// Sorted with a fraction of random swaps applied.
+    NearlySorted {
+        /// Fraction of positions perturbed, in `[0, 1]`.
+        swap_fraction: f64,
+    },
+    /// Few distinct values (heavy duplicates).
+    DuplicateHeavy {
+        /// Number of distinct values (≥ 1).
+        distinct: u64,
+    },
+    /// Zipf-like skew: value `v` drawn with probability ∝ 1/(v+1)^s
+    /// over `distinct` values.
+    Zipf {
+        /// Number of distinct values (≥ 1).
+        distinct: u64,
+        /// Skew exponent (> 0).
+        exponent: f64,
+    },
+}
+
+impl Distribution {
+    /// All named distributions with default parameters, for sweeps.
+    pub fn catalog() -> Vec<Distribution> {
+        vec![
+            Distribution::Uniform,
+            Distribution::Normal,
+            Distribution::Sorted,
+            Distribution::Reverse,
+            Distribution::NearlySorted {
+                swap_fraction: 0.01,
+            },
+            Distribution::DuplicateHeavy { distinct: 16 },
+            Distribution::Zipf {
+                distinct: 1024,
+                exponent: 1.2,
+            },
+        ]
+    }
+}
+
+impl fmt::Display for Distribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Distribution::Uniform => write!(f, "uniform"),
+            Distribution::Normal => write!(f, "normal"),
+            Distribution::Sorted => write!(f, "sorted"),
+            Distribution::Reverse => write!(f, "reverse"),
+            Distribution::NearlySorted { swap_fraction } => {
+                write!(f, "nearly-sorted({swap_fraction})")
+            }
+            Distribution::DuplicateHeavy { distinct } => {
+                write!(f, "dup-heavy({distinct})")
+            }
+            Distribution::Zipf { distinct, exponent } => {
+                write!(f, "zipf({distinct},{exponent})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_nonempty_and_distinct_names() {
+        let cat = Distribution::catalog();
+        assert!(cat.len() >= 7);
+        let names: Vec<String> = cat.iter().map(|d| d.to_string()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(Distribution::Uniform.to_string(), "uniform");
+        assert_eq!(
+            Distribution::DuplicateHeavy { distinct: 4 }.to_string(),
+            "dup-heavy(4)"
+        );
+    }
+}

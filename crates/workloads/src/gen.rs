@@ -1,0 +1,239 @@
+//! Deterministic workload generation.
+
+use crate::dist::Distribution;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated dataset plus the parameters that produced it.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The unsorted input list `A` (the paper's notation).
+    pub data: Vec<f64>,
+    /// Distribution used.
+    pub dist: Distribution,
+    /// RNG seed used.
+    pub seed: u64,
+}
+
+/// Generate `n` 64-bit floats from `dist` with the given `seed`.
+pub fn generate(dist: Distribution, n: usize, seed: u64) -> Workload {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let data = match dist {
+        Distribution::Uniform => (0..n).map(|_| rng.gen::<f64>()).collect(),
+        Distribution::Normal => {
+            // Box–Muller; generates pairs, discards the spare on odd n.
+            let mut out = Vec::with_capacity(n);
+            while out.len() < n {
+                let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = rng.gen();
+                let r = (-2.0 * u1.ln()).sqrt();
+                let theta = 2.0 * std::f64::consts::PI * u2;
+                out.push(r * theta.cos());
+                if out.len() < n {
+                    out.push(r * theta.sin());
+                }
+            }
+            out
+        }
+        Distribution::Sorted => (0..n).map(|i| i as f64).collect(),
+        Distribution::Reverse => (0..n).rev().map(|i| i as f64).collect(),
+        Distribution::NearlySorted { swap_fraction } => {
+            let mut v: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let swaps = ((n as f64) * swap_fraction.clamp(0.0, 1.0) / 2.0) as usize;
+            for _ in 0..swaps {
+                if n >= 2 {
+                    let i = rng.gen_range(0..n);
+                    let j = rng.gen_range(0..n);
+                    v.swap(i, j);
+                }
+            }
+            v
+        }
+        Distribution::DuplicateHeavy { distinct } => {
+            let d = distinct.max(1);
+            (0..n).map(|_| (rng.gen_range(0..d)) as f64).collect()
+        }
+        Distribution::Zipf { distinct, exponent } => {
+            let d = distinct.max(1) as usize;
+            // Precompute the CDF once; sample by binary search.
+            let weights: Vec<f64> = (0..d)
+                .map(|v| 1.0 / ((v + 1) as f64).powf(exponent.max(1e-9)))
+                .collect();
+            let total: f64 = weights.iter().sum();
+            let mut cdf = Vec::with_capacity(d);
+            let mut acc = 0.0;
+            for w in &weights {
+                acc += w / total;
+                cdf.push(acc);
+            }
+            (0..n)
+                .map(|_| {
+                    let u: f64 = rng.gen();
+                    let v = cdf.partition_point(|&c| c < u).min(d - 1);
+                    v as f64
+                })
+                .collect()
+        }
+    };
+    Workload { data, dist, seed }
+}
+
+/// Generate `n` key/value records (\[5\]'s workload: 64-bit keys with
+/// 64-bit payloads): keys from `dist`, values = original index, so a
+/// sorted output can be checked for payload integrity.
+pub fn generate_kv(
+    dist: Distribution,
+    n: usize,
+    seed: u64,
+) -> Vec<hetsort_algos::keys::KeyValue> {
+    generate(dist, n, seed)
+        .data
+        .into_iter()
+        .enumerate()
+        .map(|(i, key)| hetsort_algos::keys::KeyValue {
+            key,
+            value: i as u64,
+        })
+        .collect()
+}
+
+/// Generate the paper's batch-sorted layout directly: `n_b` sorted
+/// sublists of `b_s` elements each, concatenated — the state of the
+/// working memory `W` after all GPU batches have returned. Used to
+/// drive merge-phase experiments (Figure 6) without running the
+/// pipeline.
+pub fn generate_batch_sorted(
+    dist: Distribution,
+    batch_size: usize,
+    batches: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let mut w = generate(dist, batch_size * batches, seed).data;
+    for b in 0..batches {
+        let chunk = &mut w[b * batch_size..(b + 1) * batch_size];
+        hetsort_algos::radix_sort(chunk);
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsort_algos::verify::is_sorted;
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let w = generate(Distribution::Uniform, 10_000, 42);
+        assert_eq!(w.data.len(), 10_000);
+        assert!(w.data.iter().all(|&x| (0.0..1.0).contains(&x)));
+        // Mean near 0.5.
+        let mean: f64 = w.data.iter().sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean={mean}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(Distribution::Uniform, 1000, 7);
+        let b = generate(Distribution::Uniform, 1000, 7);
+        let c = generate(Distribution::Uniform, 1000, 8);
+        assert_eq!(a.data, b.data);
+        assert_ne!(a.data, c.data);
+    }
+
+    #[test]
+    fn normal_has_sane_moments() {
+        let w = generate(Distribution::Normal, 50_000, 3);
+        let mean: f64 = w.data.iter().sum::<f64>() / 50_000.0;
+        let var: f64 =
+            w.data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / 50_000.0;
+        assert!(mean.abs() < 0.05, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.1, "var={var}");
+    }
+
+    #[test]
+    fn sorted_and_reverse_shapes() {
+        let s = generate(Distribution::Sorted, 100, 0).data;
+        assert!(is_sorted(&s));
+        let r = generate(Distribution::Reverse, 100, 0).data;
+        let mut rr = r.clone();
+        rr.reverse();
+        assert!(is_sorted(&rr));
+        assert!(!is_sorted(&r));
+    }
+
+    #[test]
+    fn nearly_sorted_is_mostly_ordered() {
+        let w = generate(
+            Distribution::NearlySorted {
+                swap_fraction: 0.01,
+            },
+            10_000,
+            5,
+        );
+        let inversions_adjacent = w
+            .data
+            .windows(2)
+            .filter(|p| p[0] > p[1])
+            .count();
+        assert!(inversions_adjacent > 0, "some disorder expected");
+        assert!(
+            inversions_adjacent < 500,
+            "too much disorder: {inversions_adjacent}"
+        );
+    }
+
+    #[test]
+    fn duplicate_heavy_has_few_distinct() {
+        let w = generate(Distribution::DuplicateHeavy { distinct: 8 }, 5000, 1);
+        let mut vals: Vec<u64> = w.data.iter().map(|x| x.to_bits()).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        assert!(vals.len() <= 8);
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let w = generate(
+            Distribution::Zipf {
+                distinct: 100,
+                exponent: 1.5,
+            },
+            20_000,
+            9,
+        );
+        let zero_count = w.data.iter().filter(|&&x| x == 0.0).count();
+        let one_count = w.data.iter().filter(|&&x| x == 1.0).count();
+        // Value 0 must be clearly more frequent than value 1.
+        assert!(zero_count > one_count, "{zero_count} vs {one_count}");
+        assert!(zero_count > 20_000 / 10);
+    }
+
+    #[test]
+    fn batch_sorted_layout() {
+        let w = generate_batch_sorted(Distribution::Uniform, 1000, 4, 11);
+        assert_eq!(w.len(), 4000);
+        for b in 0..4 {
+            assert!(is_sorted(&w[b * 1000..(b + 1) * 1000]), "batch {b}");
+        }
+        assert!(!is_sorted(&w), "whole array should not be sorted");
+    }
+
+    #[test]
+    fn kv_records_carry_index_payloads() {
+        let kv = generate_kv(Distribution::Uniform, 1000, 5);
+        assert_eq!(kv.len(), 1000);
+        // Values are the original indices, keys match the scalar stream.
+        let scalars = generate(Distribution::Uniform, 1000, 5).data;
+        for (i, r) in kv.iter().enumerate() {
+            assert_eq!(r.value, i as u64);
+            assert_eq!(r.key.to_bits(), scalars[i].to_bits());
+        }
+    }
+
+    #[test]
+    fn zero_length_everywhere() {
+        for d in Distribution::catalog() {
+            assert!(generate(d, 0, 1).data.is_empty(), "{d}");
+        }
+    }
+}

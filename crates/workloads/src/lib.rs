@@ -1,0 +1,17 @@
+//! # hetsort-workloads — input dataset generators and validators
+//!
+//! The paper evaluates exclusively on **uniformly distributed 64-bit
+//! floats** (§IV-A), arguing that hybrid-sort performance is dominated
+//! by memory-transfer time and therefore insensitive to the input
+//! distribution. This crate provides that workload plus the family of
+//! distributions the broader sorting literature uses (\[11\] PARADIS
+//! et al.), so the "distribution insensitivity" claim can actually be
+//! *tested* (see the distribution-sensitivity extension experiment).
+//!
+//! All generators are deterministic given a seed.
+
+pub mod dist;
+pub mod gen;
+
+pub use dist::Distribution;
+pub use gen::{generate, generate_batch_sorted, generate_kv, Workload};

@@ -1,0 +1,42 @@
+//! Distribution sensitivity: testing the paper's §IV-A assumption.
+//!
+//! The paper evaluates only uniform inputs, arguing hybrid-sort
+//! performance is transfer-dominated and the on-GPU radix sort is
+//! data-oblivious. We check the functional side of that claim: the
+//! pipeline must sort *correctly* on every distribution, and the real
+//! radix-sort stand-in's wall time should vary only mildly across them
+//! (histogram early-exit makes low-entropy inputs slightly faster —
+//! favorable, never adversarial).
+//!
+//! ```bash
+//! cargo run --release --example distribution_sensitivity
+//! ```
+
+use hetsort::core::{sort_real, Approach, HetSortConfig};
+use hetsort::vgpu::platform1;
+use hetsort::workloads::{generate, Distribution};
+
+fn main() {
+    let n = 400_000;
+    println!("PipeMerge functional runs across input distributions (n = {n}):\n");
+    println!("{:<22} {:>10} {:>10}", "distribution", "wall (s)", "verified");
+    let mut base = None;
+    for dist in Distribution::catalog() {
+        let data = generate(dist, n, 99).data;
+        let cfg = HetSortConfig::paper_defaults(platform1(), Approach::PipeMerge)
+            .with_batch_elems(50_000)
+            .with_pinned_elems(10_000);
+        let out = sort_real(cfg, &data).expect("pipeline");
+        assert!(out.verified, "{dist} failed verification");
+        println!("{:<22} {:>10.4} {:>10}", dist.to_string(), out.wall_s, out.verified);
+        if matches!(dist, Distribution::Uniform) {
+            base = Some(out.wall_s);
+        }
+    }
+    let base = base.unwrap();
+    println!(
+        "\nuniform baseline {base:.4} s; other distributions stay within a small factor\n\
+         (and simulated paper-scale timing is distribution-independent by construction,\n\
+         since transfer and merge volumes depend only on n — the paper's §IV-A argument)."
+    );
+}

@@ -1,0 +1,58 @@
+//! Out-of-core survey: which pipeline wins at which size?
+//!
+//! Sweeps input sizes from "fits on the GPU" to "8× GPU memory" on
+//! PLATFORM1 and prints the response time of every approach next to the
+//! CPU reference — the decision table a user of this library actually
+//! needs. Ends with the schedule of the winner as an ASCII Gantt.
+//!
+//! ```bash
+//! cargo run --release --example out_of_core_survey
+//! ```
+
+use hetsort::core::exec_sim::simulate_plan;
+use hetsort::core::{simulate, Approach, HetSortConfig, Plan};
+use hetsort::vgpu::platform1;
+
+fn main() {
+    let plat = platform1();
+    let bs = 500_000_000usize;
+    println!("PLATFORM1 (GP100 16 GiB, 16-core host), b_s = 5e8, n_s = 2\n");
+    println!(
+        "{:>12} {:>6} {:>12} {:>10} {:>10} {:>12} {:>10} {:>8}",
+        "n", "GiB", "BLineMulti", "PipeData", "PipeMerge", "+ParMemCpy", "Reference", "speedup"
+    );
+    for i in 1..=8 {
+        let n = i * 1_000_000_000usize;
+        let mut best = f64::INFINITY;
+        let mut row = format!("{:>12} {:>6.1}", n, n as f64 * 8.0 / 1.074e9);
+        for (a, pm) in [
+            (Approach::BLineMulti, false),
+            (Approach::PipeData, false),
+            (Approach::PipeMerge, false),
+            (Approach::PipeMerge, true),
+        ] {
+            let mut cfg =
+                HetSortConfig::paper_defaults(plat.clone(), a).with_batch_elems(bs);
+            if pm {
+                cfg = cfg.with_par_memcpy();
+            }
+            let t = simulate(cfg, n).expect("sim").total_s;
+            best = best.min(t);
+            row.push_str(&format!(" {t:>11.2}s"));
+        }
+        let ref_t = hetsort::core::reference::reference_time_full(&plat, n);
+        row.push_str(&format!(" {ref_t:>9.2}s {:>7.2}x", ref_t / best));
+        println!("{row}");
+    }
+
+    // Show the winner's schedule at a digestible size.
+    println!("\nwinning schedule (PipeMerge+ParMemCpy) at n = 2e9, coarse chunks:\n");
+    let cfg = HetSortConfig::paper_defaults(plat, Approach::PipeMerge)
+        .with_batch_elems(bs)
+        .with_pinned_elems(100_000_000)
+        .with_par_memcpy();
+    let plan = Plan::build(cfg, 2_000_000_000).expect("plan");
+    let r = simulate_plan(&plan).expect("sim");
+    println!("{}", r.timeline.gantt(100));
+    println!("legend: M=MCpy/MultiwayMerge  H=HtoD  D=DtoH  G=GPUSort  P=PinnedAlloc/PairMerge");
+}

@@ -1,0 +1,97 @@
+//! The `hetsort` command-line tool: simulate, sort, and visualize
+//! heterogeneous sorting pipelines. See `hetsort help`.
+
+use hetsort::cli::{parse, Command, RunArgs, USAGE};
+use hetsort::core::{simulate, sort_real, Plan};
+use hetsort::vgpu::{platform1, platform2};
+use hetsort::workloads::{generate, Distribution};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(cmd) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Help => println!("{USAGE}"),
+        Command::Platforms => {
+            for p in [platform1(), platform2()] {
+                println!(
+                    "{:<10} {} cores, {} GPU(s): {}",
+                    p.name,
+                    p.cpu.cores,
+                    p.gpus.len(),
+                    p.gpus
+                        .iter()
+                        .map(|g| g.name.clone())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+            }
+        }
+        Command::Simulate(r) => {
+            let report = simulate(r.config()?, r.n)?;
+            println!("{}", report.summary());
+            println!(
+                "PCIe/bus utilization: {}",
+                utilization_line(&report.timeline)
+            );
+            let ref_t = hetsort::core::reference::reference_time_full(
+                &r.platform_spec()?,
+                r.n,
+            );
+            println!(
+                "reference CPU sort: {ref_t:.3} s → speedup {:.2}x",
+                ref_t / report.total_s
+            );
+        }
+        Command::Sort(r) => {
+            let data = generate(Distribution::Uniform, r.n, r.seed).data;
+            let out = sort_real(r.config()?, &data)?;
+            println!(
+                "sorted {} elements in {:.3} s wall — {} batches, {} pair merges, verified: {}",
+                out.sorted.len(),
+                out.wall_s,
+                out.nb,
+                out.pair_merges,
+                out.verified
+            );
+            if !out.verified {
+                return Err("verification failed".into());
+            }
+        }
+        Command::Gantt(r) => {
+            let gantt = gantt(&r)?;
+            println!("{gantt}");
+            println!(
+                "legend: first letter of component (M=MCpy/MultiwayMerge, H=HtoD, D=DtoH, G=GPUSort, P=PinnedAlloc/PairMerge)"
+            );
+        }
+    }
+    Ok(())
+}
+
+fn gantt(r: &RunArgs) -> Result<String, String> {
+    let plan = Plan::build(r.config()?, r.n)?;
+    let report = hetsort::core::exec_sim::simulate_plan(&plan)?;
+    Ok(report.timeline.gantt(100))
+}
+
+fn utilization_line(tl: &hetsort::sim::Timeline) -> String {
+    tl.fluids()
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{name} {:.0}%", 100.0 * tl.utilization(i)))
+        .collect::<Vec<_>>()
+        .join(", ")
+}

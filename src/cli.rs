@@ -1,0 +1,265 @@
+//! Command-line interface plumbing for the `hetsort` binary.
+//!
+//! Hand-rolled parsing (no extra dependencies): subcommands `simulate`,
+//! `sort`, `platforms`, and `gantt`, with `--key value` options. See
+//! `hetsort --help`.
+
+use hetsort_core::{Approach, HetSortConfig, PairStrategy};
+use hetsort_vgpu::{platform1, platform2, PlatformSpec};
+
+/// Parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Simulate a configuration at paper scale.
+    Simulate(RunArgs),
+    /// Functionally sort generated data and verify.
+    Sort(RunArgs),
+    /// Render the schedule of a configuration as an ASCII Gantt.
+    Gantt(RunArgs),
+    /// Print the modeled platforms.
+    Platforms,
+    /// Print usage.
+    Help,
+}
+
+/// Options shared by `simulate`, `sort`, and `gantt`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// Input size.
+    pub n: usize,
+    /// Platform key (`p1` or `p2`).
+    pub platform: String,
+    /// Approach name (case-insensitive).
+    pub approach: Approach,
+    /// PARMEMCPY.
+    pub par_memcpy: bool,
+    /// Batch size override (0 = auto).
+    pub batch: usize,
+    /// Streams per GPU override (0 = default 2).
+    pub streams: usize,
+    /// Pinned buffer size override (0 = default 1e6).
+    pub pinned: usize,
+    /// Pair-merge strategy.
+    pub strategy: PairStrategy,
+    /// RNG seed (functional sort).
+    pub seed: u64,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        RunArgs {
+            n: 1_000_000,
+            platform: "p1".into(),
+            approach: Approach::PipeMerge,
+            par_memcpy: false,
+            batch: 0,
+            streams: 0,
+            pinned: 0,
+            strategy: PairStrategy::PaperHeuristic,
+            seed: 42,
+        }
+    }
+}
+
+impl RunArgs {
+    /// Resolve the platform spec.
+    pub fn platform_spec(&self) -> Result<PlatformSpec, String> {
+        match self.platform.as_str() {
+            "p1" | "platform1" | "PLATFORM1" => Ok(platform1()),
+            "p2" | "platform2" | "PLATFORM2" => Ok(platform2()),
+            other => Err(format!("unknown platform '{other}' (use p1 or p2)")),
+        }
+    }
+
+    /// Build the sort configuration.
+    pub fn config(&self) -> Result<HetSortConfig, String> {
+        let mut cfg = HetSortConfig::paper_defaults(self.platform_spec()?, self.approach)
+            .with_pair_strategy(self.strategy);
+        if self.par_memcpy {
+            cfg = cfg.with_par_memcpy();
+        }
+        if self.batch > 0 {
+            cfg = cfg.with_batch_elems(self.batch);
+        }
+        if self.streams > 0 {
+            cfg = cfg.with_streams(self.streams);
+        }
+        if self.pinned > 0 {
+            cfg = cfg.with_pinned_elems(self.pinned);
+        }
+        Ok(cfg)
+    }
+}
+
+/// Parse a number with optional scientific/underscore notation
+/// (`5e9`, `1_000_000`, `250000`).
+pub fn parse_count(s: &str) -> Result<usize, String> {
+    let cleaned: String = s.chars().filter(|&c| c != '_').collect();
+    if let Ok(v) = cleaned.parse::<usize>() {
+        return Ok(v);
+    }
+    cleaned
+        .parse::<f64>()
+        .ok()
+        .filter(|v| v.is_finite() && *v >= 0.0 && *v <= 1e18)
+        .map(|v| v as usize)
+        .ok_or_else(|| format!("cannot parse count '{s}'"))
+}
+
+fn parse_approach(s: &str) -> Result<Approach, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "bline" => Ok(Approach::BLine),
+        "blinemulti" | "bline-multi" => Ok(Approach::BLineMulti),
+        "pipedata" | "pipe-data" => Ok(Approach::PipeData),
+        "pipemerge" | "pipe-merge" => Ok(Approach::PipeMerge),
+        other => Err(format!(
+            "unknown approach '{other}' (bline|blinemulti|pipedata|pipemerge)"
+        )),
+    }
+}
+
+fn parse_strategy(s: &str) -> Result<PairStrategy, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "paper" | "heuristic" => Ok(PairStrategy::PaperHeuristic),
+        "online" => Ok(PairStrategy::Online),
+        "tree" | "mergetree" => Ok(PairStrategy::MergeTree),
+        other => Err(format!("unknown strategy '{other}' (paper|online|tree)")),
+    }
+}
+
+/// Parse a full argument list (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let Some(sub) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match sub.as_str() {
+        "platforms" => Ok(Command::Platforms),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "simulate" | "sort" | "gantt" => {
+            let mut run = RunArgs::default();
+            if sub == "sort" {
+                run.n = 1_000_000;
+            } else {
+                run.n = 2_000_000_000;
+            }
+            let mut it = args[1..].iter();
+            while let Some(key) = it.next() {
+                let mut need = |name: &str| -> Result<&String, String> {
+                    it.next().ok_or(format!("missing value for {name}"))
+                };
+                match key.as_str() {
+                    "-n" | "--n" => run.n = parse_count(need("-n")?)?,
+                    "--platform" | "-p" => run.platform = need("--platform")?.clone(),
+                    "--approach" | "-a" => run.approach = parse_approach(need("--approach")?)?,
+                    "--par-memcpy" => run.par_memcpy = true,
+                    "--batch" | "-b" => run.batch = parse_count(need("--batch")?)?,
+                    "--streams" | "-s" => run.streams = parse_count(need("--streams")?)?,
+                    "--pinned" => run.pinned = parse_count(need("--pinned")?)?,
+                    "--strategy" => run.strategy = parse_strategy(need("--strategy")?)?,
+                    "--seed" => {
+                        run.seed = need("--seed")?
+                            .parse()
+                            .map_err(|e| format!("bad seed: {e}"))?
+                    }
+                    other => return Err(format!("unknown option '{other}'")),
+                }
+            }
+            Ok(match sub.as_str() {
+                "simulate" => Command::Simulate(run),
+                "sort" => Command::Sort(run),
+                _ => Command::Gantt(run),
+            })
+        }
+        other => Err(format!("unknown command '{other}'; try 'hetsort help'")),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+hetsort — heterogeneous CPU/GPU sorting (IPPS 2018 reproduction)
+
+USAGE:
+  hetsort simulate  [-n 5e9] [--platform p1|p2] [--approach pipemerge]
+                    [--par-memcpy] [--batch 5e8] [--streams 2]
+                    [--pinned 1e6] [--strategy paper|online|tree]
+  hetsort sort      [-n 1e6] [--seed 42] [... same options]
+  hetsort gantt     [-n 2e9] [... same options]
+  hetsort platforms
+  hetsort help
+
+EXAMPLES:
+  hetsort simulate -n 5e9 -a pipemerge --par-memcpy       # Figure 9's best
+  hetsort sort -n 2e6 -b 250000 --pinned 50000            # functional + verify
+  hetsort gantt -n 2e9 -a pipemerge --pinned 1e8          # schedule picture
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_count_formats() {
+        assert_eq!(parse_count("123").unwrap(), 123);
+        assert_eq!(parse_count("1_000_000").unwrap(), 1_000_000);
+        assert_eq!(parse_count("5e9").unwrap(), 5_000_000_000);
+        assert_eq!(parse_count("2.5e3").unwrap(), 2_500);
+        assert!(parse_count("abc").is_err());
+        assert!(parse_count("-5").is_err());
+    }
+
+    #[test]
+    fn parse_simulate_full() {
+        let cmd = parse(&argv(
+            "simulate -n 5e9 --platform p2 -a pipedata --par-memcpy --batch 3.5e8 --streams 2 --pinned 1e6 --strategy tree",
+        ))
+        .unwrap();
+        let Command::Simulate(r) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(r.n, 5_000_000_000);
+        assert_eq!(r.platform, "p2");
+        assert_eq!(r.approach, Approach::PipeData);
+        assert!(r.par_memcpy);
+        assert_eq!(r.batch, 350_000_000);
+        assert_eq!(r.strategy, PairStrategy::MergeTree);
+    }
+
+    #[test]
+    fn parse_defaults_and_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("platforms")).unwrap(), Command::Platforms);
+        let Command::Sort(r) = parse(&argv("sort")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.n, 1_000_000);
+        assert_eq!(r.approach, Approach::PipeMerge);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse(&argv("simulate --approach nope")).is_err());
+        assert!(parse(&argv("simulate --frobnicate")).is_err());
+        assert!(parse(&argv("simulate -n")).is_err());
+        assert!(parse(&argv("bogus")).is_err());
+    }
+
+    #[test]
+    fn config_resolution() {
+        let Command::Simulate(r) =
+            parse(&argv("simulate --platform p1 -a blinemulti")).unwrap()
+        else {
+            panic!()
+        };
+        let cfg = r.config().unwrap();
+        assert_eq!(cfg.platform.name, "PLATFORM1");
+        assert_eq!(cfg.approach, Approach::BLineMulti);
+        let mut bad = r.clone();
+        bad.platform = "p9".into();
+        assert!(bad.platform_spec().is_err());
+    }
+}

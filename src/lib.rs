@@ -1,0 +1,25 @@
+//! # hetsort — heterogeneous CPU/GPU sorting for datasets exceeding GPU memory
+//!
+//! Facade crate re-exporting the full reproduction of Gowanlock & Karsin,
+//! *"Sorting Large Datasets with Heterogeneous CPU/GPU Architectures"*
+//! (IPPS 2018). See `README.md` for the architecture overview and
+//! `DESIGN.md` for the system inventory and experiment index.
+//!
+//! * [`sim`] — discrete-event simulation kernel (fluid + token resources).
+//! * [`vgpu`] — virtual CUDA substrate (devices, streams, pinned memory,
+//!   PCIe topology, calibrated platform models).
+//! * [`algos`] — real CPU sorting/merging algorithms built from scratch.
+//! * [`core`] — the paper's contribution: the heterogeneous sorting
+//!   approaches (`BLine`, `BLineMulti`, `PipeData`, `PipeMerge`,
+//!   `ParMemCpy`), planner, executors, and overhead accounting.
+//! * [`model`] — lower-bound performance models and calibration.
+//! * [`workloads`] — input dataset generators and validators.
+
+pub mod cli;
+
+pub use hetsort_algos as algos;
+pub use hetsort_core as core;
+pub use hetsort_model as model;
+pub use hetsort_sim as sim;
+pub use hetsort_vgpu as vgpu;
+pub use hetsort_workloads as workloads;

@@ -1,0 +1,250 @@
+//! The paper's quantitative claims as executable assertions.
+//!
+//! Each test names the section/figure it checks. Tolerances are loose
+//! where the paper's own numbers are read off plots, tight where the
+//! paper states exact values. `EXPERIMENTS.md` records the measured
+//! values next to the paper's.
+
+use hetsort::core::reference::{reference_time, reference_time_full};
+use hetsort::core::{simulate, Approach, HetSortConfig};
+use hetsort::model::LowerBoundModel;
+use hetsort::vgpu::{platform1, platform2};
+
+fn p1(a: Approach) -> HetSortConfig {
+    HetSortConfig::paper_defaults(platform1(), a).with_batch_elems(500_000_000)
+}
+
+#[test]
+fn fig4_gnu_speedups() {
+    // §IV-C: "speedups range from 3.17 (n=1e6) to 10.12 (n=1e9) with 16
+    // threads" on PLATFORM1.
+    let p = platform1();
+    let s_small = reference_time(&p, 1_000_000, 1) / reference_time(&p, 1_000_000, 16);
+    let s_big = reference_time(&p, 1_000_000_000, 1) / reference_time(&p, 1_000_000_000, 16);
+    assert!((2.5..3.9).contains(&s_small), "small-n speedup {s_small}");
+    assert!((9.2..11.0).contains(&s_big), "large-n speedup {s_big}");
+    assert!(s_big > s_small, "larger inputs must scale better (Fig 4b)");
+}
+
+#[test]
+fn fig5_ratio_band() {
+    // §IV-D1: "the ratio of the response time between sorting on the
+    // CPU and GPU is between 1.22 and 1.32" (PLATFORM2, n_b = 1).
+    let p = platform2();
+    for n in [200_000_000usize, 400_000_000, 700_000_000] {
+        let cfg = HetSortConfig::paper_defaults(p.clone(), Approach::BLine);
+        let g = simulate(cfg, n).unwrap().total_s;
+        let c = reference_time_full(&p, n);
+        let ratio = c / g;
+        assert!((1.15..1.45).contains(&ratio), "n={n}: ratio {ratio}");
+    }
+}
+
+#[test]
+fn fig6_merge_speedup() {
+    // §IV-D2: "On 16 cores, the parallel merge achieves a speedup of
+    // 8.14×".
+    let mut m1 = hetsort::vgpu::Machine::new(platform1());
+    let a = m1.pair_merge(1e9, 1, &[], None);
+    let t1 = m1.run().unwrap().span(a).duration();
+    let mut m16 = hetsort::vgpu::Machine::new(platform1());
+    let b = m16.pair_merge(1e9, 16, &[], None);
+    let t16 = m16.run().unwrap().span(b).duration();
+    let s = t1 / t16;
+    assert!((7.4..8.9).contains(&s), "merge speedup {s}");
+}
+
+#[test]
+fn fig7_transfer_times_match_related_work() {
+    // §IV-E1: "Our HtoD and DtoH times are 0.536 s and 0.484 s ...
+    // theirs are 0.542 s and 0.477 s" at ~6 GB.
+    let cfg = HetSortConfig::paper_defaults(platform1(), Approach::BLine);
+    let r = simulate(cfg, 800_000_000).unwrap();
+    let htod = r.component("HtoD");
+    let dtoh = r.component("DtoH");
+    assert!((htod - 0.536).abs() < 0.03, "HtoD {htod}");
+    assert!((dtoh - 0.484).abs() < 0.06, "DtoH {dtoh}");
+}
+
+#[test]
+fn fig8_missing_overheads_are_substantial_and_growing() {
+    // §IV-E1: including all components gives "a much larger total
+    // response time" than the literature's 1+2+3.
+    let mut last_missing = 0.0;
+    for n in [200_000_000usize, 600_000_000, 1_000_000_000] {
+        let cfg = HetSortConfig::paper_defaults(platform1(), Approach::BLine);
+        let r = simulate(cfg, n).unwrap();
+        let missing = r.missing_overhead_s();
+        assert!(
+            missing > 0.4 * r.total_s,
+            "n={n}: missing {missing} of {}",
+            r.total_s
+        );
+        assert!(missing > last_missing);
+        last_missing = missing;
+    }
+}
+
+#[test]
+fn fig8_pinned_everything_is_unacceptable() {
+    // §IV-E1: "Allocating a pinned memory buffer of size p_s = n =
+    // 8·10⁸ takes 2.2 s, which is longer than the sum of the time
+    // components in Figure 7."
+    let plat = platform1();
+    assert!((plat.pinned_alloc.seconds(6.4e9) - 2.2).abs() < 1e-9);
+    let cfg = HetSortConfig::paper_defaults(plat, Approach::BLine);
+    let r = simulate(cfg, 800_000_000).unwrap();
+    assert!(2.2 > r.literature_total_s);
+}
+
+#[test]
+fn fig9_approach_ordering_and_speedups() {
+    // §IV-F Experiment 1.
+    let n = 5_000_000_000usize;
+    let bl = simulate(p1(Approach::BLineMulti), n).unwrap().total_s;
+    let pd = simulate(p1(Approach::PipeData), n).unwrap().total_s;
+    let pm = simulate(p1(Approach::PipeMerge), n).unwrap().total_s;
+    let pmc = simulate(p1(Approach::PipeMerge).with_par_memcpy(), n)
+        .unwrap()
+        .total_s;
+    let rf = reference_time_full(&platform1(), n);
+
+    // "Across all input sizes, our approaches outperform the parallel
+    // CPU reference implementation, including BLINEMULTI".
+    assert!(bl < rf);
+    // "pipelining the data transfers improves performance" (22% at 5e9;
+    // band 10–35%).
+    let gain = (bl - pd) / bl;
+    assert!((0.10..0.35).contains(&gain), "PipeData gain {gain}");
+    // "PIPEMERGE marginally improves the performance over PIPEDATA".
+    assert!(pm <= pd * 1.01, "PipeMerge {pm} vs PipeData {pd}");
+    // "PARMEMCPY reduces end-to-end response time by 13%" (band 5–20%).
+    let pgain = (pm - pmc) / pm;
+    assert!((0.05..0.20).contains(&pgain), "ParMemCpy gain {pgain}");
+    // "we achieve speedups ... of 3.47× and 3.21×" (band ±20%).
+    let speedup_big = rf / pmc;
+    assert!((2.6..4.0).contains(&speedup_big), "speedup {speedup_big}");
+    let n_small = 1_000_000_000usize;
+    let pmc_small = simulate(p1(Approach::PipeMerge).with_par_memcpy(), n_small)
+        .unwrap()
+        .total_s;
+    let speedup_small = reference_time_full(&platform1(), n_small) / pmc_small;
+    assert!((2.8..4.4).contains(&speedup_small), "speedup {speedup_small}");
+}
+
+#[test]
+fn fig10_two_gpus_help_but_sublinearly() {
+    // §IV-F Experiment 2.
+    let n = 4_900_000_000usize;
+    let p2 = platform2();
+    let mut p2s = p2.clone();
+    p2s.gpus.truncate(1);
+    let mk = |plat| {
+        HetSortConfig::paper_defaults(plat, Approach::PipeMerge)
+            .with_batch_elems(350_000_000)
+            .with_par_memcpy()
+    };
+    let t1 = simulate(mk(p2s), n).unwrap().total_s;
+    let t2 = simulate(mk(p2.clone()), n).unwrap().total_s;
+    assert!(t2 < t1, "two GPUs must help");
+    assert!(t2 > t1 / 2.0, "shared PCIe + CPU merge make scaling sublinear");
+    // "speedups over the parallel CPU reference ... 1.89× and 2.02×".
+    let s = reference_time_full(&p2, n) / t2;
+    assert!((1.6..2.4).contains(&s), "2-GPU speedup {s}");
+    // "the relative difference between the approaches when n_GPU = 2 is
+    // smaller than when n_GPU = 1" (BLINEMULTI already saturates the
+    // shared bus).
+    let bl1 = simulate(
+        {
+            let mut p = platform2();
+            p.gpus.truncate(1);
+            HetSortConfig::paper_defaults(p, Approach::BLineMulti).with_batch_elems(350_000_000)
+        },
+        n,
+    )
+    .unwrap()
+    .total_s;
+    let bl2 = simulate(
+        HetSortConfig::paper_defaults(platform2(), Approach::BLineMulti)
+            .with_batch_elems(350_000_000),
+        n,
+    )
+    .unwrap()
+    .total_s;
+    let pd1 = simulate(
+        {
+            let mut p = platform2();
+            p.gpus.truncate(1);
+            HetSortConfig::paper_defaults(p, Approach::PipeData).with_batch_elems(350_000_000)
+        },
+        n,
+    )
+    .unwrap()
+    .total_s;
+    let pd2 = simulate(
+        HetSortConfig::paper_defaults(platform2(), Approach::PipeData)
+            .with_batch_elems(350_000_000),
+        n,
+    )
+    .unwrap()
+    .total_s;
+    let rel1 = (bl1 - pd1) / bl1;
+    let rel2 = (bl2 - pd2) / bl2;
+    assert!(
+        rel2 < rel1,
+        "approach spread must shrink with 2 GPUs: {rel1} vs {rel2}"
+    );
+}
+
+#[test]
+fn fig11_models_and_efficiency() {
+    // §IV-G.
+    let p2 = platform2();
+    let m1 = LowerBoundModel::one_gpu(&p2);
+    let m2 = LowerBoundModel::two_gpu(&p2);
+    // "y = 6.278e-9 n" (±3%) and "y = 3.706e-9 n" (±20%).
+    assert!((m1.slope - 6.278e-9).abs() / 6.278e-9 < 0.03, "{}", m1.slope);
+    assert!((m2.slope - 3.706e-9).abs() / 3.706e-9 < 0.20, "{}", m2.slope);
+
+    // "at n = 1.4e9 PIPEDATA outperforms the lower limit baseline".
+    let mut p2s = p2.clone();
+    p2s.gpus.truncate(1);
+    let mk1 = |n| {
+        simulate(
+            HetSortConfig::paper_defaults(p2s.clone(), Approach::PipeData)
+                .with_batch_elems(350_000_000),
+            n,
+        )
+        .unwrap()
+        .total_s
+    };
+    assert!(mk1(1_400_000_000) < m1.predict(1_400_000_000));
+    // "at n > 2.1e9 ... performance of PIPEDATA begins to degrade";
+    // "the slowdown ... is only 0.93×" at 4.9e9 (band 0.85–1.0).
+    let t_big = mk1(4_900_000_000);
+    let slowdown = m1.predict(4_900_000_000) / t_big;
+    assert!((0.85..1.0).contains(&slowdown), "slowdown {slowdown}");
+}
+
+#[test]
+fn section3_pair_merge_heuristics() {
+    // §III-D3's exact formulas, including the Figure 3 worked example.
+    let c1 = HetSortConfig::paper_defaults(platform1(), Approach::PipeMerge);
+    assert_eq!(c1.pipelined_pair_merges(6), 2); // Figure 3
+    assert_eq!(c1.pipelined_pair_merges(10), 4);
+    assert_eq!(c1.pipelined_pair_merges(11), 5);
+    let c2 = HetSortConfig::paper_defaults(platform2(), Approach::PipeMerge);
+    assert_eq!(c2.pipelined_pair_merges(10), 2); // ⌊9/2²⌋
+    assert_eq!(c2.pipelined_pair_merges(14), 3);
+}
+
+#[test]
+fn section5_pinned_transfers_run_at_12gbs() {
+    // §V: "Our pinned memory data transfers occur at ~12 GB/s, which is
+    // 75% of the peak PCIe v.3 bandwidth of 16 GB/s."
+    for p in [platform1(), platform2()] {
+        assert_eq!(p.pcie.pinned_bps, 12e9);
+        assert!((p.pcie.pinned_bps / 16e9 - 0.75).abs() < 1e-12);
+        assert_eq!(p.pcie.pinned_bps / p.pcie.pageable_bps, 2.0);
+    }
+}
