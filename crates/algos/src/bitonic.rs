@@ -51,8 +51,8 @@ pub fn bitonic_sort<T: SortOrd>(data: &mut [T]) {
     let mut padded: Vec<Padded<T>> = Vec::with_capacity(m);
     padded.extend(data.iter().map(|&x| Padded(Some(x))));
     padded.resize(m, Padded(None));
-    network(&mut padded, |d, i, l, asc| compare_exchange(d, i, l, asc));
-    for (slot, p) in data.iter_mut().zip(padded.into_iter()) {
+    network(&mut padded, compare_exchange);
+    for (slot, p) in data.iter_mut().zip(padded) {
         *slot = p.0.expect("sentinels sort to the tail");
     }
 }
@@ -74,7 +74,7 @@ pub fn par_bitonic_sort<T: SortOrd>(threads: usize, data: &mut [T]) {
     padded.extend(data.iter().map(|&x| Padded(Some(x))));
     padded.resize(m, Padded(None));
     par_network(threads, &mut padded);
-    for (slot, p) in data.iter_mut().zip(padded.into_iter()) {
+    for (slot, p) in data.iter_mut().zip(padded) {
         *slot = p.0.expect("sentinels sort to the tail");
     }
 }
@@ -143,8 +143,7 @@ fn par_network<T: SortOrd>(threads: usize, data: &mut [T]) {
                         unsafe {
                             let a = &*cell_ref.0.add(i);
                             let b = &*cell_ref.0.add(l);
-                            let out_of_order =
-                                if ascending { b.lt(a) } else { a.lt(b) };
+                            let out_of_order = if ascending { b.lt(a) } else { a.lt(b) };
                             if out_of_order {
                                 std::ptr::swap(cell_ref.0.add(i), cell_ref.0.add(l));
                             }
@@ -168,7 +167,9 @@ mod tests {
         let mut x = seed | 1;
         (0..n)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 11) as f64 / (1u64 << 53) as f64 - 0.5
             })
             .collect()

@@ -141,7 +141,9 @@ mod tests {
         let mut x = 0x243F6A8885A308D3u64;
         let v: Vec<i64> = (0..10_000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 16) as i64 - (1 << 47)
             })
             .collect();

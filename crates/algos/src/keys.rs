@@ -221,7 +221,10 @@ mod tests {
 
     #[test]
     fn key_value_sorts_by_key_only() {
-        let a = KeyValue { key: 1.0, value: 99 };
+        let a = KeyValue {
+            key: 1.0,
+            value: 99,
+        };
         let b = KeyValue { key: 2.0, value: 0 };
         assert!(SortOrd::lt(&a, &b));
         assert_eq!(a.radix_key(), 1.0f64.radix_key());

@@ -20,11 +20,7 @@ use crate::par::{par_parts, split_evenly, split_ranges_mut};
 ///
 /// Panics if `out.len() != a.len() + b.len()`.
 pub fn merge_into<T: SortOrd>(a: &[T], b: &[T], out: &mut [T]) {
-    assert_eq!(
-        out.len(),
-        a.len() + b.len(),
-        "output must hold both inputs"
-    );
+    assert_eq!(out.len(), a.len() + b.len(), "output must hold both inputs");
     let mut i = 0;
     let mut j = 0;
     for slot in out.iter_mut() {
@@ -63,11 +59,7 @@ pub fn co_rank<T: SortOrd>(k: usize, a: &[T], b: &[T]) -> (usize, usize) {
 /// (Merge Path partitioning). Falls back to [`merge_into`] for a single
 /// thread or tiny inputs.
 pub fn par_merge_into<T: SortOrd>(threads: usize, a: &[T], b: &[T], out: &mut [T]) {
-    assert_eq!(
-        out.len(),
-        a.len() + b.len(),
-        "output must hold both inputs"
-    );
+    assert_eq!(out.len(), a.len() + b.len(), "output must hold both inputs");
     let n = out.len();
     let threads = threads.max(1);
     if threads == 1 || n < 4 * threads {
@@ -101,7 +93,9 @@ mod tests {
         let mut x = seed | 1;
         let mut v: Vec<u64> = (0..n)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 x
             })
             .collect();
@@ -191,10 +185,7 @@ mod tests {
         let mut out = vec![0u64; a.len() + b.len()];
         par_merge_into(4, &a, &b, &mut out);
         assert!(is_sorted(&out));
-        assert_eq!(
-            combine(fingerprint(&a), fingerprint(&b)),
-            fingerprint(&out)
-        );
+        assert_eq!(combine(fingerprint(&a), fingerprint(&b)), fingerprint(&out));
     }
 
     #[test]

@@ -244,7 +244,9 @@ mod tests {
         let mut x = seed.wrapping_mul(2862933555777941757) | 1;
         let mut v: Vec<u64> = (0..n)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 x % 10_000 // plenty of cross-list duplicates
             })
             .collect();
@@ -281,7 +283,9 @@ mod tests {
 
     #[test]
     fn many_lists_match_reference() {
-        let lists_owned: Vec<Vec<u64>> = (0..7).map(|i| lcg_sorted(i + 1, 500 + 37 * i as usize)).collect();
+        let lists_owned: Vec<Vec<u64>> = (0..7)
+            .map(|i| lcg_sorted(i + 1, 500 + 37 * i as usize))
+            .collect();
         let lists: Vec<&[u64]> = lists_owned.iter().map(|v| v.as_slice()).collect();
         let total: usize = lists.iter().map(|l| l.len()).sum();
         let mut out = vec![0u64; total];

@@ -201,7 +201,7 @@ mod tests {
                 *x = i + 1;
             }
         });
-        assert!(v.iter().all(|&x| x >= 1 && x <= 7));
+        assert!(v.iter().all(|&x| (1..=7).contains(&x)));
         // First chunk has ceil(103/7)=15 elements of value 1.
         assert_eq!(v.iter().filter(|&&x| x == 1).count(), 15);
     }

@@ -35,11 +35,7 @@ pub fn radix_sort<T: RadixKey>(data: &mut [T]) {
 /// data ends up in `scratch` and the caller (or [`radix_sort`]) must
 /// copy back.
 pub fn radix_sort_with_scratch<T: RadixKey>(data: &mut [T], scratch: &mut [T]) -> usize {
-    assert_eq!(
-        data.len(),
-        scratch.len(),
-        "scratch must match input length"
-    );
+    assert_eq!(data.len(), scratch.len(), "scratch must match input length");
     let n = data.len();
     if n <= 1 {
         return 0;
@@ -123,7 +119,9 @@ mod tests {
         let mut x = seed | 1;
         (0..n)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 x
             })
             .collect()

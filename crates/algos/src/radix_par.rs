@@ -63,14 +63,9 @@ pub fn par_radix_with_scratch<T: RadixKey>(
     // (per-worker local tables, reduced afterwards).
     let mut local_hists: Vec<Vec<u32>>;
     {
-        let mut slots: Vec<Vec<u32>> = (0..threads)
-            .map(|_| vec![0u32; BUCKETS * digits])
-            .collect();
-        let parts: Vec<(std::ops::Range<usize>, &mut Vec<u32>)> = chunks
-            .iter()
-            .cloned()
-            .zip(slots.iter_mut())
-            .collect();
+        let mut slots: Vec<Vec<u32>> = (0..threads).map(|_| vec![0u32; BUCKETS * digits]).collect();
+        let parts: Vec<(std::ops::Range<usize>, &mut Vec<u32>)> =
+            chunks.iter().cloned().zip(slots.iter_mut()).collect();
         let data_ref: &[T] = data;
         par_parts(threads, parts, |_, (range, hist)| {
             for &x in &data_ref[range] {
@@ -105,8 +100,7 @@ pub fn par_radix_with_scratch<T: RadixKey>(
             *s = sum;
             sum += g[b] as usize;
         }
-        let mut worker_offsets: Vec<[usize; BUCKETS]> =
-            vec![[0usize; BUCKETS]; threads];
+        let mut worker_offsets: Vec<[usize; BUCKETS]> = vec![[0usize; BUCKETS]; threads];
         for b in 0..BUCKETS {
             let mut off = bucket_starts[b];
             for (w, wo) in worker_offsets.iter_mut().enumerate() {
@@ -121,11 +115,8 @@ pub fn par_radix_with_scratch<T: RadixKey>(
             (&*scratch, &mut *data)
         };
         let target = ScatterTarget(dst.as_mut_ptr());
-        let parts: Vec<(std::ops::Range<usize>, [usize; BUCKETS])> = chunks
-            .iter()
-            .cloned()
-            .zip(worker_offsets.into_iter())
-            .collect();
+        let parts: Vec<(std::ops::Range<usize>, [usize; BUCKETS])> =
+            chunks.iter().cloned().zip(worker_offsets).collect();
         let target_ref = &target;
         par_parts(threads, parts, move |_, (range, mut offsets)| {
             for &x in &src[range] {
@@ -147,14 +138,10 @@ pub fn par_radix_with_scratch<T: RadixKey>(
         // change — recompute local histograms for the remaining digits.
         if d + 1 < digits {
             let next_src: &[T] = if src_is_data { &*scratch } else { &*data };
-            let mut slots: Vec<Vec<u32>> = (0..threads)
-                .map(|_| vec![0u32; BUCKETS * digits])
-                .collect();
-            let parts: Vec<(std::ops::Range<usize>, &mut Vec<u32>)> = chunks
-                .iter()
-                .cloned()
-                .zip(slots.iter_mut())
-                .collect();
+            let mut slots: Vec<Vec<u32>> =
+                (0..threads).map(|_| vec![0u32; BUCKETS * digits]).collect();
+            let parts: Vec<(std::ops::Range<usize>, &mut Vec<u32>)> =
+                chunks.iter().cloned().zip(slots.iter_mut()).collect();
             par_parts(threads, parts, |_, (range, hist)| {
                 for &x in &next_src[range] {
                     let key = x.radix_key();
@@ -183,7 +170,9 @@ mod tests {
         let mut x = seed | 1;
         (0..n)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 x
             })
             .collect()

@@ -40,8 +40,7 @@ pub fn par_samplesort<T: SortOrd + Default>(threads: usize, data: &mut [T]) {
     //    p buckets, classified by binary search against the splitters.
     let chunk_ranges = split_evenly(n, p);
     let chunks: Vec<&[T]> = chunk_ranges.iter().map(|r| &data[r.clone()]).collect();
-    let local: Vec<parking::Slot<Vec<Vec<T>>>> =
-        (0..p).map(|_| parking::Slot::new()).collect();
+    let local: Vec<parking::Slot<Vec<Vec<T>>>> = (0..p).map(|_| parking::Slot::new()).collect();
     {
         let parts: Vec<(usize, &[T])> = chunks.iter().copied().enumerate().collect();
         let local_ref = &local;
@@ -143,7 +142,9 @@ mod tests {
         let mut x = seed | 1;
         (0..n)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 11) as f64 / (1u64 << 53) as f64 - 0.5
             })
             .collect()

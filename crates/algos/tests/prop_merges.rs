@@ -3,41 +3,41 @@
 //! agreement of every merge variant.
 
 use hetsort_algos::merge::{co_rank, merge_into, par_merge_into};
-use hetsort_algos::multiway::{
-    multiway_cuts, multiway_merge_into, par_multiway_merge_into,
-};
+use hetsort_algos::multiway::{multiway_cuts, multiway_merge_into, par_multiway_merge_into};
 use hetsort_algos::verify::{combine, fingerprint, is_sorted, Fingerprint};
-use proptest::prelude::*;
+use hetsort_prng::{prop_assert, prop_assert_eq, run_cases, Rng};
 
-fn sorted_vec(max_len: usize) -> impl Strategy<Value = Vec<u32>> {
-    prop::collection::vec(0u32..1000, 0..max_len).prop_map(|mut v| {
-        v.sort_unstable();
-        v
-    })
+fn sorted_vec(rng: &mut Rng, max_len: usize) -> Vec<u32> {
+    let mut v = rng.vec_with(max_len, |r| r.u32_in(0, 1000));
+    v.sort_unstable();
+    v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(250))]
+fn sorted_lists(rng: &mut Rng, max_lists: usize, max_len: usize) -> Vec<Vec<u32>> {
+    let k = rng.usize_in(1, max_lists);
+    (0..k).map(|_| sorted_vec(rng, max_len)).collect()
+}
 
-    #[test]
-    fn merge_is_sorted_permutation(a in sorted_vec(200), b in sorted_vec(200)) {
+#[test]
+fn merge_is_sorted_permutation() {
+    run_cases("merge_is_sorted_permutation", 250, |rng| {
+        let a = sorted_vec(rng, 200);
+        let b = sorted_vec(rng, 200);
         let mut out = vec![0u32; a.len() + b.len()];
         merge_into(&a, &b, &mut out);
         prop_assert!(is_sorted(&out));
-        prop_assert_eq!(
-            fingerprint(&out),
-            combine(fingerprint(&a), fingerprint(&b))
-        );
-    }
+        prop_assert_eq!(fingerprint(&out), combine(fingerprint(&a), fingerprint(&b)));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn co_rank_defines_exact_prefix(
-        a in sorted_vec(100),
-        b in sorted_vec(100),
-        kf in 0.0f64..=1.0,
-    ) {
+#[test]
+fn co_rank_defines_exact_prefix() {
+    run_cases("co_rank_defines_exact_prefix", 250, |rng| {
+        let a = sorted_vec(rng, 100);
+        let b = sorted_vec(rng, 100);
         let total = a.len() + b.len();
-        let k = ((total as f64) * kf) as usize;
+        let k = ((total as f64) * rng.f64_unit()) as usize;
         let (i, j) = co_rank(k, &a, &b);
         prop_assert_eq!(i + j, k);
         // Merge-path invariants: everything in the prefix ≤ everything
@@ -48,41 +48,56 @@ proptest! {
         if j > 0 && i < a.len() {
             prop_assert!(b[j - 1] < a[i], "b-prefix must be < a-suffix (stability)");
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn par_merge_equals_seq_merge(
-        a in sorted_vec(300),
-        b in sorted_vec(300),
-        threads in 1usize..6,
-    ) {
+#[test]
+fn par_merge_equals_seq_merge() {
+    run_cases("par_merge_equals_seq_merge", 250, |rng| {
+        let a = sorted_vec(rng, 300);
+        let b = sorted_vec(rng, 300);
+        let threads = rng.usize_in(1, 6);
         let mut seq = vec![0u32; a.len() + b.len()];
         merge_into(&a, &b, &mut seq);
         let mut par = vec![0u32; a.len() + b.len()];
         par_merge_into(threads, &a, &b, &mut par);
         prop_assert_eq!(par, seq);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn multiway_is_sorted_permutation(
-        lists in prop::collection::vec(sorted_vec(80), 0..8),
-    ) {
+#[test]
+fn multiway_is_sorted_permutation() {
+    run_cases("multiway_is_sorted_permutation", 250, |rng| {
+        let lists = if rng.bool() {
+            sorted_lists(rng, 8, 80)
+        } else {
+            Vec::new() // zero lists is a legal input
+        };
         let refs: Vec<&[u32]> = lists.iter().map(|v| v.as_slice()).collect();
         let total: usize = refs.iter().map(|l| l.len()).sum();
         let mut out = vec![0u32; total];
         multiway_merge_into(&refs, &mut out);
         prop_assert!(is_sorted(&out));
-        let mut fp = Fingerprint { sum: 0, xor: 0, sq: 0, count: 0 };
+        let mut fp = Fingerprint {
+            sum: 0,
+            xor: 0,
+            sq: 0,
+            count: 0,
+        };
         for l in &refs {
             fp = combine(fp, fingerprint(l));
         }
         prop_assert_eq!(fingerprint(&out), fp);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn multiway_equals_iterated_pairwise(
-        lists in prop::collection::vec(sorted_vec(60), 1..7),
-    ) {
+#[test]
+fn multiway_equals_iterated_pairwise() {
+    run_cases("multiway_equals_iterated_pairwise", 250, |rng| {
+        let lists = sorted_lists(rng, 7, 60);
         let refs: Vec<&[u32]> = lists.iter().map(|v| v.as_slice()).collect();
         let total: usize = refs.iter().map(|l| l.len()).sum();
         let mut out = vec![0u32; total];
@@ -95,16 +110,17 @@ proptest! {
             acc = next;
         }
         prop_assert_eq!(out, acc);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn multiway_cuts_partition_prefix(
-        lists in prop::collection::vec(sorted_vec(50), 1..6),
-        kf in 0.0f64..=1.0,
-    ) {
+#[test]
+fn multiway_cuts_partition_prefix() {
+    run_cases("multiway_cuts_partition_prefix", 250, |rng| {
+        let lists = sorted_lists(rng, 6, 50);
         let refs: Vec<&[u32]> = lists.iter().map(|v| v.as_slice()).collect();
         let total: usize = refs.iter().map(|l| l.len()).sum();
-        let k = ((total as f64) * kf) as usize;
+        let k = ((total as f64) * rng.f64_unit()) as usize;
         let cuts = multiway_cuts(&refs, k);
         prop_assert_eq!(cuts.iter().sum::<usize>(), k);
         // Prefix multiset equals the first k of the true merge.
@@ -118,13 +134,15 @@ proptest! {
         }
         prefix.sort_unstable();
         prop_assert_eq!(prefix, expect);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn par_multiway_equals_seq(
-        lists in prop::collection::vec(sorted_vec(100), 1..7),
-        threads in 1usize..6,
-    ) {
+#[test]
+fn par_multiway_equals_seq() {
+    run_cases("par_multiway_equals_seq", 250, |rng| {
+        let lists = sorted_lists(rng, 7, 100);
+        let threads = rng.usize_in(1, 6);
         let refs: Vec<&[u32]> = lists.iter().map(|v| v.as_slice()).collect();
         let total: usize = refs.iter().map(|l| l.len()).sum();
         let mut seq = vec![0u32; total];
@@ -132,21 +150,21 @@ proptest! {
         let mut par = vec![0u32; total];
         par_multiway_merge_into(threads, &refs, &mut par);
         prop_assert_eq!(par, seq);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn merges_handle_float_specials(
-        mut a in prop::collection::vec(any::<f64>(), 0..100),
-        mut b in prop::collection::vec(any::<f64>(), 0..100),
-    ) {
+#[test]
+fn merges_handle_float_specials() {
+    run_cases("merges_handle_float_specials", 250, |rng| {
+        let mut a = rng.vec_with(100, Rng::any_f64);
+        let mut b = rng.vec_with(100, Rng::any_f64);
         a.sort_by(f64::total_cmp);
         b.sort_by(f64::total_cmp);
         let mut out = vec![0.0f64; a.len() + b.len()];
         par_merge_into(3, &a, &b, &mut out);
         prop_assert!(is_sorted(&out));
-        prop_assert_eq!(
-            fingerprint(&out),
-            combine(fingerprint(&a), fingerprint(&b))
-        );
-    }
+        prop_assert_eq!(fingerprint(&out), combine(fingerprint(&a), fingerprint(&b)));
+        Ok(())
+    });
 }

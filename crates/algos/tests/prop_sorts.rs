@@ -10,114 +10,132 @@ use hetsort_algos::radix::radix_sort;
 use hetsort_algos::radix_par::par_radix_sort;
 use hetsort_algos::samplesort::par_samplesort;
 use hetsort_algos::verify::{fingerprint, is_sorted};
-use proptest::prelude::*;
+use hetsort_prng::{prop_assert, prop_assert_eq, run_cases, Rng};
 
-/// Arbitrary f64 including specials, from raw bit patterns.
-fn arb_f64() -> impl Strategy<Value = f64> {
-    prop_oneof![
-        4 => any::<f64>(),
-        1 => prop::sample::select(vec![
-            0.0, -0.0, f64::INFINITY, f64::NEG_INFINITY, f64::NAN, -f64::NAN,
-            f64::MIN_POSITIVE, -f64::MIN_POSITIVE, 1.0, -1.0,
-        ]),
-        1 => any::<u64>().prop_map(f64::from_bits),
-    ]
+fn arb_f64_vec(rng: &mut Rng, max_len: usize) -> Vec<f64> {
+    rng.vec_with(max_len, Rng::any_f64)
 }
 
 fn bits(v: &[f64]) -> Vec<u64> {
     v.iter().map(|x| x.to_bits()).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    #[test]
-    fn introsort_correct(v in prop::collection::vec(arb_f64(), 0..500)) {
+#[test]
+fn introsort_correct() {
+    run_cases("introsort_correct", 200, |rng| {
+        let v = arb_f64_vec(rng, 500);
         let fp = fingerprint(&v);
         let mut s = v.clone();
         introsort(&mut s);
         prop_assert!(is_sorted(&s));
         prop_assert_eq!(fingerprint(&s), fp);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn heapsort_matches_introsort(v in prop::collection::vec(arb_f64(), 0..300)) {
+#[test]
+fn heapsort_matches_introsort() {
+    run_cases("heapsort_matches_introsort", 200, |rng| {
+        let v = arb_f64_vec(rng, 300);
         let mut a = v.clone();
         let mut b = v;
         introsort(&mut a);
         heapsort(&mut b);
         prop_assert_eq!(bits(&a), bits(&b));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn radix_matches_introsort(v in prop::collection::vec(arb_f64(), 0..500)) {
+#[test]
+fn radix_matches_introsort() {
+    run_cases("radix_matches_introsort", 200, |rng| {
+        let v = arb_f64_vec(rng, 500);
         let mut a = v.clone();
         let mut b = v;
         introsort(&mut a);
         radix_sort(&mut b);
         prop_assert_eq!(bits(&a), bits(&b));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn radix_u64_matches_std(v in prop::collection::vec(any::<u64>(), 0..500)) {
+#[test]
+fn radix_u64_matches_std() {
+    run_cases("radix_u64_matches_std", 200, |rng| {
+        let v = rng.vec_with(500, Rng::u64);
         let mut a = v.clone();
         let mut b = v;
         a.sort_unstable();
         radix_sort(&mut b);
         prop_assert_eq!(a, b);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn radix_i64_matches_std(v in prop::collection::vec(any::<i64>(), 0..500)) {
+#[test]
+fn radix_i64_matches_std() {
+    run_cases("radix_i64_matches_std", 200, |rng| {
+        let v = rng.vec_with(500, |r| r.u64() as i64);
         let mut a = v.clone();
         let mut b = v;
         a.sort_unstable();
         radix_sort(&mut b);
         prop_assert_eq!(a, b);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn par_radix_matches_serial_radix(
-        v in prop::collection::vec(arb_f64(), 0..9000),
-        threads in 2usize..6,
-    ) {
+#[test]
+fn par_radix_matches_serial_radix() {
+    run_cases("par_radix_matches_serial_radix", 100, |rng| {
+        let v = arb_f64_vec(rng, 9000);
+        let threads = rng.usize_in(2, 6);
         let mut a = v.clone();
         let mut b = v;
         radix_sort(&mut a);
         par_radix_sort(threads, &mut b);
         prop_assert_eq!(bits(&a), bits(&b));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn qsort_matches_introsort(v in prop::collection::vec(arb_f64(), 0..400)) {
+#[test]
+fn qsort_matches_introsort() {
+    run_cases("qsort_matches_introsort", 200, |rng| {
+        let v = arb_f64_vec(rng, 400);
         let mut a = v.clone();
         let mut b = v;
         introsort(&mut a);
         qsort(&mut b, cmp_f64);
         prop_assert_eq!(bits(&a), bits(&b));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn par_mergesort_matches_introsort(
-        v in prop::collection::vec(arb_f64(), 0..600),
-        threads in 1usize..6,
-    ) {
+#[test]
+fn par_mergesort_matches_introsort() {
+    run_cases("par_mergesort_matches_introsort", 200, |rng| {
+        let v = arb_f64_vec(rng, 600);
+        let threads = rng.usize_in(1, 6);
         let mut a = v.clone();
         let mut b = v;
         introsort(&mut a);
         par_mergesort(threads, &mut b);
         prop_assert_eq!(bits(&a), bits(&b));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn par_samplesort_matches_introsort(
-        v in prop::collection::vec(arb_f64(), 0..2000),
-        threads in 1usize..5,
-    ) {
+#[test]
+fn par_samplesort_matches_introsort() {
+    run_cases("par_samplesort_matches_introsort", 200, |rng| {
+        let v = arb_f64_vec(rng, 2000);
+        let threads = rng.usize_in(1, 5);
         let mut a = v.clone();
         let mut b = v;
         introsort(&mut a);
         par_samplesort(threads, &mut b);
         prop_assert_eq!(bits(&a), bits(&b));
-    }
+        Ok(())
+    });
 }

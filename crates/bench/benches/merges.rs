@@ -1,57 +1,60 @@
-//! Criterion benches for the merge machinery (Figure 6's real-machine
+//! Wall-clock benches for the merge machinery (Figure 6's real-machine
 //! counterpart): sequential merge, merge-path parallel merge, loser-tree
 //! multiway merge at several fan-ins.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hetsort_algos::merge::{merge_into, par_merge_into};
 use hetsort_algos::multiway::{multiway_merge_into, par_multiway_merge_into};
+use hetsort_prng::bench::bench_throughput;
 use hetsort_workloads::generate_batch_sorted;
 use hetsort_workloads::Distribution;
 
 const N: usize = 200_000;
+const SAMPLES: usize = 10;
 
-fn bench_pair_merge(c: &mut Criterion) {
+fn main() {
     let w = generate_batch_sorted(Distribution::Uniform, N / 2, 2, 7);
     let (a, b) = w.split_at(N / 2);
-    let mut g = c.benchmark_group("pair_merge");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(2));
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.throughput(Throughput::Elements(N as u64));
-    g.bench_function("sequential", |bch| {
+    bench_throughput("pair_merge/sequential", SAMPLES, N, || {
         let mut out = vec![0.0f64; N];
-        bch.iter(|| merge_into(a, b, &mut out));
+        merge_into(a, b, &mut out);
+        out
     });
     for threads in [2usize, 4] {
-        g.bench_function(BenchmarkId::new("merge_path", threads), |bch| {
-            let mut out = vec![0.0f64; N];
-            bch.iter(|| par_merge_into(threads, a, b, &mut out));
-        });
+        bench_throughput(
+            &format!("pair_merge/merge_path/{threads}"),
+            SAMPLES,
+            N,
+            || {
+                let mut out = vec![0.0f64; N];
+                par_merge_into(threads, a, b, &mut out);
+                out
+            },
+        );
     }
-    g.finish();
-}
 
-fn bench_multiway(c: &mut Criterion) {
-    let mut g = c.benchmark_group("multiway_merge");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(2));
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.throughput(Throughput::Elements(N as u64));
     for k in [2usize, 4, 10, 16] {
         let w = generate_batch_sorted(Distribution::Uniform, N / k, k, 11);
         let lists: Vec<&[f64]> = (0..k).map(|i| &w[i * (N / k)..(i + 1) * (N / k)]).collect();
         let total: usize = lists.iter().map(|l| l.len()).sum();
-        g.bench_function(BenchmarkId::new("loser_tree", k), |bch| {
-            let mut out = vec![0.0f64; total];
-            bch.iter(|| multiway_merge_into(&lists, &mut out));
-        });
-        g.bench_function(BenchmarkId::new("parallel", k), |bch| {
-            let mut out = vec![0.0f64; total];
-            bch.iter(|| par_multiway_merge_into(4, &lists, &mut out));
-        });
+        bench_throughput(
+            &format!("multiway_merge/loser_tree/{k}"),
+            SAMPLES,
+            total,
+            || {
+                let mut out = vec![0.0f64; total];
+                multiway_merge_into(&lists, &mut out);
+                out
+            },
+        );
+        bench_throughput(
+            &format!("multiway_merge/parallel/{k}"),
+            SAMPLES,
+            total,
+            || {
+                let mut out = vec![0.0f64; total];
+                par_multiway_merge_into(4, &lists, &mut out);
+                out
+            },
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_pair_merge, bench_multiway);
-criterion_main!(benches);

@@ -1,47 +1,45 @@
-//! Criterion benches for the *functional* heterogeneous pipeline: the
+//! Wall-clock benches for the *functional* heterogeneous pipeline: the
 //! real data path (staging copies → radix sort → merges) at host scale,
 //! across the paper's approaches.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hetsort_core::{sort_real, Approach, HetSortConfig};
+use hetsort_prng::bench::bench_throughput;
 use hetsort_vgpu::platform1;
 use hetsort_workloads::{generate, Distribution};
 
 const N: usize = 200_000;
+const SAMPLES: usize = 10;
 
-fn bench_pipeline(c: &mut Criterion) {
+fn main() {
     let data = generate(Distribution::Uniform, N, 123).data;
-    let mut g = c.benchmark_group("functional_pipeline");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(2));
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.throughput(Throughput::Elements(N as u64));
     for (label, approach) in [
         ("BLineMulti", Approach::BLineMulti),
         ("PipeData", Approach::PipeData),
         ("PipeMerge", Approach::PipeMerge),
     ] {
-        g.bench_function(BenchmarkId::new(label, N), |b| {
-            b.iter(|| {
+        bench_throughput(
+            &format!("functional_pipeline/{label}/{N}"),
+            SAMPLES,
+            N,
+            || {
                 let cfg = HetSortConfig::paper_defaults(platform1(), approach)
                     .with_batch_elems(25_000)
                     .with_pinned_elems(5_000);
                 let out = sort_real(cfg, &data).unwrap();
                 assert!(out.verified);
                 out.sorted.len()
-            })
-        });
+            },
+        );
     }
     // The CPU reference (GNU-style parallel mergesort) for comparison.
-    g.bench_function(BenchmarkId::new("reference_mergesort", N), |b| {
-        b.iter_batched(
-            || data.clone(),
-            |mut v| hetsort_algos::par_mergesort(2, &mut v),
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    g.finish();
+    bench_throughput(
+        &format!("functional_pipeline/reference_mergesort/{N}"),
+        SAMPLES,
+        N,
+        || {
+            let mut v = data.clone();
+            hetsort_algos::par_mergesort(2, &mut v);
+            v
+        },
+    );
 }
-
-criterion_group!(benches, bench_pipeline);
-criterion_main!(benches);

@@ -1,51 +1,38 @@
-//! Criterion benches for the simulation kernel itself: solver and
+//! Wall-clock benches for the simulation kernel itself: solver and
 //! end-to-end plan simulations (the cost of regenerating each figure).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hetsort_core::{simulate, Approach, HetSortConfig};
+use hetsort_prng::bench::bench;
 use hetsort_sim::{max_min_rates, Flow};
 use hetsort_vgpu::platform1;
 
-fn bench_fairshare(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fairshare");
-    g.sample_size(20);
-    g.measurement_time(std::time::Duration::from_secs(2));
+fn main() {
     for nf in [4usize, 16, 64] {
         let flows: Vec<Flow> = (0..nf)
             .map(|i| Flow {
                 weight: 1.0 + (i % 5) as f64,
-                cap: if i % 3 == 0 { Some(10.0 + i as f64) } else { None },
+                cap: if i % 3 == 0 {
+                    Some(10.0 + i as f64)
+                } else {
+                    None
+                },
                 demands: vec![(i % 4, 0.5 + (i % 7) as f64)],
             })
             .collect();
         let caps = [50.0, 80.0, 120.0, 60.0];
-        g.bench_function(BenchmarkId::new("solve", nf), |b| {
-            b.iter(|| max_min_rates(&flows, &caps).unwrap())
+        bench(&format!("fairshare/solve/{nf}"), 20, || {
+            max_min_rates(&flows, &caps).unwrap()
         });
     }
-    g.finish();
-}
 
-fn bench_plan_simulation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("plan_simulation");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(3));
     // The full Figure 9 largest point: n = 5e9, ~20k ops.
-    g.bench_function("pipemerge_5e9_platform1", |b| {
-        b.iter(|| {
-            let cfg = HetSortConfig::paper_defaults(platform1(), Approach::PipeMerge)
-                .with_batch_elems(500_000_000);
-            simulate(cfg, 5_000_000_000).unwrap().total_s
-        })
+    bench("plan_simulation/pipemerge_5e9_platform1", 10, || {
+        let cfg = HetSortConfig::paper_defaults(platform1(), Approach::PipeMerge)
+            .with_batch_elems(500_000_000);
+        simulate(cfg, 5_000_000_000).unwrap().total_s
     });
-    g.bench_function("blinemulti_5e9_platform1", |b| {
-        b.iter(|| {
-            let cfg = HetSortConfig::paper_defaults(platform1(), Approach::BLineMulti);
-            simulate(cfg, 5_000_000_000).unwrap().total_s
-        })
+    bench("plan_simulation/blinemulti_5e9_platform1", 10, || {
+        let cfg = HetSortConfig::paper_defaults(platform1(), Approach::BLineMulti);
+        simulate(cfg, 5_000_000_000).unwrap().total_s
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_fairshare, bench_plan_simulation);
-criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! Criterion benches for the real CPU sorting algorithms (host-scale).
+//! Wall-clock benches for the real CPU sorting algorithms (host-scale).
 //!
 //! These measure the from-scratch implementations on the build machine —
 //! complementary to the calibrated paper-scale simulations. Shapes to
@@ -6,77 +6,68 @@
 //! (Figure 4's `std::qsort` observation); parallel sorts ≈ sequential
 //! on a 1-core container but scaling on real multicore hosts.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hetsort_algos::introsort::introsort;
 use hetsort_algos::mergesort::par_mergesort;
 use hetsort_algos::qsort::{cmp_f64, qsort};
 use hetsort_algos::radix::radix_sort;
 use hetsort_algos::radix_par::par_radix_sort;
 use hetsort_algos::samplesort::par_samplesort;
+use hetsort_prng::bench::bench_throughput;
 use hetsort_workloads::{generate, Distribution};
 
 const N: usize = 100_000;
+const SAMPLES: usize = 10;
 
-fn input() -> Vec<f64> {
-    generate(Distribution::Uniform, N, 42).data
-}
+fn main() {
+    let base = generate(Distribution::Uniform, N, 42).data;
 
-fn bench_sorts(c: &mut Criterion) {
-    let base = input();
-    let mut g = c.benchmark_group("cpu_sorts");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(2));
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.throughput(Throughput::Elements(N as u64));
-
-    g.bench_function(BenchmarkId::new("introsort", N), |b| {
-        b.iter_batched(
-            || base.clone(),
-            |mut v| introsort(&mut v),
-            criterion::BatchSize::LargeInput,
-        )
+    bench_throughput("cpu_sorts/introsort", SAMPLES, N, || {
+        let mut v = base.clone();
+        introsort(&mut v);
+        v
     });
-    g.bench_function(BenchmarkId::new("qsort", N), |b| {
-        b.iter_batched(
-            || base.clone(),
-            |mut v| qsort(&mut v, cmp_f64),
-            criterion::BatchSize::LargeInput,
-        )
+    bench_throughput("cpu_sorts/qsort", SAMPLES, N, || {
+        let mut v = base.clone();
+        qsort(&mut v, cmp_f64);
+        v
     });
-    g.bench_function(BenchmarkId::new("radix", N), |b| {
-        b.iter_batched(
-            || base.clone(),
-            |mut v| radix_sort(&mut v),
-            criterion::BatchSize::LargeInput,
-        )
+    bench_throughput("cpu_sorts/radix", SAMPLES, N, || {
+        let mut v = base.clone();
+        radix_sort(&mut v);
+        v
     });
     for threads in [2usize, 4] {
-        g.bench_function(BenchmarkId::new("par_radix", threads), |b| {
-            b.iter_batched(
-                || base.clone(),
-                |mut v| par_radix_sort(threads, &mut v),
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        bench_throughput(
+            &format!("cpu_sorts/par_radix/{threads}"),
+            SAMPLES,
+            N,
+            || {
+                let mut v = base.clone();
+                par_radix_sort(threads, &mut v);
+                v
+            },
+        );
     }
     for threads in [1usize, 2, 4] {
-        g.bench_function(BenchmarkId::new("par_mergesort", threads), |b| {
-            b.iter_batched(
-                || base.clone(),
-                |mut v| par_mergesort(threads, &mut v),
-                criterion::BatchSize::LargeInput,
-            )
-        });
-        g.bench_function(BenchmarkId::new("par_samplesort", threads), |b| {
-            b.iter_batched(
-                || base.clone(),
-                |mut v| par_samplesort(threads, &mut v),
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        bench_throughput(
+            &format!("cpu_sorts/par_mergesort/{threads}"),
+            SAMPLES,
+            N,
+            || {
+                let mut v = base.clone();
+                par_mergesort(threads, &mut v);
+                v
+            },
+        );
+        bench_throughput(
+            &format!("cpu_sorts/par_samplesort/{threads}"),
+            SAMPLES,
+            N,
+            || {
+                let mut v = base.clone();
+                par_samplesort(threads, &mut v);
+                v
+            },
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_sorts);
-criterion_main!(benches);

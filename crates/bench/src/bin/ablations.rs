@@ -22,7 +22,10 @@ fn main() {
 
     // ---------------- 1. batch size / stream count --------------------
     println!("=== Ablation 1: b_s × n_s trade-off (PipeMerge, n = 4e9, PLATFORM1) ===");
-    println!("{:>6} {:>12} {:>6} {:>10} {:>8}", "n_s", "b_s", "n_b", "total(s)", "merge(s)");
+    println!(
+        "{:>6} {:>12} {:>6} {:>10} {:>8}",
+        "n_s", "b_s", "n_b", "total(s)", "merge(s)"
+    );
     let mut rows = Vec::new();
     for ns in [1usize, 2, 4, 8] {
         let bs = plat.max_batch_elems(ns);
@@ -39,15 +42,33 @@ fn main() {
             r.total_s,
             r.component("MultiwayMerge")
         );
-        rows.push(format!("{ns},{bs},{},{:.4},{:.4}", r.nb, r.total_s, r.component("MultiwayMerge")));
+        rows.push(format!(
+            "{ns},{bs},{},{:.4},{:.4}",
+            r.nb,
+            r.total_s,
+            r.component("MultiwayMerge")
+        ));
     }
-    write_csv("ablation_batch_streams.csv", "n_s,b_s,n_b,total_s,multiway_s", &rows);
+    write_csv(
+        "ablation_batch_streams.csv",
+        "n_s,b_s,n_b,total_s,multiway_s",
+        &rows,
+    );
 
     // ---------------- 2. pinned buffer size ---------------------------
     println!("\n=== Ablation 2: pinned buffer size p_s (PipeData, n = 2e9) ===");
-    println!("{:>12} {:>10} {:>10} {:>10}", "p_s", "total(s)", "alloc(s)", "sync ops");
+    println!(
+        "{:>12} {:>10} {:>10} {:>10}",
+        "p_s", "total(s)", "alloc(s)", "sync ops"
+    );
     let mut rows = Vec::new();
-    for ps in [100_000usize, 1_000_000, 10_000_000, 100_000_000, 500_000_000] {
+    for ps in [
+        100_000usize,
+        1_000_000,
+        10_000_000,
+        100_000_000,
+        500_000_000,
+    ] {
         let cfg = HetSortConfig::paper_defaults(plat.clone(), Approach::PipeData)
             .with_batch_elems(500_000_000)
             .with_pinned_elems(ps);
@@ -60,9 +81,17 @@ fn main() {
             r.component("PinnedAlloc"),
             syncs
         );
-        rows.push(format!("{ps},{:.4},{:.4},{syncs}", r.total_s, r.component("PinnedAlloc")));
+        rows.push(format!(
+            "{ps},{:.4},{:.4},{syncs}",
+            r.total_s,
+            r.component("PinnedAlloc")
+        ));
     }
-    write_csv("ablation_pinned_size.csv", "p_s,total_s,alloc_s,sync_chunks", &rows);
+    write_csv(
+        "ablation_pinned_size.csv",
+        "p_s,total_s,alloc_s,sync_chunks",
+        &rows,
+    );
 
     // ---------------- 3. NVLink what-if -------------------------------
     println!("\n=== Ablation 3: NVLink what-if (PipeMerge+ParMemCpy, n = 5e9) ===");

@@ -108,12 +108,10 @@ fn main() {
     );
 
     println!("[9/9] span-level trace of the flagship run");
-    let cfg = hetsort_core::HetSortConfig::paper_defaults(
-        platform1(),
-        hetsort_core::Approach::PipeMerge,
-    )
-    .with_batch_elems(500_000_000)
-    .with_par_memcpy();
+    let cfg =
+        hetsort_core::HetSortConfig::paper_defaults(platform1(), hetsort_core::Approach::PipeMerge)
+            .with_batch_elems(500_000_000)
+            .with_par_memcpy();
     let r = hetsort_core::simulate(cfg, 5_000_000_000).expect("flagship sim");
     std::fs::write(
         hetsort_bench::results_dir().join("fig09_pipemerge_spans.csv"),
@@ -122,5 +120,8 @@ fn main() {
     .expect("write spans");
 
     println!("done in {:.1} s", t0.elapsed().as_secs_f64());
-    println!("CSVs written under {}", hetsort_bench::results_dir().display());
+    println!(
+        "CSVs written under {}",
+        hetsort_bench::results_dir().display()
+    );
 }

@@ -4,8 +4,8 @@
 //!
 //! Usage: `cargo run --release -p hetsort-bench --bin calibrate`
 
-use hetsort_core::{simulate, Approach, HetSortConfig};
 use hetsort_core::reference::reference_time_full;
+use hetsort_core::{simulate, Approach, HetSortConfig};
 use hetsort_vgpu::{platform1, platform2};
 
 fn row(name: &str, paper: f64, ours: f64) {
@@ -50,7 +50,11 @@ fn main() {
             ref_t / r.total_s,
         );
         if n == 700_000_000 {
-            row("Fig5/IV-G BLine n=7e8 total (6.278 ns/elem → s)", 6.278e-9 * n as f64, r.total_s);
+            row(
+                "Fig5/IV-G BLine n=7e8 total (6.278 ns/elem → s)",
+                6.278e-9 * n as f64,
+                r.total_s,
+            );
         }
     }
 
@@ -60,7 +64,11 @@ fn main() {
     row("Fig7 HtoD (s)", 0.536, r7.component("HtoD"));
     row("Fig7 DtoH (s)", 0.484, r7.component("DtoH"));
     row("Fig7 GPUSort ~ (s)", 0.42, r7.component("GPUSort"));
-    row("Fig8 literature total @8e8 (s)", 1.44, r7.literature_total_s);
+    row(
+        "Fig8 literature total @8e8 (s)",
+        1.44,
+        r7.literature_total_s,
+    );
     println!(
         "{:<58} {:>9} {:>9.3}",
         "Fig8 full total @8e8 (s, paper shows 'much larger')", "> 2.5", r7.total_s
@@ -69,8 +77,7 @@ fn main() {
     // --- Figure 9 (PLATFORM1, b_s=5e8, n_s=2) -----------------------
     let n9 = 5_000_000_000usize;
     let mk = |a: Approach, pm: bool| {
-        let mut c =
-            HetSortConfig::paper_defaults(p1.clone(), a).with_batch_elems(500_000_000);
+        let mut c = HetSortConfig::paper_defaults(p1.clone(), a).with_batch_elems(500_000_000);
         if pm {
             c = c.with_par_memcpy();
         }
@@ -83,9 +90,17 @@ fn main() {
     let refi = reference_time_full(&p1, n9);
     row("Fig9 BLineMulti n=5e9 (s)", 31.2, blm);
     row("Fig9 PipeData n=5e9 (s)", 25.55, pd);
-    row("Fig9 PipeData gain over BLineMulti (22%)", 0.22, (blm - pd) / blm);
+    row(
+        "Fig9 PipeData gain over BLineMulti (22%)",
+        0.22,
+        (blm - pd) / blm,
+    );
     row("Fig9 PipeMerge n=5e9 (s, ≲ PipeData)", 25.0, pmg);
-    row("Fig9 ParMemCpy gain over PipeMerge (13%)", 0.13, (pmg - pmc) / pmg);
+    row(
+        "Fig9 ParMemCpy gain over PipeMerge (13%)",
+        0.13,
+        (pmg - pmc) / pmg,
+    );
     row("Fig9 speedup fastest vs ref @5e9", 3.21, refi / pmc);
     let n1 = 1_000_000_000usize;
     let pmc1 = {
@@ -94,7 +109,11 @@ fn main() {
             .with_par_memcpy();
         simulate(c, n1).unwrap().total_s
     };
-    row("Fig9 speedup fastest vs ref @1e9", 3.47, reference_time_full(&p1, n1) / pmc1);
+    row(
+        "Fig9 speedup fastest vs ref @1e9",
+        3.47,
+        reference_time_full(&p1, n1) / pmc1,
+    );
 
     // --- Figure 10 (PLATFORM2, b_s=3.5e8, 1 vs 2 GPUs) ---------------
     let n10 = 4_900_000_000usize;
@@ -109,10 +128,18 @@ fn main() {
     p2_1g.gpus.truncate(1);
     let pmc2_big = mk2(p2.clone(), Approach::PipeMerge, true, n10);
     let ref2_big = reference_time_full(&p2, n10);
-    row("Fig10 speedup fastest(2gpu) vs ref @4.9e9", 2.02, ref2_big / pmc2_big);
+    row(
+        "Fig10 speedup fastest(2gpu) vs ref @4.9e9",
+        2.02,
+        ref2_big / pmc2_big,
+    );
     let n10s = 1_400_000_000usize;
     let pmc2_small = mk2(p2.clone(), Approach::PipeMerge, true, n10s);
-    row("Fig10 speedup fastest(2gpu) vs ref @1.4e9", 1.89, reference_time_full(&p2, n10s) / pmc2_small);
+    row(
+        "Fig10 speedup fastest(2gpu) vs ref @1.4e9",
+        1.89,
+        reference_time_full(&p2, n10s) / pmc2_small,
+    );
 
     // --- Figure 11 (lower-bound models) ------------------------------
     // 1-GPU model slope from BLine at n=7e8 (must be 6.278 ns/elem).
@@ -127,8 +154,16 @@ fn main() {
     // PipeData vs model at n=4.9e9.
     let pd2_1g = mk2(p2_1g.clone(), Approach::PipeData, false, n10);
     let pd2_2g = mk2(p2.clone(), Approach::PipeData, false, n10);
-    row("Fig11 PipeData/model 1 GPU @4.9e9 (slowdown 0.93x)", 1.0 / 0.93, pd2_1g / (slope1 * n10 as f64));
-    row("Fig11 PipeData/model 2 GPU @4.9e9 (slowdown 0.88x)", 1.0 / 0.88, pd2_2g / (slope2 * n10 as f64));
+    row(
+        "Fig11 PipeData/model 1 GPU @4.9e9 (slowdown 0.93x)",
+        1.0 / 0.93,
+        pd2_1g / (slope1 * n10 as f64),
+    );
+    row(
+        "Fig11 PipeData/model 2 GPU @4.9e9 (slowdown 0.88x)",
+        1.0 / 0.88,
+        pd2_2g / (slope2 * n10 as f64),
+    );
 }
 
 fn reference_time(plat: &hetsort_vgpu::PlatformSpec, n: usize, threads: u32) -> f64 {

@@ -15,7 +15,11 @@ fn main() {
     println!("=== Figure 1: BLineMulti, n_b = 6 (merge after all batches) ===\n{f1}");
     println!("=== Figure 2: PipeData stream interleave ===\n{f2}");
     println!("=== Figure 3: PipeMerge pipelined pair merges ===\n{f3}");
-    let rows = vec![format!("\"fig1\"\n{f1}"), format!("\"fig2\"\n{f2}"), format!("\"fig3\"\n{f3}")];
+    let rows = vec![
+        format!("\"fig1\"\n{f1}"),
+        format!("\"fig2\"\n{f2}"),
+        format!("\"fig3\"\n{f3}"),
+    ];
     let p = write_csv("fig01_03_gantt.txt", "ascii gantt renderings", &rows);
     println!("wrote {}", p.display());
 }

@@ -41,6 +41,10 @@ fn main() {
     }
 
     let csv: Vec<String> = rows.iter().map(|r| r.csv()).collect();
-    let p = write_csv("fig04_cpu_sort_scalability.csv", "n,threads,gnu_s,tbb_s,std_sort_s,qsort_s", &csv);
+    let p = write_csv(
+        "fig04_cpu_sort_scalability.csv",
+        "n,threads,gnu_s,tbb_s,std_sort_s,qsort_s",
+        &csv,
+    );
     println!("\nwrote {}", p.display());
 }

@@ -13,6 +13,10 @@ fn main() {
         println!("{:>4} {:>10.3} {:>8.2}", r.threads, r.time_s, r.speedup);
     }
     let csv: Vec<String> = rows.iter().map(|r| r.csv()).collect();
-    let p = write_csv("fig06_merge_scalability.csv", "threads,time_s,speedup", &csv);
+    let p = write_csv(
+        "fig06_merge_scalability.csv",
+        "threads,time_s,speedup",
+        &csv,
+    );
     println!("\nwrote {}", p.display());
 }

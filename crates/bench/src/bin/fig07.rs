@@ -8,7 +8,10 @@ use hetsort_bench::write_csv;
 fn main() {
     let d = fig07();
     println!("=== Figure 7: components at n = 8e8 (5.96 GiB), PLATFORM1 ===");
-    println!("{:<10} {:>10} {:>14}", "component", "our work", "related work");
+    println!(
+        "{:<10} {:>10} {:>14}",
+        "component", "our work", "related work"
+    );
     println!("{:<10} {:>10.3} {:>14.3}", "HtoD", d.ours.0, d.related.0);
     println!("{:<10} {:>10.3} {:>14.3}", "DtoH", d.ours.1, d.related.1);
     println!("{:<10} {:>10.3} {:>14.3}", "GPUSort", d.ours.2, d.related.2);

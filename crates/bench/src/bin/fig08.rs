@@ -15,7 +15,12 @@ fn main() {
     for r in &rows {
         println!(
             "{:>12} {:>8.3} {:>8.3} {:>8.3} {:>10.3} {:>10.3} {:>9.3}",
-            r.n, r.htod_s, r.dtoh_s, r.sort_s, r.literature_total_s, r.full_total_s,
+            r.n,
+            r.htod_s,
+            r.dtoh_s,
+            r.sort_s,
+            r.literature_total_s,
+            r.full_total_s,
             r.missing_s()
         );
     }

@@ -69,8 +69,15 @@ fn main() {
         t_radix,
         t_radix / t_intro
     );
-    let mut rows = vec![format!("introsort,1,{t_intro:.6}"), format!("qsort,1,{t_qsort:.6}"), format!("radix,1,{t_radix:.6}")];
-    println!("\n{:>8} {:>12} {:>12} {:>12}", "threads", "mergesort", "samplesort", "par_radix");
+    let mut rows = vec![
+        format!("introsort,1,{t_intro:.6}"),
+        format!("qsort,1,{t_qsort:.6}"),
+        format!("radix,1,{t_radix:.6}"),
+    ];
+    println!(
+        "\n{:>8} {:>12} {:>12} {:>12}",
+        "threads", "mergesort", "samplesort", "par_radix"
+    );
     for &p in &threads {
         let tm = time(|| {
             let mut v = base.clone();

@@ -42,9 +42,7 @@ fn main() {
     }
     println!(
         "{:<28} {:>14.3} {:>14.3}",
-        "literature total",
-        keys.literature_total_s,
-        kv.literature_total_s
+        "literature total", keys.literature_total_s, kv.literature_total_s
     );
     println!(
         "{:<28} {:>14.3} {:>14.3}",

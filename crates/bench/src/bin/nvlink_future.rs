@@ -57,8 +57,8 @@ fn gpu_merge_assist(plat: &PlatformSpec, n: usize, bs: usize, ps: usize) -> (f64
     let mut allocs = [[None; 2]; 2];
     for (si, set) in sets.iter().enumerate() {
         let _ = set;
-        for half in 0..2 {
-            allocs[si][half] = Some(m.pinned_alloc(elem_bytes * ps as f64, &[], None));
+        for slot in allocs[si].iter_mut() {
+            *slot = Some(m.pinned_alloc(elem_bytes * ps as f64, &[], None));
         }
     }
 
@@ -72,7 +72,8 @@ fn gpu_merge_assist(plat: &PlatformSpec, n: usize, bs: usize, ps: usize) -> (f64
             let mut last = allocs[set][half].expect("alloc");
             for c in 0..chunks {
                 let key = (2 * k + half) as u64 * 10_000 + c as u64;
-                let st = m.host_memcpy(true, elem_bytes * ps as f64, 1, Some(q), &[last], None, key);
+                let st =
+                    m.host_memcpy(true, elem_bytes * ps as f64, 1, Some(q), &[last], None, key);
                 last = m.transfer(
                     TransferDir::HtoD,
                     0,
@@ -88,7 +89,14 @@ fn gpu_merge_assist(plat: &PlatformSpec, n: usize, bs: usize, ps: usize) -> (f64
             sorts.push(m.gpu_sort(0, bs as f64, Some(q), &[last], None, (2 * k + half) as u64));
         }
         // Device merge of the two sorted runs (exclusive on the GPU).
-        let gm = m.gpu_merge(0, 2.0 * bs as f64, elem_bytes, Some(queues[0]), &sorts, None);
+        let gm = m.gpu_merge(
+            0,
+            2.0 * bs as f64,
+            elem_bytes,
+            Some(queues[0]),
+            &sorts,
+            None,
+        );
         // Ship the merged run back through this set's first stream; the
         // other set's next pair proceeds concurrently.
         let mut last = gm;
@@ -105,7 +113,15 @@ fn gpu_merge_assist(plat: &PlatformSpec, n: usize, bs: usize, ps: usize) -> (f64
                 None,
                 key,
             );
-            last = m.host_memcpy(false, elem_bytes * ps as f64, 1, Some(queues[0]), &[dt], None, key);
+            last = m.host_memcpy(
+                false,
+                elem_bytes * ps as f64,
+                1,
+                Some(queues[0]),
+                &[dt],
+                None,
+                key,
+            );
         }
         merged_outs.push(last);
     }
@@ -129,12 +145,14 @@ fn main() {
         n,
     )
     .expect("baseline sim");
-    let cpu_merge_time =
-        cpu_arch.component("MultiwayMerge") + cpu_arch.component("PairMerge");
+    let cpu_merge_time = cpu_arch.component("MultiwayMerge") + cpu_arch.component("PairMerge");
 
     let (assist_total, assist_mw) = gpu_merge_assist(&plat, n, bs, ps);
 
-    println!("=== §V prototype: who should merge in the NVLink era? (n = 4e9, {}) ===\n", plat.name);
+    println!(
+        "=== §V prototype: who should merge in the NVLink era? (n = 4e9, {}) ===\n",
+        plat.name
+    );
     println!(
         "{:<34} {:>10} {:>16}",
         "architecture", "total(s)", "CPU merge (s)"

@@ -120,7 +120,13 @@ impl Fig5Row {
 
     /// CSV row.
     pub fn csv(&self) -> String {
-        format!("{},{:.6},{:.6},{:.4}", self.n, self.bline_s, self.ref_s, self.ratio())
+        format!(
+            "{},{:.6},{:.6},{:.4}",
+            self.n,
+            self.bline_s,
+            self.ref_s,
+            self.ratio()
+        )
     }
 }
 
@@ -432,7 +438,10 @@ mod tests {
             .find(|r| r.n == 1_000_000_000 && r.threads == 16)
             .unwrap();
         assert!(big.tbb_s > big.gnu_s);
-        let small = rows.iter().find(|r| r.n == 1_000_000 && r.threads == 16).unwrap();
+        let small = rows
+            .iter()
+            .find(|r| r.n == 1_000_000 && r.threads == 16)
+            .unwrap();
         assert!(small.tbb_s < small.gnu_s * 1.05);
     }
 
@@ -441,11 +450,7 @@ mod tests {
         let rows = fig05();
         for r in rows.iter().filter(|r| r.n >= 180_000_000) {
             let ratio = r.ratio();
-            assert!(
-                (1.15..1.45).contains(&ratio),
-                "n={} ratio={ratio}",
-                r.n
-            );
+            assert!((1.15..1.45).contains(&ratio), "n={} ratio={ratio}", r.n);
         }
     }
 

@@ -39,7 +39,10 @@ mod tests {
 
     #[test]
     fn csv_roundtrip() {
-        std::env::set_var("HETSORT_RESULTS", std::env::temp_dir().join("hetsort_test_results"));
+        std::env::set_var(
+            "HETSORT_RESULTS",
+            std::env::temp_dir().join("hetsort_test_results"),
+        );
         let p = write_csv("t.csv", "a,b", &["1,2".into(), "3,4".into()]);
         let s = std::fs::read_to_string(&p).unwrap();
         assert_eq!(s, "a,b\n1,2\n3,4\n");

@@ -102,7 +102,11 @@ mod tests {
         }
         // The omitted overhead is a substantial fraction of the truth
         // (the paper's headline point).
-        assert!(rows[2].missing_fraction() > 0.4, "{}", rows[2].missing_fraction());
+        assert!(
+            rows[2].missing_fraction() > 0.4,
+            "{}",
+            rows[2].missing_fraction()
+        );
     }
 
     #[test]

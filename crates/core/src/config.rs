@@ -12,7 +12,11 @@
 //! | `B` | output | sorted list |
 //! | `W` | internal | working memory for sorted sublists |
 
-use hetsort_vgpu::PlatformSpec;
+use std::sync::Arc;
+
+use hetsort_vgpu::{FaultInjector, PlatformSpec};
+
+use crate::error::HetSortError;
 
 /// The paper's heterogeneous sorting approaches (§III-D4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,6 +105,52 @@ impl DeviceSortKind {
     }
 }
 
+/// How the executors react to GPU OOM, transfer faults, device-sort
+/// failures, and worker panics.
+///
+/// The default policy retries transient transfer faults with a short
+/// backoff, splits batches that overflow device memory into sub-runs
+/// (halving the effective `b_s` for the affected remainder), and sorts
+/// unrecoverable batches host-side (graceful degradation). Use
+/// [`RecoveryPolicy::none`] to propagate every fault as a typed
+/// [`HetSortError`] instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Retries after a failed DMA transfer (0 = fail on first fault).
+    pub max_retries: usize,
+    /// Milliseconds to back off before each retry.
+    pub backoff_ms: u64,
+    /// On GPU OOM, halve the device buffer and sort the batch in
+    /// sub-runs merged host-side (instead of failing).
+    pub split_on_oom: bool,
+    /// Sort batches host-side when the GPU path is unrecoverable
+    /// (exhausted retries, device-sort failure, dead worker).
+    pub cpu_fallback: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 2,
+            backoff_ms: 1,
+            split_on_oom: true,
+            cpu_fallback: true,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// No recovery at all: every fault propagates as a typed error.
+    pub fn none() -> Self {
+        RecoveryPolicy {
+            max_retries: 0,
+            backoff_ms: 0,
+            split_on_oom: false,
+            cpu_fallback: false,
+        }
+    }
+}
+
 /// A fully specified heterogeneous sort configuration.
 #[derive(Debug, Clone)]
 pub struct HetSortConfig {
@@ -132,6 +182,11 @@ pub struct HetSortConfig {
     pub elem_bytes: f64,
     /// Which sort runs on the device.
     pub device_sort: DeviceSortKind,
+    /// Reaction to faults (OOM, transfer, sort, panic).
+    pub recovery: RecoveryPolicy,
+    /// Fault schedule the executors consult (testing/chaos runs); `None`
+    /// means no injected faults.
+    pub faults: Option<Arc<FaultInjector>>,
 }
 
 impl HetSortConfig {
@@ -160,6 +215,8 @@ impl HetSortConfig {
             pair_strategy: PairStrategy::default(),
             elem_bytes: 8.0,
             device_sort: DeviceSortKind::default(),
+            recovery: RecoveryPolicy::default(),
+            faults: None,
         }
     }
 
@@ -202,6 +259,19 @@ impl HetSortConfig {
     /// Select the device sort implementation.
     pub fn with_device_sort(mut self, k: DeviceSortKind) -> Self {
         self.device_sort = k;
+        self
+    }
+
+    /// Set the recovery policy.
+    pub fn with_recovery(mut self, r: RecoveryPolicy) -> Self {
+        self.recovery = r;
+        self
+    }
+
+    /// Attach a fault schedule (wraps it in an [`Arc`] so both the
+    /// config and the test can observe the injected count).
+    pub fn with_faults(mut self, faults: Arc<FaultInjector>) -> Self {
+        self.faults = Some(faults);
         self
     }
 
@@ -252,24 +322,26 @@ impl HetSortConfig {
     }
 
     /// Validate against the hardware model and `n`.
-    pub fn validate(&self, n: usize) -> Result<(), String> {
+    pub fn validate(&self, n: usize) -> Result<(), HetSortError> {
         if n == 0 {
-            return Err("input size n must be positive".into());
+            return Err(HetSortError::config("input size n must be positive"));
         }
         if self.batch_elems == 0 {
-            return Err("batch_elems (b_s) must be positive".into());
+            return Err(HetSortError::config("batch_elems (b_s) must be positive"));
         }
         if self.pinned_elems == 0 {
-            return Err("pinned_elems (p_s) must be positive".into());
+            return Err(HetSortError::config("pinned_elems (p_s) must be positive"));
         }
         if self.pinned_elems > self.batch_elems {
-            return Err(format!(
+            return Err(HetSortError::config(format!(
                 "pinned buffer p_s={} exceeds batch size b_s={}",
                 self.pinned_elems, self.batch_elems
-            ));
+            )));
         }
         if self.approach.is_piped() && self.streams_per_gpu == 0 {
-            return Err("piped approaches need at least one stream".into());
+            return Err(HetSortError::config(
+                "piped approaches need at least one stream",
+            ));
         }
         // Thrust's 2× footprint per in-flight batch, per stream (§III-B).
         let streams = if self.approach.is_piped() {
@@ -278,7 +350,10 @@ impl HetSortConfig {
             1
         };
         if !self.elem_bytes.is_finite() || self.elem_bytes <= 0.0 {
-            return Err(format!("invalid element size {} bytes", self.elem_bytes));
+            return Err(HetSortError::config(format!(
+                "invalid element size {} bytes",
+                self.elem_bytes
+            )));
         }
         let need = self.device_sort.mem_factor()
             * self.elem_bytes
@@ -291,17 +366,17 @@ impl HetSortConfig {
             .map(|g| g.global_mem_bytes)
             .fold(f64::INFINITY, f64::min);
         if need > min_mem {
-            return Err(format!(
+            return Err(HetSortError::config(format!(
                 "b_s={} with {streams} stream(s) needs {need:.3e} B on the GPU but only {min_mem:.3e} B exist",
                 self.batch_elems
-            ));
+            )));
         }
         if self.approach == Approach::BLine && self.n_batches(n) > 1 {
-            return Err(format!(
+            return Err(HetSortError::config(format!(
                 "BLine requires n_b = 1 but n={n} with b_s={} gives n_b={}; use BLineMulti",
                 self.batch_elems,
                 self.n_batches(n)
-            ));
+            )));
         }
         Ok(())
     }
@@ -318,7 +393,11 @@ mod tests {
         assert_eq!(c.streams_per_gpu, 2);
         assert_eq!(c.pinned_elems, 1_000_000);
         // b_s close to the paper's 5e8 (§IV-F Experiment 1).
-        assert!((4.8e8..5.5e8).contains(&(c.batch_elems as f64)), "{}", c.batch_elems);
+        assert!(
+            (4.8e8..5.5e8).contains(&(c.batch_elems as f64)),
+            "{}",
+            c.batch_elems
+        );
         assert_eq!(c.merge_threads_eff(), 16);
         assert_eq!(c.memcpy_threads_eff(), 1);
         assert_eq!(c.clone().with_par_memcpy().memcpy_threads_eff(), 16);
@@ -326,8 +405,8 @@ mod tests {
 
     #[test]
     fn batch_count() {
-        let c = HetSortConfig::paper_defaults(platform1(), Approach::BLineMulti)
-            .with_batch_elems(500);
+        let c =
+            HetSortConfig::paper_defaults(platform1(), Approach::BLineMulti).with_batch_elems(500);
         assert_eq!(c.n_batches(1000), 2);
         assert_eq!(c.n_batches(1001), 3);
         assert_eq!(c.n_batches(499), 1);
@@ -372,6 +451,31 @@ mod tests {
         assert!(bl.validate(150).is_err());
         assert!(bl.validate(100).is_ok());
         assert!(base.validate(0).is_err());
+    }
+
+    #[test]
+    fn validation_errors_are_typed() {
+        let base = HetSortConfig::paper_defaults(platform1(), Approach::PipeData);
+        match base.validate(0) {
+            Err(HetSortError::Config { reason }) => {
+                assert!(reason.contains("must be positive"), "{reason}")
+            }
+            other => panic!("expected Config error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recovery_policy_defaults_and_none() {
+        let d = RecoveryPolicy::default();
+        assert_eq!(d.max_retries, 2);
+        assert!(d.split_on_oom && d.cpu_fallback);
+        let n = RecoveryPolicy::none();
+        assert_eq!(n.max_retries, 0);
+        assert!(!n.split_on_oom && !n.cpu_fallback);
+        let c = HetSortConfig::paper_defaults(platform1(), Approach::PipeData)
+            .with_recovery(RecoveryPolicy::none());
+        assert_eq!(c.recovery, RecoveryPolicy::none());
+        assert!(c.faults.is_none());
     }
 
     #[test]

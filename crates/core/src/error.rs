@@ -1,0 +1,228 @@
+//! The typed error hierarchy of the sorting pipeline.
+//!
+//! Every fallible public entry point — configuration validation, plan
+//! construction, the simulated executor, and both functional executors —
+//! reports a [`HetSortError`] so callers can distinguish a bad
+//! configuration from a GPU that ran out of memory from a flaky bus.
+//! Recovery ([`crate::config::RecoveryPolicy`]) pattern-matches on these
+//! variants; without recovery they propagate to the caller naming the
+//! exact step and batch that failed.
+
+use std::fmt;
+
+use hetsort_vgpu::CudaError;
+pub use hetsort_vgpu::TransferDir;
+
+/// A failure anywhere in the heterogeneous sorting pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HetSortError {
+    /// The configuration is invalid for the platform or input size.
+    Config {
+        /// What rule was violated.
+        reason: String,
+    },
+    /// The plan is internally inconsistent (invariant check failures).
+    Plan {
+        /// The violated invariant.
+        reason: String,
+    },
+    /// The data handed to an executor does not match the plan.
+    Data {
+        /// The mismatch.
+        reason: String,
+    },
+    /// A device ran out of memory (real or injected).
+    GpuOom {
+        /// The device that ran out.
+        gpu: usize,
+        /// The batch being processed, when known.
+        batch: Option<usize>,
+        /// Bytes the allocation asked for.
+        requested_bytes: f64,
+        /// Bytes still free on the device.
+        free_bytes: f64,
+    },
+    /// A DMA transfer failed and retries (if any) were exhausted.
+    TransferFault {
+        /// Plan step index that failed.
+        step: usize,
+        /// Batch the transfer belonged to.
+        batch: usize,
+        /// Copy direction.
+        dir: TransferDir,
+        /// Attempts made (1 = no retries configured).
+        attempts: usize,
+    },
+    /// A device sort kernel failed.
+    DeviceSortFault {
+        /// Plan step index that failed.
+        step: usize,
+        /// Batch being sorted.
+        batch: usize,
+        /// Device the kernel ran on.
+        gpu: usize,
+    },
+    /// A stream worker thread panicked.
+    WorkerPanic {
+        /// Worker (stream) index.
+        worker: usize,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// The merge coordinator ran out of batches with pair merges still
+    /// waiting on inputs (a plan/executor bug, surfaced rather than
+    /// deadlocking).
+    MergeStall {
+        /// Pair merges never fired.
+        pending: usize,
+    },
+    /// The discrete-event simulation itself failed.
+    Sim {
+        /// The simulator's diagnosis.
+        reason: String,
+    },
+    /// A virtual-CUDA driver error that has no more specific mapping.
+    Cuda(CudaError),
+}
+
+impl HetSortError {
+    /// Shorthand for a config error.
+    pub(crate) fn config(reason: impl Into<String>) -> Self {
+        HetSortError::Config {
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand for a data error.
+    pub(crate) fn data(reason: impl Into<String>) -> Self {
+        HetSortError::Data {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for HetSortError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HetSortError::Config { reason } => write!(f, "invalid configuration: {reason}"),
+            HetSortError::Plan { reason } => write!(f, "invalid plan: {reason}"),
+            HetSortError::Data { reason } => write!(f, "data mismatch: {reason}"),
+            HetSortError::GpuOom {
+                gpu,
+                batch,
+                requested_bytes,
+                free_bytes,
+            } => {
+                write!(
+                    f,
+                    "GPU {gpu} out of memory: requested {requested_bytes:.3e} B, {free_bytes:.3e} B free"
+                )?;
+                if let Some(b) = batch {
+                    write!(f, " (batch {b})")?;
+                }
+                Ok(())
+            }
+            HetSortError::TransferFault {
+                step,
+                batch,
+                dir,
+                attempts,
+            } => {
+                let d = match dir {
+                    TransferDir::HtoD => "HtoD",
+                    TransferDir::DtoH => "DtoH",
+                };
+                write!(
+                    f,
+                    "{d} transfer failed at step {step} (batch {batch}) after {attempts} attempt(s)"
+                )
+            }
+            HetSortError::DeviceSortFault { step, batch, gpu } => {
+                write!(
+                    f,
+                    "device sort failed at step {step} (batch {batch}, GPU {gpu})"
+                )
+            }
+            HetSortError::WorkerPanic { worker, message } => {
+                write!(f, "stream worker {worker} panicked: {message}")
+            }
+            HetSortError::MergeStall { pending } => {
+                write!(f, "{pending} pair merge(s) never became ready")
+            }
+            HetSortError::Sim { reason } => write!(f, "simulation failed: {reason}"),
+            HetSortError::Cuda(e) => write!(f, "CUDA error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HetSortError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HetSortError::Cuda(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CudaError> for HetSortError {
+    fn from(e: CudaError) -> Self {
+        match e {
+            CudaError::DeviceOom {
+                gpu,
+                requested_bytes,
+                free_bytes,
+            } => HetSortError::GpuOom {
+                gpu,
+                batch: None,
+                requested_bytes,
+                free_bytes,
+            },
+            other => HetSortError::Cuda(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_step_and_batch() {
+        let e = HetSortError::TransferFault {
+            step: 17,
+            batch: 3,
+            dir: TransferDir::HtoD,
+            attempts: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("step 17"), "{s}");
+        assert!(s.contains("batch 3"), "{s}");
+        assert!(s.contains("HtoD"), "{s}");
+    }
+
+    #[test]
+    fn cuda_oom_maps_to_gpu_oom() {
+        let e: HetSortError = CudaError::DeviceOom {
+            gpu: 1,
+            requested_bytes: 4e9,
+            free_bytes: 1e9,
+        }
+        .into();
+        assert!(matches!(
+            e,
+            HetSortError::GpuOom {
+                gpu: 1,
+                batch: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn source_chains_to_cuda() {
+        use std::error::Error;
+        let e = HetSortError::Cuda(CudaError::NoSuchDevice { gpu: 3, n_gpus: 1 });
+        assert!(e.source().is_some());
+        assert!(HetSortError::config("x").source().is_none());
+    }
+}

@@ -10,6 +10,12 @@
 //! chunk's `HtoD` drained it, exactly as the stream FIFO enforces on
 //! real hardware).
 //!
+//! Stream-bound steps run through [`crate::exec_stream::StreamExec`],
+//! which implements the failure model: injected faults, bounded
+//! retries, OOM batch splitting, and CPU-fallback degradation per the
+//! configured [`crate::config::RecoveryPolicy`]. Unrecovered faults
+//! surface as typed [`HetSortError`]s.
+//!
 //! The output is verified (sorted + multiset-preserving) so every test
 //! of the simulated pipelines is backed by a functional proof of the
 //! identical orchestration.
@@ -17,11 +23,13 @@
 use hetsort_algos::keys::{RadixKey, SortOrd};
 use hetsort_algos::merge::par_merge_into;
 use hetsort_algos::multiway::par_multiway_merge_into;
-use hetsort_algos::radix_par::par_radix_sort;
 use hetsort_algos::verify::{fingerprint, is_sorted};
 
 use crate::config::HetSortConfig;
+use crate::error::HetSortError;
+use crate::exec_stream::StreamExec;
 use crate::plan::{MergeInput, Plan, StepKind};
+use crate::report::RecoveryStats;
 
 /// Result of a functional run (over `f64` keys by default; any
 /// [`RadixKey`]+[`SortOrd`] element works, e.g.
@@ -39,14 +47,17 @@ pub struct RealOutcome<T = f64> {
     pub nb: usize,
     /// Number of pipelined pair merges executed.
     pub pair_merges: usize,
+    /// What recovery had to do (all zeros on a fault-free run).
+    pub recovery: RecoveryStats,
 }
 
 /// Sort `data` with the configured heterogeneous pipeline, functionally.
 ///
 /// # Errors
 ///
-/// Configuration/plan errors as strings.
-pub fn sort_real<T>(config: HetSortConfig, data: &[T]) -> Result<RealOutcome<T>, String>
+/// [`HetSortError::Config`] for invalid configurations, plus everything
+/// [`sort_real_plan`] reports.
+pub fn sort_real<T>(config: HetSortConfig, data: &[T]) -> Result<RealOutcome<T>, HetSortError>
 where
     T: RadixKey + SortOrd + Default,
 {
@@ -56,39 +67,43 @@ where
 
 /// Execute an already-built plan on `data` (must match `plan.n` and the
 /// configured element size).
-pub fn sort_real_plan<T>(plan: &Plan, data: &[T]) -> Result<RealOutcome<T>, String>
+///
+/// # Errors
+///
+/// [`HetSortError::Data`] on plan/data mismatches; typed fault errors
+/// ([`HetSortError::GpuOom`], [`HetSortError::TransferFault`],
+/// [`HetSortError::DeviceSortFault`]) when the recovery policy does not
+/// absorb an injected fault.
+pub fn sort_real_plan<T>(plan: &Plan, data: &[T]) -> Result<RealOutcome<T>, HetSortError>
 where
     T: RadixKey + SortOrd + Default,
 {
     if data.len() != plan.n {
-        return Err(format!(
+        return Err(HetSortError::data(format!(
             "data length {} does not match plan n = {}",
             data.len(),
             plan.n
-        ));
+        )));
     }
     if std::mem::size_of::<T>() as f64 != plan.config.elem_bytes {
-        return Err(format!(
+        return Err(HetSortError::data(format!(
             "element type is {} bytes but the config models {} — call with_elem_bytes",
             std::mem::size_of::<T>(),
             plan.config.elem_bytes
-        ));
+        )));
     }
     let cfg = &plan.config;
     let n = plan.n;
     let nb = plan.nb();
     let input_fp = fingerprint(data);
+    let injected_before = cfg.faults.as_ref().map_or(0, |i| i.injected());
     let t0 = std::time::Instant::now();
 
     // Memory: A (borrowed), W (working memory for sorted sublists),
-    // B (output), per-stream pinned buffers and device batch buffers.
+    // B (output), per-stream state (pinned + device buffers) in the
+    // stream interpreters.
     let mut w = vec![T::default(); if nb > 1 { n } else { 0 }];
     let mut b_out = vec![T::default(); n];
-    let ps = cfg.pinned_elems;
-    let mut pinned_in: Vec<Vec<T>> = (0..plan.total_streams).map(|_| Vec::new()).collect();
-    let mut pinned_out: Vec<Vec<T>> = (0..plan.total_streams).map(|_| Vec::new()).collect();
-    let mut device: Vec<Vec<T>> =
-        (0..plan.total_streams).map(|_| Vec::new()).collect();
     let mut pair_out: Vec<Vec<T>> = (0..plan.pairs.len()).map(|_| Vec::new()).collect();
     let merge_threads = cfg.merge_threads_eff() as usize;
     // Cap the functional thread count at this machine's parallelism ×4:
@@ -96,86 +111,13 @@ where
     let host_threads = merge_threads.min(4 * hetsort_algos::par::default_threads());
     let device_sort_threads = hetsort_algos::par::default_threads();
 
+    let mut streams: Vec<StreamExec<T>> = (0..plan.total_streams)
+        .map(|_| StreamExec::new(plan, data, host_threads, device_sort_threads))
+        .collect();
+
     let mut pair_merges_done = 0usize;
-    for step in &plan.steps {
+    for (si, step) in plan.steps.iter().enumerate() {
         match &step.kind {
-            StepKind::PinnedAlloc { stream, dir_in, .. } => {
-                let buf = if *dir_in {
-                    &mut pinned_in[*stream]
-                } else {
-                    &mut pinned_out[*stream]
-                };
-                buf.resize(ps, T::default());
-                if !*dir_in || !plan.asynchronous {
-                    // Blocking approaches reuse the inbound buffer for
-                    // the outbound direction too.
-                    if pinned_out[*stream].is_empty() {
-                        pinned_out[*stream] = vec![T::default(); ps];
-                    }
-                }
-            }
-            StepKind::StageIn {
-                batch,
-                start,
-                len,
-                ..
-            } => {
-                let s = plan.batches[*batch].stream;
-                pinned_in[s][..*len].copy_from_slice(&data[*start..*start + *len]);
-            }
-            StepKind::HtoD {
-                batch,
-                start,
-                len,
-                ..
-            } => {
-                let b = &plan.batches[*batch];
-                let s = b.stream;
-                if device[s].len() < b.len {
-                    device[s].resize(b.len, T::default());
-                }
-                let off = *start - b.start;
-                device[s][off..off + *len].copy_from_slice(&pinned_in[s][..*len]);
-            }
-            StepKind::GpuSort { batch } => {
-                let b = &plan.batches[*batch];
-                let s = b.stream;
-                // Thrust stand-in: the parallel count/scan/scatter radix
-                // sort (bit-identical to the sequential one) — or the
-                // in-place bitonic network when configured.
-                match cfg.device_sort {
-                    crate::config::DeviceSortKind::ThrustRadix => {
-                        par_radix_sort(device_sort_threads, &mut device[s][..b.len])
-                    }
-                    crate::config::DeviceSortKind::BitonicInPlace => {
-                        hetsort_algos::bitonic::par_bitonic_sort(
-                            device_sort_threads,
-                            &mut device[s][..b.len],
-                        )
-                    }
-                }
-            }
-            StepKind::DtoH {
-                batch,
-                start,
-                len,
-                ..
-            } => {
-                let b = &plan.batches[*batch];
-                let s = b.stream;
-                let off = *start - b.start;
-                pinned_out[s][..*len].copy_from_slice(&device[s][off..off + *len]);
-            }
-            StepKind::StageOut {
-                batch,
-                start,
-                len,
-                ..
-            } => {
-                let s = plan.batches[*batch].stream;
-                let dst = if nb > 1 { &mut w } else { &mut b_out };
-                dst[*start..*start + *len].copy_from_slice(&pinned_out[s][..*len]);
-            }
             StepKind::PairMerge { slot } => {
                 let spec = plan.pairs[*slot];
                 let resolve = |src: crate::plan::MergeSrc| -> &[T] {
@@ -188,7 +130,12 @@ where
                     }
                 };
                 let mut out = vec![T::default(); spec.out_elems];
-                par_merge_into(host_threads, resolve(spec.left), resolve(spec.right), &mut out);
+                par_merge_into(
+                    host_threads,
+                    resolve(spec.left),
+                    resolve(spec.right),
+                    &mut out,
+                );
                 pair_out[*slot] = out;
                 pair_merges_done += 1;
             }
@@ -205,8 +152,25 @@ where
                     .collect();
                 par_multiway_merge_into(host_threads, &lists, &mut b_out);
             }
+            _ => {
+                let s = step.stream.ok_or_else(|| HetSortError::Plan {
+                    reason: format!("step {si} has no stream"),
+                })?;
+                let dst = if nb > 1 { &mut w } else { &mut b_out };
+                streams[s].step(si, &mut |_batch, start, chunk| {
+                    dst[start..start + chunk.len()].copy_from_slice(chunk);
+                })?;
+            }
         }
     }
+
+    let mut recovery = RecoveryStats::default();
+    for sx in &streams {
+        recovery.retries += sx.stats.retries;
+        recovery.degraded_batches += sx.stats.degraded_batches;
+        recovery.oom_replans += sx.stats.oom_replans;
+    }
+    recovery.faults_injected = cfg.faults.as_ref().map_or(0, |i| i.injected()) - injected_before;
 
     let wall_s = t0.elapsed().as_secs_f64();
     let verified = is_sorted(&b_out) && fingerprint(&b_out) == input_fp;
@@ -216,6 +180,7 @@ where
         verified,
         nb,
         pair_merges: pair_merges_done,
+        recovery,
     })
 }
 
@@ -230,7 +195,9 @@ mod tests {
         let mut x = seed | 1;
         (0..n)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 11) as f64 / (1u64 << 53) as f64
             })
             .collect()
@@ -248,6 +215,10 @@ mod tests {
         introsort(&mut expect);
         let out = sort_real(cfg(approach, bs, ps), &d).unwrap();
         assert!(out.verified, "{approach:?} failed verification");
+        assert!(
+            !out.recovery.any(),
+            "fault-free run must report no recovery"
+        );
         assert_eq!(
             out.sorted.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
             expect.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
@@ -363,8 +334,8 @@ mod tests {
         let d = data(30_000, 21);
         let mut expect = d.clone();
         introsort(&mut expect);
-        let c = cfg(Approach::PipeMerge, 5_000, 1_000)
-            .with_device_sort(DeviceSortKind::BitonicInPlace);
+        let c =
+            cfg(Approach::PipeMerge, 5_000, 1_000).with_device_sort(DeviceSortKind::BitonicInPlace);
         let out = sort_real(c, &d).unwrap();
         assert!(out.verified);
         assert_eq!(
@@ -376,6 +347,9 @@ mod tests {
     #[test]
     fn length_mismatch_rejected() {
         let plan = Plan::build(cfg(Approach::BLineMulti, 1_000, 100), 5_000).unwrap();
-        assert!(sort_real_plan(&plan, &data(4_999, 1)).is_err());
+        assert!(matches!(
+            sort_real_plan(&plan, &data(4_999, 1)),
+            Err(HetSortError::Data { .. })
+        ));
     }
 }

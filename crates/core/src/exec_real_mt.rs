@@ -6,7 +6,8 @@
 //! running it concurrently, the way the paper's implementation does:
 //!
 //! * one worker thread per stream executes that stream's steps in FIFO
-//!   order (staging copies, transfers, device sorts) with stream-local
+//!   order through a [`StreamExec`] (staging copies, transfers, device
+//!   sorts — with the full fault/recovery model), using stream-local
 //!   pinned and device buffers — exactly the per-stream state of the
 //!   CUDA implementation;
 //! * finished sorted batches flow over a channel to a merge coordinator
@@ -16,8 +17,16 @@
 //! Batch payloads are owned `Vec`s handed over the channel, so there is
 //! no shared mutable state at all — the safe-Rust translation of the
 //! paper's `W` buffer (which is only ever written once per region).
+//!
+//! The coordinator is panic-safe: a worker that dies (injected via
+//! [`hetsort_vgpu::FaultInjector::panic_worker`] or otherwise) never
+//! poisons the run. Its channel sender drops, the coordinator notices,
+//! joins every worker, and either host-sorts the dead worker's missing
+//! batches (when [`crate::config::RecoveryPolicy::cpu_fallback`] is on)
+//! or reports a typed [`HetSortError::WorkerPanic`] naming the worker —
+//! never a raw panic or a hung channel.
 
-use crossbeam::channel;
+use std::sync::mpsc;
 
 use hetsort_algos::keys::{RadixKey, SortOrd};
 use hetsort_algos::merge::par_merge_into;
@@ -25,41 +34,97 @@ use hetsort_algos::multiway::par_multiway_merge_into;
 use hetsort_algos::radix_par::par_radix_sort;
 use hetsort_algos::verify::{fingerprint, is_sorted};
 
+use crate::error::HetSortError;
 use crate::exec_real::RealOutcome;
+use crate::exec_stream::StreamExec;
 use crate::plan::{MergeInput, MergeSrc, Plan, StepKind};
+use crate::report::RecoveryStats;
+
+/// The sorted slice behind a merge source, if it exists yet.
+fn src_slice<'x, T>(
+    src: MergeSrc,
+    batches: &'x [Option<Vec<T>>],
+    pairs: &'x [Option<Vec<T>>],
+) -> Option<&'x [T]> {
+    match src {
+        MergeSrc::Batch(b) => batches[b].as_deref(),
+        MergeSrc::Merged(p) => pairs[p].as_deref(),
+    }
+}
+
+/// Fire every pending pair merge whose inputs are ready, repeatedly
+/// (an Online/MergeTree merge may unlock the next).
+fn fire_ready_pairs<T>(
+    plan: &Plan,
+    merge_threads: usize,
+    sorted_batches: &[Option<Vec<T>>],
+    pair_out: &mut [Option<Vec<T>>],
+    pending: &mut Vec<usize>,
+) where
+    T: RadixKey + SortOrd + Default,
+{
+    let mut fired = true;
+    while fired {
+        fired = false;
+        let mut i = 0;
+        while i < pending.len() {
+            let slot = pending[i];
+            let spec = plan.pairs[slot];
+            let (Some(l), Some(r)) = (
+                src_slice(spec.left, sorted_batches, pair_out),
+                src_slice(spec.right, sorted_batches, pair_out),
+            ) else {
+                i += 1;
+                continue;
+            };
+            let mut out = vec![T::default(); spec.out_elems];
+            par_merge_into(merge_threads, l, r, &mut out);
+            pair_out[slot] = Some(out);
+            pending.remove(i);
+            fired = true;
+        }
+    }
+}
 
 /// Sort `data` by executing the plan's streams on real OS threads.
 ///
 /// Produces bit-identical output to [`crate::exec_real::sort_real_plan`]
 /// (the data path is deterministic; only wall-clock interleaving
-/// differs).
+/// differs). With a fault injector armed, global occurrence counters are
+/// still exact, but *which* stream observes an occurrence depends on
+/// interleaving — concurrent fault tests should use single-stream
+/// configs or worker-addressed panics.
 ///
 /// # Errors
 ///
-/// Plan/data mismatches and worker panics as strings.
-pub fn sort_real_parallel<T>(plan: &Plan, data: &[T]) -> Result<RealOutcome<T>, String>
+/// [`HetSortError::Data`] on plan/data mismatches; typed fault errors
+/// when the recovery policy does not absorb an injected fault;
+/// [`HetSortError::WorkerPanic`] when a stream worker dies and CPU
+/// fallback is disabled.
+pub fn sort_real_parallel<T>(plan: &Plan, data: &[T]) -> Result<RealOutcome<T>, HetSortError>
 where
     T: RadixKey + SortOrd + Default,
 {
     if data.len() != plan.n {
-        return Err(format!(
+        return Err(HetSortError::data(format!(
             "data length {} does not match plan n = {}",
             data.len(),
             plan.n
-        ));
+        )));
     }
     if std::mem::size_of::<T>() as f64 != plan.config.elem_bytes {
-        return Err(format!(
+        return Err(HetSortError::data(format!(
             "element type is {} bytes but the config models {} — call with_elem_bytes",
             std::mem::size_of::<T>(),
             plan.config.elem_bytes
-        ));
+        )));
     }
     let nb = plan.nb();
     let input_fp = fingerprint(data);
+    let injected_before = plan.config.faults.as_ref().map_or(0, |i| i.injected());
     let t0 = std::time::Instant::now();
-    let merge_threads = (plan.config.merge_threads_eff() as usize)
-        .min(4 * hetsort_algos::par::default_threads());
+    let merge_threads =
+        (plan.config.merge_threads_eff() as usize).min(4 * hetsort_algos::par::default_threads());
     let device_sort_threads = hetsort_algos::par::default_threads();
 
     // Per-stream step lists (indices into plan.steps, already in FIFO
@@ -71,138 +136,140 @@ where
         }
     }
 
-    let (tx, rx) = channel::unbounded::<(usize, Vec<T>)>();
+    let (tx, rx) = mpsc::channel::<(usize, Vec<T>)>();
 
     let mut sorted_batches: Vec<Option<Vec<T>>> = (0..nb).map(|_| None).collect();
-    let mut pair_out: Vec<Option<Vec<T>>> =
-        (0..plan.pairs.len()).map(|_| None).collect();
+    let mut pair_out: Vec<Option<Vec<T>>> = (0..plan.pairs.len()).map(|_| None).collect();
     let mut b_out: Vec<T> = Vec::new();
+    let mut recovery = RecoveryStats::default();
 
-    std::thread::scope(|scope| -> Result<(), String> {
+    std::thread::scope(|scope| -> Result<(), HetSortError> {
         // ---- stream workers ----------------------------------------
-        for steps in per_stream.iter() {
+        let mut handles = Vec::with_capacity(per_stream.len());
+        for (worker_id, steps) in per_stream.iter().enumerate() {
             let tx = tx.clone();
             let plan_ref = plan;
-            scope.spawn(move || {
-                let ps = plan_ref.config.pinned_elems;
-                let mut pinned_in: Vec<T> = Vec::new();
-                let mut pinned_out: Vec<T> = Vec::new();
-                let mut device: Vec<T> = Vec::new();
+            handles.push(scope.spawn(move || -> Result<RecoveryStats, HetSortError> {
+                let mut sx = StreamExec::new(plan_ref, data, merge_threads, device_sort_threads);
                 // The batch currently being assembled in "W".
                 let mut assembling: Option<(usize, Vec<T>)> = None;
                 for &si in steps {
-                    match &plan_ref.steps[si].kind {
-                        StepKind::PinnedAlloc { dir_in, .. } => {
-                            if *dir_in {
-                                pinned_in.resize(ps, T::default());
-                            } else {
-                                pinned_out.resize(ps, T::default());
-                            }
-                            // Blocking plans reuse one buffer both ways.
-                            if pinned_out.is_empty() && !plan_ref.asynchronous {
-                                pinned_out.resize(ps, T::default());
-                            }
-                        }
-                        StepKind::StageIn { start, len, .. } => {
-                            pinned_in[..*len].copy_from_slice(&data[*start..*start + *len]);
-                        }
-                        StepKind::HtoD {
-                            batch, start, len, ..
-                        } => {
-                            let b = &plan_ref.batches[*batch];
-                            if device.len() < b.len {
-                                device.resize(b.len, T::default());
-                            }
-                            let off = *start - b.start;
-                            device[off..off + *len].copy_from_slice(&pinned_in[..*len]);
-                        }
-                        StepKind::GpuSort { batch } => {
-                            let b = &plan_ref.batches[*batch];
-                            match plan_ref.config.device_sort {
-                                crate::config::DeviceSortKind::ThrustRadix => {
-                                    par_radix_sort(device_sort_threads, &mut device[..b.len])
-                                }
-                                crate::config::DeviceSortKind::BitonicInPlace => {
-                                    hetsort_algos::bitonic::par_bitonic_sort(
-                                        device_sort_threads,
-                                        &mut device[..b.len],
-                                    )
+                    if let StepKind::StageIn { batch, chunk, .. } = &plan_ref.steps[si].kind {
+                        if *chunk == 0 {
+                            if let Some(inj) = plan_ref.config.faults.as_deref() {
+                                if inj.should_panic(worker_id) {
+                                    panic!(
+                                        "injected panic in stream worker {worker_id} at batch {batch}"
+                                    );
                                 }
                             }
-                        }
-                        StepKind::DtoH {
-                            batch, start, len, ..
-                        } => {
-                            let b = &plan_ref.batches[*batch];
-                            let off = *start - b.start;
-                            pinned_out[..*len].copy_from_slice(&device[off..off + *len]);
-                        }
-                        StepKind::StageOut { batch, len, .. } => {
-                            let b = &plan_ref.batches[*batch];
-                            let (_, buf) = assembling
-                                .get_or_insert_with(|| (*batch, Vec::with_capacity(b.len)));
-                            buf.extend_from_slice(&pinned_out[..*len]);
-                            if buf.len() == b.len {
-                                let (idx, done) = assembling.take().expect("assembling");
-                                tx.send((idx, done)).expect("coordinator alive");
-                            }
-                        }
-                        // Merges never carry a stream.
-                        StepKind::PairMerge { .. } | StepKind::MultiwayMerge { .. } => {
-                            unreachable!("merge steps are not stream-bound")
                         }
                     }
+                    sx.step(si, &mut |batch, _start, chunk| {
+                        let (_, buf) = assembling.get_or_insert_with(|| {
+                            (batch, Vec::with_capacity(plan_ref.batches[batch].len))
+                        });
+                        buf.extend_from_slice(chunk);
+                        if buf.len() == plan_ref.batches[batch].len {
+                            if let Some(done) = assembling.take() {
+                                // A dead coordinator just means the run
+                                // already failed; don't panic on top.
+                                let _ = tx.send(done);
+                            }
+                        }
+                    })?;
                 }
-            });
+                Ok(sx.stats)
+            }));
         }
         drop(tx);
 
         // ---- merge coordinator (this thread) ------------------------
         let mut received = 0usize;
-        let src_ready = |src: MergeSrc,
-                         batches: &Vec<Option<Vec<T>>>,
-                         pairs: &Vec<Option<Vec<T>>>| match src {
-            MergeSrc::Batch(b) => batches[b].is_some(),
-            MergeSrc::Merged(p) => pairs[p].is_some(),
-        };
         let mut pending_pairs: Vec<usize> = (0..plan.pairs.len()).collect();
         while received < nb {
-            let (idx, buf) = rx.recv().map_err(|e| format!("worker hangup: {e}"))?;
+            // A disconnect means every worker is done (some possibly
+            // dead); fall through to the join pass to find out which.
+            let Ok((idx, buf)) = rx.recv() else { break };
             sorted_batches[idx] = Some(buf);
             received += 1;
-            // Fire every pair merge whose inputs just became ready
-            // (loop: an Online/MergeTree merge may unlock the next).
-            loop {
-                let Some(pos) = pending_pairs.iter().position(|&slot| {
-                    src_ready(plan.pairs[slot].left, &sorted_batches, &pair_out)
-                        && src_ready(plan.pairs[slot].right, &sorted_batches, &pair_out)
-                }) else {
-                    break;
-                };
-                let slot = pending_pairs.remove(pos);
-                let spec = plan.pairs[slot];
-                let resolve = |src: MergeSrc| -> &[T] {
-                    match src {
-                        MergeSrc::Batch(b) => sorted_batches[b].as_deref().expect("ready"),
-                        MergeSrc::Merged(p) => pair_out[p].as_deref().expect("ready"),
+            fire_ready_pairs(
+                plan,
+                merge_threads,
+                &sorted_batches,
+                &mut pair_out,
+                &mut pending_pairs,
+            );
+        }
+
+        // ---- join: propagate typed errors, survive panics -----------
+        let mut first_err: Option<HetSortError> = None;
+        let mut first_panic: Option<HetSortError> = None;
+        for (worker, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(Ok(stats)) => {
+                    recovery.retries += stats.retries;
+                    recovery.degraded_batches += stats.degraded_batches;
+                    recovery.oom_replans += stats.oom_replans;
+                }
+                Ok(Err(e)) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
                     }
-                };
-                let mut out = vec![T::default(); spec.out_elems];
-                par_merge_into(merge_threads, resolve(spec.left), resolve(spec.right), &mut out);
-                pair_out[slot] = Some(out);
+                }
+                Err(payload) => {
+                    let message = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "opaque panic payload".to_string());
+                    if first_panic.is_none() {
+                        first_panic = Some(HetSortError::WorkerPanic { worker, message });
+                    }
+                }
             }
         }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        if let Some(e) = first_panic {
+            if !plan.config.recovery.cpu_fallback {
+                return Err(e);
+            }
+            // Graceful degradation: host-sort whatever the dead
+            // worker(s) never delivered, straight from A.
+            for (b, slot) in sorted_batches.iter_mut().enumerate() {
+                if slot.is_none() {
+                    let bi = &plan.batches[b];
+                    let mut buf = data[bi.start..bi.start + bi.len].to_vec();
+                    par_radix_sort(merge_threads, &mut buf);
+                    *slot = Some(buf);
+                    recovery.degraded_batches += 1;
+                }
+            }
+            fire_ready_pairs(
+                plan,
+                merge_threads,
+                &sorted_batches,
+                &mut pair_out,
+                &mut pending_pairs,
+            );
+        }
         if !pending_pairs.is_empty() {
-            return Err(format!(
-                "{} pair merges never became ready",
-                pending_pairs.len()
-            ));
+            return Err(HetSortError::MergeStall {
+                pending: pending_pairs.len(),
+            });
         }
 
         // ---- final merge --------------------------------------------
         b_out = vec![T::default(); plan.n];
         if nb == 1 {
-            b_out.copy_from_slice(sorted_batches[0].as_deref().expect("batch 0"));
+            let only = sorted_batches[0]
+                .as_deref()
+                .ok_or_else(|| HetSortError::Plan {
+                    reason: "batch 0 was never produced".to_string(),
+                })?;
+            b_out.copy_from_slice(only);
         } else {
             let inputs = plan
                 .steps
@@ -212,19 +279,27 @@ where
                     StepKind::MultiwayMerge { inputs } => Some(inputs.clone()),
                     _ => None,
                 })
-                .ok_or("plan has no final merge")?;
-            let lists: Vec<&[T]> = inputs
-                .iter()
-                .map(|inp| match *inp {
-                    MergeInput::Batch(b) => sorted_batches[b].as_deref().expect("batch"),
-                    MergeInput::Pair(p) => pair_out[p].as_deref().expect("pair"),
-                })
-                .collect();
+                .ok_or_else(|| HetSortError::Plan {
+                    reason: "plan has no final merge".to_string(),
+                })?;
+            let mut lists: Vec<&[T]> = Vec::with_capacity(inputs.len());
+            for (k, inp) in inputs.iter().enumerate() {
+                let sl = match *inp {
+                    MergeInput::Batch(b) => sorted_batches[b].as_deref(),
+                    MergeInput::Pair(p) => pair_out[p].as_deref(),
+                }
+                .ok_or_else(|| HetSortError::Plan {
+                    reason: format!("final merge input {k} was never produced"),
+                })?;
+                lists.push(sl);
+            }
             par_multiway_merge_into(merge_threads, &lists, &mut b_out);
         }
         Ok(())
     })?;
 
+    recovery.faults_injected =
+        plan.config.faults.as_ref().map_or(0, |i| i.injected()) - injected_before;
     let wall_s = t0.elapsed().as_secs_f64();
     let verified = is_sorted(&b_out) && fingerprint(&b_out) == input_fp;
     Ok(RealOutcome {
@@ -233,21 +308,25 @@ where
         verified,
         nb,
         pair_merges: plan.pairs.len(),
+        recovery,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{Approach, HetSortConfig, PairStrategy};
+    use crate::config::{Approach, HetSortConfig, PairStrategy, RecoveryPolicy};
     use crate::exec_real::sort_real_plan;
-    use hetsort_vgpu::{platform1, platform2};
+    use hetsort_vgpu::{platform1, platform2, FaultInjector};
+    use std::sync::Arc;
 
     fn data(n: usize, seed: u64) -> Vec<f64> {
         let mut x = seed | 1;
         (0..n)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 11) as f64 / (1u64 << 53) as f64 - 0.5
             })
             .collect()
@@ -264,11 +343,16 @@ mod tests {
             seq.sorted.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
         );
         assert_eq!(par.nb, seq.nb);
+        assert!(!par.recovery.any());
     }
 
     #[test]
     fn matches_sequential_for_all_approaches() {
-        for approach in [Approach::BLineMulti, Approach::PipeData, Approach::PipeMerge] {
+        for approach in [
+            Approach::BLineMulti,
+            Approach::PipeData,
+            Approach::PipeMerge,
+        ] {
             let cfg = HetSortConfig::paper_defaults(platform1(), approach)
                 .with_batch_elems(5_000)
                 .with_pinned_elems(1_000);
@@ -317,6 +401,43 @@ mod tests {
             .with_batch_elems(1_000)
             .with_pinned_elems(100);
         let plan = Plan::build(cfg, 5_000).unwrap();
-        assert!(sort_real_parallel(&plan, &data(4_000, 1)).is_err());
+        assert!(matches!(
+            sort_real_parallel(&plan, &data(4_000, 1)),
+            Err(HetSortError::Data { .. })
+        ));
+    }
+
+    #[test]
+    fn worker_panic_degrades_gracefully() {
+        let inj = Arc::new(FaultInjector::new().panic_worker(0, 1));
+        let cfg = HetSortConfig::paper_defaults(platform1(), Approach::PipeData)
+            .with_batch_elems(5_000)
+            .with_pinned_elems(1_000)
+            .with_faults(inj);
+        let n = 42_000;
+        let d = data(n, 5);
+        let plan = Plan::build(cfg, n).unwrap();
+        let out = sort_real_parallel(&plan, &d).unwrap();
+        assert!(out.verified, "must recover from a dead worker");
+        assert!(out.recovery.degraded_batches >= 1);
+        assert_eq!(out.recovery.faults_injected, 1);
+    }
+
+    #[test]
+    fn worker_panic_without_fallback_is_typed() {
+        let inj = Arc::new(FaultInjector::new().panic_worker(0, 1));
+        let cfg = HetSortConfig::paper_defaults(platform1(), Approach::PipeData)
+            .with_batch_elems(5_000)
+            .with_pinned_elems(1_000)
+            .with_faults(inj)
+            .with_recovery(RecoveryPolicy::none());
+        let n = 42_000;
+        let d = data(n, 5);
+        let plan = Plan::build(cfg, n).unwrap();
+        let err = sort_real_parallel(&plan, &d).unwrap_err();
+        assert!(
+            matches!(err, HetSortError::WorkerPanic { worker: 0, .. }),
+            "expected WorkerPanic, got {err:?}"
+        );
     }
 }

@@ -4,6 +4,7 @@
 use hetsort_sim::OpId;
 use hetsort_vgpu::{Machine, TransferDir};
 
+use crate::error::HetSortError;
 use crate::plan::{Plan, StepKind};
 use crate::report::TimingReport;
 
@@ -11,18 +12,23 @@ use crate::report::TimingReport;
 ///
 /// # Errors
 ///
-/// Configuration validation errors, device-memory overflows, and
-/// simulation failures (all `String`-formatted for the caller).
+/// [`HetSortError::Config`]/[`HetSortError::Plan`] for invalid inputs,
+/// [`HetSortError::GpuOom`] when the plan's resident buffers overflow
+/// device memory, [`HetSortError::Sim`] when the engine fails.
 pub fn simulate(
     config: crate::config::HetSortConfig,
     n: usize,
-) -> Result<TimingReport, String> {
+) -> Result<TimingReport, HetSortError> {
     let plan = Plan::build(config, n)?;
     simulate_plan(&plan)
 }
 
 /// Simulate an already-built plan.
-pub fn simulate_plan(plan: &Plan) -> Result<TimingReport, String> {
+///
+/// # Errors
+///
+/// [`HetSortError::GpuOom`] and [`HetSortError::Sim`] as above.
+pub fn simulate_plan(plan: &Plan) -> Result<TimingReport, HetSortError> {
     let cfg = &plan.config;
     let mut m = Machine::new(cfg.platform.clone());
 
@@ -41,8 +47,7 @@ pub fn simulate_plan(plan: &Plan) -> Result<TimingReport, String> {
         m.device_alloc(
             gpu,
             cfg.device_sort.mem_factor() * cfg.elem_bytes * cfg.batch_elems as f64,
-        )
-            .map_err(|e| format!("plan does not fit device memory: {e}"))?;
+        )?;
     }
 
     // Streams and display lanes.
@@ -122,8 +127,7 @@ pub fn simulate_plan(plan: &Plan) -> Result<TimingReport, String> {
                 // their throughput factor (bitonic ≈ 5× slower).
                 m.gpu_sort(
                     b.gpu,
-                    b.len as f64 * cfg.elem_bytes / 8.0
-                        / cfg.device_sort.throughput_factor(),
+                    b.len as f64 * cfg.elem_bytes / 8.0 / cfg.device_sort.throughput_factor(),
                     queue,
                     &deps,
                     Some(gpu_lanes[b.gpu]),
@@ -162,18 +166,21 @@ pub fn simulate_plan(plan: &Plan) -> Result<TimingReport, String> {
                 // the staging pipeline; the rejected strategies are
                 // given every core (favorable to them — they lose on
                 // schedule structure, not thread starvation).
-                let threads = if plan.config.pair_strategy
-                    == crate::config::PairStrategy::PaperHeuristic
-                {
-                    pair_merge_threads
-                } else {
-                    merge_threads
-                };
+                let threads =
+                    if plan.config.pair_strategy == crate::config::PairStrategy::PaperHeuristic {
+                        pair_merge_threads
+                    } else {
+                        merge_threads
+                    };
                 m.pair_merge(spec.out_elems as f64, threads, &deps, Some(cpu_lane))
             }
-            StepKind::MultiwayMerge { inputs } => {
-                m.multiway_merge(plan.n as f64, inputs.len(), merge_threads, &deps, Some(cpu_lane))
-            }
+            StepKind::MultiwayMerge { inputs } => m.multiway_merge(
+                plan.n as f64,
+                inputs.len(),
+                merge_threads,
+                &deps,
+                Some(cpu_lane),
+            ),
         };
         op_ids.push(id);
     }
@@ -187,7 +194,9 @@ pub fn simulate_plan(plan: &Plan) -> Result<TimingReport, String> {
             .map(|g| g.kernel_launch_s)
             .unwrap_or(0.0);
 
-    let tl = m.run().map_err(|e| format!("simulation failed: {e}"))?;
+    let tl = m.run().map_err(|e| HetSortError::Sim {
+        reason: e.to_string(),
+    })?;
     Ok(TimingReport::from_timeline(
         cfg.approach.name(),
         &cfg.platform.name,
@@ -233,7 +242,11 @@ mod tests {
         assert!((r.component(tags::HTOD) - 0.533).abs() < 0.01);
         assert!((r.component(tags::DTOH) - 0.533).abs() < 0.01);
         // Literature total = HtoD + Sort + DtoH ≈ 0.533+0.421+0.533.
-        assert!((r.literature_total_s - 1.487).abs() < 0.02, "{}", r.literature_total_s);
+        assert!(
+            (r.literature_total_s - 1.487).abs() < 0.02,
+            "{}",
+            r.literature_total_s
+        );
         // Missing overhead ≈ 2 staging copies + alloc ≈ 1.61 s.
         assert!(r.missing_overhead_s() > 1.5, "{}", r.missing_overhead_s());
     }
@@ -286,8 +299,8 @@ mod tests {
         // Single-GPU platform2: strip one GPU.
         let mut plat1g = platform2();
         plat1g.gpus.truncate(1);
-        let cfg1 = HetSortConfig::paper_defaults(plat1g, Approach::PipeData)
-            .with_batch_elems(350_000_000);
+        let cfg1 =
+            HetSortConfig::paper_defaults(plat1g, Approach::PipeData).with_batch_elems(350_000_000);
         let r1 = simulate(cfg1, n).unwrap();
         assert!(
             r2.total_s < r1.total_s,
@@ -313,11 +326,7 @@ mod tests {
         // but the slower sort dominates and radix still wins overall
         // (why Thrust's radix is the paper's choice).
         let n = 4_000_000_000usize;
-        let radix = simulate(
-            p1(Approach::PipeMerge).with_batch_elems(500_000_000),
-            n,
-        )
-        .unwrap();
+        let radix = simulate(p1(Approach::PipeMerge).with_batch_elems(500_000_000), n).unwrap();
         let bitonic_cfg = p1(Approach::PipeMerge)
             .with_device_sort(DeviceSortKind::BitonicInPlace)
             .with_batch_elems(1_000_000_000);
@@ -335,11 +344,7 @@ mod tests {
         );
         // And the radix config must NOT fit 1e9-element batches (the
         // out-of-place scratch is the whole reason batches are small).
-        assert!(simulate(
-            p1(Approach::PipeMerge).with_batch_elems(1_000_000_000),
-            n
-        )
-        .is_err());
+        assert!(simulate(p1(Approach::PipeMerge).with_batch_elems(1_000_000_000), n).is_err());
     }
 
     #[test]

@@ -1,0 +1,354 @@
+//! The per-stream step interpreter shared by both functional executors.
+//!
+//! [`crate::exec_real`] drives one [`StreamExec`] per stream from a
+//! single thread; [`crate::exec_real_mt`] gives each worker thread its
+//! own. Either way, the stream-bound steps (staging copies, transfers,
+//! device sorts) run through this interpreter, which owns the stream's
+//! pinned and device buffers and implements the whole failure model:
+//!
+//! * every device-buffer growth, HtoD, DtoH, and device sort consults
+//!   the configured [`FaultInjector`] (if any);
+//! * transient transfer faults are retried up to
+//!   [`RecoveryPolicy::max_retries`] times with a backoff — each retry
+//!   consults the injector again, so a schedule that faults occurrence
+//!   `k` but not `k+1` models a fault one retry clears;
+//! * GPU OOM halves the effective device buffer (`b_s/2` for the
+//!   affected remainder) and sorts the batch in device-sized sub-runs
+//!   merged host-side ([`Mode::Split`] — the GPU still does the
+//!   sorting);
+//! * unrecoverable batches (exhausted retries, failed device sort,
+//!   OOM with splitting disabled) degrade to a host-side sort of the
+//!   batch straight from `A` ([`Mode::CpuFallback`]) when the policy
+//!   allows, and otherwise propagate as typed [`HetSortError`]s naming
+//!   the exact step and batch.
+//!
+//! Batches handled host-side bypass the DMA path, so later transfer
+//! occurrences shift relative to a fault-free run; schedules are
+//! defined over *attempted* operations, which keeps replay
+//! deterministic for a given schedule and policy.
+
+use hetsort_algos::keys::{RadixKey, SortOrd};
+use hetsort_algos::multiway::par_multiway_merge_into;
+use hetsort_algos::radix_par::par_radix_sort;
+use hetsort_vgpu::{FaultInjector, FaultSite, TransferDir};
+
+use crate::config::{DeviceSortKind, RecoveryPolicy};
+use crate::error::HetSortError;
+use crate::plan::{BatchInfo, Plan, StepKind};
+use crate::report::RecoveryStats;
+
+/// How the current batch is being processed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Normal GPU path: the whole batch fits the device buffer.
+    Device,
+    /// OOM recovery: the batch is staged host-side and sorted in
+    /// device-sized sub-runs the CPU merges.
+    Split,
+    /// Graceful degradation: the batch is sorted host-side from `A`.
+    CpuFallback,
+}
+
+/// One stream's executor state: buffers, fault handling, recovery.
+pub(crate) struct StreamExec<'a, T> {
+    plan: &'a Plan,
+    data: &'a [T],
+    injector: Option<&'a FaultInjector>,
+    policy: RecoveryPolicy,
+    host_threads: usize,
+    device_sort_threads: usize,
+    pinned_in: Vec<T>,
+    pinned_out: Vec<T>,
+    device: Vec<T>,
+    /// Effective device buffer capacity in elements; halved on OOM
+    /// (`usize::MAX` until the first OOM).
+    device_cap: usize,
+    mode: Mode,
+    /// Staging for Split/CpuFallback batches (holds the whole batch).
+    host_batch: Vec<T>,
+    /// Per-stream recovery counters (merged by the caller).
+    pub(crate) stats: RecoveryStats,
+}
+
+impl<'a, T> StreamExec<'a, T>
+where
+    T: RadixKey + SortOrd + Default,
+{
+    /// Fresh state for one stream of `plan` over `data`.
+    pub(crate) fn new(
+        plan: &'a Plan,
+        data: &'a [T],
+        host_threads: usize,
+        device_sort_threads: usize,
+    ) -> Self {
+        StreamExec {
+            plan,
+            data,
+            injector: plan.config.faults.as_deref(),
+            policy: plan.config.recovery,
+            host_threads,
+            device_sort_threads,
+            pinned_in: Vec::new(),
+            pinned_out: Vec::new(),
+            device: Vec::new(),
+            device_cap: usize::MAX,
+            mode: Mode::Device,
+            host_batch: Vec::new(),
+            stats: RecoveryStats::default(),
+        }
+    }
+
+    /// Attempt a DMA operation at `site`: consult the injector, retrying
+    /// per policy. `Err(attempts)` when every attempt faulted.
+    fn dma(&mut self, site: FaultSite) -> Result<(), usize> {
+        let Some(inj) = self.injector else {
+            return Ok(());
+        };
+        let mut attempts = 1usize;
+        while inj.trip(site).is_some() {
+            if attempts > self.policy.max_retries {
+                return Err(attempts);
+            }
+            if self.policy.backoff_ms > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(self.policy.backoff_ms));
+            }
+            self.stats.retries += 1;
+            attempts += 1;
+        }
+        Ok(())
+    }
+
+    /// Switch the current batch to host-side sorting.
+    fn degrade(&mut self) {
+        self.mode = Mode::CpuFallback;
+        self.stats.degraded_batches += 1;
+    }
+
+    /// Switch the current batch to sub-run splitting (`want` elements).
+    fn enter_split(&mut self, want: usize) {
+        self.mode = Mode::Split;
+        self.stats.oom_replans += 1;
+        let cap = self.device_cap.min(want).max(1);
+        if self.device.len() < cap {
+            self.device.resize(cap, T::default());
+        }
+        self.host_batch.resize(want, T::default());
+    }
+
+    /// Start a new batch: decide its mode and (maybe) grow the device
+    /// buffer — the `cudaMalloc` stand-in, and the OOM fault site.
+    fn begin_batch(&mut self, b: &BatchInfo) -> Result<(), HetSortError> {
+        self.mode = Mode::Device;
+        self.host_batch.clear();
+        let want = b.len;
+        if want > self.device_cap {
+            // A previous OOM shrank this stream's buffer: the remainder
+            // of the run keeps the halved batch capacity.
+            self.enter_split(want);
+            return Ok(());
+        }
+        if self.device.len() >= want {
+            return Ok(());
+        }
+        let tripped = self
+            .injector
+            .is_some_and(|i| i.trip(FaultSite::DeviceAlloc).is_some());
+        if !tripped {
+            self.device.resize(want, T::default());
+            return Ok(());
+        }
+        if self.policy.split_on_oom {
+            self.device_cap = (want / 2).max(1);
+            self.enter_split(want);
+            Ok(())
+        } else if self.policy.cpu_fallback {
+            self.degrade();
+            Ok(())
+        } else {
+            let cfg = &self.plan.config;
+            let per_elem = cfg.device_sort.mem_factor() * cfg.elem_bytes;
+            let used = per_elem * self.device.len() as f64;
+            Err(HetSortError::GpuOom {
+                gpu: b.gpu,
+                batch: Some(b.index),
+                requested_bytes: per_elem * want as f64,
+                free_bytes: (cfg.platform.gpus[b.gpu].global_mem_bytes - used).max(0.0),
+            })
+        }
+    }
+
+    /// Sort a device-resident slice with the configured device sort.
+    fn device_sort(kind: DeviceSortKind, threads: usize, buf: &mut [T]) {
+        match kind {
+            DeviceSortKind::ThrustRadix => par_radix_sort(threads, buf),
+            DeviceSortKind::BitonicInPlace => {
+                hetsort_algos::bitonic::par_bitonic_sort(threads, buf)
+            }
+        }
+    }
+
+    /// Execute one stream-bound step. `emit` receives every completed
+    /// `StageOut` chunk as `(batch, global_start, chunk_data)`.
+    ///
+    /// # Errors
+    ///
+    /// Typed faults the policy does not recover from.
+    pub(crate) fn step(
+        &mut self,
+        si: usize,
+        emit: &mut impl FnMut(usize, usize, &[T]),
+    ) -> Result<(), HetSortError> {
+        let ps = self.plan.config.pinned_elems;
+        match &self.plan.steps[si].kind {
+            StepKind::PinnedAlloc { dir_in, .. } => {
+                if *dir_in {
+                    self.pinned_in.resize(ps, T::default());
+                } else {
+                    self.pinned_out.resize(ps, T::default());
+                }
+                // Blocking plans reuse one buffer both ways.
+                if self.pinned_out.is_empty() && !self.plan.asynchronous {
+                    self.pinned_out.resize(ps, T::default());
+                }
+            }
+            StepKind::StageIn { start, len, .. } => {
+                self.pinned_in[..*len].copy_from_slice(&self.data[*start..*start + *len]);
+            }
+            StepKind::HtoD {
+                batch,
+                chunk,
+                start,
+                len,
+            } => {
+                let b = self.plan.batches[*batch];
+                if *chunk == 0 {
+                    self.begin_batch(&b)?;
+                }
+                if self.mode != Mode::CpuFallback {
+                    match self.dma(FaultSite::HtoD) {
+                        Ok(()) => {
+                            let off = *start - b.start;
+                            let dst = if self.mode == Mode::Device {
+                                &mut self.device
+                            } else {
+                                &mut self.host_batch
+                            };
+                            dst[off..off + *len].copy_from_slice(&self.pinned_in[..*len]);
+                        }
+                        Err(attempts) => {
+                            if self.policy.cpu_fallback {
+                                self.degrade();
+                            } else {
+                                return Err(HetSortError::TransferFault {
+                                    step: si,
+                                    batch: b.index,
+                                    dir: TransferDir::HtoD,
+                                    attempts,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            StepKind::GpuSort { batch } => {
+                let b = self.plan.batches[*batch];
+                if self.mode != Mode::CpuFallback {
+                    let tripped = self
+                        .injector
+                        .is_some_and(|i| i.trip(FaultSite::DeviceSort).is_some());
+                    if tripped {
+                        if self.policy.cpu_fallback {
+                            self.degrade();
+                        } else {
+                            return Err(HetSortError::DeviceSortFault {
+                                step: si,
+                                batch: b.index,
+                                gpu: b.gpu,
+                            });
+                        }
+                    }
+                }
+                match self.mode {
+                    Mode::Device => Self::device_sort(
+                        self.plan.config.device_sort,
+                        self.device_sort_threads,
+                        &mut self.device[..b.len],
+                    ),
+                    Mode::Split => {
+                        // GPU sorts device-sized sub-runs; the CPU
+                        // merges them — the halved-b_s re-plan.
+                        let cap = self.device_cap.min(b.len).max(1);
+                        let kind = self.plan.config.device_sort;
+                        let dev_threads = self.device_sort_threads;
+                        let StreamExec {
+                            host_batch, device, ..
+                        } = self;
+                        for run in host_batch.chunks_mut(cap) {
+                            device[..run.len()].copy_from_slice(run);
+                            Self::device_sort(kind, dev_threads, &mut device[..run.len()]);
+                            run.copy_from_slice(&device[..run.len()]);
+                        }
+                        if b.len > cap {
+                            let runs: Vec<&[T]> = self.host_batch.chunks(cap).collect();
+                            let mut merged = vec![T::default(); b.len];
+                            par_multiway_merge_into(self.host_threads, &runs, &mut merged);
+                            self.host_batch = merged;
+                        }
+                    }
+                    Mode::CpuFallback => {
+                        // Host-side sort straight from A: correct even
+                        // when earlier chunks never reached the device.
+                        self.host_batch.clear();
+                        self.host_batch
+                            .extend_from_slice(&self.data[b.start..b.start + b.len]);
+                        par_radix_sort(self.host_threads, &mut self.host_batch);
+                    }
+                }
+            }
+            StepKind::DtoH {
+                batch, start, len, ..
+            } => {
+                let b = self.plan.batches[*batch];
+                let off = *start - b.start;
+                if self.mode == Mode::Device {
+                    match self.dma(FaultSite::DtoH) {
+                        Ok(()) => {
+                            self.pinned_out[..*len].copy_from_slice(&self.device[off..off + *len]);
+                        }
+                        Err(attempts) => {
+                            if self.policy.cpu_fallback {
+                                // The sorted batch is still device-
+                                // resident: fall back to a pageable-
+                                // style host copy of the whole batch.
+                                self.host_batch = self.device[..b.len].to_vec();
+                                self.degrade();
+                                self.pinned_out[..*len]
+                                    .copy_from_slice(&self.host_batch[off..off + *len]);
+                            } else {
+                                return Err(HetSortError::TransferFault {
+                                    step: si,
+                                    batch: b.index,
+                                    dir: TransferDir::DtoH,
+                                    attempts,
+                                });
+                            }
+                        }
+                    }
+                } else {
+                    self.pinned_out[..*len].copy_from_slice(&self.host_batch[off..off + *len]);
+                }
+            }
+            StepKind::StageOut {
+                batch, start, len, ..
+            } => {
+                emit(*batch, *start, &self.pinned_out[..*len]);
+            }
+            StepKind::PairMerge { .. } | StepKind::MultiwayMerge { .. } => {
+                return Err(HetSortError::Plan {
+                    reason: format!("step {si}: merge steps are not stream-bound"),
+                });
+            }
+        }
+        Ok(())
+    }
+}

@@ -24,19 +24,33 @@
 //! This split is the substitution strategy for the missing GPU: pipeline
 //! *semantics* are executed for real, pipeline *durations* come from the
 //! calibrated simulator. See `DESIGN.md`.
+//!
+//! Every fallible API returns a typed [`error::HetSortError`]; the
+//! functional executors additionally implement the failure model of
+//! `DESIGN.md` ("Failure model & recovery") — deterministic fault
+//! injection via [`hetsort_vgpu::FaultInjector`], bounded transfer
+//! retries, OOM batch splitting, and CPU-fallback degradation governed
+//! by [`config::RecoveryPolicy`].
+
+// Library code must surface failures as typed errors, never panic
+// paths; tests are free to unwrap.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod accounting;
 pub mod config;
+pub mod error;
 pub mod exec_real;
 pub mod exec_real_mt;
 pub mod exec_sim;
+pub(crate) mod exec_stream;
 pub mod plan;
 pub mod reference;
 pub mod report;
 
-pub use config::{Approach, DeviceSortKind, HetSortConfig, PairStrategy};
+pub use config::{Approach, DeviceSortKind, HetSortConfig, PairStrategy, RecoveryPolicy};
+pub use error::HetSortError;
 pub use exec_real::{sort_real, RealOutcome};
 pub use exec_real_mt::sort_real_parallel;
 pub use exec_sim::simulate;
 pub use plan::Plan;
-pub use report::TimingReport;
+pub use report::{RecoveryStats, TimingReport};

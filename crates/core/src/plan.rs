@@ -18,6 +18,7 @@
 //!   resident in `W`.
 
 use crate::config::{HetSortConfig, PairStrategy};
+use crate::error::HetSortError;
 
 /// One contiguous batch of the input.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -178,8 +179,9 @@ impl Plan {
     ///
     /// # Errors
     ///
-    /// Propagates [`HetSortConfig::validate`] failures.
-    pub fn build(config: HetSortConfig, n: usize) -> Result<Plan, String> {
+    /// Propagates [`HetSortConfig::validate`] failures
+    /// ([`HetSortError::Config`]).
+    pub fn build(config: HetSortConfig, n: usize) -> Result<Plan, HetSortError> {
         config.validate(n)?;
         let nb = config.n_batches(n);
         let ngpu = config.platform.n_gpus().max(1);
@@ -226,8 +228,7 @@ impl Plan {
                             out_elems: batch_len(2 * p) + batch_len(2 * p + 1),
                         })
                         .collect();
-                    let mut inputs: Vec<MergeInput> =
-                        (0..npairs).map(MergeInput::Pair).collect();
+                    let mut inputs: Vec<MergeInput> = (0..npairs).map(MergeInput::Pair).collect();
                     inputs.extend((2 * npairs..nb).map(MergeInput::Batch));
                     (pairs, inputs)
                 }
@@ -254,8 +255,9 @@ impl Plan {
                     // tree; upper levels are giant pairwise merges that
                     // replace the cache-efficient multiway merge.
                     let mut pairs: Vec<PairSpec> = Vec::new();
-                    let mut level: Vec<(MergeSrc, usize)> =
-                        (0..nb).map(|b| (MergeSrc::Batch(b), batch_len(b))).collect();
+                    let mut level: Vec<(MergeSrc, usize)> = (0..nb)
+                        .map(|b| (MergeSrc::Batch(b), batch_len(b)))
+                        .collect();
                     while level.len() > 1 {
                         let mut next = Vec::with_capacity(level.len().div_ceil(2));
                         let mut it = level.into_iter();
@@ -286,10 +288,10 @@ impl Plan {
         // Last step index per stream, for FIFO chaining.
         let mut stream_tail: Vec<Option<usize>> = vec![None; total_streams];
         let push = |steps: &mut Vec<Step>,
-                        stream_tail: &mut Vec<Option<usize>>,
-                        kind: StepKind,
-                        mut deps: Vec<usize>,
-                        stream: Option<usize>| {
+                    stream_tail: &mut Vec<Option<usize>>,
+                    kind: StepKind,
+                    mut deps: Vec<usize>,
+                    stream: Option<usize>| {
             if let Some(s) = stream {
                 if let Some(prev) = stream_tail[s] {
                     deps.push(prev);
@@ -497,11 +499,12 @@ impl Plan {
     /// Sanity-check internal invariants (used heavily by tests):
     /// deps point backward, chunks tile batches exactly, pair merges
     /// reference distinct batches, merge inputs cover all batches once.
-    pub fn check_invariants(&self) -> Result<(), String> {
+    pub fn check_invariants(&self) -> Result<(), HetSortError> {
+        let plan_err = |reason: String| HetSortError::Plan { reason };
         for (i, s) in self.steps.iter().enumerate() {
             for &d in &s.deps {
                 if d >= i {
-                    return Err(format!("step {i} depends forward on {d}"));
+                    return Err(plan_err(format!("step {i} depends forward on {d}")));
                 }
             }
         }
@@ -514,10 +517,10 @@ impl Plan {
         }
         for b in &self.batches {
             if covered[b.index] != b.len {
-                return Err(format!(
+                return Err(plan_err(format!(
                     "batch {} stages {} of {} elements",
                     b.index, covered[b.index], b.len
-                ));
+                )));
             }
         }
         // Merge coverage: resolving pair slots recursively, every batch
@@ -527,21 +530,21 @@ impl Plan {
             let mut batch_seen = vec![false; self.nb()];
             let mut slot_seen = vec![false; self.pairs.len()];
             let visit_src = |src: MergeSrc,
-                                 batch_seen: &mut Vec<bool>,
-                                 slot_seen: &mut Vec<bool>|
-             -> Result<(), String> {
+                             batch_seen: &mut Vec<bool>,
+                             slot_seen: &mut Vec<bool>|
+             -> Result<(), HetSortError> {
                 let mut stack = vec![src];
                 while let Some(s) = stack.pop() {
                     match s {
                         MergeSrc::Batch(b) => {
                             if batch_seen[b] {
-                                return Err(format!("batch {b} merged twice"));
+                                return Err(plan_err(format!("batch {b} merged twice")));
                             }
                             batch_seen[b] = true;
                         }
                         MergeSrc::Merged(p) => {
                             if slot_seen[p] {
-                                return Err(format!("slot {p} consumed twice"));
+                                return Err(plan_err(format!("slot {p} consumed twice")));
                             }
                             slot_seen[p] = true;
                             stack.push(self.pairs[p].left);
@@ -563,10 +566,10 @@ impl Plan {
                 }
             }
             if !batch_seen.iter().all(|&x| x) {
-                return Err("some batch missing from the final merge".into());
+                return Err(plan_err("some batch missing from the final merge".into()));
             }
             if !slot_seen.iter().all(|&x| x) {
-                return Err("some pair-merge output never consumed".into());
+                return Err(plan_err("some pair-merge output never consumed".into()));
             }
             // Output sizes add up.
             let src_len = |src: MergeSrc| match src {
@@ -575,7 +578,7 @@ impl Plan {
             };
             for (i, p) in self.pairs.iter().enumerate() {
                 if src_len(p.left) + src_len(p.right) != p.out_elems {
-                    return Err(format!("pair slot {i} output size mismatch"));
+                    return Err(plan_err(format!("pair slot {i} output size mismatch")));
                 }
             }
         }

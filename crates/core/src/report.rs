@@ -15,6 +15,37 @@ use std::collections::BTreeMap;
 use hetsort_sim::Timeline;
 use hetsort_vgpu::tags;
 
+/// What the executor had to do to survive faults during a functional
+/// run (all zeros on a fault-free run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Faults the schedule actually injected (tripped sites + panics).
+    pub faults_injected: usize,
+    /// DMA transfer retry attempts performed.
+    pub retries: usize,
+    /// Batches sorted host-side because the GPU path was unrecoverable
+    /// (exhausted retries, sort failure, or a dead worker).
+    pub degraded_batches: usize,
+    /// Batches re-planned into device-sized sub-runs after a GPU OOM
+    /// (GPU still sorts; the CPU merges the sub-runs).
+    pub oom_replans: usize,
+}
+
+impl RecoveryStats {
+    /// Anything non-zero?
+    pub fn any(&self) -> bool {
+        *self != RecoveryStats::default()
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "faults injected: {}, retries: {}, degraded batches: {}, OOM re-plans: {}",
+            self.faults_injected, self.retries, self.degraded_batches, self.oom_replans
+        )
+    }
+}
+
 /// Component breakdown and totals for one simulated run.
 #[derive(Debug, Clone)]
 pub struct TimingReport {

@@ -33,7 +33,11 @@ pub fn linear_fit(points: &[(f64, f64)]) -> LinearFit {
         .iter()
         .map(|p| (p.1 - slope * p.0 - intercept).powi(2))
         .sum();
-    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    let r2 = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
     LinearFit {
         slope,
         intercept,

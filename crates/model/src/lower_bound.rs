@@ -74,7 +74,12 @@ mod tests {
         let m = LowerBoundModel::one_gpu(&platform2());
         assert_eq!(m.n_gpus, 1);
         let err = (m.slope - PAPER_SLOPE_1GPU).abs() / PAPER_SLOPE_1GPU;
-        assert!(err < 0.03, "slope {} vs paper {}", m.slope, PAPER_SLOPE_1GPU);
+        assert!(
+            err < 0.03,
+            "slope {} vs paper {}",
+            m.slope,
+            PAPER_SLOPE_1GPU
+        );
     }
 
     #[test]
@@ -82,7 +87,12 @@ mod tests {
         let m = LowerBoundModel::two_gpu(&platform2());
         assert_eq!(m.n_gpus, 2);
         let err = (m.slope - PAPER_SLOPE_2GPU).abs() / PAPER_SLOPE_2GPU;
-        assert!(err < 0.20, "slope {} vs paper {}", m.slope, PAPER_SLOPE_2GPU);
+        assert!(
+            err < 0.20,
+            "slope {} vs paper {}",
+            m.slope,
+            PAPER_SLOPE_2GPU
+        );
         // Two GPUs must beat one, but by less than 2× (shared PCIe +
         // the extra merge — the paper's sub-linearity finding).
         let one = LowerBoundModel::one_gpu(&platform2());

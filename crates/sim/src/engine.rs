@@ -3,9 +3,7 @@
 use crate::error::SimError;
 use crate::fairshare::{max_min_rates, Flow};
 use crate::op::{Op, OpId, OpSpec};
-use crate::resource::{
-    FluidId, FluidResource, LaneId, QueueId, TokenId, TokenResource,
-};
+use crate::resource::{FluidId, FluidResource, LaneId, QueueId, TokenId, TokenResource};
 use crate::trace::{Span, Timeline};
 use crate::TIME_EPS;
 
@@ -133,10 +131,13 @@ impl SimBuilder {
                 }
             }
             for &(TokenId(r), count) in &spec.tokens {
-                let res = self.tokens.get(r).ok_or_else(|| SimError::UnknownReference {
-                    op: id,
-                    what: format!("token resource {r}"),
-                })?;
+                let res = self
+                    .tokens
+                    .get(r)
+                    .ok_or_else(|| SimError::UnknownReference {
+                        op: id,
+                        what: format!("token resource {r}"),
+                    })?;
                 if count > res.total {
                     return Err(SimError::ImpossibleTokenRequest {
                         op: id,
@@ -292,12 +293,13 @@ impl Engine {
             if running.is_empty() && in_latency.is_empty() {
                 // Nothing active but ops remain: cycle or token deadlock.
                 let waiting: Vec<OpId> = (0..n)
-                    .filter(|&i| {
-                        matches!(self.phase[i], Phase::Waiting | Phase::Ready)
-                    })
+                    .filter(|&i| matches!(self.phase[i], Phase::Waiting | Phase::Ready))
                     .map(OpId)
                     .collect();
-                if waiting.iter().all(|&OpId(i)| self.phase[i] == Phase::Waiting) {
+                if waiting
+                    .iter()
+                    .all(|&OpId(i)| self.phase[i] == Phase::Waiting)
+                {
                     return Err(SimError::DependencyCycle {
                         stuck: waiting.len(),
                     });
@@ -458,10 +460,7 @@ impl Engine {
             if self.phase[i] != Phase::Ready {
                 continue;
             }
-            let needs_blocked = self.ops[i]
-                .tokens
-                .iter()
-                .any(|&(TokenId(r), _)| blocked[r]);
+            let needs_blocked = self.ops[i].tokens.iter().any(|&(TokenId(r), _)| blocked[r]);
             let available = self.ops[i]
                 .tokens
                 .iter()
@@ -579,7 +578,11 @@ mod tests {
         let b = sim.op(Op::new(tag, 30.0).demand(link, 1.0));
         let tl = sim.run().unwrap();
         assert!((tl.span(a).t_end - 2.0).abs() < 1e-9);
-        assert!((tl.span(b).t_end - 4.0).abs() < 1e-9, "{}", tl.span(b).t_end);
+        assert!(
+            (tl.span(b).t_end - 4.0).abs() < 1e-9,
+            "{}",
+            tl.span(b).t_end
+        );
     }
 
     #[test]

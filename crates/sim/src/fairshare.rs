@@ -159,11 +159,7 @@ pub fn max_min_rates(flows: &[Flow], capacities: &[f64]) -> Result<Vec<f64>, Sim
                 continue;
             }
             let has_rising_demander = (0..nf).any(|i| {
-                !frozen[i]
-                    && flows[i]
-                        .demands
-                        .iter()
-                        .any(|&(res, d)| res == r && d > 0.0)
+                !frozen[i] && flows[i].demands.iter().any(|&(res, d)| res == r && d > 0.0)
             });
             if !has_rising_demander {
                 continue;
@@ -185,12 +181,7 @@ pub fn max_min_rates(flows: &[Flow], capacities: &[f64]) -> Result<Vec<f64>, Sim
             if remaining[r] <= eps || usage >= remaining[r] - eps {
                 saturated[r] = true;
                 for i in 0..nf {
-                    if !frozen[i]
-                        && flows[i]
-                            .demands
-                            .iter()
-                            .any(|&(res, d)| res == r && d > 0.0)
-                    {
+                    if !frozen[i] && flows[i].demands.iter().any(|&(res, d)| res == r && d > 0.0) {
                         rate[i] = theta * flows[i].weight;
                         frozen[i] = true;
                         froze_any = true;

@@ -231,11 +231,7 @@ impl Timeline {
                 any = true;
                 let c0 = ((s.t_start * scale) as usize).min(width - 1);
                 let c1 = ((s.t_end * scale).ceil() as usize).clamp(c0 + 1, width);
-                let ch = self
-                    .tag_name(s.tag)
-                    .bytes()
-                    .next()
-                    .unwrap_or(b'#');
+                let ch = self.tag_name(s.tag).bytes().next().unwrap_or(b'#');
                 for cell in &mut row[c0..c1] {
                     *cell = ch;
                 }
@@ -264,8 +260,10 @@ impl Timeline {
     /// Export every span as CSV (`op,tag,lane,queue,key,work,t_start,
     /// t_end`) — the raw material for external plotting tools.
     pub fn spans_csv(&self) -> String {
-        let mut out = String::from("op,tag,lane,queue,key,work,t_start,t_end
-");
+        let mut out = String::from(
+            "op,tag,lane,queue,key,work,t_start,t_end
+",
+        );
         for s in &self.spans {
             out.push_str(&format!(
                 "{},{},{},{},{},{},{:.9},{:.9}
@@ -397,7 +395,11 @@ mod tests {
         sim.op(Op::new(tag, 20.0).demand(link, 1.0));
         let tl = sim.run().unwrap();
         let f = tl.find_fluid("l").unwrap();
-        assert!((tl.utilization(f) - 1.0).abs() < 1e-9, "{}", tl.utilization(f));
+        assert!(
+            (tl.utilization(f) - 1.0).abs() < 1e-9,
+            "{}",
+            tl.utilization(f)
+        );
         assert!((tl.peak_utilization(f) - 1.0).abs() < 1e-9);
 
         // Capped op using half the capacity → utilization 0.5.
@@ -423,7 +425,11 @@ mod tests {
         sim.op(Op::new(tag, 5.0).cap(5.0).demand(link, 1.0));
         let tl = sim.run().unwrap();
         let f = tl.find_fluid("l").unwrap();
-        assert!((tl.utilization(f) - 0.75).abs() < 1e-6, "{}", tl.utilization(f));
+        assert!(
+            (tl.utilization(f) - 0.75).abs() < 1e-6,
+            "{}",
+            tl.utilization(f)
+        );
     }
 
     #[test]
@@ -436,7 +442,7 @@ mod tests {
         assert!(lines[1].contains("alpha"));
         assert!(lines[2].contains("beta"));
         // Parse a timestamp back.
-        let t_end: f64 = lines[2].split(',').last().unwrap().parse().unwrap();
+        let t_end: f64 = lines[2].split(',').next_back().unwrap().parse().unwrap();
         assert!((t_end - 3.0).abs() < 1e-6);
     }
 

@@ -10,8 +10,8 @@
 //!   never run faster than `cap`, and serialization cannot exceed full
 //!   sequentialization of a DAG executed at worst-case rates).
 
+use hetsort_prng::{prop_assert, prop_assert_eq, run_cases, Rng};
 use hetsort_sim::{Op, OpId, SimBuilder};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 struct GenOp {
@@ -25,27 +25,25 @@ struct GenOp {
     dep_offsets: Vec<usize>,
 }
 
-fn arb_genop() -> impl Strategy<Value = GenOp> {
-    (
-        0.0f64..50.0,
-        0.5f64..20.0,
-        prop::option::of(0.0f64..0.5),
-        prop::option::of(0usize..2),
-        prop::option::of((0usize..2, 1u32..=2)),
-        prop::option::of(0usize..3),
-        prop::collection::vec(1usize..10, 0..3),
-    )
-        .prop_map(
-            |(work, cap, latency, use_fluid, use_tokens, queue, dep_offsets)| GenOp {
-                work,
-                cap,
-                latency: latency.unwrap_or(0.0),
-                use_fluid,
-                use_tokens,
-                queue,
-                dep_offsets,
-            },
-        )
+fn arb_genop(rng: &mut Rng) -> GenOp {
+    GenOp {
+        work: rng.f64_in(0.0, 50.0),
+        cap: rng.f64_in(0.5, 20.0),
+        latency: if rng.bool() {
+            rng.f64_in(0.0, 0.5)
+        } else {
+            0.0
+        },
+        use_fluid: rng.bool().then(|| rng.usize_in(0, 2)),
+        use_tokens: rng.bool().then(|| (rng.usize_in(0, 2), rng.u32_in(1, 3))),
+        queue: rng.bool().then(|| rng.usize_in(0, 3)),
+        dep_offsets: rng.vec_with(3, |r| r.usize_in(1, 10)),
+    }
+}
+
+fn arb_ops(rng: &mut Rng, max: usize) -> Vec<GenOp> {
+    let n = rng.usize_in(1, max);
+    (0..n).map(|_| arb_genop(rng)).collect()
 }
 
 fn build(ops: &[GenOp]) -> (SimBuilder, Vec<OpId>) {
@@ -82,22 +80,26 @@ fn intrinsic(g: &GenOp) -> f64 {
     g.latency + g.work / g.cap
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(150))]
-
-    #[test]
-    fn dag_invariants(ops in prop::collection::vec(arb_genop(), 1..25)) {
-        let (sim, ids) = build(&ops);
-        // Rebuild dep lists the same way `build` does, for checking.
-        let mut deps: Vec<Vec<usize>> = vec![Vec::new(); ops.len()];
-        for (i, g) in ops.iter().enumerate() {
-            for &off in &g.dep_offsets {
-                if off <= i && i > 0 {
-                    deps[i].push(i - ((off - 1) % i + 1));
-                }
+/// Dependency edges exactly as `build` wires them.
+fn dep_lists(ops: &[GenOp]) -> Vec<Vec<usize>> {
+    let mut deps: Vec<Vec<usize>> = vec![Vec::new(); ops.len()];
+    for (i, g) in ops.iter().enumerate() {
+        for &off in &g.dep_offsets {
+            if off <= i && i > 0 {
+                deps[i].push(i - ((off - 1) % i + 1));
             }
         }
-        let tl = sim.run().unwrap();
+    }
+    deps
+}
+
+#[test]
+fn dag_invariants() {
+    run_cases("dag_invariants", 150, |rng| {
+        let ops = arb_ops(rng, 25);
+        let (sim, ids) = build(&ops);
+        let deps = dep_lists(&ops);
+        let tl = sim.run().map_err(|e| format!("run: {e}"))?;
 
         let mut sum_intrinsic = 0.0;
         for (i, g) in ops.iter().enumerate() {
@@ -154,44 +156,40 @@ proptest! {
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn engine_deterministic(ops in prop::collection::vec(arb_genop(), 1..20)) {
+#[test]
+fn engine_deterministic() {
+    run_cases("engine_deterministic", 150, |rng| {
+        let ops = arb_ops(rng, 20);
         let (sim1, _) = build(&ops);
         let (sim2, _) = build(&ops);
-        let t1 = sim1.run().unwrap();
-        let t2 = sim2.run().unwrap();
+        let t1 = sim1.run().map_err(|e| format!("run: {e}"))?;
+        let t2 = sim2.run().map_err(|e| format!("run: {e}"))?;
         prop_assert_eq!(t1.makespan(), t2.makespan());
         for (a, b) in t1.spans().iter().zip(t2.spans()) {
             prop_assert_eq!(a.t_start, b.t_start);
             prop_assert_eq!(a.t_end, b.t_end);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn critical_path_lower_bounds_makespan(
-        ops in prop::collection::vec(arb_genop(), 1..20)
-    ) {
+#[test]
+fn critical_path_lower_bounds_makespan() {
+    run_cases("critical_path_lower_bounds_makespan", 150, |rng| {
+        let ops = arb_ops(rng, 20);
         let (sim, ids) = build(&ops);
-        let mut deps: Vec<Vec<usize>> = vec![Vec::new(); ops.len()];
-        for (i, g) in ops.iter().enumerate() {
-            for &off in &g.dep_offsets {
-                if off <= i && i > 0 {
-                    deps[i].push(i - ((off - 1) % i + 1));
-                }
-            }
-        }
-        let tl = sim.run().unwrap();
+        let deps = dep_lists(&ops);
+        let tl = sim.run().map_err(|e| format!("run: {e}"))?;
         // Longest path of intrinsic durations (ops are topologically
         // ordered by id already).
         let mut finish = vec![0.0f64; ops.len()];
         let mut cp = 0.0f64;
         for (i, g) in ops.iter().enumerate() {
-            let start = deps[i]
-                .iter()
-                .map(|&d| finish[d])
-                .fold(0.0f64, f64::max);
+            let start = deps[i].iter().map(|&d| finish[d]).fold(0.0f64, f64::max);
             finish[i] = start + intrinsic(g);
             cp = cp.max(finish[i]);
         }
@@ -201,5 +199,6 @@ proptest! {
             tl.makespan()
         );
         let _ = ids;
-    }
+        Ok(())
+    });
 }

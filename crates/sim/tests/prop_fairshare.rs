@@ -8,35 +8,38 @@
 //! 4. **Weighted max-min** — if flow `a`'s normalized rate is below flow
 //!    `b`'s, then `a` is blocked by a resource `b` also uses or by its cap.
 
+use hetsort_prng::{prop_assert, prop_assert_eq, run_cases, Rng};
 use hetsort_sim::{max_min_rates, Flow};
-use proptest::prelude::*;
 
 const REL: f64 = 1e-6;
 
-fn arb_flow(nres: usize) -> impl Strategy<Value = Flow> {
-    let demand = (0..nres, 0.1f64..10.0);
-    (
-        0.1f64..10.0,
-        prop::option::of(0.1f64..100.0),
-        prop::collection::vec(demand, 0..=3.min(nres)),
-    )
-        .prop_map(|(weight, cap, demands)| Flow {
+fn arb_flow(rng: &mut Rng, nres: usize) -> Flow {
+    loop {
+        let weight = rng.f64_in(0.1, 10.0);
+        let cap = rng.bool().then(|| rng.f64_in(0.1, 100.0));
+        let ndem = rng.usize_in(0, 3.min(nres) + 1);
+        let demands: Vec<(usize, f64)> = (0..ndem)
+            .map(|_| (rng.usize_in(0, nres), rng.f64_in(0.1, 10.0)))
+            .collect();
+        let flow = Flow {
             weight,
             cap,
             demands,
-        })
-        .prop_filter("must be bounded", |f| {
-            f.cap.is_some() || f.demands.iter().any(|&(_, d)| d > 0.0)
-        })
+        };
+        // Unbounded flows (no cap, no positive demand) are rejected by
+        // the solver; regenerate, mirroring the old prop_filter.
+        if flow.cap.is_some() || flow.demands.iter().any(|&(_, d)| d > 0.0) {
+            return flow;
+        }
+    }
 }
 
-fn arb_case() -> impl Strategy<Value = (Vec<Flow>, Vec<f64>)> {
-    (1usize..=4).prop_flat_map(|nres| {
-        (
-            prop::collection::vec(arb_flow(nres), 1..=8),
-            prop::collection::vec(0.5f64..100.0, nres),
-        )
-    })
+fn arb_case(rng: &mut Rng) -> (Vec<Flow>, Vec<f64>) {
+    let nres = rng.usize_in(1, 5);
+    let nflows = rng.usize_in(1, 9);
+    let flows = (0..nflows).map(|_| arb_flow(rng, nres)).collect();
+    let caps = (0..nres).map(|_| rng.f64_in(0.5, 100.0)).collect();
+    (flows, caps)
 }
 
 /// Demand of flow `f` on resource `r` (summing duplicate entries the way
@@ -49,12 +52,25 @@ fn dem(f: &Flow, r: usize) -> f64 {
         .sum()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(300))]
+fn saturated_resources(flows: &[Flow], caps: &[f64], rates: &[f64]) -> Vec<bool> {
+    caps.iter()
+        .enumerate()
+        .map(|(r, &c)| {
+            let usage: f64 = flows
+                .iter()
+                .zip(rates)
+                .map(|(f, &rate)| rate * dem(f, r))
+                .sum();
+            usage >= c * (1.0 - 10.0 * REL)
+        })
+        .collect()
+}
 
-    #[test]
-    fn feasible_and_capped((flows, caps) in arb_case()) {
-        let rates = max_min_rates(&flows, &caps).unwrap();
+#[test]
+fn feasible_and_capped() {
+    run_cases("feasible_and_capped", 300, |rng| {
+        let (flows, caps) = arb_case(rng);
+        let rates = max_min_rates(&flows, &caps).map_err(|e| format!("solver: {e}"))?;
         // 1. Feasibility per resource.
         for (r, &c) in caps.iter().enumerate() {
             let usage: f64 = flows
@@ -74,51 +90,37 @@ proptest! {
             }
             prop_assert!(rate >= 0.0);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn pareto_efficient((flows, caps) in arb_case()) {
-        let rates = max_min_rates(&flows, &caps).unwrap();
-        let saturated: Vec<bool> = caps
-            .iter()
-            .enumerate()
-            .map(|(r, &c)| {
-                let usage: f64 = flows
-                    .iter()
-                    .zip(&rates)
-                    .map(|(f, &rate)| rate * dem(f, r))
-                    .sum();
-                usage >= c * (1.0 - 10.0 * REL)
-            })
-            .collect();
+#[test]
+fn pareto_efficient() {
+    run_cases("pareto_efficient", 300, |rng| {
+        let (flows, caps) = arb_case(rng);
+        let rates = max_min_rates(&flows, &caps).map_err(|e| format!("solver: {e}"))?;
+        let saturated = saturated_resources(&flows, &caps, &rates);
         for (i, (f, &rate)) in flows.iter().zip(&rates).enumerate() {
-            let at_cap = f.cap.map(|c| rate >= c * (1.0 - 10.0 * REL)).unwrap_or(false);
-            let blocked = f
-                .demands
-                .iter()
-                .any(|&(r, d)| d > 0.0 && saturated[r]);
+            let at_cap = f
+                .cap
+                .map(|c| rate >= c * (1.0 - 10.0 * REL))
+                .unwrap_or(false);
+            let blocked = f.demands.iter().any(|&(r, d)| d > 0.0 && saturated[r]);
             prop_assert!(
                 at_cap || blocked,
                 "flow {i} (rate {rate}) is neither capped nor blocked; caps={caps:?}"
             );
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn weighted_max_min_fairness((flows, caps) in arb_case()) {
-        let rates = max_min_rates(&flows, &caps).unwrap();
-        let saturated: Vec<bool> = caps
-            .iter()
-            .enumerate()
-            .map(|(r, &c)| {
-                let usage: f64 = flows
-                    .iter()
-                    .zip(&rates)
-                    .map(|(f, &rate)| rate * dem(f, r))
-                    .sum();
-                usage >= c * (1.0 - 10.0 * REL)
-            })
-            .collect();
+#[test]
+fn weighted_max_min_fairness() {
+    run_cases("weighted_max_min_fairness", 300, |rng| {
+        let (flows, caps) = arb_case(rng);
+        let rates = max_min_rates(&flows, &caps).map_err(|e| format!("solver: {e}"))?;
+        let saturated = saturated_resources(&flows, &caps, &rates);
         // If flow a's normalized level θ_a = rate/weight is strictly less
         // than flow b's, a must be pinned: at cap, or on a saturated
         // resource. (Weighted max-min: you can only be below someone if
@@ -130,7 +132,10 @@ proptest! {
                 .zip(&rates)
                 .any(|(fb, &rb)| rb / fb.weight > ta * (1.0 + 100.0 * REL));
             if someone_higher {
-                let at_cap = fa.cap.map(|c| ra >= c * (1.0 - 10.0 * REL)).unwrap_or(false);
+                let at_cap = fa
+                    .cap
+                    .map(|c| ra >= c * (1.0 - 10.0 * REL))
+                    .unwrap_or(false);
                 let blocked = fa.demands.iter().any(|&(r, d)| d > 0.0 && saturated[r]);
                 prop_assert!(
                     at_cap || blocked,
@@ -138,19 +143,28 @@ proptest! {
                 );
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn deterministic((flows, caps) in arb_case()) {
-        let a = max_min_rates(&flows, &caps).unwrap();
-        let b = max_min_rates(&flows, &caps).unwrap();
+#[test]
+fn deterministic() {
+    run_cases("deterministic", 300, |rng| {
+        let (flows, caps) = arb_case(rng);
+        let a = max_min_rates(&flows, &caps).map_err(|e| format!("solver: {e}"))?;
+        let b = max_min_rates(&flows, &caps).map_err(|e| format!("solver: {e}"))?;
         prop_assert_eq!(a, b);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn scale_invariance((flows, caps) in arb_case(), k in 0.5f64..8.0) {
+#[test]
+fn scale_invariance() {
+    run_cases("scale_invariance", 300, |rng| {
+        let (flows, caps) = arb_case(rng);
+        let k = rng.f64_in(0.5, 8.0);
         // Scaling every capacity and every cap by k scales all rates by k.
-        let a = max_min_rates(&flows, &caps).unwrap();
+        let a = max_min_rates(&flows, &caps).map_err(|e| format!("solver: {e}"))?;
         let scaled_flows: Vec<Flow> = flows
             .iter()
             .map(|f| Flow {
@@ -160,12 +174,13 @@ proptest! {
             })
             .collect();
         let scaled_caps: Vec<f64> = caps.iter().map(|c| c * k).collect();
-        let b = max_min_rates(&scaled_flows, &scaled_caps).unwrap();
+        let b = max_min_rates(&scaled_flows, &scaled_caps).map_err(|e| format!("solver: {e}"))?;
         for (ra, rb) in a.iter().zip(&b) {
             prop_assert!(
                 (rb - ra * k).abs() <= (ra * k).abs() * 1e-6 + 1e-9,
                 "scaling violated: {ra} * {k} != {rb}"
             );
         }
-    }
+        Ok(())
+    });
 }

@@ -109,9 +109,7 @@ mod tests {
         assert!((s6 - 3.17).abs() < 0.25, "S(16,1e6)={s6}");
         assert!((s9 - 10.12).abs() < 0.6, "S(16,1e9)={s9}");
         // Monotone in n.
-        assert!(
-            gnu_sort_parallel_fraction(1e7) > gnu_sort_parallel_fraction(1e6)
-        );
+        assert!(gnu_sort_parallel_fraction(1e7) > gnu_sort_parallel_fraction(1e6));
     }
 
     #[test]

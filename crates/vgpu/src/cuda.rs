@@ -20,8 +20,12 @@
 //! After [`VirtualCuda::run`], event pairs resolve to elapsed seconds,
 //! like `cudaEventElapsedTime`.
 
+use std::sync::Arc;
+
 use hetsort_sim::{OpId, QueueId, SimError, Timeline};
 
+use crate::error::CudaError;
+use crate::fault::{FaultInjector, FaultSite};
 use crate::machine::{Machine, TransferDir};
 use crate::platform::PlatformSpec;
 
@@ -69,6 +73,7 @@ pub struct VirtualCuda {
     dev_allocs: Vec<(usize, f64, bool)>, // (gpu, bytes, live)
     events: Vec<OpId>,
     all_ops: Vec<OpId>,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl VirtualCuda {
@@ -87,13 +92,23 @@ impl VirtualCuda {
             dev_allocs: Vec::new(),
             events: Vec::new(),
             all_ops: Vec::new(),
+            faults: None,
         }
     }
 
+    /// Attach a fault schedule: `cudaMalloc` and `cudaMemcpyAsync`
+    /// consult it and fail with the corresponding [`CudaError`] on
+    /// scheduled occurrences.
+    pub fn with_faults(mut self, faults: Arc<FaultInjector>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// `cudaSetDevice`.
-    pub fn set_device(&mut self, gpu: usize) -> Result<(), String> {
-        if gpu >= self.m.plat().n_gpus() {
-            return Err(format!("no such device {gpu}"));
+    pub fn set_device(&mut self, gpu: usize) -> Result<(), CudaError> {
+        let n_gpus = self.m.plat().n_gpus();
+        if gpu >= n_gpus {
+            return Err(CudaError::NoSuchDevice { gpu, n_gpus });
         }
         self.current_device = gpu;
         Ok(())
@@ -112,7 +127,16 @@ impl VirtualCuda {
 
     /// `cudaMalloc` on the current device (checked against global
     /// memory; instantaneous like the driver's pooled allocations).
-    pub fn malloc(&mut self, bytes: f64) -> Result<DevPtr, String> {
+    pub fn malloc(&mut self, bytes: f64) -> Result<DevPtr, CudaError> {
+        if let Some(inj) = &self.faults {
+            if inj.trip(FaultSite::DeviceAlloc).is_some() {
+                return Err(CudaError::DeviceOom {
+                    gpu: self.current_device,
+                    requested_bytes: bytes,
+                    free_bytes: self.m.device_mem_free(self.current_device),
+                });
+            }
+        }
         self.m.device_alloc(self.current_device, bytes)?;
         self.dev_allocs.push((self.current_device, bytes, true));
         Ok(DevPtr {
@@ -146,12 +170,7 @@ impl VirtualCuda {
 
     /// Blocking `cudaMemcpy` (pageable path when `pinned` is `None`):
     /// joins on *everything* issued so far, legacy-default-stream style.
-    pub fn memcpy(
-        &mut self,
-        dir: TransferDir,
-        bytes: f64,
-        pinned: Option<PinnedPtr>,
-    ) -> OpId {
+    pub fn memcpy(&mut self, dir: TransferDir, bytes: f64, pinned: Option<PinnedPtr>) -> OpId {
         let mut deps = self.all_ops.clone();
         if let Some(p) = pinned {
             deps.push(p.alloc_op);
@@ -178,9 +197,17 @@ impl VirtualCuda {
         bytes: f64,
         pinned: PinnedPtr,
         stream: CudaStream,
-    ) -> Result<OpId, String> {
+    ) -> Result<OpId, CudaError> {
         if stream.0 >= self.streams.len() {
-            return Err(format!("no such stream {}", stream.0));
+            return Err(CudaError::NoSuchStream {
+                stream: stream.0,
+                n_streams: self.streams.len(),
+            });
+        }
+        if let Some(inj) = &self.faults {
+            if let Some(occurrence) = inj.trip(FaultSite::for_dir(dir)) {
+                return Err(CudaError::InjectedTransferFault { dir, occurrence });
+            }
         }
         let mut deps = self.join_deps(stream);
         deps.push(pinned.alloc_op);
@@ -337,8 +364,15 @@ mod tests {
         // sequential pinned allocs).
         let ta = run.timeline.span(a);
         let tb = run.timeline.span(b);
-        assert!((ta.duration() - (0.1 + 1.1e-3)).abs() < 1e-3, "{}", ta.duration());
-        assert!(ta.t_start < tb.t_end && tb.t_start < ta.t_end, "must overlap");
+        assert!(
+            (ta.duration() - (0.1 + 1.1e-3)).abs() < 1e-3,
+            "{}",
+            ta.duration()
+        );
+        assert!(
+            ta.t_start < tb.t_end && tb.t_start < ta.t_end,
+            "must overlap"
+        );
     }
 
     #[test]
@@ -379,7 +413,11 @@ mod tests {
         cu.thrust_sort(4.03e8, s2); // 1 s on K40m #1, concurrent
         let sync = cu.device_synchronize();
         let run = cu.run().unwrap();
-        assert!((run.finished_at(sync) - 1.0).abs() < 2e-2, "{}", run.finished_at(sync));
+        assert!(
+            (run.finished_at(sync) - 1.0).abs() < 2e-2,
+            "{}",
+            run.finished_at(sync)
+        );
     }
 
     #[test]
@@ -391,6 +429,58 @@ mod tests {
         cu.free(p);
         assert!(cu.malloc(6e9).is_ok());
         assert!(cu.set_device(1).is_err(), "single-GPU platform");
+    }
+
+    #[test]
+    fn malloc_oom_is_typed() {
+        let mut cu = VirtualCuda::new(platform1());
+        assert!(cu.malloc(10e9).is_ok());
+        match cu.malloc(10e9) {
+            Err(CudaError::DeviceOom {
+                gpu,
+                requested_bytes,
+                free_bytes,
+            }) => {
+                assert_eq!(gpu, 0);
+                assert!((requested_bytes - 10e9).abs() < 1.0);
+                assert!(free_bytes < 10e9, "free={free_bytes}");
+            }
+            other => panic!("expected DeviceOom, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_schedule_fails_scheduled_calls() {
+        let inj = Arc::new(
+            FaultInjector::new()
+                .oom_on_alloc(2)
+                .fail_htod(2)
+                .fail_dtoh(1),
+        );
+        let mut cu = VirtualCuda::new(platform1()).with_faults(Arc::clone(&inj));
+        assert!(cu.malloc(1e9).is_ok());
+        assert!(matches!(cu.malloc(1e9), Err(CudaError::DeviceOom { .. })));
+        assert!(cu.malloc(1e9).is_ok(), "only the 2nd alloc is armed");
+        let pin = cu.malloc_host(8e6);
+        let s = cu.stream_create();
+        assert!(cu.memcpy_async(TransferDir::HtoD, 8e6, pin, s).is_ok());
+        assert!(matches!(
+            cu.memcpy_async(TransferDir::HtoD, 8e6, pin, s),
+            Err(CudaError::InjectedTransferFault {
+                dir: TransferDir::HtoD,
+                occurrence: 2,
+            })
+        ));
+        assert!(matches!(
+            cu.memcpy_async(TransferDir::DtoH, 8e6, pin, s),
+            Err(CudaError::InjectedTransferFault {
+                dir: TransferDir::DtoH,
+                occurrence: 1,
+            })
+        ));
+        assert_eq!(inj.injected(), 3);
+        // The run still completes with the surviving ops.
+        assert!(cu.run().is_ok());
     }
 
     #[test]
@@ -407,11 +497,13 @@ mod tests {
         let s = CudaStream::DEFAULT;
         for _ in 0..chunks {
             cu.host_staging_copy(true, ps_bytes, 1, s);
-            cu.memcpy_async(TransferDir::HtoD, ps_bytes, pin, s).unwrap();
+            cu.memcpy_async(TransferDir::HtoD, ps_bytes, pin, s)
+                .unwrap();
         }
         cu.thrust_sort(n as f64, s);
         for _ in 0..chunks {
-            cu.memcpy_async(TransferDir::DtoH, ps_bytes, pin, s).unwrap();
+            cu.memcpy_async(TransferDir::DtoH, ps_bytes, pin, s)
+                .unwrap();
             cu.host_staging_copy(false, ps_bytes, 1, s);
         }
         let sync = cu.device_synchronize();

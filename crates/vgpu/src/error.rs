@@ -1,0 +1,123 @@
+//! Typed errors for the virtual CUDA substrate.
+//!
+//! Every fallible driver-level operation (`cudaSetDevice`, `cudaMalloc`,
+//! `cudaMemcpyAsync`) reports a [`CudaError`] instead of a formatted
+//! string, so executors can pattern-match on the failure kind — the
+//! foundation the recovery policies in `hetsort-core` are built on.
+
+use std::fmt;
+
+use crate::machine::TransferDir;
+
+/// A driver-level failure of the virtual CUDA layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CudaError {
+    /// `cudaMalloc` would exceed the device's global memory (or a fault
+    /// schedule injected `cudaErrorMemoryAllocation`).
+    DeviceOom {
+        /// The device that ran out.
+        gpu: usize,
+        /// Bytes the allocation asked for.
+        requested_bytes: f64,
+        /// Bytes still free on the device at the time of the request.
+        free_bytes: f64,
+    },
+    /// `cudaSetDevice` on a device index the platform does not have.
+    NoSuchDevice {
+        /// Requested device.
+        gpu: usize,
+        /// Devices the platform actually has.
+        n_gpus: usize,
+    },
+    /// A stream handle that was never created.
+    NoSuchStream {
+        /// Requested stream index.
+        stream: usize,
+        /// Streams that exist.
+        n_streams: usize,
+    },
+    /// A fault schedule failed this DMA transfer (the virtual
+    /// `cudaErrorUnknown` a flaky bus produces).
+    InjectedTransferFault {
+        /// Direction of the failed copy.
+        dir: TransferDir,
+        /// Which occurrence of that direction tripped (1-based).
+        occurrence: usize,
+    },
+    /// A fault schedule failed this device sort kernel.
+    InjectedSortFault {
+        /// Which device sort tripped (1-based).
+        occurrence: usize,
+    },
+    /// A textual fault schedule (`--faults`) could not be parsed.
+    BadFaultSpec {
+        /// The offending fragment.
+        spec: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CudaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CudaError::DeviceOom {
+                gpu,
+                requested_bytes,
+                free_bytes,
+            } => write!(
+                f,
+                "GPU {gpu} out of memory: requested {requested_bytes:.3e} B but only {free_bytes:.3e} B free"
+            ),
+            CudaError::NoSuchDevice { gpu, n_gpus } => {
+                write!(f, "no such device {gpu} (platform has {n_gpus})")
+            }
+            CudaError::NoSuchStream { stream, n_streams } => {
+                write!(f, "no such stream {stream} ({n_streams} exist)")
+            }
+            CudaError::InjectedTransferFault { dir, occurrence } => {
+                let d = match dir {
+                    TransferDir::HtoD => "HtoD",
+                    TransferDir::DtoH => "DtoH",
+                };
+                write!(f, "injected transfer fault on {d} occurrence {occurrence}")
+            }
+            CudaError::InjectedSortFault { occurrence } => {
+                write!(f, "injected device-sort fault on occurrence {occurrence}")
+            }
+            CudaError::BadFaultSpec { spec, reason } => {
+                write!(f, "bad fault spec {spec:?}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CudaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = CudaError::DeviceOom {
+            gpu: 1,
+            requested_bytes: 8e9,
+            free_bytes: 2e9,
+        };
+        let s = e.to_string();
+        assert!(s.contains("GPU 1"), "{s}");
+        assert!(s.contains("8.000e9"), "{s}");
+        let e = CudaError::InjectedTransferFault {
+            dir: TransferDir::HtoD,
+            occurrence: 3,
+        };
+        assert!(e.to_string().contains("HtoD occurrence 3"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&CudaError::NoSuchDevice { gpu: 4, n_gpus: 1 });
+    }
+}

@@ -22,10 +22,16 @@
 
 pub mod calib;
 pub mod cuda;
+pub mod error;
+pub mod fault;
 pub mod machine;
 pub mod platform;
 pub mod tags;
 
 pub use cuda::{CudaEvent, CudaRun, CudaStream, DevPtr, PinnedPtr, VirtualCuda};
+pub use error::CudaError;
+pub use fault::{FaultInjector, FaultSite};
 pub use machine::{Machine, TransferDir};
-pub use platform::{platform1, platform2, CpuSpec, GpuSpec, PcieSpec, PinnedAllocModel, PlatformSpec};
+pub use platform::{
+    platform1, platform2, CpuSpec, GpuSpec, PcieSpec, PinnedAllocModel, PlatformSpec,
+};

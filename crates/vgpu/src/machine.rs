@@ -24,9 +24,7 @@
 //! behaviour, and the mechanism behind the paper's host-side-bottleneck
 //! findings.
 
-use hetsort_sim::{
-    LaneId, Op, OpId, OpTag, QueueId, SimBuilder, SimError, Timeline,
-};
+use hetsort_sim::{LaneId, Op, OpId, OpTag, QueueId, SimBuilder, SimError, Timeline};
 
 use crate::calib::{amdahl_speedup, log2_at_least_1};
 use crate::platform::PlatformSpec;
@@ -114,16 +112,23 @@ impl Machine {
     }
 
     /// Record a device allocation; errors if the GPU would overflow.
-    pub fn device_alloc(&mut self, gpu: usize, bytes: f64) -> Result<(), String> {
+    pub fn device_alloc(&mut self, gpu: usize, bytes: f64) -> Result<(), crate::error::CudaError> {
         let used = &mut self.dev_mem_used[gpu];
         let cap = self.plat.gpus[gpu].global_mem_bytes;
         if *used + bytes > cap {
-            return Err(format!(
-                "GPU {gpu} out of memory: {used:.3e} + {bytes:.3e} > {cap:.3e} B"
-            ));
+            return Err(crate::error::CudaError::DeviceOom {
+                gpu,
+                requested_bytes: bytes,
+                free_bytes: cap - *used,
+            });
         }
         *used += bytes;
         Ok(())
+    }
+
+    /// Bytes still free on a device.
+    pub fn device_mem_free(&self, gpu: usize) -> f64 {
+        self.plat.gpus[gpu].global_mem_bytes - self.dev_mem_used[gpu]
     }
 
     /// Release a device allocation.
@@ -135,8 +140,8 @@ impl Machine {
     /// the paper's affine model.
     pub fn pinned_alloc(&mut self, bytes: f64, deps: &[OpId], lane: Option<LaneId>) -> OpId {
         let tag = self.sim.tag(tags::PINNED_ALLOC);
-        let mut op = Op::fixed(tag, self.plat.pinned_alloc.seconds(bytes))
-            .deps(deps.iter().copied());
+        let mut op =
+            Op::fixed(tag, self.plat.pinned_alloc.seconds(bytes)).deps(deps.iter().copied());
         if let Some(l) = lane {
             op = op.lane(l);
         }
@@ -157,9 +162,11 @@ impl Machine {
         lane: Option<LaneId>,
         key: u64,
     ) -> OpId {
-        let tag = self
-            .sim
-            .tag(if inbound { tags::MCPY_IN } else { tags::MCPY_OUT });
+        let tag = self.sim.tag(if inbound {
+            tags::MCPY_IN
+        } else {
+            tags::MCPY_OUT
+        });
         let threads = threads.max(1) as f64;
         let cap = threads * self.plat.cpu.memcpy_core_bps;
         let mut op = Op::new(tag, bytes)
@@ -340,8 +347,7 @@ impl Machine {
         let cpu = &self.plat.cpu;
         let per_elem_ns = cpu.mw_base_ns + cpu.mw_ns_per_level * log2_at_least_1(k as f64);
         let per_core = 1e9 / per_elem_ns;
-        let cap =
-            amdahl_speedup(cpu.mw_parallel_fraction, threads.max(1) as usize) * per_core;
+        let cap = amdahl_speedup(cpu.mw_parallel_fraction, threads.max(1) as usize) * per_core;
         let mut op = Op::new(tag, elems)
             .cap(cap)
             .weight(cap)
@@ -360,13 +366,7 @@ impl Machine {
     /// baselines in the paper, so reproducing their measured scalability
     /// is the faithful choice (the pipeline ops, by contrast, are
     /// emergent).
-    pub fn ref_sort(
-        &mut self,
-        n: f64,
-        threads: u32,
-        deps: &[OpId],
-        lane: Option<LaneId>,
-    ) -> OpId {
+    pub fn ref_sort(&mut self, n: f64, threads: u32, deps: &[OpId], lane: Option<LaneId>) -> OpId {
         let tag = self.sim.tag(tags::REF_SORT);
         let cpu = &self.plat.cpu;
         let t_seq = cpu.sort_ns_per_elem_level * 1e-9 * n * log2_at_least_1(n);
@@ -389,7 +389,8 @@ impl Machine {
     /// A pure synchronization / fixed-latency op.
     pub fn barrier(&mut self, latency: f64, deps: &[OpId]) -> OpId {
         let tag = self.sim.tag(tags::SYNC);
-        self.sim.op(Op::fixed(tag, latency).deps(deps.iter().copied()))
+        self.sim
+            .op(Op::fixed(tag, latency).deps(deps.iter().copied()))
     }
 
     /// Number of ops emitted so far.
@@ -430,7 +431,11 @@ mod tests {
         let mut m = Machine::new(platform1());
         let op = m.transfer(TransferDir::DtoH, 0, 6e9, false, false, None, &[], None, 0);
         let tl = m.run().unwrap();
-        assert!(close(tl.span(op).duration(), 1.0, 1e-6), "{}", tl.span(op).duration());
+        assert!(
+            close(tl.span(op).duration(), 1.0, 1e-6),
+            "{}",
+            tl.span(op).duration()
+        );
     }
 
     #[test]
@@ -451,7 +456,11 @@ mod tests {
         let a = m.transfer(TransferDir::HtoD, 0, 12e9, true, false, None, &[], None, 0);
         let b = m.transfer(TransferDir::DtoH, 0, 12e9, true, false, None, &[], None, 0);
         let tl = m.run().unwrap();
-        assert!(close(tl.span(a).duration(), 12e9 / 6.5e9, 1e-6), "{}", tl.span(a).duration());
+        assert!(
+            close(tl.span(a).duration(), 12e9 / 6.5e9, 1e-6),
+            "{}",
+            tl.span(a).duration()
+        );
         let _ = b;
     }
 
@@ -463,7 +472,11 @@ mod tests {
         let a = m.transfer(TransferDir::HtoD, 0, 12e9, true, false, None, &[], None, 0);
         let b = m.transfer(TransferDir::HtoD, 1, 12e9, true, false, None, &[], None, 0);
         let tl = m.run().unwrap();
-        assert!(close(tl.span(a).duration(), 2.0, 1e-6), "{}", tl.span(a).duration());
+        assert!(
+            close(tl.span(a).duration(), 2.0, 1e-6),
+            "{}",
+            tl.span(a).duration()
+        );
         assert!(close(tl.span(b).duration(), 2.0, 1e-6));
     }
 
@@ -532,7 +545,11 @@ mod tests {
         let mut m = Machine::new(platform1());
         let op = m.host_memcpy(true, 20e9, 16, None, &[], None, 0);
         let tl = m.run().unwrap();
-        assert!(close(tl.span(op).duration(), 1.0, 1e-6), "{}", tl.span(op).duration());
+        assert!(
+            close(tl.span(op).duration(), 1.0, 1e-6),
+            "{}",
+            tl.span(op).duration()
+        );
     }
 
     #[test]
@@ -603,7 +620,17 @@ mod tests {
     fn sync_latency_applies_to_async_chunks_only() {
         let mut m = Machine::new(platform1());
         let s = m.stream("s");
-        let async_op = m.transfer(TransferDir::HtoD, 0, 1.2e7, true, true, Some(s), &[], None, 0);
+        let async_op = m.transfer(
+            TransferDir::HtoD,
+            0,
+            1.2e7,
+            true,
+            true,
+            Some(s),
+            &[],
+            None,
+            0,
+        );
         let tl = m.run().unwrap();
         let expect = 1.2e7 / 12e9 + platform1().pcie.chunk_sync_s;
         assert!(close(tl.span(async_op).duration(), expect, 1e-6));

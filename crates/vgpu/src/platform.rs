@@ -174,8 +174,8 @@ impl PlatformSpec {
             .iter()
             .map(|g| g.global_mem_bytes)
             .fold(f64::INFINITY, f64::min);
-        ((min_mem / (2.0 * crate::calib::ELEM_BYTES * streams_per_gpu.max(1) as f64))
-            .floor()) as usize
+        ((min_mem / (2.0 * crate::calib::ELEM_BYTES * streams_per_gpu.max(1) as f64)).floor())
+            as usize
     }
 
     /// Number of GPUs.

@@ -8,32 +8,59 @@
 //! * utilization stays within [0, 1] for every fluid;
 //! * the run is deterministic.
 
+use hetsort_prng::{prop_assert, prop_assert_eq, run_cases, Rng};
 use hetsort_vgpu::{platform1, platform2, Machine, TransferDir};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum GenOp {
-    Transfer { dir_h2d: bool, gpu: usize, mb: u32, pinned: bool },
-    Memcpy { inbound: bool, mb: u32, threads: u32 },
-    Sort { gpu: usize, melem: u32 },
-    PairMerge { melem: u32, threads: u32 },
+    Transfer {
+        dir_h2d: bool,
+        gpu: usize,
+        mb: u32,
+        pinned: bool,
+    },
+    Memcpy {
+        inbound: bool,
+        mb: u32,
+        threads: u32,
+    },
+    Sort {
+        gpu: usize,
+        melem: u32,
+    },
+    PairMerge {
+        melem: u32,
+        threads: u32,
+    },
 }
 
-fn arb_op() -> impl Strategy<Value = GenOp> {
-    prop_oneof![
-        (any::<bool>(), 0usize..2, 1u32..2000, any::<bool>()).prop_map(
-            |(dir_h2d, gpu, mb, pinned)| GenOp::Transfer {
-                dir_h2d,
-                gpu,
-                mb,
-                pinned
-            }
-        ),
-        (any::<bool>(), 1u32..2000, 1u32..17)
-            .prop_map(|(inbound, mb, threads)| GenOp::Memcpy { inbound, mb, threads }),
-        (0usize..2, 1u32..500).prop_map(|(gpu, melem)| GenOp::Sort { gpu, melem }),
-        (1u32..500, 1u32..17).prop_map(|(melem, threads)| GenOp::PairMerge { melem, threads }),
-    ]
+fn arb_op(rng: &mut Rng) -> GenOp {
+    match rng.usize_in(0, 4) {
+        0 => GenOp::Transfer {
+            dir_h2d: rng.bool(),
+            gpu: rng.usize_in(0, 2),
+            mb: rng.u32_in(1, 2000),
+            pinned: rng.bool(),
+        },
+        1 => GenOp::Memcpy {
+            inbound: rng.bool(),
+            mb: rng.u32_in(1, 2000),
+            threads: rng.u32_in(1, 17),
+        },
+        2 => GenOp::Sort {
+            gpu: rng.usize_in(0, 2),
+            melem: rng.u32_in(1, 500),
+        },
+        _ => GenOp::PairMerge {
+            melem: rng.u32_in(1, 500),
+            threads: rng.u32_in(1, 17),
+        },
+    }
+}
+
+fn arb_ops(rng: &mut Rng, max: usize) -> Vec<GenOp> {
+    let n = rng.usize_in(1, max);
+    (0..n).map(|_| arb_op(rng)).collect()
 }
 
 fn build(two_gpus: bool, ops: &[GenOp], chain: bool) -> Machine {
@@ -41,7 +68,11 @@ fn build(two_gpus: bool, ops: &[GenOp], chain: bool) -> Machine {
     let mut m = Machine::new(plat);
     let mut prev = None;
     for op in ops {
-        let deps: Vec<_> = if chain { prev.into_iter().collect() } else { Vec::new() };
+        let deps: Vec<_> = if chain {
+            prev.into_iter().collect()
+        } else {
+            Vec::new()
+        };
         let id = match *op {
             GenOp::Transfer {
                 dir_h2d,
@@ -55,11 +86,23 @@ fn build(two_gpus: bool, ops: &[GenOp], chain: bool) -> Machine {
                     TransferDir::DtoH
                 };
                 let gpu = gpu % m.plat().n_gpus();
-                m.transfer(dir, gpu, mb as f64 * 1e6, pinned, false, None, &deps, None, 0)
+                m.transfer(
+                    dir,
+                    gpu,
+                    mb as f64 * 1e6,
+                    pinned,
+                    false,
+                    None,
+                    &deps,
+                    None,
+                    0,
+                )
             }
-            GenOp::Memcpy { inbound, mb, threads } => {
-                m.host_memcpy(inbound, mb as f64 * 1e6, threads, None, &deps, None, 0)
-            }
+            GenOp::Memcpy {
+                inbound,
+                mb,
+                threads,
+            } => m.host_memcpy(inbound, mb as f64 * 1e6, threads, None, &deps, None, 0),
             GenOp::Sort { gpu, melem } => {
                 let gpu = gpu % m.plat().n_gpus();
                 m.gpu_sort(gpu, melem as f64 * 1e6, None, &deps, None, 0)
@@ -100,17 +143,14 @@ fn min_duration(two_gpus: bool, op: &GenOp) -> f64 {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(60))]
-
-    #[test]
-    fn spans_respect_physical_rates(
-        two_gpus in any::<bool>(),
-        ops in prop::collection::vec(arb_op(), 1..12),
-        chain in any::<bool>(),
-    ) {
+#[test]
+fn spans_respect_physical_rates() {
+    run_cases("spans_respect_physical_rates", 60, |rng| {
+        let two_gpus = rng.bool();
+        let ops = arb_ops(rng, 12);
+        let chain = rng.bool();
         let m = build(two_gpus, &ops, chain);
-        let tl = m.run().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let tl = m.run().map_err(|e| e.to_string())?;
         for (i, op) in ops.iter().enumerate() {
             let span = &tl.spans()[i];
             let floor = min_duration(two_gpus, op);
@@ -131,40 +171,60 @@ proptest! {
             prop_assert!((0.0..=1.0 + 1e-9).contains(&u), "fluid {f}: {u}");
             prop_assert!(tl.peak_utilization(f) <= 1.0 + 1e-6);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn machine_is_deterministic(
-        two_gpus in any::<bool>(),
-        ops in prop::collection::vec(arb_op(), 1..10),
-    ) {
-        let t1 = build(two_gpus, &ops, false).run().unwrap();
-        let t2 = build(two_gpus, &ops, false).run().unwrap();
+#[test]
+fn machine_is_deterministic() {
+    run_cases("machine_is_deterministic", 60, |rng| {
+        let two_gpus = rng.bool();
+        let ops = arb_ops(rng, 10);
+        let t1 = build(two_gpus, &ops, false)
+            .run()
+            .map_err(|e| e.to_string())?;
+        let t2 = build(two_gpus, &ops, false)
+            .run()
+            .map_err(|e| e.to_string())?;
         prop_assert_eq!(t1.makespan(), t2.makespan());
         for (a, b) in t1.spans().iter().zip(t2.spans()) {
             prop_assert_eq!(a.t_start, b.t_start);
             prop_assert_eq!(a.t_end, b.t_end);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn bandwidth_conservation_bounds_makespan(
-        two_gpus in any::<bool>(),
-        mbs in prop::collection::vec(1u32..3000, 1..8),
-    ) {
+#[test]
+fn bandwidth_conservation_bounds_makespan() {
+    run_cases("bandwidth_conservation_bounds_makespan", 60, |rng| {
+        let two_gpus = rng.bool();
+        let n = rng.usize_in(1, 8);
+        let mbs: Vec<u32> = (0..n).map(|_| rng.u32_in(1, 3000)).collect();
         // All-HtoD pinned transfers to GPU 0: total bytes over link
         // bandwidth is a hard lower bound on the makespan.
         let plat = if two_gpus { platform2() } else { platform1() };
         let mut m = Machine::new(plat.clone());
         let total_bytes: f64 = mbs.iter().map(|&mb| mb as f64 * 1e6).sum();
         for &mb in &mbs {
-            m.transfer(TransferDir::HtoD, 0, mb as f64 * 1e6, true, false, None, &[], None, 0);
+            m.transfer(
+                TransferDir::HtoD,
+                0,
+                mb as f64 * 1e6,
+                true,
+                false,
+                None,
+                &[],
+                None,
+                0,
+            );
         }
-        let tl = m.run().unwrap();
+        let tl = m.run().map_err(|e| e.to_string())?;
         prop_assert!(
             tl.makespan() >= total_bytes / plat.pcie.pinned_bps * (1.0 - 1e-9),
             "makespan {} below conservation bound",
             tl.makespan()
         );
-    }
+        Ok(())
+    });
 }

@@ -1,8 +1,7 @@
 //! Deterministic workload generation.
 
 use crate::dist::Distribution;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use hetsort_prng::Rng;
 
 /// A generated dataset plus the parameters that produced it.
 #[derive(Debug, Clone)]
@@ -17,15 +16,15 @@ pub struct Workload {
 
 /// Generate `n` 64-bit floats from `dist` with the given `seed`.
 pub fn generate(dist: Distribution, n: usize, seed: u64) -> Workload {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let data = match dist {
-        Distribution::Uniform => (0..n).map(|_| rng.gen::<f64>()).collect(),
+        Distribution::Uniform => (0..n).map(|_| rng.f64_unit()).collect(),
         Distribution::Normal => {
             // Box–Muller; generates pairs, discards the spare on odd n.
             let mut out = Vec::with_capacity(n);
             while out.len() < n {
-                let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-                let u2: f64 = rng.gen();
+                let u1: f64 = rng.f64_unit().max(f64::MIN_POSITIVE);
+                let u2: f64 = rng.f64_unit();
                 let r = (-2.0 * u1.ln()).sqrt();
                 let theta = 2.0 * std::f64::consts::PI * u2;
                 out.push(r * theta.cos());
@@ -42,8 +41,8 @@ pub fn generate(dist: Distribution, n: usize, seed: u64) -> Workload {
             let swaps = ((n as f64) * swap_fraction.clamp(0.0, 1.0) / 2.0) as usize;
             for _ in 0..swaps {
                 if n >= 2 {
-                    let i = rng.gen_range(0..n);
-                    let j = rng.gen_range(0..n);
+                    let i = rng.usize_in(0, n);
+                    let j = rng.usize_in(0, n);
                     v.swap(i, j);
                 }
             }
@@ -51,7 +50,7 @@ pub fn generate(dist: Distribution, n: usize, seed: u64) -> Workload {
         }
         Distribution::DuplicateHeavy { distinct } => {
             let d = distinct.max(1);
-            (0..n).map(|_| (rng.gen_range(0..d)) as f64).collect()
+            (0..n).map(|_| rng.u64_in(0, d) as f64).collect()
         }
         Distribution::Zipf { distinct, exponent } => {
             let d = distinct.max(1) as usize;
@@ -68,7 +67,7 @@ pub fn generate(dist: Distribution, n: usize, seed: u64) -> Workload {
             }
             (0..n)
                 .map(|_| {
-                    let u: f64 = rng.gen();
+                    let u: f64 = rng.f64_unit();
                     let v = cdf.partition_point(|&c| c < u).min(d - 1);
                     v as f64
                 })
@@ -81,11 +80,7 @@ pub fn generate(dist: Distribution, n: usize, seed: u64) -> Workload {
 /// Generate `n` key/value records (\[5\]'s workload: 64-bit keys with
 /// 64-bit payloads): keys from `dist`, values = original index, so a
 /// sorted output can be checked for payload integrity.
-pub fn generate_kv(
-    dist: Distribution,
-    n: usize,
-    seed: u64,
-) -> Vec<hetsort_algos::keys::KeyValue> {
+pub fn generate_kv(dist: Distribution, n: usize, seed: u64) -> Vec<hetsort_algos::keys::KeyValue> {
     generate(dist, n, seed)
         .data
         .into_iter()
@@ -144,8 +139,7 @@ mod tests {
     fn normal_has_sane_moments() {
         let w = generate(Distribution::Normal, 50_000, 3);
         let mean: f64 = w.data.iter().sum::<f64>() / 50_000.0;
-        let var: f64 =
-            w.data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / 50_000.0;
+        let var: f64 = w.data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / 50_000.0;
         assert!(mean.abs() < 0.05, "mean={mean}");
         assert!((var - 1.0).abs() < 0.1, "var={var}");
     }
@@ -170,11 +164,7 @@ mod tests {
             10_000,
             5,
         );
-        let inversions_adjacent = w
-            .data
-            .windows(2)
-            .filter(|p| p[0] > p[1])
-            .count();
+        let inversions_adjacent = w.data.windows(2).filter(|p| p[0] > p[1]).count();
         assert!(inversions_adjacent > 0, "some disorder expected");
         assert!(
             inversions_adjacent < 500,

@@ -12,9 +12,7 @@
 //! ```
 
 use hetsort::core::{simulate, Approach, HetSortConfig};
-use hetsort::vgpu::{
-    platform1, CpuSpec, GpuSpec, PcieSpec, PinnedAllocModel, PlatformSpec,
-};
+use hetsort::vgpu::{platform1, CpuSpec, GpuSpec, PcieSpec, PinnedAllocModel, PlatformSpec};
 
 fn nvlink_box() -> PlatformSpec {
     let base = platform1();
@@ -30,6 +28,7 @@ fn nvlink_box() -> PlatformSpec {
             global_mem_bytes: 32.0 * 1024.0 * 1024.0 * 1024.0,
             sort_keys_per_s: 3.2e9,
             kernel_launch_s: 20.0e-6,
+            mem_bw_bps: 900.0e9,
         }],
         pcie: PcieSpec {
             pinned_bps: 75.0e9,

@@ -19,7 +19,10 @@ use hetsort::workloads::{generate, Distribution};
 fn main() {
     let n = 400_000;
     println!("PipeMerge functional runs across input distributions (n = {n}):\n");
-    println!("{:<22} {:>10} {:>10}", "distribution", "wall (s)", "verified");
+    println!(
+        "{:<22} {:>10} {:>10}",
+        "distribution", "wall (s)", "verified"
+    );
     let mut base = None;
     for dist in Distribution::catalog() {
         let data = generate(dist, n, 99).data;
@@ -28,7 +31,12 @@ fn main() {
             .with_pinned_elems(10_000);
         let out = sort_real(cfg, &data).expect("pipeline");
         assert!(out.verified, "{dist} failed verification");
-        println!("{:<22} {:>10.4} {:>10}", dist.to_string(), out.wall_s, out.verified);
+        println!(
+            "{:<22} {:>10.4} {:>10}",
+            dist.to_string(),
+            out.wall_s,
+            out.verified
+        );
         if matches!(dist, Distribution::Uniform) {
             base = Some(out.wall_s);
         }

@@ -31,8 +31,7 @@ fn main() {
             (Approach::PipeMerge, false),
             (Approach::PipeMerge, true),
         ] {
-            let mut cfg =
-                HetSortConfig::paper_defaults(plat.clone(), a).with_batch_elems(bs);
+            let mut cfg = HetSortConfig::paper_defaults(plat.clone(), a).with_batch_elems(bs);
             if pm {
                 cfg = cfg.with_par_memcpy();
             }

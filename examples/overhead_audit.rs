@@ -45,7 +45,10 @@ fn main() {
             println!("  {tag:<12} {t:>8.3} s");
         }
     }
-    println!("  {:<12} {:>8.3} s  (async-copy sync, inside transfer spans)", "Sync", r.sync_s);
+    println!(
+        "  {:<12} {:>8.3} s  (async-copy sync, inside transfer spans)",
+        "Sync", r.sync_s
+    );
 
     // The tempting "fix" the paper shoots down: one giant pinned buffer.
     println!("\nwhat if we pinned the whole input instead (p_s = n)?");

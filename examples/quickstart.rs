@@ -46,8 +46,7 @@ fn main() {
     );
     println!("{}", report.summary());
 
-    let ref_t =
-        hetsort::core::reference::reference_time_full(&platform1(), n_big);
+    let ref_t = hetsort::core::reference::reference_time_full(&platform1(), n_big);
     println!(
         "reference CPU sort (16 threads): {ref_t:.2} s → speedup {:.2}x (paper: 3.21x)",
         ref_t / report.total_s

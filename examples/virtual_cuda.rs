@@ -68,7 +68,13 @@ fn main() {
     }
     println!(
         "\nPCIe utilization: {:.0}% h2d, {:.0}% d2h",
-        100.0 * run.timeline.utilization(run.timeline.find_fluid("pcie_h2d").unwrap()),
-        100.0 * run.timeline.utilization(run.timeline.find_fluid("pcie_d2h").unwrap()),
+        100.0
+            * run
+                .timeline
+                .utilization(run.timeline.find_fluid("pcie_h2d").unwrap()),
+        100.0
+            * run
+                .timeline
+                .utilization(run.timeline.find_fluid("pcie_d2h").unwrap()),
     );
 }

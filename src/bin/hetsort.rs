@@ -1,8 +1,8 @@
 //! The `hetsort` command-line tool: simulate, sort, and visualize
 //! heterogeneous sorting pipelines. See `hetsort help`.
 
-use hetsort::cli::{parse, Command, RunArgs, USAGE};
-use hetsort::core::{simulate, sort_real, Plan};
+use hetsort::cli::{parse, CliError, Command, RunArgs, USAGE};
+use hetsort::core::{simulate, sort_real, HetSortError, Plan};
 use hetsort::vgpu::{platform1, platform2};
 use hetsort::workloads::{generate, Distribution};
 
@@ -17,11 +17,14 @@ fn main() {
     };
     if let Err(e) = run(cmd) {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        std::process::exit(match e {
+            CliError::Usage(_) => 2,
+            CliError::Run(_) => 1,
+        });
     }
 }
 
-fn run(cmd: Command) -> Result<(), String> {
+fn run(cmd: Command) -> Result<(), CliError> {
     match cmd {
         Command::Help => println!("{USAGE}"),
         Command::Platforms => {
@@ -46,10 +49,7 @@ fn run(cmd: Command) -> Result<(), String> {
                 "PCIe/bus utilization: {}",
                 utilization_line(&report.timeline)
             );
-            let ref_t = hetsort::core::reference::reference_time_full(
-                &r.platform_spec()?,
-                r.n,
-            );
+            let ref_t = hetsort::core::reference::reference_time_full(&r.platform_spec()?, r.n);
             println!(
                 "reference CPU sort: {ref_t:.3} s → speedup {:.2}x",
                 ref_t / report.total_s
@@ -66,8 +66,13 @@ fn run(cmd: Command) -> Result<(), String> {
                 out.pair_merges,
                 out.verified
             );
+            if out.recovery.any() {
+                println!("recovery: {}", out.recovery.summary());
+            }
             if !out.verified {
-                return Err("verification failed".into());
+                return Err(CliError::Run(HetSortError::Data {
+                    reason: "output verification failed".into(),
+                }));
             }
         }
         Command::Gantt(r) => {
@@ -81,7 +86,7 @@ fn run(cmd: Command) -> Result<(), String> {
     Ok(())
 }
 
-fn gantt(r: &RunArgs) -> Result<String, String> {
+fn gantt(r: &RunArgs) -> Result<String, CliError> {
     let plan = Plan::build(r.config()?, r.n)?;
     let report = hetsort::core::exec_sim::simulate_plan(&plan)?;
     Ok(report.timeline.gantt(100))

@@ -4,8 +4,43 @@
 //! `sort`, `platforms`, and `gantt`, with `--key value` options. See
 //! `hetsort --help`.
 
-use hetsort_core::{Approach, HetSortConfig, PairStrategy};
-use hetsort_vgpu::{platform1, platform2, PlatformSpec};
+use std::sync::Arc;
+
+use hetsort_core::{Approach, HetSortConfig, HetSortError, PairStrategy, RecoveryPolicy};
+use hetsort_vgpu::{platform1, platform2, FaultInjector, PlatformSpec};
+
+/// Errors from the CLI layer.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line: print usage, exit 2.
+    Usage(String),
+    /// The run itself failed: exit 1.
+    Run(HetSortError),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Run(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Usage(_) => None,
+            CliError::Run(e) => Some(e),
+        }
+    }
+}
+
+impl From<HetSortError> for CliError {
+    fn from(e: HetSortError) -> Self {
+        CliError::Run(e)
+    }
+}
 
 /// Parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +78,12 @@ pub struct RunArgs {
     pub strategy: PairStrategy,
     /// RNG seed (functional sort).
     pub seed: u64,
+    /// Fault schedule spec (functional sort), e.g. `oom:1,htod:3`.
+    pub faults: Option<String>,
+    /// Transfer retry budget override.
+    pub retries: Option<usize>,
+    /// Disable CPU-fallback degradation.
+    pub no_cpu_fallback: bool,
 }
 
 impl Default for RunArgs {
@@ -57,22 +98,27 @@ impl Default for RunArgs {
             pinned: 0,
             strategy: PairStrategy::PaperHeuristic,
             seed: 42,
+            faults: None,
+            retries: None,
+            no_cpu_fallback: false,
         }
     }
 }
 
 impl RunArgs {
     /// Resolve the platform spec.
-    pub fn platform_spec(&self) -> Result<PlatformSpec, String> {
+    pub fn platform_spec(&self) -> Result<PlatformSpec, CliError> {
         match self.platform.as_str() {
             "p1" | "platform1" | "PLATFORM1" => Ok(platform1()),
             "p2" | "platform2" | "PLATFORM2" => Ok(platform2()),
-            other => Err(format!("unknown platform '{other}' (use p1 or p2)")),
+            other => Err(CliError::Usage(format!(
+                "unknown platform '{other}' (use p1 or p2)"
+            ))),
         }
     }
 
     /// Build the sort configuration.
-    pub fn config(&self) -> Result<HetSortConfig, String> {
+    pub fn config(&self) -> Result<HetSortConfig, CliError> {
         let mut cfg = HetSortConfig::paper_defaults(self.platform_spec()?, self.approach)
             .with_pair_strategy(self.strategy);
         if self.par_memcpy {
@@ -86,6 +132,18 @@ impl RunArgs {
         }
         if self.pinned > 0 {
             cfg = cfg.with_pinned_elems(self.pinned);
+        }
+        let mut policy = RecoveryPolicy::default();
+        if let Some(r) = self.retries {
+            policy.max_retries = r;
+        }
+        if self.no_cpu_fallback {
+            policy.cpu_fallback = false;
+        }
+        cfg = cfg.with_recovery(policy);
+        if let Some(spec) = &self.faults {
+            let inj = FaultInjector::parse(spec).map_err(HetSortError::from)?;
+            cfg = cfg.with_faults(Arc::new(inj));
         }
         Ok(cfg)
     }
@@ -128,7 +186,15 @@ fn parse_strategy(s: &str) -> Result<PairStrategy, String> {
 }
 
 /// Parse a full argument list (without the program name).
-pub fn parse(args: &[String]) -> Result<Command, String> {
+///
+/// # Errors
+///
+/// [`CliError::Usage`] on unknown commands, options, or values.
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    parse_inner(args).map_err(CliError::Usage)
+}
+
+fn parse_inner(args: &[String]) -> Result<Command, String> {
     let Some(sub) = args.first() else {
         return Ok(Command::Help);
     };
@@ -161,6 +227,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                             .parse()
                             .map_err(|e| format!("bad seed: {e}"))?
                     }
+                    "--faults" => run.faults = Some(need("--faults")?.clone()),
+                    "--retries" => run.retries = Some(parse_count(need("--retries")?)?),
+                    "--no-cpu-fallback" => run.no_cpu_fallback = true,
                     other => return Err(format!("unknown option '{other}'")),
                 }
             }
@@ -182,14 +251,26 @@ USAGE:
   hetsort simulate  [-n 5e9] [--platform p1|p2] [--approach pipemerge]
                     [--par-memcpy] [--batch 5e8] [--streams 2]
                     [--pinned 1e6] [--strategy paper|online|tree]
-  hetsort sort      [-n 1e6] [--seed 42] [... same options]
+  hetsort sort      [-n 1e6] [--seed 42] [--faults SPEC] [--retries K]
+                    [--no-cpu-fallback] [... same options]
   hetsort gantt     [-n 2e9] [... same options]
   hetsort platforms
   hetsort help
 
+FAULT INJECTION (sort only):
+  --faults SPEC      deterministic fault schedule, e.g. 'oom:1,htod:3':
+                     oom:K fails the K-th device allocation, htod:K /
+                     dtoh:K the K-th transfer, sort:K the K-th device
+                     sort, panic:W@K kills stream worker W at its K-th
+                     batch (parallel executor only)
+  --retries K        retry budget for transient transfer faults (default 2)
+  --no-cpu-fallback  fail with a typed error instead of degrading a
+                     broken batch to a host-side sort
+
 EXAMPLES:
   hetsort simulate -n 5e9 -a pipemerge --par-memcpy       # Figure 9's best
   hetsort sort -n 2e6 -b 250000 --pinned 50000            # functional + verify
+  hetsort sort -n 2e6 --faults oom:1,htod:3               # recovery drill
   hetsort gantt -n 2e9 -a pipemerge --pinned 1e8          # schedule picture
 ";
 
@@ -249,9 +330,29 @@ mod tests {
     }
 
     #[test]
+    fn parse_fault_flags() {
+        let Command::Sort(r) = parse(&argv(
+            "sort -n 1e5 --faults oom:1,htod:3 --retries 4 --no-cpu-fallback",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.faults.as_deref(), Some("oom:1,htod:3"));
+        assert_eq!(r.retries, Some(4));
+        assert!(r.no_cpu_fallback);
+        let cfg = r.config().unwrap();
+        assert_eq!(cfg.recovery.max_retries, 4);
+        assert!(!cfg.recovery.cpu_fallback);
+        assert!(cfg.faults.as_ref().is_some_and(|f| f.is_armed()));
+        // Bad schedules surface as typed run errors, not panics.
+        let mut bad = r.clone();
+        bad.faults = Some("gpu:1".into());
+        assert!(matches!(bad.config(), Err(CliError::Run(_))));
+    }
+
+    #[test]
     fn config_resolution() {
-        let Command::Simulate(r) =
-            parse(&argv("simulate --platform p1 -a blinemulti")).unwrap()
+        let Command::Simulate(r) = parse(&argv("simulate --platform p1 -a blinemulti")).unwrap()
         else {
             panic!()
         };

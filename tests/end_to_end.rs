@@ -28,10 +28,7 @@ fn all_configs() -> Vec<(String, HetSortConfig)> {
                 if par {
                     cfg = cfg.with_par_memcpy();
                 }
-                out.push((
-                    format!("{}/{}/par={par}", plat.name, approach.name()),
-                    cfg,
-                ));
+                out.push((format!("{}/{}/par={par}", plat.name, approach.name()), cfg));
             }
         }
     }

@@ -129,7 +129,10 @@ fn fig9_approach_ordering_and_speedups() {
         .unwrap()
         .total_s;
     let speedup_small = reference_time_full(&platform1(), n_small) / pmc_small;
-    assert!((2.8..4.4).contains(&speedup_small), "speedup {speedup_small}");
+    assert!(
+        (2.8..4.4).contains(&speedup_small),
+        "speedup {speedup_small}"
+    );
 }
 
 #[test]
@@ -147,7 +150,10 @@ fn fig10_two_gpus_help_but_sublinearly() {
     let t1 = simulate(mk(p2s), n).unwrap().total_s;
     let t2 = simulate(mk(p2.clone()), n).unwrap().total_s;
     assert!(t2 < t1, "two GPUs must help");
-    assert!(t2 > t1 / 2.0, "shared PCIe + CPU merge make scaling sublinear");
+    assert!(
+        t2 > t1 / 2.0,
+        "shared PCIe + CPU merge make scaling sublinear"
+    );
     // "speedups over the parallel CPU reference ... 1.89× and 2.02×".
     let s = reference_time_full(&p2, n) / t2;
     assert!((1.6..2.4).contains(&s), "2-GPU speedup {s}");
@@ -203,8 +209,16 @@ fn fig11_models_and_efficiency() {
     let m1 = LowerBoundModel::one_gpu(&p2);
     let m2 = LowerBoundModel::two_gpu(&p2);
     // "y = 6.278e-9 n" (±3%) and "y = 3.706e-9 n" (±20%).
-    assert!((m1.slope - 6.278e-9).abs() / 6.278e-9 < 0.03, "{}", m1.slope);
-    assert!((m2.slope - 3.706e-9).abs() / 3.706e-9 < 0.20, "{}", m2.slope);
+    assert!(
+        (m1.slope - 6.278e-9).abs() / 6.278e-9 < 0.03,
+        "{}",
+        m1.slope
+    );
+    assert!(
+        (m2.slope - 3.706e-9).abs() / 3.706e-9 < 0.20,
+        "{}",
+        m2.slope
+    );
 
     // "at n = 1.4e9 PIPEDATA outperforms the lower limit baseline".
     let mut p2s = p2.clone();
