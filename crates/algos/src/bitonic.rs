@@ -122,6 +122,9 @@ fn par_network<T: SortOrd>(threads: usize, data: &mut [T]) {
     debug_assert!(m.is_power_of_two());
     // Shared output pointer for disjoint compare-exchange pairs.
     struct Cell<T>(*mut T);
+    // SAFETY: workers only dereference the pointer at pairwise-disjoint
+    // index pairs within one stage (see the block comment below), so
+    // sharing the wrapper across scoped threads cannot alias writes.
     unsafe impl<T: Send> Sync for Cell<T> {}
     let mut k = 2usize;
     while k <= m {

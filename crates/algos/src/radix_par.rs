@@ -23,7 +23,12 @@ const BUCKETS: usize = 256;
 /// index sets (guaranteed by the exclusive scan over per-worker bucket
 /// counts), and the pointer outlives the scoped threads.
 struct ScatterTarget<T>(*mut T);
+// SAFETY: concurrent writers touch pairwise-disjoint index sets (the
+// exclusive scan hands each worker a private block per bucket) and the
+// pointee outlives the scoped threads, so shared access cannot alias.
 unsafe impl<T: Send> Sync for ScatterTarget<T> {}
+// SAFETY: the wrapper is just a pointer to a `Send` buffer owned by the
+// spawning scope; moving it to another thread moves no non-Send state.
 unsafe impl<T: Send> Send for ScatterTarget<T> {}
 
 /// Sort `data` with a parallel LSD radix sort on `threads` workers.

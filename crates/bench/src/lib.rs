@@ -20,6 +20,9 @@
 //! | `calibrate` | calibration report (model vs paper headline numbers) |
 //! | `ablations` | extension: b_s / n_s / p_s sweeps + distribution sensitivity |
 
+// No unsafe anywhere in this crate — enforced, not assumed.
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod output;
 

@@ -187,6 +187,9 @@ pub struct HetSortConfig {
     /// Fault schedule the executors consult (testing/chaos runs); `None`
     /// means no injected faults.
     pub faults: Option<Arc<FaultInjector>>,
+    /// Record a structured op trace of the *executed* accesses (for the
+    /// `hetsort-analyze` race detector); off by default.
+    pub record_trace: bool,
 }
 
 impl HetSortConfig {
@@ -217,7 +220,14 @@ impl HetSortConfig {
             device_sort: DeviceSortKind::default(),
             recovery: RecoveryPolicy::default(),
             faults: None,
+            record_trace: false,
         }
+    }
+
+    /// Record executed-access traces for the race detector.
+    pub fn with_trace_recording(mut self) -> Self {
+        self.record_trace = true;
+        self
     }
 
     /// Enable PARMEMCPY.

@@ -24,10 +24,12 @@ use hetsort_algos::keys::{RadixKey, SortOrd};
 use hetsort_algos::merge::par_merge_into;
 use hetsort_algos::multiway::par_multiway_merge_into;
 use hetsort_algos::verify::{fingerprint, is_sorted};
+use hetsort_sim::{Access, OpTrace};
 
 use crate::config::HetSortConfig;
 use crate::error::HetSortError;
 use crate::exec_stream::StreamExec;
+use crate::optrace::trace_with_accesses;
 use crate::plan::{MergeInput, Plan, StepKind};
 use crate::report::RecoveryStats;
 
@@ -49,6 +51,22 @@ pub struct RealOutcome<T = f64> {
     pub pair_merges: usize,
     /// What recovery had to do (all zeros on a fault-free run).
     pub recovery: RecoveryStats,
+    /// Structured op trace of the *executed* accesses, when the config
+    /// asked for one ([`HetSortConfig::with_trace_recording`]). Recovery
+    /// reroutes show up here, so re-planned schedules get re-checked by
+    /// `hetsort-analyze`.
+    pub trace: Option<OpTrace>,
+}
+
+/// Merge per-stream access logs into one executed trace.
+pub(crate) fn assemble_trace(plan: &Plan, logs: &[Vec<(usize, Vec<Access>)>]) -> OpTrace {
+    let mut overrides: Vec<Option<Vec<Access>>> = vec![None; plan.steps.len()];
+    for log in logs {
+        for (si, acc) in log {
+            overrides[*si] = Some(acc.clone());
+        }
+    }
+    trace_with_accesses(plan, &overrides)
 }
 
 /// Sort `data` with the configured heterogeneous pipeline, functionally.
@@ -92,6 +110,9 @@ where
             plan.config.elem_bytes
         )));
     }
+    // Re-validate on every execution path: re-planned (recovery) plans
+    // and hand-mutated plans must not reach the interpreter.
+    plan.check_invariants()?;
     let cfg = &plan.config;
     let n = plan.n;
     let nb = plan.nb();
@@ -112,7 +133,7 @@ where
     let device_sort_threads = hetsort_algos::par::default_threads();
 
     let mut streams: Vec<StreamExec<T>> = (0..plan.total_streams)
-        .map(|_| StreamExec::new(plan, data, host_threads, device_sort_threads))
+        .map(|s| StreamExec::new(plan, data, s, host_threads, device_sort_threads))
         .collect();
 
     let mut pair_merges_done = 0usize;
@@ -172,6 +193,11 @@ where
     }
     recovery.faults_injected = cfg.faults.as_ref().map_or(0, |i| i.injected()) - injected_before;
 
+    let trace = cfg.record_trace.then(|| {
+        let logs: Vec<_> = streams.iter().map(|sx| sx.access_log.clone()).collect();
+        assemble_trace(plan, &logs)
+    });
+
     let wall_s = t0.elapsed().as_secs_f64();
     let verified = is_sorted(&b_out) && fingerprint(&b_out) == input_fp;
     Ok(RealOutcome {
@@ -181,6 +207,7 @@ where
         nb,
         pair_merges: pair_merges_done,
         recovery,
+        trace,
     })
 }
 

@@ -33,9 +33,10 @@ use hetsort_algos::merge::par_merge_into;
 use hetsort_algos::multiway::par_multiway_merge_into;
 use hetsort_algos::radix_par::par_radix_sort;
 use hetsort_algos::verify::{fingerprint, is_sorted};
+use hetsort_sim::Access;
 
 use crate::error::HetSortError;
-use crate::exec_real::RealOutcome;
+use crate::exec_real::{assemble_trace, RealOutcome};
 use crate::exec_stream::StreamExec;
 use crate::plan::{MergeInput, MergeSrc, Plan, StepKind};
 use crate::report::RecoveryStats;
@@ -119,6 +120,8 @@ where
             plan.config.elem_bytes
         )));
     }
+    // Re-validate on every execution path, not only at build time.
+    plan.check_invariants()?;
     let nb = plan.nb();
     let input_fp = fingerprint(data);
     let injected_before = plan.config.faults.as_ref().map_or(0, |i| i.injected());
@@ -142,6 +145,7 @@ where
     let mut pair_out: Vec<Option<Vec<T>>> = (0..plan.pairs.len()).map(|_| None).collect();
     let mut b_out: Vec<T> = Vec::new();
     let mut recovery = RecoveryStats::default();
+    let mut stream_logs: Vec<Vec<(usize, Vec<Access>)>> = Vec::new();
 
     std::thread::scope(|scope| -> Result<(), HetSortError> {
         // ---- stream workers ----------------------------------------
@@ -149,8 +153,10 @@ where
         for (worker_id, steps) in per_stream.iter().enumerate() {
             let tx = tx.clone();
             let plan_ref = plan;
-            handles.push(scope.spawn(move || -> Result<RecoveryStats, HetSortError> {
-                let mut sx = StreamExec::new(plan_ref, data, merge_threads, device_sort_threads);
+            type WorkerOk = (RecoveryStats, Vec<(usize, Vec<Access>)>);
+            handles.push(scope.spawn(move || -> Result<WorkerOk, HetSortError> {
+                let mut sx =
+                    StreamExec::new(plan_ref, data, worker_id, merge_threads, device_sort_threads);
                 // The batch currently being assembled in "W".
                 let mut assembling: Option<(usize, Vec<T>)> = None;
                 for &si in steps {
@@ -179,7 +185,7 @@ where
                         }
                     })?;
                 }
-                Ok(sx.stats)
+                Ok((sx.stats, sx.access_log))
             }));
         }
         drop(tx);
@@ -207,10 +213,11 @@ where
         let mut first_panic: Option<HetSortError> = None;
         for (worker, handle) in handles.into_iter().enumerate() {
             match handle.join() {
-                Ok(Ok(stats)) => {
+                Ok(Ok((stats, log))) => {
                     recovery.retries += stats.retries;
                     recovery.degraded_batches += stats.degraded_batches;
                     recovery.oom_replans += stats.oom_replans;
+                    stream_logs.push(log);
                 }
                 Ok(Err(e)) => {
                     if first_err.is_none() {
@@ -300,6 +307,10 @@ where
 
     recovery.faults_injected =
         plan.config.faults.as_ref().map_or(0, |i| i.injected()) - injected_before;
+    let trace = plan
+        .config
+        .record_trace
+        .then(|| assemble_trace(plan, &stream_logs));
     let wall_s = t0.elapsed().as_secs_f64();
     let verified = is_sorted(&b_out) && fingerprint(&b_out) == input_fp;
     Ok(RealOutcome {
@@ -309,6 +320,7 @@ where
         nb,
         pair_merges: plan.pairs.len(),
         recovery,
+        trace,
     })
 }
 

@@ -29,6 +29,8 @@ pub fn simulate(
 ///
 /// [`HetSortError::GpuOom`] and [`HetSortError::Sim`] as above.
 pub fn simulate_plan(plan: &Plan) -> Result<TimingReport, HetSortError> {
+    // Re-validate on every execution path, not only at build time.
+    plan.check_invariants()?;
     let cfg = &plan.config;
     let mut m = Machine::new(cfg.platform.clone());
 

@@ -30,10 +30,14 @@
 use hetsort_algos::keys::{RadixKey, SortOrd};
 use hetsort_algos::multiway::par_multiway_merge_into;
 use hetsort_algos::radix_par::par_radix_sort;
+use hetsort_sim::{Access, Buffer};
 use hetsort_vgpu::{FaultInjector, FaultSite, TransferDir};
 
 use crate::config::{DeviceSortKind, RecoveryPolicy};
 use crate::error::HetSortError;
+use crate::optrace::{
+    pinned_in_id, pinned_out_id, region_host_batch, REGION_A, REGION_B, REGION_W,
+};
 use crate::plan::{BatchInfo, Plan, StepKind};
 use crate::report::RecoveryStats;
 
@@ -57,6 +61,8 @@ pub(crate) struct StreamExec<'a, T> {
     policy: RecoveryPolicy,
     host_threads: usize,
     device_sort_threads: usize,
+    /// This interpreter's stream index (buffer identity in traces).
+    stream: usize,
     pinned_in: Vec<T>,
     pinned_out: Vec<T>,
     device: Vec<T>,
@@ -68,16 +74,21 @@ pub(crate) struct StreamExec<'a, T> {
     host_batch: Vec<T>,
     /// Per-stream recovery counters (merged by the caller).
     pub(crate) stats: RecoveryStats,
+    /// When `config.record_trace` is set: the buffer accesses each step
+    /// actually performed, `(step index, accesses)` — the raw material
+    /// of [`crate::optrace::trace_with_accesses`].
+    pub(crate) access_log: Vec<(usize, Vec<Access>)>,
 }
 
 impl<'a, T> StreamExec<'a, T>
 where
     T: RadixKey + SortOrd + Default,
 {
-    /// Fresh state for one stream of `plan` over `data`.
+    /// Fresh state for stream `stream` of `plan` over `data`.
     pub(crate) fn new(
         plan: &'a Plan,
         data: &'a [T],
+        stream: usize,
         host_threads: usize,
         device_sort_threads: usize,
     ) -> Self {
@@ -88,6 +99,7 @@ where
             policy: plan.config.recovery,
             host_threads,
             device_sort_threads,
+            stream,
             pinned_in: Vec::new(),
             pinned_out: Vec::new(),
             device: Vec::new(),
@@ -95,6 +107,34 @@ where
             mode: Mode::Device,
             host_batch: Vec::new(),
             stats: RecoveryStats::default(),
+            access_log: Vec::new(),
+        }
+    }
+
+    fn pin_in_buf(&self) -> Buffer {
+        Buffer::Pinned {
+            id: pinned_in_id(self.stream),
+        }
+    }
+
+    fn pin_out_buf(&self) -> Buffer {
+        Buffer::Pinned {
+            id: pinned_out_id(self.plan.asynchronous, self.stream),
+        }
+    }
+
+    fn dev_buf(&self, b: &BatchInfo) -> Buffer {
+        Buffer::Dev {
+            gpu: b.gpu,
+            id: self.stream,
+        }
+    }
+
+    fn host_batch_buf(&self, start: usize, len: usize) -> Buffer {
+        Buffer::Host {
+            region: region_host_batch(self.stream),
+            start,
+            len,
         }
     }
 
@@ -199,6 +239,9 @@ where
         emit: &mut impl FnMut(usize, usize, &[T]),
     ) -> Result<(), HetSortError> {
         let ps = self.plan.config.pinned_elems;
+        // Accesses this step actually performs — which differ from the
+        // static lowering once recovery reroutes a batch host-side.
+        let mut acc: Vec<Access> = Vec::new();
         match &self.plan.steps[si].kind {
             StepKind::PinnedAlloc { dir_in, .. } => {
                 if *dir_in {
@@ -213,6 +256,12 @@ where
             }
             StepKind::StageIn { start, len, .. } => {
                 self.pinned_in[..*len].copy_from_slice(&self.data[*start..*start + *len]);
+                acc.push(Access::read(Buffer::Host {
+                    region: REGION_A,
+                    start: *start,
+                    len: *len,
+                }));
+                acc.push(Access::write(self.pin_in_buf()));
             }
             StepKind::HtoD {
                 batch,
@@ -228,6 +277,12 @@ where
                     match self.dma(FaultSite::HtoD) {
                         Ok(()) => {
                             let off = *start - b.start;
+                            acc.push(Access::read(self.pin_in_buf()));
+                            if self.mode == Mode::Device {
+                                acc.push(Access::write(self.dev_buf(&b)));
+                            } else {
+                                acc.push(Access::write(self.host_batch_buf(off, *len)));
+                            }
                             let dst = if self.mode == Mode::Device {
                                 &mut self.device
                             } else {
@@ -269,11 +324,16 @@ where
                     }
                 }
                 match self.mode {
-                    Mode::Device => Self::device_sort(
-                        self.plan.config.device_sort,
-                        self.device_sort_threads,
-                        &mut self.device[..b.len],
-                    ),
+                    Mode::Device => {
+                        Self::device_sort(
+                            self.plan.config.device_sort,
+                            self.device_sort_threads,
+                            &mut self.device[..b.len],
+                        );
+                        let d = self.dev_buf(&b);
+                        acc.push(Access::read(d));
+                        acc.push(Access::write(d));
+                    }
                     Mode::Split => {
                         // GPU sorts device-sized sub-runs; the CPU
                         // merges them — the halved-b_s re-plan.
@@ -294,6 +354,14 @@ where
                             par_multiway_merge_into(self.host_threads, &runs, &mut merged);
                             self.host_batch = merged;
                         }
+                        let d = self.dev_buf(&b);
+                        let hb = self.host_batch_buf(0, b.len);
+                        acc.extend([
+                            Access::read(hb),
+                            Access::write(hb),
+                            Access::read(d),
+                            Access::write(d),
+                        ]);
                     }
                     Mode::CpuFallback => {
                         // Host-side sort straight from A: correct even
@@ -302,6 +370,12 @@ where
                         self.host_batch
                             .extend_from_slice(&self.data[b.start..b.start + b.len]);
                         par_radix_sort(self.host_threads, &mut self.host_batch);
+                        acc.push(Access::read(Buffer::Host {
+                            region: REGION_A,
+                            start: b.start,
+                            len: b.len,
+                        }));
+                        acc.push(Access::write(self.host_batch_buf(0, b.len)));
                     }
                 }
             }
@@ -314,6 +388,8 @@ where
                     match self.dma(FaultSite::DtoH) {
                         Ok(()) => {
                             self.pinned_out[..*len].copy_from_slice(&self.device[off..off + *len]);
+                            acc.push(Access::read(self.dev_buf(&b)));
+                            acc.push(Access::write(self.pin_out_buf()));
                         }
                         Err(attempts) => {
                             if self.policy.cpu_fallback {
@@ -324,6 +400,9 @@ where
                                 self.degrade();
                                 self.pinned_out[..*len]
                                     .copy_from_slice(&self.host_batch[off..off + *len]);
+                                acc.push(Access::read(self.dev_buf(&b)));
+                                acc.push(Access::write(self.host_batch_buf(0, b.len)));
+                                acc.push(Access::write(self.pin_out_buf()));
                             } else {
                                 return Err(HetSortError::TransferFault {
                                     step: si,
@@ -336,18 +415,36 @@ where
                     }
                 } else {
                     self.pinned_out[..*len].copy_from_slice(&self.host_batch[off..off + *len]);
+                    acc.push(Access::read(self.host_batch_buf(off, *len)));
+                    acc.push(Access::write(self.pin_out_buf()));
                 }
             }
             StepKind::StageOut {
                 batch, start, len, ..
             } => {
                 emit(*batch, *start, &self.pinned_out[..*len]);
+                let region = if self.plan.nb() > 1 {
+                    REGION_W
+                } else {
+                    REGION_B
+                };
+                acc.push(Access::read(self.pin_out_buf()));
+                acc.push(Access::write(Buffer::Host {
+                    region,
+                    start: *start,
+                    len: *len,
+                }));
             }
             StepKind::PairMerge { .. } | StepKind::MultiwayMerge { .. } => {
                 return Err(HetSortError::Plan {
                     reason: format!("step {si}: merge steps are not stream-bound"),
                 });
             }
+        }
+        // Log even empty lists: a CpuFallback HtoD performs no accesses,
+        // and that fact must override the static derivation.
+        if self.plan.config.record_trace {
+            self.access_log.push((si, acc));
         }
         Ok(())
     }

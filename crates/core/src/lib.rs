@@ -34,6 +34,7 @@
 
 // Library code must surface failures as typed errors, never panic
 // paths; tests are free to unwrap.
+#![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod accounting;
@@ -43,6 +44,7 @@ pub mod exec_real;
 pub mod exec_real_mt;
 pub mod exec_sim;
 pub(crate) mod exec_stream;
+pub mod optrace;
 pub mod plan;
 pub mod reference;
 pub mod report;

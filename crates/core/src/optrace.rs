@@ -1,0 +1,368 @@
+//! Lowering a [`Plan`] to a structured [`OpTrace`].
+//!
+//! Two producers share this module:
+//!
+//! * [`lower_plan`] emits the *static* trace — what the schedule claims
+//!   it will do, with every step's buffer accesses derived from the
+//!   plan alone. `hetsort analyze` checks this before anything runs.
+//! * [`trace_with_accesses`] emits the *executed* trace — the same
+//!   thread/event structure, but with the accesses each
+//!   [`crate::exec_stream::StreamExec`] actually performed substituted
+//!   in. Recovery re-plans (OOM splits, CPU fallbacks) touch different
+//!   buffers than the static schedule, and this is how those paths get
+//!   re-checked.
+//!
+//! Thread model: one trace thread per stream (`0..total_streams`), plus
+//! a host thread (`total_streams`) for the pair/multiway merges. The
+//! plan's cross-thread dependencies are synthesized as
+//! `EventRecord`/`StreamWaitEvent` pairs — the event id is the producer
+//! step's index — so the happens-before checker sees exactly the sync
+//! edges the executors rely on (stream FIFO order plus the explicit
+//! dependencies), and a mutation that drops one produces a reportable
+//! race instead of a silently-wrong schedule.
+//!
+//! Buffer identity:
+//!
+//! * `Host` regions: [`REGION_A`] (input), [`REGION_W`] (sorted-sublist
+//!   working memory), [`REGION_B`] (output), [`region_host_batch`] (a
+//!   stream's Split/CpuFallback staging), [`region_pair`] (a pair-merge
+//!   output). Host accesses carry element ranges, so only true overlaps
+//!   conflict.
+//! * `Dev { gpu, id }`: `id` is the owning stream — each stream keeps
+//!   one resident batch buffer, as the executors do.
+//! * `Pinned { id }`: `2·s` (inbound) / `2·s + 1` (outbound) for stream
+//!   `s`; blocking plans reuse the inbound id for both directions, as
+//!   the executors reuse the buffer.
+
+use hetsort_sim::{Access, Buffer, OpTrace, TraceKind};
+
+use crate::plan::{MergeInput, MergeSrc, Plan, StepKind};
+
+/// Host region id of the input list `A`.
+pub const REGION_A: usize = 0;
+/// Host region id of the working memory `W` (sorted sublists).
+pub const REGION_W: usize = 1;
+/// Host region id of the output list `B`.
+pub const REGION_B: usize = 2;
+
+/// Host region id of stream `s`'s batch staging buffer (used by the
+/// Split and CpuFallback recovery modes).
+pub fn region_host_batch(stream: usize) -> usize {
+    3 + stream
+}
+
+/// Host region id of pair-merge slot `slot`'s output buffer.
+pub fn region_pair(total_streams: usize, slot: usize) -> usize {
+    3 + total_streams + slot
+}
+
+/// Pinned-buffer id of stream `s`'s inbound staging buffer.
+pub fn pinned_in_id(stream: usize) -> usize {
+    2 * stream
+}
+
+/// Pinned-buffer id of stream `s`'s outbound staging buffer. Blocking
+/// plans allocate one buffer and reuse it both ways.
+pub fn pinned_out_id(asynchronous: bool, stream: usize) -> usize {
+    if asynchronous {
+        2 * stream + 1
+    } else {
+        2 * stream
+    }
+}
+
+/// The trace thread merges run on.
+pub fn host_thread(plan: &Plan) -> usize {
+    plan.total_streams
+}
+
+/// The device buffer a stream's batches live in.
+fn dev_buf(plan: &Plan, batch: usize) -> Buffer {
+    let b = &plan.batches[batch];
+    Buffer::Dev {
+        gpu: b.gpu,
+        id: b.stream,
+    }
+}
+
+/// One merge source as a read access.
+fn src_read(plan: &Plan, src: MergeSrc) -> Access {
+    match src {
+        MergeSrc::Batch(b) => {
+            let bi = &plan.batches[b];
+            Access::read(Buffer::Host {
+                region: REGION_W,
+                start: bi.start,
+                len: bi.len,
+            })
+        }
+        MergeSrc::Merged(p) => Access::read(Buffer::Host {
+            region: region_pair(plan.total_streams, p),
+            start: 0,
+            len: plan.pairs[p].out_elems,
+        }),
+    }
+}
+
+/// The buffer accesses step `si` performs on the fault-free GPU path.
+pub fn static_step_accesses(plan: &Plan, si: usize) -> Vec<Access> {
+    let stream = plan.steps[si].stream.unwrap_or(0);
+    let pin_in = Buffer::Pinned {
+        id: pinned_in_id(stream),
+    };
+    let pin_out = Buffer::Pinned {
+        id: pinned_out_id(plan.asynchronous, stream),
+    };
+    // Single-batch plans stage straight into B; multi-batch into W.
+    let out_region = if plan.nb() > 1 { REGION_W } else { REGION_B };
+    match &plan.steps[si].kind {
+        StepKind::PinnedAlloc { .. } => Vec::new(),
+        StepKind::StageIn { start, len, .. } => vec![
+            Access::read(Buffer::Host {
+                region: REGION_A,
+                start: *start,
+                len: *len,
+            }),
+            Access::write(pin_in),
+        ],
+        StepKind::HtoD { batch, .. } => {
+            vec![Access::read(pin_in), Access::write(dev_buf(plan, *batch))]
+        }
+        StepKind::GpuSort { batch } => {
+            let d = dev_buf(plan, *batch);
+            vec![Access::read(d), Access::write(d)]
+        }
+        StepKind::DtoH { batch, .. } => {
+            vec![Access::read(dev_buf(plan, *batch)), Access::write(pin_out)]
+        }
+        StepKind::StageOut { start, len, .. } => vec![
+            Access::read(pin_out),
+            Access::write(Buffer::Host {
+                region: out_region,
+                start: *start,
+                len: *len,
+            }),
+        ],
+        StepKind::PairMerge { slot } => {
+            let spec = plan.pairs[*slot];
+            vec![
+                src_read(plan, spec.left),
+                src_read(plan, spec.right),
+                Access::write(Buffer::Host {
+                    region: region_pair(plan.total_streams, *slot),
+                    start: 0,
+                    len: spec.out_elems,
+                }),
+            ]
+        }
+        StepKind::MultiwayMerge { inputs } => {
+            let mut acc: Vec<Access> = inputs
+                .iter()
+                .map(|inp| {
+                    src_read(
+                        plan,
+                        match *inp {
+                            MergeInput::Batch(b) => MergeSrc::Batch(b),
+                            MergeInput::Pair(p) => MergeSrc::Merged(p),
+                        },
+                    )
+                })
+                .collect();
+            acc.push(Access::write(Buffer::Host {
+                region: REGION_B,
+                start: 0,
+                len: plan.n,
+            }));
+            acc
+        }
+    }
+}
+
+/// A short label for step `si` (`HtoD b2.c1 (step 17)`).
+pub fn step_label(plan: &Plan, si: usize) -> String {
+    match &plan.steps[si].kind {
+        StepKind::PinnedAlloc { stream, dir_in, .. } => {
+            let way = if *dir_in { "in" } else { "out" };
+            format!("PinnedAlloc {way} s{stream} (step {si})")
+        }
+        StepKind::StageIn { batch, chunk, .. } => format!("StageIn b{batch}.c{chunk} (step {si})"),
+        StepKind::HtoD { batch, chunk, .. } => format!("HtoD b{batch}.c{chunk} (step {si})"),
+        StepKind::GpuSort { batch } => format!("GpuSort b{batch} (step {si})"),
+        StepKind::DtoH { batch, chunk, .. } => format!("DtoH b{batch}.c{chunk} (step {si})"),
+        StepKind::StageOut { batch, chunk, .. } => {
+            format!("StageOut b{batch}.c{chunk} (step {si})")
+        }
+        StepKind::PairMerge { slot } => format!("PairMerge slot {slot} (step {si})"),
+        StepKind::MultiwayMerge { inputs } => {
+            format!("MultiwayMerge k={} (step {si})", inputs.len())
+        }
+    }
+}
+
+/// Lower the plan to its static trace (fault-free accesses).
+pub fn lower_plan(plan: &Plan) -> OpTrace {
+    trace_with_accesses(plan, &[])
+}
+
+/// Lower the plan, substituting executed accesses where provided.
+///
+/// `overrides[si] = Some(accesses)` replaces the static access list of
+/// step `si` (data-touching steps only); `None` or a short vector keeps
+/// the static derivation.
+pub fn trace_with_accesses(plan: &Plan, overrides: &[Option<Vec<Access>>]) -> OpTrace {
+    let host = host_thread(plan);
+    let thread_of = |si: usize| plan.steps[si].stream.unwrap_or(host);
+    // Steps with a cross-thread consumer record an event right after
+    // completing; consumers wait on it right before starting.
+    let mut needs_event = vec![false; plan.steps.len()];
+    for (i, step) in plan.steps.iter().enumerate() {
+        for &d in &step.deps {
+            if thread_of(d) != thread_of(i) {
+                needs_event[d] = true;
+            }
+        }
+    }
+
+    let mut trace = OpTrace::new(host + 1);
+    let mut dev_alloced = vec![false; plan.total_streams];
+    let dev_bytes = plan.config.device_sort.mem_factor()
+        * plan.config.elem_bytes
+        * plan.config.batch_elems as f64;
+    for (si, step) in plan.steps.iter().enumerate() {
+        let th = thread_of(si);
+        for &d in &step.deps {
+            if thread_of(d) != th {
+                trace.push(
+                    th,
+                    format!("wait on {} (step {si})", step_label(plan, d)),
+                    TraceKind::StreamWaitEvent { event: d },
+                );
+            }
+        }
+        match &step.kind {
+            StepKind::PinnedAlloc {
+                stream,
+                bytes,
+                dir_in,
+            } => {
+                let id = if *dir_in {
+                    pinned_in_id(*stream)
+                } else {
+                    pinned_out_id(plan.asynchronous, *stream)
+                };
+                trace.push(
+                    th,
+                    step_label(plan, si),
+                    TraceKind::Alloc {
+                        buf: Buffer::Pinned { id },
+                        bytes: *bytes,
+                    },
+                );
+            }
+            kind => {
+                // Each stream's device buffer materializes at its first
+                // device-touching step (the cudaMalloc stand-in).
+                if let StepKind::HtoD { batch, .. } = kind {
+                    let b = &plan.batches[*batch];
+                    if !dev_alloced[b.stream] {
+                        dev_alloced[b.stream] = true;
+                        trace.push(
+                            th,
+                            format!("DevAlloc s{} (step {si})", b.stream),
+                            TraceKind::Alloc {
+                                buf: dev_buf(plan, *batch),
+                                bytes: dev_bytes,
+                            },
+                        );
+                    }
+                }
+                let accesses = overrides
+                    .get(si)
+                    .and_then(|o| o.clone())
+                    .unwrap_or_else(|| static_step_accesses(plan, si));
+                trace.push(th, step_label(plan, si), TraceKind::Op { accesses });
+            }
+        }
+        if needs_event[si] {
+            trace.push(
+                th,
+                format!("record ev{si} ({})", step_label(plan, si)),
+                TraceKind::EventRecord { event: si },
+            );
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Approach, HetSortConfig};
+    use hetsort_vgpu::platform1;
+
+    fn plan(approach: Approach, n: usize) -> Plan {
+        let cfg = HetSortConfig::paper_defaults(platform1(), approach)
+            .with_batch_elems(1000)
+            .with_pinned_elems(300);
+        Plan::build(cfg, n).unwrap()
+    }
+
+    #[test]
+    fn lowering_covers_every_step() {
+        let p = plan(Approach::PipeMerge, 6000);
+        let tr = lower_plan(&p);
+        let ops = tr
+            .records
+            .iter()
+            .filter(|r| matches!(r.kind, TraceKind::Op { .. }))
+            .count();
+        let allocs = p
+            .steps
+            .iter()
+            .filter(|s| matches!(s.kind, StepKind::PinnedAlloc { .. }))
+            .count();
+        assert_eq!(ops, p.steps.len() - allocs);
+        assert_eq!(tr.n_threads, p.total_streams + 1);
+    }
+
+    #[test]
+    fn cross_thread_deps_become_event_edges() {
+        let p = plan(Approach::PipeMerge, 6000);
+        let tr = lower_plan(&p);
+        let recs = tr
+            .records
+            .iter()
+            .filter(|r| matches!(r.kind, TraceKind::EventRecord { .. }))
+            .count();
+        let waits = tr
+            .records
+            .iter()
+            .filter(|r| matches!(r.kind, TraceKind::StreamWaitEvent { .. }))
+            .count();
+        assert!(recs > 0, "merges consume cross-thread results");
+        assert!(waits >= recs, "every recorded event has a waiter");
+        // Every wait names a recorded event, and the record precedes it.
+        for (i, r) in tr.records.iter().enumerate() {
+            if let TraceKind::StreamWaitEvent { event } = r.kind {
+                let rec_pos = tr.records.iter().position(
+                    |x| matches!(x.kind, TraceKind::EventRecord { event: e } if e == event),
+                );
+                assert!(rec_pos.is_some_and(|p| p < i), "wait at {i} before record");
+            }
+        }
+    }
+
+    #[test]
+    fn bline_stages_straight_into_b() {
+        let p = plan(Approach::BLine, 1000);
+        let tr = lower_plan(&p);
+        assert!(tr.records.iter().any(|r| match &r.kind {
+            TraceKind::Op { accesses } => accesses.iter().any(|a| {
+                a.write && matches!(a.buf, Buffer::Host { region, .. } if region == REGION_B)
+            }),
+            _ => false,
+        }));
+        // Blocking plans reuse one pinned buffer both ways.
+        assert_eq!(pinned_out_id(p.asynchronous, 0), pinned_in_id(0));
+    }
+}

@@ -13,6 +13,9 @@
 //! way the paper builds them from measurements), and [`fit`] provides
 //! the least-squares affine fitting used to extract slopes.
 
+// No unsafe anywhere in this crate — enforced, not assumed.
+#![forbid(unsafe_code)]
+
 pub mod efficiency;
 pub mod fit;
 pub mod lower_bound;

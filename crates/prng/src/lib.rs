@@ -12,6 +12,9 @@
 //! * [`bench`] — a wall-clock bench timer for `harness = false`
 //!   benchmarks.
 
+// No unsafe anywhere in this crate — enforced, not assumed.
+#![forbid(unsafe_code)]
+
 /// SplitMix64 pseudo-random generator.
 ///
 /// Every draw advances the state by a fixed odd constant and hashes it,

@@ -29,10 +29,16 @@
 //! in `hetsort-vgpu` and `hetsort-core`, which compile their pipelines
 //! down to [`OpSpec`] DAGs.
 
+// Library code must surface failures as typed errors, never panic
+// paths; tests are free to unwrap. No unsafe anywhere in this crate.
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod engine;
 pub mod error;
 pub mod fairshare;
 pub mod op;
+pub mod optrace;
 pub mod resource;
 pub mod trace;
 
@@ -40,6 +46,7 @@ pub use engine::SimBuilder;
 pub use error::SimError;
 pub use fairshare::{max_min_rates, Flow};
 pub use op::{Op, OpId, OpSpec, OpTag};
+pub use optrace::{Access, Buffer, OpTrace, TraceKind, TraceRecord};
 pub use resource::{FluidId, LaneId, QueueId, TokenId};
 pub use trace::{Span, Timeline};
 

@@ -19,10 +19,16 @@
 //!
 //! After [`VirtualCuda::run`], event pairs resolve to elapsed seconds,
 //! like `cudaEventElapsedTime`.
+//!
+//! Every call is additionally recorded into a structured
+//! [`OpTrace`] — each op tagged with the [`DevPtr`]/[`PinnedPtr`] it
+//! touches and the stream it ran in — so `hetsort-analyze` can replay
+//! the schedule's happens-before order and prove (or refute) that no
+//! two conflicting accesses were left unordered.
 
 use std::sync::Arc;
 
-use hetsort_sim::{OpId, QueueId, SimError, Timeline};
+use hetsort_sim::{Access, Buffer, OpId, OpTrace, QueueId, SimError, Timeline, TraceKind};
 
 use crate::error::CudaError;
 use crate::fault::{FaultInjector, FaultSite};
@@ -74,6 +80,7 @@ pub struct VirtualCuda {
     events: Vec<OpId>,
     all_ops: Vec<OpId>,
     faults: Option<Arc<FaultInjector>>,
+    trace: OpTrace,
 }
 
 impl VirtualCuda {
@@ -93,7 +100,15 @@ impl VirtualCuda {
             events: Vec::new(),
             all_ops: Vec::new(),
             faults: None,
+            trace: OpTrace::new(1),
         }
+    }
+
+    /// The structured op trace recorded so far (submission order; one
+    /// trace thread per stream). Feed it to `hetsort-analyze`'s
+    /// happens-before race detector.
+    pub fn trace(&self) -> &OpTrace {
+        &self.trace
     }
 
     /// Attach a fault schedule: `cudaMalloc` and `cudaMemcpyAsync`
@@ -138,21 +153,44 @@ impl VirtualCuda {
             }
         }
         self.m.device_alloc(self.current_device, bytes)?;
+        let id = self.dev_allocs.len();
         self.dev_allocs.push((self.current_device, bytes, true));
-        Ok(DevPtr {
-            gpu: self.current_device,
-            id: self.dev_allocs.len() - 1,
-        })
+        let gpu = self.current_device;
+        self.trace.push(
+            0,
+            format!("cudaMalloc dev{gpu}#{id}"),
+            TraceKind::Alloc {
+                buf: Buffer::Dev { gpu, id },
+                bytes,
+            },
+        );
+        Ok(DevPtr { gpu, id })
     }
 
-    /// `cudaFree`.
+    /// `cudaFree`. Like the real call, synchronizes the device before
+    /// releasing — the trace records that implicit join.
     pub fn free(&mut self, ptr: DevPtr) {
-        if let Some(a) = self.dev_allocs.get_mut(ptr.id) {
-            if a.2 {
-                self.m.device_free(a.0, a.1);
-                a.2 = false;
-            }
+        let Some(&(gpu, bytes, live)) = self.dev_allocs.get(ptr.id) else {
+            return;
+        };
+        if !live {
+            return;
         }
+        self.m.device_free(gpu, bytes);
+        self.dev_allocs[ptr.id].2 = false;
+        let id = ptr.id;
+        self.trace.push(
+            0,
+            format!("cudaFree dev{gpu}#{id} (implicit sync)"),
+            TraceKind::DeviceSync,
+        );
+        self.trace.push(
+            0,
+            format!("cudaFree dev{gpu}#{id}"),
+            TraceKind::Free {
+                buf: Buffer::Dev { gpu, id },
+            },
+        );
     }
 
     /// `cudaMallocHost`: pinned allocation with the paper's affine cost;
@@ -162,15 +200,27 @@ impl VirtualCuda {
         let deps = self.join_deps(CudaStream::DEFAULT);
         let op = self.m.pinned_alloc(bytes, &deps, None);
         self.note(CudaStream::DEFAULT, op);
-        PinnedPtr {
-            id: self.all_ops.len(),
-            alloc_op: op,
-        }
+        let id = self.all_ops.len();
+        self.trace.push(
+            0,
+            format!("cudaMallocHost pin#{id}"),
+            TraceKind::Alloc {
+                buf: Buffer::Pinned { id },
+                bytes,
+            },
+        );
+        PinnedPtr { id, alloc_op: op }
     }
 
     /// Blocking `cudaMemcpy` (pageable path when `pinned` is `None`):
     /// joins on *everything* issued so far, legacy-default-stream style.
-    pub fn memcpy(&mut self, dir: TransferDir, bytes: f64, pinned: Option<PinnedPtr>) -> OpId {
+    pub fn memcpy(
+        &mut self,
+        dir: TransferDir,
+        bytes: f64,
+        dev: DevPtr,
+        pinned: Option<PinnedPtr>,
+    ) -> OpId {
         let mut deps = self.all_ops.clone();
         if let Some(p) = pinned {
             deps.push(p.alloc_op);
@@ -187,6 +237,17 @@ impl VirtualCuda {
             0,
         );
         self.note(CudaStream::DEFAULT, op);
+        self.trace.push(
+            0,
+            format!("cudaMemcpy {dir:?} (blocking join)"),
+            TraceKind::DeviceSync,
+        );
+        let accesses = xfer_accesses(dir, dev, pinned);
+        self.trace.push(
+            0,
+            format!("cudaMemcpy {dir:?} {}", dev_short(dev)),
+            TraceKind::Op { accesses },
+        );
         op
     }
 
@@ -195,6 +256,7 @@ impl VirtualCuda {
         &mut self,
         dir: TransferDir,
         bytes: f64,
+        dev: DevPtr,
         pinned: PinnedPtr,
         stream: CudaStream,
     ) -> Result<OpId, CudaError> {
@@ -224,6 +286,16 @@ impl VirtualCuda {
             0,
         );
         self.note(stream, op);
+        let accesses = xfer_accesses(dir, dev, Some(pinned));
+        self.trace.push(
+            stream.0,
+            format!(
+                "cudaMemcpyAsync {dir:?} {} pin#{}",
+                dev_short(dev),
+                pinned.id
+            ),
+            TraceKind::Op { accesses },
+        );
         Ok(op)
     }
 
@@ -233,6 +305,7 @@ impl VirtualCuda {
         inbound: bool,
         bytes: f64,
         threads: u32,
+        pinned: PinnedPtr,
         stream: CudaStream,
     ) -> OpId {
         let deps = self.join_deps(stream);
@@ -241,17 +314,40 @@ impl VirtualCuda {
             .m
             .host_memcpy(inbound, bytes, threads, Some(q), &deps, None, 0);
         self.note(stream, op);
+        let (dirword, acc) = if inbound {
+            ("in", Access::write(Buffer::Pinned { id: pinned.id }))
+        } else {
+            ("out", Access::read(Buffer::Pinned { id: pinned.id }))
+        };
+        self.trace.push(
+            stream.0,
+            format!("staging {dirword} pin#{}", pinned.id),
+            TraceKind::Op {
+                accesses: vec![acc],
+            },
+        );
         op
     }
 
     /// `thrust::sort` on the current device, in a stream.
-    pub fn thrust_sort(&mut self, elems: f64, stream: CudaStream) -> OpId {
+    pub fn thrust_sort(&mut self, elems: f64, dev: DevPtr, stream: CudaStream) -> OpId {
         let deps = self.join_deps(stream);
         let q = self.streams[stream.0].queue;
         let op = self
             .m
             .gpu_sort(self.current_device, elems, Some(q), &deps, None, 0);
         self.note(stream, op);
+        let buf = Buffer::Dev {
+            gpu: dev.gpu,
+            id: dev.id,
+        };
+        self.trace.push(
+            stream.0,
+            format!("thrust::sort {}", dev_short(dev)),
+            TraceKind::Op {
+                accesses: vec![Access::read(buf), Access::write(buf)],
+            },
+        );
         op
     }
 
@@ -261,7 +357,13 @@ impl VirtualCuda {
         let op = self.m.barrier(0.0, &deps);
         self.note(stream, op);
         self.events.push(op);
-        CudaEvent(self.events.len() - 1)
+        let ev = self.events.len() - 1;
+        self.trace.push(
+            stream.0,
+            format!("cudaEventRecord ev{ev}"),
+            TraceKind::EventRecord { event: ev },
+        );
+        CudaEvent(ev)
     }
 
     /// `cudaStreamWaitEvent`: the stream's *next* submission waits for
@@ -269,6 +371,11 @@ impl VirtualCuda {
     pub fn stream_wait_event(&mut self, stream: CudaStream, event: CudaEvent) {
         let op = self.events[event.0];
         self.streams[stream.0].pending_waits.push(op);
+        self.trace.push(
+            stream.0,
+            format!("cudaStreamWaitEvent ev{}", event.0),
+            TraceKind::StreamWaitEvent { event: event.0 },
+        );
     }
 
     /// `cudaDeviceSynchronize`: joins every op issued so far; returns
@@ -277,16 +384,20 @@ impl VirtualCuda {
         let deps = self.all_ops.clone();
         let op = self.m.barrier(0.0, &deps);
         self.note(CudaStream::DEFAULT, op);
+        self.trace
+            .push(0, "cudaDeviceSynchronize", TraceKind::DeviceSync);
         op
     }
 
     /// Finish: run the simulation.
     pub fn run(self) -> Result<CudaRun, SimError> {
         let events = self.events;
+        let trace = self.trace;
         let tl = self.m.run()?;
         Ok(CudaRun {
             timeline: tl,
             events,
+            trace,
         })
     }
 
@@ -305,11 +416,40 @@ impl VirtualCuda {
     }
 }
 
+fn dev_short(dev: DevPtr) -> String {
+    format!("dev{}#{}", dev.gpu, dev.id)
+}
+
+fn xfer_accesses(dir: TransferDir, dev: DevPtr, pinned: Option<PinnedPtr>) -> Vec<Access> {
+    let dbuf = Buffer::Dev {
+        gpu: dev.gpu,
+        id: dev.id,
+    };
+    let pbuf = pinned.map(|p| Buffer::Pinned { id: p.id });
+    let mut v = Vec::new();
+    match dir {
+        TransferDir::HtoD => {
+            if let Some(p) = pbuf {
+                v.push(Access::read(p));
+            }
+            v.push(Access::write(dbuf));
+        }
+        TransferDir::DtoH => {
+            v.push(Access::read(dbuf));
+            if let Some(p) = pbuf {
+                v.push(Access::write(p));
+            }
+        }
+    }
+    v
+}
+
 /// A finished virtual-CUDA run.
 pub struct CudaRun {
     /// The full timeline (Gantt, utilization, spans).
     pub timeline: Timeline,
     events: Vec<OpId>,
+    trace: OpTrace,
 }
 
 impl CudaRun {
@@ -328,6 +468,11 @@ impl CudaRun {
     pub fn total(&self) -> f64 {
         self.timeline.makespan()
     }
+
+    /// The structured op trace of the run (for `hetsort-analyze`).
+    pub fn trace(&self) -> &OpTrace {
+        &self.trace
+    }
 }
 
 #[cfg(test)]
@@ -338,8 +483,8 @@ mod tests {
     #[test]
     fn blocking_memcpy_runs_at_pageable_rate() {
         let mut cu = VirtualCuda::new(platform1());
-        let _d = cu.malloc(6e9).unwrap();
-        let op = cu.memcpy(TransferDir::HtoD, 6e9, None);
+        let d = cu.malloc(6e9).unwrap();
+        let op = cu.memcpy(TransferDir::HtoD, 6e9, d, None);
         let run = cu.run().unwrap();
         assert!((run.finished_at(op) - 1.0).abs() < 1e-6); // 6 GB @ 6 GB/s
     }
@@ -349,15 +494,17 @@ mod tests {
         // PLATFORM2: uncapped duplex, so opposite directions run at
         // full rate concurrently.
         let mut cu = VirtualCuda::new(platform2());
+        let da = cu.malloc(1.2e9).unwrap();
+        let db = cu.malloc(1.2e9).unwrap();
         let pin_a = cu.malloc_host(8e6);
         let pin_b = cu.malloc_host(8e6);
         let s1 = cu.stream_create();
         let s2 = cu.stream_create();
         let a = cu
-            .memcpy_async(TransferDir::HtoD, 1.2e9, pin_a, s1)
+            .memcpy_async(TransferDir::HtoD, 1.2e9, da, pin_a, s1)
             .unwrap();
         let b = cu
-            .memcpy_async(TransferDir::DtoH, 1.2e9, pin_b, s2)
+            .memcpy_async(TransferDir::DtoH, 1.2e9, db, pin_b, s2)
             .unwrap();
         let run = cu.run().unwrap();
         // Full duplex: both take 0.1 s and overlap (after the two
@@ -378,12 +525,14 @@ mod tests {
     #[test]
     fn stream_wait_event_creates_cross_stream_edge() {
         let mut cu = VirtualCuda::new(platform1());
+        let d1 = cu.malloc(1e9).unwrap();
+        let d2 = cu.malloc(1e9).unwrap();
         let s1 = cu.stream_create();
         let s2 = cu.stream_create();
-        let sort1 = cu.thrust_sort(1.9e9, s1); // 1 s on GP100
+        let sort1 = cu.thrust_sort(1.9e9, d1, s1); // 1 s on GP100
         let ev = cu.event_record(s1);
         cu.stream_wait_event(s2, ev);
-        let sort2 = cu.thrust_sort(1.9e9, s2);
+        let sort2 = cu.thrust_sort(1.9e9, d2, s2);
         let run = cu.run().unwrap();
         assert!(
             run.timeline.span(sort2).t_start >= run.timeline.span(sort1).t_end - 1e-9,
@@ -394,9 +543,10 @@ mod tests {
     #[test]
     fn events_measure_elapsed_time() {
         let mut cu = VirtualCuda::new(platform1());
+        let d = cu.malloc(1e9).unwrap();
         let s = cu.stream_create();
         let e0 = cu.event_record(s);
-        cu.thrust_sort(1.9e9, s); // exactly ~1 s of sort work
+        cu.thrust_sort(1.9e9, d, s); // exactly ~1 s of sort work
         let e1 = cu.event_record(s);
         let run = cu.run().unwrap();
         let dt = run.elapsed(e0, e1);
@@ -408,9 +558,11 @@ mod tests {
         let mut cu = VirtualCuda::new(platform2());
         let s1 = cu.stream_create();
         let s2 = cu.stream_create();
-        cu.thrust_sort(4.03e8, s1); // 1 s on K40m #0
+        let d1 = cu.malloc(1e9).unwrap();
+        cu.thrust_sort(4.03e8, d1, s1); // 1 s on K40m #0
         cu.set_device(1).unwrap();
-        cu.thrust_sort(4.03e8, s2); // 1 s on K40m #1, concurrent
+        let d2 = cu.malloc(1e9).unwrap();
+        cu.thrust_sort(4.03e8, d2, s2); // 1 s on K40m #1, concurrent
         let sync = cu.device_synchronize();
         let run = cu.run().unwrap();
         assert!(
@@ -458,21 +610,21 @@ mod tests {
                 .fail_dtoh(1),
         );
         let mut cu = VirtualCuda::new(platform1()).with_faults(Arc::clone(&inj));
-        assert!(cu.malloc(1e9).is_ok());
+        let d = cu.malloc(1e9).unwrap();
         assert!(matches!(cu.malloc(1e9), Err(CudaError::DeviceOom { .. })));
         assert!(cu.malloc(1e9).is_ok(), "only the 2nd alloc is armed");
         let pin = cu.malloc_host(8e6);
         let s = cu.stream_create();
-        assert!(cu.memcpy_async(TransferDir::HtoD, 8e6, pin, s).is_ok());
+        assert!(cu.memcpy_async(TransferDir::HtoD, 8e6, d, pin, s).is_ok());
         assert!(matches!(
-            cu.memcpy_async(TransferDir::HtoD, 8e6, pin, s),
+            cu.memcpy_async(TransferDir::HtoD, 8e6, d, pin, s),
             Err(CudaError::InjectedTransferFault {
                 dir: TransferDir::HtoD,
                 occurrence: 2,
             })
         ));
         assert!(matches!(
-            cu.memcpy_async(TransferDir::DtoH, 8e6, pin, s),
+            cu.memcpy_async(TransferDir::DtoH, 8e6, d, pin, s),
             Err(CudaError::InjectedTransferFault {
                 dir: TransferDir::DtoH,
                 occurrence: 1,
@@ -484,6 +636,54 @@ mod tests {
     }
 
     #[test]
+    fn trace_records_tagged_ops_and_sync_edges() {
+        let mut cu = VirtualCuda::new(platform1());
+        let d = cu.malloc(1e9).unwrap();
+        let s1 = cu.stream_create();
+        let s2 = cu.stream_create();
+        let pin = cu.malloc_host(8e6);
+        cu.memcpy_async(TransferDir::HtoD, 8e6, d, pin, s1).unwrap();
+        let ev = cu.event_record(s1);
+        cu.stream_wait_event(s2, ev);
+        cu.thrust_sort(1e6, d, s2);
+        cu.device_synchronize();
+        let tr = cu.trace().clone();
+        assert_eq!(tr.n_threads, 3, "default + two streams");
+        let kinds: Vec<&TraceKind> = tr.records.iter().map(|r| &r.kind).collect();
+        assert!(matches!(
+            kinds[0],
+            TraceKind::Alloc {
+                buf: Buffer::Dev { gpu: 0, id: 0 },
+                ..
+            }
+        ));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, TraceKind::EventRecord { event: 0 })));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, TraceKind::StreamWaitEvent { event: 0 })));
+        assert!(matches!(kinds.last().unwrap(), TraceKind::DeviceSync));
+        // The HtoD op is on thread s1 and touches both buffers.
+        let htod = tr
+            .records
+            .iter()
+            .find(|r| r.label.contains("cudaMemcpyAsync"))
+            .unwrap();
+        assert_eq!(htod.thread, 1);
+        match &htod.kind {
+            TraceKind::Op { accesses } => {
+                assert!(accesses.contains(&Access::read(Buffer::Pinned { id: pin.id })));
+                assert!(accesses.contains(&Access::write(Buffer::Dev { gpu: 0, id: 0 })));
+            }
+            other => panic!("expected Op, got {other:?}"),
+        }
+        // The run hands the trace back unchanged.
+        let run = cu.run().unwrap();
+        assert_eq!(run.trace(), &tr);
+    }
+
+    #[test]
     fn bline_written_in_cuda_calls_matches_planner() {
         // The §IV-E BLINE workflow spelled out as CUDA calls must cost
         // the same as the planner's BLine at the same size.
@@ -492,19 +692,19 @@ mod tests {
         let ps_bytes = 8e6;
         let chunks = (bytes / ps_bytes) as usize;
         let mut cu = VirtualCuda::new(platform1());
-        let _dev = cu.malloc(2.0 * bytes).unwrap();
+        let dev = cu.malloc(2.0 * bytes).unwrap();
         let pin = cu.malloc_host(ps_bytes);
         let s = CudaStream::DEFAULT;
         for _ in 0..chunks {
-            cu.host_staging_copy(true, ps_bytes, 1, s);
-            cu.memcpy_async(TransferDir::HtoD, ps_bytes, pin, s)
+            cu.host_staging_copy(true, ps_bytes, 1, pin, s);
+            cu.memcpy_async(TransferDir::HtoD, ps_bytes, dev, pin, s)
                 .unwrap();
         }
-        cu.thrust_sort(n as f64, s);
+        cu.thrust_sort(n as f64, dev, s);
         for _ in 0..chunks {
-            cu.memcpy_async(TransferDir::DtoH, ps_bytes, pin, s)
+            cu.memcpy_async(TransferDir::DtoH, ps_bytes, dev, pin, s)
                 .unwrap();
-            cu.host_staging_copy(false, ps_bytes, 1, s);
+            cu.host_staging_copy(false, ps_bytes, 1, pin, s);
         }
         let sync = cu.device_synchronize();
         let run = cu.run().unwrap();

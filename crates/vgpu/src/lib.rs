@@ -20,6 +20,11 @@
 //! itself reports; see [`calib`] for the provenance of each number and
 //! `DESIGN.md` §6 for the fitting notes.
 
+// Library code must surface failures as typed errors, never panic
+// paths; tests are free to unwrap. No unsafe anywhere in this crate.
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod calib;
 pub mod cuda;
 pub mod error;

@@ -10,6 +10,9 @@
 //!
 //! All generators are deterministic given a seed.
 
+// No unsafe anywhere in this crate — enforced, not assumed.
+#![forbid(unsafe_code)]
+
 pub mod dist;
 pub mod gen;
 

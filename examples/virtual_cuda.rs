@@ -21,7 +21,10 @@ fn main() {
     let ps_bytes = 8e6; // p_s = 1e6 elements
     let chunks = (bytes / ps_bytes) as usize;
 
-    let _dev = cu.malloc(2.0 * 2.0 * bytes).expect("two stream slots");
+    // One device buffer per stream: concurrent streams never touch the
+    // same allocation, so the recorded op trace is race-free.
+    let dev1 = cu.malloc(2.0 * bytes).expect("stream 1 slot");
+    let dev2 = cu.malloc(2.0 * bytes).expect("stream 2 slot");
     let s1 = cu.stream_create();
     let s2 = cu.stream_create();
     let pin1 = cu.malloc_host(ps_bytes);
@@ -29,18 +32,18 @@ fn main() {
 
     let t0 = cu.event_record(CudaStream::DEFAULT);
     let mut sort_events = Vec::new();
-    for (s, pin) in [(s1, pin1), (s2, pin2)] {
+    for (s, dev, pin) in [(s1, dev1, pin1), (s2, dev2, pin2)] {
         for _ in 0..chunks {
-            cu.host_staging_copy(true, ps_bytes, 1, s);
-            cu.memcpy_async(TransferDir::HtoD, ps_bytes, pin, s)
+            cu.host_staging_copy(true, ps_bytes, 1, pin, s);
+            cu.memcpy_async(TransferDir::HtoD, ps_bytes, dev, pin, s)
                 .expect("async copy");
         }
-        cu.thrust_sort(n_batch as f64, s);
+        cu.thrust_sort(n_batch as f64, dev, s);
         sort_events.push(cu.event_record(s));
         for _ in 0..chunks {
-            cu.memcpy_async(TransferDir::DtoH, ps_bytes, pin, s)
+            cu.memcpy_async(TransferDir::DtoH, ps_bytes, dev, pin, s)
                 .expect("async copy");
-            cu.host_staging_copy(false, ps_bytes, 1, s);
+            cu.host_staging_copy(false, ps_bytes, 1, pin, s);
         }
     }
     // The default stream waits for both sorts before "merging".

@@ -1,8 +1,9 @@
 //! The `hetsort` command-line tool: simulate, sort, and visualize
 //! heterogeneous sorting pipelines. See `hetsort help`.
 
+use hetsort::analyze::{analyze_plan, analyze_plan_with_trace, AnalysisReport};
 use hetsort::cli::{parse, CliError, Command, RunArgs, USAGE};
-use hetsort::core::{simulate, sort_real, HetSortError, Plan};
+use hetsort::core::{simulate, Approach, HetSortConfig, HetSortError, PairStrategy, Plan};
 use hetsort::vgpu::{platform1, platform2};
 use hetsort::workloads::{generate, Distribution};
 
@@ -43,6 +44,10 @@ fn run(cmd: Command) -> Result<(), CliError> {
             }
         }
         Command::Simulate(r) => {
+            if r.analyze {
+                let plan = Plan::build(r.config()?, r.n)?;
+                require_clean(&plan, analyze_plan(&plan), "static schedule")?;
+            }
             let report = simulate(r.config()?, r.n)?;
             println!("{}", report.summary());
             println!(
@@ -57,7 +62,22 @@ fn run(cmd: Command) -> Result<(), CliError> {
         }
         Command::Sort(r) => {
             let data = generate(Distribution::Uniform, r.n, r.seed).data;
-            let out = sort_real(r.config()?, &data)?;
+            let mut cfg = r.config()?;
+            if r.analyze {
+                cfg = cfg.with_trace_recording();
+            }
+            let plan = Plan::build(cfg, data.len())?;
+            if r.analyze {
+                require_clean(&plan, analyze_plan(&plan), "static schedule")?;
+            }
+            let out = hetsort::core::exec_real::sort_real_plan(&plan, &data)?;
+            if let Some(trace) = &out.trace {
+                require_clean(
+                    &plan,
+                    analyze_plan_with_trace(&plan, trace),
+                    "executed trace",
+                )?;
+            }
             println!(
                 "sorted {} elements in {:.3} s wall — {} batches, {} pair merges, verified: {}",
                 out.sorted.len(),
@@ -82,7 +102,105 @@ fn run(cmd: Command) -> Result<(), CliError> {
                 "legend: first letter of component (M=MCpy/MultiwayMerge, H=HtoD, D=DtoH, G=GPUSort, P=PinnedAlloc/PairMerge)"
             );
         }
+        Command::Analyze { run, matrix } => {
+            if matrix {
+                analyze_matrix()?;
+            } else {
+                let plan = Plan::build(run.config()?, run.n)?;
+                println!(
+                    "analyzing {} on {}: n={} → {} batches, {} streams, {} steps",
+                    plan.config.approach.name(),
+                    plan.config.platform.name,
+                    plan.n,
+                    plan.nb(),
+                    plan.total_streams,
+                    plan.steps.len()
+                );
+                let report = analyze_plan(&plan);
+                print!("{report}");
+                require_clean(&plan, report, "static schedule")?;
+            }
+        }
     }
+    Ok(())
+}
+
+/// Fail the run (exit 1) when the analyzer found anything.
+fn require_clean(plan: &Plan, report: AnalysisReport, what: &str) -> Result<(), CliError> {
+    if report.is_clean() {
+        return Ok(());
+    }
+    eprint!("{report}");
+    Err(CliError::Run(HetSortError::Plan {
+        reason: format!(
+            "{what} of {} n={} has {} analyzer finding(s)",
+            plan.config.approach.name(),
+            plan.n,
+            report.findings.len()
+        ),
+    }))
+}
+
+/// Analyze every shipped configuration: all approaches × pair
+/// strategies × both platforms, at paper-scale geometry.
+fn analyze_matrix() -> Result<(), CliError> {
+    let mut total = 0usize;
+    let mut dirty = 0usize;
+    for platform in [platform1(), platform2()] {
+        for approach in [
+            Approach::BLine,
+            Approach::BLineMulti,
+            Approach::PipeData,
+            Approach::PipeMerge,
+        ] {
+            let strategies: &[PairStrategy] = if approach == Approach::PipeMerge {
+                &[
+                    PairStrategy::PaperHeuristic,
+                    PairStrategy::Online,
+                    PairStrategy::MergeTree,
+                ]
+            } else {
+                &[PairStrategy::PaperHeuristic]
+            };
+            for &strategy in strategies {
+                let cfg = HetSortConfig::paper_defaults(platform.clone(), approach)
+                    .with_pair_strategy(strategy);
+                // BLine is single-batch by definition; the rest get a
+                // paper-scale multi-batch input.
+                let n = if approach == Approach::BLine {
+                    cfg.batch_elems
+                } else {
+                    2_000_000_000
+                };
+                let plan = Plan::build(cfg, n)?;
+                let report = analyze_plan(&plan);
+                total += 1;
+                let verdict = if report.is_clean() {
+                    "clean".to_string()
+                } else {
+                    dirty += 1;
+                    format!("{} finding(s)", report.findings.len())
+                };
+                println!(
+                    "{:<10} {:<11} {:<15} n={:<12} steps={:<6} {verdict}",
+                    plan.config.platform.name,
+                    approach.name(),
+                    format!("{strategy:?}"),
+                    n,
+                    plan.steps.len()
+                );
+                if !report.is_clean() {
+                    print!("{report}");
+                }
+            }
+        }
+    }
+    if dirty > 0 {
+        return Err(CliError::Run(HetSortError::Plan {
+            reason: format!("{dirty} of {total} shipped configurations have findings"),
+        }));
+    }
+    println!("all {total} shipped configurations analyze clean");
     Ok(())
 }
 

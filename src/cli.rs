@@ -1,8 +1,8 @@
 //! Command-line interface plumbing for the `hetsort` binary.
 //!
 //! Hand-rolled parsing (no extra dependencies): subcommands `simulate`,
-//! `sort`, `platforms`, and `gantt`, with `--key value` options. See
-//! `hetsort --help`.
+//! `sort`, `gantt`, `analyze`, and `platforms`, with `--key value`
+//! options. See `hetsort --help`.
 
 use std::sync::Arc;
 
@@ -51,6 +51,14 @@ pub enum Command {
     Sort(RunArgs),
     /// Render the schedule of a configuration as an ASCII Gantt.
     Gantt(RunArgs),
+    /// Statically verify a schedule (plan lint + happens-before race
+    /// detection) without executing it.
+    Analyze {
+        /// Configuration to analyze.
+        run: RunArgs,
+        /// Analyze the whole shipped config matrix instead of one run.
+        matrix: bool,
+    },
     /// Print the modeled platforms.
     Platforms,
     /// Print usage.
@@ -84,6 +92,9 @@ pub struct RunArgs {
     pub retries: Option<usize>,
     /// Disable CPU-fallback degradation.
     pub no_cpu_fallback: bool,
+    /// Run the schedule analyzer before (and, for `sort`, after)
+    /// executing.
+    pub analyze: bool,
 }
 
 impl Default for RunArgs {
@@ -101,6 +112,7 @@ impl Default for RunArgs {
             faults: None,
             retries: None,
             no_cpu_fallback: false,
+            analyze: false,
         }
     }
 }
@@ -201,13 +213,14 @@ fn parse_inner(args: &[String]) -> Result<Command, String> {
     match sub.as_str() {
         "platforms" => Ok(Command::Platforms),
         "help" | "--help" | "-h" => Ok(Command::Help),
-        "simulate" | "sort" | "gantt" => {
+        "simulate" | "sort" | "gantt" | "analyze" => {
             let mut run = RunArgs::default();
             if sub == "sort" {
                 run.n = 1_000_000;
             } else {
                 run.n = 2_000_000_000;
             }
+            let mut matrix = false;
             let mut it = args[1..].iter();
             while let Some(key) = it.next() {
                 let mut need = |name: &str| -> Result<&String, String> {
@@ -230,12 +243,15 @@ fn parse_inner(args: &[String]) -> Result<Command, String> {
                     "--faults" => run.faults = Some(need("--faults")?.clone()),
                     "--retries" => run.retries = Some(parse_count(need("--retries")?)?),
                     "--no-cpu-fallback" => run.no_cpu_fallback = true,
+                    "--analyze" => run.analyze = true,
+                    "--matrix" if sub == "analyze" => matrix = true,
                     other => return Err(format!("unknown option '{other}'")),
                 }
             }
             Ok(match sub.as_str() {
                 "simulate" => Command::Simulate(run),
                 "sort" => Command::Sort(run),
+                "analyze" => Command::Analyze { run, matrix },
                 _ => Command::Gantt(run),
             })
         }
@@ -254,8 +270,22 @@ USAGE:
   hetsort sort      [-n 1e6] [--seed 42] [--faults SPEC] [--retries K]
                     [--no-cpu-fallback] [... same options]
   hetsort gantt     [-n 2e9] [... same options]
+  hetsort analyze   [--matrix] [... same options]
   hetsort platforms
   hetsort help
+
+ANALYSIS:
+  hetsort analyze    statically verify a schedule before running it:
+                     plan lint (device-memory budget, staging sizes,
+                     merge-tree shape, pair-count heuristic) plus
+                     happens-before race/deadlock detection over the
+                     stream/event schedule
+  --matrix           analyze every shipped configuration (approaches ×
+                     pair strategies × both platforms); exit 1 on any
+                     finding
+  --analyze          (on simulate/sort) run the same verification
+                     before executing; sort additionally re-checks the
+                     executed trace, recovery detours included
 
 FAULT INJECTION (sort only):
   --faults SPEC      deterministic fault schedule, e.g. 'oom:1,htod:3':
@@ -348,6 +378,27 @@ mod tests {
         let mut bad = r.clone();
         bad.faults = Some("gpu:1".into());
         assert!(matches!(bad.config(), Err(CliError::Run(_))));
+    }
+
+    #[test]
+    fn parse_analyze() {
+        let Command::Analyze { run, matrix } =
+            parse(&argv("analyze --matrix -a pipedata")).unwrap()
+        else {
+            panic!()
+        };
+        assert!(matrix);
+        assert_eq!(run.approach, Approach::PipeData);
+        let Command::Analyze { matrix, .. } = parse(&argv("analyze -n 1e6")).unwrap() else {
+            panic!()
+        };
+        assert!(!matrix);
+        // --matrix only exists on analyze; --analyze exists everywhere.
+        assert!(parse(&argv("sort --matrix")).is_err());
+        let Command::Sort(r) = parse(&argv("sort --analyze")).unwrap() else {
+            panic!()
+        };
+        assert!(r.analyze);
     }
 
     #[test]

@@ -14,10 +14,16 @@
 //!   `ParMemCpy`), planner, executors, and overhead accounting.
 //! * [`model`] — lower-bound performance models and calibration.
 //! * [`workloads`] — input dataset generators and validators.
+//! * [`analyze`] — static plan verifier + happens-before race detector
+//!   for stream/event schedules (`hetsort analyze`).
+
+// No unsafe anywhere in this crate — enforced, not assumed.
+#![forbid(unsafe_code)]
 
 pub mod cli;
 
 pub use hetsort_algos as algos;
+pub use hetsort_analyze as analyze;
 pub use hetsort_core as core;
 pub use hetsort_model as model;
 pub use hetsort_sim as sim;
