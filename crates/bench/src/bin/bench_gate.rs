@@ -1,0 +1,115 @@
+//! `bench_gate` — the benchmark regression gate.
+//!
+//! Replays the pinned scenario matrix ([`hetsort_bench::gate`]) through
+//! the deterministic simulator, writes a dated `BENCH_<date>.json` under
+//! `results/`, and compares against the committed `BENCH.json` baseline
+//! with the default tolerance bands. Exit codes: 0 = pass, 1 = gate
+//! failure (regression or missing scenario), 2 = usage/I-O error.
+//!
+//! ```text
+//! bench_gate                       # compare against ./BENCH.json
+//! bench_gate --baseline OTHER.json # compare against another baseline
+//! bench_gate --write-baseline      # (re)freeze BENCH.json from current
+//! bench_gate --out CUR.json        # also write the current doc here
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use hetsort_bench::gate::{civil_date, run_matrix};
+use hetsort_bench::results_dir;
+use hetsort_obs::{compare, BenchDoc, Tolerance};
+
+/// Committed baseline location: `<workspace root>/BENCH.json`.
+fn default_baseline() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH.json")
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("bench_gate: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut write_baseline = false;
+    let mut baseline_path = default_baseline();
+    let mut out_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--write-baseline" => write_baseline = true,
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = PathBuf::from(p),
+                None => fail("--baseline needs a path"),
+            },
+            "--out" => match args.next() {
+                Some(p) => out_path = Some(PathBuf::from(p)),
+                None => fail("--out needs a path"),
+            },
+            "--help" | "-h" => {
+                println!("usage: bench_gate [--write-baseline] [--baseline PATH] [--out PATH]");
+                return;
+            }
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let now = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let date = civil_date(now);
+
+    eprintln!("bench_gate: replaying pinned scenario matrix (simulated)...");
+    let current = match run_matrix(&date) {
+        Ok(doc) => doc,
+        Err(e) => fail(&format!("matrix run failed: {e}")),
+    };
+    for s in &current.scenarios {
+        eprintln!(
+            "  {:<22} n_b={:<4} total {:>9.3} s  literature {:>9.3} s  overlap {:.3}",
+            s.id, s.nb, s.total_s, s.literature_total_s, s.overlap_ratio
+        );
+    }
+
+    // Always archive the dated document under results/.
+    let dated = results_dir().join(format!("BENCH_{date}.json"));
+    if let Err(e) = std::fs::write(&dated, current.to_json()) {
+        fail(&format!("cannot write {}: {e}", dated.display()));
+    }
+    eprintln!("bench_gate: wrote {}", dated.display());
+    if let Some(p) = &out_path {
+        if let Err(e) = std::fs::write(p, current.to_json()) {
+            fail(&format!("cannot write {}: {e}", p.display()));
+        }
+    }
+
+    if write_baseline {
+        if let Err(e) = std::fs::write(&baseline_path, current.to_json()) {
+            fail(&format!("cannot write {}: {e}", baseline_path.display()));
+        }
+        println!("bench_gate: baseline frozen at {}", baseline_path.display());
+        return;
+    }
+
+    let text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => fail(&format!(
+            "cannot read baseline {} ({e}); run with --write-baseline first",
+            baseline_path.display()
+        )),
+    };
+    let baseline = match BenchDoc::parse(&text) {
+        Ok(d) => d,
+        Err(e) => fail(&format!(
+            "baseline {} is not schema-valid: {e}",
+            baseline_path.display()
+        )),
+    };
+
+    let report = compare(&baseline, &current, Tolerance::default());
+    print!("{}", report.summary());
+    if !report.pass() {
+        std::process::exit(1);
+    }
+}

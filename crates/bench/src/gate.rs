@@ -1,0 +1,218 @@
+//! The pinned scenario matrix behind `bench_gate` (the benchmark
+//! regression gate).
+//!
+//! The matrix replays every paper approach on both platforms at fixed
+//! sizes through the *simulated* executor — deterministic, so a result
+//! drifts only when someone changes the cost model, the planner, or the
+//! simulator itself. `bench_gate --write-baseline` freezes the current
+//! numbers into `BENCH.json`; CI replays the matrix and fails when any
+//! scenario exceeds the committed tolerance bands
+//! ([`hetsort_obs::Tolerance`]).
+
+use hetsort_core::exec_sim::simulate_plan;
+use hetsort_core::{Approach, HetSortConfig, HetSortError, Plan};
+use hetsort_obs::{BenchDoc, ScenarioResult};
+use hetsort_vgpu::{platform1, platform2, PlatformSpec};
+
+/// Paper-scale input for the multi-batch scenarios (§IV: 2×10⁹ keys).
+pub const PAPER_N: usize = 2_000_000_000;
+
+/// One pinned gate scenario: a fully determined simulated run.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Stable id, e.g. `"p1/pipedata/n2e9"` — the gate's join key.
+    pub id: String,
+    /// Short platform key (`p1`/`p2`).
+    pub platform_key: &'static str,
+    /// Approach label as the paper spells it (`PIPEDATA`, `PARMEMCPY`...).
+    pub label: &'static str,
+    /// The full run configuration.
+    pub config: HetSortConfig,
+    /// Input size in elements.
+    pub n: usize,
+}
+
+fn scenario(
+    platform_key: &'static str,
+    platform: &PlatformSpec,
+    label: &'static str,
+    approach: Approach,
+    par_memcpy: bool,
+    n: Option<usize>,
+) -> Scenario {
+    let mut config = HetSortConfig::paper_defaults(platform.clone(), approach);
+    if par_memcpy {
+        config = config.with_par_memcpy();
+    }
+    // BLINE is single-batch by definition: its input is one full batch.
+    let n = n.unwrap_or(config.batch_elems);
+    let ntag = if n == PAPER_N {
+        "n2e9".to_string()
+    } else {
+        format!("n{n}")
+    };
+    Scenario {
+        id: format!("{platform_key}/{}/{ntag}", label.to_lowercase()),
+        platform_key,
+        label,
+        config,
+        n,
+    }
+}
+
+/// The pinned matrix: all five approaches on both platforms.
+///
+/// BLINE runs at its single-batch maximum (`n = b_s`, which differs per
+/// platform); everything multi-batch runs at the paper's 2×10⁹.
+pub fn scenario_matrix() -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for (key, platform) in [("p1", platform1()), ("p2", platform2())] {
+        out.push(scenario(
+            key,
+            &platform,
+            "BLINE",
+            Approach::BLine,
+            false,
+            None,
+        ));
+        for (label, approach) in [
+            ("BLINEMULTI", Approach::BLineMulti),
+            ("PIPEDATA", Approach::PipeData),
+            ("PIPEMERGE", Approach::PipeMerge),
+        ] {
+            out.push(scenario(
+                key,
+                &platform,
+                label,
+                approach,
+                false,
+                Some(PAPER_N),
+            ));
+        }
+        // PARMEMCPY = PIPEMERGE + parallel host↔pinned staging copies.
+        out.push(scenario(
+            key,
+            &platform,
+            "PARMEMCPY",
+            Approach::PipeMerge,
+            true,
+            Some(PAPER_N),
+        ));
+    }
+    out
+}
+
+/// Simulate one scenario and fold it into the `BENCH.json` shape.
+pub fn run_scenario(s: &Scenario) -> Result<ScenarioResult, HetSortError> {
+    let plan = Plan::build(s.config.clone(), s.n)?;
+    let report = simulate_plan(&plan)?;
+    let reg = report.metrics();
+    Ok(ScenarioResult {
+        id: s.id.clone(),
+        platform: s.platform_key.to_string(),
+        approach: s.label.to_string(),
+        n: s.n as u64,
+        nb: plan.nb() as u64,
+        total_s: report.total_s,
+        literature_total_s: report.literature_total_s,
+        overlap_ratio: reg.overlap_ratio(),
+        bus_util: reg.bus_util(),
+        components: reg
+            .per_class()
+            .into_iter()
+            .map(|(name, stats)| (name.to_string(), stats.busy_s))
+            .collect(),
+        counters: reg.counters().clone(),
+    })
+}
+
+/// Run the whole matrix into a dated document.
+pub fn run_matrix(generated: &str) -> Result<BenchDoc, HetSortError> {
+    let results = scenario_matrix()
+        .iter()
+        .map(run_scenario)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(BenchDoc::new(generated, results))
+}
+
+/// `YYYY-MM-DD` from a Unix timestamp (civil-from-days, Howard Hinnant's
+/// algorithm) — no date crate in the tree.
+pub fn civil_date(unix_secs: u64) -> String {
+    let days = (unix_secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_ten_pinned_scenarios() {
+        let m = scenario_matrix();
+        assert_eq!(m.len(), 10);
+        // Ids are unique and stable-keyed.
+        let mut ids: Vec<&str> = m.iter().map(|s| s.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 10);
+        assert!(m.iter().any(|s| s.id == "p1/pipedata/n2e9"));
+        assert!(m.iter().any(|s| s.id == "p2/parmemcpy/n2e9"));
+        // BLINE scenarios are single-batch.
+        for s in m.iter().filter(|s| s.label == "BLINE") {
+            assert_eq!(s.config.n_batches(s.n), 1, "{}", s.id);
+        }
+        // PARMEMCPY is PIPEMERGE with parallel staging.
+        for s in m.iter().filter(|s| s.label == "PARMEMCPY") {
+            assert_eq!(s.config.approach, Approach::PipeMerge);
+            assert!(s.config.par_memcpy);
+        }
+    }
+
+    #[test]
+    fn scenario_runs_and_is_schema_valid() {
+        let m = scenario_matrix();
+        let s = m
+            .iter()
+            .find(|s| s.id == "p1/pipemerge/n2e9")
+            .expect("pinned id");
+        let r = run_scenario(s).expect("simulated run");
+        assert!(r.total_s > 0.0);
+        assert!(r.literature_total_s > 0.0 && r.literature_total_s <= r.total_s);
+        assert!((0.0..=1.0).contains(&r.overlap_ratio));
+        assert!((0.0..=1.0).contains(&r.bus_util));
+        assert!(r.components.contains_key("GPUSort"), "{:?}", r.components);
+        assert!(r.nb > 1);
+        // The whole-doc round trip stays schema-valid.
+        let doc = BenchDoc::new("2026-08-05", vec![r]);
+        let parsed = BenchDoc::parse(&doc.to_json()).expect("schema-valid");
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let m = scenario_matrix();
+        let s = &m[0];
+        let a = run_scenario(s).expect("run a");
+        let b = run_scenario(s).expect("run b");
+        assert_eq!(a, b, "same scenario must reproduce bitwise");
+    }
+
+    #[test]
+    fn civil_date_known_values() {
+        assert_eq!(civil_date(0), "1970-01-01");
+        // 2026-08-05 00:00:00 UTC.
+        assert_eq!(civil_date(1_785_888_000), "2026-08-05");
+        // Leap day.
+        assert_eq!(civil_date(951_782_400), "2000-02-29");
+    }
+}

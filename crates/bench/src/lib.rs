@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod gate;
 pub mod output;
 
 pub use output::{results_dir, write_csv};

@@ -24,6 +24,7 @@ use hetsort_algos::keys::{RadixKey, SortOrd};
 use hetsort_algos::merge::par_merge_into;
 use hetsort_algos::multiway::par_multiway_merge_into;
 use hetsort_algos::verify::{fingerprint, is_sorted};
+use hetsort_obs::{MetricsRegistry, ObsSpan, OpClass};
 use hetsort_sim::{Access, OpTrace};
 
 use crate::config::HetSortConfig;
@@ -56,6 +57,10 @@ pub struct RealOutcome<T = f64> {
     /// reroutes show up here, so re-planned schedules get re-checked by
     /// `hetsort-analyze`.
     pub trace: Option<OpTrace>,
+    /// Observability: every executed step as a wall-clock span, plus
+    /// `recovery.*` counters — always recorded (spans cost nanoseconds
+    /// against host-scale steps).
+    pub metrics: MetricsRegistry,
 }
 
 /// Merge per-stream access logs into one executed trace.
@@ -133,10 +138,11 @@ where
     let device_sort_threads = hetsort_algos::par::default_threads();
 
     let mut streams: Vec<StreamExec<T>> = (0..plan.total_streams)
-        .map(|s| StreamExec::new(plan, data, s, host_threads, device_sort_threads))
+        .map(|s| StreamExec::new(plan, data, s, host_threads, device_sort_threads, t0))
         .collect();
 
     let mut pair_merges_done = 0usize;
+    let mut merge_spans: Vec<ObsSpan> = Vec::new();
     for (si, step) in plan.steps.iter().enumerate() {
         match &step.kind {
             StepKind::PairMerge { slot } => {
@@ -151,11 +157,21 @@ where
                     }
                 };
                 let mut out = vec![T::default(); spec.out_elems];
+                let m_start = t0.elapsed().as_secs_f64();
                 par_merge_into(
                     host_threads,
                     resolve(spec.left),
                     resolve(spec.right),
                     &mut out,
+                );
+                merge_spans.push(
+                    ObsSpan::new(
+                        OpClass::PairMerge,
+                        format!("PairMerge p{slot}"),
+                        m_start,
+                        t0.elapsed().as_secs_f64(),
+                    )
+                    .with_bytes(spec.out_elems as f64 * cfg.elem_bytes),
                 );
                 pair_out[*slot] = out;
                 pair_merges_done += 1;
@@ -171,7 +187,17 @@ where
                         MergeInput::Pair(p) => pair_out[p].as_slice(),
                     })
                     .collect();
+                let m_start = t0.elapsed().as_secs_f64();
                 par_multiway_merge_into(host_threads, &lists, &mut b_out);
+                merge_spans.push(
+                    ObsSpan::new(
+                        OpClass::MultiwayMerge,
+                        format!("MultiwayMerge k{}", lists.len()),
+                        m_start,
+                        t0.elapsed().as_secs_f64(),
+                    )
+                    .with_bytes(plan.n as f64 * cfg.elem_bytes),
+                );
             }
             _ => {
                 let s = step.stream.ok_or_else(|| HetSortError::Plan {
@@ -198,6 +224,13 @@ where
         assemble_trace(plan, &logs)
     });
 
+    let mut metrics = MetricsRegistry::new();
+    for sx in &mut streams {
+        metrics.record_all(std::mem::take(&mut sx.span_log));
+    }
+    metrics.record_all(merge_spans);
+    recovery.fold_into(&mut metrics);
+
     let wall_s = t0.elapsed().as_secs_f64();
     let verified = is_sorted(&b_out) && fingerprint(&b_out) == input_fp;
     Ok(RealOutcome {
@@ -208,6 +241,7 @@ where
         pair_merges: pair_merges_done,
         recovery,
         trace,
+        metrics,
     })
 }
 

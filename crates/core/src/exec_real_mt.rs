@@ -33,6 +33,7 @@ use hetsort_algos::merge::par_merge_into;
 use hetsort_algos::multiway::par_multiway_merge_into;
 use hetsort_algos::radix_par::par_radix_sort;
 use hetsort_algos::verify::{fingerprint, is_sorted};
+use hetsort_obs::{MetricsRegistry, ObsSpan, OpClass};
 use hetsort_sim::Access;
 
 use crate::error::HetSortError;
@@ -54,13 +55,16 @@ fn src_slice<'x, T>(
 }
 
 /// Fire every pending pair merge whose inputs are ready, repeatedly
-/// (an Online/MergeTree merge may unlock the next).
+/// (an Online/MergeTree merge may unlock the next). Each fired merge is
+/// recorded as a span on the run clock `t0`.
 fn fire_ready_pairs<T>(
     plan: &Plan,
     merge_threads: usize,
     sorted_batches: &[Option<Vec<T>>],
     pair_out: &mut [Option<Vec<T>>],
     pending: &mut Vec<usize>,
+    t0: std::time::Instant,
+    spans: &mut Vec<ObsSpan>,
 ) where
     T: RadixKey + SortOrd + Default,
 {
@@ -79,7 +83,17 @@ fn fire_ready_pairs<T>(
                 continue;
             };
             let mut out = vec![T::default(); spec.out_elems];
+            let m_start = t0.elapsed().as_secs_f64();
             par_merge_into(merge_threads, l, r, &mut out);
+            spans.push(
+                ObsSpan::new(
+                    OpClass::PairMerge,
+                    format!("PairMerge p{slot}"),
+                    m_start,
+                    t0.elapsed().as_secs_f64(),
+                )
+                .with_bytes(spec.out_elems as f64 * plan.config.elem_bytes),
+            );
             pair_out[slot] = Some(out);
             pending.remove(i);
             fired = true;
@@ -146,6 +160,8 @@ where
     let mut b_out: Vec<T> = Vec::new();
     let mut recovery = RecoveryStats::default();
     let mut stream_logs: Vec<Vec<(usize, Vec<Access>)>> = Vec::new();
+    let mut metrics = MetricsRegistry::new();
+    let mut merge_spans: Vec<ObsSpan> = Vec::new();
 
     std::thread::scope(|scope| -> Result<(), HetSortError> {
         // ---- stream workers ----------------------------------------
@@ -153,10 +169,16 @@ where
         for (worker_id, steps) in per_stream.iter().enumerate() {
             let tx = tx.clone();
             let plan_ref = plan;
-            type WorkerOk = (RecoveryStats, Vec<(usize, Vec<Access>)>);
+            type WorkerOk = (RecoveryStats, Vec<(usize, Vec<Access>)>, Vec<ObsSpan>);
             handles.push(scope.spawn(move || -> Result<WorkerOk, HetSortError> {
-                let mut sx =
-                    StreamExec::new(plan_ref, data, worker_id, merge_threads, device_sort_threads);
+                let mut sx = StreamExec::new(
+                    plan_ref,
+                    data,
+                    worker_id,
+                    merge_threads,
+                    device_sort_threads,
+                    t0,
+                );
                 // The batch currently being assembled in "W".
                 let mut assembling: Option<(usize, Vec<T>)> = None;
                 for &si in steps {
@@ -185,7 +207,7 @@ where
                         }
                     })?;
                 }
-                Ok((sx.stats, sx.access_log))
+                Ok((sx.stats, sx.access_log, sx.span_log))
             }));
         }
         drop(tx);
@@ -205,6 +227,8 @@ where
                 &sorted_batches,
                 &mut pair_out,
                 &mut pending_pairs,
+                t0,
+                &mut merge_spans,
             );
         }
 
@@ -213,11 +237,12 @@ where
         let mut first_panic: Option<HetSortError> = None;
         for (worker, handle) in handles.into_iter().enumerate() {
             match handle.join() {
-                Ok(Ok((stats, log))) => {
+                Ok(Ok((stats, log, spans))) => {
                     recovery.retries += stats.retries;
                     recovery.degraded_batches += stats.degraded_batches;
                     recovery.oom_replans += stats.oom_replans;
                     stream_logs.push(log);
+                    metrics.record_all(spans);
                 }
                 Ok(Err(e)) => {
                     if first_err.is_none() {
@@ -260,6 +285,8 @@ where
                 &sorted_batches,
                 &mut pair_out,
                 &mut pending_pairs,
+                t0,
+                &mut merge_spans,
             );
         }
         if !pending_pairs.is_empty() {
@@ -300,7 +327,17 @@ where
                 })?;
                 lists.push(sl);
             }
+            let m_start = t0.elapsed().as_secs_f64();
             par_multiway_merge_into(merge_threads, &lists, &mut b_out);
+            merge_spans.push(
+                ObsSpan::new(
+                    OpClass::MultiwayMerge,
+                    format!("MultiwayMerge k{}", lists.len()),
+                    m_start,
+                    t0.elapsed().as_secs_f64(),
+                )
+                .with_bytes(plan.n as f64 * plan.config.elem_bytes),
+            );
         }
         Ok(())
     })?;
@@ -311,6 +348,8 @@ where
         .config
         .record_trace
         .then(|| assemble_trace(plan, &stream_logs));
+    metrics.record_all(merge_spans);
+    recovery.fold_into(&mut metrics);
     let wall_s = t0.elapsed().as_secs_f64();
     let verified = is_sorted(&b_out) && fingerprint(&b_out) == input_fp;
     Ok(RealOutcome {
@@ -321,6 +360,7 @@ where
         pair_merges: plan.pairs.len(),
         recovery,
         trace,
+        metrics,
     })
 }
 

@@ -27,9 +27,12 @@
 //! defined over *attempted* operations, which keeps replay
 //! deterministic for a given schedule and policy.
 
+use std::time::Instant;
+
 use hetsort_algos::keys::{RadixKey, SortOrd};
 use hetsort_algos::multiway::par_multiway_merge_into;
 use hetsort_algos::radix_par::par_radix_sort;
+use hetsort_obs::{ObsSpan, OpClass};
 use hetsort_sim::{Access, Buffer};
 use hetsort_vgpu::{FaultInjector, FaultSite, TransferDir};
 
@@ -78,19 +81,27 @@ pub(crate) struct StreamExec<'a, T> {
     /// actually performed, `(step index, accesses)` — the raw material
     /// of [`crate::optrace::trace_with_accesses`].
     pub(crate) access_log: Vec<(usize, Vec<Access>)>,
+    /// Run origin shared by every stream of the run, so span timestamps
+    /// from different worker threads are directly comparable.
+    t0: Instant,
+    /// One observability span per executed step (always on: host-scale
+    /// steps cost milliseconds, a span record costs nanoseconds).
+    pub(crate) span_log: Vec<ObsSpan>,
 }
 
 impl<'a, T> StreamExec<'a, T>
 where
     T: RadixKey + SortOrd + Default,
 {
-    /// Fresh state for stream `stream` of `plan` over `data`.
+    /// Fresh state for stream `stream` of `plan` over `data`. `t0` is
+    /// the run origin every stream of the run shares.
     pub(crate) fn new(
         plan: &'a Plan,
         data: &'a [T],
         stream: usize,
         host_threads: usize,
         device_sort_threads: usize,
+        t0: Instant,
     ) -> Self {
         StreamExec {
             plan,
@@ -108,6 +119,8 @@ where
             host_batch: Vec::new(),
             stats: RecoveryStats::default(),
             access_log: Vec::new(),
+            t0,
+            span_log: Vec::new(),
         }
     }
 
@@ -239,6 +252,7 @@ where
         emit: &mut impl FnMut(usize, usize, &[T]),
     ) -> Result<(), HetSortError> {
         let ps = self.plan.config.pinned_elems;
+        let span_start = self.t0.elapsed().as_secs_f64();
         // Accesses this step actually performs — which differ from the
         // static lowering once recovery reroutes a batch host-side.
         let mut acc: Vec<Access> = Vec::new();
@@ -446,6 +460,44 @@ where
         if self.plan.config.record_trace {
             self.access_log.push((si, acc));
         }
+        let elem_bytes = self.plan.config.elem_bytes;
+        let (class, batch, bytes) = match &self.plan.steps[si].kind {
+            StepKind::PinnedAlloc { .. } => (OpClass::PinnedAlloc, None, ps as f64 * elem_bytes),
+            StepKind::StageIn { batch, len, .. } | StepKind::StageOut { batch, len, .. } => {
+                (OpClass::StagingCopy, Some(*batch), *len as f64 * elem_bytes)
+            }
+            StepKind::HtoD { batch, len, .. } => {
+                (OpClass::HtoD, Some(*batch), *len as f64 * elem_bytes)
+            }
+            StepKind::GpuSort { batch } => (
+                OpClass::GpuSort,
+                Some(*batch),
+                self.plan.batches[*batch].len as f64 * elem_bytes,
+            ),
+            StepKind::DtoH { batch, len, .. } => {
+                (OpClass::DtoH, Some(*batch), *len as f64 * elem_bytes)
+            }
+            // Merge steps errored out above.
+            StepKind::PairMerge { .. } | StepKind::MultiwayMerge { .. } => {
+                (OpClass::Other, None, 0.0)
+            }
+        };
+        let mut span = ObsSpan::new(
+            class,
+            match batch {
+                Some(b) => format!("{} b{b}.s{}", class.name(), self.stream),
+                None => format!("{} s{}", class.name(), self.stream),
+            },
+            span_start,
+            self.t0.elapsed().as_secs_f64(),
+        )
+        .on_stream(self.stream)
+        .with_bytes(bytes);
+        if let Some(b) = batch {
+            span = span.for_batch(b as u64);
+            span.gpu = Some(self.plan.batches[b].gpu);
+        }
+        self.span_log.push(span);
         Ok(())
     }
 }

@@ -12,6 +12,7 @@
 
 use std::collections::BTreeMap;
 
+use hetsort_obs::MetricsRegistry;
 use hetsort_sim::Timeline;
 use hetsort_vgpu::tags;
 
@@ -43,6 +44,15 @@ impl RecoveryStats {
             "faults injected: {}, retries: {}, degraded batches: {}, OOM re-plans: {}",
             self.faults_injected, self.retries, self.degraded_batches, self.oom_replans
         )
+    }
+
+    /// Surface the stats as `recovery.*` counters in a metrics registry,
+    /// so fault-injection runs are observable in every export path.
+    pub fn fold_into(&self, reg: &mut MetricsRegistry) {
+        reg.add_counter("recovery.faults_injected", self.faults_injected as f64);
+        reg.add_counter("recovery.retries", self.retries as f64);
+        reg.add_counter("recovery.degraded_batches", self.degraded_batches as f64);
+        reg.add_counter("recovery.oom_replans", self.oom_replans as f64);
     }
 }
 
@@ -118,6 +128,16 @@ impl TimingReport {
     /// Busy time of one component (0 when absent).
     pub fn component(&self, name: &str) -> f64 {
         self.components.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// The run as a structured metrics registry: every simulator span
+    /// folded into the observability vocabulary, with the embedded
+    /// sync/launch latencies surfaced as counters.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut reg = hetsort_obs::registry_from_timeline(&self.timeline);
+        reg.add_counter("sim.sync_s", self.sync_s);
+        reg.add_counter("sim.launch_s", self.launch_s);
+        reg
     }
 
     /// The overhead the literature omits: full total minus what their

@@ -1,0 +1,476 @@
+//! The stable `BENCH.json` schema and the tolerance-band comparison
+//! behind the `bench_gate` regression gate.
+//!
+//! Schema (version 1):
+//!
+//! ```json
+//! {
+//!   "schema": "hetsort-bench",
+//!   "version": 1,
+//!   "generated": "YYYY-MM-DD",
+//!   "scenarios": [
+//!     {
+//!       "id": "p1/pipedata/n2e9",
+//!       "platform": "p1",
+//!       "approach": "PIPEDATA",
+//!       "n": 2000000000,
+//!       "nb": 16,
+//!       "total_s": 12.34,
+//!       "literature_total_s": 10.1,
+//!       "overlap_ratio": 0.42,
+//!       "bus_util": 0.61,
+//!       "components": {"HtoD": 1.2, "GPUSort": 3.4, ...},
+//!       "counters": {"recovery.retries": 0, ...}
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! The gate compares a current document against a committed baseline:
+//! a scenario regresses when `current > baseline * (1 + rel) + abs`
+//! on `total_s` (and, with a looser band, per component). Missing
+//! scenarios fail the gate; new scenarios are reported but pass.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+
+/// Measured result of one pinned benchmark scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// Stable identifier, e.g. `"p1/pipedata/n2e9"`.
+    pub id: String,
+    /// Platform name (`p1`/`p2`).
+    pub platform: String,
+    /// Approach label (`BLINE`, `PIPEDATA`, `PARMEMCPY`, ...).
+    pub approach: String,
+    /// Elements sorted.
+    pub n: u64,
+    /// Batch count.
+    pub nb: u64,
+    /// Full end-to-end seconds.
+    pub total_s: f64,
+    /// The literature's accounting for the same run.
+    pub literature_total_s: f64,
+    /// Overlap ratio in `[0, 1]`.
+    pub overlap_ratio: f64,
+    /// Bus utilization in `[0, 1]`.
+    pub bus_util: f64,
+    /// Per-component busy seconds, keyed by op-class name.
+    pub components: BTreeMap<String, f64>,
+    /// Named counters (recovery stats etc.).
+    pub counters: BTreeMap<String, f64>,
+}
+
+impl ScenarioResult {
+    fn to_json(&self) -> Json {
+        let comp = Json::Obj(
+            self.components
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::n(*v)))
+                .collect(),
+        );
+        let ctr = Json::Obj(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::n(*v)))
+                .collect(),
+        );
+        Json::obj(vec![
+            ("id", Json::s(self.id.clone())),
+            ("platform", Json::s(self.platform.clone())),
+            ("approach", Json::s(self.approach.clone())),
+            ("n", Json::n(self.n as f64)),
+            ("nb", Json::n(self.nb as f64)),
+            ("total_s", Json::n(self.total_s)),
+            ("literature_total_s", Json::n(self.literature_total_s)),
+            ("overlap_ratio", Json::n(self.overlap_ratio)),
+            ("bus_util", Json::n(self.bus_util)),
+            ("components", comp),
+            ("counters", ctr),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<ScenarioResult, String> {
+        let str_field = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("scenario missing string field {k:?}"))
+        };
+        let num_field = |k: &str| -> Result<f64, String> {
+            v.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("scenario missing numeric field {k:?}"))
+        };
+        let map_field = |k: &str| -> Result<BTreeMap<String, f64>, String> {
+            let obj = v
+                .get(k)
+                .and_then(Json::as_obj)
+                .ok_or_else(|| format!("scenario missing object field {k:?}"))?;
+            obj.iter()
+                .map(|(key, val)| {
+                    val.as_f64()
+                        .map(|f| (key.clone(), f))
+                        .ok_or_else(|| format!("non-numeric value in {k:?}.{key:?}"))
+                })
+                .collect()
+        };
+        let out = ScenarioResult {
+            id: str_field("id")?,
+            platform: str_field("platform")?,
+            approach: str_field("approach")?,
+            n: num_field("n")? as u64,
+            nb: num_field("nb")? as u64,
+            total_s: num_field("total_s")?,
+            literature_total_s: num_field("literature_total_s")?,
+            overlap_ratio: num_field("overlap_ratio")?,
+            bus_util: num_field("bus_util")?,
+            components: map_field("components")?,
+            counters: map_field("counters")?,
+        };
+        if !(0.0..=1.0).contains(&out.overlap_ratio) {
+            return Err(format!("{}: overlap_ratio outside [0,1]", out.id));
+        }
+        if !(0.0..=1.0).contains(&out.bus_util) {
+            return Err(format!("{}: bus_util outside [0,1]", out.id));
+        }
+        Ok(out)
+    }
+}
+
+/// A full `BENCH.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDoc {
+    /// `"YYYY-MM-DD"` generation date.
+    pub generated: String,
+    /// All measured scenarios, in id order.
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+impl BenchDoc {
+    /// Build a document; scenarios are sorted by id for stable output.
+    pub fn new(generated: impl Into<String>, mut scenarios: Vec<ScenarioResult>) -> BenchDoc {
+        scenarios.sort_by(|a, b| a.id.cmp(&b.id));
+        BenchDoc {
+            generated: generated.into(),
+            scenarios,
+        }
+    }
+
+    /// Serialize to pretty JSON (schema v1).
+    pub fn to_json(&self) -> String {
+        Json::obj(vec![
+            ("schema", Json::s("hetsort-bench")),
+            ("version", Json::n(1.0)),
+            ("generated", Json::s(self.generated.clone())),
+            (
+                "scenarios",
+                Json::Arr(self.scenarios.iter().map(ScenarioResult::to_json).collect()),
+            ),
+        ])
+        .pretty()
+    }
+
+    /// Parse and schema-validate a document.
+    pub fn parse(text: &str) -> Result<BenchDoc, String> {
+        let doc = Json::parse(text)?;
+        match doc.get("schema").and_then(Json::as_str) {
+            Some("hetsort-bench") => {}
+            other => return Err(format!("unexpected schema marker {other:?}")),
+        }
+        let version = doc.get("version").and_then(Json::as_f64);
+        if version != Some(1.0) {
+            return Err(format!("unsupported schema version {version:?}"));
+        }
+        let generated = doc
+            .get("generated")
+            .and_then(Json::as_str)
+            .ok_or("missing generated date")?
+            .to_string();
+        let scenarios = doc
+            .get("scenarios")
+            .and_then(Json::as_arr)
+            .ok_or("missing scenarios array")?
+            .iter()
+            .map(ScenarioResult::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        if scenarios.is_empty() {
+            return Err("scenarios array is empty".to_string());
+        }
+        Ok(BenchDoc::new(generated, scenarios))
+    }
+
+    /// Find a scenario by id.
+    pub fn scenario(&self, id: &str) -> Option<&ScenarioResult> {
+        self.scenarios.iter().find(|s| s.id == id)
+    }
+}
+
+/// Tolerance bands for the gate comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Relative band on `total_s` (0.05 = +5 %).
+    pub total_rel: f64,
+    /// Relative band on each component's busy seconds.
+    pub component_rel: f64,
+    /// Absolute floor in seconds — differences below this never fail,
+    /// so sub-millisecond jitter in tiny scenarios cannot flake.
+    pub abs_floor_s: f64,
+}
+
+impl Default for Tolerance {
+    /// The committed defaults: the simulator is deterministic, so these
+    /// bands only absorb deliberate cost-model retuning, not noise.
+    /// 5 % end-to-end / 10 % per-component, 1 ms floor.
+    fn default() -> Self {
+        Tolerance {
+            total_rel: 0.05,
+            component_rel: 0.10,
+            abs_floor_s: 1e-3,
+        }
+    }
+}
+
+/// One gate finding (regression, improvement, or structural issue).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateFinding {
+    /// Scenario id.
+    pub id: String,
+    /// What was compared (`"total_s"`, `"component.HtoD"`, ...).
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// True when this finding fails the gate.
+    pub regression: bool,
+}
+
+/// Outcome of comparing a current document against the baseline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GateReport {
+    /// All findings, regressions first.
+    pub findings: Vec<GateFinding>,
+    /// Scenario ids present in the baseline but missing now.
+    pub missing: Vec<String>,
+    /// Scenario ids present now but not in the baseline.
+    pub new_scenarios: Vec<String>,
+}
+
+impl GateReport {
+    /// True when the gate passes (no regressions, nothing missing).
+    pub fn pass(&self) -> bool {
+        self.missing.is_empty() && self.findings.iter().all(|f| !f.regression)
+    }
+
+    /// Multi-line human-readable report.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for id in &self.missing {
+            out.push_str(&format!("FAIL {id}: scenario missing from current run\n"));
+        }
+        for f in &self.findings {
+            if f.regression {
+                out.push_str(&format!(
+                    "FAIL {} {}: {:.6} s -> {:.6} s (+{:.1} %)\n",
+                    f.id,
+                    f.metric,
+                    f.baseline,
+                    f.current,
+                    (f.current / f.baseline - 1.0) * 100.0
+                ));
+            }
+        }
+        for id in &self.new_scenarios {
+            out.push_str(&format!("note {id}: new scenario (not in baseline)\n"));
+        }
+        if self.pass() {
+            out.push_str("gate: PASS\n");
+        } else {
+            out.push_str("gate: FAIL\n");
+        }
+        out
+    }
+}
+
+fn check(
+    report: &mut GateReport,
+    id: &str,
+    metric: &str,
+    baseline: f64,
+    current: f64,
+    rel: f64,
+    abs_floor: f64,
+) {
+    let limit = baseline * (1.0 + rel) + abs_floor;
+    let regression = current > limit;
+    // Only record interesting findings: regressions always; otherwise
+    // changes beyond the floor, so the report stays readable.
+    if regression || (current - baseline).abs() > abs_floor {
+        report.findings.push(GateFinding {
+            id: id.to_string(),
+            metric: metric.to_string(),
+            baseline,
+            current,
+            regression,
+        });
+    }
+}
+
+/// Compare `current` against `baseline` under `tol`.
+pub fn compare(baseline: &BenchDoc, current: &BenchDoc, tol: Tolerance) -> GateReport {
+    let mut report = GateReport::default();
+    for base in &baseline.scenarios {
+        let Some(cur) = current.scenario(&base.id) else {
+            report.missing.push(base.id.clone());
+            continue;
+        };
+        check(
+            &mut report,
+            &base.id,
+            "total_s",
+            base.total_s,
+            cur.total_s,
+            tol.total_rel,
+            tol.abs_floor_s,
+        );
+        for (name, &base_v) in &base.components {
+            let cur_v = cur.components.get(name).copied().unwrap_or(0.0);
+            check(
+                &mut report,
+                &base.id,
+                &format!("component.{name}"),
+                base_v,
+                cur_v,
+                tol.component_rel,
+                tol.abs_floor_s,
+            );
+        }
+    }
+    for cur in &current.scenarios {
+        if baseline.scenario(&cur.id).is_none() {
+            report.new_scenarios.push(cur.id.clone());
+        }
+    }
+    report.findings.sort_by(|a, b| {
+        b.regression
+            .cmp(&a.regression)
+            .then(a.id.cmp(&b.id))
+            .then(a.metric.cmp(&b.metric))
+    });
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario(id: &str, total: f64) -> ScenarioResult {
+        let mut components = BTreeMap::new();
+        components.insert("HtoD".to_string(), total * 0.3);
+        components.insert("GPUSort".to_string(), total * 0.5);
+        ScenarioResult {
+            id: id.to_string(),
+            platform: "p1".to_string(),
+            approach: "PIPEDATA".to_string(),
+            n: 2_000_000_000,
+            nb: 16,
+            total_s: total,
+            literature_total_s: total * 0.8,
+            overlap_ratio: 0.4,
+            bus_util: 0.6,
+            components,
+            counters: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn doc_round_trips() {
+        let doc = BenchDoc::new("2026-08-05", vec![scenario("b", 2.0), scenario("a", 1.0)]);
+        let text = doc.to_json();
+        let back = BenchDoc::parse(&text).unwrap();
+        assert_eq!(back, doc);
+        // Sorted by id.
+        assert_eq!(back.scenarios[0].id, "a");
+    }
+
+    #[test]
+    fn parse_rejects_bad_docs() {
+        assert!(BenchDoc::parse("{}").is_err());
+        assert!(BenchDoc::parse(
+            r#"{"schema":"hetsort-bench","version":2,"generated":"x","scenarios":[]}"#
+        )
+        .is_err());
+        let doc = BenchDoc::new("d", vec![scenario("a", 1.0)]);
+        let bad = doc
+            .to_json()
+            .replace("\"overlap_ratio\": 0.4", "\"overlap_ratio\": 1.5");
+        assert!(
+            BenchDoc::parse(&bad).is_err(),
+            "out-of-range ratio must fail"
+        );
+    }
+
+    #[test]
+    fn identical_docs_pass() {
+        let doc = BenchDoc::new("d", vec![scenario("a", 1.0)]);
+        let report = compare(&doc, &doc, Tolerance::default());
+        assert!(report.pass(), "{}", report.summary());
+        assert!(report.findings.is_empty());
+    }
+
+    #[test]
+    fn slowdown_beyond_band_fails() {
+        let base = BenchDoc::new("d", vec![scenario("a", 1.0)]);
+        let cur = BenchDoc::new("d", vec![scenario("a", 1.2)]);
+        let report = compare(&base, &cur, Tolerance::default());
+        assert!(!report.pass());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.metric == "total_s" && f.regression));
+        assert!(report.summary().contains("FAIL"));
+    }
+
+    #[test]
+    fn slowdown_within_band_passes() {
+        let base = BenchDoc::new("d", vec![scenario("a", 1.0)]);
+        let cur = BenchDoc::new("d", vec![scenario("a", 1.03)]);
+        let report = compare(&base, &cur, Tolerance::default());
+        assert!(report.pass(), "{}", report.summary());
+        // A 3 % drift is reported as a non-regression finding.
+        assert!(report.findings.iter().any(|f| !f.regression));
+    }
+
+    #[test]
+    fn missing_scenario_fails_new_scenario_passes() {
+        let base = BenchDoc::new("d", vec![scenario("a", 1.0)]);
+        let cur = BenchDoc::new("d", vec![scenario("b", 1.0)]);
+        let report = compare(&base, &cur, Tolerance::default());
+        assert!(!report.pass());
+        assert_eq!(report.missing, vec!["a".to_string()]);
+        assert_eq!(report.new_scenarios, vec!["b".to_string()]);
+
+        let both = BenchDoc::new("d", vec![scenario("a", 1.0), scenario("b", 1.0)]);
+        let report = compare(&base, &both, Tolerance::default());
+        assert!(report.pass(), "{}", report.summary());
+    }
+
+    #[test]
+    fn tiny_absolute_jitter_never_fails() {
+        let base = BenchDoc::new("d", vec![scenario("a", 1e-4)]);
+        let cur = BenchDoc::new("d", vec![scenario("a", 5e-4)]);
+        // 5x relative blowup but far under the 1 ms floor.
+        let report = compare(&base, &cur, Tolerance::default());
+        assert!(report.pass(), "{}", report.summary());
+    }
+
+    #[test]
+    fn improvements_pass() {
+        let base = BenchDoc::new("d", vec![scenario("a", 2.0)]);
+        let cur = BenchDoc::new("d", vec![scenario("a", 1.0)]);
+        let report = compare(&base, &cur, Tolerance::default());
+        assert!(report.pass(), "{}", report.summary());
+    }
+}

@@ -1,0 +1,44 @@
+//! # hetsort-obs — unified tracing and metrics
+//!
+//! The paper's core contribution is *accounting*: showing that pinned
+//! allocation, staging memcpys, and synchronization are first-order
+//! costs the literature omits. This crate is the subsystem that makes
+//! that accounting machine-readable and regression-checkable:
+//!
+//! * [`span`] — the span vocabulary: every operation the pipeline
+//!   performs is one [`ObsSpan`] tagged with an [`OpClass`]
+//!   (`HtoD`/`DtoH`/`GpuSort`/`StagingCopy`/`PairMerge`/
+//!   `MultiwayMerge`/`PinnedAlloc`/`Sync`), stream/GPU id, and bytes.
+//!   Both the DES engine ([`spans_from_timeline`]) and the functional
+//!   executors (`hetsort-core`) emit into it.
+//! * [`registry`] — [`MetricsRegistry`]: per-class totals (busy,
+//!   union, bytes, count), named counters (recovery stats), overlap
+//!   ratio, bus utilization, and the literature-vs-full accounting
+//!   delta. Aggregation is permutation-invariant: merging any
+//!   reordering of span streams yields bit-identical totals.
+//! * [`chrome`] — Chrome-trace JSON export (`chrome://tracing` /
+//!   Perfetto "trace event format") plus a structural validator used
+//!   by the tests.
+//! * [`bench_schema`] — the stable `BENCH.json` schema (component
+//!   breakdowns + end-to-end times per scenario) and the tolerance-band
+//!   comparison that powers the `bench_gate` regression gate.
+//! * [`json`] — the dependency-free JSON value/parser/writer the two
+//!   exports share.
+
+// Library code must surface failures as typed results, never panics.
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod bench_schema;
+pub mod chrome;
+pub mod json;
+pub mod registry;
+pub mod span;
+pub mod timeline;
+
+pub use bench_schema::{compare, BenchDoc, GateFinding, GateReport, ScenarioResult, Tolerance};
+pub use chrome::{chrome_trace, validate_chrome, ChromeSummary};
+pub use json::Json;
+pub use registry::{ClassStats, MetricsRegistry};
+pub use span::{ObsSpan, OpClass};
+pub use timeline::{registry_from_timeline, spans_from_timeline};

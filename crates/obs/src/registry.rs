@@ -1,0 +1,388 @@
+//! The metrics registry: aggregate spans and counters into the
+//! paper's accounting.
+//!
+//! Aggregation is *permutation-invariant*: before any statistic is
+//! computed, spans are put into a canonical total order, so merging
+//! per-stream span logs in any order yields bit-identical totals
+//! (floating-point addition happens in one fixed sequence). The
+//! property tests in `tests/prop_metrics.rs` pin this down.
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+use crate::span::{ObsSpan, OpClass};
+
+/// Aggregated statistics of one op class.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ClassStats {
+    /// Number of spans.
+    pub count: usize,
+    /// Sum of span durations (the paper's additive "component time";
+    /// overlap counts multiply).
+    pub busy_s: f64,
+    /// Wall clock covered by at least one span of the class (union of
+    /// intervals; the honest measure under overlap).
+    pub union_s: f64,
+    /// Total bytes / work units.
+    pub bytes: f64,
+}
+
+/// Span + counter aggregator.
+///
+/// Producers [`record`](MetricsRegistry::record) spans and bump named
+/// [`counters`](MetricsRegistry::counter); consumers read per-class
+/// totals, the overlap ratio, bus utilization, and the
+/// literature-vs-full accounting delta.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    spans: Vec<ObsSpan>,
+    counters: BTreeMap<String, f64>,
+}
+
+/// Canonical total order on spans: time, class, placement, size, label.
+fn span_cmp(a: &ObsSpan, b: &ObsSpan) -> Ordering {
+    a.t_start
+        .total_cmp(&b.t_start)
+        .then(a.t_end.total_cmp(&b.t_end))
+        .then(a.class.ord_key().cmp(&b.class.ord_key()))
+        .then(a.stream.cmp(&b.stream))
+        .then(a.gpu.cmp(&b.gpu))
+        .then(a.batch.cmp(&b.batch))
+        .then(a.bytes.total_cmp(&b.bytes))
+        .then(a.label.cmp(&b.label))
+}
+
+/// Length of the union of intervals; sorts in place.
+fn union_length(iv: &mut Vec<(f64, f64)>) -> f64 {
+    iv.retain(|(s, e)| e > s);
+    if iv.is_empty() {
+        return 0.0;
+    }
+    iv.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut total = 0.0;
+    let (mut cur_s, mut cur_e) = iv[0];
+    for &(s, e) in iv.iter().skip(1) {
+        if s > cur_e {
+            total += cur_e - cur_s;
+            cur_s = s;
+            cur_e = e;
+        } else if e > cur_e {
+            cur_e = e;
+        }
+    }
+    total + (cur_e - cur_s)
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Build a registry from a span list.
+    pub fn from_spans(spans: Vec<ObsSpan>) -> Self {
+        MetricsRegistry {
+            spans,
+            counters: BTreeMap::new(),
+        }
+    }
+
+    /// Record one span.
+    pub fn record(&mut self, span: ObsSpan) {
+        self.spans.push(span);
+    }
+
+    /// Record many spans.
+    pub fn record_all(&mut self, spans: impl IntoIterator<Item = ObsSpan>) {
+        self.spans.extend(spans);
+    }
+
+    /// Add `v` to the named counter (creates it at 0).
+    pub fn add_counter(&mut self, name: &str, v: f64) {
+        *self.counters.entry(name.to_string()).or_insert(0.0) += v;
+    }
+
+    /// Read a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> f64 {
+        self.counters.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> &BTreeMap<String, f64> {
+        &self.counters
+    }
+
+    /// Absorb another registry (spans concatenated, counters summed).
+    pub fn merge(&mut self, other: MetricsRegistry) {
+        self.spans.extend(other.spans);
+        for (k, v) in other.counters {
+            *self.counters.entry(k).or_insert(0.0) += v;
+        }
+    }
+
+    /// All recorded spans, unsorted (insertion order).
+    pub fn spans(&self) -> &[ObsSpan] {
+        &self.spans
+    }
+
+    /// Spans in the canonical order every statistic is computed in.
+    pub fn sorted_spans(&self) -> Vec<&ObsSpan> {
+        let mut v: Vec<&ObsSpan> = self.spans.iter().collect();
+        v.sort_by(|a, b| span_cmp(a, b));
+        v
+    }
+
+    /// Classes with at least one span, in canonical class order.
+    pub fn classes(&self) -> Vec<OpClass> {
+        OpClass::ALL
+            .iter()
+            .copied()
+            .filter(|c| self.spans.iter().any(|s| s.class == *c))
+            .collect()
+    }
+
+    /// Aggregate statistics of one class.
+    pub fn class_stats(&self, class: OpClass) -> ClassStats {
+        let mut stats = ClassStats::default();
+        let mut iv: Vec<(f64, f64)> = Vec::new();
+        for s in self.sorted_spans() {
+            if s.class != class {
+                continue;
+            }
+            stats.count += 1;
+            stats.busy_s += s.duration();
+            stats.bytes += s.bytes;
+            iv.push((s.t_start, s.t_end));
+        }
+        stats.union_s = union_length(&mut iv);
+        stats
+    }
+
+    /// Per-class statistics for every present class.
+    pub fn per_class(&self) -> BTreeMap<&'static str, ClassStats> {
+        self.classes()
+            .into_iter()
+            .map(|c| (c.name(), self.class_stats(c)))
+            .collect()
+    }
+
+    /// `(first start, last end)` over all spans; `None` when empty.
+    pub fn window(&self) -> Option<(f64, f64)> {
+        let mut out: Option<(f64, f64)> = None;
+        for s in self.sorted_spans() {
+            out = Some(match out {
+                None => (s.t_start, s.t_end),
+                Some((a, b)) => (a.min(s.t_start), b.max(s.t_end)),
+            });
+        }
+        out
+    }
+
+    /// End-to-end seconds: the full window covered by the run.
+    pub fn end_to_end_s(&self) -> f64 {
+        self.window().map(|(a, b)| (b - a).max(0.0)).unwrap_or(0.0)
+    }
+
+    /// Sum of all span durations (counts overlap multiply).
+    pub fn busy_total_s(&self) -> f64 {
+        self.sorted_spans().iter().map(|s| s.duration()).sum()
+    }
+
+    /// Union of all spans (wall clock with at least one op in flight).
+    pub fn union_total_s(&self) -> f64 {
+        let mut iv: Vec<(f64, f64)> = self
+            .sorted_spans()
+            .iter()
+            .map(|s| (s.t_start, s.t_end))
+            .collect();
+        union_length(&mut iv)
+    }
+
+    /// How much of the busy time ran concurrently with other work:
+    /// `1 − union/busy`, clamped to `[0, 1]`. 0 for a fully serial
+    /// pipeline, approaching 1 as more ops overlap.
+    pub fn overlap_ratio(&self) -> f64 {
+        let busy = self.busy_total_s();
+        if busy <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.union_total_s() / busy).clamp(0.0, 1.0)
+    }
+
+    /// PCIe/host-bus utilization: the fraction of the end-to-end window
+    /// with at least one transfer (HtoD or DtoH) in flight.
+    pub fn bus_util(&self) -> f64 {
+        let e2e = self.end_to_end_s();
+        if e2e <= 0.0 {
+            return 0.0;
+        }
+        let mut iv: Vec<(f64, f64)> = self
+            .sorted_spans()
+            .iter()
+            .filter(|s| matches!(s.class, OpClass::HtoD | OpClass::DtoH))
+            .map(|s| (s.t_start, s.t_end))
+            .collect();
+        (union_length(&mut iv) / e2e).clamp(0.0, 1.0)
+    }
+
+    /// The literature's end-to-end method (§IV-E): the busy sum of only
+    /// the included component classes.
+    pub fn literature_total_s(&self) -> f64 {
+        OpClass::LITERATURE
+            .iter()
+            .map(|&c| self.class_stats(c).busy_s)
+            .sum()
+    }
+
+    /// The accounting delta the paper is about: full end-to-end minus
+    /// what the literature's method would report. May be negative under
+    /// heavy overlap, where busy-sums over-count.
+    pub fn missing_overhead_s(&self) -> f64 {
+        self.end_to_end_s() - self.literature_total_s()
+    }
+
+    /// The registry as a JSON value: totals, ratios, per-class stats,
+    /// and counters — the machine-readable form of [`summary`](Self::summary).
+    pub fn to_json(&self) -> Json {
+        let per_class = Json::Obj(
+            self.per_class()
+                .into_iter()
+                .map(|(name, st)| {
+                    (
+                        name.to_string(),
+                        Json::obj(vec![
+                            ("count", Json::n(st.count as f64)),
+                            ("busy_s", Json::n(st.busy_s)),
+                            ("union_s", Json::n(st.union_s)),
+                            ("bytes", Json::n(st.bytes)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let counters = Json::Obj(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::n(*v)))
+                .collect(),
+        );
+        Json::obj(vec![
+            ("end_to_end_s", Json::n(self.end_to_end_s())),
+            ("literature_total_s", Json::n(self.literature_total_s())),
+            ("missing_overhead_s", Json::n(self.missing_overhead_s())),
+            ("overlap_ratio", Json::n(self.overlap_ratio())),
+            ("bus_util", Json::n(self.bus_util())),
+            ("span_count", Json::n(self.spans.len() as f64)),
+            ("components", per_class),
+            ("counters", counters),
+        ])
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "end-to-end {:.6} s, literature method {:.6} s, overlap {:.3}, bus util {:.3}\n",
+            self.end_to_end_s(),
+            self.literature_total_s(),
+            self.overlap_ratio(),
+            self.bus_util(),
+        );
+        for (name, st) in self.per_class() {
+            s.push_str(&format!(
+                "  {name:<14} n={:<5} busy {:>10.6} s  union {:>10.6} s  bytes {:.3e}\n",
+                st.count, st.busy_s, st.union_s, st.bytes
+            ));
+        }
+        for (name, v) in &self.counters {
+            s.push_str(&format!("  counter {name} = {v}\n"));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(class: OpClass, t0: f64, t1: f64) -> ObsSpan {
+        ObsSpan::new(class, format!("{}@{t0}", class.name()), t0, t1)
+    }
+
+    #[test]
+    fn class_stats_and_totals() {
+        let mut r = MetricsRegistry::new();
+        r.record(span(OpClass::HtoD, 0.0, 1.0).with_bytes(8.0));
+        r.record(span(OpClass::HtoD, 0.5, 1.5).with_bytes(8.0));
+        r.record(span(OpClass::GpuSort, 1.5, 2.5));
+        let h = r.class_stats(OpClass::HtoD);
+        assert_eq!(h.count, 2);
+        assert!((h.busy_s - 2.0).abs() < 1e-12);
+        assert!((h.union_s - 1.5).abs() < 1e-12);
+        assert!((h.bytes - 16.0).abs() < 1e-12);
+        assert!((r.end_to_end_s() - 2.5).abs() < 1e-12);
+        assert!((r.busy_total_s() - 3.0).abs() < 1e-12);
+        assert!((r.union_total_s() - 2.5).abs() < 1e-12);
+        // overlap = 1 - 2.5/3.0.
+        assert!((r.overlap_ratio() - (1.0 - 2.5 / 3.0)).abs() < 1e-12);
+        // bus covered [0,1.5] of [0,2.5].
+        assert!((r.bus_util() - 0.6).abs() < 1e-12);
+        assert_eq!(r.classes(), vec![OpClass::HtoD, OpClass::GpuSort]);
+    }
+
+    #[test]
+    fn literature_vs_full_accounting() {
+        let mut r = MetricsRegistry::new();
+        r.record(span(OpClass::StagingCopy, 0.0, 1.0));
+        r.record(span(OpClass::HtoD, 1.0, 2.0));
+        r.record(span(OpClass::GpuSort, 2.0, 3.0));
+        r.record(span(OpClass::DtoH, 3.0, 4.0));
+        r.record(span(OpClass::StagingCopy, 4.0, 5.0));
+        // Literature counts 3 of the 5 serial seconds.
+        assert!((r.literature_total_s() - 3.0).abs() < 1e-12);
+        assert!((r.missing_overhead_s() - 2.0).abs() < 1e-12);
+        assert_eq!(r.overlap_ratio(), 0.0, "serial pipeline has no overlap");
+    }
+
+    #[test]
+    fn merge_sums_counters_and_concatenates_spans() {
+        let mut a = MetricsRegistry::new();
+        a.record(span(OpClass::HtoD, 0.0, 1.0));
+        a.add_counter("recovery.retries", 2.0);
+        let mut b = MetricsRegistry::new();
+        b.record(span(OpClass::DtoH, 1.0, 2.0));
+        b.add_counter("recovery.retries", 3.0);
+        a.merge(b);
+        assert_eq!(a.spans().len(), 2);
+        assert_eq!(a.counter("recovery.retries"), 5.0);
+        assert_eq!(a.counter("absent"), 0.0);
+    }
+
+    #[test]
+    fn empty_registry_is_all_zeros() {
+        let r = MetricsRegistry::new();
+        assert_eq!(r.end_to_end_s(), 0.0);
+        assert_eq!(r.overlap_ratio(), 0.0);
+        assert_eq!(r.bus_util(), 0.0);
+        assert!(r.classes().is_empty());
+        assert!(r.window().is_none());
+    }
+
+    #[test]
+    fn union_drops_degenerate_intervals() {
+        let mut iv = vec![(1.0, 1.0), (2.0, 1.0)];
+        assert_eq!(union_length(&mut iv), 0.0);
+        let mut iv = vec![(0.0, 1.0), (1.0, 1.0), (3.0, 4.0)];
+        assert!((union_length(&mut iv) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_mentions_classes_and_counters() {
+        let mut r = MetricsRegistry::new();
+        r.record(span(OpClass::PairMerge, 0.0, 1.0));
+        r.add_counter("recovery.oom_replans", 1.0);
+        let s = r.summary();
+        assert!(s.contains("PairMerge"), "{s}");
+        assert!(s.contains("recovery.oom_replans"), "{s}");
+    }
+}

@@ -1,0 +1,228 @@
+//! The span vocabulary: one record per executed operation.
+//!
+//! Classes mirror the paper's component taxonomy (Table I + §IV-E) so
+//! that per-class totals line up with the figures: the literature's
+//! accounting counts `HtoD + DtoH + GpuSort (+ merges)`, the full
+//! accounting adds `StagingCopy`, `PinnedAlloc`, and `Sync`.
+
+/// Operation class of a span. The closed vocabulary every producer
+/// (simulator timeline, functional executors) maps into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpClass {
+    /// Host→device transfer over PCIe.
+    HtoD,
+    /// Device→host transfer over PCIe.
+    DtoH,
+    /// On-device sort kernel.
+    GpuSort,
+    /// Host↔pinned staging memcpy (both directions of the paper's
+    /// `MCpy`).
+    StagingCopy,
+    /// Pipelined pair-wise merge on the CPU.
+    PairMerge,
+    /// Final multiway merge on the CPU.
+    MultiwayMerge,
+    /// Pinned-memory allocation (`cudaMallocHost`).
+    PinnedAlloc,
+    /// Synchronization / barrier latency surfaced as its own span.
+    Sync,
+    /// Anything outside the closed vocabulary (reference sorts,
+    /// experimental device merges); kept so totals never silently drop
+    /// spans.
+    Other,
+}
+
+impl OpClass {
+    /// Every class, in display order.
+    pub const ALL: [OpClass; 9] = [
+        OpClass::HtoD,
+        OpClass::DtoH,
+        OpClass::GpuSort,
+        OpClass::StagingCopy,
+        OpClass::PairMerge,
+        OpClass::MultiwayMerge,
+        OpClass::PinnedAlloc,
+        OpClass::Sync,
+        OpClass::Other,
+    ];
+
+    /// The classes the literature's end-to-end accounting includes
+    /// (§IV-E: transfers, device sort, host merges).
+    pub const LITERATURE: [OpClass; 5] = [
+        OpClass::HtoD,
+        OpClass::DtoH,
+        OpClass::GpuSort,
+        OpClass::PairMerge,
+        OpClass::MultiwayMerge,
+    ];
+
+    /// Stable display name (also the Chrome-trace category).
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpClass::HtoD => "HtoD",
+            OpClass::DtoH => "DtoH",
+            OpClass::GpuSort => "GPUSort",
+            OpClass::StagingCopy => "StagingCopy",
+            OpClass::PairMerge => "PairMerge",
+            OpClass::MultiwayMerge => "MultiwayMerge",
+            OpClass::PinnedAlloc => "PinnedAlloc",
+            OpClass::Sync => "Sync",
+            OpClass::Other => "Other",
+        }
+    }
+
+    /// Map a simulator/component tag name into the closed vocabulary.
+    /// The staging tags `MCpyIn`/`MCpyOut` both fold into
+    /// [`OpClass::StagingCopy`]; unknown tags fold into
+    /// [`OpClass::Other`] rather than being dropped.
+    pub fn from_tag(tag: &str) -> OpClass {
+        match tag {
+            "HtoD" => OpClass::HtoD,
+            "DtoH" => OpClass::DtoH,
+            "GPUSort" | "GpuSort" => OpClass::GpuSort,
+            "MCpyIn" | "MCpyOut" | "StagingCopy" => OpClass::StagingCopy,
+            "PairMerge" => OpClass::PairMerge,
+            "MultiwayMerge" => OpClass::MultiwayMerge,
+            "PinnedAlloc" => OpClass::PinnedAlloc,
+            "Sync" => OpClass::Sync,
+            _ => OpClass::Other,
+        }
+    }
+
+    /// Parse a display name back into a class (exact match only).
+    pub fn parse(name: &str) -> Option<OpClass> {
+        OpClass::ALL.iter().copied().find(|c| c.name() == name)
+    }
+
+    /// Stable small integer for deterministic sorting.
+    pub(crate) fn ord_key(&self) -> u8 {
+        // Position in ALL is the canonical order.
+        OpClass::ALL
+            .iter()
+            .position(|c| c == self)
+            .unwrap_or(OpClass::ALL.len()) as u8
+    }
+}
+
+/// One executed operation: what it was, where it ran, how big it was,
+/// and when (seconds relative to the run's origin — simulated time for
+/// the DES engine, wall clock since run start for the functional
+/// executors).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsSpan {
+    /// Operation class.
+    pub class: OpClass,
+    /// Human-readable detail (`"HtoD b2.c1"`).
+    pub label: String,
+    /// GPU the op touched, if any.
+    pub gpu: Option<usize>,
+    /// Stream the op ran in, if any (host-side merges have none).
+    pub stream: Option<usize>,
+    /// Batch correlation key, if any.
+    pub batch: Option<u64>,
+    /// Bytes moved / work units performed (bytes for transfers,
+    /// staging copies, and allocations; calibrated work units for
+    /// sorts and merges).
+    pub bytes: f64,
+    /// Start time, seconds.
+    pub t_start: f64,
+    /// End time, seconds.
+    pub t_end: f64,
+}
+
+impl ObsSpan {
+    /// Build a span covering `[t_start, t_end]`.
+    pub fn new(class: OpClass, label: impl Into<String>, t_start: f64, t_end: f64) -> ObsSpan {
+        ObsSpan {
+            class,
+            label: label.into(),
+            gpu: None,
+            stream: None,
+            batch: None,
+            bytes: 0.0,
+            t_start,
+            t_end,
+        }
+    }
+
+    /// Set the GPU id.
+    pub fn on_gpu(mut self, gpu: usize) -> Self {
+        self.gpu = Some(gpu);
+        self
+    }
+
+    /// Set the stream id.
+    pub fn on_stream(mut self, stream: usize) -> Self {
+        self.stream = Some(stream);
+        self
+    }
+
+    /// Set the batch correlation key.
+    pub fn for_batch(mut self, batch: u64) -> Self {
+        self.batch = Some(batch);
+        self
+    }
+
+    /// Set the byte/work volume.
+    pub fn with_bytes(mut self, bytes: f64) -> Self {
+        self.bytes = bytes;
+        self
+    }
+
+    /// Span duration in seconds (clamped at 0 for degenerate spans).
+    pub fn duration(&self) -> f64 {
+        (self.t_end - self.t_start).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_mapping_covers_component_taxonomy() {
+        assert_eq!(OpClass::from_tag("HtoD"), OpClass::HtoD);
+        assert_eq!(OpClass::from_tag("DtoH"), OpClass::DtoH);
+        assert_eq!(OpClass::from_tag("GPUSort"), OpClass::GpuSort);
+        assert_eq!(OpClass::from_tag("MCpyIn"), OpClass::StagingCopy);
+        assert_eq!(OpClass::from_tag("MCpyOut"), OpClass::StagingCopy);
+        assert_eq!(OpClass::from_tag("PinnedAlloc"), OpClass::PinnedAlloc);
+        assert_eq!(OpClass::from_tag("PairMerge"), OpClass::PairMerge);
+        assert_eq!(OpClass::from_tag("MultiwayMerge"), OpClass::MultiwayMerge);
+        assert_eq!(OpClass::from_tag("Sync"), OpClass::Sync);
+        assert_eq!(OpClass::from_tag("RefSort"), OpClass::Other);
+        assert_eq!(OpClass::from_tag("GpuMerge"), OpClass::Other);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for c in OpClass::ALL {
+            assert_eq!(OpClass::parse(c.name()), Some(c), "{c:?}");
+            assert_eq!(OpClass::from_tag(c.name()), c, "{c:?}");
+        }
+        assert_eq!(OpClass::parse("nope"), None);
+    }
+
+    #[test]
+    fn ord_keys_are_unique() {
+        let mut keys: Vec<u8> = OpClass::ALL.iter().map(|c| c.ord_key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), OpClass::ALL.len());
+    }
+
+    #[test]
+    fn builder_and_duration() {
+        let s = ObsSpan::new(OpClass::HtoD, "HtoD b0.c0", 1.0, 2.5)
+            .on_gpu(1)
+            .on_stream(3)
+            .for_batch(7)
+            .with_bytes(4096.0);
+        assert_eq!(s.gpu, Some(1));
+        assert_eq!(s.stream, Some(3));
+        assert_eq!(s.batch, Some(7));
+        assert!((s.duration() - 1.5).abs() < 1e-12);
+        let degenerate = ObsSpan::new(OpClass::Sync, "s", 2.0, 1.0);
+        assert_eq!(degenerate.duration(), 0.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Bridge from the DES engine's [`Timeline`] to the span vocabulary.
+//!
+//! The simulator records lanes named `S<stream>` / `GPU<gpu>` / `CPU`
+//! and queues named `s<stream>`; this module folds those back into the
+//! structured [`ObsSpan`] fields so simulated and functional runs
+//! aggregate identically.
+
+use hetsort_sim::Timeline;
+
+use crate::registry::MetricsRegistry;
+use crate::span::{ObsSpan, OpClass};
+
+fn parse_suffix(name: &str, prefix: &str) -> Option<usize> {
+    name.strip_prefix(prefix)?.parse().ok()
+}
+
+/// Convert every simulator span into an [`ObsSpan`].
+///
+/// * `class` comes from the tag name via [`OpClass::from_tag`];
+/// * `stream` from the queue name (`s<k>`) or stream lane (`S<k>`);
+/// * `gpu` from the GPU lane (`GPU<g>`), so device-sort spans carry it;
+/// * `bytes` is the op's work (bytes for transfers/staging/alloc,
+///   calibrated work units for sorts and merges);
+/// * `batch` is the user correlation key.
+pub fn spans_from_timeline(tl: &Timeline) -> Vec<ObsSpan> {
+    tl.spans()
+        .iter()
+        .map(|s| {
+            let tag = tl.tag_name(s.tag);
+            let lane = s.lane.map(|l| tl.lane_name(l));
+            let queue = s.queue.map(|q| tl.queue_names()[q.0].as_str());
+            let stream = queue
+                .and_then(|q| parse_suffix(q, "s"))
+                .or_else(|| lane.and_then(|l| parse_suffix(l, "S")));
+            let gpu = lane.and_then(|l| parse_suffix(l, "GPU"));
+            let mut span = ObsSpan::new(
+                OpClass::from_tag(tag),
+                format!("{tag} b{}", s.user_key),
+                s.t_start,
+                s.t_end,
+            )
+            .for_batch(s.user_key)
+            .with_bytes(s.work);
+            span.stream = stream;
+            span.gpu = gpu;
+            span
+        })
+        .collect()
+}
+
+/// Aggregate a timeline straight into a [`MetricsRegistry`].
+pub fn registry_from_timeline(tl: &Timeline) -> MetricsRegistry {
+    MetricsRegistry::from_spans(spans_from_timeline(tl))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsort_sim::{Op, SimBuilder};
+
+    #[test]
+    fn structured_fields_survive_the_bridge() {
+        let mut sim = SimBuilder::new();
+        let htod = sim.tag("HtoD");
+        let sort = sim.tag("GPUSort");
+        let s0 = sim.lane("S0");
+        let g1 = sim.lane("GPU1");
+        let q = sim.queue("s0");
+        let a = sim.op(Op::new(htod, 8.0).cap(4.0).lane(s0).queue(q).key(3));
+        sim.op(Op::new(sort, 4.0).cap(4.0).lane(g1).queue(q).dep(a).key(3));
+        let tl = sim.run().unwrap();
+
+        let spans = spans_from_timeline(&tl);
+        assert_eq!(spans.len(), 2);
+        let h = spans.iter().find(|s| s.class == OpClass::HtoD).unwrap();
+        assert_eq!(h.stream, Some(0));
+        assert_eq!(h.gpu, None);
+        assert_eq!(h.batch, Some(3));
+        assert!((h.bytes - 8.0).abs() < 1e-12);
+        let g = spans.iter().find(|s| s.class == OpClass::GpuSort).unwrap();
+        assert_eq!(g.gpu, Some(1), "GPU id parsed from lane");
+        assert_eq!(g.stream, Some(0), "stream parsed from queue");
+
+        let reg = registry_from_timeline(&tl);
+        assert!((reg.end_to_end_s() - tl.makespan()).abs() < 1e-9);
+        assert_eq!(reg.classes(), vec![OpClass::HtoD, OpClass::GpuSort]);
+    }
+
+    #[test]
+    fn cpu_lane_spans_have_no_placement() {
+        let mut sim = SimBuilder::new();
+        let merge = sim.tag("PairMerge");
+        let cpu = sim.lane("CPU");
+        sim.op(Op::new(merge, 1.0).cap(1.0).lane(cpu));
+        let tl = sim.run().unwrap();
+        let spans = spans_from_timeline(&tl);
+        assert_eq!(spans[0].class, OpClass::PairMerge);
+        assert_eq!(spans[0].stream, None);
+        assert_eq!(spans[0].gpu, None);
+    }
+}

@@ -257,6 +257,16 @@ impl Timeline {
         &self.queue_names
     }
 
+    /// Display-lane names registered at build time.
+    pub fn lane_names(&self) -> &[String] {
+        &self.lane_names
+    }
+
+    /// Name of a display lane.
+    pub fn lane_name(&self, lane: LaneId) -> &str {
+        &self.lane_names[lane.0]
+    }
+
     /// Export every span as CSV (`op,tag,lane,queue,key,work,t_start,
     /// t_end`) — the raw material for external plotting tools.
     pub fn spans_csv(&self) -> String {

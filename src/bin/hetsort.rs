@@ -3,7 +3,8 @@
 
 use hetsort::analyze::{analyze_plan, analyze_plan_with_trace, AnalysisReport};
 use hetsort::cli::{parse, CliError, Command, RunArgs, USAGE};
-use hetsort::core::{simulate, Approach, HetSortConfig, HetSortError, PairStrategy, Plan};
+use hetsort::core::{Approach, HetSortConfig, HetSortError, PairStrategy, Plan};
+use hetsort::obs::{chrome_trace, Json, MetricsRegistry};
 use hetsort::vgpu::{platform1, platform2};
 use hetsort::workloads::{generate, Distribution};
 
@@ -44,11 +45,9 @@ fn run(cmd: Command) -> Result<(), CliError> {
             }
         }
         Command::Simulate(r) => {
-            if r.analyze {
-                let plan = Plan::build(r.config()?, r.n)?;
-                require_clean(&plan, analyze_plan(&plan), "static schedule")?;
-            }
-            let report = simulate(r.config()?, r.n)?;
+            let plan = Plan::build(r.config()?, r.n)?;
+            let analysis = r.analyze.then(|| analyze_plan(&plan));
+            let report = hetsort::core::exec_sim::simulate_plan(&plan)?;
             println!("{}", report.summary());
             println!(
                 "PCIe/bus utilization: {}",
@@ -59,6 +58,13 @@ fn run(cmd: Command) -> Result<(), CliError> {
                 "reference CPU sort: {ref_t:.3} s → speedup {:.2}x",
                 ref_t / report.total_s
             );
+            if let Some(path) = &r.json {
+                let doc = metrics_doc(&plan, "simulate", &report.metrics(), analysis.as_ref());
+                write_output(path, &doc.pretty())?;
+            }
+            if let Some(a) = analysis {
+                require_clean(&plan, a, "static schedule")?;
+            }
         }
         Command::Sort(r) => {
             let data = generate(Distribution::Uniform, r.n, r.seed).data;
@@ -67,17 +73,20 @@ fn run(cmd: Command) -> Result<(), CliError> {
                 cfg = cfg.with_trace_recording();
             }
             let plan = Plan::build(cfg, data.len())?;
-            if r.analyze {
-                require_clean(&plan, analyze_plan(&plan), "static schedule")?;
+            let static_analysis = r.analyze.then(|| analyze_plan(&plan));
+            // Even a dirty schedule gets executed when --json asked for
+            // observability output (the findings ship in the JSON); the
+            // analyzer verdict still fails the run afterwards.
+            if r.json.is_none() {
+                if let Some(a) = static_analysis.clone() {
+                    require_clean(&plan, a, "static schedule")?;
+                }
             }
             let out = hetsort::core::exec_real::sort_real_plan(&plan, &data)?;
-            if let Some(trace) = &out.trace {
-                require_clean(
-                    &plan,
-                    analyze_plan_with_trace(&plan, trace),
-                    "executed trace",
-                )?;
-            }
+            let trace_analysis = out
+                .trace
+                .as_ref()
+                .map(|trace| analyze_plan_with_trace(&plan, trace));
             println!(
                 "sorted {} elements in {:.3} s wall — {} batches, {} pair merges, verified: {}",
                 out.sorted.len(),
@@ -89,11 +98,65 @@ fn run(cmd: Command) -> Result<(), CliError> {
             if out.recovery.any() {
                 println!("recovery: {}", out.recovery.summary());
             }
+            if let Some(path) = &r.json {
+                // Merge both analyses into one findings list for export.
+                let merged = match (&static_analysis, &trace_analysis) {
+                    (Some(a), Some(b)) => Some(AnalysisReport {
+                        findings: a.findings.iter().chain(&b.findings).cloned().collect(),
+                    }),
+                    (Some(a), None) => Some(a.clone()),
+                    (None, b) => b.clone(),
+                };
+                let doc = metrics_doc(&plan, "sort", &out.metrics, merged.as_ref());
+                write_output(path, &doc.pretty())?;
+            }
+            if let Some(a) = static_analysis {
+                require_clean(&plan, a, "static schedule")?;
+            }
+            if let Some(a) = trace_analysis {
+                require_clean(&plan, a, "executed trace")?;
+            }
             if !out.verified {
                 return Err(CliError::Run(HetSortError::Data {
                     reason: "output verification failed".into(),
                 }));
             }
+        }
+        Command::Trace { run, chrome, real } => {
+            let plan = Plan::build(run.config()?, run.n)?;
+            let reg = if real {
+                // Functional runs allocate ~3n×8 bytes on this host;
+                // refuse paper-scale n instead of thrashing swap.
+                if run.n > 200_000_000 {
+                    return Err(CliError::Usage(format!(
+                        "trace --real executes on this machine: use -n ≤ 2e8 (got {})",
+                        run.n
+                    )));
+                }
+                let data = generate(Distribution::Uniform, run.n, run.seed).data;
+                hetsort::core::exec_real::sort_real_plan(&plan, &data)?.metrics
+            } else {
+                hetsort::core::exec_sim::simulate_plan(&plan)?.metrics()
+            };
+            let label = format!(
+                "{}/{} n={}{}",
+                plan.config.platform.name,
+                plan.config.approach.name(),
+                plan.n,
+                if real {
+                    " (functional)"
+                } else {
+                    " (simulated)"
+                },
+            );
+            write_output(&chrome, &chrome_trace(&reg, &label))?;
+            eprintln!(
+                "trace: {} spans over {:.6} s, overlap {:.3}, bus util {:.3}",
+                reg.spans().len(),
+                reg.end_to_end_s(),
+                reg.overlap_ratio(),
+                reg.bus_util(),
+            );
         }
         Command::Gantt(r) => {
             let gantt = gantt(&r)?;
@@ -123,6 +186,60 @@ fn run(cmd: Command) -> Result<(), CliError> {
         }
     }
     Ok(())
+}
+
+/// Write `content` to `path`, with `-` meaning stdout.
+fn write_output(path: &str, content: &str) -> Result<(), CliError> {
+    if path == "-" {
+        print!("{content}");
+        Ok(())
+    } else {
+        std::fs::write(path, content).map_err(|e| {
+            CliError::Run(HetSortError::Data {
+                reason: format!("cannot write {path}: {e}"),
+            })
+        })
+    }
+}
+
+/// The `--json` document: run identity + metrics registry + analyzer
+/// findings (when an analysis ran; `null` otherwise).
+fn metrics_doc(
+    plan: &Plan,
+    mode: &str,
+    reg: &MetricsRegistry,
+    analysis: Option<&AnalysisReport>,
+) -> Json {
+    let findings = match analysis {
+        None => Json::Null,
+        Some(a) => Json::Arr(
+            a.findings
+                .iter()
+                .map(|f| {
+                    Json::obj(vec![
+                        ("class", Json::s(f.class.name())),
+                        ("code", Json::s(f.code)),
+                        ("message", Json::s(f.message.clone())),
+                        (
+                            "ops",
+                            Json::Arr(f.ops.iter().map(|o| Json::s(o.clone())).collect()),
+                        ),
+                    ])
+                })
+                .collect(),
+        ),
+    };
+    Json::obj(vec![
+        ("schema", Json::s("hetsort-metrics")),
+        ("version", Json::n(1.0)),
+        ("mode", Json::s(mode)),
+        ("approach", Json::s(plan.config.approach.name())),
+        ("platform", Json::s(plan.config.platform.name.clone())),
+        ("n", Json::n(plan.n as f64)),
+        ("nb", Json::n(plan.nb() as f64)),
+        ("metrics", reg.to_json()),
+        ("analyzer_findings", findings),
+    ])
 }
 
 /// Fail the run (exit 1) when the analyzer found anything.

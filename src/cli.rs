@@ -59,6 +59,15 @@ pub enum Command {
         /// Analyze the whole shipped config matrix instead of one run.
         matrix: bool,
     },
+    /// Export a run's spans as Chrome-trace JSON.
+    Trace {
+        /// Configuration to trace.
+        run: RunArgs,
+        /// Output path for the Chrome-trace document (`-` = stdout).
+        chrome: String,
+        /// Trace a functional run instead of the simulator.
+        real: bool,
+    },
     /// Print the modeled platforms.
     Platforms,
     /// Print usage.
@@ -95,6 +104,8 @@ pub struct RunArgs {
     /// Run the schedule analyzer before (and, for `sort`, after)
     /// executing.
     pub analyze: bool,
+    /// Write the run's metrics as JSON to this path (`-` = stdout).
+    pub json: Option<String>,
 }
 
 impl Default for RunArgs {
@@ -113,6 +124,7 @@ impl Default for RunArgs {
             retries: None,
             no_cpu_fallback: false,
             analyze: false,
+            json: None,
         }
     }
 }
@@ -213,7 +225,7 @@ fn parse_inner(args: &[String]) -> Result<Command, String> {
     match sub.as_str() {
         "platforms" => Ok(Command::Platforms),
         "help" | "--help" | "-h" => Ok(Command::Help),
-        "simulate" | "sort" | "gantt" | "analyze" => {
+        "simulate" | "sort" | "gantt" | "analyze" | "trace" => {
             let mut run = RunArgs::default();
             if sub == "sort" {
                 run.n = 1_000_000;
@@ -221,6 +233,8 @@ fn parse_inner(args: &[String]) -> Result<Command, String> {
                 run.n = 2_000_000_000;
             }
             let mut matrix = false;
+            let mut chrome: Option<String> = None;
+            let mut real = false;
             let mut it = args[1..].iter();
             while let Some(key) = it.next() {
                 let mut need = |name: &str| -> Result<&String, String> {
@@ -244,7 +258,10 @@ fn parse_inner(args: &[String]) -> Result<Command, String> {
                     "--retries" => run.retries = Some(parse_count(need("--retries")?)?),
                     "--no-cpu-fallback" => run.no_cpu_fallback = true,
                     "--analyze" => run.analyze = true,
+                    "--json" => run.json = Some(need("--json")?.clone()),
                     "--matrix" if sub == "analyze" => matrix = true,
+                    "--chrome" if sub == "trace" => chrome = Some(need("--chrome")?.clone()),
+                    "--real" if sub == "trace" => real = true,
                     other => return Err(format!("unknown option '{other}'")),
                 }
             }
@@ -252,6 +269,11 @@ fn parse_inner(args: &[String]) -> Result<Command, String> {
                 "simulate" => Command::Simulate(run),
                 "sort" => Command::Sort(run),
                 "analyze" => Command::Analyze { run, matrix },
+                "trace" => Command::Trace {
+                    run,
+                    chrome: chrome.ok_or("trace requires --chrome <path> (use '-' for stdout)")?,
+                    real,
+                },
                 _ => Command::Gantt(run),
             })
         }
@@ -271,8 +293,21 @@ USAGE:
                     [--no-cpu-fallback] [... same options]
   hetsort gantt     [-n 2e9] [... same options]
   hetsort analyze   [--matrix] [... same options]
+  hetsort trace     --chrome out.json [--real] [... same options]
   hetsort platforms
   hetsort help
+
+OBSERVABILITY:
+  hetsort trace      export every operation of a run as Chrome-trace
+                     JSON (open in chrome://tracing or Perfetto); by
+                     default the simulated schedule at paper scale,
+                     with --real the functional executor's wall-clock
+                     spans on this machine
+  --chrome PATH      where to write the trace ('-' = stdout)
+  --json PATH        (on simulate/sort) also write the run's metrics —
+                     component totals, overlap ratio, bus utilization,
+                     literature-vs-full delta, recovery counters, and
+                     analyzer findings — as JSON ('-' = stdout)
 
 ANALYSIS:
   hetsort analyze    statically verify a schedule before running it:
@@ -302,6 +337,8 @@ EXAMPLES:
   hetsort sort -n 2e6 -b 250000 --pinned 50000            # functional + verify
   hetsort sort -n 2e6 --faults oom:1,htod:3               # recovery drill
   hetsort gantt -n 2e9 -a pipemerge --pinned 1e8          # schedule picture
+  hetsort trace -n 2e9 -a pipemerge --chrome trace.json   # profile a run
+  hetsort sort -n 2e6 --faults oom:1 --json -             # metrics to stdout
 ";
 
 #[cfg(test)]

@@ -16,6 +16,9 @@
 //! * [`workloads`] — input dataset generators and validators.
 //! * [`analyze`] — static plan verifier + happens-before race detector
 //!   for stream/event schedules (`hetsort analyze`).
+//! * [`obs`] — observability: structured spans, metrics registry,
+//!   Chrome-trace export, and the `BENCH.json` regression-gate schema
+//!   (`hetsort trace`, `bench_gate`).
 
 // No unsafe anywhere in this crate — enforced, not assumed.
 #![forbid(unsafe_code)]
@@ -26,6 +29,7 @@ pub use hetsort_algos as algos;
 pub use hetsort_analyze as analyze;
 pub use hetsort_core as core;
 pub use hetsort_model as model;
+pub use hetsort_obs as obs;
 pub use hetsort_sim as sim;
 pub use hetsort_vgpu as vgpu;
 pub use hetsort_workloads as workloads;

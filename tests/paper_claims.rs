@@ -253,6 +253,40 @@ fn section3_pair_merge_heuristics() {
 }
 
 #[test]
+fn observability_reproduces_the_papers_shapes() {
+    // The same three §III/§IV shapes the spec-level tests pin down,
+    // re-derived from recorded spans instead of config arithmetic —
+    // so the observability layer cannot drift from the claims.
+    use hetsort::core::exec_sim::simulate_plan;
+    use hetsort::core::Plan;
+    use hetsort::obs::OpClass;
+
+    // Pair-merge count: one GPU ⌊(n_b−1)/2⌋, two GPUs ⌊(n_b−1)/2²⌋,
+    // counted as PairMerge spans.
+    for (plat, ngpu) in [(platform1(), 1u32), (platform2(), 2u32)] {
+        let cfg =
+            HetSortConfig::paper_defaults(plat, Approach::PipeMerge).with_batch_elems(40_000_000);
+        let plan = Plan::build(cfg, 400_000_000).unwrap();
+        let nb = plan.nb();
+        let reg = simulate_plan(&plan).unwrap().metrics();
+        let got = reg.class_stats(OpClass::PairMerge).count as usize;
+        assert_eq!(got, (nb - 1) / 2usize.pow(ngpu), "n_GPU={ngpu}");
+    }
+
+    // Pinned HtoD moves bytes at ~2x the pageable rate: compare the
+    // effective bandwidth of BLINE's blocking pinned copies (no chunk
+    // sync, no stream contention) against the platform's pageable spec
+    // using recorded span bytes and busy time.
+    let cfg = HetSortConfig::paper_defaults(platform1(), Approach::BLine);
+    let plan = Plan::build(cfg, 800_000_000).unwrap();
+    let reg = simulate_plan(&plan).unwrap().metrics();
+    let h = reg.class_stats(OpClass::HtoD);
+    let bw = h.bytes / h.busy_s;
+    let ratio = bw / platform1().pcie.pageable_bps;
+    assert!((1.8..=2.1).contains(&ratio), "pinned/pageable bw {ratio}");
+}
+
+#[test]
 fn section5_pinned_transfers_run_at_12gbs() {
     // §V: "Our pinned memory data transfers occur at ~12 GB/s, which is
     // 75% of the peak PCIe v.3 bandwidth of 16 GB/s."
