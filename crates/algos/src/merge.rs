@@ -12,7 +12,7 @@
 //! element from `b`.
 
 use crate::keys::SortOrd;
-use crate::par::{par_parts, split_evenly, split_ranges_mut};
+use crate::par::{par_parts_with, split_evenly, split_ranges_mut, SchedCfg, SchedStats};
 
 /// Sequentially merge sorted `a` and `b` into `out`.
 ///
@@ -56,32 +56,52 @@ pub fn co_rank<T: SortOrd>(k: usize, a: &[T], b: &[T]) -> (usize, usize) {
 }
 
 /// Merge sorted `a` and `b` into `out` using `threads` workers
-/// (Merge Path partitioning). Falls back to [`merge_into`] for a single
-/// thread or tiny inputs.
+/// (Merge Path partitioning, self-scheduled chunks). Falls back to
+/// [`merge_into`] for a single thread or tiny inputs.
 pub fn par_merge_into<T: SortOrd>(threads: usize, a: &[T], b: &[T], out: &mut [T]) {
+    par_merge_into_cfg(&SchedCfg::default(), threads, a, b, out);
+}
+
+/// [`par_merge_into`] with an explicit scheduling policy; returns the
+/// per-worker stats so callers can surface imbalance as spans.
+///
+/// The output is over-decomposed into [`SchedCfg::over_parts`] ranges
+/// whose input split points are co-ranks along the merge-path diagonal,
+/// then the sub-merges are claimed from the scheduler's work queue.
+/// Output is identical under every policy and thread count.
+pub fn par_merge_into_cfg<T: SortOrd>(
+    cfg: &SchedCfg,
+    threads: usize,
+    a: &[T],
+    b: &[T],
+    out: &mut [T],
+) -> SchedStats {
     assert_eq!(out.len(), a.len() + b.len(), "output must hold both inputs");
     let n = out.len();
     let threads = threads.max(1);
     if threads == 1 || n < 4 * threads {
         merge_into(a, b, out);
-        return;
+        return SchedStats::default();
     }
-    let out_ranges = split_evenly(n, threads);
+    // Over-decompose (each part keeps ≥ ~4 elements; the fallback above
+    // guarantees n/4 ≥ threads, so every worker can get a part).
+    let nparts = cfg.over_parts(threads, n / 4);
+    let out_ranges = split_evenly(n, nparts);
     // Co-ranks at each output range boundary.
-    let mut cuts = Vec::with_capacity(threads + 1);
+    let mut cuts = Vec::with_capacity(nparts + 1);
     cuts.push((0usize, 0usize));
-    for r in &out_ranges[..threads - 1] {
+    for r in &out_ranges[..nparts - 1] {
         cuts.push(co_rank(r.end, a, b));
     }
     cuts.push((a.len(), b.len()));
 
     let out_chunks = split_ranges_mut(out, &out_ranges);
     let parts: Vec<(usize, &mut [T])> = out_chunks.into_iter().enumerate().collect();
-    par_parts(threads, parts, |_, (p, chunk)| {
+    par_parts_with(cfg, threads, parts, |_, (p, chunk)| {
         let (ai0, bi0) = cuts[p];
         let (ai1, bi1) = cuts[p + 1];
         merge_into(&a[ai0..ai1], &b[bi0..bi1], chunk);
-    });
+    })
 }
 
 #[cfg(test)]
@@ -174,6 +194,27 @@ mod tests {
                 let mut par = vec![0u64; na + nb];
                 par_merge_into(threads, &a, &b, &mut par);
                 assert_eq!(par, seq, "threads={threads} na={na} nb={nb}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_merge_cfg_policies_agree() {
+        // Length-skewed inputs: both scheduling policies and every
+        // thread count must produce the sequential merge bit for bit.
+        let a = lcg_sorted(9, 5_000);
+        let b = lcg_sorted(10, 50);
+        let mut seq = vec![0u64; a.len() + b.len()];
+        merge_into(&a, &b, &mut seq);
+        for cfg in [SchedCfg::self_sched(), SchedCfg::round_robin_static()] {
+            for threads in [2, 3, 8, 16] {
+                let mut out = vec![0u64; seq.len()];
+                let stats = par_merge_into_cfg(&cfg, threads, &a, &b, &mut out);
+                assert_eq!(out, seq, "cfg={cfg:?} threads={threads}");
+                assert_eq!(
+                    stats.workers.iter().map(|w| w.parts).sum::<usize>(),
+                    stats.parts
+                );
             }
         }
     }

@@ -15,7 +15,7 @@
 //! matching a left-to-right stable merge of the batch array.
 
 use crate::keys::SortOrd;
-use crate::par::{par_parts, split_evenly, split_ranges_mut};
+use crate::par::{par_parts_with, split_evenly, split_ranges_mut, SchedCfg, SchedStats};
 
 /// Loser tree over `k` sorted input cursors.
 struct LoserTree<'a, T: SortOrd> {
@@ -200,39 +200,89 @@ pub fn multiway_cuts<T: SortOrd>(lists: &[&[T]], k: usize) -> Vec<usize> {
         }
         cuts.push(lo);
     }
-    debug_assert_eq!(cuts.iter().sum::<usize>(), k, "cuts must sum to k");
+    // Release-mode invariant: a mis-partition here would hand workers
+    // overlapping or incomplete input ranges and the parallel merge
+    // would silently emit garbage — exactly the paper-scale mode
+    // `--release` bench runs would never catch with a debug_assert.
+    let sum: usize = cuts.iter().sum();
+    assert_eq!(
+        sum, k,
+        "multiway_cuts mis-partition: cut ranks sum to {sum}, expected k = {k} \
+         (every input list must be sorted under the same total order)"
+    );
     cuts
 }
 
 /// Merge `k` sorted lists into `out` with `threads` workers: the output
-/// is cut into `threads` near-equal ranges by multisequence selection,
-/// and each range is merged independently with a loser tree.
+/// is cut into near-equal ranges by multisequence selection, and each
+/// range is merged independently (self-scheduled, skew-aware).
 pub fn par_multiway_merge_into<T: SortOrd>(threads: usize, lists: &[&[T]], out: &mut [T]) {
+    par_multiway_merge_into_cfg(&SchedCfg::default(), threads, lists, out);
+}
+
+/// [`par_multiway_merge_into`] with an explicit scheduling policy;
+/// returns per-worker stats for observability.
+///
+/// Skew-aware partitioning: output ranges are cut at the *actual*
+/// co-rank boundaries from [`multiway_cuts`], then each part drops the
+/// sublists its range does not touch before merging. Under pathological
+/// list lengths (one list 10⁴× longer than the rest) most parts see a
+/// fan-in of 1 or 2, dispatching to a straight copy or a pairwise merge
+/// instead of paying ⌈log₂ k⌉ loser-tree comparisons per element
+/// against exhausted lists. Dropping empty sublists preserves stability
+/// because ties resolve by list index and the relative order of the
+/// surviving lists is unchanged.
+pub fn par_multiway_merge_into_cfg<T: SortOrd>(
+    cfg: &SchedCfg,
+    threads: usize,
+    lists: &[&[T]],
+    out: &mut [T],
+) -> SchedStats {
     let total: usize = lists.iter().map(|l| l.len()).sum();
     assert_eq!(out.len(), total, "output must hold all inputs");
     let threads = threads.max(1);
     if threads == 1 || total < 4 * threads || lists.len() <= 1 {
         multiway_merge_into(lists, out);
-        return;
+        return SchedStats::default();
     }
-    let out_ranges = split_evenly(total, threads);
-    let mut boundaries: Vec<Vec<usize>> = Vec::with_capacity(threads + 1);
-    boundaries.push(vec![0; lists.len()]);
-    for r in &out_ranges[..threads - 1] {
-        boundaries.push(multiway_cuts(lists, r.end));
-    }
-    boundaries.push(lists.iter().map(|l| l.len()).collect());
+    // Each boundary costs one multisequence selection: for every list a
+    // binary search whose probes each rank against all other lists —
+    // ~(Σₜ log₂ lenₜ)² comparisons. The merge itself costs total·log₂k.
+    // Cap the part count so selection work stays a fraction of merge
+    // work — at high fan-in (many short lists) unbounded
+    // over-decomposition would spend more time cutting than merging.
+    let k = lists.len();
+    let log2 = |x: usize| (usize::BITS - x.max(2).leading_zeros()) as usize;
+    let log_sum: usize = lists.iter().map(|l| log2(l.len())).sum();
+    let cut_cost = log_sum * log_sum;
+    let merge_cost = total * log2(k);
+    let max_parts = (merge_cost / (2 * cut_cost.max(1))).clamp(1, total / 4);
+    let nparts = cfg.over_parts(threads, max_parts);
+    let out_ranges = split_evenly(total, nparts);
+    let mut boundaries: Vec<Vec<usize>> = vec![Vec::new(); nparts + 1];
+    boundaries[0] = vec![0; k];
+    boundaries[nparts] = lists.iter().map(|l| l.len()).collect();
+    // The interior boundaries are independent read-only selections —
+    // compute them through the same scheduling policy as the merge.
+    let interior: Vec<(usize, &mut Vec<usize>)> =
+        boundaries[1..nparts].iter_mut().enumerate().collect();
+    par_parts_with(cfg, threads, interior, |_, (i, slot)| {
+        *slot = multiway_cuts(lists, out_ranges[i].end);
+    });
 
     let out_chunks = split_ranges_mut(out, &out_ranges);
     let parts: Vec<(usize, &mut [T])> = out_chunks.into_iter().enumerate().collect();
-    par_parts(threads, parts, |_, (p, chunk)| {
+    par_parts_with(cfg, threads, parts, |_, (p, chunk)| {
+        // Fan-in reduction: keep only the sublists this output range
+        // actually draws from (order preserved → stability preserved).
         let subs: Vec<&[T]> = lists
             .iter()
             .enumerate()
             .map(|(t, l)| &l[boundaries[p][t]..boundaries[p + 1][t]])
+            .filter(|s| !s.is_empty())
             .collect();
         multiway_merge_into(&subs, chunk);
-    });
+    })
 }
 
 #[cfg(test)]
@@ -394,8 +444,59 @@ mod tests {
         let b = lcg_sorted(2, 3);
         let c = lcg_sorted(3, 1);
         let lists: Vec<&[u64]> = vec![&a, &b, &c];
-        let mut out = vec![0u64; 10_004];
-        par_multiway_merge_into(4, &lists, &mut out);
-        assert!(is_sorted(&out));
+        let expect = reference_merge(&lists);
+        let mut fp = Fingerprint {
+            sum: 0,
+            xor: 0,
+            sq: 0,
+            count: 0,
+        };
+        for l in &lists {
+            fp = crate::verify::combine(fp, fingerprint(l));
+        }
+        for threads in [2, 4, 16] {
+            let mut out = vec![0u64; 10_004];
+            par_multiway_merge_into(threads, &lists, &mut out);
+            assert!(is_sorted(&out), "threads={threads}");
+            // A dropped or duplicated element under skew must fail
+            // loudly, not just "still sorted".
+            assert_eq!(fingerprint(&out), fp, "threads={threads}: multiset changed");
+            assert_eq!(out, expect, "threads={threads}: differs from reference");
+        }
+    }
+
+    #[test]
+    fn cfg_policies_agree_under_skew() {
+        // One long list plus tiny ones: both scheduling policies and
+        // every thread count must reproduce the sequential merge.
+        let a = lcg_sorted(41, 8_000);
+        let b = lcg_sorted(42, 5);
+        let c = lcg_sorted(43, 2);
+        let lists: Vec<&[u64]> = vec![&a, &b, &c];
+        let mut seq = vec![0u64; 8_007];
+        multiway_merge_into(&lists, &mut seq);
+        for cfg in [SchedCfg::self_sched(), SchedCfg::round_robin_static()] {
+            for threads in [2, 3, 8, 16] {
+                let mut out = vec![0u64; seq.len()];
+                let stats = par_multiway_merge_into_cfg(&cfg, threads, &lists, &mut out);
+                assert_eq!(out, seq, "cfg={cfg:?} threads={threads}");
+                assert_eq!(
+                    stats.workers.iter().map(|w| w.parts).sum::<usize>(),
+                    stats.parts,
+                    "cfg={cfg:?} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiway_cuts mis-partition")]
+    fn mis_partition_panics_in_release_builds() {
+        // Unsorted input breaks the monotone-rank precondition; before
+        // this check was release-mode the cuts [0, 0] (≠ k = 1) sailed
+        // through `--release` and the parallel merge emitted garbage.
+        let a: &[u64] = &[10, 0]; // deliberately NOT sorted
+        let b: &[u64] = &[5];
+        let _ = multiway_cuts(&[a, b], 1);
     }
 }

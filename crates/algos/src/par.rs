@@ -1,16 +1,144 @@
-//! Minimal scoped-thread parallel runtime.
+//! Minimal scoped-thread parallel runtime with chunked self-scheduling.
 //!
 //! A deliberately small substitute for OpenMP/TBB: every parallel
-//! algorithm in this crate expresses its parallelism as a fixed set of
+//! algorithm in this crate expresses its parallelism as a set of
 //! *parts* executed by up to `threads` scoped worker threads. Parts are
-//! distributed round-robin at spawn time (deterministic assignment, no
-//! work stealing) — the same static scheduling the GNU parallel mode
-//! uses for its sort and merge, which is what the paper benchmarks.
+//! over-decomposed (~[`SchedCfg::DEFAULT_CHUNKS_PER_THREAD`]× the
+//! worker count) and claimed from an atomic work queue, so a worker
+//! that lands a cheap part immediately grabs the next one instead of
+//! idling — the dynamic analogue of the static round-robin assignment
+//! the GNU parallel mode (and therefore the paper's CPU baseline) uses.
+//! [`Sched::RoundRobin`] preserves that static assignment for A/B
+//! comparison.
 //!
 //! `threads == 0` and `threads == 1` both mean "run inline on the
-//! calling thread" (zero spawn overhead), so sequential baselines are
-//! exactly the same code path measured in Figure 4's single-thread
-//! columns.
+//! calling thread" (zero spawn overhead, no queue, no atomics), so
+//! sequential baselines are exactly the same code path measured in
+//! Figure 4's single-thread columns.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// How parts are assigned to workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sched {
+    /// Atomic work queue: each worker claims the next unclaimed part
+    /// when it finishes its current one. Skew-resistant.
+    SelfSched,
+    /// Static round-robin by part index (worker `w` runs parts
+    /// `w, w+n, w+2n, …`), the GNU-parallel-mode assignment the paper
+    /// benchmarks. Kept for A/B comparison and reproducibility studies.
+    RoundRobin,
+}
+
+/// Scheduling policy plus decomposition granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedCfg {
+    /// Assignment policy.
+    pub sched: Sched,
+    /// Parts created per worker thread when a caller over-decomposes a
+    /// range; `0` means "auto" ([`Self::DEFAULT_CHUNKS_PER_THREAD`]).
+    pub chunks_per_thread: u32,
+}
+
+impl SchedCfg {
+    /// Auto over-decomposition factor: enough chunks that one slow part
+    /// cannot stall the tail for long, few enough that queue traffic
+    /// stays negligible next to a merge of thousands of elements.
+    pub const DEFAULT_CHUNKS_PER_THREAD: u32 = 4;
+
+    /// The skew-resistant default: self-scheduling, auto granularity.
+    pub fn self_sched() -> Self {
+        SchedCfg {
+            sched: Sched::SelfSched,
+            chunks_per_thread: 0,
+        }
+    }
+
+    /// The pre-existing static scheduler: one part per worker, assigned
+    /// round-robin. Reproduces the paper's GNU-parallel-mode behaviour.
+    pub fn round_robin_static() -> Self {
+        SchedCfg {
+            sched: Sched::RoundRobin,
+            chunks_per_thread: 1,
+        }
+    }
+
+    /// Effective chunks-per-thread with `0` resolved to the default.
+    pub fn chunks_eff(&self) -> u32 {
+        if self.chunks_per_thread == 0 {
+            Self::DEFAULT_CHUNKS_PER_THREAD
+        } else {
+            self.chunks_per_thread
+        }
+    }
+
+    /// How many parts a caller should decompose its work into for
+    /// `threads` workers, capped at `max_parts` (usually the number of
+    /// items, so no part is empty).
+    pub fn over_parts(&self, threads: usize, max_parts: usize) -> usize {
+        let threads = threads.max(1);
+        if threads == 1 {
+            return 1;
+        }
+        threads
+            .saturating_mul(self.chunks_eff() as usize)
+            .min(max_parts)
+            .max(1)
+    }
+}
+
+impl Default for SchedCfg {
+    fn default() -> Self {
+        Self::self_sched()
+    }
+}
+
+/// What one worker did during a [`par_parts_with`] call. Times are
+/// seconds relative to the call's entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerStats {
+    /// Worker index (`0` is the calling thread).
+    pub worker: usize,
+    /// Number of parts this worker executed.
+    pub parts: usize,
+    /// When the worker first started executing a part.
+    pub start_s: f64,
+    /// When the worker finished its last part.
+    pub end_s: f64,
+    /// Total time spent inside part closures (excludes queue waits).
+    pub busy_s: f64,
+}
+
+/// Per-worker execution record returned by [`par_parts_with`] — the raw
+/// material for per-worker observability spans and imbalance metrics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SchedStats {
+    /// One entry per worker, indexed by worker id, including workers
+    /// that claimed zero parts (deterministic length
+    /// `min(threads, parts).max(1)` for a non-empty part list).
+    pub workers: Vec<WorkerStats>,
+    /// Total parts executed.
+    pub parts: usize,
+}
+
+impl SchedStats {
+    /// Ratio of the busiest worker's busy time to the mean busy time;
+    /// `1.0` is perfect balance. Returns `1.0` for degenerate inputs.
+    pub fn imbalance(&self) -> f64 {
+        let n = self.workers.len();
+        if n == 0 {
+            return 1.0;
+        }
+        let total: f64 = self.workers.iter().map(|w| w.busy_s).sum();
+        let max = self.workers.iter().map(|w| w.busy_s).fold(0.0f64, f64::max);
+        if total <= 0.0 {
+            return 1.0;
+        }
+        max * n as f64 / total
+    }
+}
 
 /// Split `len` items into `parts` contiguous ranges differing in length
 /// by at most one. Returns exactly `parts` ranges (possibly empty when
@@ -30,45 +158,156 @@ pub fn split_evenly(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
     out
 }
 
-/// Execute one closure per part on up to `threads` scoped threads.
-///
-/// Parts are moved into workers round-robin by index: worker `w` runs
-/// parts `w, w+threads, w+2·threads, …` in order. The closure receives
-/// `(part_index, part)`.
+/// Execute one closure per part on up to `threads` scoped threads using
+/// the default skew-resistant scheduler. The closure receives
+/// `(part_index, part)`; every part runs exactly once.
 pub fn par_parts<P, F>(threads: usize, parts: Vec<P>, f: F)
 where
     P: Send,
     F: Fn(usize, P) + Sync,
 {
+    par_parts_with(&SchedCfg::default(), threads, parts, f);
+}
+
+/// Like [`par_parts`] but with an explicit scheduling policy, returning
+/// per-worker execution stats.
+///
+/// Under [`Sched::SelfSched`] workers claim parts from an atomic queue
+/// in index order; under [`Sched::RoundRobin`] worker `w` statically
+/// runs parts `w, w+n, w+2n, …`. Either way each part runs exactly
+/// once, and disjoint-output callers produce identical results under
+/// both policies. `threads ≤ 1` (or a single part) runs inline on the
+/// calling thread with no queue and no atomics.
+pub fn par_parts_with<P, F>(cfg: &SchedCfg, threads: usize, parts: Vec<P>, f: F) -> SchedStats
+where
+    P: Send,
+    F: Fn(usize, P) + Sync,
+{
+    let t0 = Instant::now();
     let threads = threads.max(1);
+    if parts.is_empty() {
+        return SchedStats::default();
+    }
     if threads == 1 || parts.len() <= 1 {
+        let nparts = parts.len();
+        let mut busy = 0.0f64;
+        let start_s = t0.elapsed().as_secs_f64();
         for (i, p) in parts.into_iter().enumerate() {
+            let s = Instant::now();
             f(i, p);
+            busy += s.elapsed().as_secs_f64();
         }
-        return;
+        return SchedStats {
+            workers: vec![WorkerStats {
+                worker: 0,
+                parts: nparts,
+                start_s,
+                end_s: t0.elapsed().as_secs_f64(),
+                busy_s: busy,
+            }],
+            parts: nparts,
+        };
     }
+
     let nworkers = threads.min(parts.len());
-    // Round-robin assignment: preserve per-worker order for determinism.
-    let mut buckets: Vec<Vec<(usize, P)>> = (0..nworkers).map(|_| Vec::new()).collect();
-    for (i, p) in parts.into_iter().enumerate() {
-        buckets[i % nworkers].push((i, p));
-    }
+    let nparts = parts.len();
     let fref = &f;
-    std::thread::scope(|s| {
-        // First worker runs on the calling thread to save one spawn.
-        let mut iter = buckets.into_iter();
-        let mine = iter.next().unwrap();
-        for bucket in iter {
-            s.spawn(move || {
-                for (i, p) in bucket {
-                    fref(i, p);
-                }
-            });
-        }
-        for (i, p) in mine {
+
+    let run_list = |worker: usize, list: Vec<(usize, P)>| -> WorkerStats {
+        let start_s = t0.elapsed().as_secs_f64();
+        let mut busy = 0.0f64;
+        let n = list.len();
+        for (i, p) in list {
+            let s = Instant::now();
             fref(i, p);
+            busy += s.elapsed().as_secs_f64();
         }
-    });
+        WorkerStats {
+            worker,
+            parts: n,
+            start_s,
+            end_s: t0.elapsed().as_secs_f64(),
+            busy_s: busy,
+        }
+    };
+
+    let mut workers: Vec<WorkerStats> = match cfg.sched {
+        Sched::RoundRobin => {
+            // Static assignment: preserve per-worker order for
+            // determinism; this is the paper's GNU-parallel-mode model.
+            let mut buckets: Vec<Vec<(usize, P)>> = (0..nworkers).map(|_| Vec::new()).collect();
+            for (i, p) in parts.into_iter().enumerate() {
+                buckets[i % nworkers].push((i, p));
+            }
+            std::thread::scope(|s| {
+                let mut iter = buckets.into_iter().enumerate();
+                // First worker runs on the calling thread to save a spawn.
+                let (_, mine) = iter.next().expect("nworkers >= 1");
+                let handles: Vec<_> = iter
+                    .map(|(w, bucket)| s.spawn(move || run_list(w, bucket)))
+                    .collect();
+                let mut out = vec![run_list(0, mine)];
+                for h in handles {
+                    out.push(h.join().expect("parallel worker panicked"));
+                }
+                out
+            })
+        }
+        Sched::SelfSched => {
+            // Atomic work queue: slots hold the parts; `next` hands out
+            // indices. Each slot's mutex is locked exactly once (by the
+            // claiming worker), so there is no contention on the data,
+            // only one fetch_add per part.
+            let slots: Vec<Mutex<Option<P>>> =
+                parts.into_iter().map(|p| Mutex::new(Some(p))).collect();
+            let next = AtomicUsize::new(0);
+            let slots_ref = &slots;
+            let next_ref = &next;
+            let run_queue = move |worker: usize| -> WorkerStats {
+                let start_s = t0.elapsed().as_secs_f64();
+                let mut busy = 0.0f64;
+                let mut count = 0usize;
+                loop {
+                    let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                    if i >= slots_ref.len() {
+                        break;
+                    }
+                    let p = slots_ref[i]
+                        .lock()
+                        .expect("work-queue slot poisoned")
+                        .take()
+                        .expect("work-queue slot claimed twice");
+                    let s = Instant::now();
+                    fref(i, p);
+                    busy += s.elapsed().as_secs_f64();
+                    count += 1;
+                }
+                WorkerStats {
+                    worker,
+                    parts: count,
+                    start_s,
+                    end_s: t0.elapsed().as_secs_f64(),
+                    busy_s: busy,
+                }
+            };
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (1..nworkers)
+                    .map(|w| s.spawn(move || run_queue(w)))
+                    .collect();
+                let mut out = vec![run_queue(0)];
+                for h in handles {
+                    out.push(h.join().expect("parallel worker panicked"));
+                }
+                out
+            })
+        }
+    };
+    workers.sort_by_key(|w| w.worker);
+    debug_assert_eq!(workers.iter().map(|w| w.parts).sum::<usize>(), nparts);
+    SchedStats {
+        workers,
+        parts: nparts,
+    }
 }
 
 /// Split `data` into `parts` contiguous mutable chunks of near-equal
@@ -82,6 +321,39 @@ where
     let chunks = split_ranges_mut(data, &ranges);
     par_parts(threads, chunks, f);
 }
+
+/// Parallel memcpy: copy `src` into `dst` (equal lengths) with up to
+/// `threads` workers over self-scheduled chunks. The PARMEMCPY staging
+/// path uses this for host↔pinned copies. Chunks are kept ≥
+/// [`MIN_COPY_CHUNK`] elements so thread overhead never dominates small
+/// buffers; `threads ≤ 1` is a plain `copy_from_slice`.
+pub fn par_copy<T>(threads: usize, src: &[T], dst: &mut [T])
+where
+    T: Copy + Send + Sync,
+{
+    assert_eq!(src.len(), dst.len(), "par_copy length mismatch");
+    let len = src.len();
+    let threads = threads.max(1);
+    if threads == 1 || len <= MIN_COPY_CHUNK {
+        dst.copy_from_slice(src);
+        return;
+    }
+    let cfg = SchedCfg::default();
+    let parts = cfg.over_parts(threads, len.div_ceil(MIN_COPY_CHUNK));
+    let ranges = split_evenly(len, parts);
+    let chunks = split_ranges_mut(dst, &ranges);
+    let pairs: Vec<(&[T], &mut [T])> = ranges
+        .iter()
+        .zip(chunks)
+        .map(|(r, c)| (&src[r.clone()], c))
+        .collect();
+    par_parts_with(&cfg, threads, pairs, |_, (s, d)| {
+        d.copy_from_slice(s);
+    });
+}
+
+/// Smallest chunk [`par_copy`] will hand to a worker, in elements.
+pub const MIN_COPY_CHUNK: usize = 4 * 1024;
 
 /// Carve a mutable slice into the given disjoint, ascending ranges.
 ///
@@ -175,22 +447,86 @@ mod tests {
     #[test]
     fn par_parts_runs_every_part_once() {
         for threads in [1, 2, 4, 9] {
-            let counter = AtomicUsize::new(0);
-            let hits: Vec<AtomicUsize> = (0..17).map(|_| AtomicUsize::new(0)).collect();
-            let parts: Vec<usize> = (0..17).collect();
-            par_parts(threads, parts, |i, p| {
-                assert_eq!(i, p);
-                hits[i].fetch_add(1, Ordering::Relaxed);
-                counter.fetch_add(1, Ordering::Relaxed);
-            });
-            assert_eq!(counter.load(Ordering::Relaxed), 17);
-            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+            for cfg in [SchedCfg::self_sched(), SchedCfg::round_robin_static()] {
+                let counter = AtomicUsize::new(0);
+                let hits: Vec<AtomicUsize> = (0..17).map(|_| AtomicUsize::new(0)).collect();
+                let parts: Vec<usize> = (0..17).collect();
+                let stats = par_parts_with(&cfg, threads, parts, |i, p| {
+                    assert_eq!(i, p);
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+                assert_eq!(counter.load(Ordering::Relaxed), 17);
+                assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+                assert_eq!(stats.parts, 17);
+                assert_eq!(stats.workers.len(), threads.min(17));
+                assert_eq!(stats.workers.iter().map(|w| w.parts).sum::<usize>(), 17);
+            }
         }
     }
 
     #[test]
     fn par_parts_empty_is_noop() {
         par_parts::<usize, _>(4, Vec::new(), |_, _| panic!("should not run"));
+        let stats = par_parts_with::<usize, _>(&SchedCfg::default(), 4, Vec::new(), |_, _| {
+            panic!("should not run")
+        });
+        assert_eq!(stats, SchedStats::default());
+    }
+
+    #[test]
+    fn inline_path_reports_single_worker() {
+        let stats = par_parts_with(&SchedCfg::default(), 1, vec![1, 2, 3], |_, _| {});
+        assert_eq!(stats.workers.len(), 1);
+        assert_eq!(stats.workers[0].parts, 3);
+        assert_eq!(stats.parts, 3);
+    }
+
+    #[test]
+    fn round_robin_assignment_is_static() {
+        // Worker w runs parts w, w+n, w+2n, …: with 10 parts on 3
+        // workers the per-worker part counts are fixed at 4/3/3.
+        let cfg = SchedCfg::round_robin_static();
+        let stats = par_parts_with(&cfg, 3, (0..10).collect::<Vec<usize>>(), |_, _| {});
+        let counts: Vec<usize> = stats.workers.iter().map(|w| w.parts).collect();
+        assert_eq!(counts, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn over_parts_scales_and_caps() {
+        let cfg = SchedCfg::default();
+        assert_eq!(cfg.chunks_eff(), SchedCfg::DEFAULT_CHUNKS_PER_THREAD);
+        assert_eq!(cfg.over_parts(1, 100), 1, "single thread never splits");
+        assert_eq!(cfg.over_parts(4, 1_000), 16, "4x over-decomposition");
+        assert_eq!(cfg.over_parts(4, 5), 5, "capped at max_parts");
+        assert_eq!(cfg.over_parts(4, 0), 1, "never zero");
+        let rr = SchedCfg::round_robin_static();
+        assert_eq!(rr.over_parts(4, 1_000), 4, "static: one part per worker");
+    }
+
+    #[test]
+    fn imbalance_of_empty_stats_is_one() {
+        assert_eq!(SchedStats::default().imbalance(), 1.0);
+    }
+
+    #[test]
+    fn par_copy_matches_memcpy() {
+        for threads in [1, 2, 4] {
+            for len in [0usize, 10, MIN_COPY_CHUNK - 1, MIN_COPY_CHUNK * 3 + 17] {
+                let src: Vec<u64> = (0..len as u64).map(|x| x.wrapping_mul(0x9E37)).collect();
+                let mut dst = vec![0u64; len];
+                par_copy(threads, &src, &mut dst);
+                assert_eq!(src, dst, "threads={threads} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn par_copy_rejects_length_mismatch() {
+        let src = [1u8, 2];
+        let mut dst = [0u8; 3];
+        par_copy(2, &src, &mut dst);
     }
 
     #[test]

@@ -2,29 +2,56 @@
 //!
 //! Thrust's radix sort is a sequence of count → scan → scatter passes
 //! over thousands of GPU threads. This is the CPU translation: each
-//! pass computes per-worker digit histograms in parallel, prefix-scans
-//! them into disjoint per-(bucket, worker) output blocks, and scatters
-//! in parallel. Stability is preserved (workers own contiguous input
-//! chunks, scanned in order), so the pass sequence sorts exactly like
+//! pass computes per-chunk digit histograms in parallel, prefix-scans
+//! them into disjoint per-(bucket, chunk) output blocks, and scatters
+//! in parallel. Stability is preserved (chunks own contiguous input
+//! ranges, scanned in order), so the pass sequence sorts exactly like
 //! the sequential [`crate::radix`] — verified bit-for-bit by tests.
 //!
-//! The scatter writes through a raw pointer because each worker's
+//! Histogram counts are [`HistCount`] (`u64`): the paper's headline run
+//! sorts n = 4.9×10⁹ elements, and a `u32` count wraps exactly there
+//! when one worker chunk holds ≥ 2³² equal-digit elements.
+//!
+//! The scatter writes through a raw pointer because each chunk's
 //! targets interleave globally while remaining *pairwise disjoint* —
 //! the canonical counting-sort partition. See the `SAFETY` notes.
 
 use crate::keys::RadixKey;
-use crate::par::{par_parts, split_evenly};
+use crate::par::{par_parts_with, split_evenly, SchedCfg};
 
 const BUCKETS: usize = 256;
+
+/// Histogram count type. `u64`, never `u32`: a chunk with ≥ 2³²
+/// equal-digit elements (paper scale) must not wrap silently.
+pub type HistCount = u64;
+
+/// Smallest per-chunk slice the sort will hand to the scheduler, in
+/// elements — bounds histogram memory (one `BUCKETS × digits` table
+/// per chunk) and keeps queue overhead negligible.
+const MIN_RADIX_CHUNK: usize = 4 * 1024;
+
+/// Count digit occurrences of `chunk` into `hist` (layout
+/// `[digit][bucket]`, `BUCKETS * digits` wide). This is the per-worker
+/// counting kernel of every pass; extracted so overflow behaviour is
+/// testable without allocating paper-scale inputs.
+fn count_digits<T: RadixKey>(chunk: &[T], digits: usize, hist: &mut [HistCount]) {
+    for &x in chunk {
+        let key = x.radix_key();
+        for d in 0..digits {
+            let byte = ((key >> (8 * d)) & 0xFF) as usize;
+            hist[d * BUCKETS + byte] += 1;
+        }
+    }
+}
 
 /// Shared mutable output for the scatter phase.
 ///
 /// SAFETY invariant: all concurrent writers write pairwise-disjoint
-/// index sets (guaranteed by the exclusive scan over per-worker bucket
+/// index sets (guaranteed by the exclusive scan over per-chunk bucket
 /// counts), and the pointer outlives the scoped threads.
 struct ScatterTarget<T>(*mut T);
 // SAFETY: concurrent writers touch pairwise-disjoint index sets (the
-// exclusive scan hands each worker a private block per bucket) and the
+// exclusive scan hands each chunk a private block per bucket) and the
 // pointee outlives the scoped threads, so shared access cannot alias.
 unsafe impl<T: Send> Sync for ScatterTarget<T> {}
 // SAFETY: the wrapper is just a pointer to a `Send` buffer owned by the
@@ -36,6 +63,11 @@ unsafe impl<T: Send> Send for ScatterTarget<T> {}
 /// Falls back to the sequential radix sort for small inputs or one
 /// thread. Allocates one scratch buffer of equal length.
 pub fn par_radix_sort<T: RadixKey + Default>(threads: usize, data: &mut [T]) {
+    par_radix_sort_cfg(&SchedCfg::default(), threads, data);
+}
+
+/// [`par_radix_sort`] with an explicit scheduling policy.
+pub fn par_radix_sort_cfg<T: RadixKey + Default>(cfg: &SchedCfg, threads: usize, data: &mut [T]) {
     let threads = threads.max(1);
     let n = data.len();
     if threads == 1 || n < 8 * 1024 {
@@ -43,7 +75,7 @@ pub fn par_radix_sort<T: RadixKey + Default>(threads: usize, data: &mut [T]) {
         return;
     }
     let mut scratch: Vec<T> = vec![T::default(); n];
-    let passes = par_radix_with_scratch(threads, data, &mut scratch);
+    let passes = par_radix_with_scratch_cfg(cfg, threads, data, &mut scratch);
     if passes % 2 == 1 {
         data.copy_from_slice(&scratch);
     }
@@ -56,37 +88,48 @@ pub fn par_radix_with_scratch<T: RadixKey>(
     data: &mut [T],
     scratch: &mut [T],
 ) -> usize {
+    par_radix_with_scratch_cfg(&SchedCfg::default(), threads, data, scratch)
+}
+
+/// [`par_radix_with_scratch`] with an explicit scheduling policy. The
+/// input is over-decomposed into [`SchedCfg::over_parts`] chunks (≥
+/// [`MIN_RADIX_CHUNK`] elements each) claimed from the scheduler's
+/// queue; the exclusive scan runs over (bucket, chunk) in chunk order,
+/// so the permutation — and therefore stability — is identical under
+/// every policy and thread count.
+pub fn par_radix_with_scratch_cfg<T: RadixKey>(
+    cfg: &SchedCfg,
+    threads: usize,
+    data: &mut [T],
+    scratch: &mut [T],
+) -> usize {
     assert_eq!(data.len(), scratch.len(), "scratch must match input length");
     let n = data.len();
     if n <= 1 {
         return 0;
     }
     let digits = T::KEY_BYTES;
-    let chunks = split_evenly(n, threads);
+    let nchunks = cfg.over_parts(threads, n.div_ceil(MIN_RADIX_CHUNK));
+    let chunks = split_evenly(n, nchunks);
 
     // Global histograms for every digit in one parallel pass
-    // (per-worker local tables, reduced afterwards).
-    let mut local_hists: Vec<Vec<u32>>;
+    // (per-chunk local tables, reduced afterwards).
+    let mut local_hists: Vec<Vec<HistCount>>;
     {
-        let mut slots: Vec<Vec<u32>> = (0..threads).map(|_| vec![0u32; BUCKETS * digits]).collect();
-        let parts: Vec<(std::ops::Range<usize>, &mut Vec<u32>)> =
+        let mut slots: Vec<Vec<HistCount>> =
+            (0..nchunks).map(|_| vec![0; BUCKETS * digits]).collect();
+        let parts: Vec<(std::ops::Range<usize>, &mut Vec<HistCount>)> =
             chunks.iter().cloned().zip(slots.iter_mut()).collect();
         let data_ref: &[T] = data;
-        par_parts(threads, parts, |_, (range, hist)| {
-            for &x in &data_ref[range] {
-                let key = x.radix_key();
-                for d in 0..digits {
-                    let byte = ((key >> (8 * d)) & 0xFF) as usize;
-                    hist[d * BUCKETS + byte] += 1;
-                }
-            }
+        par_parts_with(cfg, threads, parts, |_, (range, hist)| {
+            count_digits(&data_ref[range], digits, hist);
         });
         local_hists = slots;
     }
     let mut global = vec![0u64; BUCKETS * digits];
     for h in &local_hists {
         for (g, &c) in global.iter_mut().zip(h.iter()) {
-            *g += c as u64;
+            *g += c;
         }
     }
 
@@ -97,20 +140,20 @@ pub fn par_radix_with_scratch<T: RadixKey>(
         if g.iter().any(|&c| c as usize == n) {
             continue; // constant digit, skip the permute
         }
-        // Exclusive scan over (bucket, worker): worker w's block for
-        // bucket b starts at Σ_{b'<b} total[b'] + Σ_{w'<w} hist[w'][b].
+        // Exclusive scan over (bucket, chunk): chunk c's block for
+        // bucket b starts at Σ_{b'<b} total[b'] + Σ_{c'<c} hist[c'][b].
         let mut bucket_starts = [0usize; BUCKETS];
         let mut sum = 0usize;
         for (b, s) in bucket_starts.iter_mut().enumerate() {
             *s = sum;
             sum += g[b] as usize;
         }
-        let mut worker_offsets: Vec<[usize; BUCKETS]> = vec![[0usize; BUCKETS]; threads];
+        let mut chunk_offsets: Vec<[usize; BUCKETS]> = vec![[0usize; BUCKETS]; nchunks];
         for b in 0..BUCKETS {
             let mut off = bucket_starts[b];
-            for (w, wo) in worker_offsets.iter_mut().enumerate() {
-                wo[b] = off;
-                off += local_hists[w][d * BUCKETS + b] as usize;
+            for (c, co) in chunk_offsets.iter_mut().enumerate() {
+                co[b] = off;
+                off += local_hists[c][d * BUCKETS + b] as usize;
             }
         }
 
@@ -121,14 +164,14 @@ pub fn par_radix_with_scratch<T: RadixKey>(
         };
         let target = ScatterTarget(dst.as_mut_ptr());
         let parts: Vec<(std::ops::Range<usize>, [usize; BUCKETS])> =
-            chunks.iter().cloned().zip(worker_offsets).collect();
+            chunks.iter().cloned().zip(chunk_offsets).collect();
         let target_ref = &target;
-        par_parts(threads, parts, move |_, (range, mut offsets)| {
+        par_parts_with(cfg, threads, parts, move |_, (range, mut offsets)| {
             for &x in &src[range] {
                 let byte = ((x.radix_key() >> (8 * d)) & 0xFF) as usize;
-                // SAFETY: `offsets[byte]` walks this worker's private
+                // SAFETY: `offsets[byte]` walks this chunk's private
                 // block for `byte` (exclusive scan above): no two
-                // workers ever produce the same index, every index is
+                // chunks ever produce the same index, every index is
                 // in-bounds (Σ blocks = n), and the scoped-thread join
                 // sequences all writes before the next pass reads.
                 unsafe {
@@ -139,22 +182,16 @@ pub fn par_radix_with_scratch<T: RadixKey>(
         });
 
         // Histograms stay valid across passes: counting-sort permutes,
-        // never changes the multiset, but per-worker *chunk contents*
-        // change — recompute local histograms for the remaining digits.
+        // never changes the multiset, but per-chunk *contents* change —
+        // recompute local histograms for the remaining digits.
         if d + 1 < digits {
             let next_src: &[T] = if src_is_data { &*scratch } else { &*data };
-            let mut slots: Vec<Vec<u32>> =
-                (0..threads).map(|_| vec![0u32; BUCKETS * digits]).collect();
-            let parts: Vec<(std::ops::Range<usize>, &mut Vec<u32>)> =
+            let mut slots: Vec<Vec<HistCount>> =
+                (0..nchunks).map(|_| vec![0; BUCKETS * digits]).collect();
+            let parts: Vec<(std::ops::Range<usize>, &mut Vec<HistCount>)> =
                 chunks.iter().cloned().zip(slots.iter_mut()).collect();
-            par_parts(threads, parts, |_, (range, hist)| {
-                for &x in &next_src[range] {
-                    let key = x.radix_key();
-                    for dd in 0..digits {
-                        let byte = ((key >> (8 * dd)) & 0xFF) as usize;
-                        hist[dd * BUCKETS + byte] += 1;
-                    }
-                }
+            par_parts_with(cfg, threads, parts, |_, (range, hist)| {
+                count_digits(&next_src[range], digits, hist);
             });
             local_hists = slots;
         }
@@ -246,6 +283,39 @@ mod tests {
             par_radix_sort(threads, &mut v);
             assert_eq!(v, expect, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn cfg_policies_agree() {
+        let base = lcg(29, 40_000);
+        let mut expect = base.clone();
+        radix_sort(&mut expect);
+        for cfg in [SchedCfg::self_sched(), SchedCfg::round_robin_static()] {
+            for threads in [2usize, 8, 16] {
+                let mut v = base.clone();
+                par_radix_sort_cfg(&cfg, threads, &mut v);
+                assert_eq!(v, expect, "cfg={cfg:?} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_counts_cannot_wrap_at_paper_scale() {
+        // Mock a chunk that has already counted u32::MAX elements whose
+        // low digit is 0x00 (paper scale: n = 4.9e9 > 2³²) without
+        // allocating them: seed the histogram, then run the real
+        // counting kernel over 10 more such elements.
+        let digits = <u64 as RadixKey>::KEY_BYTES;
+        let mut hist: Vec<HistCount> = vec![0; BUCKETS * digits];
+        hist[0] = u32::MAX as HistCount; // digit 0, bucket 0x00
+        count_digits(&[0u64; 10], digits, &mut hist);
+        assert_eq!(
+            hist[0],
+            u32::MAX as u64 + 10,
+            "a u32 histogram wraps to 9 here and merges garbage silently"
+        );
+        // The wrap a u32 histogram would have produced is observable:
+        assert_ne!(hist[0] as u32 as u64, hist[0]);
     }
 
     #[test]

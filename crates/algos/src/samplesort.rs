@@ -13,13 +13,22 @@
 use crate::introsort::introsort;
 use crate::keys::SortOrd;
 use crate::multiway::upper_bound;
-use crate::par::{par_parts, split_evenly, split_ranges_mut};
+use crate::par::{par_parts_with, split_evenly, split_ranges_mut, SchedCfg};
 
 /// Oversampling factor for splitter selection.
 const OVERSAMPLE: usize = 32;
 
 /// Sort `data` with `threads` workers using samplesort.
 pub fn par_samplesort<T: SortOrd + Default>(threads: usize, data: &mut [T]) {
+    par_samplesort_cfg(&SchedCfg::default(), threads, data);
+}
+
+/// [`par_samplesort`] with an explicit scheduling policy. The bucket
+/// count is over-decomposed ([`SchedCfg::over_parts`]) so that on
+/// skewed inputs — where value-based buckets imbalance badly — an
+/// oversized bucket occupies one worker while the rest drain the queue,
+/// instead of stalling a statically-assigned peer.
+pub fn par_samplesort_cfg<T: SortOrd + Default>(cfg: &SchedCfg, threads: usize, data: &mut [T]) {
     let threads = threads.max(1);
     let n = data.len();
     if threads == 1 || n < 4 * threads * OVERSAMPLE {
@@ -28,7 +37,9 @@ pub fn par_samplesort<T: SortOrd + Default>(threads: usize, data: &mut [T]) {
     }
 
     // 1. Choose p-1 splitters from an oversampled, evenly spaced sample.
-    let p = threads;
+    //    (The fallback above guarantees n / (4·OVERSAMPLE) ≥ threads, so
+    //    the sample never exceeds a quarter of the input.)
+    let p = cfg.over_parts(threads, n / (4 * OVERSAMPLE));
     let sample_len = p * OVERSAMPLE;
     let mut sample: Vec<T> = (0..sample_len)
         .map(|i| data[i * (n / sample_len)])
@@ -45,7 +56,7 @@ pub fn par_samplesort<T: SortOrd + Default>(threads: usize, data: &mut [T]) {
         let parts: Vec<(usize, &[T])> = chunks.iter().copied().enumerate().collect();
         let local_ref = &local;
         let splitters_ref = &splitters;
-        par_parts(threads, parts, move |_, (c, chunk)| {
+        par_parts_with(cfg, threads, parts, move |_, (c, chunk)| {
             let mut buckets: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
             for &x in chunk {
                 let b = upper_bound(splitters_ref, &x);
@@ -76,7 +87,7 @@ pub fn par_samplesort<T: SortOrd + Default>(threads: usize, data: &mut [T]) {
     let out_chunks = split_ranges_mut(data, &bucket_ranges);
     let parts: Vec<(usize, &mut [T])> = out_chunks.into_iter().enumerate().collect();
     let local_ref = &local;
-    par_parts(threads, parts, move |_, (b, out)| {
+    par_parts_with(cfg, threads, parts, move |_, (b, out)| {
         let mut off = 0usize;
         for chunk_buckets in local_ref {
             let piece = &chunk_buckets[b];
@@ -163,6 +174,25 @@ mod tests {
                 expect.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
                 "threads={threads}"
             );
+        }
+    }
+
+    #[test]
+    fn cfg_policies_agree() {
+        let base = lcg(6, 25_000);
+        let mut expect = base.clone();
+        introsort(&mut expect);
+        let expect: Vec<u64> = expect.iter().map(|x| x.to_bits()).collect();
+        for cfg in [SchedCfg::self_sched(), SchedCfg::round_robin_static()] {
+            for threads in [2usize, 8] {
+                let mut v = base.clone();
+                par_samplesort_cfg(&cfg, threads, &mut v);
+                assert_eq!(
+                    v.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    expect,
+                    "cfg={cfg:?} threads={threads}"
+                );
+            }
         }
     }
 

@@ -3,7 +3,10 @@
 //! multiway merge at several fan-ins.
 
 use hetsort_algos::merge::{merge_into, par_merge_into};
-use hetsort_algos::multiway::{multiway_merge_into, par_multiway_merge_into};
+use hetsort_algos::multiway::{
+    multiway_merge_into, par_multiway_merge_into, par_multiway_merge_into_cfg,
+};
+use hetsort_algos::par::SchedCfg;
 use hetsort_prng::bench::bench_throughput;
 use hetsort_workloads::generate_batch_sorted;
 use hetsort_workloads::Distribution;
@@ -53,6 +56,30 @@ fn main() {
             || {
                 let mut out = vec![0.0f64; total];
                 par_multiway_merge_into(4, &lists, &mut out);
+                out
+            },
+        );
+    }
+
+    // Skewed fan-in: one long list plus many tiny ones, self-scheduling
+    // vs the static round-robin partitioning (sched_microbench has the
+    // committed CSV version of this comparison).
+    let long = generate_batch_sorted(Distribution::Uniform, N, 1, 17);
+    let shorts = generate_batch_sorted(Distribution::Uniform, 4, 16, 19);
+    let mut lists: Vec<&[f64]> = vec![&long];
+    lists.extend((0..16).map(|i| &shorts[i * 4..(i + 1) * 4]));
+    let total: usize = lists.iter().map(|l| l.len()).sum();
+    for (name, cfg) in [
+        ("rr", SchedCfg::round_robin_static()),
+        ("self", SchedCfg::self_sched()),
+    ] {
+        bench_throughput(
+            &format!("multiway_merge/skewed_{name}/8"),
+            SAMPLES,
+            total,
+            || {
+                let mut out = vec![0.0f64; total];
+                par_multiway_merge_into_cfg(&cfg, 8, &lists, &mut out);
                 out
             },
         );

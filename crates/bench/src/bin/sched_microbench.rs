@@ -1,0 +1,114 @@
+//! Self-scheduling vs round-robin on skewed merge workloads.
+//!
+//! The paper's CPU merge layer (GNU parallel-mode model) partitions each
+//! parallel region statically: one co-rank part per thread. Under skew —
+//! pathological list-length ratios or heavy key duplication — those
+//! parts degenerate: every part still drags the full fan-in `k` through
+//! the loser tree even when most of its input comes from one list. The
+//! chunked self-scheduling runtime over-decomposes the region (default
+//! 4 chunks per worker) so narrow parts intersect few lists, and the
+//! merge kernel drops empty sublists before building the tree: fan-in 1
+//! becomes a memcpy, fan-in 2 a pairwise merge.
+//!
+//! This binary times both policies on two adversarial workloads and
+//! writes `results/sched_microbench.csv`. The acceptance bar for the
+//! skew-resistance work: `self` ≥ 1.3× faster than `rr` on the skewed
+//! merge at ≥ 8 threads.
+//!
+//! Usage: `cargo run --release -p hetsort-bench --bin sched_microbench [scale]`
+
+use std::time::Instant;
+
+use hetsort_algos::multiway::par_multiway_merge_into_cfg;
+use hetsort_algos::par::SchedCfg;
+use hetsort_algos::verify::is_sorted;
+use hetsort_bench::write_csv;
+use hetsort_workloads::{generate, Distribution};
+
+/// Best of `reps` timed runs (adversarially small on CI containers).
+fn time<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn sorted(dist: Distribution, n: usize, seed: u64) -> Vec<f64> {
+    let mut v = generate(dist, n, seed).data;
+    hetsort_algos::introsort::introsort(&mut v);
+    v
+}
+
+/// One list ~10⁴× longer than its siblings, short elements spread
+/// uniformly: a coarse static part sees contributions from most of the
+/// `k` lists, a narrow self-scheduled chunk from only a handful.
+fn length_skew(scale: usize) -> Vec<Vec<f64>> {
+    let long = 2_000_000 * scale;
+    let mut lists = vec![sorted(Distribution::Uniform, long, 1)];
+    for i in 0..32 {
+        lists.push(sorted(Distribution::Uniform, long / 10_000 / 32, 2 + i));
+    }
+    lists
+}
+
+/// All keys equal across many equal lists: co-rank ties resolve by list
+/// index, so the merged output is the concatenation — narrow chunks
+/// intersect 1–2 lists (memcpy / pairwise), coarse parts drag the full
+/// loser tree over constant comparisons.
+fn constant_keys(scale: usize) -> Vec<Vec<f64>> {
+    (0..64).map(|_| vec![1.5f64; 31_250 * scale]).collect()
+}
+
+fn main() {
+    let scale: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let self_cfg = SchedCfg::self_sched();
+    let rr_cfg = SchedCfg::round_robin_static();
+    let mut rows = Vec::new();
+
+    println!(
+        "=== self-scheduling vs round-robin on skewed merges (scale {scale}, {} hw threads) ===",
+        hetsort_algos::par::default_threads()
+    );
+    for (case, lists) in [
+        ("length_skew_1e4", length_skew(scale)),
+        ("constant_keys", constant_keys(scale)),
+    ] {
+        let views: Vec<&[f64]> = lists.iter().map(|l| l.as_slice()).collect();
+        let total: usize = views.iter().map(|l| l.len()).sum();
+        let mut out = vec![0.0f64; total];
+        println!("\n{case}: k = {}, total = {total} elements", views.len());
+        println!(
+            "{:>8} {:>12} {:>12} {:>9}",
+            "threads", "rr_s", "self_s", "speedup"
+        );
+        for threads in [1usize, 2, 4, 8, 16] {
+            let t_rr = time(5, || {
+                par_multiway_merge_into_cfg(&rr_cfg, threads, &views, &mut out);
+            });
+            assert!(is_sorted(&out), "{case}: rr output unsorted");
+            let t_self = time(5, || {
+                par_multiway_merge_into_cfg(&self_cfg, threads, &views, &mut out);
+            });
+            assert!(is_sorted(&out), "{case}: self output unsorted");
+            let speedup = t_rr / t_self;
+            println!("{threads:>8} {t_rr:>12.5} {t_self:>12.5} {speedup:>8.2}x");
+            rows.push(format!(
+                "{case},{threads},{},{t_rr:.6},{t_self:.6},{speedup:.3}",
+                views.len()
+            ));
+        }
+    }
+
+    let path = write_csv(
+        "sched_microbench.csv",
+        "case,threads,k,rr_s,self_s,speedup",
+        &rows,
+    );
+    println!("\nwrote {}", path.display());
+}

@@ -98,6 +98,21 @@ pub fn scenario_matrix() -> Vec<Scenario> {
             true,
             Some(PAPER_N),
         ));
+        // SKEWMERGE: ragged n — one element past a whole number of
+        // batches leaves a single-element final batch, so the final
+        // multiway merge sees maximally skewed list lengths (the
+        // regression the self-scheduling runtime and skew-aware
+        // partitioner guard against).
+        let batch =
+            HetSortConfig::paper_defaults(platform.clone(), Approach::PipeMerge).batch_elems;
+        out.push(scenario(
+            key,
+            &platform,
+            "SKEWMERGE",
+            Approach::PipeMerge,
+            false,
+            Some((PAPER_N / batch) * batch + 1),
+        ));
     }
     out
 }
@@ -157,16 +172,21 @@ mod tests {
     use super::*;
 
     #[test]
-    fn matrix_is_ten_pinned_scenarios() {
+    fn matrix_is_twelve_pinned_scenarios() {
         let m = scenario_matrix();
-        assert_eq!(m.len(), 10);
+        assert_eq!(m.len(), 12);
         // Ids are unique and stable-keyed.
         let mut ids: Vec<&str> = m.iter().map(|s| s.id.as_str()).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 10);
+        assert_eq!(ids.len(), 12);
         assert!(m.iter().any(|s| s.id == "p1/pipedata/n2e9"));
         assert!(m.iter().any(|s| s.id == "p2/parmemcpy/n2e9"));
+        assert_eq!(
+            m.iter().filter(|s| s.label == "SKEWMERGE").count(),
+            2,
+            "one SKEWMERGE per platform"
+        );
         // BLINE scenarios are single-batch.
         for s in m.iter().filter(|s| s.label == "BLINE") {
             assert_eq!(s.config.n_batches(s.n), 1, "{}", s.id);
@@ -175,6 +195,12 @@ mod tests {
         for s in m.iter().filter(|s| s.label == "PARMEMCPY") {
             assert_eq!(s.config.approach, Approach::PipeMerge);
             assert!(s.config.par_memcpy);
+        }
+        // SKEWMERGE scenarios carry a one-element final batch (maximal
+        // length skew in the final multiway merge).
+        for s in m.iter().filter(|s| s.label == "SKEWMERGE") {
+            assert!(s.config.n_batches(s.n) > 1, "{}", s.id);
+            assert_eq!(s.n % s.config.batch_elems, 1, "{}: final batch len", s.id);
         }
     }
 

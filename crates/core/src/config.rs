@@ -151,6 +151,38 @@ impl RecoveryPolicy {
     }
 }
 
+/// CPU scheduling policy for parallel merges, sorts, and staging
+/// copies (the `algos::par` runtime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CpuSched {
+    /// Chunked self-scheduling: over-decomposed parts claimed from an
+    /// atomic work queue. Skew-resistant; the default.
+    #[default]
+    SelfSched,
+    /// Static round-robin assignment, one part per worker — the GNU
+    /// parallel-mode model the paper benchmarks. Kept for A/B runs.
+    RoundRobin,
+}
+
+impl CpuSched {
+    /// Stable CLI/display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CpuSched::SelfSched => "self",
+            CpuSched::RoundRobin => "rr",
+        }
+    }
+
+    /// Parse a CLI name (`"self"` / `"rr"`).
+    pub fn parse(s: &str) -> Option<CpuSched> {
+        match s {
+            "self" | "selfsched" | "self-sched" => Some(CpuSched::SelfSched),
+            "rr" | "roundrobin" | "round-robin" => Some(CpuSched::RoundRobin),
+            _ => None,
+        }
+    }
+}
+
 /// A fully specified heterogeneous sort configuration.
 #[derive(Debug, Clone)]
 pub struct HetSortConfig {
@@ -176,6 +208,11 @@ pub struct HetSortConfig {
     pub pair_merge_threads: u32,
     /// Scheduling strategy for pipelined merges (PIPEMERGE only).
     pub pair_strategy: PairStrategy,
+    /// How CPU workers claim parts inside parallel merges/sorts/copies.
+    pub cpu_sched: CpuSched,
+    /// Work-queue chunks created per CPU worker under
+    /// [`CpuSched::SelfSched`]; `0` = auto (see [`Self::sched_chunks_eff`]).
+    pub sched_chunks_per_thread: u32,
     /// Element size in bytes: 8 for the paper's `f64` keys, 16 for the
     /// key/value records of \[5\] (`hetsort_algos::keys::KeyValue`).
     /// Drives every transfer/staging volume and the GPU memory check.
@@ -216,6 +253,8 @@ impl HetSortConfig {
             merge_threads: 0,
             pair_merge_threads: 0,
             pair_strategy: PairStrategy::default(),
+            cpu_sched: CpuSched::default(),
+            sched_chunks_per_thread: 0,
             elem_bytes: 8.0,
             device_sort: DeviceSortKind::default(),
             recovery: RecoveryPolicy::default(),
@@ -257,6 +296,18 @@ impl HetSortConfig {
     /// Select a pipelined-merge scheduling strategy (§III-D3).
     pub fn with_pair_strategy(mut self, s: PairStrategy) -> Self {
         self.pair_strategy = s;
+        self
+    }
+
+    /// Select the CPU worker scheduling policy.
+    pub fn with_cpu_sched(mut self, s: CpuSched) -> Self {
+        self.cpu_sched = s;
+        self
+    }
+
+    /// Set the self-scheduling chunks-per-worker knob (`0` = auto).
+    pub fn with_sched_chunks(mut self, chunks: u32) -> Self {
+        self.sched_chunks_per_thread = chunks;
         self
     }
 
@@ -309,6 +360,25 @@ impl HetSortConfig {
             self.platform.cpu.cores
         } else {
             1
+        }
+    }
+
+    /// Effective self-scheduling chunks per worker: the explicit knob,
+    /// or the runtime default when `0`; always `1` under
+    /// [`CpuSched::RoundRobin`] (static assignment never over-splits).
+    pub fn sched_chunks_eff(&self) -> u32 {
+        self.sched_cfg().chunks_eff()
+    }
+
+    /// The `algos::par` scheduling policy this config selects.
+    pub fn sched_cfg(&self) -> hetsort_algos::par::SchedCfg {
+        use hetsort_algos::par::{Sched, SchedCfg};
+        match self.cpu_sched {
+            CpuSched::SelfSched => SchedCfg {
+                sched: Sched::SelfSched,
+                chunks_per_thread: self.sched_chunks_per_thread,
+            },
+            CpuSched::RoundRobin => SchedCfg::round_robin_static(),
         }
     }
 
@@ -411,6 +481,25 @@ mod tests {
         assert_eq!(c.merge_threads_eff(), 16);
         assert_eq!(c.memcpy_threads_eff(), 1);
         assert_eq!(c.clone().with_par_memcpy().memcpy_threads_eff(), 16);
+    }
+
+    #[test]
+    fn sched_knob_defaults_and_parse() {
+        use hetsort_algos::par::{Sched, SchedCfg};
+        let c = HetSortConfig::paper_defaults(platform1(), Approach::PipeMerge);
+        assert_eq!(c.cpu_sched, CpuSched::SelfSched);
+        assert_eq!(c.sched_chunks_eff(), SchedCfg::DEFAULT_CHUNKS_PER_THREAD);
+        assert_eq!(c.sched_cfg().sched, Sched::SelfSched);
+        let c = c.clone().with_sched_chunks(8);
+        assert_eq!(c.sched_chunks_eff(), 8);
+        let rr = c.with_cpu_sched(CpuSched::RoundRobin);
+        assert_eq!(rr.sched_cfg(), SchedCfg::round_robin_static());
+        assert_eq!(rr.sched_chunks_eff(), 1, "static never over-splits");
+        // CLI names round-trip.
+        for s in [CpuSched::SelfSched, CpuSched::RoundRobin] {
+            assert_eq!(CpuSched::parse(s.name()), Some(s));
+        }
+        assert_eq!(CpuSched::parse("nope"), None);
     }
 
     #[test]

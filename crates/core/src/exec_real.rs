@@ -21,8 +21,9 @@
 //! identical orchestration.
 
 use hetsort_algos::keys::{RadixKey, SortOrd};
-use hetsort_algos::merge::par_merge_into;
-use hetsort_algos::multiway::par_multiway_merge_into;
+use hetsort_algos::merge::par_merge_into_cfg;
+use hetsort_algos::multiway::par_multiway_merge_into_cfg;
+use hetsort_algos::par::{par_copy, SchedStats};
 use hetsort_algos::verify::{fingerprint, is_sorted};
 use hetsort_obs::{MetricsRegistry, ObsSpan, OpClass};
 use hetsort_sim::{Access, OpTrace};
@@ -61,6 +62,25 @@ pub struct RealOutcome<T = f64> {
     /// `recovery.*` counters — always recorded (spans cost nanoseconds
     /// against host-scale steps).
     pub metrics: MetricsRegistry,
+}
+
+/// Expand a merge's [`SchedStats`] into per-worker [`OpClass::CpuPart`]
+/// spans nested under the parent merge span (same wall-clock origin).
+/// Idle workers (zero parts) are skipped — they never executed.
+pub(crate) fn cpu_part_spans(parent_label: &str, m_start: f64, stats: &SchedStats) -> Vec<ObsSpan> {
+    stats
+        .workers
+        .iter()
+        .filter(|w| w.parts > 0)
+        .map(|w| {
+            ObsSpan::new(
+                OpClass::CpuPart,
+                format!("{parent_label} w{} ({} parts)", w.worker, w.parts),
+                m_start + w.start_s,
+                m_start + w.end_s,
+            )
+        })
+        .collect()
 }
 
 /// Merge per-stream access logs into one executed trace.
@@ -136,6 +156,9 @@ where
     // simulated platforms may have more cores than the host.
     let host_threads = merge_threads.min(4 * hetsort_algos::par::default_threads());
     let device_sort_threads = hetsort_algos::par::default_threads();
+    let memcpy_threads =
+        (cfg.memcpy_threads_eff() as usize).min(4 * hetsort_algos::par::default_threads());
+    let sched = cfg.sched_cfg();
 
     let mut streams: Vec<StreamExec<T>> = (0..plan.total_streams)
         .map(|s| StreamExec::new(plan, data, s, host_threads, device_sort_threads, t0))
@@ -158,7 +181,9 @@ where
                 };
                 let mut out = vec![T::default(); spec.out_elems];
                 let m_start = t0.elapsed().as_secs_f64();
-                par_merge_into(
+                let label = format!("PairMerge p{slot}");
+                let stats = par_merge_into_cfg(
+                    &sched,
                     host_threads,
                     resolve(spec.left),
                     resolve(spec.right),
@@ -167,12 +192,13 @@ where
                 merge_spans.push(
                     ObsSpan::new(
                         OpClass::PairMerge,
-                        format!("PairMerge p{slot}"),
+                        label.clone(),
                         m_start,
                         t0.elapsed().as_secs_f64(),
                     )
                     .with_bytes(spec.out_elems as f64 * cfg.elem_bytes),
                 );
+                merge_spans.extend(cpu_part_spans(&label, m_start, &stats));
                 pair_out[*slot] = out;
                 pair_merges_done += 1;
             }
@@ -188,16 +214,18 @@ where
                     })
                     .collect();
                 let m_start = t0.elapsed().as_secs_f64();
-                par_multiway_merge_into(host_threads, &lists, &mut b_out);
+                let label = format!("MultiwayMerge k{}", lists.len());
+                let stats = par_multiway_merge_into_cfg(&sched, host_threads, &lists, &mut b_out);
                 merge_spans.push(
                     ObsSpan::new(
                         OpClass::MultiwayMerge,
-                        format!("MultiwayMerge k{}", lists.len()),
+                        label.clone(),
                         m_start,
                         t0.elapsed().as_secs_f64(),
                     )
                     .with_bytes(plan.n as f64 * cfg.elem_bytes),
                 );
+                merge_spans.extend(cpu_part_spans(&label, m_start, &stats));
             }
             _ => {
                 let s = step.stream.ok_or_else(|| HetSortError::Plan {
@@ -205,7 +233,7 @@ where
                 })?;
                 let dst = if nb > 1 { &mut w } else { &mut b_out };
                 streams[s].step(si, &mut |_batch, start, chunk| {
-                    dst[start..start + chunk.len()].copy_from_slice(chunk);
+                    par_copy(memcpy_threads, chunk, &mut dst[start..start + chunk.len()]);
                 })?;
             }
         }

@@ -29,15 +29,16 @@
 use std::sync::mpsc;
 
 use hetsort_algos::keys::{RadixKey, SortOrd};
-use hetsort_algos::merge::par_merge_into;
-use hetsort_algos::multiway::par_multiway_merge_into;
-use hetsort_algos::radix_par::par_radix_sort;
+use hetsort_algos::merge::par_merge_into_cfg;
+use hetsort_algos::multiway::par_multiway_merge_into_cfg;
+use hetsort_algos::par::SchedCfg;
+use hetsort_algos::radix_par::par_radix_sort_cfg;
 use hetsort_algos::verify::{fingerprint, is_sorted};
 use hetsort_obs::{MetricsRegistry, ObsSpan, OpClass};
 use hetsort_sim::Access;
 
 use crate::error::HetSortError;
-use crate::exec_real::{assemble_trace, RealOutcome};
+use crate::exec_real::{assemble_trace, cpu_part_spans, RealOutcome};
 use crate::exec_stream::StreamExec;
 use crate::plan::{MergeInput, MergeSrc, Plan, StepKind};
 use crate::report::RecoveryStats;
@@ -59,6 +60,7 @@ fn src_slice<'x, T>(
 /// recorded as a span on the run clock `t0`.
 fn fire_ready_pairs<T>(
     plan: &Plan,
+    sched: &SchedCfg,
     merge_threads: usize,
     sorted_batches: &[Option<Vec<T>>],
     pair_out: &mut [Option<Vec<T>>],
@@ -84,16 +86,18 @@ fn fire_ready_pairs<T>(
             };
             let mut out = vec![T::default(); spec.out_elems];
             let m_start = t0.elapsed().as_secs_f64();
-            par_merge_into(merge_threads, l, r, &mut out);
+            let label = format!("PairMerge p{slot}");
+            let stats = par_merge_into_cfg(sched, merge_threads, l, r, &mut out);
             spans.push(
                 ObsSpan::new(
                     OpClass::PairMerge,
-                    format!("PairMerge p{slot}"),
+                    label.clone(),
                     m_start,
                     t0.elapsed().as_secs_f64(),
                 )
                 .with_bytes(spec.out_elems as f64 * plan.config.elem_bytes),
             );
+            spans.extend(cpu_part_spans(&label, m_start, &stats));
             pair_out[slot] = Some(out);
             pending.remove(i);
             fired = true;
@@ -143,6 +147,7 @@ where
     let merge_threads =
         (plan.config.merge_threads_eff() as usize).min(4 * hetsort_algos::par::default_threads());
     let device_sort_threads = hetsort_algos::par::default_threads();
+    let sched = plan.config.sched_cfg();
 
     // Per-stream step lists (indices into plan.steps, already in FIFO
     // order because the planner emits them that way).
@@ -223,6 +228,7 @@ where
             received += 1;
             fire_ready_pairs(
                 plan,
+                &sched,
                 merge_threads,
                 &sorted_batches,
                 &mut pair_out,
@@ -274,13 +280,14 @@ where
                 if slot.is_none() {
                     let bi = &plan.batches[b];
                     let mut buf = data[bi.start..bi.start + bi.len].to_vec();
-                    par_radix_sort(merge_threads, &mut buf);
+                    par_radix_sort_cfg(&sched, merge_threads, &mut buf);
                     *slot = Some(buf);
                     recovery.degraded_batches += 1;
                 }
             }
             fire_ready_pairs(
                 plan,
+                &sched,
                 merge_threads,
                 &sorted_batches,
                 &mut pair_out,
@@ -328,16 +335,18 @@ where
                 lists.push(sl);
             }
             let m_start = t0.elapsed().as_secs_f64();
-            par_multiway_merge_into(merge_threads, &lists, &mut b_out);
+            let label = format!("MultiwayMerge k{}", lists.len());
+            let stats = par_multiway_merge_into_cfg(&sched, merge_threads, &lists, &mut b_out);
             merge_spans.push(
                 ObsSpan::new(
                     OpClass::MultiwayMerge,
-                    format!("MultiwayMerge k{}", lists.len()),
+                    label.clone(),
                     m_start,
                     t0.elapsed().as_secs_f64(),
                 )
                 .with_bytes(plan.n as f64 * plan.config.elem_bytes),
             );
+            merge_spans.extend(cpu_part_spans(&label, m_start, &stats));
         }
         Ok(())
     })?;

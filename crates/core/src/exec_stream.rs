@@ -30,8 +30,9 @@
 use std::time::Instant;
 
 use hetsort_algos::keys::{RadixKey, SortOrd};
-use hetsort_algos::multiway::par_multiway_merge_into;
-use hetsort_algos::radix_par::par_radix_sort;
+use hetsort_algos::multiway::par_multiway_merge_into_cfg;
+use hetsort_algos::par::{par_copy, SchedCfg};
+use hetsort_algos::radix_par::par_radix_sort_cfg;
 use hetsort_obs::{ObsSpan, OpClass};
 use hetsort_sim::{Access, Buffer};
 use hetsort_vgpu::{FaultInjector, FaultSite, TransferDir};
@@ -64,6 +65,10 @@ pub(crate) struct StreamExec<'a, T> {
     policy: RecoveryPolicy,
     host_threads: usize,
     device_sort_threads: usize,
+    /// Host↔pinned staging copy workers (PARMEMCPY), host-capped.
+    memcpy_threads: usize,
+    /// CPU scheduling policy for merges, sorts, and staging copies.
+    sched: SchedCfg,
     /// This interpreter's stream index (buffer identity in traces).
     stream: usize,
     pinned_in: Vec<T>,
@@ -103,6 +108,8 @@ where
         device_sort_threads: usize,
         t0: Instant,
     ) -> Self {
+        let memcpy_threads = (plan.config.memcpy_threads_eff() as usize)
+            .min(4 * hetsort_algos::par::default_threads());
         StreamExec {
             plan,
             data,
@@ -110,6 +117,8 @@ where
             policy: plan.config.recovery,
             host_threads,
             device_sort_threads,
+            memcpy_threads,
+            sched: plan.config.sched_cfg(),
             stream,
             pinned_in: Vec::new(),
             pinned_out: Vec::new(),
@@ -231,9 +240,9 @@ where
     }
 
     /// Sort a device-resident slice with the configured device sort.
-    fn device_sort(kind: DeviceSortKind, threads: usize, buf: &mut [T]) {
+    fn device_sort(kind: DeviceSortKind, sched: &SchedCfg, threads: usize, buf: &mut [T]) {
         match kind {
-            DeviceSortKind::ThrustRadix => par_radix_sort(threads, buf),
+            DeviceSortKind::ThrustRadix => par_radix_sort_cfg(sched, threads, buf),
             DeviceSortKind::BitonicInPlace => {
                 hetsort_algos::bitonic::par_bitonic_sort(threads, buf)
             }
@@ -269,7 +278,13 @@ where
                 }
             }
             StepKind::StageIn { start, len, .. } => {
-                self.pinned_in[..*len].copy_from_slice(&self.data[*start..*start + *len]);
+                // Host→pinned staging memcpy: the PARMEMCPY knob makes
+                // this copy parallel (self-scheduled chunks).
+                par_copy(
+                    self.memcpy_threads,
+                    &self.data[*start..*start + *len],
+                    &mut self.pinned_in[..*len],
+                );
                 acc.push(Access::read(Buffer::Host {
                     region: REGION_A,
                     start: *start,
@@ -341,6 +356,7 @@ where
                     Mode::Device => {
                         Self::device_sort(
                             self.plan.config.device_sort,
+                            &self.sched,
                             self.device_sort_threads,
                             &mut self.device[..b.len],
                         );
@@ -354,18 +370,24 @@ where
                         let cap = self.device_cap.min(b.len).max(1);
                         let kind = self.plan.config.device_sort;
                         let dev_threads = self.device_sort_threads;
+                        let sched = self.sched;
                         let StreamExec {
                             host_batch, device, ..
                         } = self;
                         for run in host_batch.chunks_mut(cap) {
                             device[..run.len()].copy_from_slice(run);
-                            Self::device_sort(kind, dev_threads, &mut device[..run.len()]);
+                            Self::device_sort(kind, &sched, dev_threads, &mut device[..run.len()]);
                             run.copy_from_slice(&device[..run.len()]);
                         }
                         if b.len > cap {
                             let runs: Vec<&[T]> = self.host_batch.chunks(cap).collect();
                             let mut merged = vec![T::default(); b.len];
-                            par_multiway_merge_into(self.host_threads, &runs, &mut merged);
+                            par_multiway_merge_into_cfg(
+                                &self.sched,
+                                self.host_threads,
+                                &runs,
+                                &mut merged,
+                            );
                             self.host_batch = merged;
                         }
                         let d = self.dev_buf(&b);
@@ -383,7 +405,7 @@ where
                         self.host_batch.clear();
                         self.host_batch
                             .extend_from_slice(&self.data[b.start..b.start + b.len]);
-                        par_radix_sort(self.host_threads, &mut self.host_batch);
+                        par_radix_sort_cfg(&self.sched, self.host_threads, &mut self.host_batch);
                         acc.push(Access::read(Buffer::Host {
                             region: REGION_A,
                             start: b.start,

@@ -26,6 +26,12 @@ pub enum OpClass {
     PinnedAlloc,
     /// Synchronization / barrier latency surfaced as its own span.
     Sync,
+    /// One CPU worker's share of a parallel merge/sort region — the
+    /// per-worker breakdown of a `PairMerge`/`MultiwayMerge` span, so
+    /// scheduler imbalance is visible in Chrome traces and the
+    /// registry. Not part of the literature accounting (the parent
+    /// span already covers the wall time).
+    CpuPart,
     /// Anything outside the closed vocabulary (reference sorts,
     /// experimental device merges); kept so totals never silently drop
     /// spans.
@@ -34,7 +40,7 @@ pub enum OpClass {
 
 impl OpClass {
     /// Every class, in display order.
-    pub const ALL: [OpClass; 9] = [
+    pub const ALL: [OpClass; 10] = [
         OpClass::HtoD,
         OpClass::DtoH,
         OpClass::GpuSort,
@@ -43,6 +49,7 @@ impl OpClass {
         OpClass::MultiwayMerge,
         OpClass::PinnedAlloc,
         OpClass::Sync,
+        OpClass::CpuPart,
         OpClass::Other,
     ];
 
@@ -67,6 +74,7 @@ impl OpClass {
             OpClass::MultiwayMerge => "MultiwayMerge",
             OpClass::PinnedAlloc => "PinnedAlloc",
             OpClass::Sync => "Sync",
+            OpClass::CpuPart => "CpuPart",
             OpClass::Other => "Other",
         }
     }
@@ -85,6 +93,7 @@ impl OpClass {
             "MultiwayMerge" => OpClass::MultiwayMerge,
             "PinnedAlloc" => OpClass::PinnedAlloc,
             "Sync" => OpClass::Sync,
+            "CpuPart" => OpClass::CpuPart,
             _ => OpClass::Other,
         }
     }

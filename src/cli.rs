@@ -6,7 +6,7 @@
 
 use std::sync::Arc;
 
-use hetsort_core::{Approach, HetSortConfig, HetSortError, PairStrategy, RecoveryPolicy};
+use hetsort_core::{Approach, CpuSched, HetSortConfig, HetSortError, PairStrategy, RecoveryPolicy};
 use hetsort_vgpu::{platform1, platform2, FaultInjector, PlatformSpec};
 
 /// Errors from the CLI layer.
@@ -93,6 +93,10 @@ pub struct RunArgs {
     pub pinned: usize,
     /// Pair-merge strategy.
     pub strategy: PairStrategy,
+    /// CPU merge/sort scheduling policy.
+    pub sched: CpuSched,
+    /// Self-scheduling chunks-per-thread override (0 = default 4).
+    pub sched_chunks: u32,
     /// RNG seed (functional sort).
     pub seed: u64,
     /// Fault schedule spec (functional sort), e.g. `oom:1,htod:3`.
@@ -119,6 +123,8 @@ impl Default for RunArgs {
             streams: 0,
             pinned: 0,
             strategy: PairStrategy::PaperHeuristic,
+            sched: CpuSched::SelfSched,
+            sched_chunks: 0,
             seed: 42,
             faults: None,
             retries: None,
@@ -144,7 +150,11 @@ impl RunArgs {
     /// Build the sort configuration.
     pub fn config(&self) -> Result<HetSortConfig, CliError> {
         let mut cfg = HetSortConfig::paper_defaults(self.platform_spec()?, self.approach)
-            .with_pair_strategy(self.strategy);
+            .with_pair_strategy(self.strategy)
+            .with_cpu_sched(self.sched);
+        if self.sched_chunks > 0 {
+            cfg = cfg.with_sched_chunks(self.sched_chunks);
+        }
         if self.par_memcpy {
             cfg = cfg.with_par_memcpy();
         }
@@ -249,6 +259,14 @@ fn parse_inner(args: &[String]) -> Result<Command, String> {
                     "--streams" | "-s" => run.streams = parse_count(need("--streams")?)?,
                     "--pinned" => run.pinned = parse_count(need("--pinned")?)?,
                     "--strategy" => run.strategy = parse_strategy(need("--strategy")?)?,
+                    "--sched" => {
+                        let v = need("--sched")?;
+                        run.sched = CpuSched::parse(v)
+                            .ok_or_else(|| format!("unknown sched '{v}' (self|rr)"))?;
+                    }
+                    "--sched-chunks" => {
+                        run.sched_chunks = parse_count(need("--sched-chunks")?)? as u32
+                    }
                     "--seed" => {
                         run.seed = need("--seed")?
                             .parse()
@@ -289,6 +307,7 @@ USAGE:
   hetsort simulate  [-n 5e9] [--platform p1|p2] [--approach pipemerge]
                     [--par-memcpy] [--batch 5e8] [--streams 2]
                     [--pinned 1e6] [--strategy paper|online|tree]
+                    [--sched self|rr] [--sched-chunks 4]
   hetsort sort      [-n 1e6] [--seed 42] [--faults SPEC] [--retries K]
                     [--no-cpu-fallback] [... same options]
   hetsort gantt     [-n 2e9] [... same options]
@@ -308,6 +327,15 @@ OBSERVABILITY:
                      component totals, overlap ratio, bus utilization,
                      literature-vs-full delta, recovery counters, and
                      analyzer findings — as JSON ('-' = stdout)
+
+CPU SCHEDULING:
+  --sched self|rr    CPU merge/sort work scheduling: 'self' (default)
+                     over-decomposes each parallel region into chunks
+                     that workers claim from an atomic queue (skew- and
+                     interference-resistant); 'rr' is the fixed
+                     round-robin partitioning of the GNU parallel-mode
+                     model (one static part per thread)
+  --sched-chunks K   chunks per worker under --sched self (default 4)
 
 ANALYSIS:
   hetsort analyze    statically verify a schedule before running it:
@@ -415,6 +443,33 @@ mod tests {
         let mut bad = r.clone();
         bad.faults = Some("gpu:1".into());
         assert!(matches!(bad.config(), Err(CliError::Run(_))));
+    }
+
+    #[test]
+    fn parse_sched_knobs() {
+        let Command::Sort(r) = parse(&argv("sort -n 1e5 --sched rr")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.sched, CpuSched::RoundRobin);
+        let cfg = r.config().unwrap();
+        assert_eq!(cfg.cpu_sched, CpuSched::RoundRobin);
+        assert_eq!(cfg.sched_chunks_eff(), 1, "rr never over-splits");
+
+        let Command::Sort(r) = parse(&argv("sort --sched self --sched-chunks 8")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.sched, CpuSched::SelfSched);
+        assert_eq!(r.config().unwrap().sched_chunks_eff(), 8);
+
+        // Default is self-scheduling with the default chunk factor.
+        let Command::Sort(r) = parse(&argv("sort")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.sched, CpuSched::SelfSched);
+        assert_eq!(r.config().unwrap().sched_chunks_eff(), 4);
+
+        assert!(parse(&argv("sort --sched bogus")).is_err());
+        assert!(parse(&argv("sort --sched")).is_err());
     }
 
     #[test]
