@@ -51,7 +51,9 @@ pub mod verify;
 pub use introsort::introsort;
 pub use merge::{merge_into, par_merge_into, par_merge_into_cfg};
 pub use mergesort::par_mergesort;
-pub use multiway::{multiway_merge_into, par_multiway_merge_into, par_multiway_merge_into_cfg};
+pub use multiway::{
+    multiway_merge_into, par_multiway_merge_into, par_multiway_merge_into_cfg, selection_part_cap,
+};
 pub use par::{par_copy, Sched, SchedCfg, SchedStats, WorkerStats};
 pub use radix::radix_sort;
 pub use radix_par::{par_radix_sort, par_radix_sort_cfg};

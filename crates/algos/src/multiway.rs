@@ -213,6 +213,35 @@ pub fn multiway_cuts<T: SortOrd>(lists: &[&[T]], k: usize) -> Vec<usize> {
     cuts
 }
 
+/// Cap on the part count of a partitioned `k`-way merge over `total`
+/// elements, so multisequence selection stays a fraction of the merge
+/// work.
+///
+/// Each boundary costs one multisequence selection: for every list a
+/// binary search whose probes each rank against all other lists —
+/// ~(Σₜ log₂ lenₜ)² comparisons. The merge itself costs `total·log₂ k`.
+/// At high fan-in (many short lists) unbounded over-decomposition would
+/// spend more time cutting than merging, so parts are capped at
+/// `merge_cost / 2·cut_cost`, and never more than one part per four
+/// output elements.
+///
+/// The result is always ≥ 1: both clamp bounds saturate at 1, so the
+/// cap is safe to evaluate for any `total` (for `total < 4` the old
+/// upper bound `total / 4` was 0, below the lower bound of 1 — a
+/// guaranteed `clamp` panic, previously shielded only by the caller's
+/// small-input early return).
+pub fn selection_part_cap(
+    total: usize,
+    k: usize,
+    list_lens: impl IntoIterator<Item = usize>,
+) -> usize {
+    let log2 = |x: usize| (usize::BITS - x.max(2).leading_zeros()) as usize;
+    let log_sum: usize = list_lens.into_iter().map(log2).sum();
+    let cut_cost = log_sum * log_sum;
+    let merge_cost = total * log2(k);
+    (merge_cost / (2 * cut_cost.max(1))).clamp(1, (total / 4).max(1))
+}
+
 /// Merge `k` sorted lists into `out` with `threads` workers: the output
 /// is cut into near-equal ranges by multisequence selection, and each
 /// range is merged independently (self-scheduled, skew-aware).
@@ -245,18 +274,8 @@ pub fn par_multiway_merge_into_cfg<T: SortOrd>(
         multiway_merge_into(lists, out);
         return SchedStats::default();
     }
-    // Each boundary costs one multisequence selection: for every list a
-    // binary search whose probes each rank against all other lists —
-    // ~(Σₜ log₂ lenₜ)² comparisons. The merge itself costs total·log₂k.
-    // Cap the part count so selection work stays a fraction of merge
-    // work — at high fan-in (many short lists) unbounded
-    // over-decomposition would spend more time cutting than merging.
     let k = lists.len();
-    let log2 = |x: usize| (usize::BITS - x.max(2).leading_zeros()) as usize;
-    let log_sum: usize = lists.iter().map(|l| log2(l.len())).sum();
-    let cut_cost = log_sum * log_sum;
-    let merge_cost = total * log2(k);
-    let max_parts = (merge_cost / (2 * cut_cost.max(1))).clamp(1, total / 4);
+    let max_parts = selection_part_cap(total, k, lists.iter().map(|l| l.len()));
     let nparts = cfg.over_parts(threads, max_parts);
     let out_ranges = split_evenly(total, nparts);
     let mut boundaries: Vec<Vec<usize>> = vec![Vec::new(); nparts + 1];
@@ -313,6 +332,37 @@ mod tests {
             acc = out;
         }
         acc
+    }
+
+    #[test]
+    fn part_cap_never_panics_on_tiny_totals() {
+        // Regression: with total < 4 the old cap computed
+        // `.clamp(1, total / 4)` = `.clamp(1, 0)`, which panics
+        // (min > max). The cap must be callable for ANY total — it is
+        // only an upper bound, not a promise the caller splits.
+        for total in 0..16usize {
+            for k in 1..5usize {
+                let lens = vec![total / k.max(1); k];
+                let cap = selection_part_cap(total, k, lens);
+                assert!(cap >= 1, "cap must stay positive (total={total}, k={k})");
+                if total >= 4 {
+                    assert!(cap <= total / 4, "cap over-splits (total={total}, k={k})");
+                }
+            }
+        }
+        // Degenerate fan-in / empty lists are fine too.
+        assert_eq!(selection_part_cap(0, 0, []), 1);
+        assert_eq!(selection_part_cap(3, 2, [1, 2]), 1);
+    }
+
+    #[test]
+    fn part_cap_still_limits_selection_cost_at_scale() {
+        // The paper-scale sanity the original expression encoded: many
+        // long lists admit plenty of parts, a few tiny lists do not.
+        let long = selection_part_cap(2_000_000, 8, vec![250_000; 8]);
+        assert!(long > 64, "{long}");
+        let short = selection_part_cap(1_000, 100, vec![10; 100]);
+        assert!(short <= 4, "{short}");
     }
 
     #[test]

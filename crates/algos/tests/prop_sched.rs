@@ -91,7 +91,7 @@ fn float_specials_merge_identical_across_policies() {
         let long_len = rng.usize_in(2_000, 8_000);
         let short_a = rng.usize_in(0, 3);
         let short_b = rng.usize_in(0, 3);
-        let lists = vec![mk(rng, long_len), mk(rng, short_a), mk(rng, short_b)];
+        let lists = [mk(rng, long_len), mk(rng, short_a), mk(rng, short_b)];
         let views: Vec<&[f64]> = lists.iter().map(|l| l.as_slice()).collect();
         let total: usize = views.iter().map(|l| l.len()).sum();
         let mut seq = vec![0.0f64; total];

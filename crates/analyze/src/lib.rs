@@ -34,10 +34,12 @@
 pub mod finding;
 pub mod hb;
 pub mod mutate;
+pub mod residency;
 pub mod static_lint;
 
 pub use finding::{AnalysisReport, Finding, FindingClass};
 pub use mutate::Mutant;
+pub use residency::Residency;
 
 use hetsort_core::optrace::lower_plan;
 use hetsort_core::plan::Plan;

@@ -12,13 +12,14 @@
 //! * staging-chunk sizes against the pinned buffer `p_s` — a chunk
 //!   larger than the buffer it is staged through cannot be copied.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 use hetsort_core::config::{Approach, PairStrategy};
 use hetsort_core::optrace::step_label;
 use hetsort_core::plan::{Plan, StepKind};
 
 use crate::finding::{Finding, FindingClass};
+use crate::residency::Residency;
 
 /// Lint a plan; returns all findings (empty = clean).
 pub fn lint_plan(plan: &Plan) -> Vec<Finding> {
@@ -53,13 +54,11 @@ pub fn lint_plan(plan: &Plan) -> Vec<Finding> {
         }
     }
 
-    // Peak device residency: one resident batch buffer per stream.
+    // Peak device residency per GPU ([`Residency`] — the same math the
+    // serve-layer admission controller budgets with).
+    let residency = Residency::of_plan(plan);
     let dev_bytes = cfg.device_sort.mem_factor() * cfg.elem_bytes * cfg.batch_elems as f64;
-    let mut streams_on: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
-    for b in &plan.batches {
-        streams_on.entry(b.gpu).or_default().insert(b.stream);
-    }
-    for (gpu, streams) in &streams_on {
+    for (gpu, need) in &residency.device_bytes {
         match cfg.platform.gpus.get(*gpu) {
             None => findings.push(Finding {
                 class: FindingClass::Malformed,
@@ -71,16 +70,15 @@ pub fn lint_plan(plan: &Plan) -> Vec<Finding> {
                 ops: Vec::new(),
             }),
             Some(g) => {
-                let need = dev_bytes * streams.len() as f64;
-                if need > g.global_mem_bytes {
+                if *need > g.global_mem_bytes {
                     findings.push(Finding {
                         class: FindingClass::Oom,
                         code: "device-over-capacity",
                         message: format!(
-                            "GPU {gpu} holds {} resident stream buffer(s) of \
+                            "GPU {gpu} holds {:.0} resident stream buffer(s) of \
                              {dev_bytes:.3e} B each ({need:.3e} B peak) but has only \
                              {:.3e} B — statically guaranteed OOM",
-                            streams.len(),
+                            need / dev_bytes.max(f64::MIN_POSITIVE),
                             g.global_mem_bytes
                         ),
                         ops: Vec::new(),

@@ -15,7 +15,7 @@ const N: usize = 200_000;
 const SAMPLES: usize = 10;
 
 fn main() {
-    let w = generate_batch_sorted(Distribution::Uniform, N / 2, 2, 7);
+    let w = generate_batch_sorted(Distribution::Uniform, N / 2, 2, 7).expect("valid workload");
     let (a, b) = w.split_at(N / 2);
     bench_throughput("pair_merge/sequential", SAMPLES, N, || {
         let mut out = vec![0.0f64; N];
@@ -36,7 +36,7 @@ fn main() {
     }
 
     for k in [2usize, 4, 10, 16] {
-        let w = generate_batch_sorted(Distribution::Uniform, N / k, k, 11);
+        let w = generate_batch_sorted(Distribution::Uniform, N / k, k, 11).expect("valid workload");
         let lists: Vec<&[f64]> = (0..k).map(|i| &w[i * (N / k)..(i + 1) * (N / k)]).collect();
         let total: usize = lists.iter().map(|l| l.len()).sum();
         bench_throughput(
@@ -64,8 +64,8 @@ fn main() {
     // Skewed fan-in: one long list plus many tiny ones, self-scheduling
     // vs the static round-robin partitioning (sched_microbench has the
     // committed CSV version of this comparison).
-    let long = generate_batch_sorted(Distribution::Uniform, N, 1, 17);
-    let shorts = generate_batch_sorted(Distribution::Uniform, 4, 16, 19);
+    let long = generate_batch_sorted(Distribution::Uniform, N, 1, 17).expect("valid workload");
+    let shorts = generate_batch_sorted(Distribution::Uniform, 4, 16, 19).expect("valid workload");
     let mut lists: Vec<&[f64]> = vec![&long];
     lists.extend((0..16).map(|i| &shorts[i * 4..(i + 1) * 4]));
     let total: usize = lists.iter().map(|l| l.len()).sum();

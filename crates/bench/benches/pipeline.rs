@@ -11,7 +11,9 @@ const N: usize = 200_000;
 const SAMPLES: usize = 10;
 
 fn main() {
-    let data = generate(Distribution::Uniform, N, 123).data;
+    let data = generate(Distribution::Uniform, N, 123)
+        .expect("valid workload")
+        .data;
     for (label, approach) in [
         ("BLineMulti", Approach::BLineMulti),
         ("PipeData", Approach::PipeData),

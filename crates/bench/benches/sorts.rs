@@ -19,7 +19,9 @@ const N: usize = 100_000;
 const SAMPLES: usize = 10;
 
 fn main() {
-    let base = generate(Distribution::Uniform, N, 42).data;
+    let base = generate(Distribution::Uniform, N, 42)
+        .expect("valid workload")
+        .data;
 
     bench_throughput("cpu_sorts/introsort", SAMPLES, N, || {
         let mut v = base.clone();

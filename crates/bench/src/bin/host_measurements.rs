@@ -43,7 +43,9 @@ fn main() {
         .into_iter()
         .filter(|&t| t <= host.max(1) * 4)
         .collect();
-    let base = generate(Distribution::Uniform, n, 42).data;
+    let base = generate(Distribution::Uniform, n, 42)
+        .expect("valid workload")
+        .data;
 
     println!("=== Figure 4 (real algorithms on this host, n = {n}, {host} hw threads) ===");
     let t_intro = time(|| {
@@ -99,7 +101,7 @@ fn main() {
     write_csv("host_fig04_sorts.csv", "algorithm,threads,seconds", &rows);
 
     println!("\n=== Figure 6 (real pair merge, two sorted halves of n = {n}) ===");
-    let w = generate_batch_sorted(Distribution::Uniform, n / 2, 2, 7);
+    let w = generate_batch_sorted(Distribution::Uniform, n / 2, 2, 7).expect("valid workload");
     let (a, b) = w.split_at(n / 2);
     let mut out = vec![0.0f64; a.len() + b.len()];
     let t1 = time(|| par_merge_into(1, a, b, &mut out));

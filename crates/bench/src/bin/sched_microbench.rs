@@ -37,7 +37,7 @@ fn time<F: FnMut()>(reps: usize, mut f: F) -> f64 {
 }
 
 fn sorted(dist: Distribution, n: usize, seed: u64) -> Vec<f64> {
-    let mut v = generate(dist, n, seed).data;
+    let mut v = generate(dist, n, seed).expect("valid workload").data;
     hetsort_algos::introsort::introsort(&mut v);
     v
 }

@@ -12,10 +12,33 @@
 use hetsort_core::exec_sim::simulate_plan;
 use hetsort_core::{Approach, HetSortConfig, HetSortError, Plan};
 use hetsort_obs::{BenchDoc, ScenarioResult};
+use hetsort_serve::{synthetic_jobs, ServeBudget, ServeConfig, SortService, MIX_COALESCE_ELEMS};
 use hetsort_vgpu::{platform1, platform2, PlatformSpec};
 
 /// Paper-scale input for the multi-batch scenarios (§IV: 2×10⁹ keys).
 pub const PAPER_N: usize = 2_000_000_000;
+
+/// Job count of the pinned serve-throughput scenario.
+pub const SERVE_JOBS: usize = 150;
+
+/// Mix seed of the pinned serve-throughput scenario.
+pub const SERVE_SEED: u64 = 42;
+
+/// How a scenario executes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioKind {
+    /// One configuration through the simulated executor.
+    Simulated,
+    /// The multi-tenant service over the deterministic synthetic mix;
+    /// `total_s` is the virtual makespan (all durations sim-backed, so
+    /// the gate pins service throughput exactly like any other run).
+    Serve {
+        /// Jobs in the mix.
+        jobs: usize,
+        /// Mix seed.
+        seed: u64,
+    },
+}
 
 /// One pinned gate scenario: a fully determined simulated run.
 #[derive(Debug, Clone)]
@@ -26,10 +49,13 @@ pub struct Scenario {
     pub platform_key: &'static str,
     /// Approach label as the paper spells it (`PIPEDATA`, `PARMEMCPY`...).
     pub label: &'static str,
-    /// The full run configuration.
+    /// The full run configuration (for `Serve`, the platform carrier —
+    /// the mix builds its own per-job configs).
     pub config: HetSortConfig,
-    /// Input size in elements.
+    /// Input size in elements (for `Serve`, total elements submitted).
     pub n: usize,
+    /// Execution mode.
+    pub kind: ScenarioKind,
 }
 
 fn scenario(
@@ -57,7 +83,35 @@ fn scenario(
         label,
         config,
         n,
+        kind: ScenarioKind::Simulated,
     }
+}
+
+/// The serve-throughput scenario: the whole synthetic mix through the
+/// admission-controlled service on platform 1.
+fn serve_scenario() -> Scenario {
+    let platform = platform1();
+    let jobs = synthetic_jobs(&platform, SERVE_JOBS, SERVE_SEED);
+    let n: usize = jobs.iter().map(|j| j.data.len()).sum();
+    Scenario {
+        id: format!("p1/serve/j{SERVE_JOBS}"),
+        platform_key: "p1",
+        label: "SERVE",
+        config: HetSortConfig::paper_defaults(platform, Approach::PipeMerge),
+        n,
+        kind: ScenarioKind::Serve {
+            jobs: SERVE_JOBS,
+            seed: SERVE_SEED,
+        },
+    }
+}
+
+/// The service configuration the gate pins (mirrors the `serve-sim`
+/// CLI defaults).
+pub fn serve_gate_config() -> ServeConfig {
+    ServeConfig::new(ServeBudget::new(1.0e6, 1.0e6))
+        .with_queue_cap(24)
+        .with_coalescing(MIX_COALESCE_ELEMS)
 }
 
 /// The pinned matrix: all five approaches on both platforms.
@@ -114,11 +168,15 @@ pub fn scenario_matrix() -> Vec<Scenario> {
             Some((PAPER_N / batch) * batch + 1),
         ));
     }
+    out.push(serve_scenario());
     out
 }
 
 /// Simulate one scenario and fold it into the `BENCH.json` shape.
 pub fn run_scenario(s: &Scenario) -> Result<ScenarioResult, HetSortError> {
+    if let ScenarioKind::Serve { jobs, seed } = s.kind {
+        return run_serve_scenario(s, jobs, seed);
+    }
     let plan = Plan::build(s.config.clone(), s.n)?;
     let report = simulate_plan(&plan)?;
     let reg = report.metrics();
@@ -138,6 +196,50 @@ pub fn run_scenario(s: &Scenario) -> Result<ScenarioResult, HetSortError> {
             .map(|(name, stats)| (name.to_string(), stats.busy_s))
             .collect(),
         counters: reg.counters().clone(),
+    })
+}
+
+/// Run the serve scenario: virtual makespan as `total_s`, completed
+/// jobs as `nb`, service counters (completions, sheds, coalesces,
+/// recoveries, bytes) pinned alongside.
+fn run_serve_scenario(
+    s: &Scenario,
+    jobs: usize,
+    seed: u64,
+) -> Result<ScenarioResult, HetSortError> {
+    let mix = synthetic_jobs(&s.config.platform, jobs, seed);
+    let out = SortService::new(serve_gate_config()).run(mix);
+    if let Some((id, e)) = out.failed.first() {
+        return Err(HetSortError::Data {
+            reason: format!("serve gate scenario: job {id} failed: {e}"),
+        });
+    }
+    if let Some(bad) = out.completed.iter().find(|r| !r.verified) {
+        return Err(HetSortError::Data {
+            reason: format!("serve gate scenario: job {} unverified", bad.id),
+        });
+    }
+    let reg = &out.metrics;
+    let mut counters = reg.counters().clone();
+    counters.insert("makespan_jobs_completed".into(), out.completed.len() as f64);
+    counters.insert("jobs_shed".into(), out.shed.len() as f64);
+    counters.insert("admission_decisions".into(), out.admission_log.len() as f64);
+    Ok(ScenarioResult {
+        id: s.id.clone(),
+        platform: s.platform_key.to_string(),
+        approach: s.label.to_string(),
+        n: s.n as u64,
+        nb: out.completed.len() as u64,
+        total_s: out.makespan_s,
+        literature_total_s: out.makespan_s,
+        overlap_ratio: reg.overlap_ratio(),
+        bus_util: reg.bus_util(),
+        components: reg
+            .per_class()
+            .into_iter()
+            .map(|(name, stats)| (name.to_string(), stats.busy_s))
+            .collect(),
+        counters,
     })
 }
 
@@ -172,14 +274,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn matrix_is_twelve_pinned_scenarios() {
+    fn matrix_is_thirteen_pinned_scenarios() {
         let m = scenario_matrix();
-        assert_eq!(m.len(), 12);
+        assert_eq!(m.len(), 13);
         // Ids are unique and stable-keyed.
         let mut ids: Vec<&str> = m.iter().map(|s| s.id.as_str()).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 12);
+        assert_eq!(ids.len(), 13);
         assert!(m.iter().any(|s| s.id == "p1/pipedata/n2e9"));
         assert!(m.iter().any(|s| s.id == "p2/parmemcpy/n2e9"));
         assert_eq!(
@@ -202,6 +304,37 @@ mod tests {
             assert!(s.config.n_batches(s.n) > 1, "{}", s.id);
             assert_eq!(s.n % s.config.batch_elems, 1, "{}: final batch len", s.id);
         }
+        // Exactly one serve-throughput scenario, on platform 1.
+        let serve: Vec<&Scenario> = m.iter().filter(|s| s.label == "SERVE").collect();
+        assert_eq!(serve.len(), 1);
+        assert_eq!(serve[0].id, format!("p1/serve/j{SERVE_JOBS}"));
+        assert_eq!(
+            serve[0].kind,
+            ScenarioKind::Serve {
+                jobs: SERVE_JOBS,
+                seed: SERVE_SEED
+            }
+        );
+    }
+
+    #[test]
+    fn serve_scenario_runs_deterministically_under_the_gate() {
+        let m = scenario_matrix();
+        let s = m.iter().find(|s| s.label == "SERVE").expect("serve pinned");
+        let a = run_scenario(s).expect("serve run a");
+        let b = run_scenario(s).expect("serve run b");
+        assert_eq!(a, b, "service makespan must reproduce bitwise");
+        assert!(a.total_s > 0.0);
+        assert!(a.nb > 0, "some jobs must complete");
+        assert!(a.counters.get("jobs_completed").copied().unwrap_or(0.0) > 0.0);
+        assert!(
+            a.counters.get("jobs_coalesced").copied().unwrap_or(0.0) > 0.0,
+            "gate mix must exercise coalescing"
+        );
+        // The doc round-trips through the BENCH.json schema.
+        let doc = BenchDoc::new("2026-08-05", vec![a]);
+        let parsed = BenchDoc::parse(&doc.to_json()).expect("schema-valid");
+        assert_eq!(parsed, doc);
     }
 
     #[test]

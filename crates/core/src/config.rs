@@ -229,6 +229,10 @@ pub struct HetSortConfig {
     pub record_trace: bool,
 }
 
+/// Element widths the executors support: 8-byte `f64` keys and the
+/// 16-byte `KeyValue` records of \[5\].
+pub const SUPPORTED_ELEM_BYTES: [usize; 2] = [8, 16];
+
 impl HetSortConfig {
     /// Paper defaults for a platform: all cores for merging, `n_s = 2`
     /// (§IV-F Experiment 1), `p_s = 10⁶` elements (§IV-E), and the
@@ -401,6 +405,30 @@ impl HetSortConfig {
         }
     }
 
+    /// `elem_bytes` as the exact integer width it must be.
+    ///
+    /// The field stays `f64` because the cost model multiplies it into
+    /// transfer volumes, but the *executors* compare it against
+    /// `size_of::<T>()` — an exact-f64-equality check that silently
+    /// never matches for fractional or unsupported widths. Validation
+    /// therefore requires a positive integer in
+    /// [`SUPPORTED_ELEM_BYTES`] and returns a typed error otherwise.
+    pub fn elem_bytes_usize(&self) -> Result<usize, HetSortError> {
+        let b = self.elem_bytes;
+        if !b.is_finite() || b <= 0.0 || b.fract() != 0.0 {
+            return Err(HetSortError::config(format!(
+                "elem_bytes must be a positive integer number of bytes, got {b}"
+            )));
+        }
+        let w = b as usize;
+        if !SUPPORTED_ELEM_BYTES.contains(&w) {
+            return Err(HetSortError::config(format!(
+                "unsupported element width {w} B (supported: {SUPPORTED_ELEM_BYTES:?})"
+            )));
+        }
+        Ok(w)
+    }
+
     /// Validate against the hardware model and `n`.
     pub fn validate(&self, n: usize) -> Result<(), HetSortError> {
         if n == 0 {
@@ -429,12 +457,7 @@ impl HetSortConfig {
         } else {
             1
         };
-        if !self.elem_bytes.is_finite() || self.elem_bytes <= 0.0 {
-            return Err(HetSortError::config(format!(
-                "invalid element size {} bytes",
-                self.elem_bytes
-            )));
-        }
+        self.elem_bytes_usize()?;
         let need = self.device_sort.mem_factor()
             * self.elem_bytes
             * self.batch_elems as f64
@@ -550,6 +573,30 @@ mod tests {
         assert!(bl.validate(150).is_err());
         assert!(bl.validate(100).is_ok());
         assert!(base.validate(0).is_err());
+    }
+
+    #[test]
+    fn elem_bytes_must_be_supported_integer_width() {
+        let base = HetSortConfig::paper_defaults(platform1(), Approach::PipeData);
+        assert_eq!(base.elem_bytes_usize().expect("8 is supported"), 8);
+        assert_eq!(
+            base.clone()
+                .with_elem_bytes(16.0)
+                .elem_bytes_usize()
+                .expect("16 is supported"),
+            16
+        );
+        // Fractional, non-finite, non-positive, and unsupported widths
+        // are typed Config errors — not a silently-never-equal f64
+        // comparison deep in the executor.
+        for bad in [8.5, 0.0, -8.0, f64::NAN, f64::INFINITY, 12.0, 4.0] {
+            let c = base.clone().with_elem_bytes(bad);
+            match c.elem_bytes_usize() {
+                Err(HetSortError::Config { .. }) => {}
+                other => panic!("elem_bytes={bad}: expected Config error, got {other:?}"),
+            }
+            assert!(c.validate(1000).is_err(), "validate must reject {bad}");
+        }
     }
 
     #[test]

@@ -81,6 +81,16 @@ pub enum HetSortError {
         /// The simulator's diagnosis.
         reason: String,
     },
+    /// The sort service shed a job: the bounded queue was full, the
+    /// job's deadline passed while it waited, or its footprint can
+    /// never fit the budget. Backpressure, not a failure of the
+    /// pipeline — resubmit later or with a smaller configuration.
+    Overloaded {
+        /// The job that was shed, when known.
+        job: Option<u64>,
+        /// Why the service refused it.
+        reason: String,
+    },
     /// A virtual-CUDA driver error that has no more specific mapping.
     Cuda(CudaError),
 }
@@ -150,6 +160,13 @@ impl fmt::Display for HetSortError {
                 write!(f, "{pending} pair merge(s) never became ready")
             }
             HetSortError::Sim { reason } => write!(f, "simulation failed: {reason}"),
+            HetSortError::Overloaded { job, reason } => {
+                write!(f, "service overloaded")?;
+                if let Some(j) = job {
+                    write!(f, " (job {j})")?;
+                }
+                write!(f, ": {reason}")
+            }
             HetSortError::Cuda(e) => write!(f, "CUDA error: {e}"),
         }
     }
@@ -198,6 +215,24 @@ mod tests {
         assert!(s.contains("step 17"), "{s}");
         assert!(s.contains("batch 3"), "{s}");
         assert!(s.contains("HtoD"), "{s}");
+    }
+
+    #[test]
+    fn overloaded_names_the_job() {
+        let e = HetSortError::Overloaded {
+            job: Some(42),
+            reason: "queue full (depth 8)".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("overloaded"), "{s}");
+        assert!(s.contains("job 42"), "{s}");
+        assert!(s.contains("queue full"), "{s}");
+        let anon = HetSortError::Overloaded {
+            job: None,
+            reason: "x".into(),
+        }
+        .to_string();
+        assert!(!anon.contains("job"), "{anon}");
     }
 
     #[test]

@@ -128,11 +128,15 @@ where
             plan.n
         )));
     }
-    if std::mem::size_of::<T>() as f64 != plan.config.elem_bytes {
+    // Integer-exact width check: `elem_bytes_usize` already rejects
+    // fractional/unsupported widths with a typed Config error, so this
+    // never degenerates into an f64 equality that can silently fail.
+    let elem_bytes = plan.config.elem_bytes_usize()?;
+    if std::mem::size_of::<T>() != elem_bytes {
         return Err(HetSortError::data(format!(
             "element type is {} bytes but the config models {} — call with_elem_bytes",
             std::mem::size_of::<T>(),
-            plan.config.elem_bytes
+            elem_bytes
         )));
     }
     // Re-validate on every execution path: re-planned (recovery) plans

@@ -58,6 +58,7 @@ fn src_slice<'x, T>(
 /// Fire every pending pair merge whose inputs are ready, repeatedly
 /// (an Online/MergeTree merge may unlock the next). Each fired merge is
 /// recorded as a span on the run clock `t0`.
+#[allow(clippy::too_many_arguments)] // internal helper: plan context + two buffer banks + clock + span sink
 fn fire_ready_pairs<T>(
     plan: &Plan,
     sched: &SchedCfg,
@@ -131,11 +132,13 @@ where
             plan.n
         )));
     }
-    if std::mem::size_of::<T>() as f64 != plan.config.elem_bytes {
+    // Same integer-exact width check as the single-threaded executor.
+    let elem_bytes = plan.config.elem_bytes_usize()?;
+    if std::mem::size_of::<T>() != elem_bytes {
         return Err(HetSortError::data(format!(
             "element type is {} bytes but the config models {} — call with_elem_bytes",
             std::mem::size_of::<T>(),
-            plan.config.elem_bytes
+            elem_bytes
         )));
     }
     // Re-validate on every execution path, not only at build time.

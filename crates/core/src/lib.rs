@@ -49,7 +49,10 @@ pub mod plan;
 pub mod reference;
 pub mod report;
 
-pub use config::{Approach, CpuSched, DeviceSortKind, HetSortConfig, PairStrategy, RecoveryPolicy};
+pub use config::{
+    Approach, CpuSched, DeviceSortKind, HetSortConfig, PairStrategy, RecoveryPolicy,
+    SUPPORTED_ELEM_BYTES,
+};
 pub use error::HetSortError;
 pub use exec_real::{sort_real, RealOutcome};
 pub use exec_real_mt::sort_real_parallel;

@@ -85,6 +85,9 @@ pub fn chrome_trace(reg: &MetricsRegistry, process_label: &str) -> String {
         if let Some(batch) = s.batch {
             args.push(("batch", Json::n(batch as f64)));
         }
+        if let Some(job) = s.job {
+            args.push(("job", Json::n(job as f64)));
+        }
         events.push(Json::obj(vec![
             ("ph", Json::s("X")),
             ("name", Json::s(s.label.clone())),

@@ -49,6 +49,7 @@ fn span_cmp(a: &ObsSpan, b: &ObsSpan) -> Ordering {
         .then(a.stream.cmp(&b.stream))
         .then(a.gpu.cmp(&b.gpu))
         .then(a.batch.cmp(&b.batch))
+        .then(a.job.cmp(&b.job))
         .then(a.bytes.total_cmp(&b.bytes))
         .then(a.label.cmp(&b.label))
 }

@@ -129,6 +129,9 @@ pub struct ObsSpan {
     pub stream: Option<usize>,
     /// Batch correlation key, if any.
     pub batch: Option<u64>,
+    /// Serve-layer job correlation key, if any (spans from a
+    /// single-tenant run have none).
+    pub job: Option<u64>,
     /// Bytes moved / work units performed (bytes for transfers,
     /// staging copies, and allocations; calibrated work units for
     /// sorts and merges).
@@ -148,6 +151,7 @@ impl ObsSpan {
             gpu: None,
             stream: None,
             batch: None,
+            job: None,
             bytes: 0.0,
             t_start,
             t_end,
@@ -169,6 +173,12 @@ impl ObsSpan {
     /// Set the batch correlation key.
     pub fn for_batch(mut self, batch: u64) -> Self {
         self.batch = Some(batch);
+        self
+    }
+
+    /// Set the serve-layer job correlation key.
+    pub fn for_job(mut self, job: u64) -> Self {
+        self.job = Some(job);
         self
     }
 
@@ -226,10 +236,12 @@ mod tests {
             .on_gpu(1)
             .on_stream(3)
             .for_batch(7)
+            .for_job(9)
             .with_bytes(4096.0);
         assert_eq!(s.gpu, Some(1));
         assert_eq!(s.stream, Some(3));
         assert_eq!(s.batch, Some(7));
+        assert_eq!(s.job, Some(9));
         assert!((s.duration() - 1.5).abs() < 1e-12);
         let degenerate = ObsSpan::new(OpClass::Sync, "s", 2.0, 1.0);
         assert_eq!(degenerate.duration(), 0.0);

@@ -25,6 +25,9 @@ fn random_span(rng: &mut Rng) -> ObsSpan {
     if rng.bool() {
         s = s.for_batch(rng.u64_in(0, 99));
     }
+    if rng.bool() {
+        s = s.for_job(rng.u64_in(0, 9));
+    }
     s
 }
 

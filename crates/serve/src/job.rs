@@ -1,0 +1,132 @@
+//! Jobs: what tenants submit and what they get back.
+
+use hetsort_core::HetSortConfig;
+
+/// Scheduling priority. Higher priorities are scanned first at every
+/// admission decision; within a priority, jobs admit in arrival order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Scanned last.
+    Low,
+    /// The default.
+    Normal,
+    /// Scanned first.
+    High,
+}
+
+impl Priority {
+    /// Stable display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
+    }
+}
+
+/// One tenant request: data to sort under a configuration, with a
+/// priority and an optional admission deadline.
+///
+/// All times are *virtual* seconds on the service clock (the same
+/// clock the simulator's durations advance), never wall clock — the
+/// whole service is deterministic for a fixed job list.
+#[derive(Debug, Clone)]
+pub struct SortJob {
+    /// The unsorted input.
+    pub data: Vec<f64>,
+    /// Full pipeline configuration (the per-job
+    /// [`RecoveryPolicy`](hetsort_core::RecoveryPolicy) and fault
+    /// schedule ride along in here).
+    pub config: HetSortConfig,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Latest virtual time at which the job may still be *admitted*;
+    /// a job whose deadline passes while queued is shed with a typed
+    /// [`Overloaded`](hetsort_core::HetSortError::Overloaded) error.
+    pub deadline_s: Option<f64>,
+    /// Virtual arrival time (submission order breaks ties).
+    pub arrival_s: f64,
+}
+
+impl SortJob {
+    /// A normal-priority job arriving at `t = 0`.
+    pub fn new(data: Vec<f64>, config: HetSortConfig) -> SortJob {
+        SortJob {
+            data,
+            config,
+            priority: Priority::Normal,
+            deadline_s: None,
+            arrival_s: 0.0,
+        }
+    }
+
+    /// Set the priority.
+    pub fn with_priority(mut self, p: Priority) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Set the admission deadline (virtual seconds).
+    pub fn with_deadline(mut self, deadline_s: f64) -> Self {
+        self.deadline_s = Some(deadline_s);
+        self
+    }
+
+    /// Set the arrival time (virtual seconds).
+    pub fn arriving_at(mut self, t_s: f64) -> Self {
+        self.arrival_s = t_s;
+        self
+    }
+}
+
+/// What a completed job hands back.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// Service-assigned job id (submission order).
+    pub id: u64,
+    /// The job's priority.
+    pub priority: Priority,
+    /// Virtual arrival time.
+    pub arrival_s: f64,
+    /// Virtual time the admission controller let the job in.
+    pub admitted_s: f64,
+    /// Virtual completion time (`admitted_s` + simulated duration,
+    /// plus any coalesced predecessors sharing the reservation).
+    pub completed_s: f64,
+    /// The sorted output (functionally executed, not simulated).
+    pub sorted: Vec<f64>,
+    /// Output verification verdict from the executor.
+    pub verified: bool,
+    /// Reservation this job shared when coalesced (the group leader's
+    /// job id); `None` for solo admissions.
+    pub coalesced_into: Option<u64>,
+    /// Whether the per-job recovery policy had to absorb any fault.
+    pub recovered: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsort_core::Approach;
+    use hetsort_vgpu::platform1;
+
+    #[test]
+    fn priority_order_is_low_to_high() {
+        assert!(Priority::High > Priority::Normal);
+        assert!(Priority::Normal > Priority::Low);
+        assert_eq!(Priority::High.name(), "high");
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let cfg = HetSortConfig::paper_defaults(platform1(), Approach::BLineMulti);
+        let j = SortJob::new(vec![3.0, 1.0], cfg)
+            .with_priority(Priority::High)
+            .with_deadline(12.5)
+            .arriving_at(2.0);
+        assert_eq!(j.priority, Priority::High);
+        assert_eq!(j.deadline_s, Some(12.5));
+        assert_eq!(j.arrival_s, 2.0);
+    }
+}

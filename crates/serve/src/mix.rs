@@ -1,0 +1,111 @@
+//! A deterministic synthetic tenant mix, shared by the `serve-sim`
+//! CLI command and the bench gate's serve-throughput scenario.
+//!
+//! The mix exercises every service mechanism: an opening same-instant
+//! burst of small coalescible jobs, a spread tail across three config
+//! shapes and all three priorities, and a sprinkle of fault-injected
+//! jobs running under the default recovery policy. Everything derives
+//! from the seed — two calls with the same arguments produce the same
+//! jobs bit for bit.
+
+use std::sync::Arc;
+
+use hetsort_core::{Approach, HetSortConfig};
+use hetsort_prng::Rng;
+use hetsort_vgpu::{FaultInjector, PlatformSpec};
+
+use crate::job::{Priority, SortJob};
+
+/// Fraction of the mix that arrives at `t = 0` in one burst.
+const BURST_FRACTION: f64 = 0.2;
+
+/// Small, coalescible shape (also the burst shape).
+fn shape_small(platform: &PlatformSpec) -> HetSortConfig {
+    HetSortConfig::paper_defaults(platform.clone(), Approach::PipeMerge)
+        .with_batch_elems(1_000)
+        .with_pinned_elems(250)
+}
+
+fn shape_piped(platform: &PlatformSpec) -> HetSortConfig {
+    HetSortConfig::paper_defaults(platform.clone(), Approach::PipeData)
+        .with_batch_elems(2_000)
+        .with_pinned_elems(500)
+}
+
+fn shape_blocking(platform: &PlatformSpec) -> HetSortConfig {
+    HetSortConfig::paper_defaults(platform.clone(), Approach::BLineMulti)
+        .with_batch_elems(1_500)
+        .with_pinned_elems(500)
+}
+
+/// The element-count ceiling under which mix jobs coalesce; pass this
+/// to [`ServeConfig::with_coalescing`](crate::ServeConfig) to engage
+/// coalescing on the burst shape.
+pub const MIX_COALESCE_ELEMS: usize = 2_000;
+
+/// Build `n_jobs` deterministic jobs for `platform` from `seed`.
+pub fn synthetic_jobs(platform: &PlatformSpec, n_jobs: usize, seed: u64) -> Vec<SortJob> {
+    let mut rng = Rng::new(seed);
+    let burst = ((n_jobs as f64 * BURST_FRACTION) as usize).max(1);
+    let mut jobs = Vec::with_capacity(n_jobs);
+    let mut arrival = 0.0_f64;
+    for i in 0..n_jobs {
+        let job = if i < burst {
+            let n = rng.usize_in(800, MIX_COALESCE_ELEMS);
+            SortJob::new(data(&mut rng, n), shape_small(platform))
+        } else {
+            arrival += rng.f64_in(0.0, 2.0e-3);
+            let (cfg, n) = match i % 3 {
+                0 => (shape_small(platform), rng.usize_in(800, MIX_COALESCE_ELEMS)),
+                1 => (shape_piped(platform), rng.usize_in(4_000, 12_000)),
+                _ => (shape_blocking(platform), rng.usize_in(3_000, 8_000)),
+            };
+            SortJob::new(data(&mut rng, n), cfg).arriving_at(arrival)
+        };
+        let job = match i % 3 {
+            0 => job,
+            1 => job.with_priority(*rng.pick(&[Priority::Low, Priority::High])),
+            _ => job.with_priority(Priority::Low),
+        };
+        let job = if i % 10 == 9 {
+            let faults = Arc::new(FaultInjector::from_seed(seed ^ i as u64, 1));
+            SortJob {
+                config: job.config.clone().with_faults(faults),
+                ..job
+            }
+        } else {
+            job
+        };
+        jobs.push(job);
+    }
+    jobs
+}
+
+fn data(rng: &mut Rng, n: usize) -> Vec<f64> {
+    (0..n).map(|_| rng.f64_unit()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsort_vgpu::platform1;
+
+    #[test]
+    fn mix_is_deterministic_and_varied() {
+        let a = synthetic_jobs(&platform1(), 60, 7);
+        let b = synthetic_jobs(&platform1(), 60, 7);
+        assert_eq!(a.len(), 60);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.data, y.data);
+            assert_eq!(x.arrival_s.to_bits(), y.arrival_s.to_bits());
+            assert_eq!(x.priority, y.priority);
+        }
+        // All three priorities and at least one faulted job appear.
+        for p in [Priority::Low, Priority::Normal, Priority::High] {
+            assert!(a.iter().any(|j| j.priority == p), "{:?}", p.name());
+        }
+        assert!(a.iter().any(|j| j.config.faults.is_some()));
+        // The burst arrives together at t = 0.
+        assert!(a.iter().filter(|j| j.arrival_s == 0.0).count() >= 12);
+    }
+}

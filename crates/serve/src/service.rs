@@ -1,0 +1,675 @@
+//! The multi-tenant sort service: a deterministic virtual-time event
+//! loop over arrivals, admissions, and completions.
+//!
+//! Jobs enter a bounded queue; the [`AdmissionController`] lets them
+//! start only while the aggregate device + pinned footprint (computed
+//! with the analyzer's [`Residency`] math from each job's built
+//! [`Plan`]) stays under budget. Small same-shape jobs coalesce into
+//! one shared reservation. Overload sheds jobs with a typed
+//! [`HetSortError::Overloaded`] — never a panic.
+//!
+//! Two clocks, deliberately separated:
+//!
+//! * outputs are produced *functionally* (`sort_real_plan`), so every
+//!   completed job's `sorted` is bit-identical to a reference sort;
+//! * durations come from the *simulator* (`simulate_plan`), so queue
+//!   waits, admissions, and completions advance a virtual clock that
+//!   is reproducible to the bit across runs — no wall-clock anywhere
+//!   in service state.
+
+use hetsort_analyze::Residency;
+use hetsort_core::exec_real::sort_real_plan;
+use hetsort_core::exec_sim::simulate_plan;
+use hetsort_core::{HetSortError, Plan};
+use hetsort_obs::{MetricsRegistry, ObsSpan, OpClass};
+
+use crate::admission::{footprint_max, AdmissionController, ServeBudget};
+use crate::job::{JobReport, SortJob};
+
+/// Service knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Bounded queue depth; arrivals past this are shed immediately.
+    pub queue_cap: usize,
+    /// The aggregate memory budget.
+    pub budget: ServeBudget,
+    /// Jobs with `n ≤ coalesce_max_elems` are "small": same-shape
+    /// small jobs admit together under one shared reservation.
+    /// `0` disables coalescing.
+    pub coalesce_max_elems: usize,
+    /// Most members a coalesced group may hold (bounds the latency a
+    /// member adds to the ones behind it).
+    pub coalesce_max_jobs: usize,
+}
+
+impl ServeConfig {
+    /// A config with the given budget and conventional depths.
+    pub fn new(budget: ServeBudget) -> ServeConfig {
+        ServeConfig {
+            queue_cap: 64,
+            budget,
+            coalesce_max_elems: 0,
+            coalesce_max_jobs: 8,
+        }
+    }
+
+    /// Set the queue depth.
+    pub fn with_queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = cap;
+        self
+    }
+
+    /// Enable coalescing for jobs up to `max_elems`.
+    pub fn with_coalescing(mut self, max_elems: usize) -> Self {
+        self.coalesce_max_elems = max_elems;
+        self
+    }
+}
+
+/// One admission decision, for audit: who was in flight afterwards and
+/// how the reservations group jobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionEvent {
+    /// Virtual time of the decision.
+    pub t_s: f64,
+    /// Job ids per reservation in flight *after* the decision (a
+    /// coalesced group is one reservation with several ids).
+    pub reservations: Vec<Vec<u64>>,
+    /// Aggregate footprint after the decision.
+    pub in_flight: Residency,
+}
+
+/// Everything a service run produces.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// Completed jobs, in completion order (ties: admission order).
+    pub completed: Vec<JobReport>,
+    /// Jobs shed with backpressure: `(id, Overloaded)`.
+    pub shed: Vec<(u64, HetSortError)>,
+    /// Jobs that failed in validation or execution (typed, non-shed).
+    pub failed: Vec<(u64, HetSortError)>,
+    /// Virtual completion time of the last job (0 for an empty run).
+    pub makespan_s: f64,
+    /// Every admission decision, for budget auditing.
+    pub admission_log: Vec<AdmissionEvent>,
+    /// Job-scoped spans (simulated op spans shifted to admission time,
+    /// plus one queue-wait span per admitted job) and service counters.
+    pub metrics: MetricsRegistry,
+}
+
+struct Queued {
+    id: u64,
+    job: SortJob,
+    plan: Plan,
+    residency: Residency,
+}
+
+struct Done {
+    report: JobReport,
+    recovered: bool,
+}
+
+struct Running {
+    leader: u64,
+    finish_s: f64,
+    done: Vec<Done>,
+}
+
+/// The service. Create with a [`ServeConfig`], then [`Self::run`] a
+/// job list; the run is self-contained and deterministic.
+#[derive(Debug, Clone)]
+pub struct SortService {
+    cfg: ServeConfig,
+}
+
+/// Shape key for coalescing: jobs sharing it can reuse each other's
+/// buffers.
+fn shape_key(job: &SortJob) -> String {
+    let c = &job.config;
+    format!(
+        "{}/{}/b{}/p{}/s{}/e{}/d{:?}/pm{}",
+        c.platform.name,
+        c.approach.name(),
+        c.batch_elems,
+        c.pinned_elems,
+        c.streams_per_gpu,
+        c.elem_bytes.to_bits(),
+        c.device_sort,
+        c.par_memcpy,
+    )
+}
+
+impl SortService {
+    /// A service with the given knobs.
+    pub fn new(cfg: ServeConfig) -> SortService {
+        SortService { cfg }
+    }
+
+    /// Run a whole job list to completion.
+    ///
+    /// Ids are assigned in list order; arrivals are processed in
+    /// `(arrival_s, id)` order. The returned outcome contains every
+    /// job exactly once across `completed` / `shed` / `failed`.
+    pub fn run(&self, jobs: Vec<SortJob>) -> ServeOutcome {
+        let mut metrics = MetricsRegistry::new();
+        metrics.add_counter("jobs_submitted", jobs.len() as f64);
+
+        let mut pending: Vec<(u64, SortJob)> = jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, j)| (i as u64, j))
+            .collect();
+        pending.sort_by(|a, b| a.1.arrival_s.total_cmp(&b.1.arrival_s).then(a.0.cmp(&b.0)));
+        let mut pending = std::collections::VecDeque::from(pending);
+
+        let mut admission = AdmissionController::new(self.cfg.budget);
+        let mut queue: Vec<Queued> = Vec::new();
+        let mut running: Vec<Running> = Vec::new();
+        let mut outcome = ServeOutcome {
+            completed: Vec::new(),
+            shed: Vec::new(),
+            failed: Vec::new(),
+            makespan_s: 0.0,
+            admission_log: Vec::new(),
+            metrics: MetricsRegistry::new(),
+        };
+        let mut now: f64;
+
+        loop {
+            // Drain completions due strictly before the next arrival —
+            // released budget must be re-offered to the queue first.
+            let next_arrival = pending.front().map(|(_, j)| j.arrival_s);
+            let next_finish = running.iter().map(|r| r.finish_s).min_by(f64::total_cmp);
+            now = match (next_arrival, next_finish) {
+                (None, None) => {
+                    debug_assert!(queue.is_empty(), "queue cannot outlive the event stream");
+                    break;
+                }
+                (Some(a), None) => a,
+                (None, Some(f)) => f,
+                (Some(a), Some(f)) => a.min(f),
+            };
+
+            // 1. Completions at `now`: release reservations, file reports.
+            let mut i = 0;
+            while i < running.len() {
+                if running[i].finish_s <= now {
+                    let r = running.remove(i);
+                    admission.release(r.leader);
+                    for d in r.done {
+                        metrics.add_counter("jobs_completed", 1.0);
+                        if d.recovered {
+                            metrics.add_counter("jobs_recovered", 1.0);
+                        }
+                        outcome.makespan_s = outcome.makespan_s.max(d.report.completed_s);
+                        outcome.completed.push(d.report);
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+
+            // 2. Arrivals at `now`: bounded queue or immediate shed.
+            while pending.front().is_some_and(|(_, j)| j.arrival_s <= now) {
+                if let Some((id, job)) = pending.pop_front() {
+                    self.submit(id, job, &mut queue, &admission, &mut outcome, &mut metrics);
+                }
+            }
+
+            // 3. Shed queued jobs whose admission deadline has passed.
+            let mut i = 0;
+            while i < queue.len() {
+                let expired = queue[i].job.deadline_s.is_some_and(|d| d < now);
+                if expired {
+                    let q = queue.remove(i);
+                    metrics.add_counter("jobs_shed_deadline", 1.0);
+                    outcome.shed.push((
+                        q.id,
+                        HetSortError::Overloaded {
+                            job: Some(q.id),
+                            reason: format!(
+                                "deadline {:.3}s passed while queued (now {now:.3}s)",
+                                q.job.deadline_s.unwrap_or(0.0)
+                            ),
+                        },
+                    ));
+                } else {
+                    i += 1;
+                }
+            }
+
+            // 4. Admission scan: priority order with backfill.
+            self.admit(
+                now,
+                &mut queue,
+                &mut running,
+                &mut admission,
+                &mut outcome,
+                &mut metrics,
+            );
+        }
+
+        outcome.metrics.merge(metrics);
+        outcome
+    }
+
+    fn submit(
+        &self,
+        id: u64,
+        job: SortJob,
+        queue: &mut Vec<Queued>,
+        admission: &AdmissionController,
+        outcome: &mut ServeOutcome,
+        metrics: &mut MetricsRegistry,
+    ) {
+        if queue.len() >= self.cfg.queue_cap {
+            metrics.add_counter("jobs_shed_queue_full", 1.0);
+            outcome.shed.push((
+                id,
+                HetSortError::Overloaded {
+                    job: Some(id),
+                    reason: format!("queue full (depth {})", self.cfg.queue_cap),
+                },
+            ));
+            return;
+        }
+        let plan = match Plan::build(job.config.clone(), job.data.len()) {
+            Ok(p) => p,
+            Err(e) => {
+                metrics.add_counter("jobs_failed", 1.0);
+                outcome.failed.push((id, e));
+                return;
+            }
+        };
+        let residency = Residency::of_plan(&plan);
+        if !admission.ever_fits(&residency) {
+            metrics.add_counter("jobs_shed_oversized", 1.0);
+            outcome.shed.push((
+                id,
+                HetSortError::Overloaded {
+                    job: Some(id),
+                    reason: format!(
+                        "footprint (device peak {:.3e} B, pinned {:.3e} B) exceeds the \
+                         service budget (device {:.3e} B/GPU, pinned {:.3e} B) — \
+                         unadmittable at any load",
+                        residency.device_peak(),
+                        residency.pinned_bytes,
+                        self.cfg.budget.device_bytes,
+                        self.cfg.budget.pinned_bytes,
+                    ),
+                },
+            ));
+            return;
+        }
+        queue.push(Queued {
+            id,
+            job,
+            plan,
+            residency,
+        });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn admit(
+        &self,
+        now: f64,
+        queue: &mut Vec<Queued>,
+        running: &mut Vec<Running>,
+        admission: &mut AdmissionController,
+        outcome: &mut ServeOutcome,
+        metrics: &mut MetricsRegistry,
+    ) {
+        // Priority first, then arrival, then id — stable and total.
+        queue.sort_by(|a, b| {
+            b.job
+                .priority
+                .cmp(&a.job.priority)
+                .then(a.job.arrival_s.total_cmp(&b.job.arrival_s))
+                .then(a.id.cmp(&b.id))
+        });
+        let mut admitted_any = false;
+        let mut i = 0;
+        while i < queue.len() {
+            // Gather the candidate group: the job itself plus, when it
+            // is small, every later same-shape small job (backfill
+            // order preserves priority fairness).
+            let small = |q: &Queued| {
+                self.cfg.coalesce_max_elems > 0 && q.job.data.len() <= self.cfg.coalesce_max_elems
+            };
+            let mut member_idx = vec![i];
+            if small(&queue[i]) {
+                let key = shape_key(&queue[i].job);
+                for (j, q) in queue.iter().enumerate().skip(i + 1) {
+                    if member_idx.len() >= self.cfg.coalesce_max_jobs {
+                        break;
+                    }
+                    if small(q) && shape_key(&q.job) == key {
+                        member_idx.push(j);
+                    }
+                }
+            }
+            let group_res = member_idx
+                .iter()
+                .map(|&j| &queue[j].residency)
+                .fold(Residency::default(), |acc, r| footprint_max(&acc, r));
+            if !admission.fits(&group_res) {
+                // Backfill: a blocked job does not block smaller ones
+                // behind it.
+                i += 1;
+                continue;
+            }
+
+            // Remove members back-to-front so indices stay valid.
+            member_idx.sort_unstable();
+            let mut members: Vec<Queued> = Vec::with_capacity(member_idx.len());
+            for &j in member_idx.iter().rev() {
+                members.push(queue.remove(j));
+            }
+            members.reverse();
+            let leader = members[0].id;
+            let coalesced = members.len() > 1;
+            if coalesced {
+                metrics.add_counter("jobs_coalesced", (members.len() - 1) as f64);
+            }
+            admission.reserve(leader, group_res);
+            let run = self.execute_group(now, leader, coalesced, members, outcome, metrics);
+            running.push(run);
+            admitted_any = true;
+            // Restart the scan: the queue shrank and indices moved.
+            i = 0;
+        }
+        if admitted_any {
+            let mut reservations: Vec<Vec<u64>> = Vec::new();
+            for r in running.iter() {
+                let mut ids: Vec<u64> = r.done.iter().map(|d| d.report.id).collect();
+                ids.sort_unstable();
+                reservations.push(ids);
+            }
+            outcome.admission_log.push(AdmissionEvent {
+                t_s: now,
+                reservations,
+                in_flight: admission.in_flight().clone(),
+            });
+        }
+    }
+
+    /// Execute a reservation's members sequentially from `now`:
+    /// functional truth for outputs, simulated durations for the
+    /// clock, job-tagged spans for observability.
+    fn execute_group(
+        &self,
+        now: f64,
+        leader: u64,
+        coalesced: bool,
+        members: Vec<Queued>,
+        outcome: &mut ServeOutcome,
+        metrics: &mut MetricsRegistry,
+    ) -> Running {
+        let mut cursor = now;
+        let mut done = Vec::new();
+        for q in members {
+            let real = match sort_real_plan(&q.plan, &q.job.data) {
+                Ok(r) => r,
+                Err(e) => {
+                    metrics.add_counter("jobs_failed", 1.0);
+                    outcome.failed.push((q.id, e));
+                    continue;
+                }
+            };
+            let sim = match simulate_plan(&q.plan) {
+                Ok(r) => r,
+                Err(e) => {
+                    metrics.add_counter("jobs_failed", 1.0);
+                    outcome.failed.push((q.id, e));
+                    continue;
+                }
+            };
+            let start = cursor;
+            cursor += sim.total_s;
+            // Queue wait + the job's simulated op spans, shifted onto
+            // the service clock and tagged with the job id.
+            metrics.record(
+                ObsSpan::new(
+                    OpClass::Other,
+                    format!("queue-wait j{}", q.id),
+                    q.job.arrival_s,
+                    start,
+                )
+                .for_job(q.id),
+            );
+            metrics.record_all(sim.metrics().spans().iter().map(|s| {
+                let mut s = s.clone().for_job(q.id);
+                s.t_start += start;
+                s.t_end += start;
+                s
+            }));
+            metrics.add_counter(
+                "bytes_sorted",
+                q.plan.config.elem_bytes * q.job.data.len() as f64,
+            );
+            done.push(Done {
+                recovered: real.recovery.any(),
+                report: JobReport {
+                    id: q.id,
+                    priority: q.job.priority,
+                    arrival_s: q.job.arrival_s,
+                    admitted_s: start,
+                    completed_s: cursor,
+                    sorted: real.sorted,
+                    verified: real.verified,
+                    coalesced_into: coalesced.then_some(leader),
+                    recovered: real.recovery.any(),
+                },
+            });
+        }
+        Running {
+            leader,
+            finish_s: cursor,
+            done,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Priority;
+    use hetsort_core::{Approach, HetSortConfig};
+    use hetsort_vgpu::platform1;
+
+    fn small_cfg() -> HetSortConfig {
+        HetSortConfig::paper_defaults(platform1(), Approach::PipeMerge)
+            .with_batch_elems(1_000)
+            .with_pinned_elems(250)
+    }
+
+    fn budget_for(n_jobs: usize) -> ServeBudget {
+        // One PipeMerge job at b_s = 1000 holds 2 streams × 2 × 8 B ×
+        // 1000 = 32 kB device, 4 × 8 B × 250 = 8 kB pinned.
+        ServeBudget::new(32_000.0 * n_jobs as f64, 8_000.0 * n_jobs as f64)
+    }
+
+    fn data(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = hetsort_prng::Rng::new(seed);
+        (0..n).map(|_| rng.f64_unit()).collect()
+    }
+
+    #[test]
+    fn single_job_completes_and_sorts() {
+        let svc = SortService::new(ServeConfig::new(budget_for(1)));
+        let out = svc.run(vec![SortJob::new(data(5_000, 1), small_cfg())]);
+        assert_eq!(out.completed.len(), 1);
+        assert!(out.shed.is_empty() && out.failed.is_empty());
+        let r = &out.completed[0];
+        assert!(r.verified);
+        assert!(r.sorted.windows(2).all(|w| w[0] <= w[1]));
+        assert!(out.makespan_s > 0.0);
+        assert_eq!(out.metrics.counter("jobs_completed"), 1.0);
+    }
+
+    #[test]
+    fn queue_full_sheds_typed_overloaded() {
+        let cfg = ServeConfig::new(budget_for(1)).with_queue_cap(1);
+        let svc = SortService::new(cfg);
+        let jobs: Vec<SortJob> = (0..4)
+            .map(|i| SortJob::new(data(2_000, i), small_cfg()))
+            .collect();
+        let out = svc.run(jobs);
+        // One admits instantly, one queues, two shed.
+        assert_eq!(out.completed.len() + out.shed.len(), 4);
+        assert!(!out.shed.is_empty());
+        for (id, e) in &out.shed {
+            match e {
+                HetSortError::Overloaded { job, reason } => {
+                    assert_eq!(*job, Some(*id));
+                    assert!(reason.contains("queue full"), "{reason}");
+                }
+                other => panic!("expected Overloaded, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_job_is_shed_not_queued_forever() {
+        let svc = SortService::new(ServeConfig::new(ServeBudget::new(1.0, 1.0)));
+        let out = svc.run(vec![SortJob::new(data(2_000, 3), small_cfg())]);
+        assert_eq!(out.completed.len(), 0);
+        assert_eq!(out.shed.len(), 1);
+        assert!(matches!(out.shed[0].1, HetSortError::Overloaded { .. }));
+    }
+
+    #[test]
+    fn budget_serializes_admissions() {
+        // Budget for exactly one job; three arrive together → they run
+        // one after another, never overlapping.
+        let svc = SortService::new(ServeConfig::new(budget_for(1)));
+        let jobs: Vec<SortJob> = (0..3)
+            .map(|i| SortJob::new(data(3_000, 10 + i), small_cfg()))
+            .collect();
+        let out = svc.run(jobs);
+        assert_eq!(out.completed.len(), 3);
+        let mut windows: Vec<(f64, f64)> = out
+            .completed
+            .iter()
+            .map(|r| (r.admitted_s, r.completed_s))
+            .collect();
+        windows.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for w in windows.windows(2) {
+            assert!(
+                w[1].0 >= w[0].1 - 1e-12,
+                "admissions overlap under a one-job budget: {windows:?}"
+            );
+        }
+        // The admission log never shows more than one reservation.
+        for ev in &out.admission_log {
+            assert!(ev.reservations.len() <= 1, "{ev:?}");
+        }
+    }
+
+    #[test]
+    fn high_priority_jumps_the_queue() {
+        let svc = SortService::new(ServeConfig::new(budget_for(1)));
+        // Job 0 admits at t=0 (queue empty). Jobs 1 (low) and 2 (high)
+        // wait; when budget frees, high goes first despite arriving
+        // later by id.
+        let jobs = vec![
+            SortJob::new(data(3_000, 20), small_cfg()),
+            SortJob::new(data(3_000, 21), small_cfg()).with_priority(Priority::Low),
+            SortJob::new(data(3_000, 22), small_cfg()).with_priority(Priority::High),
+        ];
+        let out = svc.run(jobs);
+        assert_eq!(out.completed.len(), 3);
+        let find = |id: u64| {
+            out.completed
+                .iter()
+                .find(|r| r.id == id)
+                .map(|r| r.admitted_s)
+        };
+        let low = find(1).unwrap_or(f64::NAN);
+        let high = find(2).unwrap_or(f64::NAN);
+        assert!(high < low, "high {high} must admit before low {low}");
+    }
+
+    #[test]
+    fn deadline_expiry_sheds_while_queued() {
+        let svc = SortService::new(ServeConfig::new(budget_for(1)));
+        let jobs = vec![
+            SortJob::new(data(3_000, 30), small_cfg()),
+            // Deadline far shorter than job 0's service time.
+            SortJob::new(data(3_000, 31), small_cfg()).with_deadline(1e-9),
+        ];
+        let out = svc.run(jobs);
+        assert_eq!(out.completed.len(), 1);
+        assert_eq!(out.shed.len(), 1);
+        let (id, e) = &out.shed[0];
+        assert_eq!(*id, 1);
+        match e {
+            HetSortError::Overloaded { reason, .. } => {
+                assert!(reason.contains("deadline"), "{reason}")
+            }
+            other => panic!("expected Overloaded, got {other}"),
+        }
+    }
+
+    #[test]
+    fn coalescing_groups_small_jobs_under_one_reservation() {
+        let cfg = ServeConfig::new(budget_for(1)).with_coalescing(5_000);
+        let svc = SortService::new(cfg);
+        let jobs: Vec<SortJob> = (0..4)
+            .map(|i| SortJob::new(data(2_000, 40 + i), small_cfg()))
+            .collect();
+        let out = svc.run(jobs);
+        assert_eq!(out.completed.len(), 4);
+        // All four share the leader's reservation.
+        let leaders: Vec<Option<u64>> = out.completed.iter().map(|r| r.coalesced_into).collect();
+        assert!(
+            leaders.iter().filter(|l| l.is_some()).count() >= 3,
+            "{leaders:?}"
+        );
+        assert_eq!(out.metrics.counter("jobs_coalesced"), 3.0);
+        // One reservation in the log despite a one-job budget.
+        assert!(out
+            .admission_log
+            .iter()
+            .any(|ev| ev.reservations.iter().any(|r| r.len() == 4)));
+    }
+
+    #[test]
+    fn runs_are_bitwise_deterministic() {
+        let mk = || {
+            let cfg = ServeConfig::new(budget_for(2)).with_coalescing(3_000);
+            let svc = SortService::new(cfg);
+            let jobs: Vec<SortJob> = (0..6)
+                .map(|i| {
+                    SortJob::new(data(1_500 + 100 * i as usize, 50 + i), small_cfg())
+                        .arriving_at(0.001 * i as f64)
+                })
+                .collect();
+            svc.run(jobs)
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.completed.len(), b.completed.len());
+        for (x, y) in a.completed.iter().zip(&b.completed) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.admitted_s.to_bits(), y.admitted_s.to_bits());
+            assert_eq!(x.completed_s.to_bits(), y.completed_s.to_bits());
+            assert_eq!(x.sorted, y.sorted);
+        }
+        assert_eq!(a.makespan_s.to_bits(), b.makespan_s.to_bits());
+    }
+
+    #[test]
+    fn spans_carry_job_ids() {
+        let svc = SortService::new(ServeConfig::new(budget_for(2)));
+        let out = svc.run(vec![
+            SortJob::new(data(2_000, 60), small_cfg()),
+            SortJob::new(data(2_000, 61), small_cfg()),
+        ]);
+        let ids: std::collections::BTreeSet<u64> =
+            out.metrics.spans().iter().filter_map(|s| s.job).collect();
+        assert_eq!(ids, [0u64, 1].into_iter().collect());
+        // Every span is job-tagged (the service records nothing else).
+        assert!(out.metrics.spans().iter().all(|s| s.job.is_some()));
+    }
+}

@@ -687,25 +687,36 @@ mod tests {
     fn bline_written_in_cuda_calls_matches_planner() {
         // The §IV-E BLINE workflow spelled out as CUDA calls must cost
         // the same as the planner's BLine at the same size.
-        let n = 100_000_000usize;
+        // Ragged on purpose: 8·n is not a multiple of ps_bytes, so a
+        // truncating `(bytes / ps_bytes) as usize` chunk count silently
+        // under-copies the tail. Ceiling division plus a final partial
+        // chunk moves every byte.
+        let n = 100_000_001usize;
         let bytes = 8.0 * n as f64;
         let ps_bytes = 8e6;
-        let chunks = (bytes / ps_bytes) as usize;
+        let chunks = (bytes / ps_bytes).ceil() as usize;
+        let chunk_size = |c: usize| ps_bytes.min(bytes - c as f64 * ps_bytes);
         let mut cu = VirtualCuda::new(platform1());
         let dev = cu.malloc(2.0 * bytes).unwrap();
         let pin = cu.malloc_host(ps_bytes);
         let s = CudaStream::DEFAULT;
-        for _ in 0..chunks {
-            cu.host_staging_copy(true, ps_bytes, 1, pin, s);
-            cu.memcpy_async(TransferDir::HtoD, ps_bytes, dev, pin, s)
-                .unwrap();
+        let mut moved_in = 0.0;
+        for c in 0..chunks {
+            let sz = chunk_size(c);
+            cu.host_staging_copy(true, sz, 1, pin, s);
+            cu.memcpy_async(TransferDir::HtoD, sz, dev, pin, s).unwrap();
+            moved_in += sz;
         }
+        assert_eq!(moved_in, bytes, "HtoD must stage exactly 8*n bytes");
         cu.thrust_sort(n as f64, dev, s);
-        for _ in 0..chunks {
-            cu.memcpy_async(TransferDir::DtoH, ps_bytes, dev, pin, s)
-                .unwrap();
-            cu.host_staging_copy(false, ps_bytes, 1, pin, s);
+        let mut moved_out = 0.0;
+        for c in 0..chunks {
+            let sz = chunk_size(c);
+            cu.memcpy_async(TransferDir::DtoH, sz, dev, pin, s).unwrap();
+            cu.host_staging_copy(false, sz, 1, pin, s);
+            moved_out += sz;
         }
+        assert_eq!(moved_out, bytes, "DtoH must return exactly 8*n bytes");
         let sync = cu.device_synchronize();
         let run = cu.run().unwrap();
         let hand = run.finished_at(sync);

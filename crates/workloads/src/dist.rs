@@ -2,6 +2,73 @@
 
 use std::fmt;
 
+/// Largest admissible `distinct` for duplicate/Zipf workloads.
+///
+/// Generated keys travel as `f64`, and integers are exactly
+/// representable in an `f64` only up to 2⁵³. Past that, `v as f64`
+/// rounds neighbouring values onto the same key, so the workload
+/// silently holds fewer distinct values than requested — the generator
+/// rejects such parameters with [`WorkloadError::DistinctNotExact`]
+/// instead.
+pub const MAX_DISTINCT: u64 = 1 << 53;
+
+/// Typed rejection for distribution parameters that would produce a
+/// workload silently different from the one requested.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// `distinct == 0`: a duplicate-heavy or Zipf workload needs at
+    /// least one value to draw from.
+    ZeroDistinct {
+        /// Distribution name (`dup-heavy`/`zipf`).
+        dist: &'static str,
+    },
+    /// `distinct > 2^53`: the `u64 → f64` key mapping is no longer
+    /// injective, so keys would collapse.
+    DistinctNotExact {
+        /// Distribution name (`dup-heavy`/`zipf`).
+        dist: &'static str,
+        /// The requested number of distinct values.
+        distinct: u64,
+        /// The largest exactly-representable count ([`MAX_DISTINCT`]).
+        max: u64,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::ZeroDistinct { dist } => {
+                write!(f, "{dist}: distinct must be >= 1")
+            }
+            WorkloadError::DistinctNotExact {
+                dist,
+                distinct,
+                max,
+            } => write!(
+                f,
+                "{dist}: distinct={distinct} exceeds {max} (2^53); u64 -> f64 keys \
+                 would collapse and yield fewer distinct values than requested"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+fn check_distinct(dist: &'static str, distinct: u64) -> Result<(), WorkloadError> {
+    if distinct == 0 {
+        return Err(WorkloadError::ZeroDistinct { dist });
+    }
+    if distinct > MAX_DISTINCT {
+        return Err(WorkloadError::DistinctNotExact {
+            dist,
+            distinct,
+            max: MAX_DISTINCT,
+        });
+    }
+    Ok(())
+}
+
 /// The input distributions used across the sorting literature.
 ///
 /// `Uniform` is the paper's evaluation workload (§IV-A); the rest cover
@@ -37,6 +104,17 @@ pub enum Distribution {
 }
 
 impl Distribution {
+    /// Check the parameters before generation: duplicate-heavy and Zipf
+    /// workloads must request `1 ..= 2^53` distinct values so every key
+    /// survives the `u64 → f64` mapping bit-exactly.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        match *self {
+            Distribution::DuplicateHeavy { distinct } => check_distinct("dup-heavy", distinct),
+            Distribution::Zipf { distinct, .. } => check_distinct("zipf", distinct),
+            _ => Ok(()),
+        }
+    }
+
     /// All named distributions with default parameters, for sweeps.
     pub fn catalog() -> Vec<Distribution> {
         vec![
@@ -89,6 +167,56 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn distinct_boundary_is_two_pow_53() {
+        // 2^53 is the last count whose u64 -> f64 key map is injective.
+        assert!(Distribution::DuplicateHeavy {
+            distinct: MAX_DISTINCT
+        }
+        .validate()
+        .is_ok());
+        assert!(Distribution::Zipf {
+            distinct: MAX_DISTINCT,
+            exponent: 1.1
+        }
+        .validate()
+        .is_ok());
+        // One past the boundary is a typed error, not a silent collapse.
+        let err = Distribution::DuplicateHeavy {
+            distinct: MAX_DISTINCT + 1,
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(
+            err,
+            WorkloadError::DistinctNotExact {
+                dist: "dup-heavy",
+                distinct: MAX_DISTINCT + 1,
+                max: MAX_DISTINCT,
+            }
+        );
+        assert!(err.to_string().contains("2^53"), "{err}");
+        // And so is zero.
+        assert_eq!(
+            Distribution::Zipf {
+                distinct: 0,
+                exponent: 1.0
+            }
+            .validate()
+            .unwrap_err(),
+            WorkloadError::ZeroDistinct { dist: "zipf" }
+        );
+        // The cast really is lossy past 2^53 (the bug this guards).
+        assert_eq!((MAX_DISTINCT + 1) as f64, MAX_DISTINCT as f64);
+    }
+
+    #[test]
+    fn catalog_entries_all_validate() {
+        for d in Distribution::catalog() {
+            assert!(d.validate().is_ok(), "{d}");
+        }
     }
 
     #[test]

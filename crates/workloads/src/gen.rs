@@ -1,6 +1,6 @@
 //! Deterministic workload generation.
 
-use crate::dist::Distribution;
+use crate::dist::{Distribution, WorkloadError};
 use hetsort_prng::Rng;
 
 /// A generated dataset plus the parameters that produced it.
@@ -15,7 +15,13 @@ pub struct Workload {
 }
 
 /// Generate `n` 64-bit floats from `dist` with the given `seed`.
-pub fn generate(dist: Distribution, n: usize, seed: u64) -> Workload {
+///
+/// Rejects parameters that cannot be generated faithfully (e.g. a
+/// `distinct` count past 2⁵³, where `u64 as f64` keys collapse) with a
+/// typed [`WorkloadError`] instead of silently producing a different
+/// workload.
+pub fn generate(dist: Distribution, n: usize, seed: u64) -> Result<Workload, WorkloadError> {
+    dist.validate()?;
     let mut rng = Rng::new(seed);
     let data = match dist {
         Distribution::Uniform => (0..n).map(|_| rng.f64_unit()).collect(),
@@ -49,11 +55,11 @@ pub fn generate(dist: Distribution, n: usize, seed: u64) -> Workload {
             v
         }
         Distribution::DuplicateHeavy { distinct } => {
-            let d = distinct.max(1);
-            (0..n).map(|_| rng.u64_in(0, d) as f64).collect()
+            // `validate` guarantees 1 ..= 2^53, so every cast is exact.
+            (0..n).map(|_| rng.u64_in(0, distinct) as f64).collect()
         }
         Distribution::Zipf { distinct, exponent } => {
-            let d = distinct.max(1) as usize;
+            let d = distinct as usize;
             // Precompute the CDF once; sample by binary search.
             let weights: Vec<f64> = (0..d)
                 .map(|v| 1.0 / ((v + 1) as f64).powf(exponent.max(1e-9)))
@@ -74,14 +80,18 @@ pub fn generate(dist: Distribution, n: usize, seed: u64) -> Workload {
                 .collect()
         }
     };
-    Workload { data, dist, seed }
+    Ok(Workload { data, dist, seed })
 }
 
 /// Generate `n` key/value records (\[5\]'s workload: 64-bit keys with
 /// 64-bit payloads): keys from `dist`, values = original index, so a
 /// sorted output can be checked for payload integrity.
-pub fn generate_kv(dist: Distribution, n: usize, seed: u64) -> Vec<hetsort_algos::keys::KeyValue> {
-    generate(dist, n, seed)
+pub fn generate_kv(
+    dist: Distribution,
+    n: usize,
+    seed: u64,
+) -> Result<Vec<hetsort_algos::keys::KeyValue>, WorkloadError> {
+    Ok(generate(dist, n, seed)?
         .data
         .into_iter()
         .enumerate()
@@ -89,7 +99,7 @@ pub fn generate_kv(dist: Distribution, n: usize, seed: u64) -> Vec<hetsort_algos
             key,
             value: i as u64,
         })
-        .collect()
+        .collect())
 }
 
 /// Generate the paper's batch-sorted layout directly: `n_b` sorted
@@ -102,13 +112,13 @@ pub fn generate_batch_sorted(
     batch_size: usize,
     batches: usize,
     seed: u64,
-) -> Vec<f64> {
-    let mut w = generate(dist, batch_size * batches, seed).data;
+) -> Result<Vec<f64>, WorkloadError> {
+    let mut w = generate(dist, batch_size * batches, seed)?.data;
     for b in 0..batches {
         let chunk = &mut w[b * batch_size..(b + 1) * batch_size];
         hetsort_algos::radix_sort(chunk);
     }
-    w
+    Ok(w)
 }
 
 #[cfg(test)]
@@ -118,7 +128,7 @@ mod tests {
 
     #[test]
     fn uniform_in_unit_interval() {
-        let w = generate(Distribution::Uniform, 10_000, 42);
+        let w = generate(Distribution::Uniform, 10_000, 42).expect("valid workload");
         assert_eq!(w.data.len(), 10_000);
         assert!(w.data.iter().all(|&x| (0.0..1.0).contains(&x)));
         // Mean near 0.5.
@@ -128,16 +138,16 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = generate(Distribution::Uniform, 1000, 7);
-        let b = generate(Distribution::Uniform, 1000, 7);
-        let c = generate(Distribution::Uniform, 1000, 8);
+        let a = generate(Distribution::Uniform, 1000, 7).expect("valid workload");
+        let b = generate(Distribution::Uniform, 1000, 7).expect("valid workload");
+        let c = generate(Distribution::Uniform, 1000, 8).expect("valid workload");
         assert_eq!(a.data, b.data);
         assert_ne!(a.data, c.data);
     }
 
     #[test]
     fn normal_has_sane_moments() {
-        let w = generate(Distribution::Normal, 50_000, 3);
+        let w = generate(Distribution::Normal, 50_000, 3).expect("valid workload");
         let mean: f64 = w.data.iter().sum::<f64>() / 50_000.0;
         let var: f64 = w.data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / 50_000.0;
         assert!(mean.abs() < 0.05, "mean={mean}");
@@ -146,9 +156,13 @@ mod tests {
 
     #[test]
     fn sorted_and_reverse_shapes() {
-        let s = generate(Distribution::Sorted, 100, 0).data;
+        let s = generate(Distribution::Sorted, 100, 0)
+            .expect("valid workload")
+            .data;
         assert!(is_sorted(&s));
-        let r = generate(Distribution::Reverse, 100, 0).data;
+        let r = generate(Distribution::Reverse, 100, 0)
+            .expect("valid workload")
+            .data;
         let mut rr = r.clone();
         rr.reverse();
         assert!(is_sorted(&rr));
@@ -163,7 +177,8 @@ mod tests {
             },
             10_000,
             5,
-        );
+        )
+        .expect("valid workload");
         let inversions_adjacent = w.data.windows(2).filter(|p| p[0] > p[1]).count();
         assert!(inversions_adjacent > 0, "some disorder expected");
         assert!(
@@ -173,8 +188,55 @@ mod tests {
     }
 
     #[test]
+    fn oversized_distinct_is_rejected_not_collapsed() {
+        use crate::dist::{WorkloadError, MAX_DISTINCT};
+        // Before the guard, this silently generated keys with fewer
+        // distinct values than requested (u64 as f64 is lossy > 2^53).
+        let err = generate(
+            Distribution::DuplicateHeavy {
+                distinct: MAX_DISTINCT + 1,
+            },
+            64,
+            3,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            WorkloadError::DistinctNotExact {
+                distinct,
+                max: MAX_DISTINCT,
+                ..
+            } if distinct == MAX_DISTINCT + 1
+        ));
+        assert!(generate_kv(
+            Distribution::Zipf {
+                distinct: MAX_DISTINCT + 1,
+                exponent: 1.2,
+            },
+            64,
+            3,
+        )
+        .is_err());
+        // At the boundary itself every generated key is an exact integer
+        // that round-trips through f64.
+        let w = generate(
+            Distribution::DuplicateHeavy {
+                distinct: MAX_DISTINCT,
+            },
+            256,
+            11,
+        )
+        .expect("2^53 distinct is exactly representable");
+        for &x in &w.data {
+            assert_eq!(x, x.trunc());
+            assert_eq!(x as u64 as f64, x, "key must round-trip bit-exactly");
+        }
+    }
+
+    #[test]
     fn duplicate_heavy_has_few_distinct() {
-        let w = generate(Distribution::DuplicateHeavy { distinct: 8 }, 5000, 1);
+        let w = generate(Distribution::DuplicateHeavy { distinct: 8 }, 5000, 1)
+            .expect("valid workload");
         let mut vals: Vec<u64> = w.data.iter().map(|x| x.to_bits()).collect();
         vals.sort_unstable();
         vals.dedup();
@@ -190,7 +252,8 @@ mod tests {
             },
             20_000,
             9,
-        );
+        )
+        .expect("valid workload");
         let zero_count = w.data.iter().filter(|&&x| x == 0.0).count();
         let one_count = w.data.iter().filter(|&&x| x == 1.0).count();
         // Value 0 must be clearly more frequent than value 1.
@@ -200,7 +263,7 @@ mod tests {
 
     #[test]
     fn batch_sorted_layout() {
-        let w = generate_batch_sorted(Distribution::Uniform, 1000, 4, 11);
+        let w = generate_batch_sorted(Distribution::Uniform, 1000, 4, 11).expect("valid workload");
         assert_eq!(w.len(), 4000);
         for b in 0..4 {
             assert!(is_sorted(&w[b * 1000..(b + 1) * 1000]), "batch {b}");
@@ -210,10 +273,12 @@ mod tests {
 
     #[test]
     fn kv_records_carry_index_payloads() {
-        let kv = generate_kv(Distribution::Uniform, 1000, 5);
+        let kv = generate_kv(Distribution::Uniform, 1000, 5).expect("valid workload");
         assert_eq!(kv.len(), 1000);
         // Values are the original indices, keys match the scalar stream.
-        let scalars = generate(Distribution::Uniform, 1000, 5).data;
+        let scalars = generate(Distribution::Uniform, 1000, 5)
+            .expect("valid workload")
+            .data;
         for (i, r) in kv.iter().enumerate() {
             assert_eq!(r.value, i as u64);
             assert_eq!(r.key.to_bits(), scalars[i].to_bits());
@@ -223,7 +288,10 @@ mod tests {
     #[test]
     fn zero_length_everywhere() {
         for d in Distribution::catalog() {
-            assert!(generate(d, 0, 1).data.is_empty(), "{d}");
+            assert!(
+                generate(d, 0, 1).expect("valid workload").data.is_empty(),
+                "{d}"
+            );
         }
     }
 }

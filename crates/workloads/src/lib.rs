@@ -16,5 +16,5 @@
 pub mod dist;
 pub mod gen;
 
-pub use dist::Distribution;
+pub use dist::{Distribution, WorkloadError, MAX_DISTINCT};
 pub use gen::{generate, generate_batch_sorted, generate_kv, Workload};

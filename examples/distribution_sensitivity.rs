@@ -25,7 +25,7 @@ fn main() {
     );
     let mut base = None;
     for dist in Distribution::catalog() {
-        let data = generate(dist, n, 99).data;
+        let data = generate(dist, n, 99).expect("valid workload").data;
         let cfg = HetSortConfig::paper_defaults(platform1(), Approach::PipeMerge)
             .with_batch_elems(50_000)
             .with_pinned_elems(10_000);

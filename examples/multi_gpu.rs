@@ -68,7 +68,9 @@ fn main() {
     );
 
     // Functional proof at demo scale: dual-GPU plan sorts correctly.
-    let data = generate(Distribution::Uniform, 400_000, 7).data;
+    let data = generate(Distribution::Uniform, 400_000, 7)
+        .expect("valid workload")
+        .data;
     let cfg = HetSortConfig::paper_defaults(platform2(), Approach::PipeMerge)
         .with_batch_elems(50_000)
         .with_pinned_elems(10_000);

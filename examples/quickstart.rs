@@ -16,7 +16,7 @@ use hetsort::workloads::{generate, Distribution};
 fn main() {
     // ---- 1. Functional sort of 2M real doubles ----------------------
     let n = 2_000_000;
-    let workload = generate(Distribution::Uniform, n, 42);
+    let workload = generate(Distribution::Uniform, n, 42).expect("valid workload");
     println!("sorting {n} uniform f64 with PipeMerge (functional run)...");
 
     let cfg = HetSortConfig::paper_defaults(platform1(), Approach::PipeMerge)

@@ -2,9 +2,10 @@
 //! heterogeneous sorting pipelines. See `hetsort help`.
 
 use hetsort::analyze::{analyze_plan, analyze_plan_with_trace, AnalysisReport};
-use hetsort::cli::{parse, CliError, Command, RunArgs, USAGE};
+use hetsort::cli::{parse, CliError, Command, RunArgs, ServeArgs, USAGE};
 use hetsort::core::{Approach, HetSortConfig, HetSortError, PairStrategy, Plan};
 use hetsort::obs::{chrome_trace, Json, MetricsRegistry};
+use hetsort::serve::{synthetic_jobs, ServeBudget, ServeConfig, SortService, MIX_COALESCE_ELEMS};
 use hetsort::vgpu::{platform1, platform2};
 use hetsort::workloads::{generate, Distribution};
 
@@ -67,7 +68,7 @@ fn run(cmd: Command) -> Result<(), CliError> {
             }
         }
         Command::Sort(r) => {
-            let data = generate(Distribution::Uniform, r.n, r.seed).data;
+            let data = gen_input(r.n, r.seed)?;
             let mut cfg = r.config()?;
             if r.analyze {
                 cfg = cfg.with_trace_recording();
@@ -133,7 +134,7 @@ fn run(cmd: Command) -> Result<(), CliError> {
                         run.n
                     )));
                 }
-                let data = generate(Distribution::Uniform, run.n, run.seed).data;
+                let data = gen_input(run.n, run.seed)?;
                 hetsort::core::exec_real::sort_real_plan(&plan, &data)?.metrics
             } else {
                 hetsort::core::exec_sim::simulate_plan(&plan)?.metrics()
@@ -165,6 +166,7 @@ fn run(cmd: Command) -> Result<(), CliError> {
                 "legend: first letter of component (M=MCpy/MultiwayMerge, H=HtoD, D=DtoH, G=GPUSort, P=PinnedAlloc/PairMerge)"
             );
         }
+        Command::ServeSim(s) => serve_sim(&s)?,
         Command::Analyze { run, matrix } => {
             if matrix {
                 analyze_matrix()?;
@@ -188,7 +190,97 @@ fn run(cmd: Command) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `serve-sim`: run the multi-tenant service on the deterministic
+/// synthetic mix and report what happened.
+fn serve_sim(s: &ServeArgs) -> Result<(), CliError> {
+    let platform = s.platform_spec()?;
+    let mut cfg = ServeConfig::new(ServeBudget::new(s.device_budget, s.pinned_budget))
+        .with_queue_cap(s.queue_cap);
+    if !s.no_coalesce {
+        cfg = cfg.with_coalescing(MIX_COALESCE_ELEMS);
+    }
+    let jobs = synthetic_jobs(&platform, s.jobs, s.seed);
+    let out = SortService::new(cfg).run(jobs);
+
+    let verified = out.completed.iter().filter(|r| r.verified).count();
+    let recovered = out.completed.iter().filter(|r| r.recovered).count();
+    let coalesced = out
+        .completed
+        .iter()
+        .filter(|r| r.coalesced_into.is_some())
+        .count();
+    let bytes = out.metrics.counter("bytes_sorted");
+    println!(
+        "serve-sim: {} jobs on {} (seed {}, queue {}, budget dev {:.1e} B/GPU + pinned {:.1e} B)",
+        s.jobs, platform.name, s.seed, s.queue_cap, s.device_budget, s.pinned_budget
+    );
+    println!(
+        "completed {} (verified {verified}, recovered {recovered}, coalesced {coalesced}), shed {}, failed {}",
+        out.completed.len(),
+        out.shed.len(),
+        out.failed.len()
+    );
+    if out.makespan_s > 0.0 {
+        println!(
+            "makespan {:.6} s virtual — {:.1} MB sorted, {:.1} MB/s service throughput, {} admission decisions",
+            out.makespan_s,
+            bytes / 1e6,
+            bytes / 1e6 / out.makespan_s,
+            out.admission_log.len()
+        );
+    }
+    for (id, e) in out.shed.iter().take(3) {
+        println!("  shed example: job {id}: {e}");
+    }
+    if let Some(path) = &s.json {
+        let doc = Json::obj(vec![
+            ("schema", Json::s("hetsort-serve-sim")),
+            ("version", Json::n(1.0)),
+            ("platform", Json::s(platform.name.clone())),
+            ("jobs", Json::n(s.jobs as f64)),
+            ("seed", Json::n(s.seed as f64)),
+            ("completed", Json::n(out.completed.len() as f64)),
+            ("verified", Json::n(verified as f64)),
+            ("recovered", Json::n(recovered as f64)),
+            ("coalesced", Json::n(coalesced as f64)),
+            ("shed", Json::n(out.shed.len() as f64)),
+            ("failed", Json::n(out.failed.len() as f64)),
+            ("makespan_s", Json::n(out.makespan_s)),
+            ("bytes_sorted", Json::n(bytes)),
+            (
+                "admission_decisions",
+                Json::n(out.admission_log.len() as f64),
+            ),
+        ]);
+        write_output(path, &doc.pretty())?;
+    }
+    if !out.failed.is_empty() {
+        let (id, e) = &out.failed[0];
+        return Err(CliError::Run(HetSortError::Data {
+            reason: format!("{} job(s) failed; first: job {id}: {e}", out.failed.len()),
+        }));
+    }
+    if verified != out.completed.len() {
+        return Err(CliError::Run(HetSortError::Data {
+            reason: "completed job failed output verification".into(),
+        }));
+    }
+    Ok(())
+}
+
 /// Write `content` to `path`, with `-` meaning stdout.
+/// Generate the CLI's uniform input, mapping generator rejections into
+/// the typed CLI error instead of panicking.
+fn gen_input(n: usize, seed: u64) -> Result<Vec<f64>, CliError> {
+    Ok(generate(Distribution::Uniform, n, seed)
+        .map_err(|e| {
+            CliError::Run(HetSortError::Data {
+                reason: format!("workload generation: {e}"),
+            })
+        })?
+        .data)
+}
+
 fn write_output(path: &str, content: &str) -> Result<(), CliError> {
     if path == "-" {
         print!("{content}");

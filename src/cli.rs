@@ -68,10 +68,65 @@ pub enum Command {
         /// Trace a functional run instead of the simulator.
         real: bool,
     },
+    /// Run the multi-tenant sort service on a deterministic synthetic
+    /// job mix (virtual time, sim-backed durations, functional
+    /// outputs).
+    ServeSim(ServeArgs),
     /// Print the modeled platforms.
     Platforms,
     /// Print usage.
     Help,
+}
+
+/// Options for `serve-sim`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Number of synthetic jobs to submit.
+    pub jobs: usize,
+    /// Mix seed (drives data, sizes, priorities, arrivals, faults).
+    pub seed: u64,
+    /// Platform key (`p1` or `p2`).
+    pub platform: String,
+    /// Bounded queue depth.
+    pub queue_cap: usize,
+    /// Per-GPU device-memory budget in bytes.
+    pub device_budget: f64,
+    /// Total pinned-staging budget in bytes.
+    pub pinned_budget: f64,
+    /// Disable small-job coalescing.
+    pub no_coalesce: bool,
+    /// Write the service outcome as JSON to this path (`-` = stdout).
+    pub json: Option<String>,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            jobs: 150,
+            seed: 42,
+            platform: "p1".into(),
+            queue_cap: 24,
+            device_budget: 1.0e6,
+            pinned_budget: 1.0e6,
+            no_coalesce: false,
+            json: None,
+        }
+    }
+}
+
+impl ServeArgs {
+    /// Resolve the platform spec.
+    pub fn platform_spec(&self) -> Result<PlatformSpec, CliError> {
+        platform_by_key(&self.platform).map_err(CliError::Usage)
+    }
+}
+
+fn platform_by_key(key: &str) -> Result<PlatformSpec, String> {
+    match key {
+        "p1" | "platform1" | "PLATFORM1" => Ok(platform1()),
+        "p2" | "platform2" | "PLATFORM2" => Ok(platform2()),
+        other => Err(format!("unknown platform '{other}' (use p1 or p2)")),
+    }
 }
 
 /// Options shared by `simulate`, `sort`, and `gantt`.
@@ -138,13 +193,7 @@ impl Default for RunArgs {
 impl RunArgs {
     /// Resolve the platform spec.
     pub fn platform_spec(&self) -> Result<PlatformSpec, CliError> {
-        match self.platform.as_str() {
-            "p1" | "platform1" | "PLATFORM1" => Ok(platform1()),
-            "p2" | "platform2" | "PLATFORM2" => Ok(platform2()),
-            other => Err(CliError::Usage(format!(
-                "unknown platform '{other}' (use p1 or p2)"
-            ))),
-        }
+        platform_by_key(&self.platform).map_err(CliError::Usage)
     }
 
     /// Build the sort configuration.
@@ -235,6 +284,38 @@ fn parse_inner(args: &[String]) -> Result<Command, String> {
     match sub.as_str() {
         "platforms" => Ok(Command::Platforms),
         "help" | "--help" | "-h" => Ok(Command::Help),
+        "serve-sim" => {
+            let mut s = ServeArgs::default();
+            let mut it = args[1..].iter();
+            while let Some(key) = it.next() {
+                let mut need = |name: &str| -> Result<&String, String> {
+                    it.next().ok_or(format!("missing value for {name}"))
+                };
+                match key.as_str() {
+                    "--jobs" | "-j" => s.jobs = parse_count(need("--jobs")?)?,
+                    "--seed" => {
+                        s.seed = need("--seed")?
+                            .parse()
+                            .map_err(|e| format!("bad seed: {e}"))?
+                    }
+                    "--platform" | "-p" => s.platform = need("--platform")?.clone(),
+                    "--queue-cap" => s.queue_cap = parse_count(need("--queue-cap")?)?,
+                    "--device-budget" => {
+                        s.device_budget = parse_count(need("--device-budget")?)? as f64
+                    }
+                    "--pinned-budget" => {
+                        s.pinned_budget = parse_count(need("--pinned-budget")?)? as f64
+                    }
+                    "--no-coalesce" => s.no_coalesce = true,
+                    "--json" => s.json = Some(need("--json")?.clone()),
+                    other => return Err(format!("unknown option '{other}'")),
+                }
+            }
+            if s.jobs == 0 {
+                return Err("serve-sim needs --jobs ≥ 1".into());
+            }
+            Ok(Command::ServeSim(s))
+        }
         "simulate" | "sort" | "gantt" | "analyze" | "trace" => {
             let mut run = RunArgs::default();
             if sub == "sort" {
@@ -313,6 +394,9 @@ USAGE:
   hetsort gantt     [-n 2e9] [... same options]
   hetsort analyze   [--matrix] [... same options]
   hetsort trace     --chrome out.json [--real] [... same options]
+  hetsort serve-sim [--jobs 150] [--seed 42] [--platform p1|p2]
+                    [--queue-cap 24] [--device-budget 1e6]
+                    [--pinned-budget 1e6] [--no-coalesce] [--json PATH]
   hetsort platforms
   hetsort help
 
@@ -349,6 +433,20 @@ ANALYSIS:
   --analyze          (on simulate/sort) run the same verification
                      before executing; sort additionally re-checks the
                      executed trace, recovery detours included
+
+MULTI-TENANT SERVICE:
+  hetsort serve-sim  run the sort service on a deterministic synthetic
+                     tenant mix: a bounded queue, memory-budget
+                     admission control (analyzer residency math),
+                     small-job coalescing, priority scheduling, and
+                     typed Overloaded shedding — durations from the
+                     simulator (virtual time), outputs functionally
+                     sorted and verified
+  --jobs N           mix size (default 150)
+  --queue-cap K      bounded queue depth; arrivals past it shed
+  --device-budget B  per-GPU resident-bytes cap across jobs in flight
+  --pinned-budget B  total pinned-staging cap across jobs in flight
+  --no-coalesce      admit every job under its own reservation
 
 FAULT INJECTION (sort only):
   --faults SPEC      deterministic fault schedule, e.g. 'oom:1,htod:3':
@@ -491,6 +589,35 @@ mod tests {
             panic!()
         };
         assert!(r.analyze);
+    }
+
+    #[test]
+    fn parse_serve_sim() {
+        let Command::ServeSim(s) = parse(&argv(
+            "serve-sim --jobs 200 --seed 7 -p p2 --queue-cap 16 \
+             --device-budget 2e6 --pinned-budget 5e5 --no-coalesce",
+        ))
+        .unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(s.jobs, 200);
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.platform, "p2");
+        assert_eq!(s.queue_cap, 16);
+        assert_eq!(s.device_budget, 2.0e6);
+        assert_eq!(s.pinned_budget, 5.0e5);
+        assert!(s.no_coalesce);
+        assert_eq!(s.platform_spec().unwrap().name, "PLATFORM2");
+
+        let Command::ServeSim(s) = parse(&argv("serve-sim")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.jobs, 150);
+        assert!(!s.no_coalesce);
+
+        assert!(parse(&argv("serve-sim --jobs 0")).is_err());
+        assert!(parse(&argv("serve-sim --frobnicate")).is_err());
+        assert!(parse(&argv("serve-sim --jobs")).is_err());
     }
 
     #[test]

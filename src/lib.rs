@@ -19,6 +19,10 @@
 //! * [`obs`] — observability: structured spans, metrics registry,
 //!   Chrome-trace export, and the `BENCH.json` regression-gate schema
 //!   (`hetsort trace`, `bench_gate`).
+//! * [`serve`] — multi-tenant sort service: bounded queue,
+//!   memory-budget admission control over the analyzer's residency
+//!   math, small-job coalescing, priorities/deadlines, and typed
+//!   `Overloaded` load shedding (`hetsort serve-sim`).
 
 // No unsafe anywhere in this crate — enforced, not assumed.
 #![forbid(unsafe_code)]
@@ -30,6 +34,7 @@ pub use hetsort_analyze as analyze;
 pub use hetsort_core as core;
 pub use hetsort_model as model;
 pub use hetsort_obs as obs;
+pub use hetsort_serve as serve;
 pub use hetsort_sim as sim;
 pub use hetsort_vgpu as vgpu;
 pub use hetsort_workloads as workloads;

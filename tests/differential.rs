@@ -82,7 +82,9 @@ fn check_structure(label: &str, reg: &MetricsRegistry) {
 #[test]
 fn executors_agree_on_output_and_metric_structure() {
     for (label, cfg, n) in matrix() {
-        let data = generate(Distribution::Uniform, n, 0xD1FF).data;
+        let data = generate(Distribution::Uniform, n, 0xD1FF)
+            .expect("valid workload")
+            .data;
         let mut expect = data.clone();
         introsort(&mut expect);
         let expect: Vec<u64> = expect.iter().map(|x| x.to_bits()).collect();
@@ -143,7 +145,9 @@ fn span_counts_match_plan_shape() {
         .with_batch_elems(7_000)
         .with_pinned_elems(1_500);
     let n = 30_000;
-    let data = generate(Distribution::Uniform, n, 7).data;
+    let data = generate(Distribution::Uniform, n, 7)
+        .expect("valid workload")
+        .data;
     let plan = Plan::build(cfg, n).expect("plan");
     let out = sort_real_plan(&plan, &data).expect("run");
 

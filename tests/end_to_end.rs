@@ -37,7 +37,9 @@ fn all_configs() -> Vec<(String, HetSortConfig)> {
 
 #[test]
 fn every_approach_sorts_correctly_on_every_platform() {
-    let data = generate(Distribution::Uniform, 50_000, 4242).data;
+    let data = generate(Distribution::Uniform, 50_000, 4242)
+        .expect("valid workload")
+        .data;
     let expect = sorted_bits(data.clone());
     for (label, cfg) in all_configs() {
         let out = sort_real(cfg, &data).expect(&label);
@@ -49,7 +51,9 @@ fn every_approach_sorts_correctly_on_every_platform() {
 
 #[test]
 fn bline_single_batch_on_both_platforms() {
-    let data = generate(Distribution::Uniform, 9_000, 7).data;
+    let data = generate(Distribution::Uniform, 9_000, 7)
+        .expect("valid workload")
+        .data;
     let expect = sorted_bits(data.clone());
     for plat in [platform1(), platform2()] {
         let cfg = HetSortConfig::paper_defaults(plat, Approach::BLine)
@@ -66,7 +70,7 @@ fn bline_single_batch_on_both_platforms() {
 #[test]
 fn every_distribution_sorts_correctly() {
     for dist in Distribution::catalog() {
-        let data = generate(dist, 20_000, 11).data;
+        let data = generate(dist, 20_000, 11).expect("valid workload").data;
         let expect = sorted_bits(data.clone());
         let cfg = HetSortConfig::paper_defaults(platform1(), Approach::PipeMerge)
             .with_batch_elems(3_000)
@@ -88,7 +92,9 @@ fn simulation_and_functional_share_the_same_plan() {
     let n = 30_000;
     let plan = hetsort::core::Plan::build(cfg, n).expect("plan");
     plan.check_invariants().expect("invariants");
-    let data = generate(Distribution::Uniform, n, 5).data;
+    let data = generate(Distribution::Uniform, n, 5)
+        .expect("valid workload")
+        .data;
     let real = hetsort::core::exec_real::sort_real_plan(&plan, &data).expect("real");
     let sim = hetsort::core::exec_sim::simulate_plan(&plan).expect("sim");
     assert!(real.verified);
@@ -111,7 +117,7 @@ fn simulated_timing_is_deterministic_and_distribution_free() {
 fn key_value_records_sort_with_payload_integrity() {
     use hetsort::algos::keys::KeyValue;
     use hetsort::workloads::generate_kv;
-    let records = generate_kv(Distribution::Uniform, 30_000, 17);
+    let records = generate_kv(Distribution::Uniform, 30_000, 17).expect("valid workload");
     let cfg = HetSortConfig::paper_defaults(platform1(), Approach::PipeMerge)
         .with_elem_bytes(16.0)
         .with_batch_elems(4_000)
@@ -135,7 +141,8 @@ fn key_value_records_sort_with_payload_integrity() {
 
 #[test]
 fn element_size_mismatch_is_rejected() {
-    let records = hetsort::workloads::generate_kv(Distribution::Uniform, 1_000, 1);
+    let records =
+        hetsort::workloads::generate_kv(Distribution::Uniform, 1_000, 1).expect("valid workload");
     // Config still models 8-byte elements → must be refused.
     let cfg = HetSortConfig::paper_defaults(platform1(), Approach::BLineMulti)
         .with_batch_elems(200)
@@ -144,8 +151,56 @@ fn element_size_mismatch_is_rejected() {
 }
 
 #[test]
+fn unsupported_elem_bytes_is_a_typed_config_error() {
+    use hetsort::core::HetSortError;
+    // Fractional or unsupported widths must die at plan build with a
+    // Config error — not survive until an exact f64 comparison deep in
+    // the executor silently never matches.
+    for bad in [16.5, 12.0, 0.0, -8.0] {
+        let cfg = HetSortConfig::paper_defaults(platform1(), Approach::PipeMerge)
+            .with_elem_bytes(bad)
+            .with_batch_elems(4_000)
+            .with_pinned_elems(800);
+        match hetsort::core::Plan::build(cfg, 10_000) {
+            Err(HetSortError::Config { reason }) => {
+                assert!(reason.contains("elem"), "elem_bytes={bad}: {reason}")
+            }
+            other => panic!("elem_bytes={bad}: expected Config error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn key_value_records_sort_in_parallel_executor() {
+    use hetsort::workloads::generate_kv;
+    // The elem_bytes = 16 path through the threaded executor.
+    let records = generate_kv(Distribution::Uniform, 20_000, 23).expect("valid workload");
+    let cfg = HetSortConfig::paper_defaults(platform1(), Approach::PipeMerge)
+        .with_elem_bytes(16.0)
+        .with_batch_elems(3_000)
+        .with_pinned_elems(600);
+    let plan = hetsort::core::Plan::build(cfg, records.len()).expect("plan");
+    let seq = hetsort::core::exec_real::sort_real_plan(&plan, &records).expect("seq kv");
+    let par = hetsort::core::sort_real_parallel(&plan, &records).expect("par kv");
+    assert!(seq.verified && par.verified);
+    assert_eq!(
+        seq.sorted
+            .iter()
+            .map(|r| (r.key.to_bits(), r.value))
+            .collect::<Vec<_>>(),
+        par.sorted
+            .iter()
+            .map(|r| (r.key.to_bits(), r.value))
+            .collect::<Vec<_>>(),
+        "parallel KV output must be bit-identical to sequential"
+    );
+}
+
+#[test]
 fn parallel_executor_matches_sequential_at_integration_scale() {
-    let data = generate(Distribution::Uniform, 80_000, 3).data;
+    let data = generate(Distribution::Uniform, 80_000, 3)
+        .expect("valid workload")
+        .data;
     let cfg = HetSortConfig::paper_defaults(platform1(), Approach::PipeMerge)
         .with_batch_elems(9_000)
         .with_pinned_elems(1_500);
@@ -162,7 +217,9 @@ fn parallel_executor_matches_sequential_at_integration_scale() {
 #[test]
 fn tiny_inputs_and_edge_sizes() {
     for n in [1usize, 2, 999, 1_000, 1_001, 2_047] {
-        let data = generate(Distribution::Uniform, n, n as u64).data;
+        let data = generate(Distribution::Uniform, n, n as u64)
+            .expect("valid workload")
+            .data;
         let expect = sorted_bits(data.clone());
         let cfg = HetSortConfig::paper_defaults(platform1(), Approach::BLineMulti)
             .with_batch_elems(1_000)

@@ -19,7 +19,9 @@ fn small_plan() -> Plan {
 #[test]
 fn chrome_trace_from_functional_run_validates() {
     let plan = small_plan();
-    let data = generate(Distribution::Uniform, plan.n, 99).data;
+    let data = generate(Distribution::Uniform, plan.n, 99)
+        .expect("valid workload")
+        .data;
     let out = sort_real_plan(&plan, &data).expect("run");
     let text = chrome_trace(&out.metrics, "test functional");
     let summary = validate_chrome(&text).expect("structurally valid trace");
@@ -91,7 +93,9 @@ fn recovery_counters_surface_in_metrics() {
         .with_pinned_elems(1_000)
         .with_faults(faults);
     let plan = Plan::build(cfg, 25_000).expect("plan");
-    let data = generate(Distribution::Uniform, plan.n, 5).data;
+    let data = generate(Distribution::Uniform, plan.n, 5)
+        .expect("valid workload")
+        .data;
     let out = sort_real_plan(&plan, &data).expect("run survives OOM");
     assert!(out.verified);
     assert!(out.recovery.any(), "the injected OOM must be recovered");

@@ -106,7 +106,8 @@ fn kv_records_sort_for_random_configs() {
             hetsort::workloads::Distribution::Uniform,
             n,
             rng.u64(),
-        );
+        )
+        .map_err(|e| e.to_string())?;
         let out = sort_real(cfg, &records).map_err(|e| e.to_string())?;
         prop_assert!(out.verified);
         prop_assert!(is_sorted(&out.sorted));
