@@ -22,7 +22,10 @@ use hetsort_core::plan::{Plan, StepKind};
 /// The peak memory footprint a plan keeps resident for its whole run.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Residency {
-    /// Peak resident bytes per GPU index.
+    /// Peak resident bytes per *physical* GPU index
+    /// ([`Plan::physical_gpu`]) — a recovery re-plan built on surviving
+    /// devices accounts against the original platform's device numbers,
+    /// so pool bookkeeping stays consistent across plan generations.
     pub device_bytes: BTreeMap<usize, f64>,
     /// Total pinned host staging bytes (sum over `PinnedAlloc` steps).
     pub pinned_bytes: f64,
@@ -35,7 +38,10 @@ impl Residency {
         let dev_bytes = cfg.device_sort.mem_factor() * cfg.elem_bytes * cfg.batch_elems as f64;
         let mut streams_on: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
         for b in &plan.batches {
-            streams_on.entry(b.gpu).or_default().insert(b.stream);
+            streams_on
+                .entry(plan.physical_gpu(b.gpu))
+                .or_default()
+                .insert(b.stream);
         }
         let device_bytes = streams_on
             .into_iter()

@@ -62,6 +62,16 @@ pub enum HetSortError {
         /// Device the kernel ran on.
         gpu: usize,
     },
+    /// A GPU fell out of the pool mid-run (a scheduled device-loss
+    /// fault) and no recovery path remained: either every device is
+    /// gone with CPU fallback disabled, or a re-plan itself failed.
+    /// While survivors (or CPU fallback) exist the executors recover by
+    /// re-planning instead of returning this.
+    DeviceLost {
+        /// The device that was lost (physical index on the original
+        /// platform).
+        gpu: usize,
+    },
     /// A stream worker thread panicked.
     WorkerPanic {
         /// Worker (stream) index.
@@ -153,6 +163,9 @@ impl fmt::Display for HetSortError {
                     "device sort failed at step {step} (batch {batch}, GPU {gpu})"
                 )
             }
+            HetSortError::DeviceLost { gpu } => {
+                write!(f, "GPU {gpu} lost and no recovery path remains")
+            }
             HetSortError::WorkerPanic { worker, message } => {
                 write!(f, "stream worker {worker} panicked: {message}")
             }
@@ -194,6 +207,7 @@ impl From<CudaError> for HetSortError {
                 requested_bytes,
                 free_bytes,
             },
+            CudaError::DeviceLost { gpu } => HetSortError::DeviceLost { gpu },
             other => HetSortError::Cuda(other),
         }
     }

@@ -62,6 +62,12 @@ pub struct RealOutcome<T = f64> {
     /// `recovery.*` counters — always recorded (spans cost nanoseconds
     /// against host-scale steps).
     pub metrics: MetricsRegistry,
+    /// Recovery re-plans built after device losses, in the order they
+    /// were adopted (empty on runs that lost no device). Each already
+    /// passed [`Plan::check_invariants`]; callers with access to
+    /// `hetsort-analyze` re-run the residency check on them — the
+    /// dependency points that way, so the executor cannot.
+    pub replans: Vec<Plan>,
 }
 
 /// Expand a merge's [`SchedStats`] into per-worker [`OpClass::CpuPart`]
@@ -164,13 +170,145 @@ where
         (cfg.memcpy_threads_eff() as usize).min(4 * hetsort_algos::par::default_threads());
     let sched = cfg.sched_cfg();
 
-    let mut streams: Vec<StreamExec<T>> = (0..plan.total_streams)
-        .map(|s| StreamExec::new(plan, data, s, host_threads, device_sort_threads, t0))
-        .collect();
+    // --- Phase 1: stream passes produce the sorted runs in `w` (or
+    // `b_out` when n_b = 1). A device loss aborts the pass; unfinished
+    // work is re-planned onto the survivors (or host-sorted when none
+    // remain) and the next pass covers only batches not yet staged out.
+    // Merges are deferred to phase 2: batch tiling is identical across
+    // re-plans, so the *original* plan's merge schedule stays valid.
+    let mut recovery = RecoveryStats::default();
+    let mut metrics = MetricsRegistry::new();
+    let mut replans: Vec<Plan> = Vec::new();
+    let mut lost_gpus: std::collections::BTreeSet<usize> = Default::default();
+    let mut emitted: Vec<usize> = vec![0usize; nb];
+    let mut final_logs: Vec<Vec<(usize, Vec<Access>)>> = Vec::new();
+    let mut cur_owned: Option<Plan> = None;
+    loop {
+        let cur: &Plan = cur_owned.as_ref().unwrap_or(plan);
+        let mut streams: Vec<StreamExec<T>> = (0..cur.total_streams)
+            .map(|s| StreamExec::new(cur, data, s, host_threads, device_sort_threads, t0))
+            .collect();
+        let mut lost: Option<usize> = None;
+        // Steps skipped because their batch already completed log empty
+        // access lists: "no accesses this pass" must override the
+        // static derivation in the assembled trace.
+        let mut skipped_log: Vec<(usize, Vec<Access>)> = Vec::new();
+        for (si, step) in cur.steps.iter().enumerate() {
+            if matches!(
+                step.kind,
+                StepKind::PairMerge { .. } | StepKind::MultiwayMerge { .. }
+            ) {
+                continue;
+            }
+            if let Some(bi) = crate::recover::step_batch(&step.kind) {
+                if emitted[bi] >= cur.batches[bi].len {
+                    if cur.config.record_trace {
+                        skipped_log.push((si, Vec::new()));
+                    }
+                    continue;
+                }
+            }
+            let s = step.stream.ok_or_else(|| HetSortError::Plan {
+                reason: format!("step {si} has no stream"),
+            })?;
+            let dst = if nb > 1 { &mut w } else { &mut b_out };
+            let r = streams[s].step(si, &mut |batch, start, chunk| {
+                par_copy(memcpy_threads, chunk, &mut dst[start..start + chunk.len()]);
+                emitted[batch] += chunk.len();
+            });
+            match r {
+                Ok(()) => {}
+                Err(HetSortError::DeviceLost { gpu }) => {
+                    lost = Some(gpu);
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        for sx in &mut streams {
+            recovery.retries += sx.stats.retries;
+            recovery.degraded_batches += sx.stats.degraded_batches;
+            recovery.oom_replans += sx.stats.oom_replans;
+            metrics.record_all(std::mem::take(&mut sx.span_log));
+        }
+        if cur.config.record_trace {
+            // The trace covers the final pass; earlier aborted passes'
+            // logs reference a different plan's step indices.
+            final_logs = streams.iter().map(|sx| sx.access_log.clone()).collect();
+            final_logs.push(skipped_log);
+        }
+        let Some(gpu) = lost else { break };
 
+        // Device fault domain: checkpoint what finished, re-plan the
+        // rest over the survivors.
+        recovery.device_lost += 1;
+        lost_gpus.insert(gpu);
+        let unfinished: Vec<usize> = (0..nb)
+            .filter(|&b| emitted[b] < plan.batches[b].len)
+            .collect();
+        recovery.batches_recomputed += unfinished
+            .iter()
+            .filter(|&&b| cur.physical_gpu(cur.batches[b].gpu) == gpu)
+            .count();
+        // Partially staged-out batches are recomputed whole.
+        for &b in &unfinished {
+            emitted[b] = 0;
+        }
+        let t_fail = t0.elapsed().as_secs_f64();
+        match crate::recover::survivor_plan(plan, &lost_gpus)? {
+            Some(rp) => {
+                recovery.replans += 1;
+                metrics.record(ObsSpan::new(
+                    OpClass::Other,
+                    format!(
+                        "failover: GPU {gpu} lost → re-plan {} batch(es) on {} device(s)",
+                        unfinished.len(),
+                        rp.device_ids.len()
+                    ),
+                    t_fail,
+                    t0.elapsed().as_secs_f64(),
+                ));
+                replans.push(rp.clone());
+                cur_owned = Some(rp);
+            }
+            None => {
+                if !cfg.recovery.cpu_fallback {
+                    return Err(HetSortError::DeviceLost { gpu });
+                }
+                // Every device is gone: sort the unfinished batches
+                // host-side straight from `A`.
+                for &b in &unfinished {
+                    let bi = plan.batches[b];
+                    let dst = if nb > 1 { &mut w } else { &mut b_out };
+                    let seg = &mut dst[bi.start..bi.start + bi.len];
+                    par_copy(memcpy_threads, &data[bi.start..bi.start + bi.len], seg);
+                    hetsort_algos::radix_par::par_radix_sort_cfg(&sched, host_threads, seg);
+                    emitted[b] = bi.len;
+                    recovery.degraded_batches += 1;
+                }
+                metrics.record(ObsSpan::new(
+                    OpClass::Other,
+                    format!(
+                        "failover: GPU {gpu} lost, no survivors → host sort of {} batch(es)",
+                        unfinished.len()
+                    ),
+                    t_fail,
+                    t0.elapsed().as_secs_f64(),
+                ));
+                break;
+            }
+        }
+    }
+    debug_assert!(
+        (0..nb).all(|b| emitted[b] == plan.batches[b].len),
+        "every batch must be staged out before merging"
+    );
+
+    // --- Phase 2: the original plan's merge schedule over the sorted
+    // runs in `w`.
     let mut pair_merges_done = 0usize;
     let mut merge_spans: Vec<ObsSpan> = Vec::new();
-    for (si, step) in plan.steps.iter().enumerate() {
+    for step in plan.steps.iter() {
         match &step.kind {
             StepKind::PairMerge { slot } => {
                 let spec = plan.pairs[*slot];
@@ -231,35 +369,19 @@ where
                 );
                 merge_spans.extend(cpu_part_spans(&label, m_start, &stats));
             }
-            _ => {
-                let s = step.stream.ok_or_else(|| HetSortError::Plan {
-                    reason: format!("step {si} has no stream"),
-                })?;
-                let dst = if nb > 1 { &mut w } else { &mut b_out };
-                streams[s].step(si, &mut |_batch, start, chunk| {
-                    par_copy(memcpy_threads, chunk, &mut dst[start..start + chunk.len()]);
-                })?;
-            }
+            _ => {}
         }
     }
 
-    let mut recovery = RecoveryStats::default();
-    for sx in &streams {
-        recovery.retries += sx.stats.retries;
-        recovery.degraded_batches += sx.stats.degraded_batches;
-        recovery.oom_replans += sx.stats.oom_replans;
-    }
     recovery.faults_injected = cfg.faults.as_ref().map_or(0, |i| i.injected()) - injected_before;
 
+    // With re-plans, the executed trace covers the final pass (the plan
+    // that actually finished the run).
     let trace = cfg.record_trace.then(|| {
-        let logs: Vec<_> = streams.iter().map(|sx| sx.access_log.clone()).collect();
-        assemble_trace(plan, &logs)
+        let trace_plan = replans.last().unwrap_or(plan);
+        assemble_trace(trace_plan, &final_logs)
     });
 
-    let mut metrics = MetricsRegistry::new();
-    for sx in &mut streams {
-        metrics.record_all(std::mem::take(&mut sx.span_log));
-    }
     metrics.record_all(merge_spans);
     recovery.fold_into(&mut metrics);
 
@@ -274,6 +396,7 @@ where
         recovery,
         trace,
         metrics,
+        replans,
     })
 }
 

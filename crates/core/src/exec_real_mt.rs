@@ -170,6 +170,7 @@ where
     let mut stream_logs: Vec<Vec<(usize, Vec<Access>)>> = Vec::new();
     let mut metrics = MetricsRegistry::new();
     let mut merge_spans: Vec<ObsSpan> = Vec::new();
+    let mut replans: Vec<Plan> = Vec::new();
 
     std::thread::scope(|scope| -> Result<(), HetSortError> {
         // ---- stream workers ----------------------------------------
@@ -244,6 +245,7 @@ where
         // ---- join: propagate typed errors, survive panics -----------
         let mut first_err: Option<HetSortError> = None;
         let mut first_panic: Option<HetSortError> = None;
+        let mut newly_lost: Vec<usize> = Vec::new();
         for (worker, handle) in handles.into_iter().enumerate() {
             match handle.join() {
                 Ok(Ok((stats, log, spans))) => {
@@ -252,6 +254,13 @@ where
                     recovery.oom_replans += stats.oom_replans;
                     stream_logs.push(log);
                     metrics.record_all(spans);
+                }
+                Ok(Err(HetSortError::DeviceLost { gpu })) => {
+                    // A lost device is recoverable: remember it and
+                    // re-plan the missing batches after the join.
+                    if !newly_lost.contains(&gpu) {
+                        newly_lost.push(gpu);
+                    }
                 }
                 Ok(Err(e)) => {
                     if first_err.is_none() {
@@ -273,6 +282,129 @@ where
         if let Some(e) = first_err {
             return Err(e);
         }
+
+        // ---- device-loss recovery: re-plan missing batches ----------
+        // Completed batches in `sorted_batches` are the checkpoint;
+        // each round builds a survivor plan and runs a sequential
+        // mini-pass over only the still-missing batches. A further loss
+        // during recovery shrinks the pool again.
+        if !newly_lost.is_empty() {
+            let mut lost_gpus: std::collections::BTreeSet<usize> = Default::default();
+            let mut cur_owned: Option<Plan> = None;
+            while !newly_lost.is_empty() {
+                let cur: &Plan = cur_owned.as_ref().unwrap_or(plan);
+                recovery.device_lost += newly_lost.len();
+                recovery.batches_recomputed += sorted_batches
+                    .iter()
+                    .enumerate()
+                    .filter(|(b, s)| {
+                        s.is_none() && newly_lost.contains(&cur.physical_gpu(cur.batches[*b].gpu))
+                    })
+                    .count();
+                lost_gpus.extend(newly_lost.drain(..));
+                let missing = sorted_batches.iter().filter(|s| s.is_none()).count();
+                let t_fail = t0.elapsed().as_secs_f64();
+                match crate::recover::survivor_plan(plan, &lost_gpus)? {
+                    None => {
+                        let gpu = lost_gpus.iter().next().copied().unwrap_or(0);
+                        if !plan.config.recovery.cpu_fallback {
+                            return Err(HetSortError::DeviceLost { gpu });
+                        }
+                        for (b, slot) in sorted_batches.iter_mut().enumerate() {
+                            if slot.is_none() {
+                                let bi = &plan.batches[b];
+                                let mut buf = data[bi.start..bi.start + bi.len].to_vec();
+                                par_radix_sort_cfg(&sched, merge_threads, &mut buf);
+                                *slot = Some(buf);
+                                recovery.degraded_batches += 1;
+                            }
+                        }
+                        metrics.record(ObsSpan::new(
+                            OpClass::Other,
+                            format!(
+                                "failover: GPU {gpu} lost, no survivors → host sort of {missing} batch(es)"
+                            ),
+                            t_fail,
+                            t0.elapsed().as_secs_f64(),
+                        ));
+                    }
+                    Some(rp) => {
+                        recovery.replans += 1;
+                        metrics.record(ObsSpan::new(
+                            OpClass::Other,
+                            format!(
+                                "failover: re-plan {missing} batch(es) on {} device(s)",
+                                rp.device_ids.len()
+                            ),
+                            t_fail,
+                            t0.elapsed().as_secs_f64(),
+                        ));
+                        let mut sxs: Vec<StreamExec<T>> = (0..rp.total_streams)
+                            .map(|s| {
+                                StreamExec::new(
+                                    &rp,
+                                    data,
+                                    s,
+                                    merge_threads,
+                                    device_sort_threads,
+                                    t0,
+                                )
+                            })
+                            .collect();
+                        let mut partial: Vec<Vec<T>> = vec![Vec::new(); nb];
+                        'mini: for (si, step) in rp.steps.iter().enumerate() {
+                            if matches!(
+                                step.kind,
+                                StepKind::PairMerge { .. } | StepKind::MultiwayMerge { .. }
+                            ) {
+                                continue;
+                            }
+                            if let Some(bi) = crate::recover::step_batch(&step.kind) {
+                                if sorted_batches[bi].is_some() {
+                                    continue;
+                                }
+                            }
+                            let Some(s) = step.stream else { continue };
+                            let r = sxs[s].step(si, &mut |batch, _start, chunk| {
+                                partial[batch].extend_from_slice(chunk);
+                            });
+                            match r {
+                                Ok(()) => {}
+                                Err(HetSortError::DeviceLost { gpu }) => {
+                                    newly_lost.push(gpu);
+                                    break 'mini;
+                                }
+                                Err(e) => return Err(e),
+                            }
+                        }
+                        for sx in &mut sxs {
+                            recovery.retries += sx.stats.retries;
+                            recovery.degraded_batches += sx.stats.degraded_batches;
+                            recovery.oom_replans += sx.stats.oom_replans;
+                            metrics.record_all(std::mem::take(&mut sx.span_log));
+                        }
+                        for (b, buf) in partial.into_iter().enumerate() {
+                            if sorted_batches[b].is_none() && buf.len() == plan.batches[b].len {
+                                sorted_batches[b] = Some(buf);
+                            }
+                        }
+                        replans.push(rp.clone());
+                        cur_owned = Some(rp);
+                    }
+                }
+            }
+            fire_ready_pairs(
+                plan,
+                &sched,
+                merge_threads,
+                &sorted_batches,
+                &mut pair_out,
+                &mut pending_pairs,
+                t0,
+                &mut merge_spans,
+            );
+        }
+
         if let Some(e) = first_panic {
             if !plan.config.recovery.cpu_fallback {
                 return Err(e);
@@ -373,6 +505,7 @@ where
         recovery,
         trace,
         metrics,
+        replans,
     })
 }
 

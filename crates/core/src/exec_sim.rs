@@ -59,8 +59,10 @@ pub fn simulate_plan(plan: &Plan) -> Result<TimingReport, HetSortError> {
     let stream_lanes: Vec<_> = (0..plan.total_streams)
         .map(|s| m.lane(format!("S{s}")))
         .collect();
+    // Label lanes with physical device numbers so a recovery re-plan's
+    // Gantt rows name the same hardware as the original run.
     let gpu_lanes: Vec<_> = (0..cfg.platform.n_gpus())
-        .map(|g| m.lane(format!("GPU{g}")))
+        .map(|g| m.lane(format!("GPU{}", plan.physical_gpu(g))))
         .collect();
     let cpu_lane = m.lane("CPU");
 

@@ -160,6 +160,19 @@ where
         }
     }
 
+    /// Record one device operation against the batch's physical GPU.
+    ///
+    /// A [`HetSortError::DeviceLost`] here is *not* absorbed by the
+    /// CPU-fallback policy: losing a device invalidates every batch
+    /// scheduled on it, so the error must reach the executor, which
+    /// re-plans the unfinished work on the survivors.
+    fn device_check(&self, b: &BatchInfo) -> Result<(), HetSortError> {
+        if let Some(inj) = self.injector {
+            inj.device_op(self.plan.physical_gpu(b.gpu))?;
+        }
+        Ok(())
+    }
+
     /// Attempt a DMA operation at `site`: consult the injector, retrying
     /// per policy. `Err(attempts)` when every attempt faulted.
     fn dma(&mut self, site: FaultSite) -> Result<(), usize> {
@@ -231,7 +244,7 @@ where
             let per_elem = cfg.device_sort.mem_factor() * cfg.elem_bytes;
             let used = per_elem * self.device.len() as f64;
             Err(HetSortError::GpuOom {
-                gpu: b.gpu,
+                gpu: self.plan.physical_gpu(b.gpu),
                 batch: Some(b.index),
                 requested_bytes: per_elem * want as f64,
                 free_bytes: (cfg.platform.gpus[b.gpu].global_mem_bytes - used).max(0.0),
@@ -300,9 +313,12 @@ where
             } => {
                 let b = self.plan.batches[*batch];
                 if *chunk == 0 {
+                    // The cudaMalloc stand-in is a device operation.
+                    self.device_check(&b)?;
                     self.begin_batch(&b)?;
                 }
                 if self.mode != Mode::CpuFallback {
+                    self.device_check(&b)?;
                     match self.dma(FaultSite::HtoD) {
                         Ok(()) => {
                             let off = *start - b.start;
@@ -337,6 +353,7 @@ where
             StepKind::GpuSort { batch } => {
                 let b = self.plan.batches[*batch];
                 if self.mode != Mode::CpuFallback {
+                    self.device_check(&b)?;
                     let tripped = self
                         .injector
                         .is_some_and(|i| i.trip(FaultSite::DeviceSort).is_some());
@@ -347,7 +364,7 @@ where
                             return Err(HetSortError::DeviceSortFault {
                                 step: si,
                                 batch: b.index,
-                                gpu: b.gpu,
+                                gpu: self.plan.physical_gpu(b.gpu),
                             });
                         }
                     }
@@ -421,6 +438,7 @@ where
                 let b = self.plan.batches[*batch];
                 let off = *start - b.start;
                 if self.mode == Mode::Device {
+                    self.device_check(&b)?;
                     match self.dma(FaultSite::DtoH) {
                         Ok(()) => {
                             self.pinned_out[..*len].copy_from_slice(&self.device[off..off + *len]);
@@ -517,7 +535,7 @@ where
         .with_bytes(bytes);
         if let Some(b) = batch {
             span = span.for_batch(b as u64);
-            span.gpu = Some(self.plan.batches[b].gpu);
+            span.gpu = Some(self.plan.physical_gpu(self.plan.batches[b].gpu));
         }
         self.span_log.push(span);
         Ok(())

@@ -172,6 +172,13 @@ pub struct Plan {
     pub total_streams: usize,
     /// Whether transfers are asynchronous chunked copies (piped).
     pub asynchronous: bool,
+    /// Physical device identity of each plan-local GPU index: batch `b`
+    /// runs on physical device `device_ids[batches[b].gpu]`. Identity
+    /// (`0..n_gpus`) for a freshly built plan; a recovery re-plan built
+    /// on survivors maps its compacted indices back to the original
+    /// platform's device numbers so fault schedules, spans, and
+    /// residency accounting keep meaning the same hardware.
+    pub device_ids: Vec<usize>,
 }
 
 impl Plan {
@@ -476,7 +483,43 @@ impl Plan {
             steps,
             total_streams,
             asynchronous: piped,
+            device_ids: (0..ngpu).collect(),
         })
+    }
+
+    /// Relabel the plan's GPUs with physical device numbers `ids`
+    /// (plan-local GPU `g` ↦ physical device `ids[g]`), re-running
+    /// [`Plan::check_invariants`] on the result. Used when a re-plan
+    /// built on a survivor platform must keep addressing the original
+    /// devices.
+    ///
+    /// # Errors
+    ///
+    /// [`HetSortError::Plan`] if `ids` has the wrong length or repeats
+    /// a device, or if the relabelled plan fails the invariant check.
+    pub fn on_devices(mut self, ids: Vec<usize>) -> Result<Plan, HetSortError> {
+        let ngpu = self.config.platform.n_gpus().max(1);
+        if ids.len() != ngpu {
+            return Err(HetSortError::Plan {
+                reason: format!("device map has {} entries for {} GPUs", ids.len(), ngpu),
+            });
+        }
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != ids.len() {
+            return Err(HetSortError::Plan {
+                reason: format!("device map {ids:?} repeats a device"),
+            });
+        }
+        self.device_ids = ids;
+        self.check_invariants()?;
+        Ok(self)
+    }
+
+    /// Physical device number of plan-local GPU index `g`.
+    pub fn physical_gpu(&self, g: usize) -> usize {
+        self.device_ids.get(g).copied().unwrap_or(g)
     }
 
     /// Number of batches.
@@ -501,6 +544,25 @@ impl Plan {
     /// reference distinct batches, merge inputs cover all batches once.
     pub fn check_invariants(&self) -> Result<(), HetSortError> {
         let plan_err = |reason: String| HetSortError::Plan { reason };
+        // The device map must cover every plan-local GPU index exactly
+        // once (physical targets are unique).
+        let ngpu = self.config.platform.n_gpus().max(1);
+        if self.device_ids.len() != ngpu {
+            return Err(plan_err(format!(
+                "device map has {} entries for {} GPUs",
+                self.device_ids.len(),
+                ngpu
+            )));
+        }
+        let mut phys = self.device_ids.clone();
+        phys.sort_unstable();
+        phys.dedup();
+        if phys.len() != self.device_ids.len() {
+            return Err(plan_err(format!(
+                "device map {:?} repeats a device",
+                self.device_ids
+            )));
+        }
         for (i, s) in self.steps.iter().enumerate() {
             for &d in &s.deps {
                 if d >= i {

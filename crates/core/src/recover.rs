@@ -1,0 +1,98 @@
+//! Device-loss recovery shared by the functional executors.
+//!
+//! When a [`FaultInjector`](hetsort_vgpu::FaultInjector) pool schedule
+//! kills a GPU mid-run, the executors checkpoint per-batch completion
+//! (host-resident sorted runs survive; device-resident state died with
+//! the card) and rebuild the *unfinished* work as a fresh plan over the
+//! surviving devices. Two properties make that re-plan cheap and safe:
+//!
+//! * batch tiling (`index`/`start`/`len`) depends only on `n` and
+//!   `batch_elems`, never on the GPU count — so a survivor plan has the
+//!   *identical* batch set, and the original plan's merge schedule
+//!   (pair slots, multiway inputs) stays valid verbatim;
+//! * [`Plan::on_devices`] relabels the survivor plan's compacted GPU
+//!   indices back to physical device numbers, so the shared fault
+//!   schedule, spans, and residency accounting keep addressing the same
+//!   hardware, and re-runs [`Plan::check_invariants`] before the
+//!   executor resumes.
+
+use std::collections::BTreeSet;
+
+use crate::error::HetSortError;
+use crate::plan::{Plan, StepKind};
+
+/// The batch a stream-bound step operates on, if any.
+pub(crate) fn step_batch(kind: &StepKind) -> Option<usize> {
+    match kind {
+        StepKind::StageIn { batch, .. }
+        | StepKind::HtoD { batch, .. }
+        | StepKind::GpuSort { batch }
+        | StepKind::DtoH { batch, .. }
+        | StepKind::StageOut { batch, .. } => Some(*batch),
+        StepKind::PinnedAlloc { .. }
+        | StepKind::PairMerge { .. }
+        | StepKind::MultiwayMerge { .. } => None,
+    }
+}
+
+/// Build a recovery re-plan of `base` (the *original* plan) over the
+/// devices not in `lost`, relabelled to physical device numbers and
+/// invariant-checked. `Ok(None)` when no device survives — the caller
+/// decides between CPU fallback and a typed
+/// [`HetSortError::DeviceLost`].
+///
+/// # Errors
+///
+/// Propagates [`Plan::build`] / [`Plan::on_devices`] failures.
+pub(crate) fn survivor_plan(
+    base: &Plan,
+    lost: &BTreeSet<usize>,
+) -> Result<Option<Plan>, HetSortError> {
+    let surv: Vec<usize> = (0..base.config.platform.n_gpus())
+        .filter(|g| !lost.contains(g))
+        .collect();
+    if surv.is_empty() {
+        return Ok(None);
+    }
+    let mut cfg = base.config.clone();
+    cfg.platform.gpus = surv
+        .iter()
+        .map(|&g| base.config.platform.gpus[g].clone())
+        .collect();
+    let rp = Plan::build(cfg, base.n)?.on_devices(surv)?;
+    // Same batch_elems + same n ⇒ same tiling; the original plan's
+    // merge schedule keeps referencing valid batch indices.
+    debug_assert_eq!(rp.nb(), base.nb());
+    Ok(Some(rp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Approach, HetSortConfig};
+    use hetsort_vgpu::platform2;
+
+    #[test]
+    fn survivor_plan_keeps_tiling_and_maps_devices() {
+        let cfg = HetSortConfig::paper_defaults(platform2(), Approach::PipeMerge)
+            .with_batch_elems(5_000)
+            .with_pinned_elems(1_000);
+        let base = Plan::build(cfg, 40_000).unwrap();
+        assert_eq!(base.device_ids, vec![0, 1]);
+        let lost: BTreeSet<usize> = [0].into_iter().collect();
+        let rp = survivor_plan(&base, &lost).unwrap().unwrap();
+        rp.check_invariants().unwrap();
+        assert_eq!(rp.device_ids, vec![1]);
+        assert_eq!(rp.nb(), base.nb());
+        for (a, b) in base.batches.iter().zip(rp.batches.iter()) {
+            assert_eq!((a.index, a.start, a.len), (b.index, b.start, b.len));
+        }
+        // Every batch now addresses physical device 1.
+        for b in &rp.batches {
+            assert_eq!(rp.physical_gpu(b.gpu), 1);
+        }
+        // Losing everything yields None.
+        let all: BTreeSet<usize> = [0, 1].into_iter().collect();
+        assert!(survivor_plan(&base, &all).unwrap().is_none());
+    }
+}

@@ -30,6 +30,13 @@ pub struct RecoveryStats {
     /// Batches re-planned into device-sized sub-runs after a GPU OOM
     /// (GPU still sorts; the CPU merges the sub-runs).
     pub oom_replans: usize,
+    /// Device-loss events observed (a GPU fell out of the pool).
+    pub device_lost: usize,
+    /// Whole-plan rebuilds onto surviving devices after a loss.
+    pub replans: usize,
+    /// Batches whose device-resident state died with a lost GPU and
+    /// were re-sorted from the host-resident input checkpoint.
+    pub batches_recomputed: usize,
 }
 
 impl RecoveryStats {
@@ -41,8 +48,15 @@ impl RecoveryStats {
     /// One-line human summary.
     pub fn summary(&self) -> String {
         format!(
-            "faults injected: {}, retries: {}, degraded batches: {}, OOM re-plans: {}",
-            self.faults_injected, self.retries, self.degraded_batches, self.oom_replans
+            "faults injected: {}, retries: {}, degraded batches: {}, OOM re-plans: {}, \
+             devices lost: {}, re-plans: {}, batches recomputed: {}",
+            self.faults_injected,
+            self.retries,
+            self.degraded_batches,
+            self.oom_replans,
+            self.device_lost,
+            self.replans,
+            self.batches_recomputed
         )
     }
 
@@ -53,6 +67,12 @@ impl RecoveryStats {
         reg.add_counter("recovery.retries", self.retries as f64);
         reg.add_counter("recovery.degraded_batches", self.degraded_batches as f64);
         reg.add_counter("recovery.oom_replans", self.oom_replans as f64);
+        reg.add_counter("recovery.device_lost", self.device_lost as f64);
+        reg.add_counter("recovery.replans", self.replans as f64);
+        reg.add_counter(
+            "recovery.batches_recomputed",
+            self.batches_recomputed as f64,
+        );
     }
 }
 

@@ -16,6 +16,8 @@
 //! same buffers), which is exactly why coalescing relieves budget
 //! pressure.
 
+use std::collections::BTreeSet;
+
 use hetsort_analyze::Residency;
 
 /// The service's aggregate memory budget.
@@ -39,12 +41,14 @@ impl ServeBudget {
     }
 }
 
-/// Tracks the footprints of reservations currently in flight.
+/// Tracks the footprints of reservations currently in flight, plus
+/// the set of GPUs currently missing from the elastic pool.
 #[derive(Debug, Clone)]
 pub struct AdmissionController {
     budget: ServeBudget,
     agg: Residency,
     reservations: Vec<(u64, Residency)>,
+    dead: BTreeSet<usize>,
 }
 
 impl AdmissionController {
@@ -54,6 +58,7 @@ impl AdmissionController {
             budget,
             agg: Residency::default(),
             reservations: Vec::new(),
+            dead: BTreeSet::new(),
         }
     }
 
@@ -68,20 +73,29 @@ impl AdmissionController {
     }
 
     /// Would adding `r` keep every GPU and the pinned pool under
-    /// budget?
+    /// budget? A footprint touching a GPU that has left the pool
+    /// never fits — plans must be rebuilt on the surviving devices
+    /// first.
     pub fn fits(&self, r: &Residency) -> bool {
+        let alive_ok = r
+            .device_bytes
+            .iter()
+            .all(|(gpu, b)| *b <= 0.0 || !self.dead.contains(gpu));
         let pinned_ok = self.agg.pinned_bytes + r.pinned_bytes <= self.budget.pinned_bytes;
         let device_ok = r.device_bytes.iter().all(|(gpu, b)| {
             self.agg.device_bytes.get(gpu).copied().unwrap_or(0.0) + b <= self.budget.device_bytes
         });
-        pinned_ok && device_ok
+        alive_ok && pinned_ok && device_ok
     }
 
-    /// Could `r` *ever* be admitted, even with nothing else in flight?
-    /// Jobs failing this are shed immediately instead of queuing
-    /// forever.
+    /// Could `r` *ever* be admitted, even with nothing else in flight,
+    /// on the pool as it stands today? Jobs failing this are shed
+    /// immediately instead of queuing forever.
     pub fn ever_fits(&self, r: &Residency) -> bool {
-        r.pinned_bytes <= self.budget.pinned_bytes
+        r.device_bytes
+            .iter()
+            .all(|(gpu, b)| *b <= 0.0 || !self.dead.contains(gpu))
+            && r.pinned_bytes <= self.budget.pinned_bytes
             && r.device_bytes
                 .values()
                 .all(|b| *b <= self.budget.device_bytes)
@@ -116,6 +130,29 @@ impl AdmissionController {
     /// Ids of reservations currently held, in reservation order.
     pub fn held(&self) -> Vec<u64> {
         self.reservations.iter().map(|(k, _)| *k).collect()
+    }
+
+    /// Remove `gpu` from the pool. Returns the leader ids of every
+    /// in-flight reservation whose footprint touches the lost device —
+    /// the service must release them and decide (re-queue, never drop)
+    /// what happens to their jobs. Idempotent.
+    pub fn lose_gpu(&mut self, gpu: usize) -> Vec<u64> {
+        self.dead.insert(gpu);
+        self.reservations
+            .iter()
+            .filter(|(_, r)| r.device_bytes.get(&gpu).copied().unwrap_or(0.0) > 0.0)
+            .map(|(k, _)| *k)
+            .collect()
+    }
+
+    /// Return `gpu` to the pool (no-op when it was never lost).
+    pub fn join_gpu(&mut self, gpu: usize) {
+        self.dead.remove(&gpu);
+    }
+
+    /// Physical GPU indices currently missing from the pool.
+    pub fn dead(&self) -> &BTreeSet<usize> {
+        &self.dead
     }
 }
 
@@ -171,6 +208,26 @@ mod tests {
         assert!(ac.ever_fits(&r), "but possible once drained");
         assert!(!ac.ever_fits(&footprint(0, 101.0, 0.0)));
         assert!(!ac.ever_fits(&footprint(0, 1.0, 51.0)));
+    }
+
+    #[test]
+    fn losing_a_gpu_reports_displaced_reservations_and_blocks_admission() {
+        let mut ac = AdmissionController::new(ServeBudget::new(100.0, 50.0));
+        ac.reserve(1, footprint(0, 40.0, 10.0));
+        ac.reserve(2, footprint(1, 40.0, 10.0));
+        let displaced = ac.lose_gpu(1);
+        assert_eq!(displaced, vec![2]);
+        // Footprints touching the dead GPU no longer fit — not now,
+        // not ever — while GPU-0 jobs are untouched.
+        assert!(!ac.fits(&footprint(1, 1.0, 0.0)));
+        assert!(!ac.ever_fits(&footprint(1, 1.0, 0.0)));
+        assert!(ac.fits(&footprint(0, 1.0, 0.0)));
+        assert_eq!(ac.dead().iter().copied().collect::<Vec<_>>(), vec![1]);
+        // Idempotent loss; join restores admissibility.
+        assert!(ac.lose_gpu(1).contains(&2));
+        ac.join_gpu(1);
+        assert!(ac.ever_fits(&footprint(1, 1.0, 0.0)));
+        assert!(ac.dead().is_empty());
     }
 
     #[test]

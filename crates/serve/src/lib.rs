@@ -10,6 +10,13 @@
 //! [`Overloaded`](hetsort_core::HetSortError::Overloaded) error —
 //! never a panic.
 //!
+//! The device pool is **elastic**: a [`pool::PoolEvent`] schedule can
+//! remove and restore GPUs on the virtual clock. A loss displaces and
+//! re-queues the jobs running on the lost device (members finished
+//! before the loss still complete), re-plans the queue on the
+//! survivors, and sheds — typed — only what can never fit again; a
+//! join restores capacity at the next admission scan.
+//!
 //! The service is **deterministic**: outputs come from the functional
 //! executors (bit-identical to a reference sort), while every clock —
 //! queue waits, admissions, completions — advances in virtual seconds
@@ -39,9 +46,11 @@
 pub mod admission;
 pub mod job;
 pub mod mix;
+pub mod pool;
 pub mod service;
 
 pub use admission::{footprint_max, AdmissionController, ServeBudget};
 pub use job::{JobReport, Priority, SortJob};
 pub use mix::{synthetic_jobs, MIX_COALESCE_ELEMS};
+pub use pool::{chaos_schedule, parse_schedule, PoolEvent, PoolEventKind};
 pub use service::{AdmissionEvent, ServeConfig, ServeOutcome, SortService};

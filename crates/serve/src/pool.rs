@@ -1,0 +1,171 @@
+//! Elastic device-pool schedules: when GPUs leave and rejoin the
+//! service.
+//!
+//! A pool event is a *virtual-time* fault (seconds on the service
+//! clock), unlike the executor-level [`FaultInjector`] whose schedule
+//! counts device operations. The two compose: the service applies
+//! pool events between admission scans, while per-job injectors fire
+//! inside a single execution.
+//!
+//! [`FaultInjector`]: hetsort_vgpu::FaultInjector
+
+use hetsort_core::HetSortError;
+use hetsort_prng::Rng;
+
+/// What happens to the device at the event time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolEventKind {
+    /// The GPU drops out: in-flight reservations touching it are
+    /// displaced, queued plans are rebuilt on the survivors.
+    Lose,
+    /// The GPU (re)joins: capacity returns at the next admission scan.
+    Join,
+}
+
+/// One scheduled change to the device pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolEvent {
+    /// Virtual time (service-clock seconds) the event takes effect.
+    pub t_s: f64,
+    /// Physical GPU index ([`Plan::physical_gpu`] numbering).
+    ///
+    /// [`Plan::physical_gpu`]: hetsort_core::Plan::physical_gpu
+    pub gpu: usize,
+    /// Loss or join.
+    pub kind: PoolEventKind,
+}
+
+/// Parse a pool schedule like `"lose:1@0.004,join:1@0.02"`.
+///
+/// Each entry is `lose:G@T` or `join:G@T` where `G` is a physical GPU
+/// index and `T` a virtual time in seconds. Entries are returned
+/// sorted by `(t_s, position)` so equal-time events apply in spec
+/// order.
+pub fn parse_schedule(spec: &str) -> Result<Vec<PoolEvent>, HetSortError> {
+    let bad = |entry: &str, why: &str| HetSortError::Config {
+        reason: format!("bad pool event '{entry}': {why} (expected lose:G@T or join:G@T)"),
+    };
+    let mut events = Vec::new();
+    for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+        let (kind, rest) = entry
+            .split_once(':')
+            .ok_or_else(|| bad(entry, "missing ':'"))?;
+        let kind = match kind {
+            "lose" => PoolEventKind::Lose,
+            "join" => PoolEventKind::Join,
+            other => return Err(bad(entry, &format!("unknown kind '{other}'"))),
+        };
+        let (gpu, t) = rest
+            .split_once('@')
+            .ok_or_else(|| bad(entry, "missing '@'"))?;
+        let gpu: usize = gpu
+            .trim()
+            .parse()
+            .map_err(|_| bad(entry, "GPU index is not an integer"))?;
+        let t_s: f64 = t
+            .trim()
+            .parse()
+            .map_err(|_| bad(entry, "time is not a number"))?;
+        if !t_s.is_finite() || t_s < 0.0 {
+            return Err(bad(entry, "time must be finite and non-negative"));
+        }
+        events.push(PoolEvent { t_s, gpu, kind });
+    }
+    sort_events(&mut events);
+    Ok(events)
+}
+
+/// A deterministic chaos schedule: seeded loss/join churn over
+/// `horizon_s` virtual seconds on a pool of `n_gpus` devices.
+///
+/// GPU 0 is never lost, so every generated schedule keeps at least one
+/// survivor — the harness's "≥ 1 surviving GPU" guarantee. Each other
+/// device suffers zero, one, or two losses; every loss may be followed
+/// by a rejoin later in the horizon. Same seed → bit-identical
+/// schedule.
+pub fn chaos_schedule(seed: u64, n_gpus: usize, horizon_s: f64) -> Vec<PoolEvent> {
+    let mut rng = Rng::new(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut events = Vec::new();
+    for gpu in 1..n_gpus {
+        let losses = rng.usize_in(0, 2);
+        let mut t = 0.0;
+        for _ in 0..losses {
+            let t_lose = rng.f64_in(t, horizon_s * 0.8);
+            events.push(PoolEvent {
+                t_s: t_lose,
+                gpu,
+                kind: PoolEventKind::Lose,
+            });
+            if rng.bool() {
+                let t_join = rng.f64_in(t_lose, horizon_s);
+                events.push(PoolEvent {
+                    t_s: t_join,
+                    gpu,
+                    kind: PoolEventKind::Join,
+                });
+                t = t_join;
+            } else {
+                break;
+            }
+        }
+    }
+    sort_events(&mut events);
+    events
+}
+
+/// Stable sort by time; equal-time events keep their generation order
+/// (a lose before its paired join).
+fn sort_events(events: &mut [PoolEvent]) {
+    events.sort_by(|a, b| a.t_s.total_cmp(&b.t_s));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_mixed_schedule_sorted_by_time() {
+        let evs = parse_schedule("join:1@0.02, lose:1@0.004").unwrap();
+        assert_eq!(
+            evs,
+            vec![
+                PoolEvent {
+                    t_s: 0.004,
+                    gpu: 1,
+                    kind: PoolEventKind::Lose
+                },
+                PoolEvent {
+                    t_s: 0.02,
+                    gpu: 1,
+                    kind: PoolEventKind::Join
+                },
+            ]
+        );
+        assert!(parse_schedule("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_entries_with_typed_errors() {
+        for bad in ["lose:1", "1@0.5", "evict:1@0.5", "lose:x@0.5", "lose:1@-1"] {
+            match parse_schedule(bad) {
+                Err(HetSortError::Config { reason }) => {
+                    assert!(reason.contains("bad pool event"), "{reason}")
+                }
+                other => panic!("expected Config error for {bad:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_never_loses_gpu_zero_and_is_seed_stable() {
+        for seed in 0..32 {
+            let evs = chaos_schedule(seed, 4, 1.0);
+            assert!(evs.iter().all(|e| e.gpu != 0), "seed {seed}: {evs:?}");
+            assert!(evs.iter().all(|e| e.t_s >= 0.0 && e.t_s <= 1.0));
+            assert_eq!(evs, chaos_schedule(seed, 4, 1.0), "seed {seed} unstable");
+            assert!(evs.windows(2).all(|w| w[0].t_s <= w[1].t_s));
+        }
+        // At least one seed in a small range actually produces churn.
+        assert!((0..32).any(|s| !chaos_schedule(s, 4, 1.0).is_empty()));
+    }
+}

@@ -17,6 +17,9 @@
 //!   is reproducible to the bit across runs — no wall-clock anywhere
 //!   in service state.
 
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
 use hetsort_analyze::Residency;
 use hetsort_core::exec_real::sort_real_plan;
 use hetsort_core::exec_sim::simulate_plan;
@@ -25,9 +28,10 @@ use hetsort_obs::{MetricsRegistry, ObsSpan, OpClass};
 
 use crate::admission::{footprint_max, AdmissionController, ServeBudget};
 use crate::job::{JobReport, SortJob};
+use crate::pool::{PoolEvent, PoolEventKind};
 
 /// Service knobs.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
     /// Bounded queue depth; arrivals past this are shed immediately.
     pub queue_cap: usize,
@@ -40,6 +44,9 @@ pub struct ServeConfig {
     /// Most members a coalesced group may hold (bounds the latency a
     /// member adds to the ones behind it).
     pub coalesce_max_jobs: usize,
+    /// Scheduled changes to the device pool (losses and joins on the
+    /// virtual clock). Empty means the pool is static.
+    pub pool_events: Vec<PoolEvent>,
 }
 
 impl ServeConfig {
@@ -50,6 +57,7 @@ impl ServeConfig {
             budget,
             coalesce_max_elems: 0,
             coalesce_max_jobs: 8,
+            pool_events: Vec::new(),
         }
     }
 
@@ -62,6 +70,12 @@ impl ServeConfig {
     /// Enable coalescing for jobs up to `max_elems`.
     pub fn with_coalescing(mut self, max_elems: usize) -> Self {
         self.coalesce_max_elems = max_elems;
+        self
+    }
+
+    /// Attach an elastic-pool schedule (see [`crate::pool`]).
+    pub fn with_pool_events(mut self, events: Vec<PoolEvent>) -> Self {
+        self.pool_events = events;
         self
     }
 }
@@ -107,6 +121,15 @@ struct Queued {
 struct Done {
     report: JobReport,
     recovered: bool,
+    /// The original submission, retained so a pool loss can re-queue
+    /// the job instead of silently dropping it.
+    job: SortJob,
+    /// Job-tagged spans, recorded into the registry only when the job
+    /// actually completes (a displaced job's aborted run leaves no
+    /// spans behind).
+    spans: Vec<ObsSpan>,
+    /// `bytes_sorted` contribution, counted at completion.
+    bytes: f64,
 }
 
 struct Running {
@@ -139,6 +162,52 @@ fn shape_key(job: &SortJob) -> String {
     )
 }
 
+/// File a finished member: counters, spans, report.
+fn file_completed(d: Done, outcome: &mut ServeOutcome, metrics: &mut MetricsRegistry) {
+    metrics.add_counter("jobs_completed", 1.0);
+    if d.recovered {
+        metrics.add_counter("jobs_recovered", 1.0);
+    }
+    metrics.add_counter("bytes_sorted", d.bytes);
+    metrics.record_all(d.spans);
+    outcome.makespan_s = outcome.makespan_s.max(d.report.completed_s);
+    outcome.completed.push(d.report);
+}
+
+/// Build a job's plan against the pool as it stands: on a full pool
+/// this is a plain [`Plan::build`]; with devices missing, the platform
+/// is filtered to the survivors and the plan relabelled
+/// ([`Plan::on_devices`]) so its batches account against physical GPU
+/// indices. An empty pool is reported as a typed `Overloaded`.
+fn build_plan_for(
+    job: &SortJob,
+    dead: &BTreeSet<usize>,
+) -> Result<(Plan, Residency), HetSortError> {
+    let n = job.data.len();
+    if dead.is_empty() {
+        let plan = Plan::build(job.config.clone(), n)?;
+        let residency = Residency::of_plan(&plan);
+        return Ok((plan, residency));
+    }
+    let alive: Vec<usize> = (0..job.config.platform.gpus.len())
+        .filter(|g| !dead.contains(g))
+        .collect();
+    if alive.is_empty() {
+        return Err(HetSortError::Overloaded {
+            job: None,
+            reason: "device pool is empty: every GPU has left the service".to_string(),
+        });
+    }
+    let mut cfg = job.config.clone();
+    cfg.platform.gpus = alive
+        .iter()
+        .map(|&g| cfg.platform.gpus[g].clone())
+        .collect();
+    let plan = Plan::build(cfg, n)?.on_devices(alive)?;
+    let residency = Residency::of_plan(&plan);
+    Ok((plan, residency))
+}
+
 impl SortService {
     /// A service with the given knobs.
     pub fn new(cfg: ServeConfig) -> SortService {
@@ -165,6 +234,11 @@ impl SortService {
         let mut admission = AdmissionController::new(self.cfg.budget);
         let mut queue: Vec<Queued> = Vec::new();
         let mut running: Vec<Running> = Vec::new();
+        let mut pool: std::collections::VecDeque<PoolEvent> = {
+            let mut evs = self.cfg.pool_events.clone();
+            evs.sort_by(|a, b| a.t_s.total_cmp(&b.t_s));
+            evs.into()
+        };
         let mut outcome = ServeOutcome {
             completed: Vec::new(),
             shed: Vec::new(),
@@ -178,59 +252,88 @@ impl SortService {
         loop {
             // Drain completions due strictly before the next arrival —
             // released budget must be re-offered to the queue first.
+            // Pool events are a third time source: a queued job may be
+            // waiting on nothing but a scheduled device join.
             let next_arrival = pending.front().map(|(_, j)| j.arrival_s);
             let next_finish = running.iter().map(|r| r.finish_s).min_by(f64::total_cmp);
-            now = match (next_arrival, next_finish) {
-                (None, None) => {
+            let next_pool = pool.front().map(|e| e.t_s);
+            now = match [next_arrival, next_finish, next_pool]
+                .into_iter()
+                .flatten()
+                .min_by(f64::total_cmp)
+            {
+                Some(t) => t,
+                None => {
                     debug_assert!(queue.is_empty(), "queue cannot outlive the event stream");
                     break;
                 }
-                (Some(a), None) => a,
-                (None, Some(f)) => f,
-                (Some(a), Some(f)) => a.min(f),
             };
 
             // 1. Completions at `now`: release reservations, file reports.
+            // Ties with a pool event resolve in the job's favour — a
+            // group whose finish time equals the loss instant completed.
             let mut i = 0;
             while i < running.len() {
                 if running[i].finish_s <= now {
                     let r = running.remove(i);
                     admission.release(r.leader);
                     for d in r.done {
-                        metrics.add_counter("jobs_completed", 1.0);
-                        if d.recovered {
-                            metrics.add_counter("jobs_recovered", 1.0);
-                        }
-                        outcome.makespan_s = outcome.makespan_s.max(d.report.completed_s);
-                        outcome.completed.push(d.report);
+                        file_completed(d, &mut outcome, &mut metrics);
                     }
                 } else {
                     i += 1;
                 }
             }
 
-            // 2. Arrivals at `now`: bounded queue or immediate shed.
-            while pending.front().is_some_and(|(_, j)| j.arrival_s <= now) {
-                if let Some((id, job)) = pending.pop_front() {
-                    self.submit(id, job, &mut queue, &admission, &mut outcome, &mut metrics);
+            // 2. Pool events at `now`: shrink or grow the device pool,
+            // displace and re-queue, re-plan what still waits.
+            while pool.front().is_some_and(|e| e.t_s <= now) {
+                if let Some(ev) = pool.pop_front() {
+                    // A job unadmittable on the pool *right now* is
+                    // only shed once no scheduled join can still
+                    // change that verdict.
+                    let joins_pending = pool.iter().any(|e| e.kind == PoolEventKind::Join);
+                    self.apply_pool_event(
+                        now,
+                        ev,
+                        joins_pending,
+                        &mut queue,
+                        &mut running,
+                        &mut admission,
+                        &mut outcome,
+                        &mut metrics,
+                    );
                 }
             }
 
-            // 3. Shed queued jobs whose admission deadline has passed.
+            // 3. Arrivals at `now`: bounded queue or immediate shed.
+            let joins_pending = pool.iter().any(|e| e.kind == PoolEventKind::Join);
+            while pending.front().is_some_and(|(_, j)| j.arrival_s <= now) {
+                if let Some((id, job)) = pending.pop_front() {
+                    self.submit(
+                        id,
+                        job,
+                        joins_pending,
+                        &mut queue,
+                        &admission,
+                        &mut outcome,
+                        &mut metrics,
+                    );
+                }
+            }
+
+            // 4. Shed queued jobs whose admission deadline has passed.
             let mut i = 0;
             while i < queue.len() {
-                let expired = queue[i].job.deadline_s.is_some_and(|d| d < now);
-                if expired {
+                let expired = queue[i].job.deadline_s.filter(|&d| d < now);
+                if let Some(d) = expired {
                     let q = queue.remove(i);
                     metrics.add_counter("jobs_shed_deadline", 1.0);
                     outcome.shed.push((
                         q.id,
                         HetSortError::Overloaded {
                             job: Some(q.id),
-                            reason: format!(
-                                "deadline {:.3}s passed while queued (now {now:.3}s)",
-                                q.job.deadline_s.unwrap_or(0.0)
-                            ),
+                            reason: format!("deadline {d:.3}s passed while queued (now {now:.3}s)"),
                         },
                     ));
                 } else {
@@ -238,7 +341,7 @@ impl SortService {
                 }
             }
 
-            // 4. Admission scan: priority order with backfill.
+            // 5. Admission scan: priority order with backfill.
             self.admit(
                 now,
                 &mut queue,
@@ -253,10 +356,12 @@ impl SortService {
         outcome
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn submit(
         &self,
         id: u64,
         job: SortJob,
+        joins_pending: bool,
         queue: &mut Vec<Queued>,
         admission: &AdmissionController,
         outcome: &mut ServeOutcome,
@@ -273,16 +378,43 @@ impl SortService {
             ));
             return;
         }
-        let plan = match Plan::build(job.config.clone(), job.data.len()) {
-            Ok(p) => p,
+        let (plan, residency) = match build_plan_for(&job, admission.dead()) {
+            Ok(pr) => pr,
+            Err(HetSortError::Overloaded { reason, .. }) if !joins_pending => {
+                metrics.add_counter("jobs_shed_pool", 1.0);
+                outcome.shed.push((
+                    id,
+                    HetSortError::Overloaded {
+                        job: Some(id),
+                        reason,
+                    },
+                ));
+                return;
+            }
+            Err(HetSortError::Overloaded { .. }) => {
+                // Total outage with a join still scheduled: park the
+                // job on its full-pool plan. The dead-device check in
+                // `fits` keeps it from admitting; the join's queue
+                // re-plan revisits it.
+                match Plan::build(job.config.clone(), job.data.len()) {
+                    Ok(p) => {
+                        let r = Residency::of_plan(&p);
+                        (p, r)
+                    }
+                    Err(e) => {
+                        metrics.add_counter("jobs_failed", 1.0);
+                        outcome.failed.push((id, e));
+                        return;
+                    }
+                }
+            }
             Err(e) => {
                 metrics.add_counter("jobs_failed", 1.0);
                 outcome.failed.push((id, e));
                 return;
             }
         };
-        let residency = Residency::of_plan(&plan);
-        if !admission.ever_fits(&residency) {
+        if !admission.ever_fits(&residency) && !joins_pending {
             metrics.add_counter("jobs_shed_oversized", 1.0);
             outcome.shed.push((
                 id,
@@ -307,6 +439,222 @@ impl SortService {
             plan,
             residency,
         });
+    }
+
+    /// Apply one elastic-pool event.
+    ///
+    /// A **loss** shrinks the admission pool, displaces every in-flight
+    /// reservation whose footprint touches the dead device (members
+    /// that finished before `now` still complete; the rest re-queue —
+    /// exempt from the queue cap, never silently dropped), and re-plans
+    /// the whole queue on the survivors. A **join** restores capacity
+    /// and re-plans the queue so waiting jobs can spread back out.
+    /// Either way an [`AdmissionEvent`] is logged so the audit trail
+    /// records the pool change.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_pool_event(
+        &self,
+        now: f64,
+        ev: PoolEvent,
+        joins_pending: bool,
+        queue: &mut Vec<Queued>,
+        running: &mut Vec<Running>,
+        admission: &mut AdmissionController,
+        outcome: &mut ServeOutcome,
+        metrics: &mut MetricsRegistry,
+    ) {
+        match ev.kind {
+            PoolEventKind::Lose => {
+                metrics.add_counter("pool_losses", 1.0);
+                outcome.metrics.record(ObsSpan::new(
+                    OpClass::Other,
+                    format!("pool: GPU {} lost", ev.gpu),
+                    now,
+                    now,
+                ));
+                for leader in admission.lose_gpu(ev.gpu) {
+                    let Some(idx) = running.iter().position(|r| r.leader == leader) else {
+                        continue;
+                    };
+                    let r = running.remove(idx);
+                    admission.release(r.leader);
+                    for d in r.done {
+                        if d.report.completed_s <= now {
+                            // This member drained before the device
+                            // vanished; its output stands.
+                            file_completed(d, outcome, metrics);
+                        } else {
+                            metrics.add_counter("jobs_displaced", 1.0);
+                            self.requeue_displaced(
+                                d,
+                                joins_pending,
+                                queue,
+                                admission,
+                                outcome,
+                                metrics,
+                            );
+                        }
+                    }
+                }
+                self.replan_queue(joins_pending, queue, admission, outcome, metrics);
+            }
+            PoolEventKind::Join => {
+                metrics.add_counter("pool_joins", 1.0);
+                outcome.metrics.record(ObsSpan::new(
+                    OpClass::Other,
+                    format!("pool: GPU {} joined", ev.gpu),
+                    now,
+                    now,
+                ));
+                admission.join_gpu(ev.gpu);
+                self.replan_queue(joins_pending, queue, admission, outcome, metrics);
+            }
+        }
+        let mut reservations: Vec<Vec<u64>> = Vec::new();
+        for r in running.iter() {
+            let mut ids: Vec<u64> = r.done.iter().map(|d| d.report.id).collect();
+            ids.sort_unstable();
+            reservations.push(ids);
+        }
+        outcome.admission_log.push(AdmissionEvent {
+            t_s: now,
+            reservations,
+            in_flight: admission.in_flight().clone(),
+        });
+    }
+
+    /// Put a displaced member back on the queue with a plan rebuilt on
+    /// the surviving devices. Deliberately exempt from the queue cap:
+    /// the service already accepted this job, so a pool loss must not
+    /// turn into a silent drop. Only a job that can *never* fit on the
+    /// shrunk pool is shed, typed.
+    fn requeue_displaced(
+        &self,
+        d: Done,
+        joins_pending: bool,
+        queue: &mut Vec<Queued>,
+        admission: &AdmissionController,
+        outcome: &mut ServeOutcome,
+        metrics: &mut MetricsRegistry,
+    ) {
+        let id = d.report.id;
+        match build_plan_for(&d.job, admission.dead()) {
+            Ok((plan, residency)) if admission.ever_fits(&residency) || joins_pending => {
+                queue.push(Queued {
+                    id,
+                    job: d.job,
+                    plan,
+                    residency,
+                });
+            }
+            Ok((_, residency)) => {
+                metrics.add_counter("jobs_shed_pool", 1.0);
+                outcome.shed.push((
+                    id,
+                    HetSortError::Overloaded {
+                        job: Some(id),
+                        reason: format!(
+                            "displaced by device loss and unadmittable on the shrunk pool \
+                             (device peak {:.3e} B vs budget {:.3e} B/GPU)",
+                            residency.device_peak(),
+                            self.cfg.budget.device_bytes,
+                        ),
+                    },
+                ));
+            }
+            Err(HetSortError::Overloaded { .. }) if joins_pending => {
+                // Total outage with a join still scheduled: park the
+                // displaced job on its full-pool plan until then.
+                match Plan::build(d.job.config.clone(), d.job.data.len()) {
+                    Ok(p) => {
+                        let residency = Residency::of_plan(&p);
+                        queue.push(Queued {
+                            id,
+                            job: d.job,
+                            plan: p,
+                            residency,
+                        });
+                    }
+                    Err(e) => {
+                        metrics.add_counter("jobs_failed", 1.0);
+                        outcome.failed.push((id, e));
+                    }
+                }
+            }
+            Err(HetSortError::Overloaded { reason, .. }) => {
+                metrics.add_counter("jobs_shed_pool", 1.0);
+                outcome.shed.push((
+                    id,
+                    HetSortError::Overloaded {
+                        job: Some(id),
+                        reason,
+                    },
+                ));
+            }
+            Err(e) => {
+                metrics.add_counter("jobs_failed", 1.0);
+                outcome.failed.push((id, e));
+            }
+        }
+    }
+
+    /// Rebuild every queued job's plan against the current pool. Jobs
+    /// whose footprint can no longer ever fit are shed, typed.
+    fn replan_queue(
+        &self,
+        joins_pending: bool,
+        queue: &mut Vec<Queued>,
+        admission: &AdmissionController,
+        outcome: &mut ServeOutcome,
+        metrics: &mut MetricsRegistry,
+    ) {
+        let mut i = 0;
+        while i < queue.len() {
+            match build_plan_for(&queue[i].job, admission.dead()) {
+                Ok((plan, residency)) if admission.ever_fits(&residency) || joins_pending => {
+                    queue[i].plan = plan;
+                    queue[i].residency = residency;
+                    i += 1;
+                }
+                Ok((_, residency)) => {
+                    let q = queue.remove(i);
+                    metrics.add_counter("jobs_shed_pool", 1.0);
+                    outcome.shed.push((
+                        q.id,
+                        HetSortError::Overloaded {
+                            job: Some(q.id),
+                            reason: format!(
+                                "unadmittable on the shrunk pool (device peak {:.3e} B \
+                                 vs budget {:.3e} B/GPU)",
+                                residency.device_peak(),
+                                self.cfg.budget.device_bytes,
+                            ),
+                        },
+                    ));
+                }
+                Err(HetSortError::Overloaded { .. }) if joins_pending => {
+                    // Total outage, join scheduled: leave the entry on
+                    // its current plan — `fits` blocks it until then.
+                    i += 1;
+                }
+                Err(HetSortError::Overloaded { reason, .. }) => {
+                    let q = queue.remove(i);
+                    metrics.add_counter("jobs_shed_pool", 1.0);
+                    outcome.shed.push((
+                        q.id,
+                        HetSortError::Overloaded {
+                            job: Some(q.id),
+                            reason,
+                        },
+                    ));
+                }
+                Err(e) => {
+                    let q = queue.remove(i);
+                    metrics.add_counter("jobs_failed", 1.0);
+                    outcome.failed.push((q.id, e));
+                }
+            }
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -407,7 +755,33 @@ impl SortService {
     ) -> Running {
         let mut cursor = now;
         let mut done = Vec::new();
-        for q in members {
+        for mut q in members {
+            // Deadline enforcement at *dispatch*, not only while
+            // queued: a coalesced member waiting behind slow siblings
+            // (or a job admitted exactly at its deadline) must not
+            // start after its deadline passed.
+            if let Some(d) = q.job.deadline_s {
+                if d < cursor {
+                    metrics.add_counter("jobs_shed_deadline_dispatch", 1.0);
+                    outcome.shed.push((
+                        q.id,
+                        HetSortError::Overloaded {
+                            job: Some(q.id),
+                            reason: format!(
+                                "deadline {d:.3}s passed before dispatch \
+                                 (dispatch at {cursor:.3}s)"
+                            ),
+                        },
+                    ));
+                    continue;
+                }
+            }
+            // Scope the fault schedule to this job: members sharing an
+            // injector would make "fail the 2nd HtoD" depend on queue
+            // order. A fork keeps the schedule, zeroes the counters.
+            if let Some(inj) = q.plan.config.faults.clone() {
+                q.plan.config.faults = Some(Arc::new(inj.fork()));
+            }
             let real = match sort_real_plan(&q.plan, &q.job.data) {
                 Ok(r) => r,
                 Err(e) => {
@@ -427,26 +801,22 @@ impl SortService {
             let start = cursor;
             cursor += sim.total_s;
             // Queue wait + the job's simulated op spans, shifted onto
-            // the service clock and tagged with the job id.
-            metrics.record(
-                ObsSpan::new(
-                    OpClass::Other,
-                    format!("queue-wait j{}", q.id),
-                    q.job.arrival_s,
-                    start,
-                )
-                .for_job(q.id),
-            );
-            metrics.record_all(sim.metrics().spans().iter().map(|s| {
+            // the service clock and tagged with the job id. Recorded
+            // into the registry only if the job survives to completion.
+            let mut spans = vec![ObsSpan::new(
+                OpClass::Other,
+                format!("queue-wait j{}", q.id),
+                q.job.arrival_s,
+                start,
+            )
+            .for_job(q.id)];
+            spans.extend(sim.metrics().spans().iter().map(|s| {
                 let mut s = s.clone().for_job(q.id);
                 s.t_start += start;
                 s.t_end += start;
                 s
             }));
-            metrics.add_counter(
-                "bytes_sorted",
-                q.plan.config.elem_bytes * q.job.data.len() as f64,
-            );
+            let bytes = q.plan.config.elem_bytes * q.job.data.len() as f64;
             done.push(Done {
                 recovered: real.recovery.any(),
                 report: JobReport {
@@ -460,6 +830,9 @@ impl SortService {
                     coalesced_into: coalesced.then_some(leader),
                     recovered: real.recovery.any(),
                 },
+                job: q.job,
+                spans,
+                bytes,
             });
         }
         Running {
@@ -657,6 +1030,114 @@ mod tests {
             assert_eq!(x.sorted, y.sorted);
         }
         assert_eq!(a.makespan_s.to_bits(), b.makespan_s.to_bits());
+    }
+
+    #[test]
+    fn dispatch_deadline_sheds_coalesced_member_that_waited_too_long() {
+        // Two same-shape small jobs coalesce into one reservation at
+        // t = 0. Member 1 runs after member 0, so by its dispatch time
+        // the tiny deadline has passed — the queued-deadline scan
+        // (which runs at t = 0, before any time elapses) cannot catch
+        // it; only dispatch-time enforcement can.
+        let cfg = ServeConfig::new(budget_for(1)).with_coalescing(5_000);
+        let svc = SortService::new(cfg);
+        let jobs = vec![
+            SortJob::new(data(3_000, 70), small_cfg()),
+            SortJob::new(data(3_000, 71), small_cfg()).with_deadline(1e-9),
+        ];
+        let out = svc.run(jobs);
+        assert_eq!(out.completed.len(), 1);
+        assert_eq!(out.completed[0].id, 0);
+        assert_eq!(out.shed.len(), 1);
+        let (id, e) = &out.shed[0];
+        assert_eq!(*id, 1);
+        match e {
+            HetSortError::Overloaded { job, reason } => {
+                assert_eq!(*job, Some(1));
+                assert!(reason.contains("before dispatch"), "{reason}");
+            }
+            other => panic!("expected Overloaded, got {other}"),
+        }
+        assert_eq!(out.metrics.counter("jobs_shed_deadline_dispatch"), 1.0);
+    }
+
+    #[test]
+    fn fault_schedules_are_scoped_per_job_not_per_queue() {
+        // Two jobs share one injector armed to fail the 2nd HtoD. With
+        // a shared schedule only the first job would see the fault (and
+        // leave the counter spent); the per-dispatch fork gives each
+        // job its own "2nd HtoD" — both must recover, regardless of
+        // queue order.
+        use std::sync::Arc;
+        let inj = Arc::new(hetsort_vgpu::FaultInjector::new().fail_htod(2));
+        let cfg = small_cfg().with_faults(inj);
+        let svc = SortService::new(ServeConfig::new(budget_for(1)));
+        let jobs: Vec<SortJob> = (0..2)
+            .map(|i| SortJob::new(data(3_000, 80 + i), cfg.clone()))
+            .collect();
+        let out = svc.run(jobs);
+        assert_eq!(out.completed.len(), 2, "failed: {:?}", out.failed);
+        for r in &out.completed {
+            assert!(r.verified);
+            assert!(r.recovered, "job {} never saw its injected fault", r.id);
+        }
+        assert_eq!(out.metrics.counter("jobs_recovered"), 2.0);
+    }
+
+    #[test]
+    fn pool_loss_displaces_and_requeues_never_drops() {
+        use crate::pool::{PoolEvent, PoolEventKind};
+        // One job admits at t = 0 on a healthy pool; GPU 0 drops out
+        // mid-run. The job is displaced and re-queued — platform1 has
+        // a single GPU, so nothing can ever fit again and the job is
+        // shed with a typed error, not dropped or panicked.
+        let cfg = ServeConfig::new(budget_for(1)).with_pool_events(vec![PoolEvent {
+            t_s: 1e-6,
+            gpu: 0,
+            kind: PoolEventKind::Lose,
+        }]);
+        let svc = SortService::new(cfg);
+        let out = svc.run(vec![SortJob::new(data(5_000, 90), small_cfg())]);
+        assert_eq!(out.completed.len() + out.shed.len() + out.failed.len(), 1);
+        assert!(out.completed.is_empty());
+        assert_eq!(out.metrics.counter("pool_losses"), 1.0);
+        assert_eq!(out.metrics.counter("jobs_displaced"), 1.0);
+        assert!(matches!(
+            out.shed.first(),
+            Some((0, HetSortError::Overloaded { .. }))
+        ));
+    }
+
+    #[test]
+    fn pool_join_readmits_a_waiting_job() {
+        use crate::pool::{PoolEvent, PoolEventKind};
+        // GPU 0 is lost before the job arrives and rejoins later: the
+        // job must wait out the outage, then admit and complete.
+        let cfg = ServeConfig::new(budget_for(1)).with_pool_events(vec![
+            PoolEvent {
+                t_s: 0.0,
+                gpu: 0,
+                kind: PoolEventKind::Lose,
+            },
+            PoolEvent {
+                t_s: 0.5,
+                gpu: 0,
+                kind: PoolEventKind::Join,
+            },
+        ]);
+        let svc = SortService::new(cfg);
+        let out = svc.run(vec![
+            SortJob::new(data(3_000, 91), small_cfg()).arriving_at(0.01)
+        ]);
+        assert_eq!(out.completed.len(), 1, "shed: {:?}", out.shed);
+        let r = &out.completed[0];
+        assert!(r.verified);
+        assert!(
+            r.admitted_s >= 0.5,
+            "admitted at {} during the outage",
+            r.admitted_s
+        );
+        assert_eq!(out.metrics.counter("pool_joins"), 1.0);
     }
 
     #[test]

@@ -119,14 +119,30 @@ impl VirtualCuda {
         self
     }
 
-    /// `cudaSetDevice`.
+    /// `cudaSetDevice`. Selecting a device that the fault schedule has
+    /// marked dead fails with [`CudaError::DeviceLost`] (a liveness
+    /// query, not a counted device operation).
     pub fn set_device(&mut self, gpu: usize) -> Result<(), CudaError> {
         let n_gpus = self.m.plat().n_gpus();
         if gpu >= n_gpus {
             return Err(CudaError::NoSuchDevice { gpu, n_gpus });
         }
+        if let Some(inj) = &self.faults {
+            if inj.is_lost(gpu) {
+                return Err(CudaError::DeviceLost { gpu });
+            }
+        }
         self.current_device = gpu;
         Ok(())
+    }
+
+    /// Record one fault-schedule device operation on the current device
+    /// and fail if the schedule has (now) marked it dead.
+    fn device_op(&self) -> Result<(), CudaError> {
+        match &self.faults {
+            Some(inj) => inj.device_op(self.current_device),
+            None => Ok(()),
+        }
     }
 
     /// `cudaStreamCreate`.
@@ -143,6 +159,7 @@ impl VirtualCuda {
     /// `cudaMalloc` on the current device (checked against global
     /// memory; instantaneous like the driver's pooled allocations).
     pub fn malloc(&mut self, bytes: f64) -> Result<DevPtr, CudaError> {
+        self.device_op()?;
         if let Some(inj) = &self.faults {
             if inj.trip(FaultSite::DeviceAlloc).is_some() {
                 return Err(CudaError::DeviceOom {
@@ -266,6 +283,7 @@ impl VirtualCuda {
                 n_streams: self.streams.len(),
             });
         }
+        self.device_op()?;
         if let Some(inj) = &self.faults {
             if let Some(occurrence) = inj.trip(FaultSite::for_dir(dir)) {
                 return Err(CudaError::InjectedTransferFault { dir, occurrence });
@@ -327,6 +345,24 @@ impl VirtualCuda {
             },
         );
         op
+    }
+
+    /// Fallible `thrust::sort`: like [`VirtualCuda::thrust_sort`] but
+    /// consults the fault schedule's device pool first, so a kernel
+    /// launched on a lost device reports [`CudaError::DeviceLost`]
+    /// instead of silently enqueueing.
+    ///
+    /// # Errors
+    ///
+    /// [`CudaError::DeviceLost`] if the current device is dead.
+    pub fn try_thrust_sort(
+        &mut self,
+        elems: f64,
+        dev: DevPtr,
+        stream: CudaStream,
+    ) -> Result<OpId, CudaError> {
+        self.device_op()?;
+        Ok(self.thrust_sort(elems, dev, stream))
     }
 
     /// `thrust::sort` on the current device, in a stream.
@@ -479,6 +515,38 @@ impl CudaRun {
 mod tests {
     use super::*;
     use crate::platform::{platform1, platform2};
+
+    #[test]
+    fn lost_device_rejects_every_subsequent_operation() {
+        use crate::fault::FaultInjector;
+        use std::sync::Arc;
+        // GPU 1 dies at its 2nd device operation.
+        let inj = Arc::new(FaultInjector::new().lose_device(1, 2));
+        let mut cu = VirtualCuda::new(platform2()).with_faults(inj);
+        cu.set_device(1).unwrap();
+        let d = cu.malloc(1e8).unwrap(); // gpu1 op 1: fine
+        assert!(matches!(
+            cu.malloc(1e8),
+            Err(CudaError::DeviceLost { gpu: 1 })
+        ));
+        let pin = cu.malloc_host(8e6);
+        let s = cu.stream_create();
+        assert!(matches!(
+            cu.memcpy_async(TransferDir::HtoD, 1e8, d, pin, s),
+            Err(CudaError::DeviceLost { gpu: 1 })
+        ));
+        assert!(matches!(
+            cu.try_thrust_sort(1e6, d, s),
+            Err(CudaError::DeviceLost { gpu: 1 })
+        ));
+        assert!(matches!(
+            cu.set_device(1),
+            Err(CudaError::DeviceLost { gpu: 1 })
+        ));
+        // The surviving device keeps working.
+        cu.set_device(0).unwrap();
+        assert!(cu.malloc(1e8).is_ok());
+    }
 
     #[test]
     fn blocking_memcpy_runs_at_pageable_rate() {

@@ -49,6 +49,13 @@ pub enum CudaError {
         /// Which device sort tripped (1-based).
         occurrence: usize,
     },
+    /// The device fell off the bus (a scheduled `DeviceLost` pool
+    /// event): every subsequent allocation, copy, or kernel on it fails
+    /// until a matching join event restores capacity.
+    DeviceLost {
+        /// The device that was lost.
+        gpu: usize,
+    },
     /// A textual fault schedule (`--faults`) could not be parsed.
     BadFaultSpec {
         /// The offending fragment.
@@ -84,6 +91,9 @@ impl fmt::Display for CudaError {
             }
             CudaError::InjectedSortFault { occurrence } => {
                 write!(f, "injected device-sort fault on occurrence {occurrence}")
+            }
+            CudaError::DeviceLost { gpu } => {
+                write!(f, "GPU {gpu} lost: device removed from the pool")
             }
             CudaError::BadFaultSpec { spec, reason } => {
                 write!(f, "bad fault spec {spec:?}: {reason}")

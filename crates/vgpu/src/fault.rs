@@ -19,7 +19,7 @@
 //! occurrence: a schedule that faults occurrence 2 but not 3 models a
 //! *transient* fault that a single retry clears.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -60,6 +60,24 @@ impl FaultSite {
 
 const N_SITES: usize = 4;
 
+/// Mutable device-pool state: which GPUs are currently dead and how
+/// many device operations each has observed. Kept separate from the
+/// immutable loss/join schedule so [`FaultInjector::fork`] can reset
+/// state without touching the schedule.
+#[derive(Debug, Default)]
+struct PoolState {
+    /// Device operations observed per GPU.
+    per_gpu: BTreeMap<usize, usize>,
+    /// Device operations observed across all GPUs.
+    global: usize,
+    /// GPUs currently marked dead.
+    lost: BTreeSet<usize>,
+    /// Indices into `lose_sched` already applied.
+    applied_lose: BTreeSet<usize>,
+    /// Indices into `join_sched` already applied.
+    applied_join: BTreeSet<usize>,
+}
+
 /// A deterministic, seedable schedule of injected faults.
 ///
 /// One injector instance represents one run's fault history: counters
@@ -77,6 +95,14 @@ pub struct FaultInjector {
     worker_batches: Mutex<BTreeMap<usize, usize>>,
     /// Total faults injected (tripped sites + fired panics).
     injected: AtomicUsize,
+    /// `(gpu, nth_op_on_that_gpu)` device-loss events (1-based count of
+    /// device operations observed *on that GPU*).
+    lose_sched: Vec<(usize, usize)>,
+    /// `(gpu, nth_global_op)` device-join events (1-based count of
+    /// device operations observed across *all* GPUs).
+    join_sched: Vec<(usize, usize)>,
+    /// Mutable pool state (dead set + op counters).
+    pool: Mutex<PoolState>,
 }
 
 impl FaultInjector {
@@ -120,11 +146,31 @@ impl FaultInjector {
         self
     }
 
-    /// Parse a comma-separated schedule: `oom:2,htod:3,dtoh:1,sort:2,panic:1@2`.
+    /// Mark GPU `gpu` dead at its `nth_op`-th device operation
+    /// (1-based, counted per GPU). From then on every allocation, copy,
+    /// or sort touching it returns [`CudaError::DeviceLost`] until a
+    /// matching [`FaultInjector::join_device`] event revives it.
+    pub fn lose_device(mut self, gpu: usize, nth_op: usize) -> Self {
+        self.lose_sched.push((gpu, nth_op.max(1)));
+        self
+    }
+
+    /// Revive GPU `gpu` at the `nth_op`-th device operation counted
+    /// across *all* GPUs (1-based). Global counting lets a join fire
+    /// even while no operation targets the dead device.
+    pub fn join_device(mut self, gpu: usize, nth_op: usize) -> Self {
+        self.join_sched.push((gpu, nth_op.max(1)));
+        self
+    }
+
+    /// Parse a comma-separated schedule:
+    /// `oom:2,htod:3,dtoh:1,sort:2,panic:1@2,lose:1@4,join:1@20`.
     ///
     /// `oom:K` fails the K-th device allocation, `htod:K`/`dtoh:K` the
     /// K-th transfer in that direction, `sort:K` the K-th device sort,
-    /// and `panic:W@K` panics worker `W` at its K-th batch.
+    /// `panic:W@K` panics worker `W` at its K-th batch, `lose:G@K`
+    /// kills GPU `G` at its K-th device operation, and `join:G@K`
+    /// revives GPU `G` at the K-th device operation pool-wide.
     ///
     /// # Errors
     ///
@@ -154,7 +200,19 @@ impl FaultInjector {
                         .ok_or_else(|| bad("expected panic:worker@batch"))?;
                     inj.panic_worker(nth(w)?, nth(b)?)
                 }
-                _ => return Err(bad("unknown site (oom|htod|dtoh|sort|panic)")),
+                "lose" => {
+                    let (g, n) = arg
+                        .split_once('@')
+                        .ok_or_else(|| bad("expected lose:gpu@op"))?;
+                    inj.lose_device(nth(g)?, nth(n)?)
+                }
+                "join" => {
+                    let (g, n) = arg
+                        .split_once('@')
+                        .ok_or_else(|| bad("expected join:gpu@op"))?;
+                    inj.join_device(nth(g)?, nth(n)?)
+                }
+                _ => return Err(bad("unknown site (oom|htod|dtoh|sort|panic|lose|join)")),
             };
         }
         Ok(inj)
@@ -187,7 +245,94 @@ impl FaultInjector {
 
     /// Does the schedule contain anything at all?
     pub fn is_armed(&self) -> bool {
-        self.schedule.iter().any(|s| !s.is_empty()) || !self.panics.is_empty()
+        self.schedule.iter().any(|s| !s.is_empty())
+            || !self.panics.is_empty()
+            || !self.lose_sched.is_empty()
+            || !self.join_sched.is_empty()
+    }
+
+    /// Does the schedule contain device loss/join events?
+    pub fn has_pool_events(&self) -> bool {
+        !self.lose_sched.is_empty() || !self.join_sched.is_empty()
+    }
+
+    /// A fresh injector with the *same schedule* but zeroed occurrence
+    /// counters and an empty dead set. This is how a service scopes one
+    /// shared schedule per job: each job runs against its own fork, so
+    /// "fail the 2nd HtoD" means the job's own 2nd HtoD regardless of
+    /// queue order.
+    pub fn fork(&self) -> FaultInjector {
+        FaultInjector {
+            schedule: self.schedule.clone(),
+            counters: Default::default(),
+            panics: self.panics.clone(),
+            worker_batches: Mutex::new(BTreeMap::new()),
+            injected: AtomicUsize::new(0),
+            lose_sched: self.lose_sched.clone(),
+            join_sched: self.join_sched.clone(),
+            pool: Mutex::new(PoolState::default()),
+        }
+    }
+
+    /// Record one device operation targeting `gpu`, applying any
+    /// scheduled loss/join transitions, and fail with
+    /// [`CudaError::DeviceLost`] if the device is (now) dead.
+    ///
+    /// Joins are keyed on the pool-wide operation count and are applied
+    /// *before* the liveness check, so a revived device serves the very
+    /// operation that observed the join.
+    ///
+    /// # Errors
+    ///
+    /// [`CudaError::DeviceLost`] while `gpu` is marked dead.
+    pub fn device_op(&self, gpu: usize) -> Result<(), CudaError> {
+        if self.lose_sched.is_empty() && self.join_sched.is_empty() {
+            return Ok(());
+        }
+        let mut st = self.pool.lock().unwrap_or_else(|e| e.into_inner());
+        st.global += 1;
+        let global = st.global;
+        for (i, &(g, nth)) in self.join_sched.iter().enumerate() {
+            if nth <= global && st.applied_join.insert(i) {
+                st.lost.remove(&g);
+            }
+        }
+        let on_gpu = {
+            let c = st.per_gpu.entry(gpu).or_insert(0);
+            *c += 1;
+            *c
+        };
+        for (i, &(g, nth)) in self.lose_sched.iter().enumerate() {
+            if g == gpu && nth <= on_gpu && st.applied_lose.insert(i) {
+                st.lost.insert(g);
+                self.injected.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if st.lost.contains(&gpu) {
+            Err(CudaError::DeviceLost { gpu })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Is `gpu` currently marked dead?
+    pub fn is_lost(&self, gpu: usize) -> bool {
+        self.pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .lost
+            .contains(&gpu)
+    }
+
+    /// The GPUs currently marked dead, ascending.
+    pub fn lost_devices(&self) -> Vec<usize> {
+        self.pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .lost
+            .iter()
+            .copied()
+            .collect()
     }
 
     /// Record one occurrence of `site`; `Some(occurrence)` if the
@@ -287,6 +432,71 @@ mod tests {
         // Overwhelmingly likely to differ; if this ever flakes the seeds
         // simply collided and the assertion can use another pair.
         assert_ne!(a.schedule, c.schedule);
+    }
+
+    #[test]
+    fn device_loss_fires_at_nth_op_and_persists() {
+        let inj = FaultInjector::new().lose_device(1, 3);
+        assert!(inj.has_pool_events());
+        // Ops on GPU 0 never count against GPU 1's schedule.
+        assert!(inj.device_op(0).is_ok());
+        assert!(inj.device_op(1).is_ok());
+        assert!(inj.device_op(1).is_ok());
+        assert_eq!(inj.device_op(1), Err(CudaError::DeviceLost { gpu: 1 }));
+        assert!(inj.is_lost(1));
+        assert!(!inj.is_lost(0));
+        // Dead stays dead without a join.
+        assert_eq!(inj.device_op(1), Err(CudaError::DeviceLost { gpu: 1 }));
+        assert!(inj.device_op(0).is_ok());
+        assert_eq!(inj.lost_devices(), vec![1]);
+        assert_eq!(inj.injected(), 1);
+    }
+
+    #[test]
+    fn join_revives_a_lost_device() {
+        // Lose GPU 1 at its 1st op; revive it at the 4th pool-wide op.
+        let inj = FaultInjector::new().lose_device(1, 1).join_device(1, 4);
+        assert_eq!(inj.device_op(1), Err(CudaError::DeviceLost { gpu: 1 })); // global 1
+        assert_eq!(inj.device_op(1), Err(CudaError::DeviceLost { gpu: 1 })); // global 2
+        assert!(inj.device_op(0).is_ok()); // global 3
+        assert!(inj.device_op(1).is_ok()); // global 4: join applies first
+        assert!(!inj.is_lost(1));
+        assert!(inj.lost_devices().is_empty());
+    }
+
+    #[test]
+    fn fork_resets_counters_but_keeps_the_schedule() {
+        let inj = FaultInjector::new().fail_htod(2).lose_device(0, 2);
+        assert_eq!(inj.trip(FaultSite::HtoD), None);
+        assert_eq!(inj.trip(FaultSite::HtoD), Some(2));
+        assert!(inj.device_op(0).is_ok());
+        assert!(inj.device_op(0).is_err());
+        // The fork replays the same schedule from scratch.
+        let f = inj.fork();
+        assert!(f.is_armed());
+        assert_eq!(f.injected(), 0);
+        assert!(!f.is_lost(0));
+        assert_eq!(f.trip(FaultSite::HtoD), None);
+        assert_eq!(f.trip(FaultSite::HtoD), Some(2));
+        assert!(f.device_op(0).is_ok());
+        assert!(f.device_op(0).is_err());
+        // The original's state was not disturbed by the fork.
+        assert!(inj.is_lost(0));
+    }
+
+    #[test]
+    fn parse_pool_events() {
+        let inj = FaultInjector::parse("lose:1@2,join:1@5").unwrap();
+        assert!(inj.has_pool_events());
+        assert!(inj.device_op(1).is_ok()); // gpu1 op 1, global 1
+        assert!(inj.device_op(1).is_err()); // gpu1 op 2: lost
+        assert!(inj.device_op(0).is_ok()); // global 3
+        assert!(inj.device_op(0).is_ok()); // global 4
+        assert!(inj.device_op(1).is_ok()); // global 5: rejoined
+        assert!(matches!(
+            FaultInjector::parse("lose:1"),
+            Err(CudaError::BadFaultSpec { .. })
+        ));
     }
 
     #[test]

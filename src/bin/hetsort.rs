@@ -199,6 +199,11 @@ fn serve_sim(s: &ServeArgs) -> Result<(), CliError> {
     if !s.no_coalesce {
         cfg = cfg.with_coalescing(MIX_COALESCE_ELEMS);
     }
+    let pool_events = s.pool_events()?;
+    if !pool_events.is_empty() {
+        println!("chaos: {} pool event(s) scheduled", pool_events.len());
+        cfg = cfg.with_pool_events(pool_events);
+    }
     let jobs = synthetic_jobs(&platform, s.jobs, s.seed);
     let out = SortService::new(cfg).run(jobs);
 
@@ -220,6 +225,14 @@ fn serve_sim(s: &ServeArgs) -> Result<(), CliError> {
         out.shed.len(),
         out.failed.len()
     );
+    let losses = out.metrics.counter("pool_losses");
+    let joins = out.metrics.counter("pool_joins");
+    if losses > 0.0 || joins > 0.0 {
+        println!(
+            "pool churn: {losses:.0} loss(es), {joins:.0} join(s), {:.0} job(s) displaced and re-queued",
+            out.metrics.counter("jobs_displaced"),
+        );
+    }
     if out.makespan_s > 0.0 {
         println!(
             "makespan {:.6} s virtual — {:.1} MB sorted, {:.1} MB/s service throughput, {} admission decisions",

@@ -95,6 +95,9 @@ pub struct ServeArgs {
     pub pinned_budget: f64,
     /// Disable small-job coalescing.
     pub no_coalesce: bool,
+    /// Elastic-pool chaos schedule (`lose:G@T,join:G@T`, virtual
+    /// seconds), validated at parse time.
+    pub chaos: Option<String>,
     /// Write the service outcome as JSON to this path (`-` = stdout).
     pub json: Option<String>,
 }
@@ -109,6 +112,7 @@ impl Default for ServeArgs {
             device_budget: 1.0e6,
             pinned_budget: 1.0e6,
             no_coalesce: false,
+            chaos: None,
             json: None,
         }
     }
@@ -118,6 +122,15 @@ impl ServeArgs {
     /// Resolve the platform spec.
     pub fn platform_spec(&self) -> Result<PlatformSpec, CliError> {
         platform_by_key(&self.platform).map_err(CliError::Usage)
+    }
+
+    /// Resolve the `--chaos` schedule (empty when the flag is absent).
+    pub fn pool_events(&self) -> Result<Vec<hetsort_serve::PoolEvent>, CliError> {
+        match &self.chaos {
+            Some(spec) => hetsort_serve::parse_schedule(spec)
+                .map_err(|e| CliError::Usage(format!("bad --chaos schedule: {e}"))),
+            None => Ok(Vec::new()),
+        }
     }
 }
 
@@ -307,6 +320,12 @@ fn parse_inner(args: &[String]) -> Result<Command, String> {
                         s.pinned_budget = parse_count(need("--pinned-budget")?)? as f64
                     }
                     "--no-coalesce" => s.no_coalesce = true,
+                    "--chaos" => {
+                        let spec = need("--chaos")?.clone();
+                        hetsort_serve::parse_schedule(&spec)
+                            .map_err(|e| format!("bad --chaos schedule: {e}"))?;
+                        s.chaos = Some(spec);
+                    }
                     "--json" => s.json = Some(need("--json")?.clone()),
                     other => return Err(format!("unknown option '{other}'")),
                 }
@@ -396,7 +415,8 @@ USAGE:
   hetsort trace     --chrome out.json [--real] [... same options]
   hetsort serve-sim [--jobs 150] [--seed 42] [--platform p1|p2]
                     [--queue-cap 24] [--device-budget 1e6]
-                    [--pinned-budget 1e6] [--no-coalesce] [--json PATH]
+                    [--pinned-budget 1e6] [--no-coalesce]
+                    [--chaos SPEC] [--json PATH]
   hetsort platforms
   hetsort help
 
@@ -447,13 +467,21 @@ MULTI-TENANT SERVICE:
   --device-budget B  per-GPU resident-bytes cap across jobs in flight
   --pinned-budget B  total pinned-staging cap across jobs in flight
   --no-coalesce      admit every job under its own reservation
+  --chaos SPEC       elastic-pool schedule in virtual seconds, e.g.
+                     'lose:1@0.004,join:1@0.02': a lost GPU displaces
+                     and re-queues in-flight jobs (typed sheds only
+                     when nothing can ever fit); a join restores
+                     capacity at the next admission scan
 
 FAULT INJECTION (sort only):
   --faults SPEC      deterministic fault schedule, e.g. 'oom:1,htod:3':
                      oom:K fails the K-th device allocation, htod:K /
                      dtoh:K the K-th transfer, sort:K the K-th device
                      sort, panic:W@K kills stream worker W at its K-th
-                     batch (parallel executor only)
+                     batch (parallel executor only), lose:G@N loses
+                     GPU G at its N-th device op (persistent; the
+                     executors re-plan onto the survivors), join:G@N
+                     revives it at the N-th global op
   --retries K        retry budget for transient transfer faults (default 2)
   --no-cpu-fallback  fail with a typed error instead of degrading a
                      broken batch to a host-side sort
@@ -618,6 +646,16 @@ mod tests {
         assert!(parse(&argv("serve-sim --jobs 0")).is_err());
         assert!(parse(&argv("serve-sim --frobnicate")).is_err());
         assert!(parse(&argv("serve-sim --jobs")).is_err());
+
+        let Command::ServeSim(s) =
+            parse(&argv("serve-sim --chaos lose:1@0.004,join:1@0.02")).unwrap()
+        else {
+            panic!()
+        };
+        let evs = s.pool_events().unwrap();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].gpu, 1);
+        assert!(parse(&argv("serve-sim --chaos evict:1@2")).is_err());
     }
 
     #[test]
