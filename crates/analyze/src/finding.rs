@@ -26,6 +26,21 @@ pub enum FindingClass {
     /// Structural plan defects: invariant violations, merge-tree
     /// malformation, pair-count heuristic mismatch.
     Malformed,
+    /// A buffer is accessed after it was freed (and not re-allocated).
+    UseAfterFree,
+    /// A live-then-freed buffer is freed a second time.
+    DoubleFree,
+    /// A device or pinned allocation is never freed by a trace that
+    /// otherwise releases its buffers.
+    Leak,
+    /// An interleaving of reserve/release/lose/join overcommits a
+    /// device or pinned budget, strands a reservation on a dead
+    /// device, or leaks reservations past quiescence.
+    Budget,
+    /// A device-loss recovery round fails to exactly partition the
+    /// unfinished work: a batch is dropped, double-sorted, or the
+    /// survivor plan re-tiles the checkpointed runs.
+    ReplanCover,
 }
 
 impl FindingClass {
@@ -37,6 +52,11 @@ impl FindingClass {
             FindingClass::Deadlock => "deadlock",
             FindingClass::Oom => "oom",
             FindingClass::Malformed => "malformed",
+            FindingClass::UseAfterFree => "use-after-free",
+            FindingClass::DoubleFree => "double-free",
+            FindingClass::Leak => "leak",
+            FindingClass::Budget => "budget",
+            FindingClass::ReplanCover => "replan-cover",
         }
     }
 }

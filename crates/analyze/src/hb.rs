@@ -99,6 +99,9 @@ pub fn check_trace(trace: &OpTrace, gpu_capacity: Option<&[f64]>) -> Vec<Finding
         }
     }
     let mut live: HashMap<ExactKey, (usize, f64)> = HashMap::new();
+    // Freed (and not since re-allocated) buffers: key → freeing record.
+    let mut freed: HashMap<ExactKey, usize> = HashMap::new();
+    let mut saw_free = false;
     let mut dev_used: HashMap<usize, f64> = HashMap::new();
     let mut history: HashMap<CoarseKey, Vec<Past>> = HashMap::new();
 
@@ -158,6 +161,8 @@ pub fn check_trace(trace: &OpTrace, gpu_capacity: Option<&[f64]>) -> Vec<Finding
             TraceKind::Alloc { buf, bytes } => {
                 clocks[t][t] += 1;
                 if let Some(key) = exact(buf) {
+                    // Re-allocation makes the identity live again.
+                    freed.remove(&key);
                     if let Some((prev, _)) = live.insert(key, (i, *bytes)) {
                         findings.push(Finding {
                             class: FindingClass::Aliasing,
@@ -196,8 +201,10 @@ pub fn check_trace(trace: &OpTrace, gpu_capacity: Option<&[f64]>) -> Vec<Finding
             }
             TraceKind::Free { buf } => {
                 clocks[t][t] += 1;
+                saw_free = true;
                 match exact(buf).map(|key| (key, live.remove(&key))) {
                     Some((key, Some((_, bytes)))) => {
+                        freed.insert(key, i);
                         if let ExactKey::Dev(gpu, _) = key {
                             if let Some(used) = dev_used.get_mut(&gpu) {
                                 *used -= bytes;
@@ -228,11 +235,36 @@ pub fn check_trace(trace: &OpTrace, gpu_capacity: Option<&[f64]>) -> Vec<Finding
                             }
                         }
                     }
-                    _ => findings.push(Finding {
+                    Some((key, None)) => match freed.get(&key) {
+                        Some(&fi) => findings.push(Finding {
+                            class: FindingClass::DoubleFree,
+                            code: "double-free",
+                            message: format!(
+                                "`{}` (thread {t}) frees {} again — `{}` (thread {}) \
+                                 already freed it",
+                                r.label,
+                                buf.short(),
+                                trace.records[fi].label,
+                                trace.records[fi].thread
+                            ),
+                            ops: vec![r.label.clone(), trace.records[fi].label.clone()],
+                        }),
+                        None => findings.push(Finding {
+                            class: FindingClass::Malformed,
+                            code: "free-dead",
+                            message: format!(
+                                "`{}` (thread {t}) frees {}, which was never allocated",
+                                r.label,
+                                buf.short()
+                            ),
+                            ops: vec![r.label.clone()],
+                        }),
+                    },
+                    None => findings.push(Finding {
                         class: FindingClass::Malformed,
                         code: "free-dead",
                         message: format!(
-                            "`{}` (thread {t}) frees {}, which is not live",
+                            "`{}` (thread {t}) frees {}, which is not an allocation",
                             r.label,
                             buf.short()
                         ),
@@ -243,6 +275,21 @@ pub fn check_trace(trace: &OpTrace, gpu_capacity: Option<&[f64]>) -> Vec<Finding
             TraceKind::Op { accesses } => {
                 clocks[t][t] += 1;
                 for a in accesses {
+                    if let Some(fi) = exact(&a.buf).and_then(|k| freed.get(&k)) {
+                        findings.push(Finding {
+                            class: FindingClass::UseAfterFree,
+                            code: "use-after-free",
+                            message: format!(
+                                "`{}` (thread {t}) {} {} after `{}` (thread {}) freed it",
+                                r.label,
+                                rw(a.write),
+                                a.buf.short(),
+                                trace.records[*fi].label,
+                                trace.records[*fi].thread
+                            ),
+                            ops: vec![r.label.clone(), trace.records[*fi].label.clone()],
+                        });
+                    }
                     let key = coarse(&a.buf);
                     let entry = history.entry(key).or_default();
                     // At most one race report per conflicting thread per
@@ -293,6 +340,27 @@ pub fn check_trace(trace: &OpTrace, gpu_capacity: Option<&[f64]>) -> Vec<Finding
                     });
                 }
             }
+        }
+    }
+    // Leak check, gated on the trace actually releasing buffers:
+    // plan-lowered and executor traces free what they allocate, so a
+    // survivor in `live` is a leak there; recorder-style traces with
+    // no Free records at all (e.g. VirtualCuda logs) opt out.
+    if saw_free {
+        let mut leaked: Vec<&(usize, f64)> = live.values().collect();
+        leaked.sort_by_key(|(rec, _)| *rec);
+        for (rec, _) in leaked {
+            let r = &trace.records[*rec];
+            findings.push(Finding {
+                class: FindingClass::Leak,
+                code: "leaked-alloc",
+                message: format!(
+                    "`{}` (thread {}) is never freed, though the trace frees its \
+                     other buffers — the allocation outlives the schedule",
+                    r.label, r.thread
+                ),
+                ops: vec![r.label.clone()],
+            });
         }
     }
     findings
@@ -427,6 +495,99 @@ mod tests {
         let fs = check_trace(&tr, None);
         assert_eq!(fs.len(), 1);
         assert_eq!(fs[0].class, FindingClass::Malformed);
+    }
+
+    #[test]
+    fn use_after_free_double_free_and_leak_are_typed() {
+        // alloc a, alloc b, free a, read a (UAF), free a (double),
+        // b never freed (leak).
+        let mut tr = OpTrace::new(1);
+        tr.push(
+            0,
+            "alloc a",
+            TraceKind::Alloc {
+                buf: dev(0),
+                bytes: 1.0,
+            },
+        );
+        tr.push(
+            0,
+            "alloc b",
+            TraceKind::Alloc {
+                buf: dev(1),
+                bytes: 1.0,
+            },
+        );
+        tr.push(0, "free a", TraceKind::Free { buf: dev(0) });
+        tr.push(
+            0,
+            "stale read",
+            TraceKind::Op {
+                accesses: vec![Access::read(dev(0))],
+            },
+        );
+        tr.push(0, "free a again", TraceKind::Free { buf: dev(0) });
+        let fs = check_trace(&tr, None);
+        assert!(
+            fs.iter()
+                .any(|f| f.class == FindingClass::UseAfterFree && f.code == "use-after-free"),
+            "{fs:?}"
+        );
+        assert!(
+            fs.iter()
+                .any(|f| f.class == FindingClass::DoubleFree && f.code == "double-free"),
+            "{fs:?}"
+        );
+        assert!(
+            fs.iter().any(|f| f.class == FindingClass::Leak
+                && f.code == "leaked-alloc"
+                && f.ops == vec!["alloc b".to_string()]),
+            "{fs:?}"
+        );
+    }
+
+    #[test]
+    fn realloc_after_free_is_clean_and_freeless_traces_skip_leak_lint() {
+        let mut tr = OpTrace::new(1);
+        tr.push(
+            0,
+            "alloc",
+            TraceKind::Alloc {
+                buf: dev(0),
+                bytes: 1.0,
+            },
+        );
+        tr.push(0, "free", TraceKind::Free { buf: dev(0) });
+        tr.push(
+            0,
+            "realloc",
+            TraceKind::Alloc {
+                buf: dev(0),
+                bytes: 1.0,
+            },
+        );
+        tr.push(
+            0,
+            "use",
+            TraceKind::Op {
+                accesses: vec![Access::write(dev(0))],
+            },
+        );
+        tr.push(0, "free 2", TraceKind::Free { buf: dev(0) });
+        assert!(check_trace(&tr, None).is_empty());
+
+        // A trace that never frees anything (recorder-style) is not a
+        // leak — the lint is gated on the trace releasing buffers.
+        let mut rec = OpTrace::new(1);
+        rec.push(
+            0,
+            "alloc",
+            TraceKind::Alloc {
+                buf: dev(0),
+                bytes: 1.0,
+            },
+        );
+        assert!(check_trace(&rec, None).is_empty());
     }
 
     #[test]

@@ -15,31 +15,52 @@
 //!    `event_record`/`stream_wait_event`/`device_synchronize` edges —
 //!    reporting any conflicting access pair the schedule leaves
 //!    unordered, plus event-discipline violations (waits on unrecorded
-//!    or not-yet-recorded events, i.e. wait-graph cycles).
+//!    or not-yet-recorded events, i.e. wait-graph cycles), buffer
+//!    lifetimes (use-after-free, double-free, leaked allocations),
+//!    and (with capacities) device over-subscription.
+//! 3. **Schedule-space explorer** ([`explore`]): stateless model
+//!    checking with persistent-set DPOR + sleep sets over
+//!    `enabled()`/`step()` scheduler models — every reachable
+//!    interleaving of a lowered trace ([`trace_model`]), of the MT
+//!    coordinator's checkpoint/re-plan recovery ([`replan_model`]),
+//!    and (via `hetsort-serve`) of the admission state machine. The
+//!    HB checker runs on every explored linearization, plus three
+//!    interleaving-only invariants: reachable deadlock, budget
+//!    safety, and replan cover.
 //!
 //! Traces come from two producers: [`lower_plan`](hetsort_core::optrace)
 //! derives the static trace from a plan; the executors (with
 //! `record_trace` set) and `hetsort-vgpu`'s `VirtualCuda` record the
 //! trace of what actually ran, recovery detours included.
 //!
-//! The analyzer's recall is mutation-tested: [`Mutant`] seeds ten
-//! defect classes and the suite in `tests/mutation.rs` fails if any
-//! goes unreported with the right [`FindingClass`].
+//! The analyzer's recall is mutation-tested: [`Mutant`] seeds the
+//! trace/plan defect classes, [`ExploreMutant`] the model-level ones,
+//! and the suites in `tests/` fail if any goes unreported with the
+//! right [`FindingClass`].
 
 // Library code must surface failures as typed errors, never panic
 // paths; tests are free to unwrap. No unsafe anywhere in this crate.
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+// Truncating `as` casts hide overflow bugs at paper-scale inputs;
+// insist on checked conversions.
+#![warn(clippy::cast_possible_truncation)]
 
+pub mod explore;
 pub mod finding;
 pub mod hb;
 pub mod mutate;
+pub mod replan_model;
 pub mod residency;
 pub mod static_lint;
+pub mod trace_model;
 
+pub use explore::{explore, AdmissionDefect, ExploreConfig, ExploreReport, SchedModel};
 pub use finding::{AnalysisReport, Finding, FindingClass};
-pub use mutate::Mutant;
+pub use mutate::{ExploreMutant, Mutant};
+pub use replan_model::{ReplanDefect, ReplanModel};
 pub use residency::Residency;
+pub use trace_model::{explore_plan, explore_plan_trace, TraceModel};
 
 use hetsort_core::optrace::lower_plan;
 use hetsort_core::plan::Plan;

@@ -46,11 +46,17 @@ pub enum Mutant {
     /// Break the PIPEMERGE pair-count heuristic (the plan no longer
     /// matches `⌊(n_b−1)/2^n_GPU⌋` for its platform).
     BreakPairCount,
+    /// Remove one buffer's epilogue free — the allocation leaks.
+    DropFree,
+    /// Free the same buffer twice.
+    DoubleFree,
+    /// Hoist a free above later uses of its buffer.
+    UseAfterFree,
 }
 
 impl Mutant {
     /// Every mutant, in a stable order.
-    pub const ALL: [Mutant; 10] = [
+    pub const ALL: [Mutant; 13] = [
         Mutant::DropWait,
         Mutant::DropEventRecord,
         Mutant::AliasPinned,
@@ -61,6 +67,9 @@ impl Mutant {
         Mutant::DuplicateMergeInput,
         Mutant::DropMergeInput,
         Mutant::BreakPairCount,
+        Mutant::DropFree,
+        Mutant::DoubleFree,
+        Mutant::UseAfterFree,
     ];
 
     /// Display name.
@@ -76,6 +85,9 @@ impl Mutant {
             Mutant::DuplicateMergeInput => "duplicate-merge-input",
             Mutant::DropMergeInput => "drop-merge-input",
             Mutant::BreakPairCount => "break-pair-count",
+            Mutant::DropFree => "drop-free",
+            Mutant::DoubleFree => "double-free",
+            Mutant::UseAfterFree => "use-after-free",
         }
     }
 
@@ -89,6 +101,9 @@ impl Mutant {
             Mutant::DuplicateMergeInput | Mutant::DropMergeInput | Mutant::BreakPairCount => {
                 FindingClass::Malformed
             }
+            Mutant::DropFree => FindingClass::Leak,
+            Mutant::DoubleFree => FindingClass::DoubleFree,
+            Mutant::UseAfterFree => FindingClass::UseAfterFree,
         }
     }
 
@@ -250,6 +265,160 @@ impl Mutant {
                 let after = plan.config.pipelined_pair_merges(nb);
                 before != after
             }
+            Mutant::DropFree => {
+                // Removing the *only* free would also disable the leak
+                // lint (freeless traces opt out), so require two.
+                let frees: Vec<usize> = trace
+                    .records
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| matches!(r.kind, TraceKind::Free { .. }))
+                    .map(|(i, _)| i)
+                    .collect();
+                if frees.len() < 2 {
+                    return false;
+                }
+                trace.records.remove(frees[0]);
+                true
+            }
+            Mutant::DoubleFree => {
+                let Some(i) = trace
+                    .records
+                    .iter()
+                    .position(|r| matches!(r.kind, TraceKind::Free { .. }))
+                else {
+                    return false;
+                };
+                let dup = trace.records[i].clone();
+                trace.records.insert(i + 1, dup);
+                true
+            }
+            Mutant::UseAfterFree => {
+                // Move some buffer's free to just after its first use,
+                // so every later use touches freed memory.
+                let frees: Vec<(usize, Buffer)> = trace
+                    .records
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, r)| match &r.kind {
+                        TraceKind::Free { buf } => Some((i, *buf)),
+                        _ => None,
+                    })
+                    .collect();
+                for (fi, buf) in frees {
+                    let uses: Vec<usize> = trace
+                        .records
+                        .iter()
+                        .enumerate()
+                        .take(fi)
+                        .filter(|(_, r)| match &r.kind {
+                            TraceKind::Op { accesses } => accesses.iter().any(|a| a.buf == buf),
+                            _ => false,
+                        })
+                        .map(|(i, _)| i)
+                        .collect();
+                    if uses.len() < 2 {
+                        continue;
+                    }
+                    let rec = trace.records.remove(fi);
+                    trace.records.insert(uses[0] + 1, rec);
+                    return true;
+                }
+                false
+            }
+        }
+    }
+}
+
+/// A seeded defect in the *models* the schedule-space explorer drives
+/// (recovery coordinator, admission state machine) rather than in a
+/// plan/trace pair. The explorer-targeted half of the kill-suite: each
+/// variant names the [`FindingClass`] exploration must report.
+///
+/// The recovery-side variants build on [`crate::replan_model`]; the
+/// admission-side variants carry an [`AdmissionDefect`] that
+/// `hetsort-serve`'s admission model implements (serve depends on this
+/// crate, so the model lives there). `tests/explore_mutation.rs` kills
+/// the former, serve's `tests/explore_admission.rs` the latter; the
+/// two subsets partition [`ExploreMutant::ALL`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExploreMutant {
+    /// The coordinator re-plans without reading the checkpoint:
+    /// completed batches are sorted again.
+    DropCheckpoint,
+    /// The first unfinished batch is dropped from the recovery set.
+    DropRecoveryBatch,
+    /// The recovery path loses a `stream_wait_event`: the survivor
+    /// plan's consumer runs unordered with its producer.
+    DropRecoveryWait,
+    /// `release` subtracts a reservation's footprint twice.
+    DoubleRelease,
+    /// The controller skips its empty-state round-off reset.
+    NoDrainReset,
+    /// Displaced reservations are re-queued without being released.
+    SkipDisplaceRelease,
+}
+
+impl ExploreMutant {
+    /// Every explorer-targeted mutant, in a stable order.
+    pub const ALL: [ExploreMutant; 6] = [
+        ExploreMutant::DropCheckpoint,
+        ExploreMutant::DropRecoveryBatch,
+        ExploreMutant::DropRecoveryWait,
+        ExploreMutant::DoubleRelease,
+        ExploreMutant::NoDrainReset,
+        ExploreMutant::SkipDisplaceRelease,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExploreMutant::DropCheckpoint => "drop-checkpoint",
+            ExploreMutant::DropRecoveryBatch => "drop-recovery-batch",
+            ExploreMutant::DropRecoveryWait => "drop-recovery-wait",
+            ExploreMutant::DoubleRelease => "double-release",
+            ExploreMutant::NoDrainReset => "no-drain-reset",
+            ExploreMutant::SkipDisplaceRelease => "skip-displace-release",
+        }
+    }
+
+    /// The finding class exploration must report for this defect.
+    pub fn expected_class(&self) -> FindingClass {
+        match self {
+            ExploreMutant::DropCheckpoint | ExploreMutant::DropRecoveryBatch => {
+                FindingClass::ReplanCover
+            }
+            ExploreMutant::DropRecoveryWait => FindingClass::MissingSync,
+            ExploreMutant::DoubleRelease | ExploreMutant::SkipDisplaceRelease => {
+                FindingClass::Budget
+            }
+            ExploreMutant::NoDrainReset => FindingClass::Deadlock,
+        }
+    }
+
+    /// The recovery-coordinator defect this mutant seeds, if any.
+    pub fn replan_defect(&self) -> Option<crate::replan_model::ReplanDefect> {
+        match self {
+            ExploreMutant::DropCheckpoint => {
+                Some(crate::replan_model::ReplanDefect::DropCheckpoint)
+            }
+            ExploreMutant::DropRecoveryBatch => {
+                Some(crate::replan_model::ReplanDefect::DropRecoveryBatch)
+            }
+            _ => None,
+        }
+    }
+
+    /// The admission-controller defect this mutant seeds, if any
+    /// (implemented by `hetsort-serve`'s admission model).
+    pub fn admission_defect(&self) -> Option<crate::explore::AdmissionDefect> {
+        match self {
+            ExploreMutant::DoubleRelease => Some(crate::explore::AdmissionDefect::DoubleRelease),
+            ExploreMutant::NoDrainReset => Some(crate::explore::AdmissionDefect::NoDrainReset),
+            ExploreMutant::SkipDisplaceRelease => {
+                Some(crate::explore::AdmissionDefect::SkipDisplaceRelease)
+            }
+            _ => None,
         }
     }
 }
@@ -261,12 +430,46 @@ mod tests {
     #[test]
     fn every_class_is_covered() {
         use FindingClass::*;
-        for class in [MissingSync, Aliasing, Deadlock, Oom, Malformed] {
+        for class in [
+            MissingSync,
+            Aliasing,
+            Deadlock,
+            Oom,
+            Malformed,
+            UseAfterFree,
+            DoubleFree,
+            Leak,
+        ] {
             assert!(
                 Mutant::ALL.iter().any(|m| m.expected_class() == class),
                 "no mutant seeds {class:?}"
             );
         }
+        // The interleaving-only classes are seeded by the explorer
+        // mutants instead.
+        for class in [Budget, ReplanCover, Deadlock, MissingSync] {
+            assert!(
+                ExploreMutant::ALL
+                    .iter()
+                    .any(|m| m.expected_class() == class),
+                "no explorer mutant seeds {class:?}"
+            );
+        }
         assert!(Mutant::ALL.len() >= 8);
+    }
+
+    #[test]
+    fn explorer_mutants_partition_between_replan_and_admission() {
+        // The analyze-side kill test handles every mutant without an
+        // admission defect; serve's kill test handles the rest. Make
+        // sure nothing falls through the crack between the two suites.
+        let (serve, analyze): (Vec<&ExploreMutant>, Vec<&ExploreMutant>) = ExploreMutant::ALL
+            .iter()
+            .partition(|m| m.admission_defect().is_some());
+        assert_eq!(serve.len(), 3, "{serve:?}");
+        assert_eq!(analyze.len(), 3, "{analyze:?}");
+        assert!(analyze
+            .iter()
+            .all(|m| m.replan_defect().is_some() || **m == ExploreMutant::DropRecoveryWait));
     }
 }

@@ -397,11 +397,13 @@ impl HetSortConfig {
         if self.approach != Approach::PipeMerge || nb < 2 {
             return 0;
         }
-        let ngpu = self.platform.n_gpus().max(1) as u32;
+        let ngpu = u32::try_from(self.platform.n_gpus().max(1)).unwrap_or(u32::MAX);
         if ngpu == 1 {
             (nb - 1) / 2
         } else {
-            (nb - 1) / 2usize.pow(ngpu)
+            // 2^n_GPU overflows usize from 64 GPUs up; the heuristic's
+            // value there is ⌊(n_b−1)/2^huge⌋ = 0, not a panic.
+            2usize.checked_pow(ngpu).map_or(0, |div| (nb - 1) / div)
         }
     }
 
@@ -420,6 +422,10 @@ impl HetSortConfig {
                 "elem_bytes must be a positive integer number of bytes, got {b}"
             )));
         }
+        // Float→int `as` saturates rather than truncates, and the
+        // guard above already rejected non-integers; an absurd width
+        // like 1e30 saturates to usize::MAX and fails the allow-list
+        // check below with a typed error.
         let w = b as usize;
         if !SUPPORTED_ELEM_BYTES.contains(&w) {
             return Err(HetSortError::config(format!(

@@ -161,13 +161,14 @@ where
     let mut w = vec![T::default(); if nb > 1 { n } else { 0 }];
     let mut b_out = vec![T::default(); n];
     let mut pair_out: Vec<Vec<T>> = (0..plan.pairs.len()).map(|_| Vec::new()).collect();
-    let merge_threads = cfg.merge_threads_eff() as usize;
+    let merge_threads = usize::try_from(cfg.merge_threads_eff()).unwrap_or(usize::MAX);
     // Cap the functional thread count at this machine's parallelism ×4:
     // simulated platforms may have more cores than the host.
     let host_threads = merge_threads.min(4 * hetsort_algos::par::default_threads());
     let device_sort_threads = hetsort_algos::par::default_threads();
-    let memcpy_threads =
-        (cfg.memcpy_threads_eff() as usize).min(4 * hetsort_algos::par::default_threads());
+    let memcpy_threads = usize::try_from(cfg.memcpy_threads_eff())
+        .unwrap_or(usize::MAX)
+        .min(4 * hetsort_algos::par::default_threads());
     let sched = cfg.sched_cfg();
 
     // --- Phase 1: stream passes produce the sorted runs in `w` (or

@@ -147,8 +147,9 @@ where
     let input_fp = fingerprint(data);
     let injected_before = plan.config.faults.as_ref().map_or(0, |i| i.injected());
     let t0 = std::time::Instant::now();
-    let merge_threads =
-        (plan.config.merge_threads_eff() as usize).min(4 * hetsort_algos::par::default_threads());
+    let merge_threads = usize::try_from(plan.config.merge_threads_eff())
+        .unwrap_or(usize::MAX)
+        .min(4 * hetsort_algos::par::default_threads());
     let device_sort_threads = hetsort_algos::par::default_threads();
     let sched = plan.config.sched_cfg();
 

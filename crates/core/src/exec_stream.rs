@@ -108,7 +108,8 @@ where
         device_sort_threads: usize,
         t0: Instant,
     ) -> Self {
-        let memcpy_threads = (plan.config.memcpy_threads_eff() as usize)
+        let memcpy_threads = usize::try_from(plan.config.memcpy_threads_eff())
+            .unwrap_or(usize::MAX)
             .min(4 * hetsort_algos::par::default_threads());
         StreamExec {
             plan,

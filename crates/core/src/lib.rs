@@ -46,7 +46,7 @@ pub mod exec_sim;
 pub(crate) mod exec_stream;
 pub mod optrace;
 pub mod plan;
-pub(crate) mod recover;
+pub mod recover;
 pub mod reference;
 pub mod report;
 

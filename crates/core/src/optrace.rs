@@ -224,6 +224,9 @@ pub fn trace_with_accesses(plan: &Plan, overrides: &[Option<Vec<Access>>]) -> Op
     }
 
     let mut trace = OpTrace::new(host + 1);
+    // Buffers allocated during lowering, with their owning thread —
+    // each stream releases its own buffers in the epilogue below.
+    let mut alloced: Vec<(usize, Buffer)> = Vec::new();
     let mut dev_alloced = vec![false; plan.total_streams];
     let dev_bytes = plan.config.device_sort.mem_factor()
         * plan.config.elem_bytes
@@ -250,6 +253,7 @@ pub fn trace_with_accesses(plan: &Plan, overrides: &[Option<Vec<Access>>]) -> Op
                 } else {
                     pinned_out_id(plan.asynchronous, *stream)
                 };
+                alloced.push((th, Buffer::Pinned { id }));
                 trace.push(
                     th,
                     step_label(plan, si),
@@ -266,6 +270,7 @@ pub fn trace_with_accesses(plan: &Plan, overrides: &[Option<Vec<Access>>]) -> Op
                     let b = &plan.batches[*batch];
                     if !dev_alloced[b.stream] {
                         dev_alloced[b.stream] = true;
+                        alloced.push((th, dev_buf(plan, *batch)));
                         trace.push(
                             th,
                             format!("DevAlloc s{} (step {si})", b.stream),
@@ -290,6 +295,19 @@ pub fn trace_with_accesses(plan: &Plan, overrides: &[Option<Vec<Access>>]) -> Op
                 TraceKind::EventRecord { event: si },
             );
         }
+    }
+    // Epilogue: each stream frees its own buffers after its last op
+    // (the executors' sync-then-drop, made explicit so the analyzer's
+    // lifetime lints — leak, double-free, use-after-free — apply).
+    // Thread-local program order makes each free ordered after every
+    // op of the owning stream; the buffers are stream-private, so no
+    // cross-thread edge is needed.
+    for (th, buf) in alloced {
+        trace.push(
+            th,
+            format!("Free {} (epilogue)", buf.short()),
+            TraceKind::Free { buf },
+        );
     }
     trace
 }

@@ -22,7 +22,7 @@ use crate::error::HetSortError;
 use crate::plan::{Plan, StepKind};
 
 /// The batch a stream-bound step operates on, if any.
-pub(crate) fn step_batch(kind: &StepKind) -> Option<usize> {
+pub fn step_batch(kind: &StepKind) -> Option<usize> {
     match kind {
         StepKind::StageIn { batch, .. }
         | StepKind::HtoD { batch, .. }
@@ -44,10 +44,7 @@ pub(crate) fn step_batch(kind: &StepKind) -> Option<usize> {
 /// # Errors
 ///
 /// Propagates [`Plan::build`] / [`Plan::on_devices`] failures.
-pub(crate) fn survivor_plan(
-    base: &Plan,
-    lost: &BTreeSet<usize>,
-) -> Result<Option<Plan>, HetSortError> {
+pub fn survivor_plan(base: &Plan, lost: &BTreeSet<usize>) -> Result<Option<Plan>, HetSortError> {
     let surv: Vec<usize> = (0..base.config.platform.n_gpus())
         .filter(|g| !lost.contains(g))
         .collect();

@@ -44,12 +44,16 @@
 #![deny(missing_docs)]
 
 pub mod admission;
+pub mod admission_model;
 pub mod job;
 pub mod mix;
 pub mod pool;
 pub mod service;
 
 pub use admission::{footprint_max, AdmissionController, ServeBudget};
+pub use admission_model::{
+    clean_scenarios, gpu_footprint, AdmissionModel, AdmissionScenario, ModelJob,
+};
 pub use job::{JobReport, Priority, SortJob};
 pub use mix::{synthetic_jobs, MIX_COALESCE_ELEMS};
 pub use pool::{chaos_schedule, parse_schedule, PoolEvent, PoolEventKind};

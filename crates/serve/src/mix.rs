@@ -46,6 +46,11 @@ pub const MIX_COALESCE_ELEMS: usize = 2_000;
 /// Build `n_jobs` deterministic jobs for `platform` from `seed`.
 pub fn synthetic_jobs(platform: &PlatformSpec, n_jobs: usize, seed: u64) -> Vec<SortJob> {
     let mut rng = Rng::new(seed);
+    // Lossy by design: float→int `as` saturates, and any n_jobs big
+    // enough to lose precision through f64 (≥2^53) could never be
+    // materialized as jobs anyway. Do NOT switch to integer math —
+    // rounding differently would change the burst split, and with it
+    // every seeded mix and the benchmark gate built on them.
     let burst = ((n_jobs as f64 * BURST_FRACTION) as usize).max(1);
     let mut jobs = Vec::with_capacity(n_jobs);
     let mut arrival = 0.0_f64;

@@ -1014,8 +1014,11 @@ mod tests {
             let svc = SortService::new(cfg);
             let jobs: Vec<SortJob> = (0..6)
                 .map(|i| {
-                    SortJob::new(data(1_500 + 100 * i as usize, 50 + i), small_cfg())
-                        .arriving_at(0.001 * i as f64)
+                    SortJob::new(
+                        data(1_500 + 100 * usize::try_from(i).unwrap(), 50 + i),
+                        small_cfg(),
+                    )
+                    .arriving_at(0.001 * i as f64)
                 })
                 .collect();
             svc.run(jobs)

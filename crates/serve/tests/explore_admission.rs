@@ -1,0 +1,105 @@
+//! Mutation kill-suite for the admission half of the schedule-space
+//! explorer: every seeded [`AdmissionDefect`] must be caught, with
+//! the [`FindingClass`] the mutant declares, by exploring the
+//! scenario crafted to expose it. The suite fails if the explorer
+//! misses any — that is the recall guarantee the analyzer ships with.
+
+use hetsort_analyze::explore::{explore, AdmissionDefect, ExploreConfig};
+use hetsort_analyze::{ExploreMutant, FindingClass};
+use hetsort_serve::admission_model::{
+    scenario_equal_jobs, scenario_lose_join, scenario_roundoff, AdmissionModel, AdmissionScenario,
+};
+
+/// The scenario built to expose each admission defect.
+fn scenario_for(defect: AdmissionDefect) -> AdmissionScenario {
+    match defect {
+        AdmissionDefect::DoubleRelease => scenario_equal_jobs(Some(defect)),
+        AdmissionDefect::NoDrainReset => scenario_roundoff(Some(defect)),
+        AdmissionDefect::SkipDisplaceRelease => scenario_lose_join(Some(defect)),
+    }
+}
+
+#[test]
+fn every_admission_mutant_is_killed_with_its_declared_class() {
+    let admission_mutants: Vec<&ExploreMutant> = ExploreMutant::ALL
+        .iter()
+        .filter(|m| m.admission_defect().is_some())
+        .collect();
+    assert_eq!(
+        admission_mutants.len(),
+        3,
+        "serve-side kill-suite must cover every admission mutant"
+    );
+    for mutant in admission_mutants {
+        let defect = mutant.admission_defect().unwrap();
+        let mut model = AdmissionModel::new(scenario_for(defect));
+        let report = explore(&mut model, &ExploreConfig::default());
+        assert!(
+            !report.truncated,
+            "{}: must explore exhaustively",
+            mutant.name()
+        );
+        let expected = mutant.expected_class();
+        let caught = report.findings.iter().any(|f| f.class == expected);
+        assert!(
+            caught,
+            "{}: explorer missed the seeded defect — expected a {} finding, got {:?}",
+            mutant.name(),
+            expected.name(),
+            report.findings
+        );
+    }
+}
+
+#[test]
+fn no_drain_reset_deadlock_is_interleaving_dependent() {
+    // The round-off residue only accumulates when job 1's and job 2's
+    // releases interleave without an intervening empty state; the
+    // serialized schedules cancel exactly. So the defective model
+    // must report a reachable deadlock while still completing *some*
+    // traces cleanly — evidence the bug hides from any single-order
+    // test and needs exhaustive exploration.
+    let mut model = AdmissionModel::new(scenario_roundoff(Some(AdmissionDefect::NoDrainReset)));
+    let report = explore(&mut model, &ExploreConfig::default());
+    let deadlocks = report
+        .findings
+        .iter()
+        .filter(|f| f.class == FindingClass::Deadlock)
+        .count();
+    assert!(deadlocks >= 1, "{}", report.summary());
+    assert!(
+        report.traces > deadlocks,
+        "some interleavings must still complete: {}",
+        report.summary()
+    );
+}
+
+#[test]
+fn double_release_overcommits_only_under_reuse() {
+    let mut model = AdmissionModel::new(scenario_equal_jobs(Some(AdmissionDefect::DoubleRelease)));
+    let report = explore(&mut model, &ExploreConfig::default());
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.class == FindingClass::Budget && f.code == "overcommit"),
+        "{}",
+        report.summary()
+    );
+}
+
+#[test]
+fn skipped_displacement_release_leaks_the_reservation() {
+    let mut model = AdmissionModel::new(scenario_lose_join(Some(
+        AdmissionDefect::SkipDisplaceRelease,
+    )));
+    let report = explore(&mut model, &ExploreConfig::default());
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.class == FindingClass::Budget),
+        "{}",
+        report.summary()
+    );
+}

@@ -335,6 +335,14 @@ impl FaultInjector {
             .collect()
     }
 
+    /// The GPUs this injector is *scheduled* to lose, in schedule
+    /// order (before any op has tripped them). Lets schedule-space
+    /// tools lift a fault spec into an explicit loss sequence without
+    /// running the executor.
+    pub fn scheduled_losses(&self) -> Vec<usize> {
+        self.lose_sched.iter().map(|&(gpu, _)| gpu).collect()
+    }
+
     /// Record one occurrence of `site`; `Some(occurrence)` if the
     /// schedule fails this one.
     pub fn trip(&self, site: FaultSite) -> Option<usize> {

@@ -1,11 +1,16 @@
 //! The `hetsort` command-line tool: simulate, sort, and visualize
 //! heterogeneous sorting pipelines. See `hetsort help`.
 
-use hetsort::analyze::{analyze_plan, analyze_plan_with_trace, AnalysisReport};
+use hetsort::analyze::{
+    analyze_plan, analyze_plan_with_trace, explore_plan, AnalysisReport, ExploreConfig, ReplanModel,
+};
 use hetsort::cli::{parse, CliError, Command, RunArgs, ServeArgs, USAGE};
 use hetsort::core::{Approach, HetSortConfig, HetSortError, PairStrategy, Plan};
 use hetsort::obs::{chrome_trace, Json, MetricsRegistry};
-use hetsort::serve::{synthetic_jobs, ServeBudget, ServeConfig, SortService, MIX_COALESCE_ELEMS};
+use hetsort::serve::{
+    clean_scenarios, synthetic_jobs, AdmissionModel, ServeBudget, ServeConfig, SortService,
+    MIX_COALESCE_ELEMS,
+};
 use hetsort::vgpu::{platform1, platform2};
 use hetsort::workloads::{generate, Distribution};
 
@@ -167,9 +172,21 @@ fn run(cmd: Command) -> Result<(), CliError> {
             );
         }
         Command::ServeSim(s) => serve_sim(&s)?,
-        Command::Analyze { run, matrix } => {
+        Command::Analyze {
+            run,
+            matrix,
+            explore,
+            max_ops,
+        } => {
+            let ecfg = match max_ops {
+                Some(m) => ExploreConfig::with_max_ops(m),
+                None => ExploreConfig::default(),
+            };
             if matrix {
                 analyze_matrix()?;
+                if explore {
+                    explore_matrix(&ecfg)?;
+                }
             } else {
                 let plan = Plan::build(run.config()?, run.n)?;
                 println!(
@@ -184,6 +201,9 @@ fn run(cmd: Command) -> Result<(), CliError> {
                 let report = analyze_plan(&plan);
                 print!("{report}");
                 require_clean(&plan, report, "static schedule")?;
+                if explore {
+                    explore_one(&plan, &ecfg)?;
+                }
             }
         }
     }
@@ -423,6 +443,108 @@ fn analyze_matrix() -> Result<(), CliError> {
         }));
     }
     println!("all {total} shipped configurations analyze clean");
+    Ok(())
+}
+
+/// Print one exploration report line (and its findings) and tally it.
+fn explore_verdict(report: &hetsort::analyze::ExploreReport, dirty: &mut usize) {
+    println!("{}", report.summary());
+    if !report.is_clean() {
+        *dirty += 1;
+        for f in &report.findings {
+            println!("  {f}");
+        }
+    }
+}
+
+/// Model-check one configured plan: exhaustively explore its lowered
+/// trace, and — when a fault spec schedules device losses — the
+/// checkpoint/re-plan coordinator racing those losses.
+fn explore_one(plan: &Plan, ecfg: &ExploreConfig) -> Result<(), CliError> {
+    let mut dirty = 0usize;
+    let report = explore_plan(plan, ecfg);
+    explore_verdict(&report, &mut dirty);
+
+    let losses: Vec<usize> = plan
+        .config
+        .faults
+        .as_ref()
+        .map(|f| f.scheduled_losses())
+        .unwrap_or_default();
+    if !losses.is_empty() {
+        let mut model = ReplanModel::new(plan.clone(), losses, None);
+        let report = hetsort::analyze::explore(&mut model, ecfg);
+        explore_verdict(&report, &mut dirty);
+    }
+    if dirty > 0 {
+        return Err(CliError::Run(HetSortError::Plan {
+            reason: "schedule-space exploration found defects".into(),
+        }));
+    }
+    Ok(())
+}
+
+/// Model-check the shipped matrix at small exhaustive geometry: every
+/// approach (PIPEMERGE with and without --par-memcpy) on both
+/// platforms, the recovery coordinator under single- and double-loss
+/// schedules, and the admission state machine's scenarios.
+fn explore_matrix(ecfg: &ExploreConfig) -> Result<(), CliError> {
+    let mut total = 0usize;
+    let mut dirty = 0usize;
+    println!("model-checking the schedule space (small exhaustive geometry):");
+    for platform in [platform1(), platform2()] {
+        let variants: Vec<(HetSortConfig, usize)> = [
+            Approach::BLine,
+            Approach::BLineMulti,
+            Approach::PipeData,
+            Approach::PipeMerge,
+        ]
+        .iter()
+        .map(|&a| {
+            let cfg = HetSortConfig::paper_defaults(platform.clone(), a)
+                .with_batch_elems(1000)
+                .with_pinned_elems(500);
+            let n = if a == Approach::BLine { 700 } else { 2500 };
+            (cfg, n)
+        })
+        .chain(std::iter::once((
+            HetSortConfig::paper_defaults(platform.clone(), Approach::PipeMerge)
+                .with_batch_elems(1000)
+                .with_pinned_elems(500)
+                .with_par_memcpy(),
+            2500,
+        )))
+        .collect();
+        for (cfg, n) in variants {
+            let plan = Plan::build(cfg, n)?;
+            total += 1;
+            explore_verdict(&explore_plan(&plan, ecfg), &mut dirty);
+        }
+    }
+    // Recovery coordinator: PIPEMERGE on PLATFORM2 racing a single
+    // loss of either GPU and the lose-everything schedule.
+    let cfg = HetSortConfig::paper_defaults(platform2(), Approach::PipeMerge)
+        .with_batch_elems(1000)
+        .with_pinned_elems(500);
+    let plan = Plan::build(cfg, 4500)?;
+    for faults in [vec![0], vec![1], vec![1, 0]] {
+        let mut model = ReplanModel::new(plan.clone(), faults, None);
+        total += 1;
+        explore_verdict(&hetsort::analyze::explore(&mut model, ecfg), &mut dirty);
+    }
+    // Admission state machine under its shipped scenarios (budget
+    // round-off, equal-job churn, lose→join displacement).
+    for scenario in clean_scenarios() {
+        let mut model = AdmissionModel::new(scenario);
+        total += 1;
+        explore_verdict(&hetsort::analyze::explore(&mut model, ecfg), &mut dirty);
+    }
+    if dirty > 0 {
+        return Err(CliError::Run(HetSortError::Plan {
+            reason: format!("{dirty} of {total} explored models have findings"),
+        }));
+    }
+    println!("all {total} explored models are clean");
     Ok(())
 }
 

@@ -58,6 +58,11 @@ pub enum Command {
         run: RunArgs,
         /// Analyze the whole shipped config matrix instead of one run.
         matrix: bool,
+        /// Also model-check the schedule space: explore every reachable
+        /// interleaving (DPOR) and re-check each one.
+        explore: bool,
+        /// Exploration op budget (`--max-ops`); `None` = default.
+        max_ops: Option<usize>,
     },
     /// Export a run's spans as Chrome-trace JSON.
     Trace {
@@ -343,6 +348,8 @@ fn parse_inner(args: &[String]) -> Result<Command, String> {
                 run.n = 2_000_000_000;
             }
             let mut matrix = false;
+            let mut explore = false;
+            let mut max_ops: Option<usize> = None;
             let mut chrome: Option<String> = None;
             let mut real = false;
             let mut it = args[1..].iter();
@@ -378,6 +385,10 @@ fn parse_inner(args: &[String]) -> Result<Command, String> {
                     "--analyze" => run.analyze = true,
                     "--json" => run.json = Some(need("--json")?.clone()),
                     "--matrix" if sub == "analyze" => matrix = true,
+                    "--explore" if sub == "analyze" => explore = true,
+                    "--max-ops" if sub == "analyze" => {
+                        max_ops = Some(parse_count(need("--max-ops")?)?)
+                    }
                     "--chrome" if sub == "trace" => chrome = Some(need("--chrome")?.clone()),
                     "--real" if sub == "trace" => real = true,
                     other => return Err(format!("unknown option '{other}'")),
@@ -386,7 +397,12 @@ fn parse_inner(args: &[String]) -> Result<Command, String> {
             Ok(match sub.as_str() {
                 "simulate" => Command::Simulate(run),
                 "sort" => Command::Sort(run),
-                "analyze" => Command::Analyze { run, matrix },
+                "analyze" => Command::Analyze {
+                    run,
+                    matrix,
+                    explore,
+                    max_ops,
+                },
                 "trace" => Command::Trace {
                     run,
                     chrome: chrome.ok_or("trace requires --chrome <path> (use '-' for stdout)")?,
@@ -411,7 +427,7 @@ USAGE:
   hetsort sort      [-n 1e6] [--seed 42] [--faults SPEC] [--retries K]
                     [--no-cpu-fallback] [... same options]
   hetsort gantt     [-n 2e9] [... same options]
-  hetsort analyze   [--matrix] [... same options]
+  hetsort analyze   [--matrix] [--explore [--max-ops N]] [... same options]
   hetsort trace     --chrome out.json [--real] [... same options]
   hetsort serve-sim [--jobs 150] [--seed 42] [--platform p1|p2]
                     [--queue-cap 24] [--device-budget 1e6]
@@ -450,6 +466,17 @@ ANALYSIS:
   --matrix           analyze every shipped configuration (approaches ×
                      pair strategies × both platforms); exit 1 on any
                      finding
+  --explore          model-check the schedule space: exhaustively
+                     explore every reachable interleaving of the
+                     lowered trace (persistent-set DPOR + sleep sets),
+                     re-running the happens-before checker per trace
+                     and checking reachable-deadlock, budget-safety,
+                     and replan-cover invariants; with --faults, also
+                     explores the checkpoint/re-plan coordinator, and
+                     with --matrix sweeps approaches × platforms ×
+                     loss schedules × admission scenarios
+  --max-ops N        exploration op budget (default 1e6 per model);
+                     hitting it is reported as TRUNCATED, never silent
   --analyze          (on simulate/sort) run the same verification
                      before executing; sort additionally re-checks the
                      executed trace, recovery detours included
@@ -600,19 +627,35 @@ mod tests {
 
     #[test]
     fn parse_analyze() {
-        let Command::Analyze { run, matrix } =
-            parse(&argv("analyze --matrix -a pipedata")).unwrap()
+        let Command::Analyze {
+            run,
+            matrix,
+            explore,
+            max_ops,
+        } = parse(&argv("analyze --matrix -a pipedata")).unwrap()
         else {
             panic!()
         };
         assert!(matrix);
+        assert!(!explore);
+        assert_eq!(max_ops, None);
         assert_eq!(run.approach, Approach::PipeData);
-        let Command::Analyze { matrix, .. } = parse(&argv("analyze -n 1e6")).unwrap() else {
+        let Command::Analyze {
+            matrix,
+            explore,
+            max_ops,
+            ..
+        } = parse(&argv("analyze -n 1e6 --explore --max-ops 5e4")).unwrap()
+        else {
             panic!()
         };
         assert!(!matrix);
-        // --matrix only exists on analyze; --analyze exists everywhere.
+        assert!(explore);
+        assert_eq!(max_ops, Some(50_000));
+        // --matrix/--explore only exist on analyze; --analyze exists
+        // everywhere.
         assert!(parse(&argv("sort --matrix")).is_err());
+        assert!(parse(&argv("sort --explore")).is_err());
         let Command::Sort(r) = parse(&argv("sort --analyze")).unwrap() else {
             panic!()
         };
