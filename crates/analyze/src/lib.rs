@@ -62,14 +62,38 @@ pub use replan_model::{ReplanDefect, ReplanModel};
 pub use residency::Residency;
 pub use trace_model::{explore_plan, explore_plan_trace, TraceModel};
 
-use hetsort_core::optrace::lower_plan;
+use hetsort_core::optrace::{lower_dag, lower_plan};
 use hetsort_core::plan::Plan;
+use hetsort_core::PlanDag;
 use hetsort_sim::OpTrace;
 
 /// Analyze a plan: static lint plus happens-before over its lowered
 /// static trace.
 pub fn analyze_plan(plan: &Plan) -> AnalysisReport {
     analyze_plan_with_trace(plan, &lower_plan(plan))
+}
+
+/// Analyze an op dag: structural validation (every named
+/// [`PlanDag::validate`] rule becomes a [`FindingClass::Malformed`]
+/// finding instead of an error), then the full plan analysis — static
+/// lint, residency re-check, and happens-before over the trace lowered
+/// from the *dag's* edges. A dag whose dependency edges were mutated
+/// loses exactly those sync edges in the lowered trace, so the HB
+/// checker reports the race even when the structural validator is
+/// blind to it.
+pub fn analyze_dag(dag: &PlanDag) -> AnalysisReport {
+    let mut findings = Vec::new();
+    if let Err(e) = dag.validate() {
+        findings.push(Finding {
+            class: FindingClass::Malformed,
+            code: "dag-validate",
+            message: e.to_string(),
+            ops: Vec::new(),
+        });
+    }
+    let mut report = analyze_plan_with_trace(&dag.plan, &lower_dag(dag));
+    findings.append(&mut report.findings);
+    AnalysisReport { findings }
 }
 
 /// Analyze a plan against a specific trace — the lowered static trace,

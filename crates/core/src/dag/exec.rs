@@ -1,0 +1,1172 @@
+//! The one DAG engine behind sequential and pooled functional
+//! execution.
+//!
+//! Both entry points schedule the same [`PlanDag`] through the same
+//! [`ReadySet`] and differ only in the resource model:
+//!
+//! * [`execute_dag`] — one host thread. Under the default
+//!   [`TieBreak::MinId`] the ready order *is* the plan submission
+//!   order, so outputs, spans, recovery statistics, fault-injection
+//!   occurrence alignment and executed traces are bit-identical to the
+//!   legacy sequential interpreter this engine replaced (the
+//!   differential suite pins this).
+//! * [`execute_dag_pooled`] — a pool of N workers pulls ready
+//!   stream-bound nodes (stream exclusivity falls out of the FIFO
+//!   edges: at most one node per stream is ever ready), while the
+//!   calling thread coordinates merges, firing each pair merge the
+//!   moment both inputs exist — the legacy multi-threaded executor's
+//!   concurrency structure, now over an explicit graph.
+//!
+//! Both engines route the full failure model through the same code:
+//! per-batch checkpointing, survivor re-planning on device loss
+//! (lowered to fresh survivor dags), CPU-fallback degradation, and
+//! panic-safe worker death with typed [`HetSortError::WorkerPanic`].
+
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
+
+use hetsort_algos::keys::{RadixKey, SortOrd};
+use hetsort_algos::merge::par_merge_into_cfg;
+use hetsort_algos::multiway::par_multiway_merge_into_cfg;
+use hetsort_algos::par::{par_copy, SchedCfg};
+use hetsort_algos::radix_par::par_radix_sort_cfg;
+use hetsort_algos::verify::{fingerprint, is_sorted};
+use hetsort_obs::{MetricsRegistry, ObsSpan, OpClass};
+use hetsort_sim::Access;
+
+use crate::dag::{DagOp, PlanDag, ReadySet, TieBreak};
+use crate::error::HetSortError;
+use crate::exec_real::{assemble_trace, cpu_part_spans, RealOutcome};
+use crate::exec_stream::StreamExec;
+use crate::plan::{MergeInput, MergeSrc, Plan};
+use crate::report::RecoveryStats;
+
+/// Engine knobs. The default is the pinned determinism contract;
+/// non-default values exist for the test battery.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DagExecOptions {
+    /// Ready-node tie-break (see [`TieBreak`]).
+    pub tie: TieBreak,
+    /// Test-support defect ([`crate::dag::mutate::DagMutant::SkipCheckpoint`]):
+    /// ignore the per-batch checkpoint when a device loss triggers a
+    /// re-plan, recomputing *every* batch. Output stays correct; the
+    /// differential check on [`RecoveryStats`] kills it.
+    pub skip_checkpoint: bool,
+}
+
+/// Shared entry checks: data/plan agreement, element width, plan
+/// invariants, dag validity.
+fn check_inputs<T>(dag: &PlanDag, data: &[T]) -> Result<(), HetSortError> {
+    let plan = &dag.plan;
+    if data.len() != plan.n {
+        return Err(HetSortError::data(format!(
+            "data length {} does not match plan n = {}",
+            data.len(),
+            plan.n
+        )));
+    }
+    let elem_bytes = plan.config.elem_bytes_usize()?;
+    if std::mem::size_of::<T>() != elem_bytes {
+        return Err(HetSortError::data(format!(
+            "element type is {} bytes but the config models {} — call with_elem_bytes",
+            std::mem::size_of::<T>(),
+            elem_bytes
+        )));
+    }
+    plan.check_invariants()?;
+    dag.validate()?;
+    if dag.nodes.len() != plan.steps.len() {
+        return Err(HetSortError::Plan {
+            reason: format!(
+                "dag has {} nodes for {} plan steps",
+                dag.nodes.len(),
+                plan.steps.len()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// The sorted slice behind a merge source, if it exists yet.
+pub(crate) fn src_slice<'x, T>(
+    src: MergeSrc,
+    batches: &'x [Option<Vec<T>>],
+    pairs: &'x [Option<Vec<T>>],
+) -> Option<&'x [T]> {
+    match src {
+        MergeSrc::Batch(b) => batches[b].as_deref(),
+        MergeSrc::Merged(p) => pairs[p].as_deref(),
+    }
+}
+
+/// Fire every pending pair merge whose inputs are ready, repeatedly
+/// (an Online/MergeTree merge may unlock the next). Each fired merge is
+/// recorded as a span on the run clock `t0`.
+#[allow(clippy::too_many_arguments)] // internal helper: plan context + two buffer banks + clock + span sink
+pub(crate) fn fire_ready_pairs<T>(
+    plan: &Plan,
+    sched: &SchedCfg,
+    merge_threads: usize,
+    sorted_batches: &[Option<Vec<T>>],
+    pair_out: &mut [Option<Vec<T>>],
+    pending: &mut Vec<usize>,
+    t0: std::time::Instant,
+    spans: &mut Vec<ObsSpan>,
+) where
+    T: RadixKey + SortOrd + Default,
+{
+    let mut fired = true;
+    while fired {
+        fired = false;
+        let mut i = 0;
+        while i < pending.len() {
+            let slot = pending[i];
+            let spec = plan.pairs[slot];
+            let (Some(l), Some(r)) = (
+                src_slice(spec.left, sorted_batches, pair_out),
+                src_slice(spec.right, sorted_batches, pair_out),
+            ) else {
+                i += 1;
+                continue;
+            };
+            let mut out = vec![T::default(); spec.out_elems];
+            let m_start = t0.elapsed().as_secs_f64();
+            let label = format!("PairMerge p{slot}");
+            let stats = par_merge_into_cfg(sched, merge_threads, l, r, &mut out);
+            spans.push(
+                ObsSpan::new(
+                    OpClass::PairMerge,
+                    label.clone(),
+                    m_start,
+                    t0.elapsed().as_secs_f64(),
+                )
+                .with_bytes(spec.out_elems as f64 * plan.config.elem_bytes),
+            );
+            spans.extend(cpu_part_spans(&label, m_start, &stats));
+            pair_out[slot] = Some(out);
+            pending.remove(i);
+            fired = true;
+        }
+    }
+}
+
+/// Execute one merge node of the sequential engine over the sorted runs
+/// in `w`, writing pair outputs to `pair_out` and the multiway result
+/// to `b_out`.
+#[allow(clippy::too_many_arguments)] // merge context: inputs, outputs, sched, clock, span sink
+fn run_merge_node<T>(
+    plan: &Plan,
+    op: &DagOp,
+    sched: &SchedCfg,
+    host_threads: usize,
+    t0: std::time::Instant,
+    w: &[T],
+    b_out: &mut [T],
+    pair_out: &mut Vec<Vec<T>>,
+    merge_spans: &mut Vec<ObsSpan>,
+    pair_merges_done: &mut usize,
+) -> Result<(), HetSortError>
+where
+    T: RadixKey + SortOrd + Default,
+{
+    let cfg = &plan.config;
+    match op {
+        DagOp::PairMerge { slot } | DagOp::CpuMerge { slot } => {
+            let spec = *plan.pairs.get(*slot).ok_or_else(|| HetSortError::Plan {
+                reason: format!("merge references missing pair slot {slot}"),
+            })?;
+            let resolve = |src: MergeSrc, pair_out: &'_ Vec<Vec<T>>| -> Vec<T> {
+                match src {
+                    MergeSrc::Batch(b) => {
+                        let bi = &plan.batches[b];
+                        w[bi.start..bi.start + bi.len].to_vec()
+                    }
+                    MergeSrc::Merged(p) => pair_out[p].clone(),
+                }
+            };
+            // Borrow discipline: snapshot inputs, then write the slot.
+            let left = resolve(spec.left, pair_out);
+            let right = resolve(spec.right, pair_out);
+            let mut out = vec![T::default(); spec.out_elems];
+            let m_start = t0.elapsed().as_secs_f64();
+            let (class, label) = match op {
+                DagOp::CpuMerge { .. } => (OpClass::CpuMerge, format!("CpuMerge p{slot}")),
+                _ => (OpClass::PairMerge, format!("PairMerge p{slot}")),
+            };
+            let stats = par_merge_into_cfg(sched, host_threads, &left, &right, &mut out);
+            merge_spans.push(
+                ObsSpan::new(class, label.clone(), m_start, t0.elapsed().as_secs_f64())
+                    .with_bytes(spec.out_elems as f64 * cfg.elem_bytes),
+            );
+            merge_spans.extend(cpu_part_spans(&label, m_start, &stats));
+            pair_out[*slot] = out;
+            *pair_merges_done += 1;
+        }
+        DagOp::MultiwayMerge { inputs } => {
+            let lists: Vec<&[T]> = inputs
+                .iter()
+                .map(|inp| match *inp {
+                    MergeInput::Batch(b) => {
+                        let bi = &plan.batches[b];
+                        &w[bi.start..bi.start + bi.len]
+                    }
+                    MergeInput::Pair(p) => pair_out[p].as_slice(),
+                })
+                .collect();
+            let m_start = t0.elapsed().as_secs_f64();
+            let label = format!("MultiwayMerge k{}", lists.len());
+            let stats = par_multiway_merge_into_cfg(sched, host_threads, &lists, b_out);
+            merge_spans.push(
+                ObsSpan::new(
+                    OpClass::MultiwayMerge,
+                    label.clone(),
+                    m_start,
+                    t0.elapsed().as_secs_f64(),
+                )
+                .with_bytes(plan.n as f64 * cfg.elem_bytes),
+            );
+            merge_spans.extend(cpu_part_spans(&label, m_start, &stats));
+        }
+        other => {
+            return Err(HetSortError::Plan {
+                reason: format!(
+                    "run_merge_node called on non-merge op {}",
+                    other.class_name()
+                ),
+            })
+        }
+    }
+    Ok(())
+}
+
+/// Execute the dag sequentially with default options (the pinned
+/// [`TieBreak::MinId`] determinism contract).
+///
+/// # Errors
+///
+/// Everything [`crate::exec_real::sort_real_plan`] documents, plus
+/// [`HetSortError::Plan`] when the dag fails [`PlanDag::validate`].
+pub fn execute_dag<T>(dag: &PlanDag, data: &[T]) -> Result<RealOutcome<T>, HetSortError>
+where
+    T: RadixKey + SortOrd + Default,
+{
+    execute_dag_opts(dag, data, DagExecOptions::default())
+}
+
+/// Sequential engine with explicit [`DagExecOptions`].
+///
+/// # Errors
+///
+/// As [`execute_dag`].
+pub fn execute_dag_opts<T>(
+    dag: &PlanDag,
+    data: &[T],
+    opts: DagExecOptions,
+) -> Result<RealOutcome<T>, HetSortError>
+where
+    T: RadixKey + SortOrd + Default,
+{
+    check_inputs(dag, data)?;
+    let plan = &dag.plan;
+    let cfg = &plan.config;
+    let n = plan.n;
+    let nb = plan.nb();
+    let input_fp = fingerprint(data);
+    let injected_before = cfg.faults.as_ref().map_or(0, |i| i.injected());
+    let t0 = std::time::Instant::now();
+
+    // Memory: A (borrowed), W (working memory for sorted sublists),
+    // B (output), per-stream state (pinned + device buffers) in the
+    // stream interpreters.
+    let mut w = vec![T::default(); if nb > 1 { n } else { 0 }];
+    let mut b_out = vec![T::default(); n];
+    let mut pair_out: Vec<Vec<T>> = (0..plan.pairs.len()).map(|_| Vec::new()).collect();
+    let merge_threads = usize::try_from(cfg.merge_threads_eff()).unwrap_or(usize::MAX);
+    // Cap the functional thread count at this machine's parallelism ×4:
+    // simulated platforms may have more cores than the host.
+    let host_threads = merge_threads.min(4 * hetsort_algos::par::default_threads());
+    let device_sort_threads = hetsort_algos::par::default_threads();
+    let memcpy_threads = usize::try_from(cfg.memcpy_threads_eff())
+        .unwrap_or(usize::MAX)
+        .min(4 * hetsort_algos::par::default_threads());
+    let sched = cfg.sched_cfg();
+
+    // --- Phase 1: ready-order passes produce the sorted runs in `w`
+    // (or `b_out` when n_b = 1). A device loss aborts the pass;
+    // unfinished work is re-planned onto the survivors (or host-sorted
+    // when none remain) and the next pass covers only batches not yet
+    // staged out. Merge nodes execute inline only on the original dag
+    // (batch tiling is identical across re-plans, so the *original*
+    // dag's merge schedule stays valid); any still unexecuted after
+    // recovery run in phase 2.
+    let mut recovery = RecoveryStats::default();
+    let mut metrics = MetricsRegistry::new();
+    let mut replans: Vec<Plan> = Vec::new();
+    let mut lost_gpus: BTreeSet<usize> = Default::default();
+    let mut emitted: Vec<usize> = vec![0usize; nb];
+    let mut final_logs: Vec<Vec<(usize, Vec<Access>)>> = Vec::new();
+    let mut merge_done: Vec<bool> = vec![false; dag.nodes.len()];
+    let mut merge_spans: Vec<ObsSpan> = Vec::new();
+    let mut pair_merges_done = 0usize;
+    let mut cur_dag_owned: Option<PlanDag> = None;
+    loop {
+        let cur_dag: &PlanDag = cur_dag_owned.as_ref().unwrap_or(dag);
+        let cur = &cur_dag.plan;
+        let on_base = cur_dag_owned.is_none();
+        let mut streams: Vec<StreamExec<T>> = (0..cur.total_streams)
+            .map(|s| StreamExec::new(cur, data, s, host_threads, device_sort_threads, t0))
+            .collect();
+        let mut lost: Option<usize> = None;
+        // Steps skipped because their batch already completed log empty
+        // access lists: "no accesses this pass" must override the
+        // static derivation in the assembled trace.
+        let mut skipped_log: Vec<(usize, Vec<Access>)> = Vec::new();
+        // The original dag schedules everything; survivor dags schedule
+        // stream nodes only (their merges are never executed).
+        let mut ready = ReadySet::new(
+            cur_dag,
+            |i| on_base || !cur_dag.nodes[i].op.is_merge(),
+            opts.tie,
+        );
+        while let Some(si) = ready.pop() {
+            let node = &cur_dag.nodes[si];
+            if node.op.is_merge() {
+                run_merge_node(
+                    plan,
+                    &node.op,
+                    &sched,
+                    host_threads,
+                    t0,
+                    &w,
+                    &mut b_out,
+                    &mut pair_out,
+                    &mut merge_spans,
+                    &mut pair_merges_done,
+                )?;
+                merge_done[si] = true;
+                ready.complete(si);
+                continue;
+            }
+            if let Some(bi) = node.op.batch() {
+                if emitted[bi] >= cur.batches[bi].len {
+                    if cur.config.record_trace {
+                        skipped_log.push((si, Vec::new()));
+                    }
+                    ready.complete(si);
+                    continue;
+                }
+            }
+            let s = node.stream.ok_or_else(|| HetSortError::Plan {
+                reason: format!("node {si} has no stream"),
+            })?;
+            let dst = if nb > 1 { &mut w } else { &mut b_out };
+            let r = streams[s].step(si, &mut |batch, start, chunk| {
+                par_copy(memcpy_threads, chunk, &mut dst[start..start + chunk.len()]);
+                emitted[batch] += chunk.len();
+            });
+            match r {
+                Ok(()) => ready.complete(si),
+                Err(HetSortError::DeviceLost { gpu }) => {
+                    lost = Some(gpu);
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        for sx in &mut streams {
+            recovery.retries += sx.stats.retries;
+            recovery.degraded_batches += sx.stats.degraded_batches;
+            recovery.oom_replans += sx.stats.oom_replans;
+            metrics.record_all(std::mem::take(&mut sx.span_log));
+        }
+        if cur.config.record_trace {
+            // The trace covers the final pass; earlier aborted passes'
+            // logs reference a different plan's step indices.
+            final_logs = streams.iter().map(|sx| sx.access_log.clone()).collect();
+            final_logs.push(skipped_log);
+        }
+        let Some(gpu) = lost else { break };
+
+        // Device fault domain: checkpoint what finished, re-plan the
+        // rest over the survivors.
+        recovery.device_lost += 1;
+        lost_gpus.insert(gpu);
+        let unfinished: Vec<usize> = (0..nb)
+            .filter(|&b| opts.skip_checkpoint || emitted[b] < plan.batches[b].len)
+            .collect();
+        recovery.batches_recomputed += unfinished
+            .iter()
+            .filter(|&&b| cur.physical_gpu(cur.batches[b].gpu) == gpu)
+            .count();
+        // Partially staged-out batches are recomputed whole.
+        for &b in &unfinished {
+            emitted[b] = 0;
+        }
+        let t_fail = t0.elapsed().as_secs_f64();
+        match crate::recover::survivor_plan(plan, &lost_gpus)? {
+            Some(rp) => {
+                recovery.replans += 1;
+                metrics.record(ObsSpan::new(
+                    OpClass::Other,
+                    format!(
+                        "failover: GPU {gpu} lost → re-plan {} batch(es) on {} device(s)",
+                        unfinished.len(),
+                        rp.device_ids.len()
+                    ),
+                    t_fail,
+                    t0.elapsed().as_secs_f64(),
+                ));
+                replans.push(rp.clone());
+                cur_dag_owned = Some(PlanDag::from_plan(rp));
+            }
+            None => {
+                if !cfg.recovery.cpu_fallback {
+                    return Err(HetSortError::DeviceLost { gpu });
+                }
+                // Every device is gone: sort the unfinished batches
+                // host-side straight from `A`.
+                for &b in &unfinished {
+                    let bi = plan.batches[b];
+                    let dst = if nb > 1 { &mut w } else { &mut b_out };
+                    let seg = &mut dst[bi.start..bi.start + bi.len];
+                    par_copy(memcpy_threads, &data[bi.start..bi.start + bi.len], seg);
+                    hetsort_algos::radix_par::par_radix_sort_cfg(&sched, host_threads, seg);
+                    emitted[b] = bi.len;
+                    recovery.degraded_batches += 1;
+                }
+                metrics.record(ObsSpan::new(
+                    OpClass::Other,
+                    format!(
+                        "failover: GPU {gpu} lost, no survivors → host sort of {} batch(es)",
+                        unfinished.len()
+                    ),
+                    t_fail,
+                    t0.elapsed().as_secs_f64(),
+                ));
+                break;
+            }
+        }
+    }
+    debug_assert!(
+        (0..nb).all(|b| emitted[b] == plan.batches[b].len),
+        "every batch must be staged out before merging"
+    );
+
+    // --- Phase 2: the original dag's merge schedule over the sorted
+    // runs in `w` — only nodes phase 1 did not already execute.
+    let mut merges = ReadySet::new(dag, |i| dag.nodes[i].op.is_merge(), opts.tie);
+    while let Some(si) = merges.pop() {
+        if !merge_done[si] {
+            run_merge_node(
+                plan,
+                &dag.nodes[si].op,
+                &sched,
+                host_threads,
+                t0,
+                &w,
+                &mut b_out,
+                &mut pair_out,
+                &mut merge_spans,
+                &mut pair_merges_done,
+            )?;
+        }
+        merges.complete(si);
+    }
+
+    recovery.faults_injected = cfg.faults.as_ref().map_or(0, |i| i.injected()) - injected_before;
+
+    // With re-plans, the executed trace covers the final pass (the plan
+    // that actually finished the run).
+    let trace = cfg.record_trace.then(|| {
+        let trace_plan = replans.last().unwrap_or(plan);
+        assemble_trace(trace_plan, &final_logs)
+    });
+
+    metrics.record_all(merge_spans);
+    recovery.fold_into(&mut metrics);
+
+    let wall_s = t0.elapsed().as_secs_f64();
+    let verified = is_sorted(&b_out) && fingerprint(&b_out) == input_fp;
+    Ok(RealOutcome {
+        sorted: b_out,
+        wall_s,
+        verified,
+        nb,
+        pair_merges: pair_merges_done,
+        recovery,
+        trace,
+        metrics,
+        replans,
+    })
+}
+
+/// What ended a stream that did not finish cleanly.
+enum StreamFail {
+    Lost(usize),
+    Typed(HetSortError),
+    Panicked(String),
+}
+
+/// Pool scheduler state shared by the workers.
+struct PoolSched {
+    ready: BTreeSet<usize>,
+    indegree: Vec<usize>,
+    inflight: usize,
+    dead: Vec<bool>,
+}
+
+/// Per-stream interpreter state a worker locks while executing one of
+/// the stream's nodes (FIFO edges guarantee at most one ready node per
+/// stream, so the lock is uncontended in practice).
+struct StreamSlot<'p, T> {
+    sx: StreamExec<'p, T>,
+    assembling: Option<(usize, Vec<T>)>,
+}
+
+/// Lock a mutex, recovering the guard from a poisoned lock (a worker
+/// panic is already recorded as a [`StreamFail`]; the data is not
+/// touched again for dead streams).
+fn lock_any<G>(m: &Mutex<G>) -> std::sync::MutexGuard<'_, G> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Execute the dag with a pool of `workers` threads over the stream
+/// subgraph, the calling thread coordinating merges — the parallel
+/// engine behind [`crate::exec_real_mt::sort_real_parallel`].
+///
+/// Produces bit-identical output to [`execute_dag`] (the data path is
+/// deterministic; only wall-clock interleaving differs). With a fault
+/// injector armed, global occurrence counters are still exact, but
+/// *which* stream observes an occurrence depends on interleaving —
+/// concurrent fault tests should use single-stream configs or
+/// worker-addressed panics.
+///
+/// # Errors
+///
+/// As [`crate::exec_real_mt::sort_real_parallel`].
+pub fn execute_dag_pooled<T>(
+    dag: &PlanDag,
+    data: &[T],
+    workers: usize,
+) -> Result<RealOutcome<T>, HetSortError>
+where
+    T: RadixKey + SortOrd + Default,
+{
+    execute_dag_pooled_opts(dag, data, workers, DagExecOptions::default())
+}
+
+/// Pooled engine with explicit [`DagExecOptions`] (`skip_checkpoint`
+/// applies to the sequential recovery mini-pass only and is ignored
+/// here).
+///
+/// # Errors
+///
+/// As [`execute_dag_pooled`].
+pub fn execute_dag_pooled_opts<T>(
+    dag: &PlanDag,
+    data: &[T],
+    workers: usize,
+    opts: DagExecOptions,
+) -> Result<RealOutcome<T>, HetSortError>
+where
+    T: RadixKey + SortOrd + Default,
+{
+    check_inputs(dag, data)?;
+    let plan = &dag.plan;
+    let nb = plan.nb();
+    let input_fp = fingerprint(data);
+    let injected_before = plan.config.faults.as_ref().map_or(0, |i| i.injected());
+    let t0 = std::time::Instant::now();
+    let merge_threads = usize::try_from(plan.config.merge_threads_eff())
+        .unwrap_or(usize::MAX)
+        .min(4 * hetsort_algos::par::default_threads());
+    let device_sort_threads = hetsort_algos::par::default_threads();
+    let sched = plan.config.sched_cfg();
+    let n_workers = workers.max(1);
+
+    // Stream-subgraph scheduling state (merges belong to the
+    // coordinator, not the pool).
+    let stream_scope: Vec<bool> = dag.nodes.iter().map(|n| !n.op.is_merge()).collect();
+    let mut indegree = vec![0usize; dag.nodes.len()];
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); dag.nodes.len()];
+    for (i, node) in dag.nodes.iter().enumerate() {
+        if !stream_scope[i] {
+            continue;
+        }
+        for &d in &node.deps {
+            if stream_scope[d] {
+                indegree[i] += 1;
+                dependents[d].push(i);
+            }
+        }
+    }
+    let ready: BTreeSet<usize> = (0..dag.nodes.len())
+        .filter(|&i| stream_scope[i] && indegree[i] == 0)
+        .collect();
+
+    let sched_mx = Mutex::new(PoolSched {
+        ready,
+        indegree,
+        inflight: 0,
+        dead: vec![false; plan.total_streams],
+    });
+    let cond = Condvar::new();
+    let slots: Vec<Mutex<StreamSlot<T>>> = (0..plan.total_streams)
+        .map(|s| {
+            Mutex::new(StreamSlot {
+                sx: StreamExec::new(plan, data, s, merge_threads, device_sort_threads, t0),
+                assembling: None,
+            })
+        })
+        .collect();
+    let fails_mx: Mutex<Vec<Option<StreamFail>>> =
+        Mutex::new((0..plan.total_streams).map(|_| None).collect());
+
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, Vec<T>)>();
+
+    let mut sorted_batches: Vec<Option<Vec<T>>> = (0..nb).map(|_| None).collect();
+    let mut pair_out: Vec<Option<Vec<T>>> = (0..plan.pairs.len()).map(|_| None).collect();
+    let mut b_out: Vec<T> = Vec::new();
+    let mut recovery = RecoveryStats::default();
+    let mut stream_logs: Vec<Vec<(usize, Vec<Access>)>> = Vec::new();
+    let mut metrics = MetricsRegistry::new();
+    let mut merge_spans: Vec<ObsSpan> = Vec::new();
+    let mut replans: Vec<Plan> = Vec::new();
+
+    std::thread::scope(|scope| -> Result<(), HetSortError> {
+        // ---- worker pool over ready stream nodes --------------------
+        let mut handles = Vec::with_capacity(n_workers);
+        for _ in 0..n_workers {
+            let tx = tx.clone();
+            let (sched_mx, cond, slots, fails_mx, dependents) =
+                (&sched_mx, &cond, &slots, &fails_mx, &dependents);
+            handles.push(scope.spawn(move || {
+                loop {
+                    // Acquire the next ready node under the tie-break.
+                    let next = {
+                        let mut g = lock_any(sched_mx);
+                        loop {
+                            let pick = match opts.tie {
+                                TieBreak::MinId => g.ready.iter().next().copied(),
+                                TieBreak::MaxId => g.ready.iter().next_back().copied(),
+                            };
+                            if let Some(id) = pick {
+                                g.ready.remove(&id);
+                                g.inflight += 1;
+                                break Some(id);
+                            }
+                            if g.inflight == 0 {
+                                break None;
+                            }
+                            g = match cond.wait(g) {
+                                Ok(g) => g,
+                                Err(poisoned) => poisoned.into_inner(),
+                            };
+                        }
+                    };
+                    let Some(id) = next else {
+                        // Drained (or permanently stuck behind a dead
+                        // stream): wake any peers still waiting.
+                        cond.notify_all();
+                        return;
+                    };
+                    let node = &dag.nodes[id];
+                    let s = node.stream.unwrap_or(0);
+                    let stream_dead = lock_any(sched_mx).dead[s];
+                    let mut ok = false;
+                    if !stream_dead {
+                        let mut slot = lock_any(&slots[s]);
+                        let StreamSlot { sx, assembling } = &mut *slot;
+                        let r = catch_unwind(AssertUnwindSafe(|| -> Result<(), HetSortError> {
+                            if let DagOp::StagingCopy {
+                                batch,
+                                chunk: 0,
+                                dir_in: true,
+                                ..
+                            } = node.op
+                            {
+                                if let Some(inj) = plan.config.faults.as_deref() {
+                                    if inj.should_panic(s) {
+                                        panic!(
+                                            "injected panic in stream worker {s} at batch {batch}"
+                                        );
+                                    }
+                                }
+                            }
+                            sx.step(id, &mut |batch, _start, chunk| {
+                                let (_, buf) = assembling.get_or_insert_with(|| {
+                                    (batch, Vec::with_capacity(plan.batches[batch].len))
+                                });
+                                buf.extend_from_slice(chunk);
+                                if buf.len() == plan.batches[batch].len {
+                                    if let Some(done) = assembling.take() {
+                                        // A dead coordinator just means
+                                        // the run already failed; don't
+                                        // panic on top.
+                                        let _ = tx.send(done);
+                                    }
+                                }
+                            })
+                        }));
+                        match r {
+                            Ok(Ok(())) => ok = true,
+                            Ok(Err(e)) => {
+                                let mut f = lock_any(fails_mx);
+                                if f[s].is_none() {
+                                    f[s] = Some(match e {
+                                        HetSortError::DeviceLost { gpu } => StreamFail::Lost(gpu),
+                                        other => StreamFail::Typed(other),
+                                    });
+                                }
+                            }
+                            Err(payload) => {
+                                let message = payload
+                                    .downcast_ref::<&str>()
+                                    .map(|m| (*m).to_string())
+                                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                                    .unwrap_or_else(|| "opaque panic payload".to_string());
+                                let mut f = lock_any(fails_mx);
+                                if f[s].is_none() {
+                                    f[s] = Some(StreamFail::Panicked(message));
+                                }
+                            }
+                        }
+                    }
+                    {
+                        let mut g = lock_any(sched_mx);
+                        g.inflight -= 1;
+                        if ok {
+                            for &j in &dependents[id] {
+                                g.indegree[j] -= 1;
+                                if g.indegree[j] == 0 {
+                                    g.ready.insert(j);
+                                }
+                            }
+                        } else {
+                            // The stream stalls: its un-run successors
+                            // stay blocked forever, and the pool drains
+                            // around them.
+                            g.dead[s] = true;
+                        }
+                        cond.notify_all();
+                    }
+                }
+            }));
+        }
+        drop(tx);
+
+        // ---- merge coordinator (this thread) ------------------------
+        let mut received = 0usize;
+        let mut pending_pairs: Vec<usize> = (0..plan.pairs.len()).collect();
+        while received < nb {
+            // A disconnect means every worker is done (some possibly
+            // dead); fall through to the join pass to find out which.
+            let Ok((idx, buf)) = rx.recv() else { break };
+            sorted_batches[idx] = Some(buf);
+            received += 1;
+            fire_ready_pairs(
+                plan,
+                &sched,
+                merge_threads,
+                &sorted_batches,
+                &mut pair_out,
+                &mut pending_pairs,
+                t0,
+                &mut merge_spans,
+            );
+        }
+        for h in handles {
+            // Workers catch their own panics; a join error would mean a
+            // bug in the pool loop itself — surface it as a panic.
+            if h.join().is_err() {
+                return Err(HetSortError::Plan {
+                    reason: "dag pool worker died outside the node sandbox".to_string(),
+                });
+            }
+        }
+
+        // ---- collect per-stream outcomes (stream order, like the
+        // legacy per-worker join pass): clean streams contribute stats,
+        // logs and spans; failed streams contribute their fault.
+        let mut fails = lock_any(&fails_mx);
+        let mut first_err: Option<HetSortError> = None;
+        let mut first_panic: Option<HetSortError> = None;
+        let mut newly_lost: Vec<usize> = Vec::new();
+        for s in 0..plan.total_streams {
+            match fails[s].take() {
+                None => {
+                    let mut slot = lock_any(&slots[s]);
+                    recovery.retries += slot.sx.stats.retries;
+                    recovery.degraded_batches += slot.sx.stats.degraded_batches;
+                    recovery.oom_replans += slot.sx.stats.oom_replans;
+                    stream_logs.push(std::mem::take(&mut slot.sx.access_log));
+                    metrics.record_all(std::mem::take(&mut slot.sx.span_log));
+                }
+                Some(StreamFail::Lost(gpu)) => {
+                    if !newly_lost.contains(&gpu) {
+                        newly_lost.push(gpu);
+                    }
+                }
+                Some(StreamFail::Typed(e)) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+                Some(StreamFail::Panicked(message)) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(HetSortError::WorkerPanic { worker: s, message });
+                    }
+                }
+            }
+        }
+        drop(fails);
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+
+        // ---- device-loss recovery: re-plan missing batches ----------
+        // Completed batches in `sorted_batches` are the checkpoint;
+        // each round lowers a survivor dag and runs a sequential
+        // mini-pass over only the still-missing batches. A further loss
+        // during recovery shrinks the pool again.
+        if !newly_lost.is_empty() {
+            let mut lost_gpus: BTreeSet<usize> = Default::default();
+            let mut cur_owned: Option<Plan> = None;
+            while !newly_lost.is_empty() {
+                let cur: &Plan = cur_owned.as_ref().unwrap_or(plan);
+                recovery.device_lost += newly_lost.len();
+                recovery.batches_recomputed += sorted_batches
+                    .iter()
+                    .enumerate()
+                    .filter(|(b, sl)| {
+                        sl.is_none() && newly_lost.contains(&cur.physical_gpu(cur.batches[*b].gpu))
+                    })
+                    .count();
+                lost_gpus.extend(newly_lost.drain(..));
+                let missing = sorted_batches.iter().filter(|sl| sl.is_none()).count();
+                let t_fail = t0.elapsed().as_secs_f64();
+                match crate::recover::survivor_plan(plan, &lost_gpus)? {
+                    None => {
+                        let gpu = lost_gpus.iter().next().copied().unwrap_or(0);
+                        if !plan.config.recovery.cpu_fallback {
+                            return Err(HetSortError::DeviceLost { gpu });
+                        }
+                        for (b, slot) in sorted_batches.iter_mut().enumerate() {
+                            if slot.is_none() {
+                                let bi = &plan.batches[b];
+                                let mut buf = data[bi.start..bi.start + bi.len].to_vec();
+                                par_radix_sort_cfg(&sched, merge_threads, &mut buf);
+                                *slot = Some(buf);
+                                recovery.degraded_batches += 1;
+                            }
+                        }
+                        metrics.record(ObsSpan::new(
+                            OpClass::Other,
+                            format!(
+                                "failover: GPU {gpu} lost, no survivors → host sort of {missing} batch(es)"
+                            ),
+                            t_fail,
+                            t0.elapsed().as_secs_f64(),
+                        ));
+                    }
+                    Some(rp) => {
+                        recovery.replans += 1;
+                        metrics.record(ObsSpan::new(
+                            OpClass::Other,
+                            format!(
+                                "failover: re-plan {missing} batch(es) on {} device(s)",
+                                rp.device_ids.len()
+                            ),
+                            t_fail,
+                            t0.elapsed().as_secs_f64(),
+                        ));
+                        let rp_dag = PlanDag::from_plan(rp.clone());
+                        let mut sxs: Vec<StreamExec<T>> = (0..rp_dag.plan.total_streams)
+                            .map(|s| {
+                                StreamExec::new(
+                                    &rp_dag.plan,
+                                    data,
+                                    s,
+                                    merge_threads,
+                                    device_sort_threads,
+                                    t0,
+                                )
+                            })
+                            .collect();
+                        let mut partial: Vec<Vec<T>> = vec![Vec::new(); nb];
+                        let mut mini = ReadySet::new(
+                            &rp_dag,
+                            |i| !rp_dag.nodes[i].op.is_merge(),
+                            TieBreak::MinId,
+                        );
+                        'mini: while let Some(si) = mini.pop() {
+                            mini.complete(si);
+                            let node = &rp_dag.nodes[si];
+                            if let Some(bi) = node.op.batch() {
+                                if sorted_batches[bi].is_some() {
+                                    continue;
+                                }
+                            }
+                            let Some(s) = node.stream else { continue };
+                            let r = sxs[s].step(si, &mut |batch, _start, chunk| {
+                                partial[batch].extend_from_slice(chunk);
+                            });
+                            match r {
+                                Ok(()) => {}
+                                Err(HetSortError::DeviceLost { gpu }) => {
+                                    newly_lost.push(gpu);
+                                    break 'mini;
+                                }
+                                Err(e) => return Err(e),
+                            }
+                        }
+                        for sx in &mut sxs {
+                            recovery.retries += sx.stats.retries;
+                            recovery.degraded_batches += sx.stats.degraded_batches;
+                            recovery.oom_replans += sx.stats.oom_replans;
+                            metrics.record_all(std::mem::take(&mut sx.span_log));
+                        }
+                        for (b, buf) in partial.into_iter().enumerate() {
+                            if sorted_batches[b].is_none() && buf.len() == plan.batches[b].len {
+                                sorted_batches[b] = Some(buf);
+                            }
+                        }
+                        replans.push(rp_dag.plan.clone());
+                        cur_owned = Some(rp_dag.plan);
+                    }
+                }
+            }
+            fire_ready_pairs(
+                plan,
+                &sched,
+                merge_threads,
+                &sorted_batches,
+                &mut pair_out,
+                &mut pending_pairs,
+                t0,
+                &mut merge_spans,
+            );
+        }
+
+        if let Some(e) = first_panic {
+            if !plan.config.recovery.cpu_fallback {
+                return Err(e);
+            }
+            // Graceful degradation: host-sort whatever the dead
+            // stream(s) never delivered, straight from A.
+            for (b, slot) in sorted_batches.iter_mut().enumerate() {
+                if slot.is_none() {
+                    let bi = &plan.batches[b];
+                    let mut buf = data[bi.start..bi.start + bi.len].to_vec();
+                    par_radix_sort_cfg(&sched, merge_threads, &mut buf);
+                    *slot = Some(buf);
+                    recovery.degraded_batches += 1;
+                }
+            }
+            fire_ready_pairs(
+                plan,
+                &sched,
+                merge_threads,
+                &sorted_batches,
+                &mut pair_out,
+                &mut pending_pairs,
+                t0,
+                &mut merge_spans,
+            );
+        }
+        if !pending_pairs.is_empty() {
+            return Err(HetSortError::MergeStall {
+                pending: pending_pairs.len(),
+            });
+        }
+
+        // ---- final merge --------------------------------------------
+        b_out = vec![T::default(); plan.n];
+        if nb == 1 {
+            let only = sorted_batches[0]
+                .as_deref()
+                .ok_or_else(|| HetSortError::Plan {
+                    reason: "batch 0 was never produced".to_string(),
+                })?;
+            b_out.copy_from_slice(only);
+        } else {
+            let inputs = dag
+                .nodes
+                .iter()
+                .rev()
+                .find_map(|node| match &node.op {
+                    DagOp::MultiwayMerge { inputs } => Some(inputs.clone()),
+                    _ => None,
+                })
+                .ok_or_else(|| HetSortError::Plan {
+                    reason: "plan has no final merge".to_string(),
+                })?;
+            let mut lists: Vec<&[T]> = Vec::with_capacity(inputs.len());
+            for (k, inp) in inputs.iter().enumerate() {
+                let sl = match *inp {
+                    MergeInput::Batch(b) => sorted_batches[b].as_deref(),
+                    MergeInput::Pair(p) => pair_out[p].as_deref(),
+                }
+                .ok_or_else(|| HetSortError::Plan {
+                    reason: format!("final merge input {k} was never produced"),
+                })?;
+                lists.push(sl);
+            }
+            let m_start = t0.elapsed().as_secs_f64();
+            let label = format!("MultiwayMerge k{}", lists.len());
+            let stats = par_multiway_merge_into_cfg(&sched, merge_threads, &lists, &mut b_out);
+            merge_spans.push(
+                ObsSpan::new(
+                    OpClass::MultiwayMerge,
+                    label.clone(),
+                    m_start,
+                    t0.elapsed().as_secs_f64(),
+                )
+                .with_bytes(plan.n as f64 * plan.config.elem_bytes),
+            );
+            merge_spans.extend(cpu_part_spans(&label, m_start, &stats));
+        }
+        Ok(())
+    })?;
+
+    recovery.faults_injected =
+        plan.config.faults.as_ref().map_or(0, |i| i.injected()) - injected_before;
+    let trace = plan
+        .config
+        .record_trace
+        .then(|| assemble_trace(plan, &stream_logs));
+    metrics.record_all(merge_spans);
+    recovery.fold_into(&mut metrics);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let verified = is_sorted(&b_out) && fingerprint(&b_out) == input_fp;
+    Ok(RealOutcome {
+        sorted: b_out,
+        wall_s,
+        verified,
+        nb,
+        pair_merges: plan.pairs.len(),
+        recovery,
+        trace,
+        metrics,
+        replans,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Approach, HetSortConfig};
+    use crate::plan::Plan;
+    use hetsort_algos::introsort::introsort;
+    use hetsort_vgpu::platform1;
+
+    fn data(n: usize, seed: u64) -> Vec<f64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    fn dag(approach: Approach, bs: usize, ps: usize, n: usize) -> PlanDag {
+        let cfg = HetSortConfig::paper_defaults(platform1(), approach)
+            .with_batch_elems(bs)
+            .with_pinned_elems(ps);
+        PlanDag::from_plan(Plan::build(cfg, n).unwrap())
+    }
+
+    #[test]
+    fn tie_break_permutation_preserves_output() {
+        let d = data(24_000, 17);
+        let g = dag(Approach::PipeMerge, 3_000, 500, 24_000);
+        let min = execute_dag_opts(
+            &g,
+            &d,
+            DagExecOptions {
+                tie: TieBreak::MinId,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let max = execute_dag_opts(
+            &g,
+            &d,
+            DagExecOptions {
+                tie: TieBreak::MaxId,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(min.verified && max.verified);
+        assert_eq!(
+            min.sorted.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            max.sorted.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn pooled_worker_counts_agree() {
+        let n = 30_000;
+        let d = data(n, 3);
+        let mut expect = d.clone();
+        introsort(&mut expect);
+        let g = dag(Approach::PipeMerge, 4_000, 800, n);
+        for workers in [1usize, 2, 3, 8] {
+            let out = execute_dag_pooled(&g, &d, workers).unwrap();
+            assert!(out.verified, "workers={workers}");
+            assert_eq!(
+                out.sorted.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                expect.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn cpu_merge_node_executes_with_its_own_span_class() {
+        let n = 12_000;
+        let d = data(n, 9);
+        let mut g = dag(Approach::PipeMerge, 2_000, 400, n);
+        // Re-type one pair merge onto the CPU merge resource.
+        let idx = g
+            .nodes
+            .iter()
+            .position(|node| matches!(node.op, DagOp::PairMerge { .. }))
+            .expect("PipeMerge has pair merges");
+        let DagOp::PairMerge { slot } = g.nodes[idx].op else {
+            unreachable!()
+        };
+        g.nodes[idx].op = DagOp::CpuMerge { slot };
+        g.validate().unwrap();
+        let out = execute_dag(&g, &d).unwrap();
+        assert!(out.verified);
+        let classes: Vec<&str> = out.metrics.spans().iter().map(|s| s.class.name()).collect();
+        assert!(classes.contains(&"CpuMerge"), "{classes:?}");
+        let mut expect = d.clone();
+        introsort(&mut expect);
+        assert_eq!(
+            out.sorted.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            expect.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn invalid_dag_is_rejected_before_execution() {
+        let mut g = dag(Approach::PipeData, 2_000, 400, 6_000);
+        let last = g.nodes.len() - 1;
+        g.nodes[0].deps.push(last);
+        let d = data(6_000, 1);
+        match execute_dag(&g, &d) {
+            Err(HetSortError::Plan { reason }) => assert!(reason.contains("cycle"), "{reason}"),
+            other => panic!("expected Plan error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Seeded DAG defects for the mutation kill suite.
+//!
+//! Each [`DagMutant`] is a small, realistic scheduling bug — the kind a
+//! hand-written executor refactor could introduce — together with the
+//! *named* check expected to kill it ([`DagMutant::expected_kill`]).
+//! The kill suite (`crates/analyze/tests/dag_mutation.rs`) applies each
+//! mutant and asserts that exactly the named validator rule, analyzer
+//! finding class, or differential check fires; a mutant that survives
+//! means the battery has a hole and the build fails.
+//!
+//! Structural mutants rewrite a [`PlanDag`] via [`DagMutant::apply`];
+//! trace-level mutants (sync/lifetime defects the structural validator
+//! cannot see by design — they live in the lowered event semantics)
+//! rewrite an [`OpTrace`] via [`DagMutant::apply_trace`]; and
+//! [`DagMutant::SkipCheckpoint`] is an *engine* defect enabled through
+//! [`crate::dag::exec::DagExecOptions`], killed differentially by
+//! comparing [`crate::report::RecoveryStats`].
+
+use hetsort_sim::optrace::{OpTrace, TraceKind};
+
+use crate::dag::{DagOp, PlanDag};
+
+/// A seeded defect and (implicitly) the check contracted to kill it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DagMutant {
+    /// Delete a stream FIFO edge (a `DtoH` no longer waits for its
+    /// stream predecessor).
+    DropFifoEdge,
+    /// Reverse a `StageIn → HtoD` dependency: the DMA no longer waits
+    /// for the staging copy; the staging copy waits for the DMA.
+    SwapDepDirection,
+    /// Append a second producer for an artifact (a batch sorted twice).
+    DuplicateProducer,
+    /// Close a dependency cycle (the first node waits on the last).
+    Cycle,
+    /// Reference a node id that does not exist.
+    MissingRef,
+    /// A pair merge stops depending on the producer of its left input
+    /// (merge may run before both inputs exist).
+    MergeBeforeInputs,
+    /// Shrink one staging chunk so the chunks no longer tile the batch.
+    ChunkGap,
+    /// Engine defect: ignore the per-batch checkpoint when re-planning
+    /// after a device loss, recomputing every batch. Output stays
+    /// correct — only the differential on recovery statistics sees it.
+    SkipCheckpoint,
+    /// Record a cross-stream synchronization event on the wrong stream,
+    /// so the consumer's wait no longer orders it after the producer.
+    WrongStreamEvent,
+    /// Hoist a buffer's `Free` above its last reader.
+    FreeBeforeLastReader,
+}
+
+impl DagMutant {
+    /// Every mutant, in display order (the kill suite's acceptance
+    /// floor is 8; this battery seeds 10).
+    pub const ALL: [DagMutant; 10] = [
+        DagMutant::DropFifoEdge,
+        DagMutant::SwapDepDirection,
+        DagMutant::DuplicateProducer,
+        DagMutant::Cycle,
+        DagMutant::MissingRef,
+        DagMutant::MergeBeforeInputs,
+        DagMutant::ChunkGap,
+        DagMutant::SkipCheckpoint,
+        DagMutant::WrongStreamEvent,
+        DagMutant::FreeBeforeLastReader,
+    ];
+
+    /// Stable display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DagMutant::DropFifoEdge => "drop-fifo-edge",
+            DagMutant::SwapDepDirection => "swap-dep-direction",
+            DagMutant::DuplicateProducer => "duplicate-producer",
+            DagMutant::Cycle => "cycle",
+            DagMutant::MissingRef => "missing-ref",
+            DagMutant::MergeBeforeInputs => "merge-before-inputs",
+            DagMutant::ChunkGap => "chunk-gap",
+            DagMutant::SkipCheckpoint => "skip-checkpoint",
+            DagMutant::WrongStreamEvent => "wrong-stream-event",
+            DagMutant::FreeBeforeLastReader => "free-before-last-reader",
+        }
+    }
+
+    /// The named check contracted to kill this mutant:
+    /// `validator:<rule>` ([`PlanDag::validate`]),
+    /// `analyzer:<finding-class>` (`hetsort-analyze` over the lowered
+    /// trace), or `differential:<check>` (the equivalence suite).
+    pub fn expected_kill(&self) -> &'static str {
+        match self {
+            DagMutant::DropFifoEdge => "validator:fifo",
+            DagMutant::SwapDepDirection => "validator:fifo",
+            DagMutant::DuplicateProducer => "validator:duplicate-producer",
+            DagMutant::Cycle => "validator:cycle",
+            DagMutant::MissingRef => "validator:missing-ref",
+            DagMutant::MergeBeforeInputs => "validator:merge-inputs",
+            DagMutant::ChunkGap => "validator:chunk-cover",
+            DagMutant::SkipCheckpoint => "differential:recovery-stats",
+            DagMutant::WrongStreamEvent => "analyzer:missing-sync",
+            DagMutant::FreeBeforeLastReader => "analyzer:use-after-free",
+        }
+    }
+
+    /// Whether this mutant rewrites the trace (vs the dag structure or
+    /// the engine options).
+    pub fn is_trace_level(&self) -> bool {
+        matches!(
+            self,
+            DagMutant::WrongStreamEvent | DagMutant::FreeBeforeLastReader
+        )
+    }
+
+    /// Apply a structural mutation. Returns `false` when the dag has no
+    /// site for it (e.g. no pair merges) or the mutant is not
+    /// structural — the kill suite treats `false` as "not applicable
+    /// here", never as a kill.
+    pub fn apply(&self, dag: &mut PlanDag) -> bool {
+        match self {
+            DagMutant::DropFifoEdge => {
+                // Remove the FIFO dep of the first DtoH that has one.
+                let mut tail: std::collections::BTreeMap<usize, usize> = Default::default();
+                for i in 0..dag.nodes.len() {
+                    let stream = dag.nodes[i].stream;
+                    if let Some(s) = stream {
+                        if matches!(dag.nodes[i].op, DagOp::DtoH { .. }) {
+                            if let Some(&prev) = tail.get(&s) {
+                                if let Some(p) = dag.nodes[i].deps.iter().position(|&d| d == prev) {
+                                    dag.nodes[i].deps.remove(p);
+                                    return true;
+                                }
+                            }
+                        }
+                        tail.insert(s, i);
+                    }
+                }
+                false
+            }
+            DagMutant::SwapDepDirection => {
+                for i in 0..dag.nodes.len() {
+                    if !matches!(dag.nodes[i].op, DagOp::HtoD { .. }) {
+                        continue;
+                    }
+                    let stage_dep = dag.nodes[i].deps.iter().copied().find(|&d| {
+                        matches!(
+                            dag.nodes.get(d).map(|n| &n.op),
+                            Some(DagOp::StagingCopy { dir_in: true, .. })
+                        )
+                    });
+                    if let Some(d) = stage_dep {
+                        dag.nodes[i].deps.retain(|&x| x != d);
+                        dag.nodes[d].deps.push(i);
+                        return true;
+                    }
+                }
+                false
+            }
+            DagMutant::DuplicateProducer => {
+                let Some(i) = dag
+                    .nodes
+                    .iter()
+                    .position(|n| matches!(n.op, DagOp::Sort { .. }))
+                else {
+                    return false;
+                };
+                let mut dup = dag.nodes[i].clone();
+                // Keep the graph otherwise well-formed: the clone runs
+                // after the original.
+                dup.deps = vec![i];
+                dup.stream = None;
+                dag.nodes.push(dup);
+                true
+            }
+            DagMutant::Cycle => {
+                let last = dag.nodes.len() - 1;
+                if last == 0 {
+                    return false;
+                }
+                dag.nodes[0].deps.push(last);
+                true
+            }
+            DagMutant::MissingRef => {
+                dag.nodes[0].deps.push(usize::MAX);
+                true
+            }
+            DagMutant::MergeBeforeInputs => {
+                for node in &mut dag.nodes {
+                    if matches!(node.op, DagOp::PairMerge { .. }) && !node.deps.is_empty() {
+                        node.deps.remove(0);
+                        return true;
+                    }
+                }
+                false
+            }
+            DagMutant::ChunkGap => {
+                for node in &mut dag.nodes {
+                    if let DagOp::StagingCopy { len, .. } = &mut node.op {
+                        if *len > 1 {
+                            *len -= 1;
+                            return true;
+                        }
+                    }
+                }
+                false
+            }
+            DagMutant::SkipCheckpoint
+            | DagMutant::WrongStreamEvent
+            | DagMutant::FreeBeforeLastReader => false,
+        }
+    }
+
+    /// Apply a trace-level mutation to a lowered [`OpTrace`]. Returns
+    /// `false` when the trace has no site for it or the mutant is not
+    /// trace-level.
+    pub fn apply_trace(&self, trace: &mut OpTrace) -> bool {
+        match self {
+            DagMutant::WrongStreamEvent => {
+                if trace.n_threads < 2 {
+                    return false;
+                }
+                for rec in &mut trace.records {
+                    if matches!(rec.kind, TraceKind::EventRecord { .. }) {
+                        rec.thread = (rec.thread + 1) % trace.n_threads;
+                        return true;
+                    }
+                }
+                false
+            }
+            DagMutant::FreeBeforeLastReader => {
+                // Hoist the first Free whose buffer has a reader before
+                // it to just before that buffer's *first* access.
+                for fi in 0..trace.records.len() {
+                    let TraceKind::Free { buf } = &trace.records[fi].kind else {
+                        continue;
+                    };
+                    let buf = *buf;
+                    let first_access = trace.records[..fi].iter().position(|r| {
+                        matches!(&r.kind, TraceKind::Op { accesses }
+                            if accesses.iter().any(|a| a.buf == buf))
+                    });
+                    if let Some(ai) = first_access {
+                        let rec = trace.records.remove(fi);
+                        trace.records.insert(ai, rec);
+                        return true;
+                    }
+                }
+                false
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Approach, HetSortConfig};
+    use crate::plan::Plan;
+    use hetsort_vgpu::platform1;
+
+    fn dag() -> PlanDag {
+        let cfg = HetSortConfig::paper_defaults(platform1(), Approach::PipeMerge)
+            .with_batch_elems(1000)
+            .with_pinned_elems(300);
+        PlanDag::from_plan(Plan::build(cfg, 7000).unwrap())
+    }
+
+    #[test]
+    fn structural_mutants_apply_and_break_validation() {
+        for m in DagMutant::ALL {
+            if m.is_trace_level() || m == DagMutant::SkipCheckpoint {
+                continue;
+            }
+            let mut d = dag();
+            assert!(m.apply(&mut d), "{} found no site", m.name());
+            assert!(d.validate().is_err(), "{} survived validation", m.name());
+        }
+    }
+
+    #[test]
+    fn trace_mutants_apply() {
+        let d = dag();
+        let trace = crate::optrace::lower_plan(&d.plan);
+        for m in [DagMutant::WrongStreamEvent, DagMutant::FreeBeforeLastReader] {
+            let mut t = trace.clone();
+            assert!(m.apply_trace(&mut t), "{} found no site", m.name());
+            assert_ne!(t, trace, "{} was a no-op", m.name());
+        }
+    }
+
+    #[test]
+    fn every_mutant_names_its_killer() {
+        for m in DagMutant::ALL {
+            let kill = m.expected_kill();
+            assert!(
+                kill.starts_with("validator:")
+                    || kill.starts_with("analyzer:")
+                    || kill.starts_with("differential:"),
+                "{kill}"
+            );
+        }
+        assert!(DagMutant::ALL.len() >= 8, "acceptance floor: 8 mutants");
+    }
+}

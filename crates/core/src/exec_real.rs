@@ -1,16 +1,16 @@
 //! Functional execution: run the *same* plan on real data.
 //!
-//! Interprets a [`Plan`] step by step with actual memory movement:
-//! staging chunks through pinned-buffer stand-ins, "device" batch
-//! buffers sorted with the real LSD radix sort (the Thrust stand-in),
-//! real merge-path pair merges, and the real parallel multiway merge.
-//! Steps execute in submission order, which the planner guarantees is a
-//! valid topological order — including the pinned-buffer reuse hazards
-//! (a chunk's `StageIn` never overwrites the buffer before the previous
-//! chunk's `HtoD` drained it, exactly as the stream FIFO enforces on
-//! real hardware).
+//! This module owns the sequential entry points ([`sort_real`],
+//! [`sort_real_plan`]) and the shared [`RealOutcome`] result type; the
+//! actual interpretation is the unified DAG engine in
+//! [`crate::dag::exec`]. A plan is lowered to a [`crate::dag::PlanDag`]
+//! (typed ops + explicit dependency edges), validated, and executed by
+//! [`crate::dag::exec::execute_dag`] in deterministic min-node-id ready
+//! order — which, for planner-built dags, reproduces the legacy
+//! submission-order loop bit for bit (proven by
+//! `tests/dag_differential.rs`).
 //!
-//! Stream-bound steps run through [`crate::exec_stream::StreamExec`],
+//! Stream-bound ops run through [`crate::exec_stream::StreamExec`],
 //! which implements the failure model: injected faults, bounded
 //! retries, OOM batch splitting, and CPU-fallback degradation per the
 //! configured [`crate::config::RecoveryPolicy`]. Unrecovered faults
@@ -21,18 +21,14 @@
 //! identical orchestration.
 
 use hetsort_algos::keys::{RadixKey, SortOrd};
-use hetsort_algos::merge::par_merge_into_cfg;
-use hetsort_algos::multiway::par_multiway_merge_into_cfg;
-use hetsort_algos::par::{par_copy, SchedStats};
-use hetsort_algos::verify::{fingerprint, is_sorted};
+use hetsort_algos::par::SchedStats;
 use hetsort_obs::{MetricsRegistry, ObsSpan, OpClass};
 use hetsort_sim::{Access, OpTrace};
 
 use crate::config::HetSortConfig;
 use crate::error::HetSortError;
-use crate::exec_stream::StreamExec;
 use crate::optrace::trace_with_accesses;
-use crate::plan::{MergeInput, Plan, StepKind};
+use crate::plan::Plan;
 use crate::report::RecoveryStats;
 
 /// Result of a functional run (over `f64` keys by default; any
@@ -127,278 +123,7 @@ pub fn sort_real_plan<T>(plan: &Plan, data: &[T]) -> Result<RealOutcome<T>, HetS
 where
     T: RadixKey + SortOrd + Default,
 {
-    if data.len() != plan.n {
-        return Err(HetSortError::data(format!(
-            "data length {} does not match plan n = {}",
-            data.len(),
-            plan.n
-        )));
-    }
-    // Integer-exact width check: `elem_bytes_usize` already rejects
-    // fractional/unsupported widths with a typed Config error, so this
-    // never degenerates into an f64 equality that can silently fail.
-    let elem_bytes = plan.config.elem_bytes_usize()?;
-    if std::mem::size_of::<T>() != elem_bytes {
-        return Err(HetSortError::data(format!(
-            "element type is {} bytes but the config models {} — call with_elem_bytes",
-            std::mem::size_of::<T>(),
-            elem_bytes
-        )));
-    }
-    // Re-validate on every execution path: re-planned (recovery) plans
-    // and hand-mutated plans must not reach the interpreter.
-    plan.check_invariants()?;
-    let cfg = &plan.config;
-    let n = plan.n;
-    let nb = plan.nb();
-    let input_fp = fingerprint(data);
-    let injected_before = cfg.faults.as_ref().map_or(0, |i| i.injected());
-    let t0 = std::time::Instant::now();
-
-    // Memory: A (borrowed), W (working memory for sorted sublists),
-    // B (output), per-stream state (pinned + device buffers) in the
-    // stream interpreters.
-    let mut w = vec![T::default(); if nb > 1 { n } else { 0 }];
-    let mut b_out = vec![T::default(); n];
-    let mut pair_out: Vec<Vec<T>> = (0..plan.pairs.len()).map(|_| Vec::new()).collect();
-    let merge_threads = usize::try_from(cfg.merge_threads_eff()).unwrap_or(usize::MAX);
-    // Cap the functional thread count at this machine's parallelism ×4:
-    // simulated platforms may have more cores than the host.
-    let host_threads = merge_threads.min(4 * hetsort_algos::par::default_threads());
-    let device_sort_threads = hetsort_algos::par::default_threads();
-    let memcpy_threads = usize::try_from(cfg.memcpy_threads_eff())
-        .unwrap_or(usize::MAX)
-        .min(4 * hetsort_algos::par::default_threads());
-    let sched = cfg.sched_cfg();
-
-    // --- Phase 1: stream passes produce the sorted runs in `w` (or
-    // `b_out` when n_b = 1). A device loss aborts the pass; unfinished
-    // work is re-planned onto the survivors (or host-sorted when none
-    // remain) and the next pass covers only batches not yet staged out.
-    // Merges are deferred to phase 2: batch tiling is identical across
-    // re-plans, so the *original* plan's merge schedule stays valid.
-    let mut recovery = RecoveryStats::default();
-    let mut metrics = MetricsRegistry::new();
-    let mut replans: Vec<Plan> = Vec::new();
-    let mut lost_gpus: std::collections::BTreeSet<usize> = Default::default();
-    let mut emitted: Vec<usize> = vec![0usize; nb];
-    let mut final_logs: Vec<Vec<(usize, Vec<Access>)>> = Vec::new();
-    let mut cur_owned: Option<Plan> = None;
-    loop {
-        let cur: &Plan = cur_owned.as_ref().unwrap_or(plan);
-        let mut streams: Vec<StreamExec<T>> = (0..cur.total_streams)
-            .map(|s| StreamExec::new(cur, data, s, host_threads, device_sort_threads, t0))
-            .collect();
-        let mut lost: Option<usize> = None;
-        // Steps skipped because their batch already completed log empty
-        // access lists: "no accesses this pass" must override the
-        // static derivation in the assembled trace.
-        let mut skipped_log: Vec<(usize, Vec<Access>)> = Vec::new();
-        for (si, step) in cur.steps.iter().enumerate() {
-            if matches!(
-                step.kind,
-                StepKind::PairMerge { .. } | StepKind::MultiwayMerge { .. }
-            ) {
-                continue;
-            }
-            if let Some(bi) = crate::recover::step_batch(&step.kind) {
-                if emitted[bi] >= cur.batches[bi].len {
-                    if cur.config.record_trace {
-                        skipped_log.push((si, Vec::new()));
-                    }
-                    continue;
-                }
-            }
-            let s = step.stream.ok_or_else(|| HetSortError::Plan {
-                reason: format!("step {si} has no stream"),
-            })?;
-            let dst = if nb > 1 { &mut w } else { &mut b_out };
-            let r = streams[s].step(si, &mut |batch, start, chunk| {
-                par_copy(memcpy_threads, chunk, &mut dst[start..start + chunk.len()]);
-                emitted[batch] += chunk.len();
-            });
-            match r {
-                Ok(()) => {}
-                Err(HetSortError::DeviceLost { gpu }) => {
-                    lost = Some(gpu);
-                    break;
-                }
-                Err(e) => return Err(e),
-            }
-        }
-        for sx in &mut streams {
-            recovery.retries += sx.stats.retries;
-            recovery.degraded_batches += sx.stats.degraded_batches;
-            recovery.oom_replans += sx.stats.oom_replans;
-            metrics.record_all(std::mem::take(&mut sx.span_log));
-        }
-        if cur.config.record_trace {
-            // The trace covers the final pass; earlier aborted passes'
-            // logs reference a different plan's step indices.
-            final_logs = streams.iter().map(|sx| sx.access_log.clone()).collect();
-            final_logs.push(skipped_log);
-        }
-        let Some(gpu) = lost else { break };
-
-        // Device fault domain: checkpoint what finished, re-plan the
-        // rest over the survivors.
-        recovery.device_lost += 1;
-        lost_gpus.insert(gpu);
-        let unfinished: Vec<usize> = (0..nb)
-            .filter(|&b| emitted[b] < plan.batches[b].len)
-            .collect();
-        recovery.batches_recomputed += unfinished
-            .iter()
-            .filter(|&&b| cur.physical_gpu(cur.batches[b].gpu) == gpu)
-            .count();
-        // Partially staged-out batches are recomputed whole.
-        for &b in &unfinished {
-            emitted[b] = 0;
-        }
-        let t_fail = t0.elapsed().as_secs_f64();
-        match crate::recover::survivor_plan(plan, &lost_gpus)? {
-            Some(rp) => {
-                recovery.replans += 1;
-                metrics.record(ObsSpan::new(
-                    OpClass::Other,
-                    format!(
-                        "failover: GPU {gpu} lost → re-plan {} batch(es) on {} device(s)",
-                        unfinished.len(),
-                        rp.device_ids.len()
-                    ),
-                    t_fail,
-                    t0.elapsed().as_secs_f64(),
-                ));
-                replans.push(rp.clone());
-                cur_owned = Some(rp);
-            }
-            None => {
-                if !cfg.recovery.cpu_fallback {
-                    return Err(HetSortError::DeviceLost { gpu });
-                }
-                // Every device is gone: sort the unfinished batches
-                // host-side straight from `A`.
-                for &b in &unfinished {
-                    let bi = plan.batches[b];
-                    let dst = if nb > 1 { &mut w } else { &mut b_out };
-                    let seg = &mut dst[bi.start..bi.start + bi.len];
-                    par_copy(memcpy_threads, &data[bi.start..bi.start + bi.len], seg);
-                    hetsort_algos::radix_par::par_radix_sort_cfg(&sched, host_threads, seg);
-                    emitted[b] = bi.len;
-                    recovery.degraded_batches += 1;
-                }
-                metrics.record(ObsSpan::new(
-                    OpClass::Other,
-                    format!(
-                        "failover: GPU {gpu} lost, no survivors → host sort of {} batch(es)",
-                        unfinished.len()
-                    ),
-                    t_fail,
-                    t0.elapsed().as_secs_f64(),
-                ));
-                break;
-            }
-        }
-    }
-    debug_assert!(
-        (0..nb).all(|b| emitted[b] == plan.batches[b].len),
-        "every batch must be staged out before merging"
-    );
-
-    // --- Phase 2: the original plan's merge schedule over the sorted
-    // runs in `w`.
-    let mut pair_merges_done = 0usize;
-    let mut merge_spans: Vec<ObsSpan> = Vec::new();
-    for step in plan.steps.iter() {
-        match &step.kind {
-            StepKind::PairMerge { slot } => {
-                let spec = plan.pairs[*slot];
-                let resolve = |src: crate::plan::MergeSrc| -> &[T] {
-                    match src {
-                        crate::plan::MergeSrc::Batch(b) => {
-                            let bi = &plan.batches[b];
-                            &w[bi.start..bi.start + bi.len]
-                        }
-                        crate::plan::MergeSrc::Merged(p) => pair_out[p].as_slice(),
-                    }
-                };
-                let mut out = vec![T::default(); spec.out_elems];
-                let m_start = t0.elapsed().as_secs_f64();
-                let label = format!("PairMerge p{slot}");
-                let stats = par_merge_into_cfg(
-                    &sched,
-                    host_threads,
-                    resolve(spec.left),
-                    resolve(spec.right),
-                    &mut out,
-                );
-                merge_spans.push(
-                    ObsSpan::new(
-                        OpClass::PairMerge,
-                        label.clone(),
-                        m_start,
-                        t0.elapsed().as_secs_f64(),
-                    )
-                    .with_bytes(spec.out_elems as f64 * cfg.elem_bytes),
-                );
-                merge_spans.extend(cpu_part_spans(&label, m_start, &stats));
-                pair_out[*slot] = out;
-                pair_merges_done += 1;
-            }
-            StepKind::MultiwayMerge { inputs } => {
-                let lists: Vec<&[T]> = inputs
-                    .iter()
-                    .map(|inp| match *inp {
-                        MergeInput::Batch(b) => {
-                            let bi = &plan.batches[b];
-                            &w[bi.start..bi.start + bi.len]
-                        }
-                        MergeInput::Pair(p) => pair_out[p].as_slice(),
-                    })
-                    .collect();
-                let m_start = t0.elapsed().as_secs_f64();
-                let label = format!("MultiwayMerge k{}", lists.len());
-                let stats = par_multiway_merge_into_cfg(&sched, host_threads, &lists, &mut b_out);
-                merge_spans.push(
-                    ObsSpan::new(
-                        OpClass::MultiwayMerge,
-                        label.clone(),
-                        m_start,
-                        t0.elapsed().as_secs_f64(),
-                    )
-                    .with_bytes(plan.n as f64 * cfg.elem_bytes),
-                );
-                merge_spans.extend(cpu_part_spans(&label, m_start, &stats));
-            }
-            _ => {}
-        }
-    }
-
-    recovery.faults_injected = cfg.faults.as_ref().map_or(0, |i| i.injected()) - injected_before;
-
-    // With re-plans, the executed trace covers the final pass (the plan
-    // that actually finished the run).
-    let trace = cfg.record_trace.then(|| {
-        let trace_plan = replans.last().unwrap_or(plan);
-        assemble_trace(trace_plan, &final_logs)
-    });
-
-    metrics.record_all(merge_spans);
-    recovery.fold_into(&mut metrics);
-
-    let wall_s = t0.elapsed().as_secs_f64();
-    let verified = is_sorted(&b_out) && fingerprint(&b_out) == input_fp;
-    Ok(RealOutcome {
-        sorted: b_out,
-        wall_s,
-        verified,
-        nb,
-        pair_merges: pair_merges_done,
-        recovery,
-        trace,
-        metrics,
-        replans,
-    })
+    crate::dag::exec::execute_dag(&crate::dag::PlanDag::from_plan(plan.clone()), data)
 }
 
 #[cfg(test)]

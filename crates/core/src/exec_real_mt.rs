@@ -2,109 +2,34 @@
 //! [`crate::exec_real`].
 //!
 //! The sequential interpreter proves the plan's data path correct; this
-//! executor proves its *concurrency structure* correct by actually
-//! running it concurrently, the way the paper's implementation does:
+//! entry point proves its *concurrency structure* correct by actually
+//! running it concurrently, the way the paper's implementation does.
+//! Since the DAG unification, the machinery lives in
+//! [`crate::dag::exec::execute_dag_pooled`]: a worker pool pops ready
+//! stream-bound ops from a shared ready set (the FIFO edges guarantee
+//! at most one ready op per stream, so streams never interleave
+//! internally), and a merge coordinator fires each pipelined pair merge
+//! the moment both inputs exist (PIPEMERGE semantics) before the final
+//! multiway merge.
 //!
-//! * one worker thread per stream executes that stream's steps in FIFO
-//!   order through a [`StreamExec`] (staging copies, transfers, device
-//!   sorts — with the full fault/recovery model), using stream-local
-//!   pinned and device buffers — exactly the per-stream state of the
-//!   CUDA implementation;
-//! * finished sorted batches flow over a channel to a merge coordinator
-//!   that fires each pipelined pair merge the moment both inputs exist
-//!   (PIPEMERGE semantics) and finally runs the multiway merge.
+//! Batch payloads are owned `Vec`s handed over a channel, so there is
+//! no shared mutable state on the data path — the safe-Rust translation
+//! of the paper's `W` buffer (which is only ever written once per
+//! region).
 //!
-//! Batch payloads are owned `Vec`s handed over the channel, so there is
-//! no shared mutable state at all — the safe-Rust translation of the
-//! paper's `W` buffer (which is only ever written once per region).
-//!
-//! The coordinator is panic-safe: a worker that dies (injected via
+//! The pool is panic-safe: a stream whose worker dies (injected via
 //! [`hetsort_vgpu::FaultInjector::panic_worker`] or otherwise) never
-//! poisons the run. Its channel sender drops, the coordinator notices,
-//! joins every worker, and either host-sorts the dead worker's missing
-//! batches (when [`crate::config::RecoveryPolicy::cpu_fallback`] is on)
-//! or reports a typed [`HetSortError::WorkerPanic`] naming the worker —
-//! never a raw panic or a hung channel.
-
-use std::sync::mpsc;
+//! poisons the run. Its unfinished ops stay blocked, the pool drains
+//! around them, and the coordinator either host-sorts the dead stream's
+//! missing batches (when [`crate::config::RecoveryPolicy::cpu_fallback`]
+//! is on) or reports a typed [`HetSortError::WorkerPanic`] naming the
+//! worker — never a raw panic or a hung channel.
 
 use hetsort_algos::keys::{RadixKey, SortOrd};
-use hetsort_algos::merge::par_merge_into_cfg;
-use hetsort_algos::multiway::par_multiway_merge_into_cfg;
-use hetsort_algos::par::SchedCfg;
-use hetsort_algos::radix_par::par_radix_sort_cfg;
-use hetsort_algos::verify::{fingerprint, is_sorted};
-use hetsort_obs::{MetricsRegistry, ObsSpan, OpClass};
-use hetsort_sim::Access;
 
 use crate::error::HetSortError;
-use crate::exec_real::{assemble_trace, cpu_part_spans, RealOutcome};
-use crate::exec_stream::StreamExec;
-use crate::plan::{MergeInput, MergeSrc, Plan, StepKind};
-use crate::report::RecoveryStats;
-
-/// The sorted slice behind a merge source, if it exists yet.
-fn src_slice<'x, T>(
-    src: MergeSrc,
-    batches: &'x [Option<Vec<T>>],
-    pairs: &'x [Option<Vec<T>>],
-) -> Option<&'x [T]> {
-    match src {
-        MergeSrc::Batch(b) => batches[b].as_deref(),
-        MergeSrc::Merged(p) => pairs[p].as_deref(),
-    }
-}
-
-/// Fire every pending pair merge whose inputs are ready, repeatedly
-/// (an Online/MergeTree merge may unlock the next). Each fired merge is
-/// recorded as a span on the run clock `t0`.
-#[allow(clippy::too_many_arguments)] // internal helper: plan context + two buffer banks + clock + span sink
-fn fire_ready_pairs<T>(
-    plan: &Plan,
-    sched: &SchedCfg,
-    merge_threads: usize,
-    sorted_batches: &[Option<Vec<T>>],
-    pair_out: &mut [Option<Vec<T>>],
-    pending: &mut Vec<usize>,
-    t0: std::time::Instant,
-    spans: &mut Vec<ObsSpan>,
-) where
-    T: RadixKey + SortOrd + Default,
-{
-    let mut fired = true;
-    while fired {
-        fired = false;
-        let mut i = 0;
-        while i < pending.len() {
-            let slot = pending[i];
-            let spec = plan.pairs[slot];
-            let (Some(l), Some(r)) = (
-                src_slice(spec.left, sorted_batches, pair_out),
-                src_slice(spec.right, sorted_batches, pair_out),
-            ) else {
-                i += 1;
-                continue;
-            };
-            let mut out = vec![T::default(); spec.out_elems];
-            let m_start = t0.elapsed().as_secs_f64();
-            let label = format!("PairMerge p{slot}");
-            let stats = par_merge_into_cfg(sched, merge_threads, l, r, &mut out);
-            spans.push(
-                ObsSpan::new(
-                    OpClass::PairMerge,
-                    label.clone(),
-                    m_start,
-                    t0.elapsed().as_secs_f64(),
-                )
-                .with_bytes(spec.out_elems as f64 * plan.config.elem_bytes),
-            );
-            spans.extend(cpu_part_spans(&label, m_start, &stats));
-            pair_out[slot] = Some(out);
-            pending.remove(i);
-            fired = true;
-        }
-    }
-}
+use crate::exec_real::RealOutcome;
+use crate::plan::Plan;
 
 /// Sort `data` by executing the plan's streams on real OS threads.
 ///
@@ -125,389 +50,11 @@ pub fn sort_real_parallel<T>(plan: &Plan, data: &[T]) -> Result<RealOutcome<T>, 
 where
     T: RadixKey + SortOrd + Default,
 {
-    if data.len() != plan.n {
-        return Err(HetSortError::data(format!(
-            "data length {} does not match plan n = {}",
-            data.len(),
-            plan.n
-        )));
-    }
-    // Same integer-exact width check as the single-threaded executor.
-    let elem_bytes = plan.config.elem_bytes_usize()?;
-    if std::mem::size_of::<T>() != elem_bytes {
-        return Err(HetSortError::data(format!(
-            "element type is {} bytes but the config models {} — call with_elem_bytes",
-            std::mem::size_of::<T>(),
-            elem_bytes
-        )));
-    }
-    // Re-validate on every execution path, not only at build time.
-    plan.check_invariants()?;
-    let nb = plan.nb();
-    let input_fp = fingerprint(data);
-    let injected_before = plan.config.faults.as_ref().map_or(0, |i| i.injected());
-    let t0 = std::time::Instant::now();
-    let merge_threads = usize::try_from(plan.config.merge_threads_eff())
-        .unwrap_or(usize::MAX)
-        .min(4 * hetsort_algos::par::default_threads());
-    let device_sort_threads = hetsort_algos::par::default_threads();
-    let sched = plan.config.sched_cfg();
-
-    // Per-stream step lists (indices into plan.steps, already in FIFO
-    // order because the planner emits them that way).
-    let mut per_stream: Vec<Vec<usize>> = vec![Vec::new(); plan.total_streams];
-    for (i, step) in plan.steps.iter().enumerate() {
-        if let Some(s) = step.stream {
-            per_stream[s].push(i);
-        }
-    }
-
-    let (tx, rx) = mpsc::channel::<(usize, Vec<T>)>();
-
-    let mut sorted_batches: Vec<Option<Vec<T>>> = (0..nb).map(|_| None).collect();
-    let mut pair_out: Vec<Option<Vec<T>>> = (0..plan.pairs.len()).map(|_| None).collect();
-    let mut b_out: Vec<T> = Vec::new();
-    let mut recovery = RecoveryStats::default();
-    let mut stream_logs: Vec<Vec<(usize, Vec<Access>)>> = Vec::new();
-    let mut metrics = MetricsRegistry::new();
-    let mut merge_spans: Vec<ObsSpan> = Vec::new();
-    let mut replans: Vec<Plan> = Vec::new();
-
-    std::thread::scope(|scope| -> Result<(), HetSortError> {
-        // ---- stream workers ----------------------------------------
-        let mut handles = Vec::with_capacity(per_stream.len());
-        for (worker_id, steps) in per_stream.iter().enumerate() {
-            let tx = tx.clone();
-            let plan_ref = plan;
-            type WorkerOk = (RecoveryStats, Vec<(usize, Vec<Access>)>, Vec<ObsSpan>);
-            handles.push(scope.spawn(move || -> Result<WorkerOk, HetSortError> {
-                let mut sx = StreamExec::new(
-                    plan_ref,
-                    data,
-                    worker_id,
-                    merge_threads,
-                    device_sort_threads,
-                    t0,
-                );
-                // The batch currently being assembled in "W".
-                let mut assembling: Option<(usize, Vec<T>)> = None;
-                for &si in steps {
-                    if let StepKind::StageIn { batch, chunk, .. } = &plan_ref.steps[si].kind {
-                        if *chunk == 0 {
-                            if let Some(inj) = plan_ref.config.faults.as_deref() {
-                                if inj.should_panic(worker_id) {
-                                    panic!(
-                                        "injected panic in stream worker {worker_id} at batch {batch}"
-                                    );
-                                }
-                            }
-                        }
-                    }
-                    sx.step(si, &mut |batch, _start, chunk| {
-                        let (_, buf) = assembling.get_or_insert_with(|| {
-                            (batch, Vec::with_capacity(plan_ref.batches[batch].len))
-                        });
-                        buf.extend_from_slice(chunk);
-                        if buf.len() == plan_ref.batches[batch].len {
-                            if let Some(done) = assembling.take() {
-                                // A dead coordinator just means the run
-                                // already failed; don't panic on top.
-                                let _ = tx.send(done);
-                            }
-                        }
-                    })?;
-                }
-                Ok((sx.stats, sx.access_log, sx.span_log))
-            }));
-        }
-        drop(tx);
-
-        // ---- merge coordinator (this thread) ------------------------
-        let mut received = 0usize;
-        let mut pending_pairs: Vec<usize> = (0..plan.pairs.len()).collect();
-        while received < nb {
-            // A disconnect means every worker is done (some possibly
-            // dead); fall through to the join pass to find out which.
-            let Ok((idx, buf)) = rx.recv() else { break };
-            sorted_batches[idx] = Some(buf);
-            received += 1;
-            fire_ready_pairs(
-                plan,
-                &sched,
-                merge_threads,
-                &sorted_batches,
-                &mut pair_out,
-                &mut pending_pairs,
-                t0,
-                &mut merge_spans,
-            );
-        }
-
-        // ---- join: propagate typed errors, survive panics -----------
-        let mut first_err: Option<HetSortError> = None;
-        let mut first_panic: Option<HetSortError> = None;
-        let mut newly_lost: Vec<usize> = Vec::new();
-        for (worker, handle) in handles.into_iter().enumerate() {
-            match handle.join() {
-                Ok(Ok((stats, log, spans))) => {
-                    recovery.retries += stats.retries;
-                    recovery.degraded_batches += stats.degraded_batches;
-                    recovery.oom_replans += stats.oom_replans;
-                    stream_logs.push(log);
-                    metrics.record_all(spans);
-                }
-                Ok(Err(HetSortError::DeviceLost { gpu })) => {
-                    // A lost device is recoverable: remember it and
-                    // re-plan the missing batches after the join.
-                    if !newly_lost.contains(&gpu) {
-                        newly_lost.push(gpu);
-                    }
-                }
-                Ok(Err(e)) => {
-                    if first_err.is_none() {
-                        first_err = Some(e);
-                    }
-                }
-                Err(payload) => {
-                    let message = payload
-                        .downcast_ref::<&str>()
-                        .map(|s| (*s).to_string())
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "opaque panic payload".to_string());
-                    if first_panic.is_none() {
-                        first_panic = Some(HetSortError::WorkerPanic { worker, message });
-                    }
-                }
-            }
-        }
-        if let Some(e) = first_err {
-            return Err(e);
-        }
-
-        // ---- device-loss recovery: re-plan missing batches ----------
-        // Completed batches in `sorted_batches` are the checkpoint;
-        // each round builds a survivor plan and runs a sequential
-        // mini-pass over only the still-missing batches. A further loss
-        // during recovery shrinks the pool again.
-        if !newly_lost.is_empty() {
-            let mut lost_gpus: std::collections::BTreeSet<usize> = Default::default();
-            let mut cur_owned: Option<Plan> = None;
-            while !newly_lost.is_empty() {
-                let cur: &Plan = cur_owned.as_ref().unwrap_or(plan);
-                recovery.device_lost += newly_lost.len();
-                recovery.batches_recomputed += sorted_batches
-                    .iter()
-                    .enumerate()
-                    .filter(|(b, s)| {
-                        s.is_none() && newly_lost.contains(&cur.physical_gpu(cur.batches[*b].gpu))
-                    })
-                    .count();
-                lost_gpus.extend(newly_lost.drain(..));
-                let missing = sorted_batches.iter().filter(|s| s.is_none()).count();
-                let t_fail = t0.elapsed().as_secs_f64();
-                match crate::recover::survivor_plan(plan, &lost_gpus)? {
-                    None => {
-                        let gpu = lost_gpus.iter().next().copied().unwrap_or(0);
-                        if !plan.config.recovery.cpu_fallback {
-                            return Err(HetSortError::DeviceLost { gpu });
-                        }
-                        for (b, slot) in sorted_batches.iter_mut().enumerate() {
-                            if slot.is_none() {
-                                let bi = &plan.batches[b];
-                                let mut buf = data[bi.start..bi.start + bi.len].to_vec();
-                                par_radix_sort_cfg(&sched, merge_threads, &mut buf);
-                                *slot = Some(buf);
-                                recovery.degraded_batches += 1;
-                            }
-                        }
-                        metrics.record(ObsSpan::new(
-                            OpClass::Other,
-                            format!(
-                                "failover: GPU {gpu} lost, no survivors → host sort of {missing} batch(es)"
-                            ),
-                            t_fail,
-                            t0.elapsed().as_secs_f64(),
-                        ));
-                    }
-                    Some(rp) => {
-                        recovery.replans += 1;
-                        metrics.record(ObsSpan::new(
-                            OpClass::Other,
-                            format!(
-                                "failover: re-plan {missing} batch(es) on {} device(s)",
-                                rp.device_ids.len()
-                            ),
-                            t_fail,
-                            t0.elapsed().as_secs_f64(),
-                        ));
-                        let mut sxs: Vec<StreamExec<T>> = (0..rp.total_streams)
-                            .map(|s| {
-                                StreamExec::new(
-                                    &rp,
-                                    data,
-                                    s,
-                                    merge_threads,
-                                    device_sort_threads,
-                                    t0,
-                                )
-                            })
-                            .collect();
-                        let mut partial: Vec<Vec<T>> = vec![Vec::new(); nb];
-                        'mini: for (si, step) in rp.steps.iter().enumerate() {
-                            if matches!(
-                                step.kind,
-                                StepKind::PairMerge { .. } | StepKind::MultiwayMerge { .. }
-                            ) {
-                                continue;
-                            }
-                            if let Some(bi) = crate::recover::step_batch(&step.kind) {
-                                if sorted_batches[bi].is_some() {
-                                    continue;
-                                }
-                            }
-                            let Some(s) = step.stream else { continue };
-                            let r = sxs[s].step(si, &mut |batch, _start, chunk| {
-                                partial[batch].extend_from_slice(chunk);
-                            });
-                            match r {
-                                Ok(()) => {}
-                                Err(HetSortError::DeviceLost { gpu }) => {
-                                    newly_lost.push(gpu);
-                                    break 'mini;
-                                }
-                                Err(e) => return Err(e),
-                            }
-                        }
-                        for sx in &mut sxs {
-                            recovery.retries += sx.stats.retries;
-                            recovery.degraded_batches += sx.stats.degraded_batches;
-                            recovery.oom_replans += sx.stats.oom_replans;
-                            metrics.record_all(std::mem::take(&mut sx.span_log));
-                        }
-                        for (b, buf) in partial.into_iter().enumerate() {
-                            if sorted_batches[b].is_none() && buf.len() == plan.batches[b].len {
-                                sorted_batches[b] = Some(buf);
-                            }
-                        }
-                        replans.push(rp.clone());
-                        cur_owned = Some(rp);
-                    }
-                }
-            }
-            fire_ready_pairs(
-                plan,
-                &sched,
-                merge_threads,
-                &sorted_batches,
-                &mut pair_out,
-                &mut pending_pairs,
-                t0,
-                &mut merge_spans,
-            );
-        }
-
-        if let Some(e) = first_panic {
-            if !plan.config.recovery.cpu_fallback {
-                return Err(e);
-            }
-            // Graceful degradation: host-sort whatever the dead
-            // worker(s) never delivered, straight from A.
-            for (b, slot) in sorted_batches.iter_mut().enumerate() {
-                if slot.is_none() {
-                    let bi = &plan.batches[b];
-                    let mut buf = data[bi.start..bi.start + bi.len].to_vec();
-                    par_radix_sort_cfg(&sched, merge_threads, &mut buf);
-                    *slot = Some(buf);
-                    recovery.degraded_batches += 1;
-                }
-            }
-            fire_ready_pairs(
-                plan,
-                &sched,
-                merge_threads,
-                &sorted_batches,
-                &mut pair_out,
-                &mut pending_pairs,
-                t0,
-                &mut merge_spans,
-            );
-        }
-        if !pending_pairs.is_empty() {
-            return Err(HetSortError::MergeStall {
-                pending: pending_pairs.len(),
-            });
-        }
-
-        // ---- final merge --------------------------------------------
-        b_out = vec![T::default(); plan.n];
-        if nb == 1 {
-            let only = sorted_batches[0]
-                .as_deref()
-                .ok_or_else(|| HetSortError::Plan {
-                    reason: "batch 0 was never produced".to_string(),
-                })?;
-            b_out.copy_from_slice(only);
-        } else {
-            let inputs = plan
-                .steps
-                .iter()
-                .rev()
-                .find_map(|s| match &s.kind {
-                    StepKind::MultiwayMerge { inputs } => Some(inputs.clone()),
-                    _ => None,
-                })
-                .ok_or_else(|| HetSortError::Plan {
-                    reason: "plan has no final merge".to_string(),
-                })?;
-            let mut lists: Vec<&[T]> = Vec::with_capacity(inputs.len());
-            for (k, inp) in inputs.iter().enumerate() {
-                let sl = match *inp {
-                    MergeInput::Batch(b) => sorted_batches[b].as_deref(),
-                    MergeInput::Pair(p) => pair_out[p].as_deref(),
-                }
-                .ok_or_else(|| HetSortError::Plan {
-                    reason: format!("final merge input {k} was never produced"),
-                })?;
-                lists.push(sl);
-            }
-            let m_start = t0.elapsed().as_secs_f64();
-            let label = format!("MultiwayMerge k{}", lists.len());
-            let stats = par_multiway_merge_into_cfg(&sched, merge_threads, &lists, &mut b_out);
-            merge_spans.push(
-                ObsSpan::new(
-                    OpClass::MultiwayMerge,
-                    label.clone(),
-                    m_start,
-                    t0.elapsed().as_secs_f64(),
-                )
-                .with_bytes(plan.n as f64 * plan.config.elem_bytes),
-            );
-            merge_spans.extend(cpu_part_spans(&label, m_start, &stats));
-        }
-        Ok(())
-    })?;
-
-    recovery.faults_injected =
-        plan.config.faults.as_ref().map_or(0, |i| i.injected()) - injected_before;
-    let trace = plan
-        .config
-        .record_trace
-        .then(|| assemble_trace(plan, &stream_logs));
-    metrics.record_all(merge_spans);
-    recovery.fold_into(&mut metrics);
-    let wall_s = t0.elapsed().as_secs_f64();
-    let verified = is_sorted(&b_out) && fingerprint(&b_out) == input_fp;
-    Ok(RealOutcome {
-        sorted: b_out,
-        wall_s,
-        verified,
-        nb,
-        pair_merges: plan.pairs.len(),
-        recovery,
-        trace,
-        metrics,
-        replans,
-    })
+    crate::dag::exec::execute_dag_pooled(
+        &crate::dag::PlanDag::from_plan(plan.clone()),
+        data,
+        plan.total_streams.max(1),
+    )
 }
 
 #[cfg(test)]

@@ -1,11 +1,19 @@
-//! Simulated execution: lower a [`Plan`] onto the calibrated
+//! Simulated execution: lower a [`PlanDag`] onto the calibrated
 //! [`Machine`] and time it at paper scale.
+//!
+//! Like the functional executors, the simulator runs off the DAG IR:
+//! [`simulate_plan`] lowers the plan through [`PlanDag::from_plan`]
+//! (validating it on the way) and [`simulate_dag`] maps each typed op
+//! onto the corresponding machine primitive. Dependency edges become
+//! op-start constraints, so the simulated timeline is exactly the
+//! plan's dependency structure under the platform's calibrated costs.
 
 use hetsort_sim::OpId;
 use hetsort_vgpu::{Machine, TransferDir};
 
+use crate::dag::{DagOp, PlanDag};
 use crate::error::HetSortError;
-use crate::plan::{Plan, StepKind};
+use crate::plan::Plan;
 use crate::report::TimingReport;
 
 /// Build the plan for `(config, n)` and simulate it.
@@ -23,14 +31,26 @@ pub fn simulate(
     simulate_plan(&plan)
 }
 
-/// Simulate an already-built plan.
+/// Simulate an already-built plan (lowered through the DAG IR).
 ///
 /// # Errors
 ///
 /// [`HetSortError::GpuOom`] and [`HetSortError::Sim`] as above.
 pub fn simulate_plan(plan: &Plan) -> Result<TimingReport, HetSortError> {
+    simulate_dag(&PlanDag::from_plan(plan.clone()))
+}
+
+/// Simulate a validated op dag on the configured platform.
+///
+/// # Errors
+///
+/// [`HetSortError::Plan`] when the dag fails validation,
+/// [`HetSortError::GpuOom`] and [`HetSortError::Sim`] as above.
+pub fn simulate_dag(dag: &PlanDag) -> Result<TimingReport, HetSortError> {
+    let plan = &dag.plan;
     // Re-validate on every execution path, not only at build time.
     plan.check_invariants()?;
+    dag.validate()?;
     let cfg = &plan.config;
     let mut m = Machine::new(cfg.platform.clone());
 
@@ -69,7 +89,7 @@ pub fn simulate_plan(plan: &Plan) -> Result<TimingReport, HetSortError> {
     let memcpy_threads = cfg.memcpy_threads_eff();
     let merge_threads = cfg.merge_threads_eff();
     let pair_merge_threads = cfg.pair_merge_threads_eff();
-    let mut op_ids: Vec<OpId> = Vec::with_capacity(plan.steps.len());
+    let mut op_ids: Vec<OpId> = Vec::with_capacity(dag.nodes.len());
     let mut n_async_transfers = 0usize;
     let mut n_sorts = 0usize;
 
@@ -83,20 +103,22 @@ pub fn simulate_plan(plan: &Plan) -> Result<TimingReport, HetSortError> {
         .collect();
     let mut stream_started = vec![false; plan.total_streams];
 
-    for step in &plan.steps {
-        let mut deps: Vec<OpId> = step.deps.iter().map(|&d| op_ids[d]).collect();
-        if let Some(s) = step.stream {
+    for node in &dag.nodes {
+        let mut deps: Vec<OpId> = node.deps.iter().map(|&d| op_ids[d]).collect();
+        if let Some(s) = node.stream {
             if !stream_started[s] {
                 stream_started[s] = true;
                 deps.push(skews[s]);
             }
         }
-        let queue = step.stream.map(|s| queues[s]);
-        let lane = step.stream.map(|s| stream_lanes[s]);
-        let id = match &step.kind {
-            StepKind::PinnedAlloc { bytes, .. } => m.pinned_alloc(*bytes, &deps, lane),
-            StepKind::StageIn { batch, len, .. } => m.host_memcpy(
-                true,
+        let queue = node.stream.map(|s| queues[s]);
+        let lane = node.stream.map(|s| stream_lanes[s]);
+        let id = match &node.op {
+            DagOp::PinnedAlloc { bytes, .. } => m.pinned_alloc(*bytes, &deps, lane),
+            DagOp::StagingCopy {
+                batch, len, dir_in, ..
+            } => m.host_memcpy(
+                *dir_in,
                 cfg.elem_bytes * *len as f64,
                 memcpy_threads,
                 queue,
@@ -104,7 +126,7 @@ pub fn simulate_plan(plan: &Plan) -> Result<TimingReport, HetSortError> {
                 lane,
                 *batch as u64,
             ),
-            StepKind::HtoD { batch, len, .. } => {
+            DagOp::HtoD { batch, len, .. } => {
                 if plan.asynchronous {
                     n_async_transfers += 1;
                 }
@@ -121,7 +143,7 @@ pub fn simulate_plan(plan: &Plan) -> Result<TimingReport, HetSortError> {
                     *batch as u64,
                 )
             }
-            StepKind::GpuSort { batch } => {
+            DagOp::Sort { batch } => {
                 n_sorts += 1;
                 let b = &plan.batches[*batch];
                 // Device radix sort is memory-bandwidth-bound: key/value
@@ -138,7 +160,7 @@ pub fn simulate_plan(plan: &Plan) -> Result<TimingReport, HetSortError> {
                     *batch as u64,
                 )
             }
-            StepKind::DtoH { batch, len, .. } => {
+            DagOp::DtoH { batch, len, .. } => {
                 if plan.asynchronous {
                     n_async_transfers += 1;
                 }
@@ -155,16 +177,7 @@ pub fn simulate_plan(plan: &Plan) -> Result<TimingReport, HetSortError> {
                     *batch as u64,
                 )
             }
-            StepKind::StageOut { batch, len, .. } => m.host_memcpy(
-                false,
-                cfg.elem_bytes * *len as f64,
-                memcpy_threads,
-                queue,
-                &deps,
-                lane,
-                *batch as u64,
-            ),
-            StepKind::PairMerge { slot } => {
+            DagOp::PairMerge { slot } => {
                 let spec = &plan.pairs[*slot];
                 // The paper's heuristic deliberately leaves cores for
                 // the staging pipeline; the rejected strategies are
@@ -178,7 +191,14 @@ pub fn simulate_plan(plan: &Plan) -> Result<TimingReport, HetSortError> {
                     };
                 m.pair_merge(spec.out_elems as f64, threads, &deps, Some(cpu_lane))
             }
-            StepKind::MultiwayMerge { inputs } => m.multiway_merge(
+            DagOp::CpuMerge { slot } => {
+                // Pinned to the host merge resource: always the full
+                // merge thread pool, never the paper heuristic's
+                // reserved-core split.
+                let spec = &plan.pairs[*slot];
+                m.pair_merge(spec.out_elems as f64, merge_threads, &deps, Some(cpu_lane))
+            }
+            DagOp::MultiwayMerge { inputs } => m.multiway_merge(
                 plan.n as f64,
                 inputs.len(),
                 merge_threads,

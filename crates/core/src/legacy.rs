@@ -1,0 +1,663 @@
+//! Legacy per-approach executor loops, kept verbatim for ONE PR behind
+//! the `legacy-exec` feature as the differential baseline for the DAG
+//! engine ([`crate::dag::exec`]).
+//!
+//! `tests/dag_differential.rs` runs every approach × platform × ragged
+//! geometry × element width through both paths and asserts bitwise
+//! identical outputs, identical [`RecoveryStats`], and identical span
+//! multisets. Once that suite has shipped green, this module is dead
+//! code scheduled for deletion — do not grow it, do not call it from
+//! non-test code.
+
+use std::sync::mpsc;
+
+use hetsort_algos::keys::{RadixKey, SortOrd};
+use hetsort_algos::merge::par_merge_into_cfg;
+use hetsort_algos::multiway::par_multiway_merge_into_cfg;
+use hetsort_algos::par::par_copy;
+use hetsort_algos::radix_par::par_radix_sort_cfg;
+use hetsort_algos::verify::{fingerprint, is_sorted};
+use hetsort_obs::{MetricsRegistry, ObsSpan, OpClass};
+use hetsort_sim::Access;
+
+use crate::dag::exec::fire_ready_pairs;
+use crate::error::HetSortError;
+use crate::exec_real::{assemble_trace, cpu_part_spans, RealOutcome};
+use crate::exec_stream::StreamExec;
+use crate::plan::{MergeInput, Plan, StepKind};
+use crate::report::RecoveryStats;
+
+/// The pre-DAG sequential interpreter: submission-order step loop with
+/// deferred merges. Byte-for-byte the old `sort_real_plan`.
+///
+/// # Errors
+///
+/// As [`crate::exec_real::sort_real_plan`].
+pub fn sort_real_plan_legacy<T>(plan: &Plan, data: &[T]) -> Result<RealOutcome<T>, HetSortError>
+where
+    T: RadixKey + SortOrd + Default,
+{
+    if data.len() != plan.n {
+        return Err(HetSortError::Data {
+            reason: format!(
+                "data length {} does not match plan n = {}",
+                data.len(),
+                plan.n
+            ),
+        });
+    }
+    let elem_bytes = plan.config.elem_bytes_usize()?;
+    if std::mem::size_of::<T>() != elem_bytes {
+        return Err(HetSortError::Data {
+            reason: format!(
+                "element type is {} bytes but the config models {} — call with_elem_bytes",
+                std::mem::size_of::<T>(),
+                elem_bytes
+            ),
+        });
+    }
+    plan.check_invariants()?;
+    let cfg = &plan.config;
+    let n = plan.n;
+    let nb = plan.nb();
+    let input_fp = fingerprint(data);
+    let injected_before = cfg.faults.as_ref().map_or(0, |i| i.injected());
+    let t0 = std::time::Instant::now();
+
+    let mut w = vec![T::default(); if nb > 1 { n } else { 0 }];
+    let mut b_out = vec![T::default(); n];
+    let mut pair_out: Vec<Vec<T>> = (0..plan.pairs.len()).map(|_| Vec::new()).collect();
+    let merge_threads = usize::try_from(cfg.merge_threads_eff()).unwrap_or(usize::MAX);
+    let host_threads = merge_threads.min(4 * hetsort_algos::par::default_threads());
+    let device_sort_threads = hetsort_algos::par::default_threads();
+    let memcpy_threads = usize::try_from(cfg.memcpy_threads_eff())
+        .unwrap_or(usize::MAX)
+        .min(4 * hetsort_algos::par::default_threads());
+    let sched = cfg.sched_cfg();
+
+    let mut recovery = RecoveryStats::default();
+    let mut metrics = MetricsRegistry::new();
+    let mut replans: Vec<Plan> = Vec::new();
+    let mut lost_gpus: std::collections::BTreeSet<usize> = Default::default();
+    let mut emitted: Vec<usize> = vec![0usize; nb];
+    let mut final_logs: Vec<Vec<(usize, Vec<Access>)>> = Vec::new();
+    let mut cur_owned: Option<Plan> = None;
+    loop {
+        let cur: &Plan = cur_owned.as_ref().unwrap_or(plan);
+        let mut streams: Vec<StreamExec<T>> = (0..cur.total_streams)
+            .map(|s| StreamExec::new(cur, data, s, host_threads, device_sort_threads, t0))
+            .collect();
+        let mut lost: Option<usize> = None;
+        let mut skipped_log: Vec<(usize, Vec<Access>)> = Vec::new();
+        for (si, step) in cur.steps.iter().enumerate() {
+            if matches!(
+                step.kind,
+                StepKind::PairMerge { .. } | StepKind::MultiwayMerge { .. }
+            ) {
+                continue;
+            }
+            if let Some(bi) = crate::recover::step_batch(&step.kind) {
+                if emitted[bi] >= cur.batches[bi].len {
+                    if cur.config.record_trace {
+                        skipped_log.push((si, Vec::new()));
+                    }
+                    continue;
+                }
+            }
+            let s = step.stream.ok_or_else(|| HetSortError::Plan {
+                reason: format!("step {si} has no stream"),
+            })?;
+            let dst = if nb > 1 { &mut w } else { &mut b_out };
+            let r = streams[s].step(si, &mut |batch, start, chunk| {
+                par_copy(memcpy_threads, chunk, &mut dst[start..start + chunk.len()]);
+                emitted[batch] += chunk.len();
+            });
+            match r {
+                Ok(()) => {}
+                Err(HetSortError::DeviceLost { gpu }) => {
+                    lost = Some(gpu);
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        for sx in &mut streams {
+            recovery.retries += sx.stats.retries;
+            recovery.degraded_batches += sx.stats.degraded_batches;
+            recovery.oom_replans += sx.stats.oom_replans;
+            metrics.record_all(std::mem::take(&mut sx.span_log));
+        }
+        if cur.config.record_trace {
+            final_logs = streams.iter().map(|sx| sx.access_log.clone()).collect();
+            final_logs.push(skipped_log);
+        }
+        let Some(gpu) = lost else { break };
+
+        recovery.device_lost += 1;
+        lost_gpus.insert(gpu);
+        let unfinished: Vec<usize> = (0..nb)
+            .filter(|&b| emitted[b] < plan.batches[b].len)
+            .collect();
+        recovery.batches_recomputed += unfinished
+            .iter()
+            .filter(|&&b| cur.physical_gpu(cur.batches[b].gpu) == gpu)
+            .count();
+        for &b in &unfinished {
+            emitted[b] = 0;
+        }
+        let t_fail = t0.elapsed().as_secs_f64();
+        match crate::recover::survivor_plan(plan, &lost_gpus)? {
+            Some(rp) => {
+                recovery.replans += 1;
+                metrics.record(ObsSpan::new(
+                    OpClass::Other,
+                    format!(
+                        "failover: GPU {gpu} lost → re-plan {} batch(es) on {} device(s)",
+                        unfinished.len(),
+                        rp.device_ids.len()
+                    ),
+                    t_fail,
+                    t0.elapsed().as_secs_f64(),
+                ));
+                replans.push(rp.clone());
+                cur_owned = Some(rp);
+            }
+            None => {
+                if !cfg.recovery.cpu_fallback {
+                    return Err(HetSortError::DeviceLost { gpu });
+                }
+                for &b in &unfinished {
+                    let bi = plan.batches[b];
+                    let dst = if nb > 1 { &mut w } else { &mut b_out };
+                    let seg = &mut dst[bi.start..bi.start + bi.len];
+                    par_copy(memcpy_threads, &data[bi.start..bi.start + bi.len], seg);
+                    hetsort_algos::radix_par::par_radix_sort_cfg(&sched, host_threads, seg);
+                    emitted[b] = bi.len;
+                    recovery.degraded_batches += 1;
+                }
+                metrics.record(ObsSpan::new(
+                    OpClass::Other,
+                    format!(
+                        "failover: GPU {gpu} lost, no survivors → host sort of {} batch(es)",
+                        unfinished.len()
+                    ),
+                    t_fail,
+                    t0.elapsed().as_secs_f64(),
+                ));
+                break;
+            }
+        }
+    }
+    debug_assert!(
+        (0..nb).all(|b| emitted[b] == plan.batches[b].len),
+        "every batch must be staged out before merging"
+    );
+
+    let mut pair_merges_done = 0usize;
+    let mut merge_spans: Vec<ObsSpan> = Vec::new();
+    for step in plan.steps.iter() {
+        match &step.kind {
+            StepKind::PairMerge { slot } => {
+                let spec = plan.pairs[*slot];
+                let resolve = |src: crate::plan::MergeSrc| -> &[T] {
+                    match src {
+                        crate::plan::MergeSrc::Batch(b) => {
+                            let bi = &plan.batches[b];
+                            &w[bi.start..bi.start + bi.len]
+                        }
+                        crate::plan::MergeSrc::Merged(p) => pair_out[p].as_slice(),
+                    }
+                };
+                let mut out = vec![T::default(); spec.out_elems];
+                let m_start = t0.elapsed().as_secs_f64();
+                let label = format!("PairMerge p{slot}");
+                let stats = par_merge_into_cfg(
+                    &sched,
+                    host_threads,
+                    resolve(spec.left),
+                    resolve(spec.right),
+                    &mut out,
+                );
+                merge_spans.push(
+                    ObsSpan::new(
+                        OpClass::PairMerge,
+                        label.clone(),
+                        m_start,
+                        t0.elapsed().as_secs_f64(),
+                    )
+                    .with_bytes(spec.out_elems as f64 * cfg.elem_bytes),
+                );
+                merge_spans.extend(cpu_part_spans(&label, m_start, &stats));
+                pair_out[*slot] = out;
+                pair_merges_done += 1;
+            }
+            StepKind::MultiwayMerge { inputs } => {
+                let lists: Vec<&[T]> = inputs
+                    .iter()
+                    .map(|inp| match *inp {
+                        MergeInput::Batch(b) => {
+                            let bi = &plan.batches[b];
+                            &w[bi.start..bi.start + bi.len]
+                        }
+                        MergeInput::Pair(p) => pair_out[p].as_slice(),
+                    })
+                    .collect();
+                let m_start = t0.elapsed().as_secs_f64();
+                let label = format!("MultiwayMerge k{}", lists.len());
+                let stats = par_multiway_merge_into_cfg(&sched, host_threads, &lists, &mut b_out);
+                merge_spans.push(
+                    ObsSpan::new(
+                        OpClass::MultiwayMerge,
+                        label.clone(),
+                        m_start,
+                        t0.elapsed().as_secs_f64(),
+                    )
+                    .with_bytes(plan.n as f64 * cfg.elem_bytes),
+                );
+                merge_spans.extend(cpu_part_spans(&label, m_start, &stats));
+            }
+            _ => {}
+        }
+    }
+
+    recovery.faults_injected = cfg.faults.as_ref().map_or(0, |i| i.injected()) - injected_before;
+
+    let trace = cfg.record_trace.then(|| {
+        let trace_plan = replans.last().unwrap_or(plan);
+        assemble_trace(trace_plan, &final_logs)
+    });
+
+    metrics.record_all(merge_spans);
+    recovery.fold_into(&mut metrics);
+
+    let wall_s = t0.elapsed().as_secs_f64();
+    let verified = is_sorted(&b_out) && fingerprint(&b_out) == input_fp;
+    Ok(RealOutcome {
+        sorted: b_out,
+        wall_s,
+        verified,
+        nb,
+        pair_merges: pair_merges_done,
+        recovery,
+        trace,
+        metrics,
+        replans,
+    })
+}
+
+/// The pre-DAG thread-per-stream executor. Byte-for-byte the old
+/// `sort_real_parallel`.
+///
+/// # Errors
+///
+/// As [`crate::exec_real_mt::sort_real_parallel`].
+pub fn sort_real_parallel_legacy<T>(plan: &Plan, data: &[T]) -> Result<RealOutcome<T>, HetSortError>
+where
+    T: RadixKey + SortOrd + Default,
+{
+    if data.len() != plan.n {
+        return Err(HetSortError::Data {
+            reason: format!(
+                "data length {} does not match plan n = {}",
+                data.len(),
+                plan.n
+            ),
+        });
+    }
+    let elem_bytes = plan.config.elem_bytes_usize()?;
+    if std::mem::size_of::<T>() != elem_bytes {
+        return Err(HetSortError::Data {
+            reason: format!(
+                "element type is {} bytes but the config models {} — call with_elem_bytes",
+                std::mem::size_of::<T>(),
+                elem_bytes
+            ),
+        });
+    }
+    plan.check_invariants()?;
+    let nb = plan.nb();
+    let input_fp = fingerprint(data);
+    let injected_before = plan.config.faults.as_ref().map_or(0, |i| i.injected());
+    let t0 = std::time::Instant::now();
+    let merge_threads = usize::try_from(plan.config.merge_threads_eff())
+        .unwrap_or(usize::MAX)
+        .min(4 * hetsort_algos::par::default_threads());
+    let device_sort_threads = hetsort_algos::par::default_threads();
+    let sched = plan.config.sched_cfg();
+
+    let mut per_stream: Vec<Vec<usize>> = vec![Vec::new(); plan.total_streams];
+    for (i, step) in plan.steps.iter().enumerate() {
+        if let Some(s) = step.stream {
+            per_stream[s].push(i);
+        }
+    }
+
+    let (tx, rx) = mpsc::channel::<(usize, Vec<T>)>();
+
+    let mut sorted_batches: Vec<Option<Vec<T>>> = (0..nb).map(|_| None).collect();
+    let mut pair_out: Vec<Option<Vec<T>>> = (0..plan.pairs.len()).map(|_| None).collect();
+    let mut b_out: Vec<T> = Vec::new();
+    let mut recovery = RecoveryStats::default();
+    let mut stream_logs: Vec<Vec<(usize, Vec<Access>)>> = Vec::new();
+    let mut metrics = MetricsRegistry::new();
+    let mut merge_spans: Vec<ObsSpan> = Vec::new();
+    let mut replans: Vec<Plan> = Vec::new();
+
+    std::thread::scope(|scope| -> Result<(), HetSortError> {
+        let mut handles = Vec::with_capacity(per_stream.len());
+        for (worker_id, steps) in per_stream.iter().enumerate() {
+            let tx = tx.clone();
+            let plan_ref = plan;
+            type WorkerOk = (RecoveryStats, Vec<(usize, Vec<Access>)>, Vec<ObsSpan>);
+            handles.push(scope.spawn(move || -> Result<WorkerOk, HetSortError> {
+                let mut sx = StreamExec::new(
+                    plan_ref,
+                    data,
+                    worker_id,
+                    merge_threads,
+                    device_sort_threads,
+                    t0,
+                );
+                let mut assembling: Option<(usize, Vec<T>)> = None;
+                for &si in steps {
+                    if let StepKind::StageIn { batch, chunk, .. } = &plan_ref.steps[si].kind {
+                        if *chunk == 0 {
+                            if let Some(inj) = plan_ref.config.faults.as_deref() {
+                                if inj.should_panic(worker_id) {
+                                    panic!(
+                                        "injected panic in stream worker {worker_id} at batch {batch}"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    sx.step(si, &mut |batch, _start, chunk| {
+                        let (_, buf) = assembling.get_or_insert_with(|| {
+                            (batch, Vec::with_capacity(plan_ref.batches[batch].len))
+                        });
+                        buf.extend_from_slice(chunk);
+                        if buf.len() == plan_ref.batches[batch].len {
+                            if let Some(done) = assembling.take() {
+                                let _ = tx.send(done);
+                            }
+                        }
+                    })?;
+                }
+                Ok((sx.stats, sx.access_log, sx.span_log))
+            }));
+        }
+        drop(tx);
+
+        let mut received = 0usize;
+        let mut pending_pairs: Vec<usize> = (0..plan.pairs.len()).collect();
+        while received < nb {
+            let Ok((idx, buf)) = rx.recv() else { break };
+            sorted_batches[idx] = Some(buf);
+            received += 1;
+            fire_ready_pairs(
+                plan,
+                &sched,
+                merge_threads,
+                &sorted_batches,
+                &mut pair_out,
+                &mut pending_pairs,
+                t0,
+                &mut merge_spans,
+            );
+        }
+
+        let mut first_err: Option<HetSortError> = None;
+        let mut first_panic: Option<HetSortError> = None;
+        let mut newly_lost: Vec<usize> = Vec::new();
+        for (worker, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(Ok((stats, log, spans))) => {
+                    recovery.retries += stats.retries;
+                    recovery.degraded_batches += stats.degraded_batches;
+                    recovery.oom_replans += stats.oom_replans;
+                    stream_logs.push(log);
+                    metrics.record_all(spans);
+                }
+                Ok(Err(HetSortError::DeviceLost { gpu })) => {
+                    if !newly_lost.contains(&gpu) {
+                        newly_lost.push(gpu);
+                    }
+                }
+                Ok(Err(e)) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+                Err(payload) => {
+                    let message = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "opaque panic payload".to_string());
+                    if first_panic.is_none() {
+                        first_panic = Some(HetSortError::WorkerPanic { worker, message });
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+
+        if !newly_lost.is_empty() {
+            let mut lost_gpus: std::collections::BTreeSet<usize> = Default::default();
+            let mut cur_owned: Option<Plan> = None;
+            while !newly_lost.is_empty() {
+                let cur: &Plan = cur_owned.as_ref().unwrap_or(plan);
+                recovery.device_lost += newly_lost.len();
+                recovery.batches_recomputed += sorted_batches
+                    .iter()
+                    .enumerate()
+                    .filter(|(b, s)| {
+                        s.is_none() && newly_lost.contains(&cur.physical_gpu(cur.batches[*b].gpu))
+                    })
+                    .count();
+                lost_gpus.extend(newly_lost.drain(..));
+                let missing = sorted_batches.iter().filter(|s| s.is_none()).count();
+                let t_fail = t0.elapsed().as_secs_f64();
+                match crate::recover::survivor_plan(plan, &lost_gpus)? {
+                    None => {
+                        let gpu = lost_gpus.iter().next().copied().unwrap_or(0);
+                        if !plan.config.recovery.cpu_fallback {
+                            return Err(HetSortError::DeviceLost { gpu });
+                        }
+                        for (b, slot) in sorted_batches.iter_mut().enumerate() {
+                            if slot.is_none() {
+                                let bi = &plan.batches[b];
+                                let mut buf = data[bi.start..bi.start + bi.len].to_vec();
+                                par_radix_sort_cfg(&sched, merge_threads, &mut buf);
+                                *slot = Some(buf);
+                                recovery.degraded_batches += 1;
+                            }
+                        }
+                        metrics.record(ObsSpan::new(
+                            OpClass::Other,
+                            format!(
+                                "failover: GPU {gpu} lost, no survivors → host sort of {missing} batch(es)"
+                            ),
+                            t_fail,
+                            t0.elapsed().as_secs_f64(),
+                        ));
+                    }
+                    Some(rp) => {
+                        recovery.replans += 1;
+                        metrics.record(ObsSpan::new(
+                            OpClass::Other,
+                            format!(
+                                "failover: re-plan {missing} batch(es) on {} device(s)",
+                                rp.device_ids.len()
+                            ),
+                            t_fail,
+                            t0.elapsed().as_secs_f64(),
+                        ));
+                        let mut sxs: Vec<StreamExec<T>> = (0..rp.total_streams)
+                            .map(|s| {
+                                StreamExec::new(
+                                    &rp,
+                                    data,
+                                    s,
+                                    merge_threads,
+                                    device_sort_threads,
+                                    t0,
+                                )
+                            })
+                            .collect();
+                        let mut partial: Vec<Vec<T>> = vec![Vec::new(); nb];
+                        'mini: for (si, step) in rp.steps.iter().enumerate() {
+                            if matches!(
+                                step.kind,
+                                StepKind::PairMerge { .. } | StepKind::MultiwayMerge { .. }
+                            ) {
+                                continue;
+                            }
+                            if let Some(bi) = crate::recover::step_batch(&step.kind) {
+                                if sorted_batches[bi].is_some() {
+                                    continue;
+                                }
+                            }
+                            let Some(s) = step.stream else { continue };
+                            let r = sxs[s].step(si, &mut |batch, _start, chunk| {
+                                partial[batch].extend_from_slice(chunk);
+                            });
+                            match r {
+                                Ok(()) => {}
+                                Err(HetSortError::DeviceLost { gpu }) => {
+                                    newly_lost.push(gpu);
+                                    break 'mini;
+                                }
+                                Err(e) => return Err(e),
+                            }
+                        }
+                        for sx in &mut sxs {
+                            recovery.retries += sx.stats.retries;
+                            recovery.degraded_batches += sx.stats.degraded_batches;
+                            recovery.oom_replans += sx.stats.oom_replans;
+                            metrics.record_all(std::mem::take(&mut sx.span_log));
+                        }
+                        for (b, buf) in partial.into_iter().enumerate() {
+                            if sorted_batches[b].is_none() && buf.len() == plan.batches[b].len {
+                                sorted_batches[b] = Some(buf);
+                            }
+                        }
+                        replans.push(rp.clone());
+                        cur_owned = Some(rp);
+                    }
+                }
+            }
+            fire_ready_pairs(
+                plan,
+                &sched,
+                merge_threads,
+                &sorted_batches,
+                &mut pair_out,
+                &mut pending_pairs,
+                t0,
+                &mut merge_spans,
+            );
+        }
+
+        if let Some(e) = first_panic {
+            if !plan.config.recovery.cpu_fallback {
+                return Err(e);
+            }
+            for (b, slot) in sorted_batches.iter_mut().enumerate() {
+                if slot.is_none() {
+                    let bi = &plan.batches[b];
+                    let mut buf = data[bi.start..bi.start + bi.len].to_vec();
+                    par_radix_sort_cfg(&sched, merge_threads, &mut buf);
+                    *slot = Some(buf);
+                    recovery.degraded_batches += 1;
+                }
+            }
+            fire_ready_pairs(
+                plan,
+                &sched,
+                merge_threads,
+                &sorted_batches,
+                &mut pair_out,
+                &mut pending_pairs,
+                t0,
+                &mut merge_spans,
+            );
+        }
+        if !pending_pairs.is_empty() {
+            return Err(HetSortError::MergeStall {
+                pending: pending_pairs.len(),
+            });
+        }
+
+        b_out = vec![T::default(); plan.n];
+        if nb == 1 {
+            let only = sorted_batches[0]
+                .as_deref()
+                .ok_or_else(|| HetSortError::Plan {
+                    reason: "batch 0 was never produced".to_string(),
+                })?;
+            b_out.copy_from_slice(only);
+        } else {
+            let inputs = plan
+                .steps
+                .iter()
+                .rev()
+                .find_map(|s| match &s.kind {
+                    StepKind::MultiwayMerge { inputs } => Some(inputs.clone()),
+                    _ => None,
+                })
+                .ok_or_else(|| HetSortError::Plan {
+                    reason: "plan has no final merge".to_string(),
+                })?;
+            let mut lists: Vec<&[T]> = Vec::with_capacity(inputs.len());
+            for (k, inp) in inputs.iter().enumerate() {
+                let sl = match *inp {
+                    MergeInput::Batch(b) => sorted_batches[b].as_deref(),
+                    MergeInput::Pair(p) => pair_out[p].as_deref(),
+                }
+                .ok_or_else(|| HetSortError::Plan {
+                    reason: format!("final merge input {k} was never produced"),
+                })?;
+                lists.push(sl);
+            }
+            let m_start = t0.elapsed().as_secs_f64();
+            let label = format!("MultiwayMerge k{}", lists.len());
+            let stats = par_multiway_merge_into_cfg(&sched, merge_threads, &lists, &mut b_out);
+            merge_spans.push(
+                ObsSpan::new(
+                    OpClass::MultiwayMerge,
+                    label.clone(),
+                    m_start,
+                    t0.elapsed().as_secs_f64(),
+                )
+                .with_bytes(plan.n as f64 * plan.config.elem_bytes),
+            );
+            merge_spans.extend(cpu_part_spans(&label, m_start, &stats));
+        }
+        Ok(())
+    })?;
+
+    recovery.faults_injected =
+        plan.config.faults.as_ref().map_or(0, |i| i.injected()) - injected_before;
+    let trace = plan
+        .config
+        .record_trace
+        .then(|| assemble_trace(plan, &stream_logs));
+    metrics.record_all(merge_spans);
+    recovery.fold_into(&mut metrics);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let verified = is_sorted(&b_out) && fingerprint(&b_out) == input_fp;
+    Ok(RealOutcome {
+        sorted: b_out,
+        wall_s,
+        verified,
+        nb,
+        pair_merges: plan.pairs.len(),
+        recovery,
+        trace,
+        metrics,
+        replans,
+    })
+}

@@ -39,13 +39,17 @@
 
 pub mod accounting;
 pub mod config;
+pub mod dag;
 pub mod error;
 pub mod exec_real;
 pub mod exec_real_mt;
 pub mod exec_sim;
 pub(crate) mod exec_stream;
+#[cfg(feature = "legacy-exec")]
+pub mod legacy;
 pub mod optrace;
 pub mod plan;
+pub mod plan_builders;
 pub mod recover;
 pub mod reference;
 pub mod report;
@@ -54,9 +58,14 @@ pub use config::{
     Approach, CpuSched, DeviceSortKind, HetSortConfig, PairStrategy, RecoveryPolicy,
     SUPPORTED_ELEM_BYTES,
 };
+pub use dag::exec::{
+    execute_dag, execute_dag_opts, execute_dag_pooled, execute_dag_pooled_opts, DagExecOptions,
+};
+pub use dag::{DagNode, DagOp, PlanDag, ReadySet, TieBreak};
 pub use error::HetSortError;
 pub use exec_real::{sort_real, RealOutcome};
 pub use exec_real_mt::sort_real_parallel;
-pub use exec_sim::simulate;
+pub use exec_sim::{simulate, simulate_dag};
 pub use plan::Plan;
+pub use plan_builders::build_dag;
 pub use report::{RecoveryStats, TimingReport};

@@ -1,9 +1,17 @@
-//! Lowering a [`Plan`] to a structured [`OpTrace`].
+//! Lowering a [`PlanDag`] (or a [`Plan`], via the IR) to a structured
+//! [`OpTrace`].
 //!
-//! Two producers share this module:
+//! The trace builder is dag-native: [`lower_dag`] /
+//! [`trace_dag_with_accesses`] walk [`PlanDag::nodes`] and synthesize
+//! the event edges from the *dag's* dependency lists — so a mutated dag
+//! (a dropped or rewired edge) lowers to a trace missing exactly that
+//! sync edge, which is what lets the happens-before checker kill
+//! trace-level mutants instead of silently re-deriving the edge from
+//! the pristine plan. The plan-based entry points delegate through
+//! [`PlanDag::from_plan`]:
 //!
 //! * [`lower_plan`] emits the *static* trace — what the schedule claims
-//!   it will do, with every step's buffer accesses derived from the
+//!   it will do, with every op's buffer accesses derived from the
 //!   plan alone. `hetsort analyze` checks this before anything runs.
 //! * [`trace_with_accesses`] emits the *executed* trace — the same
 //!   thread/event structure, but with the accesses each
@@ -36,6 +44,7 @@
 
 use hetsort_sim::{Access, Buffer, OpTrace, TraceKind};
 
+use crate::dag::{DagOp, PlanDag};
 use crate::plan::{MergeInput, MergeSrc, Plan, StepKind};
 
 /// Host region id of the input list `A`.
@@ -199,9 +208,132 @@ pub fn step_label(plan: &Plan, si: usize) -> String {
     }
 }
 
+/// A short label for dag node `i` (`HtoD b2.c1 (step 17)`). For
+/// planner-lowered dags this matches [`step_label`] exactly; the one
+/// addition is [`DagOp::CpuMerge`], which no plan step spells.
+pub fn dag_node_label(dag: &PlanDag, i: usize) -> String {
+    match &dag.nodes[i].op {
+        DagOp::PinnedAlloc { stream, dir_in, .. } => {
+            let way = if *dir_in { "in" } else { "out" };
+            format!("PinnedAlloc {way} s{stream} (step {i})")
+        }
+        DagOp::StagingCopy {
+            batch,
+            chunk,
+            dir_in,
+            ..
+        } => {
+            let op = if *dir_in { "StageIn" } else { "StageOut" };
+            format!("{op} b{batch}.c{chunk} (step {i})")
+        }
+        DagOp::HtoD { batch, chunk, .. } => format!("HtoD b{batch}.c{chunk} (step {i})"),
+        DagOp::Sort { batch } => format!("GpuSort b{batch} (step {i})"),
+        DagOp::DtoH { batch, chunk, .. } => format!("DtoH b{batch}.c{chunk} (step {i})"),
+        DagOp::PairMerge { slot } => format!("PairMerge slot {slot} (step {i})"),
+        DagOp::CpuMerge { slot } => format!("CpuMerge slot {slot} (step {i})"),
+        DagOp::MultiwayMerge { inputs } => {
+            format!("MultiwayMerge k={} (step {i})", inputs.len())
+        }
+    }
+}
+
+/// The buffer accesses dag node `i` performs on the fault-free path.
+/// [`DagOp::CpuMerge`] touches exactly what the equivalent
+/// [`DagOp::PairMerge`] would — only the executing resource differs.
+pub fn dag_node_accesses(dag: &PlanDag, i: usize) -> Vec<Access> {
+    let plan = &dag.plan;
+    let node = &dag.nodes[i];
+    let stream = node.stream.unwrap_or(0);
+    let pin_in = Buffer::Pinned {
+        id: pinned_in_id(stream),
+    };
+    let pin_out = Buffer::Pinned {
+        id: pinned_out_id(plan.asynchronous, stream),
+    };
+    // Single-batch plans stage straight into B; multi-batch into W.
+    let out_region = if plan.nb() > 1 { REGION_W } else { REGION_B };
+    let pair_accesses = |slot: usize| {
+        let spec = plan.pairs[slot];
+        vec![
+            src_read(plan, spec.left),
+            src_read(plan, spec.right),
+            Access::write(Buffer::Host {
+                region: region_pair(plan.total_streams, slot),
+                start: 0,
+                len: spec.out_elems,
+            }),
+        ]
+    };
+    match &node.op {
+        DagOp::PinnedAlloc { .. } => Vec::new(),
+        DagOp::StagingCopy {
+            start,
+            len,
+            dir_in: true,
+            ..
+        } => vec![
+            Access::read(Buffer::Host {
+                region: REGION_A,
+                start: *start,
+                len: *len,
+            }),
+            Access::write(pin_in),
+        ],
+        DagOp::StagingCopy {
+            start,
+            len,
+            dir_in: false,
+            ..
+        } => vec![
+            Access::read(pin_out),
+            Access::write(Buffer::Host {
+                region: out_region,
+                start: *start,
+                len: *len,
+            }),
+        ],
+        DagOp::HtoD { batch, .. } => {
+            vec![Access::read(pin_in), Access::write(dev_buf(plan, *batch))]
+        }
+        DagOp::Sort { batch } => {
+            let d = dev_buf(plan, *batch);
+            vec![Access::read(d), Access::write(d)]
+        }
+        DagOp::DtoH { batch, .. } => {
+            vec![Access::read(dev_buf(plan, *batch)), Access::write(pin_out)]
+        }
+        DagOp::PairMerge { slot } | DagOp::CpuMerge { slot } => pair_accesses(*slot),
+        DagOp::MultiwayMerge { inputs } => {
+            let mut acc: Vec<Access> = inputs
+                .iter()
+                .map(|inp| {
+                    src_read(
+                        plan,
+                        match *inp {
+                            MergeInput::Batch(b) => MergeSrc::Batch(b),
+                            MergeInput::Pair(p) => MergeSrc::Merged(p),
+                        },
+                    )
+                })
+                .collect();
+            acc.push(Access::write(Buffer::Host {
+                region: REGION_B,
+                start: 0,
+                len: plan.n,
+            }));
+            acc
+        }
+    }
+}
+
 /// Lower the plan to its static trace (fault-free accesses).
 pub fn lower_plan(plan: &Plan) -> OpTrace {
     trace_with_accesses(plan, &[])
+}
+
+/// Lower a dag to its static trace (fault-free accesses).
+pub fn lower_dag(dag: &PlanDag) -> OpTrace {
+    trace_dag_with_accesses(dag, &[])
 }
 
 /// Lower the plan, substituting executed accesses where provided.
@@ -210,13 +342,22 @@ pub fn lower_plan(plan: &Plan) -> OpTrace {
 /// step `si` (data-touching steps only); `None` or a short vector keeps
 /// the static derivation.
 pub fn trace_with_accesses(plan: &Plan, overrides: &[Option<Vec<Access>>]) -> OpTrace {
+    trace_dag_with_accesses(&PlanDag::from_plan(plan.clone()), overrides)
+}
+
+/// Lower a dag, substituting executed accesses where provided. The
+/// event edges come from the *dag's* dependency lists: a dag whose
+/// edges were mutated lowers to a trace missing exactly those sync
+/// edges, which the happens-before checker then reports as a race.
+pub fn trace_dag_with_accesses(dag: &PlanDag, overrides: &[Option<Vec<Access>>]) -> OpTrace {
+    let plan = &dag.plan;
     let host = host_thread(plan);
-    let thread_of = |si: usize| plan.steps[si].stream.unwrap_or(host);
-    // Steps with a cross-thread consumer record an event right after
+    let thread_of = |i: usize| dag.nodes[i].stream.unwrap_or(host);
+    // Nodes with a cross-thread consumer record an event right after
     // completing; consumers wait on it right before starting.
-    let mut needs_event = vec![false; plan.steps.len()];
-    for (i, step) in plan.steps.iter().enumerate() {
-        for &d in &step.deps {
+    let mut needs_event = vec![false; dag.nodes.len()];
+    for (i, node) in dag.nodes.iter().enumerate() {
+        for &d in &node.deps {
             if thread_of(d) != thread_of(i) {
                 needs_event[d] = true;
             }
@@ -231,19 +372,19 @@ pub fn trace_with_accesses(plan: &Plan, overrides: &[Option<Vec<Access>>]) -> Op
     let dev_bytes = plan.config.device_sort.mem_factor()
         * plan.config.elem_bytes
         * plan.config.batch_elems as f64;
-    for (si, step) in plan.steps.iter().enumerate() {
+    for (si, node) in dag.nodes.iter().enumerate() {
         let th = thread_of(si);
-        for &d in &step.deps {
+        for &d in &node.deps {
             if thread_of(d) != th {
                 trace.push(
                     th,
-                    format!("wait on {} (step {si})", step_label(plan, d)),
+                    format!("wait on {} (step {si})", dag_node_label(dag, d)),
                     TraceKind::StreamWaitEvent { event: d },
                 );
             }
         }
-        match &step.kind {
-            StepKind::PinnedAlloc {
+        match &node.op {
+            DagOp::PinnedAlloc {
                 stream,
                 bytes,
                 dir_in,
@@ -256,17 +397,17 @@ pub fn trace_with_accesses(plan: &Plan, overrides: &[Option<Vec<Access>>]) -> Op
                 alloced.push((th, Buffer::Pinned { id }));
                 trace.push(
                     th,
-                    step_label(plan, si),
+                    dag_node_label(dag, si),
                     TraceKind::Alloc {
                         buf: Buffer::Pinned { id },
                         bytes: *bytes,
                     },
                 );
             }
-            kind => {
+            op => {
                 // Each stream's device buffer materializes at its first
-                // device-touching step (the cudaMalloc stand-in).
-                if let StepKind::HtoD { batch, .. } = kind {
+                // device-touching op (the cudaMalloc stand-in).
+                if let DagOp::HtoD { batch, .. } = op {
                     let b = &plan.batches[*batch];
                     if !dev_alloced[b.stream] {
                         dev_alloced[b.stream] = true;
@@ -284,14 +425,14 @@ pub fn trace_with_accesses(plan: &Plan, overrides: &[Option<Vec<Access>>]) -> Op
                 let accesses = overrides
                     .get(si)
                     .and_then(|o| o.clone())
-                    .unwrap_or_else(|| static_step_accesses(plan, si));
-                trace.push(th, step_label(plan, si), TraceKind::Op { accesses });
+                    .unwrap_or_else(|| dag_node_accesses(dag, si));
+                trace.push(th, dag_node_label(dag, si), TraceKind::Op { accesses });
             }
         }
         if needs_event[si] {
             trace.push(
                 th,
-                format!("record ev{si} ({})", step_label(plan, si)),
+                format!("record ev{si} ({})", dag_node_label(dag, si)),
                 TraceKind::EventRecord { event: si },
             );
         }

@@ -1,0 +1,435 @@
+//! Plan builders: each paper approach as a plan-construction strategy.
+//!
+//! The four approaches (§III-D) share one lowering pipeline — batch
+//! geometry, the pipelined pair-merge schedule, and FIFO step emission —
+//! and differ only in what they ask of it: blocking approaches stage
+//! through one pinned buffer per host thread with synchronous
+//! transfers, piped approaches run `n_s` streams per GPU with separate
+//! in/out pinned buffers and asynchronous chunked transfers, and
+//! PIPEMERGE additionally schedules pair merges. [`build`] dispatches to
+//! the named builder; [`build_dag`] lowers straight to the [`PlanDag`]
+//! IR the engines execute.
+//!
+//! Every builder produces bit-identical output to the monolithic
+//! `Plan::build` this module replaced (the step list is byte-for-byte
+//! the same construction), which is what keeps the DAG engine's
+//! differential suite meaningful.
+
+use crate::config::{Approach, HetSortConfig, PairStrategy};
+use crate::dag::PlanDag;
+use crate::error::HetSortError;
+use crate::plan::{BatchInfo, MergeInput, MergeSrc, PairSpec, Plan, Step, StepKind};
+
+/// Build the plan for sorting `n` elements under `config`, dispatching
+/// to the approach's builder.
+///
+/// # Errors
+///
+/// Propagates [`HetSortConfig::validate`] failures
+/// ([`HetSortError::Config`]).
+pub fn build(config: HetSortConfig, n: usize) -> Result<Plan, HetSortError> {
+    config.validate(n)?;
+    match config.approach {
+        Approach::BLine => bline(config, n),
+        Approach::BLineMulti => bline_multi(config, n),
+        Approach::PipeData => pipe_data(config, n),
+        Approach::PipeMerge => pipe_merge(config, n),
+    }
+}
+
+/// Build and lower in one step: the [`PlanDag`] the engines execute.
+///
+/// # Errors
+///
+/// As [`build`].
+pub fn build_dag(config: HetSortConfig, n: usize) -> Result<PlanDag, HetSortError> {
+    Ok(PlanDag::from_plan(build(config, n)?))
+}
+
+/// BLINE (§III-D1): one batch, one blocking staging buffer, no merge.
+fn bline(config: HetSortConfig, n: usize) -> Result<Plan, HetSortError> {
+    lower(config, n, false)
+}
+
+/// BLINEMULTI (§III-D2): blocking batches into `W`, one final multiway
+/// merge.
+fn bline_multi(config: HetSortConfig, n: usize) -> Result<Plan, HetSortError> {
+    lower(config, n, false)
+}
+
+/// PIPEDATA (§III-D3): `n_s` streams per GPU, chunked asynchronous
+/// transfers through per-stream in/out pinned buffers.
+fn pipe_data(config: HetSortConfig, n: usize) -> Result<Plan, HetSortError> {
+    lower(config, n, true)
+}
+
+/// PIPEMERGE (§III-D3): PIPEDATA plus pair merges pipelined against the
+/// remaining batches (the schedule itself comes from
+/// [`pair_schedule`], shared because the rejected Online/MergeTree
+/// strategies apply to any multi-batch approach).
+fn pipe_merge(config: HetSortConfig, n: usize) -> Result<Plan, HetSortError> {
+    lower(config, n, true)
+}
+
+/// Batch geometry: round-robin stream and GPU assignment.
+fn geometry(config: &HetSortConfig, n: usize) -> (usize, usize, usize, Vec<BatchInfo>) {
+    let nb = config.n_batches(n);
+    let ngpu = config.platform.n_gpus().max(1);
+    let piped = config.approach.is_piped();
+    // Piped: n_s streams per GPU. Blocking: one host thread per GPU
+    // (the paper's 2-GPU lower-bound run drives both K40m's with
+    // blocking calls concurrently, §IV-G), never more than n_b.
+    let total_streams = if piped {
+        (config.streams_per_gpu * ngpu).min(nb.max(1))
+    } else {
+        ngpu.min(nb.max(1))
+    };
+    // Batch geometry and stream/GPU assignment (round-robin; each GPU
+    // owns n_s stream slots → batches alternate across GPUs).
+    let bs = config.batch_elems;
+    let mut batches = Vec::with_capacity(nb);
+    for b in 0..nb {
+        let start = b * bs;
+        let len = bs.min(n - start);
+        let stream = b % total_streams;
+        let gpu = stream % ngpu;
+        batches.push(BatchInfo {
+            index: b,
+            start,
+            len,
+            stream,
+            gpu,
+        });
+    }
+    (nb, ngpu, total_streams, batches)
+}
+
+/// The pipelined merge schedule under the configured strategy: pair
+/// specs plus the final multiway merge's inputs.
+fn pair_schedule(config: &HetSortConfig, n: usize, nb: usize) -> (Vec<PairSpec>, Vec<MergeInput>) {
+    let bs = config.batch_elems;
+    let batch_len = |b: usize| bs.min(n - b * bs);
+    match (nb > 1, config.pair_strategy) {
+        (false, _) => (Vec::new(), Vec::new()),
+        (true, PairStrategy::PaperHeuristic) => {
+            let npairs = config.pipelined_pair_merges(nb);
+            let pairs: Vec<PairSpec> = (0..npairs)
+                .map(|p| PairSpec {
+                    left: MergeSrc::Batch(2 * p),
+                    right: MergeSrc::Batch(2 * p + 1),
+                    out_elems: batch_len(2 * p) + batch_len(2 * p + 1),
+                })
+                .collect();
+            let mut inputs: Vec<MergeInput> = (0..npairs).map(MergeInput::Pair).collect();
+            inputs.extend((2 * npairs..nb).map(MergeInput::Batch));
+            (pairs, inputs)
+        }
+        (true, PairStrategy::Online) => {
+            // Rejected strategy (§III-D3): fold each arriving batch into
+            // one growing run. Re-merges the accumulated prefix every
+            // time.
+            let mut pairs = Vec::new();
+            let mut acc = MergeSrc::Batch(0);
+            let mut acc_len = batch_len(0);
+            for b in 1..nb {
+                acc_len += batch_len(b);
+                pairs.push(PairSpec {
+                    left: acc,
+                    right: MergeSrc::Batch(b),
+                    out_elems: acc_len,
+                });
+                acc = MergeSrc::Merged(pairs.len() - 1);
+            }
+            (pairs, vec![MergeInput::Pair(nb - 2)])
+        }
+        (true, PairStrategy::MergeTree) => {
+            // Rejected strategy (§III-D3): a full binary merge tree;
+            // upper levels are giant pairwise merges that replace the
+            // cache-efficient multiway merge.
+            let mut pairs: Vec<PairSpec> = Vec::new();
+            let mut level: Vec<(MergeSrc, usize)> = (0..nb)
+                .map(|b| (MergeSrc::Batch(b), batch_len(b)))
+                .collect();
+            while level.len() > 1 {
+                let mut next = Vec::with_capacity(level.len().div_ceil(2));
+                let mut it = level.into_iter();
+                while let Some((l, ll)) = it.next() {
+                    match it.next() {
+                        Some((r, rl)) => {
+                            pairs.push(PairSpec {
+                                left: l,
+                                right: r,
+                                out_elems: ll + rl,
+                            });
+                            next.push((MergeSrc::Merged(pairs.len() - 1), ll + rl));
+                        }
+                        None => next.push((l, ll)),
+                    }
+                }
+                level = next;
+            }
+            let root = match level[0].0 {
+                MergeSrc::Merged(slot) => MergeInput::Pair(slot),
+                MergeSrc::Batch(b) => MergeInput::Batch(b),
+            };
+            (pairs, vec![root])
+        }
+    }
+}
+
+/// The shared lowering: geometry + merge schedule + FIFO step emission.
+/// `piped` selects the staging discipline (separate in/out pinned
+/// buffers and asynchronous chunked transfers vs one blocking buffer).
+fn lower(config: HetSortConfig, n: usize, piped: bool) -> Result<Plan, HetSortError> {
+    let (nb, ngpu, total_streams, batches) = geometry(&config, n);
+    let (pairs, final_inputs) = pair_schedule(&config, n, nb);
+
+    let mut steps: Vec<Step> = Vec::new();
+    // Last step index per stream, for FIFO chaining.
+    let mut stream_tail: Vec<Option<usize>> = vec![None; total_streams];
+    let push = |steps: &mut Vec<Step>,
+                stream_tail: &mut Vec<Option<usize>>,
+                kind: StepKind,
+                mut deps: Vec<usize>,
+                stream: Option<usize>| {
+        if let Some(s) = stream {
+            if let Some(prev) = stream_tail[s] {
+                deps.push(prev);
+            }
+        }
+        let idx = steps.len();
+        steps.push(Step { kind, deps, stream });
+        if let Some(s) = stream {
+            stream_tail[s] = Some(idx);
+        }
+        idx
+    };
+
+    // 1. Pinned allocations: one buffer for blocking approaches
+    //    (reused in both directions, as in §IV-E's reproduction),
+    //    two per stream (in + out) for piped approaches.
+    let ps_bytes = config.elem_bytes * config.pinned_elems as f64;
+    if piped {
+        for s in 0..total_streams {
+            push(
+                &mut steps,
+                &mut stream_tail,
+                StepKind::PinnedAlloc {
+                    stream: s,
+                    bytes: ps_bytes,
+                    dir_in: true,
+                },
+                vec![],
+                Some(s),
+            );
+            push(
+                &mut steps,
+                &mut stream_tail,
+                StepKind::PinnedAlloc {
+                    stream: s,
+                    bytes: ps_bytes,
+                    dir_in: false,
+                },
+                vec![],
+                Some(s),
+            );
+        }
+    } else {
+        // Blocking approaches reuse one staging buffer per host thread
+        // for both directions (as in the §IV-E reproduction).
+        for s in 0..total_streams {
+            push(
+                &mut steps,
+                &mut stream_tail,
+                StepKind::PinnedAlloc {
+                    stream: s,
+                    bytes: ps_bytes,
+                    dir_in: true,
+                },
+                vec![],
+                Some(s),
+            );
+        }
+    }
+
+    // 2. Per batch: chunked stage-in/HtoD, sort, chunked DtoH/
+    //    stage-out, all FIFO within the batch's stream.
+    let ps = config.pinned_elems;
+    let mut last_stage_out: Vec<usize> = vec![0; nb];
+    for b in &batches {
+        let stream = Some(b.stream);
+        let nchunks = b.len.div_ceil(ps);
+        let mut last_htod = 0usize;
+        for c in 0..nchunks {
+            let cstart = b.start + c * ps;
+            let clen = ps.min(b.start + b.len - cstart);
+            push(
+                &mut steps,
+                &mut stream_tail,
+                StepKind::StageIn {
+                    batch: b.index,
+                    chunk: c,
+                    start: cstart,
+                    len: clen,
+                },
+                vec![],
+                stream,
+            );
+            last_htod = push(
+                &mut steps,
+                &mut stream_tail,
+                StepKind::HtoD {
+                    batch: b.index,
+                    chunk: c,
+                    start: cstart,
+                    len: clen,
+                },
+                vec![],
+                stream,
+            );
+        }
+        let sort = push(
+            &mut steps,
+            &mut stream_tail,
+            StepKind::GpuSort { batch: b.index },
+            vec![last_htod],
+            stream,
+        );
+        let mut prev = sort;
+        for c in 0..nchunks {
+            let cstart = b.start + c * ps;
+            let clen = ps.min(b.start + b.len - cstart);
+            push(
+                &mut steps,
+                &mut stream_tail,
+                StepKind::DtoH {
+                    batch: b.index,
+                    chunk: c,
+                    start: cstart,
+                    len: clen,
+                },
+                vec![],
+                stream,
+            );
+            prev = push(
+                &mut steps,
+                &mut stream_tail,
+                StepKind::StageOut {
+                    batch: b.index,
+                    chunk: c,
+                    start: cstart,
+                    len: clen,
+                },
+                vec![],
+                stream,
+            );
+        }
+        last_stage_out[b.index] = prev;
+    }
+
+    // 3. Pipelined two-way merges: ready when both inputs exist.
+    let mut pair_steps: Vec<usize> = Vec::with_capacity(pairs.len());
+    let src_dep = |src: MergeSrc, pair_steps: &Vec<usize>| match src {
+        MergeSrc::Batch(b) => last_stage_out[b],
+        MergeSrc::Merged(slot) => pair_steps[slot],
+    };
+    for (slot, spec) in pairs.iter().enumerate() {
+        let deps = vec![
+            src_dep(spec.left, &pair_steps),
+            src_dep(spec.right, &pair_steps),
+        ];
+        let idx = push(
+            &mut steps,
+            &mut stream_tail,
+            StepKind::PairMerge { slot },
+            deps,
+            None,
+        );
+        pair_steps.push(idx);
+    }
+
+    // 4. Final multiway merge (absent when n_b = 1: StageOut wrote B).
+    if nb > 1 {
+        let deps: Vec<usize> = final_inputs
+            .iter()
+            .map(|inp| match *inp {
+                MergeInput::Batch(b) => last_stage_out[b],
+                MergeInput::Pair(slot) => pair_steps[slot],
+            })
+            .collect();
+        push(
+            &mut steps,
+            &mut stream_tail,
+            StepKind::MultiwayMerge {
+                inputs: final_inputs,
+            },
+            deps,
+            None,
+        );
+    }
+
+    Ok(Plan {
+        config,
+        n,
+        batches,
+        pairs,
+        steps,
+        total_streams,
+        asynchronous: piped,
+        device_ids: (0..ngpu).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsort_vgpu::{platform1, platform2};
+
+    fn cfg(approach: Approach) -> HetSortConfig {
+        HetSortConfig::paper_defaults(platform1(), approach)
+            .with_batch_elems(1000)
+            .with_pinned_elems(300)
+    }
+
+    #[test]
+    fn builders_validate_and_lower() {
+        for (approach, n) in [
+            (Approach::BLine, 1000),
+            (Approach::BLineMulti, 5000),
+            (Approach::PipeData, 6000),
+            (Approach::PipeMerge, 7000),
+        ] {
+            let dag = build_dag(cfg(approach), n).unwrap();
+            dag.plan.check_invariants().unwrap();
+            dag.validate().unwrap();
+            assert_eq!(dag.plan.config.approach, approach);
+        }
+    }
+
+    #[test]
+    fn piped_discipline_is_the_only_structural_difference() {
+        // Same geometry, different staging: blocking allocs 1 pinned
+        // buffer per stream, piped allocs 2 and is asynchronous.
+        let blocking = build(cfg(Approach::BLineMulti), 5000).unwrap();
+        let piped = build(cfg(Approach::PipeData), 5000).unwrap();
+        let allocs = |p: &Plan| {
+            p.steps
+                .iter()
+                .filter(|s| matches!(s.kind, StepKind::PinnedAlloc { .. }))
+                .count()
+        };
+        assert_eq!(allocs(&blocking), blocking.total_streams);
+        assert_eq!(allocs(&piped), 2 * piped.total_streams);
+        assert!(!blocking.asynchronous);
+        assert!(piped.asynchronous);
+    }
+
+    #[test]
+    fn multi_gpu_pair_schedule_matches_heuristic() {
+        let cfg = HetSortConfig::paper_defaults(platform2(), Approach::PipeMerge)
+            .with_batch_elems(1000)
+            .with_pinned_elems(250);
+        let plan = build(cfg, 10_000).unwrap();
+        assert_eq!(plan.pairs.len(), 2); // ⌊9/2²⌋ on 2 GPUs
+    }
+}

@@ -22,6 +22,11 @@ pub enum OpClass {
     PairMerge,
     /// Final multiway merge on the CPU.
     MultiwayMerge,
+    /// A two-way merge pinned to the CPU merge resource by the DAG
+    /// scheduler (hybrid schedules) — same data semantics as
+    /// [`OpClass::PairMerge`], kept distinct so hybrid plans are
+    /// visible in per-class totals.
+    CpuMerge,
     /// Pinned-memory allocation (`cudaMallocHost`).
     PinnedAlloc,
     /// Synchronization / barrier latency surfaced as its own span.
@@ -40,13 +45,14 @@ pub enum OpClass {
 
 impl OpClass {
     /// Every class, in display order.
-    pub const ALL: [OpClass; 10] = [
+    pub const ALL: [OpClass; 11] = [
         OpClass::HtoD,
         OpClass::DtoH,
         OpClass::GpuSort,
         OpClass::StagingCopy,
         OpClass::PairMerge,
         OpClass::MultiwayMerge,
+        OpClass::CpuMerge,
         OpClass::PinnedAlloc,
         OpClass::Sync,
         OpClass::CpuPart,
@@ -72,6 +78,7 @@ impl OpClass {
             OpClass::StagingCopy => "StagingCopy",
             OpClass::PairMerge => "PairMerge",
             OpClass::MultiwayMerge => "MultiwayMerge",
+            OpClass::CpuMerge => "CpuMerge",
             OpClass::PinnedAlloc => "PinnedAlloc",
             OpClass::Sync => "Sync",
             OpClass::CpuPart => "CpuPart",
@@ -91,6 +98,7 @@ impl OpClass {
             "MCpyIn" | "MCpyOut" | "StagingCopy" => OpClass::StagingCopy,
             "PairMerge" => OpClass::PairMerge,
             "MultiwayMerge" => OpClass::MultiwayMerge,
+            "CpuMerge" => OpClass::CpuMerge,
             "PinnedAlloc" => OpClass::PinnedAlloc,
             "Sync" => OpClass::Sync,
             "CpuPart" => OpClass::CpuPart,

@@ -8,11 +8,12 @@
 //! one shared reservation. Overload sheds jobs with a typed
 //! [`HetSortError::Overloaded`] — never a panic.
 //!
-//! Two clocks, deliberately separated:
+//! Two clocks, deliberately separated — both dispatched from the same
+//! lowered [`PlanDag`] per job:
 //!
-//! * outputs are produced *functionally* (`sort_real_plan`), so every
+//! * outputs are produced *functionally* (`execute_dag`), so every
 //!   completed job's `sorted` is bit-identical to a reference sort;
-//! * durations come from the *simulator* (`simulate_plan`), so queue
+//! * durations come from the *simulator* (`simulate_dag`), so queue
 //!   waits, admissions, and completions advance a virtual clock that
 //!   is reproducible to the bit across runs — no wall-clock anywhere
 //!   in service state.
@@ -21,9 +22,7 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use hetsort_analyze::Residency;
-use hetsort_core::exec_real::sort_real_plan;
-use hetsort_core::exec_sim::simulate_plan;
-use hetsort_core::{HetSortError, Plan};
+use hetsort_core::{execute_dag, simulate_dag, HetSortError, Plan, PlanDag};
 use hetsort_obs::{MetricsRegistry, ObsSpan, OpClass};
 
 use crate::admission::{footprint_max, AdmissionController, ServeBudget};
@@ -782,7 +781,12 @@ impl SortService {
             if let Some(inj) = q.plan.config.faults.clone() {
                 q.plan.config.faults = Some(Arc::new(inj.fork()));
             }
-            let real = match sort_real_plan(&q.plan, &q.job.data) {
+            // Lower once, dispatch twice: the functional executor and
+            // the simulator both consume the same validated dag, so a
+            // job's output and its billed duration can never come from
+            // structurally different schedules.
+            let dag = PlanDag::from_plan(q.plan.clone());
+            let real = match execute_dag(&dag, &q.job.data) {
                 Ok(r) => r,
                 Err(e) => {
                     metrics.add_counter("jobs_failed", 1.0);
@@ -790,7 +794,7 @@ impl SortService {
                     continue;
                 }
             };
-            let sim = match simulate_plan(&q.plan) {
+            let sim = match simulate_dag(&dag) {
                 Ok(r) => r,
                 Err(e) => {
                     metrics.add_counter("jobs_failed", 1.0);

@@ -171,6 +171,38 @@ fn run(cmd: Command) -> Result<(), CliError> {
                 "legend: first letter of component (M=MCpy/MultiwayMerge, H=HtoD, D=DtoH, G=GPUSort, P=PinnedAlloc/PairMerge)"
             );
         }
+        Command::Dag(r) => {
+            let dag = hetsort::core::build_dag(r.config()?, r.n)?;
+            println!(
+                "{} on {}: n={} → {} nodes, {} dependency edges, {} streams, ready-front width ≤ {}",
+                dag.plan.config.approach.name(),
+                dag.plan.config.platform.name,
+                dag.plan.n,
+                dag.nodes.len(),
+                dag.edge_count(),
+                dag.plan.total_streams,
+                dag.max_ready_width(),
+            );
+            let mut census: std::collections::BTreeMap<&'static str, usize> =
+                std::collections::BTreeMap::new();
+            for node in &dag.nodes {
+                *census.entry(node.op.class_name()).or_insert(0) += 1;
+            }
+            for (class, count) in &census {
+                println!("  {class:<14} × {count}");
+            }
+            match dag.validate() {
+                Ok(()) => println!("validator: structurally sound"),
+                Err(e) => println!("validator: REJECTED — {e}"),
+            }
+            let report = hetsort::analyze::analyze_dag(&dag);
+            if report.is_clean() {
+                println!("analyzer: clean");
+            } else {
+                print!("{report}");
+            }
+            require_clean(&dag.plan, report, "op dag")?;
+        }
         Command::ServeSim(s) => serve_sim(&s)?,
         Command::Analyze {
             run,

@@ -51,6 +51,9 @@ pub enum Command {
     Sort(RunArgs),
     /// Render the schedule of a configuration as an ASCII Gantt.
     Gantt(RunArgs),
+    /// Inspect a configuration's lowered op dag: node/edge census,
+    /// validator verdict, and analyzer findings.
+    Dag(RunArgs),
     /// Statically verify a schedule (plan lint + happens-before race
     /// detection) without executing it.
     Analyze {
@@ -340,7 +343,7 @@ fn parse_inner(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::ServeSim(s))
         }
-        "simulate" | "sort" | "gantt" | "analyze" | "trace" => {
+        "simulate" | "sort" | "gantt" | "analyze" | "trace" | "dag" => {
             let mut run = RunArgs::default();
             if sub == "sort" {
                 run.n = 1_000_000;
@@ -408,6 +411,7 @@ fn parse_inner(args: &[String]) -> Result<Command, String> {
                     chrome: chrome.ok_or("trace requires --chrome <path> (use '-' for stdout)")?,
                     real,
                 },
+                "dag" => Command::Dag(run),
                 _ => Command::Gantt(run),
             })
         }
@@ -427,6 +431,7 @@ USAGE:
   hetsort sort      [-n 1e6] [--seed 42] [--faults SPEC] [--retries K]
                     [--no-cpu-fallback] [... same options]
   hetsort gantt     [-n 2e9] [... same options]
+  hetsort dag       [-n 2e9] [... same options]
   hetsort analyze   [--matrix] [--explore [--max-ops N]] [... same options]
   hetsort trace     --chrome out.json [--real] [... same options]
   hetsort serve-sim [--jobs 150] [--seed 42] [--platform p1|p2]
@@ -458,6 +463,12 @@ CPU SCHEDULING:
   --sched-chunks K   chunks per worker under --sched self (default 4)
 
 ANALYSIS:
+  hetsort dag        print the op dag every executor interprets: node
+                     census per op class, dependency-edge count,
+                     max ready-front width, the structural validator's
+                     verdict (cycle/missing-ref/duplicate-producer/
+                     FIFO/coverage rules), and any analyzer findings
+                     over the dag-lowered trace
   hetsort analyze    statically verify a schedule before running it:
                      plan lint (device-memory budget, staging sizes,
                      merge-tree shape, pair-count heuristic) plus
@@ -660,6 +671,23 @@ mod tests {
             panic!()
         };
         assert!(r.analyze);
+    }
+
+    #[test]
+    fn parse_dag() {
+        let Command::Dag(r) = parse(&argv("dag -n 1e6 -a pipemerge --streams 3")).unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(r.n, 1_000_000);
+        assert_eq!(r.approach, Approach::PipeMerge);
+        assert_eq!(r.streams, 3);
+        // Analyze-only flags stay analyze-only.
+        assert!(parse(&argv("dag --matrix")).is_err());
+        // Paper-scale default like the other non-sort inspectors.
+        let Command::Dag(r) = parse(&argv("dag")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.n, 2_000_000_000);
     }
 
     #[test]

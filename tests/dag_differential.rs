@@ -1,0 +1,275 @@
+//! DAG-engine equivalence suite: the legacy per-approach executor
+//! loops (kept behind the `legacy-exec` feature for exactly one PR)
+//! and the unified [`PlanDag`] engine interpret the same plan, so they
+//! must agree *exactly* — bitwise-identical sorted output, identical
+//! [`RecoveryStats`], identical executed traces, and identical span
+//! multisets (class × label) — across every approach, both platforms,
+//! uneven and one-element batch geometries, and both supported element
+//! widths. The f64 runs are additionally pinned against the reference
+//! CPU sort.
+//!
+//! [`PlanDag`]: hetsort::core::PlanDag
+//! [`RecoveryStats`]: hetsort::core::RecoveryStats
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use hetsort::algos::introsort::introsort;
+use hetsort::algos::keys::{KeyValue, RadixKey, SortOrd};
+use hetsort::core::exec_real::{sort_real_plan, RealOutcome};
+use hetsort::core::exec_real_mt::sort_real_parallel;
+use hetsort::core::legacy::{sort_real_parallel_legacy, sort_real_plan_legacy};
+use hetsort::core::{Approach, HetSortConfig, Plan};
+use hetsort::obs::{MetricsRegistry, OpClass};
+use hetsort::vgpu::{platform1, platform2, FaultInjector, PlatformSpec};
+
+/// Deterministic input stream (same LCG as the core unit tests).
+fn lcg_data(n: usize, seed: u64) -> Vec<f64> {
+    let mut x = seed | 1;
+    (0..n)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect()
+}
+
+/// Bit-exact element identity, so `assert_eq!` on outputs is a bitwise
+/// claim even for NaN-bearing floats.
+trait Bits {
+    fn bits(&self) -> (u64, u64);
+}
+impl Bits for f64 {
+    fn bits(&self) -> (u64, u64) {
+        (self.to_bits(), 0)
+    }
+}
+impl Bits for KeyValue {
+    fn bits(&self) -> (u64, u64) {
+        (self.key.to_bits(), self.value)
+    }
+}
+
+fn all_bits<T: Bits>(xs: &[T]) -> Vec<(u64, u64)> {
+    xs.iter().map(Bits::bits).collect()
+}
+
+/// Span multiset keyed on (class, label). `CpuPart` spans are the
+/// per-worker breakdown of a parallel merge region — their count
+/// depends on how the self-scheduler happened to split the region, so
+/// they are structure, not schedule, and are excluded.
+fn span_multiset(reg: &MetricsRegistry) -> BTreeMap<(OpClass, String), usize> {
+    let mut m = BTreeMap::new();
+    for s in reg.spans() {
+        if s.class == OpClass::CpuPart {
+            continue;
+        }
+        *m.entry((s.class, s.label.clone())).or_insert(0) += 1;
+    }
+    m
+}
+
+/// Assert one legacy outcome and one DAG-engine outcome are
+/// observationally identical.
+fn assert_same<T: Bits>(label: &str, legacy: &RealOutcome<T>, dag: &RealOutcome<T>) {
+    assert_eq!(
+        legacy.verified, dag.verified,
+        "{label}: verification verdicts differ"
+    );
+    assert_eq!(
+        all_bits(&legacy.sorted),
+        all_bits(&dag.sorted),
+        "{label}: sorted outputs differ bitwise"
+    );
+    assert_eq!(legacy.nb, dag.nb, "{label}: batch counts differ");
+    assert_eq!(
+        legacy.pair_merges, dag.pair_merges,
+        "{label}: pair-merge counts differ"
+    );
+    assert_eq!(
+        legacy.recovery,
+        dag.recovery,
+        "{label}: recovery stats differ\n  legacy: {}\n  dag:    {}",
+        legacy.recovery.summary(),
+        dag.recovery.summary()
+    );
+    assert_eq!(legacy.trace, dag.trace, "{label}: executed traces differ");
+    assert_eq!(
+        span_multiset(&legacy.metrics),
+        span_multiset(&dag.metrics),
+        "{label}: span multisets differ"
+    );
+}
+
+/// Run all four executors (legacy/dag × sequential/pooled) over
+/// identical fresh plans and cross-check. `mk` builds the config from
+/// scratch each time so per-run fault-injector state never leaks
+/// between executions.
+fn check_equiv<T>(label: &str, mk: &dyn Fn() -> HetSortConfig, data: &[T]) -> RealOutcome<T>
+where
+    T: RadixKey + SortOrd + Default + Bits,
+{
+    let plan = |trace: bool| {
+        let cfg = if trace {
+            mk().with_trace_recording()
+        } else {
+            mk()
+        };
+        Plan::build(cfg, data.len()).unwrap_or_else(|e| panic!("{label}: plan: {e}"))
+    };
+    let legacy_st = sort_real_plan_legacy(&plan(true), data)
+        .unwrap_or_else(|e| panic!("{label}: legacy st: {e}"));
+    let dag_st =
+        sort_real_plan(&plan(true), data).unwrap_or_else(|e| panic!("{label}: dag st: {e}"));
+    assert_same(&format!("{label}/st"), &legacy_st, &dag_st);
+
+    let legacy_mt = sort_real_parallel_legacy(&plan(true), data)
+        .unwrap_or_else(|e| panic!("{label}: legacy mt: {e}"));
+    let dag_mt =
+        sort_real_parallel(&plan(true), data).unwrap_or_else(|e| panic!("{label}: dag mt: {e}"));
+    assert_same(&format!("{label}/mt"), &legacy_mt, &dag_mt);
+
+    // The two engines themselves agree on the data (pooled execution
+    // interleaves differently, so only the output is comparable).
+    assert_eq!(
+        all_bits(&dag_st.sorted),
+        all_bits(&dag_mt.sorted),
+        "{label}: dag st vs mt outputs differ"
+    );
+    dag_st
+}
+
+/// The approach × geometry matrix on one platform: BLine's single
+/// batch, an uneven final batch (30_000 = 4×7_000 + 2_000), and a
+/// one-element final batch (14_001 = 2×7_000 + 1).
+fn matrix(plat: &PlatformSpec) -> Vec<(String, HetSortConfig, usize)> {
+    let base = |a| {
+        HetSortConfig::paper_defaults(plat.clone(), a)
+            .with_batch_elems(7_000)
+            .with_pinned_elems(1_500)
+    };
+    let mut out = vec![(format!("{}/BLine", plat.name), base(Approach::BLine), 7_000)];
+    for a in [
+        Approach::BLineMulti,
+        Approach::PipeData,
+        Approach::PipeMerge,
+    ] {
+        for n in [30_000, 14_001] {
+            out.push((format!("{}/{}/n{}", plat.name, a.name(), n), base(a), n));
+        }
+    }
+    out.push((
+        format!("{}/ParMemCpy", plat.name),
+        base(Approach::PipeMerge).with_par_memcpy(),
+        30_000,
+    ));
+    out
+}
+
+#[test]
+fn dag_engine_matches_legacy_f64() {
+    for plat in [platform1(), platform2()] {
+        for (label, cfg, n) in matrix(&plat) {
+            let data = lcg_data(n, 0xDA6);
+            let out = check_equiv(&label, &|| cfg.clone(), &data);
+
+            // Pin both engines against the reference CPU sort.
+            let mut expect = data.clone();
+            hetsort::core::reference::reference_sort_real(4, &mut expect);
+            assert_eq!(
+                all_bits(&out.sorted),
+                all_bits(&expect),
+                "{label}: dag output differs from reference sort"
+            );
+        }
+    }
+}
+
+#[test]
+fn dag_engine_matches_legacy_key_value_records() {
+    // 16-byte key/value rows (§IV-E workload of [5]): the payload must
+    // ride along bit-exactly through staging, device sort, and merges.
+    for plat in [platform1(), platform2()] {
+        for (label, cfg, n) in matrix(&plat) {
+            let label = format!("{label}/kv16");
+            let keys = lcg_data(n, 0x16BE);
+            let rows: Vec<KeyValue> = keys
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| KeyValue {
+                    key: k,
+                    value: i as u64,
+                })
+                .collect();
+            let cfg = cfg.clone().with_elem_bytes(16.0);
+            let out = check_equiv(&label, &|| cfg.clone(), &rows);
+
+            let mut expect = rows.clone();
+            introsort(&mut expect);
+            assert_eq!(
+                all_bits(&out.sorted),
+                all_bits(&expect),
+                "{label}: dag output differs from introsort reference"
+            );
+        }
+    }
+}
+
+#[test]
+fn dag_engine_matches_legacy_under_faults() {
+    // Recovery paths must align too: transient transfer faults with
+    // retries, an OOM split, and a mid-run device loss each produce the
+    // same RecoveryStats, failover spans, and bitwise output from both
+    // engines. Fresh injectors per execution (the config closure) keep
+    // occurrence counters from leaking across runs.
+    let n = 40_000;
+    let data = lcg_data(n, 0xFA17);
+    let cases: [(&str, &str); 3] = [
+        ("transient", "htod:3,dtoh:5"),
+        ("oom-split", "oom:1"),
+        ("device-loss", "lose:1@3"),
+    ];
+    for (name, spec) in cases {
+        let label = format!("p2/PipeMerge/{name}");
+        let mk = || {
+            HetSortConfig::paper_defaults(platform2(), Approach::PipeMerge)
+                .with_batch_elems(5_000)
+                .with_pinned_elems(1_000)
+                .with_faults(Arc::new(
+                    FaultInjector::parse(spec).expect("valid fault spec"),
+                ))
+        };
+        let out = check_equiv(&label, &mk, &data);
+        assert!(out.recovery.any(), "{label}: fault schedule never fired");
+
+        let mut expect = data.clone();
+        introsort(&mut expect);
+        assert_eq!(
+            all_bits(&out.sorted),
+            all_bits(&expect),
+            "{label}: recovered output differs from reference"
+        );
+    }
+}
+
+#[test]
+fn dag_engine_matches_legacy_no_survivor_fallback() {
+    // Losing the only GPU forces the host-sort fallback; both engines
+    // must degrade identically (stats, spans, output).
+    let n = 20_000;
+    let data = lcg_data(n, 0x1057);
+    let mk = || {
+        HetSortConfig::paper_defaults(platform1(), Approach::PipeData)
+            .with_batch_elems(4_000)
+            .with_pinned_elems(800)
+            .with_faults(Arc::new(FaultInjector::new().lose_device(0, 2)))
+    };
+    let out = check_equiv("p1/PipeData/no-survivors", &mk, &data);
+    assert!(out.recovery.device_lost >= 1);
+    assert!(
+        out.recovery.degraded_batches > 0,
+        "no survivors must degrade to host sorting"
+    );
+}
