@@ -40,13 +40,13 @@ fn main() {
             bs,
             r.nb,
             r.total_s,
-            r.component("MultiwayMerge")
+            r.component("MultiwayMerge").unwrap_or(0.0)
         );
         rows.push(format!(
             "{ns},{bs},{},{:.4},{:.4}",
             r.nb,
             r.total_s,
-            r.component("MultiwayMerge")
+            r.component("MultiwayMerge").unwrap_or(0.0)
         ));
     }
     write_csv(
@@ -78,13 +78,13 @@ fn main() {
             "{:>12} {:>10.3} {:>10.3} {:>10}",
             ps,
             r.total_s,
-            r.component("PinnedAlloc"),
+            r.component("PinnedAlloc").unwrap_or(0.0),
             syncs
         );
         rows.push(format!(
             "{ps},{:.4},{:.4},{syncs}",
             r.total_s,
-            r.component("PinnedAlloc")
+            r.component("PinnedAlloc").unwrap_or(0.0)
         ));
     }
     write_csv(
@@ -111,7 +111,7 @@ fn main() {
         let r = simulate(cfg, n_nvlink).expect("ablation sim");
         // The final multiway merge never overlaps anything, so its busy
         // time is an honest share of the makespan.
-        let merge = r.component("MultiwayMerge");
+        let merge = r.component("MultiwayMerge").unwrap_or(0.0);
         println!(
             "{:>12.0} {:>10.3} {:>12.3} {:>16.1}",
             link_gbs,

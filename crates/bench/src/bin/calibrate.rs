@@ -61,9 +61,13 @@ fn main() {
     // --- Figure 7 (PLATFORM1, n=8e8 components) ---------------------
     let cfg = HetSortConfig::paper_defaults(p1.clone(), Approach::BLine);
     let r7 = simulate(cfg, 800_000_000).unwrap();
-    row("Fig7 HtoD (s)", 0.536, r7.component("HtoD"));
-    row("Fig7 DtoH (s)", 0.484, r7.component("DtoH"));
-    row("Fig7 GPUSort ~ (s)", 0.42, r7.component("GPUSort"));
+    row("Fig7 HtoD (s)", 0.536, r7.component("HtoD").unwrap_or(0.0));
+    row("Fig7 DtoH (s)", 0.484, r7.component("DtoH").unwrap_or(0.0));
+    row(
+        "Fig7 GPUSort ~ (s)",
+        0.42,
+        r7.component("GPUSort").unwrap_or(0.0),
+    );
     row(
         "Fig8 literature total @8e8 (s)",
         1.44,

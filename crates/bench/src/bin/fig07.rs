@@ -17,8 +17,7 @@ fn main() {
     println!("{:<10} {:>10.3} {:>14.3}", "GPUSort", d.ours.2, d.related.2);
     println!("\nComponents the related work omits:");
     for tag in hetsort_vgpu::tags::OMITTED_COMPONENTS {
-        let t = d.report.component(tag);
-        if t > 0.0 {
+        if let Some(t) = d.report.component(tag).filter(|t| *t > 0.0) {
             println!("  {tag:<12} {t:>8.3} s");
         }
     }

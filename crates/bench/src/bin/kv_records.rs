@@ -36,8 +36,8 @@ fn main() {
         println!(
             "{:<28} {:>14.3} {:>14.3}",
             tag,
-            keys.component(tag),
-            kv.component(tag)
+            keys.component(tag).unwrap_or(0.0),
+            kv.component(tag).unwrap_or(0.0)
         );
     }
     println!(
@@ -50,7 +50,9 @@ fn main() {
     );
     println!(
         "\ntransfer times agree within {:.0}% (same byte volume — the paper's §IV-E check),\nwhile the KV run's sort moves the same bytes over half the elements.",
-        100.0 * ((keys.component("HtoD") - kv.component("HtoD")) / keys.component("HtoD")).abs()
+        100.0 * ((keys.component("HtoD").unwrap_or(0.0) - kv.component("HtoD").unwrap_or(0.0))
+            / keys.component("HtoD").unwrap_or(f64::INFINITY))
+        .abs()
     );
 
     // Out-of-core KV: the full pipeline on records.
@@ -68,17 +70,17 @@ fn main() {
         &[
             format!(
                 "keys,800000000,8,{:.4},{:.4},{:.4},{:.4},{:.4}",
-                keys.component("HtoD"),
-                keys.component("DtoH"),
-                keys.component("GPUSort"),
+                keys.component("HtoD").unwrap_or(0.0),
+                keys.component("DtoH").unwrap_or(0.0),
+                keys.component("GPUSort").unwrap_or(0.0),
                 keys.literature_total_s,
                 keys.total_s
             ),
             format!(
                 "kv,375000000,16,{:.4},{:.4},{:.4},{:.4},{:.4}",
-                kv.component("HtoD"),
-                kv.component("DtoH"),
-                kv.component("GPUSort"),
+                kv.component("HtoD").unwrap_or(0.0),
+                kv.component("DtoH").unwrap_or(0.0),
+                kv.component("GPUSort").unwrap_or(0.0),
                 kv.literature_total_s,
                 kv.total_s
             ),

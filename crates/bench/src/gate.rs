@@ -10,13 +10,20 @@
 //! ([`hetsort_obs::Tolerance`]).
 
 use hetsort_core::exec_sim::simulate_plan;
-use hetsort_core::{Approach, HetSortConfig, HetSortError, Plan};
+use hetsort_core::{Approach, HetSortConfig, HetSortError, HybridMode, Plan};
 use hetsort_obs::{BenchDoc, ScenarioResult};
 use hetsort_serve::{synthetic_jobs, ServeBudget, ServeConfig, SortService, MIX_COALESCE_ELEMS};
 use hetsort_vgpu::{platform1, platform2, PlatformSpec};
 
 /// Paper-scale input for the multi-batch scenarios (§IV: 2×10⁹ keys).
 pub const PAPER_N: usize = 2_000_000_000;
+
+/// Input size of the pinned hybrid scenarios (5×10⁹ keys — large
+/// enough that the pair-merge lane, not the GPUs, sets the pace).
+pub const HYBRID_N: usize = 5_000_000_000;
+
+/// Batch size of the pinned hybrid scenarios.
+pub const HYBRID_BATCH: usize = 350_000_000;
 
 /// Job count of the pinned serve-throughput scenario.
 pub const SERVE_JOBS: usize = 150;
@@ -83,6 +90,32 @@ fn scenario(
         label,
         config,
         n,
+        kind: ScenarioKind::Simulated,
+    }
+}
+
+/// The hybrid scenario for one platform: PIPEMERGE with half the pair
+/// merges routed to the full CPU merge pool ([`DagOp::CpuMerge`]
+/// lowering).
+///
+/// The pinned pair shows the paper's §V trade-off from both sides: on
+/// the two-GPU platform the devices outrun the reserved-core pair
+/// lane, so draining trailing merges with every core beats the
+/// GPU-only plan; on the single-GPU platform the heuristic's core
+/// split already keeps up and the full pool only steals bandwidth
+/// from staging. The gate pins both outcomes.
+///
+/// [`DagOp::CpuMerge`]: hetsort_core::DagOp::CpuMerge
+fn hybrid_scenario(platform_key: &'static str, platform: &PlatformSpec) -> Scenario {
+    let config = HetSortConfig::paper_defaults(platform.clone(), Approach::PipeMerge)
+        .with_batch_elems(HYBRID_BATCH)
+        .with_hybrid(HybridMode::Fraction(0.5));
+    Scenario {
+        id: format!("{platform_key}/hybrid/n5e9"),
+        platform_key,
+        label: "HYBRID",
+        config,
+        n: HYBRID_N,
         kind: ScenarioKind::Simulated,
     }
 }
@@ -167,6 +200,8 @@ pub fn scenario_matrix() -> Vec<Scenario> {
             false,
             Some((PAPER_N / batch) * batch + 1),
         ));
+        // HYBRID: PIPEMERGE with CpuMerge routing (see hybrid_scenario).
+        out.push(hybrid_scenario(key, &platform));
     }
     out.push(serve_scenario());
     out
@@ -274,14 +309,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn matrix_is_thirteen_pinned_scenarios() {
+    fn matrix_is_fifteen_pinned_scenarios() {
         let m = scenario_matrix();
-        assert_eq!(m.len(), 13);
+        assert_eq!(m.len(), 15);
         // Ids are unique and stable-keyed.
         let mut ids: Vec<&str> = m.iter().map(|s| s.id.as_str()).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 13);
+        assert_eq!(ids.len(), 15);
         assert!(m.iter().any(|s| s.id == "p1/pipedata/n2e9"));
         assert!(m.iter().any(|s| s.id == "p2/parmemcpy/n2e9"));
         assert_eq!(
@@ -303,6 +338,13 @@ mod tests {
         for s in m.iter().filter(|s| s.label == "SKEWMERGE") {
             assert!(s.config.n_batches(s.n) > 1, "{}", s.id);
             assert_eq!(s.n % s.config.batch_elems, 1, "{}: final batch len", s.id);
+        }
+        // One HYBRID scenario per platform, with CpuMerge routing on.
+        let hybrid: Vec<&Scenario> = m.iter().filter(|s| s.label == "HYBRID").collect();
+        assert_eq!(hybrid.len(), 2);
+        for s in &hybrid {
+            assert_eq!(s.config.hybrid, HybridMode::Fraction(0.5), "{}", s.id);
+            assert_eq!(s.n, HYBRID_N, "{}", s.id);
         }
         // Exactly one serve-throughput scenario, on platform 1.
         let serve: Vec<&Scenario> = m.iter().filter(|s| s.label == "SERVE").collect();
@@ -355,6 +397,46 @@ mod tests {
         let doc = BenchDoc::new("2026-08-05", vec![r]);
         let parsed = BenchDoc::parse(&doc.to_json()).expect("schema-valid");
         assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn hybrid_beats_gpu_only_on_the_two_gpu_platform() {
+        // The overlap win the hybrid scenarios pin: on platform 2 the
+        // two GPUs outrun the paper heuristic's reserved-core pair
+        // lane, so routing the trailing half of the merges to the full
+        // CPU pool shortens the makespan. On platform 1 the single GPU
+        // never gets ahead of the lane, and the same routing loses —
+        // the cost trade-off the paper's core-split heuristic (§III-D3)
+        // and §V future-work discussion predict.
+        let m = scenario_matrix();
+        let total = |id: &str| {
+            let s = m.iter().find(|s| s.id == id).expect("pinned id");
+            run_scenario(s).expect("simulated run").total_s
+        };
+        let off_twin = |key: &str| {
+            let s = m
+                .iter()
+                .find(|s| s.id == format!("{key}/hybrid/n5e9"))
+                .unwrap();
+            let mut cfg = s.config.clone();
+            cfg.hybrid = HybridMode::Off;
+            let plan = Plan::build(cfg, s.n).expect("plan");
+            simulate_plan(&plan).expect("sim").total_s
+        };
+        let hybrid_p2 = total("p2/hybrid/n5e9");
+        let off_p2 = off_twin("p2");
+        assert!(
+            hybrid_p2 < off_p2,
+            "hybrid must beat the GPU-only plan on p2: {hybrid_p2} !< {off_p2}"
+        );
+        // Document (don't hide) the p1 outcome: hybrid routing costs
+        // time when one GPU cannot saturate the pair lane.
+        let hybrid_p1 = total("p1/hybrid/n5e9");
+        let off_p1 = off_twin("p1");
+        assert!(
+            hybrid_p1 > off_p1,
+            "if hybrid starts winning on p1 too, move this pin: {hybrid_p1} vs {off_p1}"
+        );
     }
 
     #[test]

@@ -32,9 +32,11 @@ impl OverheadRow {
     pub fn from_report(r: &TimingReport) -> OverheadRow {
         OverheadRow {
             n: r.n,
-            htod_s: r.component(tags::HTOD) - r.sync_s / 2.0,
-            dtoh_s: r.component(tags::DTOH) - r.sync_s / 2.0,
-            sort_s: r.component(tags::GPU_SORT) - r.launch_s,
+            // Absent components decompose as zero seconds: a BLINE run
+            // that never transferred has no HtoD line to adjust.
+            htod_s: r.component(tags::HTOD).unwrap_or(0.0) - r.sync_s / 2.0,
+            dtoh_s: r.component(tags::DTOH).unwrap_or(0.0) - r.sync_s / 2.0,
+            sort_s: r.component(tags::GPU_SORT).unwrap_or(0.0) - r.launch_s,
             literature_total_s: r.literature_total_s,
             full_total_s: r.total_s,
         }
@@ -117,7 +119,9 @@ mod tests {
             .with_pinned_elems(800_000_000)
             .with_batch_elems(800_000_000);
         let r = simulate(cfg, 800_000_000).unwrap();
-        let alloc = r.component(hetsort_vgpu::tags::PINNED_ALLOC);
+        let alloc = r
+            .component(hetsort_vgpu::tags::PINNED_ALLOC)
+            .expect("pinned alloc ran");
         assert!((alloc - 2.2).abs() < 0.05, "alloc={alloc}");
         assert!(alloc > r.literature_total_s);
     }

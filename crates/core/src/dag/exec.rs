@@ -53,6 +53,17 @@ pub struct DagExecOptions {
     /// re-plan, recomputing *every* batch. Output stays correct; the
     /// differential check on [`RecoveryStats`] kills it.
     pub skip_checkpoint: bool,
+    /// CPU/GPU work stealing in the pooled engine: ready pair/CPU
+    /// merges are dispatched to dedicated steal workers the moment
+    /// their inputs exist, overlapping merges with the staging pipeline
+    /// instead of running them inline on the coordinator. `false` (the
+    /// default) preserves the coordinator-inline path byte-for-byte —
+    /// the deterministic twin the differential battery pins. Stolen
+    /// merges are pure functions of their inputs, so output, span
+    /// multisets and recovery stats are identical either way; only
+    /// wall-clock interleaving differs. Ignored by the sequential
+    /// engine.
+    pub steal: bool,
 }
 
 /// Shared entry checks: data/plan agreement, element width, plan
@@ -100,14 +111,55 @@ pub(crate) fn src_slice<'x, T>(
     }
 }
 
+/// Span class and label for a pair slot under the dag's (possibly
+/// hybrid) node typing: slots hybrid lowering re-typed to
+/// [`DagOp::CpuMerge`] record under their own class so pooled runs
+/// emit the same span multiset as the sequential engine.
+fn pair_class(cpu_slot: &[bool], slot: usize) -> (OpClass, String) {
+    pair_class_of(cpu_slot.get(slot).copied().unwrap_or(false), slot)
+}
+
+/// As [`pair_class`], from an already-resolved typing flag.
+fn pair_class_of(cpu: bool, slot: usize) -> (OpClass, String) {
+    if cpu {
+        (OpClass::CpuMerge, format!("CpuMerge p{slot}"))
+    } else {
+        (OpClass::PairMerge, format!("PairMerge p{slot}"))
+    }
+}
+
+/// Which pair slots the dag types as [`DagOp::CpuMerge`], indexed by
+/// slot — the pooled coordinator's view of hybrid lowering.
+fn cpu_slots_of(dag: &PlanDag) -> Vec<bool> {
+    let mut v = vec![false; dag.plan.pairs.len()];
+    for node in &dag.nodes {
+        if let DagOp::CpuMerge { slot } = node.op {
+            if let Some(f) = v.get_mut(slot) {
+                *f = true;
+            }
+        }
+    }
+    v
+}
+
+/// Render a lost-GPU set for failover span labels (`"0"`, `"0, 2"`).
+fn gpu_list(lost: &BTreeSet<usize>) -> String {
+    lost.iter()
+        .map(|g| g.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
 /// Fire every pending pair merge whose inputs are ready, repeatedly
 /// (an Online/MergeTree merge may unlock the next). Each fired merge is
-/// recorded as a span on the run clock `t0`.
+/// recorded as a span on the run clock `t0` under the class the dag
+/// assigned its slot (`cpu_slot`).
 #[allow(clippy::too_many_arguments)] // internal helper: plan context + two buffer banks + clock + span sink
 pub(crate) fn fire_ready_pairs<T>(
     plan: &Plan,
     sched: &SchedCfg,
     merge_threads: usize,
+    cpu_slot: &[bool],
     sorted_batches: &[Option<Vec<T>>],
     pair_out: &mut [Option<Vec<T>>],
     pending: &mut Vec<usize>,
@@ -132,16 +184,11 @@ pub(crate) fn fire_ready_pairs<T>(
             };
             let mut out = vec![T::default(); spec.out_elems];
             let m_start = t0.elapsed().as_secs_f64();
-            let label = format!("PairMerge p{slot}");
+            let (class, label) = pair_class(cpu_slot, slot);
             let stats = par_merge_into_cfg(sched, merge_threads, l, r, &mut out);
             spans.push(
-                ObsSpan::new(
-                    OpClass::PairMerge,
-                    label.clone(),
-                    m_start,
-                    t0.elapsed().as_secs_f64(),
-                )
-                .with_bytes(spec.out_elems as f64 * plan.config.elem_bytes),
+                ObsSpan::new(class, label.clone(), m_start, t0.elapsed().as_secs_f64())
+                    .with_bytes(spec.out_elems as f64 * plan.config.elem_bytes),
             );
             spans.extend(cpu_part_spans(&label, m_start, &stats));
             pair_out[slot] = Some(out);
@@ -149,6 +196,67 @@ pub(crate) fn fire_ready_pairs<T>(
             fired = true;
         }
     }
+}
+
+/// A pair merge handed to a steal worker: inputs snapshotted, typing
+/// resolved, everything the worker needs without touching coordinator
+/// state.
+struct MergeTask<T> {
+    slot: usize,
+    left: Vec<T>,
+    right: Vec<T>,
+    out_elems: usize,
+    cpu: bool,
+}
+
+/// A finished stolen merge on its way back to the coordinator.
+struct MergeDone<T> {
+    slot: usize,
+    out: Vec<T>,
+    spans: Vec<ObsSpan>,
+}
+
+/// Dispatch every pending pair whose inputs are ready to the steal
+/// pool (removing it from `pending`); returns how many were sent. The
+/// counterpart of [`fire_ready_pairs`] for `steal=on`: the merge
+/// itself happens on a steal worker, and the result re-enters through
+/// the coordinator's done channel. A send failure (workers gone after
+/// an abort) leaves the slot pending for the inline recovery paths.
+fn dispatch_ready_pairs<T: Clone>(
+    plan: &Plan,
+    cpu_slot: &[bool],
+    sorted_batches: &[Option<Vec<T>>],
+    pair_out: &[Option<Vec<T>>],
+    pending: &mut Vec<usize>,
+    task_tx: &std::sync::mpsc::Sender<MergeTask<T>>,
+) -> usize {
+    let mut sent = 0usize;
+    let mut i = 0;
+    while i < pending.len() {
+        let slot = pending[i];
+        let spec = plan.pairs[slot];
+        let (Some(l), Some(r)) = (
+            src_slice(spec.left, sorted_batches, pair_out),
+            src_slice(spec.right, sorted_batches, pair_out),
+        ) else {
+            i += 1;
+            continue;
+        };
+        let task = MergeTask {
+            slot,
+            left: l.to_vec(),
+            right: r.to_vec(),
+            out_elems: spec.out_elems,
+            cpu: cpu_slot.get(slot).copied().unwrap_or(false),
+        };
+        if task_tx.send(task).is_err() {
+            i += 1;
+            continue;
+        }
+        pending.remove(i);
+        sent += 1;
+    }
+    sent
 }
 
 /// Execute one merge node of the sequential engine over the sorted runs
@@ -391,6 +499,7 @@ where
         // Device fault domain: checkpoint what finished, re-plan the
         // rest over the survivors.
         recovery.device_lost += 1;
+        recovery.record_lost_gpu(gpu);
         lost_gpus.insert(gpu);
         let unfinished: Vec<usize> = (0..nb)
             .filter(|&b| opts.skip_checkpoint || emitted[b] < plan.batches[b].len)
@@ -438,7 +547,8 @@ where
                 metrics.record(ObsSpan::new(
                     OpClass::Other,
                     format!(
-                        "failover: GPU {gpu} lost, no survivors → host sort of {} batch(es)",
+                        "failover: GPU(s) {} lost, no survivors → host sort of {} batch(es)",
+                        gpu_list(&lost_gpus),
                         unfinished.len()
                     ),
                     t_fail,
@@ -587,6 +697,17 @@ where
     let device_sort_threads = hetsort_algos::par::default_threads();
     let sched = plan.config.sched_cfg();
     let n_workers = workers.max(1);
+    // Hybrid typing per pair slot, as lowered into the dag.
+    let cpu_slot = cpu_slots_of(dag);
+
+    // Steal channels live outside the scope so the steal workers'
+    // borrow of the task receiver satisfies the `'scope` bound; the
+    // task sender is moved into the coordinator closure and dropped
+    // there once no more merges can be dispatched, which is what lets
+    // idle steal workers drain and exit before the scope joins.
+    let (task_tx, task_rx) = std::sync::mpsc::channel::<MergeTask<T>>();
+    let task_rx = Mutex::new(task_rx);
+    let (done_tx, done_rx) = std::sync::mpsc::channel::<MergeDone<T>>();
 
     // Stream-subgraph scheduling state (merges belong to the
     // coordinator, not the pool).
@@ -759,26 +880,110 @@ where
         }
         drop(tx);
 
+        // ---- steal workers: CPU lanes for ready merge nodes ---------
+        // With `steal` on, pair/CPU merges leave the coordinator the
+        // moment their inputs exist and run here, overlapping the
+        // staging pipeline. The workers block on the shared task
+        // receiver (lock–recv–release: at most one waits while the
+        // rest merge) and exit when the task sender drops.
+        let steal_workers = if opts.steal { n_workers.clamp(1, 2) } else { 0 };
+        for _ in 0..steal_workers {
+            let done_tx = done_tx.clone();
+            let (task_rx, sched) = (&task_rx, &sched);
+            scope.spawn(move || loop {
+                let task = lock_any(task_rx).recv();
+                let Ok(t) = task else { return };
+                let mut out = vec![T::default(); t.out_elems];
+                let m_start = t0.elapsed().as_secs_f64();
+                let (class, label) = pair_class_of(t.cpu, t.slot);
+                let stats = par_merge_into_cfg(sched, merge_threads, &t.left, &t.right, &mut out);
+                let mut spans =
+                    vec![
+                        ObsSpan::new(class, label.clone(), m_start, t0.elapsed().as_secs_f64())
+                            .with_bytes(t.out_elems as f64 * plan.config.elem_bytes),
+                    ];
+                spans.extend(cpu_part_spans(&label, m_start, &stats));
+                let _ = done_tx.send(MergeDone {
+                    slot: t.slot,
+                    out,
+                    spans,
+                });
+            });
+        }
+        drop(done_tx);
+
         // ---- merge coordinator (this thread) ------------------------
         let mut received = 0usize;
         let mut pending_pairs: Vec<usize> = (0..plan.pairs.len()).collect();
+        let mut stolen_inflight = 0usize;
+        let land = |done: MergeDone<T>,
+                    pair_out: &mut Vec<Option<Vec<T>>>,
+                    merge_spans: &mut Vec<ObsSpan>| {
+            pair_out[done.slot] = Some(done.out);
+            merge_spans.extend(done.spans);
+        };
         while received < nb {
             // A disconnect means every worker is done (some possibly
             // dead); fall through to the join pass to find out which.
             let Ok((idx, buf)) = rx.recv() else { break };
             sorted_batches[idx] = Some(buf);
             received += 1;
-            fire_ready_pairs(
+            if opts.steal {
+                stolen_inflight += dispatch_ready_pairs(
+                    plan,
+                    &cpu_slot,
+                    &sorted_batches,
+                    &pair_out,
+                    &mut pending_pairs,
+                    &task_tx,
+                );
+                // Opportunistically land finished merges; a landed
+                // Online/MergeTree output may unlock the next dispatch.
+                while let Ok(done) = done_rx.try_recv() {
+                    land(done, &mut pair_out, &mut merge_spans);
+                    stolen_inflight -= 1;
+                    stolen_inflight += dispatch_ready_pairs(
+                        plan,
+                        &cpu_slot,
+                        &sorted_batches,
+                        &pair_out,
+                        &mut pending_pairs,
+                        &task_tx,
+                    );
+                }
+            } else {
+                fire_ready_pairs(
+                    plan,
+                    &sched,
+                    merge_threads,
+                    &cpu_slot,
+                    &sorted_batches,
+                    &mut pair_out,
+                    &mut pending_pairs,
+                    t0,
+                    &mut merge_spans,
+                );
+            }
+        }
+        // Settle every dispatched merge before inspecting stream
+        // outcomes: pair_out must be complete for the recovery and
+        // final-merge phases (a chained merge may still dispatch here).
+        while stolen_inflight > 0 {
+            let Ok(done) = done_rx.recv() else { break };
+            land(done, &mut pair_out, &mut merge_spans);
+            stolen_inflight -= 1;
+            stolen_inflight += dispatch_ready_pairs(
                 plan,
-                &sched,
-                merge_threads,
+                &cpu_slot,
                 &sorted_batches,
-                &mut pair_out,
+                &pair_out,
                 &mut pending_pairs,
-                t0,
-                &mut merge_spans,
+                &task_tx,
             );
         }
+        // No further steal dispatch (recovery merges run inline); let
+        // the steal workers drain and exit.
+        drop(task_tx);
         for h in handles {
             // Workers catch their own panics; a join error would mean a
             // bug in the pool loop itself — surface it as a panic.
@@ -839,6 +1044,12 @@ where
             while !newly_lost.is_empty() {
                 let cur: &Plan = cur_owned.as_ref().unwrap_or(plan);
                 recovery.device_lost += newly_lost.len();
+                // Several devices can die inside one checkpoint window
+                // (one loss event per GPU, all observed at this join);
+                // attribute every casualty, not an arbitrary pick.
+                for &g in &newly_lost {
+                    recovery.record_lost_gpu(g);
+                }
                 recovery.batches_recomputed += sorted_batches
                     .iter()
                     .enumerate()
@@ -851,6 +1062,9 @@ where
                 let t_fail = t0.elapsed().as_secs_f64();
                 match crate::recover::survivor_plan(plan, &lost_gpus)? {
                     None => {
+                        // The typed error carries one representative id
+                        // (the smallest casualty); the span and the
+                        // RecoveryStats mask name the full set.
                         let gpu = lost_gpus.iter().next().copied().unwrap_or(0);
                         if !plan.config.recovery.cpu_fallback {
                             return Err(HetSortError::DeviceLost { gpu });
@@ -867,7 +1081,8 @@ where
                         metrics.record(ObsSpan::new(
                             OpClass::Other,
                             format!(
-                                "failover: GPU {gpu} lost, no survivors → host sort of {missing} batch(es)"
+                                "failover: GPU(s) {} lost, no survivors → host sort of {missing} batch(es)",
+                                gpu_list(&lost_gpus)
                             ),
                             t_fail,
                             t0.elapsed().as_secs_f64(),
@@ -944,6 +1159,7 @@ where
                 plan,
                 &sched,
                 merge_threads,
+                &cpu_slot,
                 &sorted_batches,
                 &mut pair_out,
                 &mut pending_pairs,
@@ -971,6 +1187,7 @@ where
                 plan,
                 &sched,
                 merge_threads,
+                &cpu_slot,
                 &sorted_batches,
                 &mut pair_out,
                 &mut pending_pairs,
@@ -1156,6 +1373,116 @@ mod tests {
             out.sorted.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
             expect.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn stealing_is_observationally_invisible() {
+        use crate::config::HybridMode;
+        use std::collections::BTreeMap;
+        let n = 30_000;
+        let d = data(n, 21);
+        for hybrid in [HybridMode::Off, HybridMode::Fraction(0.5), HybridMode::Auto] {
+            let cfg = HetSortConfig::paper_defaults(platform1(), Approach::PipeMerge)
+                .with_batch_elems(4_000)
+                .with_pinned_elems(800)
+                .with_hybrid(hybrid);
+            let g = PlanDag::from_plan(Plan::build(cfg, n).unwrap());
+            let run = |steal: bool| {
+                execute_dag_pooled_opts(
+                    &g,
+                    &d,
+                    3,
+                    DagExecOptions {
+                        steal,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            };
+            let twin = run(false);
+            let stolen = run(true);
+            assert!(twin.verified && stolen.verified, "{hybrid:?}");
+            assert_eq!(
+                twin.sorted.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                stolen
+                    .sorted
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
+                "{hybrid:?}: steal changed the output"
+            );
+            assert_eq!(twin.recovery, stolen.recovery, "{hybrid:?}");
+            // Span multisets (class × label), CpuPart excluded: the
+            // per-worker breakdown of a parallel merge is structure,
+            // not schedule.
+            let multiset = |out: &RealOutcome<f64>| {
+                let mut m: BTreeMap<(String, String), usize> = BTreeMap::new();
+                for s in out.metrics.spans() {
+                    if s.class.name() == "CpuPart" {
+                        continue;
+                    }
+                    *m.entry((s.class.name().to_string(), s.label.clone()))
+                        .or_insert(0) += 1;
+                }
+                m
+            };
+            assert_eq!(
+                multiset(&twin),
+                multiset(&stolen),
+                "{hybrid:?}: steal changed the span multiset"
+            );
+        }
+    }
+
+    #[test]
+    fn losing_both_gpus_attributes_every_casualty() {
+        use hetsort_vgpu::{platform2, FaultInjector};
+        use std::sync::Arc;
+        // Kill GPU 0 and GPU 1 in quick succession: the run degrades to
+        // host sorting with NO survivors, and the recovery stats must
+        // name *both* casualties — not just the first one noticed.
+        let n = 24_000;
+        let d = data(n, 33);
+        let cfg = HetSortConfig::paper_defaults(platform2(), Approach::PipeMerge)
+            .with_batch_elems(3_000)
+            .with_pinned_elems(600)
+            .with_faults(Arc::new(
+                FaultInjector::new().lose_device(0, 2).lose_device(1, 3),
+            ));
+        let g = PlanDag::from_plan(Plan::build(cfg, n).unwrap());
+        let out = execute_dag_pooled(&g, &d, 2).unwrap();
+        assert!(out.verified, "host fallback still sorts");
+        assert_eq!(out.recovery.device_lost, 2, "{}", out.recovery.summary());
+        assert_eq!(
+            out.recovery.lost_gpus(),
+            vec![0, 1],
+            "both casualties must be in the mask: {}",
+            out.recovery.summary()
+        );
+        // The no-survivor failover span names every lost device.
+        assert!(
+            out.metrics
+                .spans()
+                .iter()
+                .any(|s| s.label.contains("GPU(s) 0, 1 lost")),
+            "failover span must list both GPUs: {:?}",
+            out.metrics
+                .spans()
+                .iter()
+                .filter(|s| s.label.contains("failover"))
+                .map(|s| &s.label)
+                .collect::<Vec<_>>()
+        );
+        // The sequential engine attributes identically.
+        let cfg = HetSortConfig::paper_defaults(platform2(), Approach::PipeMerge)
+            .with_batch_elems(3_000)
+            .with_pinned_elems(600)
+            .with_faults(Arc::new(
+                FaultInjector::new().lose_device(0, 2).lose_device(1, 3),
+            ));
+        let g = PlanDag::from_plan(Plan::build(cfg, n).unwrap());
+        let seq = execute_dag(&g, &d).unwrap();
+        assert_eq!(seq.recovery.lost_gpus(), vec![0, 1]);
     }
 
     #[test]

@@ -31,6 +31,9 @@ pub mod mutate;
 
 use std::collections::BTreeMap;
 
+use hetsort_vgpu::calib::amdahl_speedup;
+
+use crate::config::{HybridMode, PairStrategy};
 use crate::error::HetSortError;
 use crate::plan::{MergeInput, MergeSrc, Plan, StepKind};
 
@@ -50,9 +53,9 @@ pub enum TieBreak {
 
 /// A typed DAG operation. Mirrors [`StepKind`] with the staging
 /// directions folded into one op and one addition: [`DagOp::CpuMerge`],
-/// a pair merge pinned to the host merge resource (no plan builder
-/// emits it today; hybrid per-batch backends will, and the engine and
-/// validator already accept it).
+/// a pair merge pinned to the host merge resource. Hybrid lowering
+/// ([`crate::config::HybridMode`]) re-types a configured subset of
+/// pair-merge nodes to it in [`PlanDag::from_plan`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum DagOp {
     /// Allocate a stream's pinned staging buffer.
@@ -252,14 +255,83 @@ pub struct PlanDag {
     pub nodes: Vec<DagNode>,
 }
 
+/// Which pair-merge slots hybrid lowering routes to the CPU merge
+/// resource, per [`HybridMode`].
+///
+/// * [`HybridMode::Fraction`] routes the *last* `round(frac · slots)`
+///   slots: later slots consume later batches and therefore contend
+///   with the multiway-merge warm-up, where the spare full merge pool
+///   helps most.
+/// * [`HybridMode::Auto`] is deterministic greedy earliest-finish
+///   scheduling between the pair-merge pool and the full CPU merge
+///   pool, using the platform's calibrated merge throughput under
+///   Amdahl scaling; each pool's accumulated predicted busy time is
+///   the queue-depth proxy.
+fn hybrid_cpu_slots(plan: &Plan) -> Vec<bool> {
+    let n_slots = plan.pairs.len();
+    let mut cpu = vec![false; n_slots];
+    match plan.config.hybrid {
+        HybridMode::Off => {}
+        HybridMode::Fraction(f) => {
+            let f = f.clamp(0.0, 1.0);
+            let k = ((f * n_slots as f64).round() as usize).min(n_slots);
+            for flag in cpu.iter_mut().skip(n_slots - k) {
+                *flag = true;
+            }
+        }
+        HybridMode::Auto => {
+            let cfg = &plan.config;
+            let cpu_model = &cfg.platform.cpu;
+            let per_core = 1e9 / cpu_model.merge_ns_per_elem_core;
+            // The pair lane runs at the thread count the executors and
+            // simulator actually grant pipelined merges; the CPU lane
+            // gets the full multiway pool.
+            let pair_threads = if cfg.pair_strategy == PairStrategy::PaperHeuristic {
+                cfg.pair_merge_threads_eff()
+            } else {
+                cfg.merge_threads_eff()
+            };
+            let cap_pair = amdahl_speedup(
+                cpu_model.merge_parallel_fraction,
+                pair_threads.max(1) as usize,
+            ) * per_core;
+            let cap_cpu = amdahl_speedup(
+                cpu_model.merge_parallel_fraction,
+                cfg.merge_threads_eff().max(1) as usize,
+            ) * per_core;
+            let (mut busy_pair, mut busy_cpu) = (0.0f64, 0.0f64);
+            for (slot, spec) in plan.pairs.iter().enumerate() {
+                let t_pair = busy_pair + spec.out_elems as f64 / cap_pair;
+                let t_cpu = busy_cpu + spec.out_elems as f64 / cap_cpu;
+                // Ties keep the default lane, so Auto degrades to Off
+                // when the pools are indistinguishable.
+                if t_cpu < t_pair {
+                    cpu[slot] = true;
+                    busy_cpu = t_cpu;
+                } else {
+                    busy_pair = t_pair;
+                }
+            }
+        }
+    }
+    cpu
+}
+
 impl PlanDag {
     /// Lower a plan to its DAG. Dependency lists are deduplicated (the
     /// planner may emit an explicit dep that coincides with the stream
     /// FIFO dep), so every remaining edge is load-bearing — which is
     /// what makes "any single edge deletion is rejected" a theorem the
     /// property suite can test.
+    ///
+    /// When the config enables [`HybridMode`], a post-pass re-types the
+    /// selected pair-merge slots to [`DagOp::CpuMerge`]. Routing lives
+    /// here — not in an engine — so *every* consumer of a plan (both
+    /// functional engines, the simulator, the bench gate, the service)
+    /// interprets the identical hybrid dag, and the decision depends
+    /// only on the config and the plan, never on runtime state.
     pub fn from_plan(plan: Plan) -> PlanDag {
-        let nodes = plan
+        let mut nodes: Vec<DagNode> = plan
             .steps
             .iter()
             .map(|s| {
@@ -276,6 +348,16 @@ impl PlanDag {
                 }
             })
             .collect();
+        if plan.config.hybrid.is_on() && !plan.pairs.is_empty() {
+            let cpu = hybrid_cpu_slots(&plan);
+            for node in &mut nodes {
+                if let DagOp::PairMerge { slot } = node.op {
+                    if cpu.get(slot).copied().unwrap_or(false) {
+                        node.op = DagOp::CpuMerge { slot };
+                    }
+                }
+            }
+        }
         PlanDag { plan, nodes }
     }
 
@@ -739,6 +821,75 @@ mod tests {
             order,
             (0..d.nodes.len()).collect::<Vec<_>>(),
             "MaxId must actually permute a multi-stream dag"
+        );
+    }
+
+    #[test]
+    fn hybrid_lowering_retypes_pair_merges() {
+        use crate::config::HybridMode;
+        let count = |d: &PlanDag, cpu: bool| {
+            d.nodes
+                .iter()
+                .filter(|n| match n.op {
+                    DagOp::CpuMerge { .. } => cpu,
+                    DagOp::PairMerge { .. } => !cpu,
+                    _ => false,
+                })
+                .count()
+        };
+        let build = |h: HybridMode| {
+            let c = cfg(Approach::PipeMerge).with_hybrid(h);
+            PlanDag::from_plan(Plan::build(c, 13_000).unwrap())
+        };
+
+        let off = build(HybridMode::Off);
+        let slots = off.plan.pairs.len();
+        assert!(slots >= 2, "need ≥ 2 pair slots, got {slots}");
+        assert_eq!(count(&off, true), 0);
+
+        // Fraction 1.0: every pair merge moves to the CPU lane.
+        let all = build(HybridMode::Fraction(1.0));
+        assert_eq!(count(&all, true), slots);
+        assert_eq!(count(&all, false), 0);
+        all.validate().expect("hybrid dag must stay valid");
+
+        // Fraction 0.5: the *last* half of the slots move.
+        let half = build(HybridMode::Fraction(0.5));
+        let moved = ((0.5 * slots as f64).round()) as usize;
+        assert_eq!(count(&half, true), moved);
+        let cpu_slots: Vec<usize> = half
+            .nodes
+            .iter()
+            .filter_map(|n| match n.op {
+                DagOp::CpuMerge { slot } => Some(slot),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            cpu_slots.iter().all(|&s| s >= slots - moved),
+            "fraction routes the trailing slots, got {cpu_slots:?}"
+        );
+        half.validate().unwrap();
+
+        // Auto balances the two pools: a nonempty proper subset under
+        // the paper heuristic (the CPU pool is strictly faster, the
+        // greedy finish times alternate).
+        let auto = build(HybridMode::Auto);
+        assert!(count(&auto, true) > 0, "auto routed nothing");
+        assert!(count(&auto, false) > 0, "auto routed everything");
+        auto.validate().unwrap();
+        // Deterministic: same config, same routing.
+        let again = build(HybridMode::Auto);
+        assert_eq!(
+            auto.nodes
+                .iter()
+                .map(|n| n.op.class_name())
+                .collect::<Vec<_>>(),
+            again
+                .nodes
+                .iter()
+                .map(|n| n.op.class_name())
+                .collect::<Vec<_>>()
         );
     }
 

@@ -194,9 +194,10 @@ pub fn simulate_dag(dag: &PlanDag) -> Result<TimingReport, HetSortError> {
             DagOp::CpuMerge { slot } => {
                 // Pinned to the host merge resource: always the full
                 // merge thread pool, never the paper heuristic's
-                // reserved-core split.
+                // reserved-core split. Tagged CpuMerge so hybrid runs
+                // account CPU-routed merges on their own line.
                 let spec = &plan.pairs[*slot];
-                m.pair_merge(spec.out_elems as f64, merge_threads, &deps, Some(cpu_lane))
+                m.cpu_merge(spec.out_elems as f64, merge_threads, &deps, Some(cpu_lane))
             }
             DagOp::MultiwayMerge { inputs } => m.multiway_merge(
                 plan.n as f64,
@@ -263,8 +264,8 @@ mod tests {
         );
         // Figure 7 cross-check: HtoD ≈ 0.536 s, DtoH ≈ 0.484 s in the
         // paper; our symmetric model gives 0.533 s each.
-        assert!((r.component(tags::HTOD) - 0.533).abs() < 0.01);
-        assert!((r.component(tags::DTOH) - 0.533).abs() < 0.01);
+        assert!((r.component(tags::HTOD).expect("HtoD ran") - 0.533).abs() < 0.01);
+        assert!((r.component(tags::DTOH).expect("DtoH ran") - 0.533).abs() < 0.01);
         // Literature total = HtoD + Sort + DtoH ≈ 0.533+0.421+0.533.
         assert!(
             (r.literature_total_s - 1.487).abs() < 0.02,
@@ -343,6 +344,23 @@ mod tests {
     }
 
     #[test]
+    fn hybrid_plans_surface_cpu_merge_component() {
+        use crate::config::HybridMode;
+        let n = 5_000_000_000usize;
+        let base = simulate(p1(Approach::PipeMerge), n).unwrap();
+        assert_eq!(base.component(tags::CPU_MERGE), None, "no hybrid, no line");
+        let hy = simulate(
+            p1(Approach::PipeMerge).with_hybrid(HybridMode::Fraction(0.5)),
+            n,
+        )
+        .unwrap();
+        assert!(
+            hy.component(tags::CPU_MERGE).expect("cpu merges ran") > 0.0,
+            "hybrid run accounts CPU-routed merges separately"
+        );
+    }
+
+    #[test]
     fn bitonic_trade_off_in_sim() {
         use crate::config::DeviceSortKind;
         // In-place bitonic: twice the batch fits (1e9 elements in
@@ -357,7 +375,8 @@ mod tests {
         let bitonic = simulate(bitonic_cfg, n).unwrap();
         assert!(bitonic.nb < radix.nb, "bigger batches → fewer batches");
         assert!(
-            bitonic.component(tags::GPU_SORT) > radix.component(tags::GPU_SORT),
+            bitonic.component(tags::GPU_SORT).expect("sort ran")
+                > radix.component(tags::GPU_SORT).expect("sort ran"),
             "bitonic sorts slower"
         );
         assert!(

@@ -45,8 +45,6 @@ pub mod exec_real;
 pub mod exec_real_mt;
 pub mod exec_sim;
 pub(crate) mod exec_stream;
-#[cfg(feature = "legacy-exec")]
-pub mod legacy;
 pub mod optrace;
 pub mod plan;
 pub mod plan_builders;
@@ -55,7 +53,7 @@ pub mod reference;
 pub mod report;
 
 pub use config::{
-    Approach, CpuSched, DeviceSortKind, HetSortConfig, PairStrategy, RecoveryPolicy,
+    Approach, CpuSched, DeviceSortKind, HetSortConfig, HybridMode, PairStrategy, RecoveryPolicy,
     SUPPORTED_ELEM_BYTES,
 };
 pub use dag::exec::{

@@ -115,7 +115,10 @@ fn src_read(plan: &Plan, src: MergeSrc) -> Access {
 
 /// The buffer accesses step `si` performs on the fault-free GPU path.
 pub fn static_step_accesses(plan: &Plan, si: usize) -> Vec<Access> {
-    let stream = plan.steps[si].stream.unwrap_or(0);
+    // Stream-less data ops get the sentinel lane `total_streams` so
+    // their pinned ids (`2·S`, `2·S + 1`) can never alias stream 0's
+    // real staging buffers.
+    let stream = plan.steps[si].stream.unwrap_or(plan.total_streams);
     let pin_in = Buffer::Pinned {
         id: pinned_in_id(stream),
     };
@@ -243,7 +246,10 @@ pub fn dag_node_label(dag: &PlanDag, i: usize) -> String {
 pub fn dag_node_accesses(dag: &PlanDag, i: usize) -> Vec<Access> {
     let plan = &dag.plan;
     let node = &dag.nodes[i];
-    let stream = node.stream.unwrap_or(0);
+    // Sentinel lane for stream-less data ops — see
+    // [`static_step_accesses`]; `unwrap_or(0)` here would alias stream
+    // 0's pinned buffers and fabricate conflicts in the checker.
+    let stream = node.stream.unwrap_or(plan.total_streams);
     let pin_in = Buffer::Pinned {
         id: pinned_in_id(stream),
     };
@@ -508,6 +514,35 @@ mod tests {
                 );
                 assert!(rec_pos.is_some_and(|p| p < i), "wait at {i} before record");
             }
+        }
+    }
+
+    #[test]
+    fn streamless_data_ops_use_sentinel_pinned_lane() {
+        use crate::dag::PlanDag;
+        let p = plan(Approach::PipeMerge, 6000);
+        let total = p.total_streams;
+        let mut dag = PlanDag::from_plan(p);
+        // Hand-strip the stream off one HtoD node, as a hand-built or
+        // mutated dag may legally do.
+        let i = dag
+            .nodes
+            .iter()
+            .position(|n| matches!(n.op, DagOp::HtoD { .. }))
+            .unwrap();
+        dag.nodes[i].stream = None;
+        let acc = dag_node_accesses(&dag, i);
+        let pinned_ids: Vec<usize> = acc
+            .iter()
+            .filter_map(|a| match a.buf {
+                Buffer::Pinned { id } => Some(id),
+                _ => None,
+            })
+            .collect();
+        assert!(!pinned_ids.is_empty(), "HtoD reads a pinned buffer");
+        for id in pinned_ids {
+            assert_eq!(id, pinned_in_id(total), "sentinel lane, not stream 0");
+            assert_ne!(id, pinned_in_id(0), "must not alias stream 0");
         }
     }
 

@@ -37,6 +37,11 @@ pub struct RecoveryStats {
     /// Batches whose device-resident state died with a lost GPU and
     /// were re-sorted from the host-resident input checkpoint.
     pub batches_recomputed: usize,
+    /// Bitmask of *which* physical GPUs were lost (bit `g` = GPU `g`).
+    /// Several devices can die inside one checkpoint window, so a
+    /// single "first lost" id would mis-attribute the event; the mask
+    /// records every casualty.
+    pub lost_gpu_mask: u64,
 }
 
 impl RecoveryStats {
@@ -45,16 +50,30 @@ impl RecoveryStats {
         *self != RecoveryStats::default()
     }
 
+    /// Record a lost physical GPU id in the mask (ids ≥ 64 saturate
+    /// into the top bit rather than wrapping onto GPU 0).
+    pub fn record_lost_gpu(&mut self, gpu: usize) {
+        self.lost_gpu_mask |= 1u64 << gpu.min(63);
+    }
+
+    /// The lost physical GPU ids, in ascending order.
+    pub fn lost_gpus(&self) -> Vec<usize> {
+        (0..64)
+            .filter(|g| self.lost_gpu_mask & (1 << g) != 0)
+            .collect()
+    }
+
     /// One-line human summary.
     pub fn summary(&self) -> String {
         format!(
             "faults injected: {}, retries: {}, degraded batches: {}, OOM re-plans: {}, \
-             devices lost: {}, re-plans: {}, batches recomputed: {}",
+             devices lost: {} {:?}, re-plans: {}, batches recomputed: {}",
             self.faults_injected,
             self.retries,
             self.degraded_batches,
             self.oom_replans,
             self.device_lost,
+            self.lost_gpus(),
             self.replans,
             self.batches_recomputed
         )
@@ -73,6 +92,7 @@ impl RecoveryStats {
             "recovery.batches_recomputed",
             self.batches_recomputed as f64,
         );
+        reg.add_counter("recovery.lost_gpu_mask", self.lost_gpu_mask as f64);
     }
 }
 
@@ -145,9 +165,14 @@ impl TimingReport {
         }
     }
 
-    /// Busy time of one component (0 when absent).
-    pub fn component(&self, name: &str) -> f64 {
-        self.components.get(name).copied().unwrap_or(0.0)
+    /// Busy time of one component, or `None` when the tag never
+    /// appeared in the run. Absence is surfaced rather than folded to
+    /// `0.0` so a typo'd span name in a gate scenario or golden-shape
+    /// test cannot pass vacuously — callers that genuinely treat a
+    /// missing component as zero (CSV columns) opt in with
+    /// `unwrap_or(0.0)`.
+    pub fn component(&self, name: &str) -> Option<f64> {
+        self.components.get(name).copied()
     }
 
     /// The run as a structured metrics registry: every simulator span
@@ -174,7 +199,8 @@ impl TimingReport {
             self.approach, self.platform, self.n, self.nb, self.total_s, self.literature_total_s
         );
         for t in tag_order {
-            row.push_str(&format!(",{:.6}", self.component(t)));
+            // A fixed column layout renders absent components as zero.
+            row.push_str(&format!(",{:.6}", self.component(t).unwrap_or(0.0)));
         }
         row
     }
@@ -220,8 +246,24 @@ mod tests {
         // Literature counts HtoD (2 s) + GPUSort (1 s) but not MCpyIn.
         assert!((r.literature_total_s - 3.0).abs() < 1e-9);
         assert!((r.missing_overhead_s() - 1.0).abs() < 1e-9);
-        assert!((r.component(tags::MCPY_IN) - 1.0).abs() < 1e-9);
-        assert_eq!(r.component("Nope"), 0.0);
+        assert!((r.component(tags::MCPY_IN).expect("MCpyIn ran") - 1.0).abs() < 1e-9);
+        // Unknown components are a None, not a vacuous 0.0.
+        assert_eq!(r.component("Nope"), None);
+    }
+
+    #[test]
+    fn recovery_stats_record_every_lost_gpu() {
+        let mut r = RecoveryStats::default();
+        assert!(!r.any());
+        r.record_lost_gpu(1);
+        r.record_lost_gpu(3);
+        assert_eq!(r.lost_gpu_mask, 0b1010);
+        assert_eq!(r.lost_gpus(), vec![1, 3]);
+        assert!(r.any());
+        assert!(r.summary().contains("[1, 3]"));
+        // Absurd ids saturate instead of wrapping onto GPU 0.
+        r.record_lost_gpu(200);
+        assert_eq!(r.lost_gpus(), vec![1, 3, 63]);
     }
 
     #[test]

@@ -40,8 +40,7 @@ fn main() {
     let r = simulate(cfg, 1_000_000_000).expect("sim");
     println!("\nomitted components at n = 1e9:");
     for tag in tags::OMITTED_COMPONENTS {
-        let t = r.component(tag);
-        if t > 0.0 {
+        if let Some(t) = r.component(tag).filter(|t| *t > 0.0) {
             println!("  {tag:<12} {t:>8.3} s");
         }
     }
@@ -58,7 +57,7 @@ fn main() {
     let r2 = simulate(cfg, 1_000_000_000).expect("sim");
     println!(
         "  allocation alone: {:.2} s — more than the literature's whole end-to-end ({:.2} s); total {:.2} s vs {:.2} s",
-        r2.component(tags::PINNED_ALLOC),
+        r2.component(tags::PINNED_ALLOC).unwrap_or(0.0),
         r.literature_total_s,
         r2.total_s,
         r.total_s,

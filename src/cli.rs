@@ -6,7 +6,9 @@
 
 use std::sync::Arc;
 
-use hetsort_core::{Approach, CpuSched, HetSortConfig, HetSortError, PairStrategy, RecoveryPolicy};
+use hetsort_core::{
+    Approach, CpuSched, HetSortConfig, HetSortError, HybridMode, PairStrategy, RecoveryPolicy,
+};
 use hetsort_vgpu::{platform1, platform2, FaultInjector, PlatformSpec};
 
 /// Errors from the CLI layer.
@@ -169,6 +171,8 @@ pub struct RunArgs {
     pub pinned: usize,
     /// Pair-merge strategy.
     pub strategy: PairStrategy,
+    /// Hybrid CPU/GPU merge routing (`off`, a fraction, or `auto`).
+    pub hybrid: HybridMode,
     /// CPU merge/sort scheduling policy.
     pub sched: CpuSched,
     /// Self-scheduling chunks-per-thread override (0 = default 4).
@@ -199,6 +203,7 @@ impl Default for RunArgs {
             streams: 0,
             pinned: 0,
             strategy: PairStrategy::PaperHeuristic,
+            hybrid: HybridMode::Off,
             sched: CpuSched::SelfSched,
             sched_chunks: 0,
             seed: 42,
@@ -221,6 +226,7 @@ impl RunArgs {
     pub fn config(&self) -> Result<HetSortConfig, CliError> {
         let mut cfg = HetSortConfig::paper_defaults(self.platform_spec()?, self.approach)
             .with_pair_strategy(self.strategy)
+            .with_hybrid(self.hybrid)
             .with_cpu_sched(self.sched);
         if self.sched_chunks > 0 {
             cfg = cfg.with_sched_chunks(self.sched_chunks);
@@ -369,6 +375,7 @@ fn parse_inner(args: &[String]) -> Result<Command, String> {
                     "--streams" | "-s" => run.streams = parse_count(need("--streams")?)?,
                     "--pinned" => run.pinned = parse_count(need("--pinned")?)?,
                     "--strategy" => run.strategy = parse_strategy(need("--strategy")?)?,
+                    "--hybrid" => run.hybrid = HybridMode::parse(need("--hybrid")?)?,
                     "--sched" => {
                         let v = need("--sched")?;
                         run.sched = CpuSched::parse(v)
@@ -427,6 +434,7 @@ USAGE:
   hetsort simulate  [-n 5e9] [--platform p1|p2] [--approach pipemerge]
                     [--par-memcpy] [--batch 5e8] [--streams 2]
                     [--pinned 1e6] [--strategy paper|online|tree]
+                    [--hybrid off|FRAC|auto]
                     [--sched self|rr] [--sched-chunks 4]
   hetsort sort      [-n 1e6] [--seed 42] [--faults SPEC] [--retries K]
                     [--no-cpu-fallback] [... same options]
@@ -452,6 +460,17 @@ OBSERVABILITY:
                      component totals, overlap ratio, bus utilization,
                      literature-vs-full delta, recovery counters, and
                      analyzer findings — as JSON ('-' = stdout)
+
+HYBRID CPU/GPU EXECUTION:
+  --hybrid MODE      route pair merges to the CPU merge pool: 'off'
+                     (default) keeps every merge on the pipelined pair
+                     lane; a fraction in [0,1] (e.g. 0.5) re-types the
+                     trailing share of merge slots as CpuMerge nodes;
+                     'auto' lets a greedy earliest-finish cost model
+                     split slots between the pair lane and the CPU
+                     pool per batch. Routing happens at dag lowering,
+                     so the simulator, analyzer, and both functional
+                     engines all see the identical hybrid schedule
 
 CPU SCHEDULING:
   --sched self|rr    CPU merge/sort work scheduling: 'self' (default)
@@ -634,6 +653,35 @@ mod tests {
 
         assert!(parse(&argv("sort --sched bogus")).is_err());
         assert!(parse(&argv("sort --sched")).is_err());
+    }
+
+    #[test]
+    fn parse_hybrid_knob() {
+        let Command::Sort(r) = parse(&argv("sort -n 1e5 --hybrid 0.5")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.hybrid, HybridMode::Fraction(0.5));
+        assert_eq!(r.config().unwrap().hybrid, HybridMode::Fraction(0.5));
+
+        let Command::Simulate(r) = parse(&argv("simulate --hybrid auto")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.hybrid, HybridMode::Auto);
+
+        let Command::Sort(r) = parse(&argv("sort --hybrid off")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.hybrid, HybridMode::Off);
+
+        // Default stays off.
+        let Command::Sort(r) = parse(&argv("sort")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.hybrid, HybridMode::Off);
+
+        assert!(parse(&argv("sort --hybrid 1.5")).is_err());
+        assert!(parse(&argv("sort --hybrid bogus")).is_err());
+        assert!(parse(&argv("sort --hybrid")).is_err());
     }
 
     #[test]

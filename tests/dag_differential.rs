@@ -1,25 +1,44 @@
-//! DAG-engine equivalence suite: the legacy per-approach executor
-//! loops (kept behind the `legacy-exec` feature for exactly one PR)
-//! and the unified [`PlanDag`] engine interpret the same plan, so they
-//! must agree *exactly* — bitwise-identical sorted output, identical
-//! [`RecoveryStats`], identical executed traces, and identical span
-//! multisets (class × label) — across every approach, both platforms,
-//! uneven and one-element batch geometries, and both supported element
-//! widths. The f64 runs are additionally pinned against the reference
-//! CPU sort.
+//! Hybrid differential suite: every execution mode of the unified
+//! [`PlanDag`] engine must agree on the data.
+//!
+//! The modes under test are the cross product of hybrid lowering
+//! ([`HybridMode::Off`] / `Fraction` / `Auto` — which re-types trailing
+//! or cost-model-selected pair merges to [`DagOp::CpuMerge`] nodes) and
+//! engine (sequential interpreter, pooled, pooled with CPU/GPU work
+//! stealing). The contract:
+//!
+//! * **Output** is bitwise identical across all modes and equal to the
+//!   reference CPU sort — hybrid routing and stealing change *where* a
+//!   merge runs, never what it computes.
+//! * **`steal=on` vs `steal=off`** in the pooled engine additionally
+//!   agree on recovery stats and the span multiset (class × label):
+//!   stolen merges are pure functions of their inputs, so the
+//!   observable schedule is the deterministic twin's.
+//! * Hybrid dags — including the all-CPU `Fraction(1.0)` extreme —
+//!   pass [`analyze_dag`] with zero findings: the re-typed nodes keep
+//!   the validator's producer keys and the lowered trace's sync edges.
+//! * Fault injection (transient faults, OOM splits, device loss up to
+//!   losing *every* GPU) recovers to the reference output in all modes,
+//!   and every lost device is attributed in
+//!   [`RecoveryStats::lost_gpu_mask`].
 //!
 //! [`PlanDag`]: hetsort::core::PlanDag
-//! [`RecoveryStats`]: hetsort::core::RecoveryStats
+//! [`HybridMode::Off`]: hetsort::core::HybridMode
+//! [`DagOp::CpuMerge`]: hetsort::core::DagOp
+//! [`analyze_dag`]: hetsort::analyze::analyze_dag
+//! [`RecoveryStats::lost_gpu_mask`]: hetsort::core::RecoveryStats
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use hetsort::algos::introsort::introsort;
 use hetsort::algos::keys::{KeyValue, RadixKey, SortOrd};
+use hetsort::analyze::analyze_dag;
 use hetsort::core::exec_real::{sort_real_plan, RealOutcome};
-use hetsort::core::exec_real_mt::sort_real_parallel;
-use hetsort::core::legacy::{sort_real_parallel_legacy, sort_real_plan_legacy};
-use hetsort::core::{Approach, HetSortConfig, Plan};
+use hetsort::core::{
+    execute_dag_pooled_opts, Approach, DagExecOptions, DagOp, HetSortConfig, HybridMode, Plan,
+    PlanDag,
+};
 use hetsort::obs::{MetricsRegistry, OpClass};
 use hetsort::vgpu::{platform1, platform2, FaultInjector, PlatformSpec};
 
@@ -71,74 +90,92 @@ fn span_multiset(reg: &MetricsRegistry) -> BTreeMap<(OpClass, String), usize> {
     m
 }
 
-/// Assert one legacy outcome and one DAG-engine outcome are
-/// observationally identical.
-fn assert_same<T: Bits>(label: &str, legacy: &RealOutcome<T>, dag: &RealOutcome<T>) {
-    assert_eq!(
-        legacy.verified, dag.verified,
-        "{label}: verification verdicts differ"
-    );
-    assert_eq!(
-        all_bits(&legacy.sorted),
-        all_bits(&dag.sorted),
-        "{label}: sorted outputs differ bitwise"
-    );
-    assert_eq!(legacy.nb, dag.nb, "{label}: batch counts differ");
-    assert_eq!(
-        legacy.pair_merges, dag.pair_merges,
-        "{label}: pair-merge counts differ"
-    );
-    assert_eq!(
-        legacy.recovery,
-        dag.recovery,
-        "{label}: recovery stats differ\n  legacy: {}\n  dag:    {}",
-        legacy.recovery.summary(),
-        dag.recovery.summary()
-    );
-    assert_eq!(legacy.trace, dag.trace, "{label}: executed traces differ");
-    assert_eq!(
-        span_multiset(&legacy.metrics),
-        span_multiset(&dag.metrics),
-        "{label}: span multisets differ"
-    );
+/// The hybrid modes every scenario runs under.
+fn hybrid_modes() -> [(&'static str, HybridMode); 3] {
+    [
+        ("off", HybridMode::Off),
+        ("frac0.5", HybridMode::Fraction(0.5)),
+        ("auto", HybridMode::Auto),
+    ]
 }
 
-/// Run all four executors (legacy/dag × sequential/pooled) over
-/// identical fresh plans and cross-check. `mk` builds the config from
-/// scratch each time so per-run fault-injector state never leaks
-/// between executions.
-fn check_equiv<T>(label: &str, mk: &dyn Fn() -> HetSortConfig, data: &[T]) -> RealOutcome<T>
+/// Run one config through the sequential engine and the pooled engine
+/// with stealing off and on, cross-check the three, and return the
+/// sequential outcome. `mk` builds the config from scratch each time so
+/// per-run fault-injector state never leaks between executions.
+fn check_modes<T>(label: &str, mk: &dyn Fn() -> HetSortConfig, data: &[T]) -> RealOutcome<T>
 where
     T: RadixKey + SortOrd + Default + Bits,
 {
-    let plan = |trace: bool| {
-        let cfg = if trace {
-            mk().with_trace_recording()
-        } else {
-            mk()
-        };
-        Plan::build(cfg, data.len()).unwrap_or_else(|e| panic!("{label}: plan: {e}"))
+    let plan = || {
+        Plan::build(mk().with_trace_recording(), data.len())
+            .unwrap_or_else(|e| panic!("{label}: plan: {e}"))
     };
-    let legacy_st = sort_real_plan_legacy(&plan(true), data)
-        .unwrap_or_else(|e| panic!("{label}: legacy st: {e}"));
-    let dag_st =
-        sort_real_plan(&plan(true), data).unwrap_or_else(|e| panic!("{label}: dag st: {e}"));
-    assert_same(&format!("{label}/st"), &legacy_st, &dag_st);
+    let seq = sort_real_plan(&plan(), data).unwrap_or_else(|e| panic!("{label}: seq: {e}"));
 
-    let legacy_mt = sort_real_parallel_legacy(&plan(true), data)
-        .unwrap_or_else(|e| panic!("{label}: legacy mt: {e}"));
-    let dag_mt =
-        sort_real_parallel(&plan(true), data).unwrap_or_else(|e| panic!("{label}: dag mt: {e}"));
-    assert_same(&format!("{label}/mt"), &legacy_mt, &dag_mt);
+    let pooled = |steal: bool| {
+        let p = plan();
+        let workers = p.total_streams.max(1);
+        let dag = PlanDag::from_plan(p);
+        let opts = DagExecOptions {
+            steal,
+            ..DagExecOptions::default()
+        };
+        execute_dag_pooled_opts(&dag, data, workers, opts)
+            .unwrap_or_else(|e| panic!("{label}: pooled steal={steal}: {e}"))
+    };
+    let twin = pooled(false);
+    let stealing = pooled(true);
 
-    // The two engines themselves agree on the data (pooled execution
-    // interleaves differently, so only the output is comparable).
+    // Across engines only the data path is pinned (pooled interleaving
+    // produces a different wall-clock schedule).
+    for (mode, out) in [("pooled", &twin), ("steal", &stealing)] {
+        assert!(out.verified, "{label}/{mode}: verification failed");
+        assert_eq!(
+            all_bits(&seq.sorted),
+            all_bits(&out.sorted),
+            "{label}/{mode}: output differs from sequential engine"
+        );
+        assert_eq!(seq.nb, out.nb, "{label}/{mode}: batch counts differ");
+        assert_eq!(
+            seq.pair_merges, out.pair_merges,
+            "{label}/{mode}: pair-merge counts differ"
+        );
+    }
+
+    // Within the pooled engine, stealing must be observationally
+    // invisible: identical recovery stats and span multiset, not just
+    // identical bytes.
     assert_eq!(
-        all_bits(&dag_st.sorted),
-        all_bits(&dag_mt.sorted),
-        "{label}: dag st vs mt outputs differ"
+        twin.recovery,
+        stealing.recovery,
+        "{label}: steal changes recovery stats\n  off: {}\n  on:  {}",
+        twin.recovery.summary(),
+        stealing.recovery.summary()
     );
-    dag_st
+    assert_eq!(
+        span_multiset(&twin.metrics),
+        span_multiset(&stealing.metrics),
+        "{label}: steal changes the span multiset"
+    );
+    seq
+}
+
+/// Run `mk`'s config under every hybrid mode (each through all three
+/// engines) and assert the outputs are all bitwise equal to `expect`.
+fn check_hybrid_grid<T>(label: &str, mk: &dyn Fn() -> HetSortConfig, data: &[T], expect: &[T])
+where
+    T: RadixKey + SortOrd + Default + Bits,
+{
+    for (hname, hmode) in hybrid_modes() {
+        let label = format!("{label}/h={hname}");
+        let out = check_modes(&label, &|| mk().with_hybrid(hmode), data);
+        assert_eq!(
+            all_bits(&out.sorted),
+            all_bits(expect),
+            "{label}: output differs from reference sort"
+        );
+    }
 }
 
 /// The approach × geometry matrix on one platform: BLine's single
@@ -169,63 +206,93 @@ fn matrix(plat: &PlatformSpec) -> Vec<(String, HetSortConfig, usize)> {
 }
 
 #[test]
-fn dag_engine_matches_legacy_f64() {
+fn hybrid_modes_agree_bitwise_f64() {
     for plat in [platform1(), platform2()] {
         for (label, cfg, n) in matrix(&plat) {
             let data = lcg_data(n, 0xDA6);
-            let out = check_equiv(&label, &|| cfg.clone(), &data);
-
-            // Pin both engines against the reference CPU sort.
             let mut expect = data.clone();
             hetsort::core::reference::reference_sort_real(4, &mut expect);
-            assert_eq!(
-                all_bits(&out.sorted),
-                all_bits(&expect),
-                "{label}: dag output differs from reference sort"
-            );
+            check_hybrid_grid(&label, &|| cfg.clone(), &data, &expect);
         }
     }
 }
 
 #[test]
-fn dag_engine_matches_legacy_key_value_records() {
+fn hybrid_modes_agree_bitwise_key_value_records() {
     // 16-byte key/value rows (§IV-E workload of [5]): the payload must
-    // ride along bit-exactly through staging, device sort, and merges.
+    // ride along bit-exactly through staging, device sort, and merges —
+    // including merges stolen by the CPU pool. One geometry per
+    // platform keeps the grid (3 hybrid × 3 engine modes) affordable.
     for plat in [platform1(), platform2()] {
-        for (label, cfg, n) in matrix(&plat) {
-            let label = format!("{label}/kv16");
-            let keys = lcg_data(n, 0x16BE);
-            let rows: Vec<KeyValue> = keys
-                .iter()
-                .enumerate()
-                .map(|(i, &k)| KeyValue {
-                    key: k,
-                    value: i as u64,
-                })
-                .collect();
-            let cfg = cfg.clone().with_elem_bytes(16.0);
-            let out = check_equiv(&label, &|| cfg.clone(), &rows);
-
-            let mut expect = rows.clone();
-            introsort(&mut expect);
-            assert_eq!(
-                all_bits(&out.sorted),
-                all_bits(&expect),
-                "{label}: dag output differs from introsort reference"
-            );
-        }
+        let label = format!("{}/PipeMerge/kv16", plat.name);
+        let n = 30_000;
+        let keys = lcg_data(n, 0x16BE);
+        let rows: Vec<KeyValue> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| KeyValue {
+                key: k,
+                value: i as u64,
+            })
+            .collect();
+        let cfg = HetSortConfig::paper_defaults(plat.clone(), Approach::PipeMerge)
+            .with_batch_elems(7_000)
+            .with_pinned_elems(1_500)
+            .with_elem_bytes(16.0);
+        let mut expect = rows.clone();
+        introsort(&mut expect);
+        check_hybrid_grid(&label, &|| cfg.clone(), &rows, &expect);
     }
 }
 
 #[test]
-fn dag_engine_matches_legacy_under_faults() {
-    // Recovery paths must align too: transient transfer faults with
-    // retries, an OOM split, and a mid-run device loss each produce the
-    // same RecoveryStats, failover spans, and bitwise output from both
-    // engines. Fresh injectors per execution (the config closure) keep
-    // occurrence counters from leaking across runs.
+fn cpu_merge_heavy_dag_analyzes_clean() {
+    // The all-CPU extreme: Fraction(1.0) re-types every pair merge.
+    // The dag must still satisfy all validator rules and lower to a
+    // race-free trace — CpuMerge keeps PairMerge's producer key,
+    // dependency edges, and buffer accesses.
+    for plat in [platform1(), platform2()] {
+        let cfg = HetSortConfig::paper_defaults(plat.clone(), Approach::PipeMerge)
+            .with_batch_elems(7_000)
+            .with_pinned_elems(1_500)
+            .with_hybrid(HybridMode::Fraction(1.0));
+        let plan = Plan::build(cfg, 30_000).expect("plan");
+        let dag = PlanDag::from_plan(plan);
+        let cpu_merges = dag
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.op, DagOp::CpuMerge { .. }))
+            .count();
+        assert!(cpu_merges > 0, "{}: no CpuMerge nodes lowered", plat.name);
+        assert!(
+            !dag.nodes
+                .iter()
+                .any(|n| matches!(n.op, DagOp::PairMerge { .. })),
+            "{}: Fraction(1.0) must re-type every pair merge",
+            plat.name
+        );
+        let report = analyze_dag(&dag);
+        assert!(
+            report.findings.is_empty(),
+            "{}: CpuMerge-heavy dag has findings: {:?}",
+            plat.name,
+            report.findings
+        );
+    }
+}
+
+#[test]
+fn hybrid_modes_agree_under_faults() {
+    // Recovery paths must hold in every mode: transient transfer faults
+    // with retries, an OOM split, and a mid-run device loss each
+    // recover to the reference output whether merges run on the pair
+    // lane, the CPU pool, or a steal worker. Fresh injectors per
+    // execution (the config closure) keep occurrence counters from
+    // leaking across runs.
     let n = 40_000;
     let data = lcg_data(n, 0xFA17);
+    let mut expect = data.clone();
+    introsort(&mut expect);
     let cases: [(&str, &str); 3] = [
         ("transient", "htod:3,dtoh:5"),
         ("oom-split", "oom:1"),
@@ -241,23 +308,24 @@ fn dag_engine_matches_legacy_under_faults() {
                     FaultInjector::parse(spec).expect("valid fault spec"),
                 ))
         };
-        let out = check_equiv(&label, &mk, &data);
-        assert!(out.recovery.any(), "{label}: fault schedule never fired");
-
-        let mut expect = data.clone();
-        introsort(&mut expect);
-        assert_eq!(
-            all_bits(&out.sorted),
-            all_bits(&expect),
-            "{label}: recovered output differs from reference"
-        );
+        for (hname, hmode) in hybrid_modes() {
+            let label = format!("{label}/h={hname}");
+            let out = check_modes(&label, &|| mk().with_hybrid(hmode), &data);
+            assert!(out.recovery.any(), "{label}: fault schedule never fired");
+            assert_eq!(
+                all_bits(&out.sorted),
+                all_bits(&expect),
+                "{label}: recovered output differs from reference"
+            );
+        }
     }
 }
 
 #[test]
-fn dag_engine_matches_legacy_no_survivor_fallback() {
-    // Losing the only GPU forces the host-sort fallback; both engines
-    // must degrade identically (stats, spans, output).
+fn no_survivor_fallback_attributes_the_loss() {
+    // Losing the only GPU forces the host-sort fallback; every mode
+    // must degrade identically, and the casualty must land in the
+    // lost-device mask.
     let n = 20_000;
     let data = lcg_data(n, 0x1057);
     let mk = || {
@@ -266,10 +334,18 @@ fn dag_engine_matches_legacy_no_survivor_fallback() {
             .with_pinned_elems(800)
             .with_faults(Arc::new(FaultInjector::new().lose_device(0, 2)))
     };
-    let out = check_equiv("p1/PipeData/no-survivors", &mk, &data);
-    assert!(out.recovery.device_lost >= 1);
-    assert!(
-        out.recovery.degraded_batches > 0,
-        "no survivors must degrade to host sorting"
-    );
+    for (hname, hmode) in hybrid_modes() {
+        let label = format!("p1/PipeData/no-survivors/h={hname}");
+        let out = check_modes(&label, &|| mk().with_hybrid(hmode), &data);
+        assert!(out.recovery.device_lost >= 1);
+        assert!(
+            out.recovery.degraded_batches > 0,
+            "{label}: no survivors must degrade to host sorting"
+        );
+        assert_eq!(
+            out.recovery.lost_gpus(),
+            vec![0],
+            "{label}: the lost device must be attributed"
+        );
+    }
 }

@@ -60,8 +60,8 @@ fn fig7_transfer_times_match_related_work() {
     // theirs are 0.542 s and 0.477 s" at ~6 GB.
     let cfg = HetSortConfig::paper_defaults(platform1(), Approach::BLine);
     let r = simulate(cfg, 800_000_000).unwrap();
-    let htod = r.component("HtoD");
-    let dtoh = r.component("DtoH");
+    let htod = r.component("HtoD").expect("HtoD ran");
+    let dtoh = r.component("DtoH").expect("DtoH ran");
     assert!((htod - 0.536).abs() < 0.03, "HtoD {htod}");
     assert!((dtoh - 0.484).abs() < 0.06, "DtoH {dtoh}");
 }
