@@ -96,6 +96,14 @@ impl SortOrd for KeyValue {
     fn total_order(&self, other: &Self) -> std::cmp::Ordering {
         self.key.total_cmp(&other.key)
     }
+    #[inline(always)]
+    fn select(take_a: bool, a: Self, b: Self) -> Self {
+        // Two integer conditional moves: one per 8-byte half.
+        KeyValue {
+            key: f64::select(take_a, a.key, b.key),
+            value: core::hint::select_unpredictable(take_a, a.value, b.value),
+        }
+    }
 }
 
 /// Total ordering used by every comparison sort in this crate.
@@ -117,6 +125,24 @@ pub trait SortOrd: Copy + Send + Sync {
     fn le(&self, other: &Self) -> bool {
         self.total_order(other) != std::cmp::Ordering::Greater
     }
+
+    /// Branch-free conditional select: `if take_a { a } else { b }`.
+    ///
+    /// The default body is that plain conditional — always correct.
+    /// Primitive keys override it to select in the *integer* domain via
+    /// [`core::hint::select_unpredictable`]: an integer conditional
+    /// move exists on baseline x86-64, while a float select needs
+    /// SSE4.1 blends the default target profile lacks, so LLVM would
+    /// lower a float conditional back into exactly the unpredictable
+    /// branch the branchless merge loop is trying to avoid.
+    #[inline(always)]
+    fn select(take_a: bool, a: Self, b: Self) -> Self {
+        if take_a {
+            a
+        } else {
+            b
+        }
+    }
 }
 
 macro_rules! sort_ord_int {
@@ -125,6 +151,10 @@ macro_rules! sort_ord_int {
             #[inline(always)]
             fn total_order(&self, other: &Self) -> std::cmp::Ordering {
                 Ord::cmp(self, other)
+            }
+            #[inline(always)]
+            fn select(take_a: bool, a: Self, b: Self) -> Self {
+                core::hint::select_unpredictable(take_a, a, b)
             }
         }
     )*};
@@ -136,12 +166,28 @@ impl SortOrd for f32 {
     fn total_order(&self, other: &Self) -> std::cmp::Ordering {
         self.total_cmp(other)
     }
+    #[inline(always)]
+    fn select(take_a: bool, a: Self, b: Self) -> Self {
+        f32::from_bits(core::hint::select_unpredictable(
+            take_a,
+            a.to_bits(),
+            b.to_bits(),
+        ))
+    }
 }
 
 impl SortOrd for f64 {
     #[inline(always)]
     fn total_order(&self, other: &Self) -> std::cmp::Ordering {
         self.total_cmp(other)
+    }
+    #[inline(always)]
+    fn select(take_a: bool, a: Self, b: Self) -> Self {
+        f64::from_bits(core::hint::select_unpredictable(
+            take_a,
+            a.to_bits(),
+            b.to_bits(),
+        ))
     }
 }
 

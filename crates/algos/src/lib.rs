@@ -49,7 +49,7 @@ pub mod samplesort;
 pub mod verify;
 
 pub use introsort::introsort;
-pub use merge::{merge_into, par_merge_into, par_merge_into_cfg};
+pub use merge::{merge_into, merge_into_reference, par_merge_into, par_merge_into_cfg};
 pub use mergesort::par_mergesort;
 pub use multiway::{
     multiway_merge_into, par_multiway_merge_into, par_multiway_merge_into_cfg, selection_part_cap,

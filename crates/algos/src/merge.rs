@@ -16,10 +16,54 @@ use crate::par::{par_parts_with, split_evenly, split_ranges_mut, SchedCfg, Sched
 
 /// Sequentially merge sorted `a` and `b` into `out`.
 ///
+/// The inner loop is branchless: while both inputs have elements, the
+/// comparison result advances the cursors as index arithmetic and
+/// selects the output via [`SortOrd::select`] (an integer-domain
+/// conditional move), so random key interleavings cost no branch
+/// mispredictions (the classic merge bottleneck on comparison-
+/// unpredictable data). Once either side is exhausted the rest is a
+/// straight `copy_from_slice`. The selection predicate is exactly
+/// [`merge_into_reference`]'s, so output is bit-identical.
+///
 /// # Panics
 ///
 /// Panics if `out.len() != a.len() + b.len()`.
 pub fn merge_into<T: SortOrd>(a: &[T], b: &[T], out: &mut [T]) {
+    assert_eq!(out.len(), a.len() + b.len(), "output must hold both inputs");
+    let mut i = 0;
+    let mut j = 0;
+    let mut o = 0;
+    while i < a.len() && j < b.len() {
+        // Stable: take from `a` on ties. Reading both heads and
+        // selecting arithmetically keeps the loop body branch-free;
+        // the comparison becomes a conditional move instead of a
+        // mispredicted jump.
+        //
+        // SAFETY: the loop condition guarantees `i < a.len()` and
+        // `j < b.len()`; `o == i + j < a.len() + b.len() == out.len()`
+        // (checked by the assert above). Unchecked indexing is what
+        // lets LLVM keep the body jump-free.
+        unsafe {
+            let x = *a.get_unchecked(i);
+            let y = *b.get_unchecked(j);
+            let take_a = x.le(&y);
+            *out.get_unchecked_mut(o) = T::select(take_a, x, y);
+            i += take_a as usize;
+            j += 1 - take_a as usize;
+            o += 1;
+        }
+    }
+    // At most one of these copies is non-empty.
+    out[o..o + (a.len() - i)].copy_from_slice(&a[i..]);
+    let o = o + (a.len() - i);
+    out[o..].copy_from_slice(&b[j..]);
+}
+
+/// The pre-optimization sequential merge, kept as the differential
+/// oracle for [`merge_into`]: one conditional per output element,
+/// obviously stable (ties take from `a`). Tests assert the branchless
+/// kernel matches this bit for bit on adversarial inputs.
+pub fn merge_into_reference<T: SortOrd>(a: &[T], b: &[T], out: &mut [T]) {
     assert_eq!(out.len(), a.len() + b.len(), "output must hold both inputs");
     let mut i = 0;
     let mut j = 0;

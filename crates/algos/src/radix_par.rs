@@ -30,16 +30,33 @@ pub type HistCount = u64;
 /// per chunk) and keeps queue overhead negligible.
 const MIN_RADIX_CHUNK: usize = 4 * 1024;
 
+/// Elements per cache block of [`count_digits`] — see
+/// `radix::count_all_digits` for the rationale (8 KiB of extracted keys
+/// plus one 2 KiB counter row stay L1-resident).
+const COUNT_BLOCK: usize = 1024;
+
 /// Count digit occurrences of `chunk` into `hist` (layout
 /// `[digit][bucket]`, `BUCKETS * digits` wide). This is the per-worker
 /// counting kernel of every pass; extracted so overflow behaviour is
 /// testable without allocating paper-scale inputs.
+///
+/// Cache-blocked: keys are extracted once per 1024-element block, then
+/// each digit's counter row is filled from the resident block, instead
+/// of striding across all `digits` rows per element. Counts are exactly
+/// the element-major counts, accumulated in a different order.
 fn count_digits<T: RadixKey>(chunk: &[T], digits: usize, hist: &mut [HistCount]) {
-    for &x in chunk {
-        let key = x.radix_key();
+    let mut keys = [0u64; COUNT_BLOCK];
+    for block in chunk.chunks(COUNT_BLOCK) {
+        let keys = &mut keys[..block.len()];
+        for (k, x) in keys.iter_mut().zip(block.iter()) {
+            *k = x.radix_key();
+        }
         for d in 0..digits {
-            let byte = ((key >> (8 * d)) & 0xFF) as usize;
-            hist[d * BUCKETS + byte] += 1;
+            let row = &mut hist[d * BUCKETS..(d + 1) * BUCKETS];
+            let shift = 8 * d;
+            for &k in keys.iter() {
+                row[((k >> shift) & 0xFF) as usize] += 1;
+            }
         }
     }
 }

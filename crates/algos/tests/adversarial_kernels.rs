@@ -1,0 +1,147 @@
+//! Adversarial differential tests for the optimized host merge kernels.
+//!
+//! The branchless `merge_into`, the software-prefetched loser tree, and
+//! the parallel wrappers must reproduce the straightforward reference
+//! kernels **bit for bit** — including on inputs chosen to break
+//! float-comparison shortcuts: NaNs with distinct payloads, signed
+//! zeros, infinities, and constant keys (where stability is the only
+//! thing distinguishing correct from wrong output).
+
+use hetsort_algos::keys::SortOrd;
+use hetsort_algos::merge::{merge_into, merge_into_reference, par_merge_into};
+use hetsort_algos::multiway::{multiway_merge_into, par_multiway_merge_into_cfg};
+use hetsort_algos::SchedCfg;
+use hetsort_prng::{prop_assert_eq, run_cases, Rng};
+
+/// Adversarial f64 pool: every IEEE-754 special the total order must
+/// rank, with two distinct NaN payloads so bit-identity (not just
+/// value-identity) is observable.
+const SPECIALS: [f64; 8] = [
+    f64::NEG_INFINITY,
+    -1.5,
+    -0.0,
+    0.0,
+    1.5,
+    f64::INFINITY,
+    f64::NAN,
+    f64::MIN_POSITIVE,
+];
+
+fn adversarial_sorted(rng: &mut Rng, max_len: usize) -> Vec<f64> {
+    let mut v = rng.vec_with(max_len, |r| {
+        let pick = r.usize_in(0, 9);
+        if pick < SPECIALS.len() {
+            SPECIALS[pick]
+        } else if pick == SPECIALS.len() {
+            // A second NaN payload, distinguishable only by bits.
+            f64::from_bits(0x7FF8_0000_0000_0001)
+        } else {
+            r.f64_unit() * 200.0 - 100.0
+        }
+    });
+    v.sort_by(|a, b| a.total_order(b));
+    v
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Left fold of the two-way *reference* merge: the stability oracle for
+/// every k-way variant (earlier lists win ties).
+fn fold_reference(lists: &[&[f64]]) -> Vec<f64> {
+    let mut acc: Vec<f64> = Vec::new();
+    for l in lists {
+        let mut merged = vec![0.0f64; acc.len() + l.len()];
+        merge_into_reference(&acc, l, &mut merged);
+        acc = merged;
+    }
+    acc
+}
+
+#[test]
+fn branchless_merge_matches_reference_on_specials() {
+    run_cases(
+        "branchless_merge_matches_reference_on_specials",
+        200,
+        |rng| {
+            let a = adversarial_sorted(rng, 300);
+            let b = adversarial_sorted(rng, 300);
+            let mut expect = vec![0.0f64; a.len() + b.len()];
+            merge_into_reference(&a, &b, &mut expect);
+            let mut got = vec![0.0f64; expect.len()];
+            merge_into(&a, &b, &mut got);
+            prop_assert_eq!(bits(&got), bits(&expect));
+            for threads in [1usize, 2, 8] {
+                let mut par = vec![0.0f64; expect.len()];
+                par_merge_into(threads, &a, &b, &mut par);
+                prop_assert_eq!((threads, bits(&par)), (threads, bits(&expect)));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn constant_keys_merge_stably_and_bit_identically() {
+    // All keys equal: every output position is decided purely by the
+    // tie rule. -0.0 vs +0.0 would surface any a/b swap as a sign-bit
+    // difference even though the values compare equal under ==.
+    let a = vec![-0.0f64; 513];
+    let b = vec![0.0f64; 257];
+    let mut expect = vec![1.0f64; a.len() + b.len()];
+    merge_into_reference(&a, &b, &mut expect);
+    let mut got = vec![1.0f64; expect.len()];
+    merge_into(&a, &b, &mut got);
+    assert_eq!(bits(&got), bits(&expect));
+    for threads in [1usize, 2, 8] {
+        let mut par = vec![1.0f64; expect.len()];
+        par_merge_into(threads, &a, &b, &mut par);
+        assert_eq!(bits(&par), bits(&expect), "threads={threads}");
+    }
+    // Same discipline through the loser tree: list index breaks ties.
+    let lists: Vec<&[f64]> = vec![&a, &b, &a];
+    let expect = fold_reference(&lists);
+    let mut got = vec![1.0f64; expect.len()];
+    multiway_merge_into(&lists, &mut got);
+    assert_eq!(bits(&got), bits(&expect));
+}
+
+#[test]
+fn prefetched_loser_tree_matches_fold_oracle() {
+    run_cases("prefetched_loser_tree_matches_fold_oracle", 120, |rng| {
+        let k = rng.usize_in(3, 9);
+        let lists: Vec<Vec<f64>> = (0..k).map(|_| adversarial_sorted(rng, 150)).collect();
+        let refs: Vec<&[f64]> = lists.iter().map(|l| l.as_slice()).collect();
+        let expect = fold_reference(&refs);
+        let mut got = vec![0.0f64; expect.len()];
+        multiway_merge_into(&refs, &mut got);
+        prop_assert_eq!(bits(&got), bits(&expect));
+        for threads in [1usize, 2, 8] {
+            let mut par = vec![0.0f64; expect.len()];
+            par_multiway_merge_into_cfg(&SchedCfg::default(), threads, &refs, &mut par);
+            prop_assert_eq!((threads, bits(&par)), (threads, bits(&expect)));
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn merge_tail_copy_handles_disjoint_ranges() {
+    // One input entirely precedes the other: the branchless loop exits
+    // after the first few iterations and the bulk goes through the tail
+    // copy_from_slice — exercise both orders, with specials at edges.
+    let lo = {
+        let mut v = vec![f64::NEG_INFINITY, -3.0, -2.0, -1.0, -0.0];
+        v.sort_by(|a, b| a.total_order(b));
+        v
+    };
+    let hi = vec![0.0f64, 1.0, 2.0, f64::INFINITY, f64::NAN];
+    for (a, b) in [(&lo, &hi), (&hi, &lo)] {
+        let mut expect = vec![0.0f64; a.len() + b.len()];
+        merge_into_reference(a, b, &mut expect);
+        let mut got = vec![0.0f64; expect.len()];
+        merge_into(a, b, &mut got);
+        assert_eq!(bits(&got), bits(&expect));
+    }
+}

@@ -94,19 +94,28 @@ impl Residency {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hetsort_core::{Approach, HetSortConfig};
+    use hetsort_core::{Approach, HetSortConfig, StagingMode};
     use hetsort_vgpu::{platform1, platform2};
 
-    fn plan(approach: Approach) -> Plan {
+    fn plan_staged(approach: Approach, staging: StagingMode) -> Plan {
         let cfg = HetSortConfig::paper_defaults(platform1(), approach)
             .with_batch_elems(1000)
-            .with_pinned_elems(250);
+            .with_pinned_elems(250)
+            .with_staging(staging);
         Plan::build(cfg, 6000).unwrap()
+    }
+
+    fn plan(approach: Approach) -> Plan {
+        plan_staged(approach, StagingMode::default())
     }
 
     #[test]
     fn piped_residency_counts_streams_and_double_buffers() {
-        let p = plan(Approach::PipeData);
+        // Double-buffered staging pins two inbound halves plus the
+        // outbound buffer per stream; the paper's protocol pins one of
+        // each. The footprint increase is the price of the overlap and
+        // must be visible to admission control.
+        let p = plan_staged(Approach::PipeData, StagingMode::DoubleBuffered);
         let r = Residency::of_plan(&p);
         // Platform 1 has one GPU; every scheduled stream holds one
         // 2 × 8 B × b_s buffer.
@@ -114,16 +123,22 @@ mod tests {
         assert_eq!(r.device_bytes.len(), 1);
         assert_eq!(r.device_total(), streams * 2.0 * 8.0 * 1000.0);
         assert_eq!(r.device_peak(), r.device_total());
-        // Piped: inbound + outbound pinned buffer per stream.
-        assert_eq!(r.pinned_bytes, streams * 2.0 * 8.0 * 250.0);
+        assert_eq!(r.pinned_bytes, streams * 3.0 * 8.0 * 250.0);
+        let paper = Residency::of_plan(&plan_staged(Approach::PipeData, StagingMode::Paper));
+        assert_eq!(paper.pinned_bytes, streams * 2.0 * 8.0 * 250.0);
     }
 
     #[test]
     fn blocking_residency_is_single_buffered() {
-        let p = plan(Approach::BLineMulti);
+        // Blocking + double-buffered: two inbound halves, outbound
+        // elided (DtoH drains from batch storage). Paper protocol: one
+        // buffer per stream, period.
+        let p = plan_staged(Approach::BLineMulti, StagingMode::DoubleBuffered);
         let r = Residency::of_plan(&p);
         let streams = p.total_streams as f64;
-        assert_eq!(r.pinned_bytes, streams * 8.0 * 250.0, "one buffer/stream");
+        assert_eq!(r.pinned_bytes, streams * 2.0 * 8.0 * 250.0, "two halves");
+        let paper = Residency::of_plan(&plan_staged(Approach::BLineMulti, StagingMode::Paper));
+        assert_eq!(paper.pinned_bytes, streams * 8.0 * 250.0, "one buffer");
     }
 
     #[test]

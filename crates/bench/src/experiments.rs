@@ -5,7 +5,7 @@
 //! benches at host scale.
 
 use hetsort_core::reference::reference_time;
-use hetsort_core::{simulate, Approach, HetSortConfig, Plan, TimingReport};
+use hetsort_core::{simulate, Approach, HetSortConfig, Plan, StagingMode, TimingReport};
 use hetsort_model::{Efficiency, LowerBoundModel};
 use hetsort_vgpu::calib::amdahl_speedup;
 use hetsort_vgpu::{platform1, platform2, PlatformSpec};
@@ -145,7 +145,10 @@ pub fn fig05() -> Vec<Fig5Row> {
     sizes
         .iter()
         .map(|&n| {
-            let cfg = HetSortConfig::paper_defaults(plat.clone(), Approach::BLine);
+            // Figure 5 reproduces the paper's measured BLINE, which
+            // stages through the single-buffer pinned protocol.
+            let cfg = HetSortConfig::paper_defaults(plat.clone(), Approach::BLine)
+                .with_staging(StagingMode::Paper);
             let r = simulate(cfg, n).expect("fig5 sim");
             Fig5Row {
                 n,
@@ -214,7 +217,9 @@ pub struct Fig7Data {
 
 /// Figure 7 experiment.
 pub fn fig07() -> Fig7Data {
-    let cfg = HetSortConfig::paper_defaults(platform1(), Approach::BLine);
+    // §IV-E measures the paper's single-buffer staging protocol.
+    let cfg = HetSortConfig::paper_defaults(platform1(), Approach::BLine)
+        .with_staging(StagingMode::Paper);
     let r = simulate(cfg, 800_000_000).expect("fig7 sim");
     Fig7Data {
         // BLINE always transfers and sorts; a missing line here means
@@ -248,7 +253,9 @@ pub fn fig08() -> Vec<hetsort_core::accounting::OverheadRow> {
     sizes
         .iter()
         .map(|&n| {
-            let cfg = HetSortConfig::paper_defaults(platform1(), Approach::BLine);
+            // Same single-buffer protocol as Figure 7 (§IV-E).
+            let cfg = HetSortConfig::paper_defaults(platform1(), Approach::BLine)
+                .with_staging(StagingMode::Paper);
             let r = simulate(cfg, n).expect("fig8 sim");
             hetsort_core::accounting::OverheadRow::from_report(&r)
         })
@@ -309,8 +316,11 @@ pub fn approach_sweep(
         .map(|&n| {
             let mut totals = Vec::new();
             for (label, a, pm) in approaches() {
-                let mut cfg =
-                    HetSortConfig::paper_defaults(plat.clone(), a).with_batch_elems(batch_elems);
+                // Figure reproductions replay the paper's single-buffer
+                // staging protocol (DESIGN.md § 19).
+                let mut cfg = HetSortConfig::paper_defaults(plat.clone(), a)
+                    .with_batch_elems(batch_elems)
+                    .with_staging(StagingMode::Paper);
                 if pm {
                     cfg = cfg.with_par_memcpy();
                 }
@@ -401,9 +411,11 @@ pub fn fig11() -> Fig11Data {
         .iter()
         .map(|&n| {
             let c1 = HetSortConfig::paper_defaults(p2_single.clone(), Approach::PipeData)
-                .with_batch_elems(350_000_000);
+                .with_batch_elems(350_000_000)
+                .with_staging(StagingMode::Paper);
             let c2 = HetSortConfig::paper_defaults(p2.clone(), Approach::PipeData)
-                .with_batch_elems(350_000_000);
+                .with_batch_elems(350_000_000)
+                .with_staging(StagingMode::Paper);
             (
                 n,
                 simulate(c1, n).expect("fig11 1gpu").total_s,

@@ -388,7 +388,11 @@ mod tests {
             .expect("pinned id");
         let r = run_scenario(s).expect("simulated run");
         assert!(r.total_s > 0.0);
-        assert!(r.literature_total_s > 0.0 && r.literature_total_s <= r.total_s);
+        // Double-buffered staging lets the piped schedules overlap the
+        // host bounce with DMA, so the true end-to-end can undercut the
+        // literature's *serial* HtoD+sort+DtoH sum — the subset is a
+        // comparison figure, not a lower bound.
+        assert!(r.literature_total_s > 0.0);
         assert!((0.0..=1.0).contains(&r.overlap_ratio));
         assert!((0.0..=1.0).contains(&r.bus_util));
         assert!(r.components.contains_key("GPUSort"), "{:?}", r.components);
@@ -400,43 +404,91 @@ mod tests {
     }
 
     #[test]
-    fn hybrid_beats_gpu_only_on_the_two_gpu_platform() {
-        // The overlap win the hybrid scenarios pin: on platform 2 the
-        // two GPUs outrun the paper heuristic's reserved-core pair
-        // lane, so routing the trailing half of the merges to the full
-        // CPU pool shortens the makespan. On platform 1 the single GPU
-        // never gets ahead of the lane, and the same routing loses —
-        // the cost trade-off the paper's core-split heuristic (§III-D3)
-        // and §V future-work discussion predict.
+    fn hybrid_trade_off_tracks_the_staging_protocol() {
+        // The §V trade-off the hybrid scenarios pin is a function of
+        // how expensive host staging is. Under the paper's
+        // single-buffer protocol, platform 2's two GPUs outrun the
+        // reserved-core pair lane, so routing the trailing half of the
+        // merges to the full CPU pool wins there (and loses on p1,
+        // where one GPU never gets ahead of the lane). Double-buffered
+        // staging removes the host-side bottleneck that made the CPU
+        // detour attractive: the GPU-only plan overlaps its inbound
+        // bounce and drains StageOut straight from the transfer
+        // buffer, while Fraction(0.5) CpuMerge routing now contends
+        // with those overlapped staging copies for cores — routing
+        // loses on both platforms. Both regimes are pinned so a cost-
+        // model change that silently flips either is caught.
+        use hetsort_core::StagingMode;
         let m = scenario_matrix();
-        let total = |id: &str| {
-            let s = m.iter().find(|s| s.id == id).expect("pinned id");
-            run_scenario(s).expect("simulated run").total_s
-        };
-        let off_twin = |key: &str| {
+        let totals = |key: &str, mode: StagingMode| {
             let s = m
                 .iter()
                 .find(|s| s.id == format!("{key}/hybrid/n5e9"))
                 .unwrap();
-            let mut cfg = s.config.clone();
-            cfg.hybrid = HybridMode::Off;
-            let plan = Plan::build(cfg, s.n).expect("plan");
-            simulate_plan(&plan).expect("sim").total_s
+            let cfg = s.config.clone().with_staging(mode);
+            let hybrid = simulate_plan(&Plan::build(cfg.clone(), s.n).expect("plan"))
+                .expect("sim")
+                .total_s;
+            let mut off_cfg = cfg;
+            off_cfg.hybrid = HybridMode::Off;
+            let off = simulate_plan(&Plan::build(off_cfg, s.n).expect("plan"))
+                .expect("sim")
+                .total_s;
+            (hybrid, off)
         };
-        let hybrid_p2 = total("p2/hybrid/n5e9");
-        let off_p2 = off_twin("p2");
+        // Paper staging: the published trade-off.
+        let (hybrid, off) = totals("p2", StagingMode::Paper);
         assert!(
-            hybrid_p2 < off_p2,
-            "hybrid must beat the GPU-only plan on p2: {hybrid_p2} !< {off_p2}"
+            hybrid < off,
+            "paper staging: hybrid must beat GPU-only on p2: {hybrid} !< {off}"
         );
-        // Document (don't hide) the p1 outcome: hybrid routing costs
-        // time when one GPU cannot saturate the pair lane.
-        let hybrid_p1 = total("p1/hybrid/n5e9");
-        let off_p1 = off_twin("p1");
+        let (hybrid, off) = totals("p1", StagingMode::Paper);
         assert!(
-            hybrid_p1 > off_p1,
-            "if hybrid starts winning on p1 too, move this pin: {hybrid_p1} vs {off_p1}"
+            hybrid > off,
+            "paper staging: hybrid must lose on p1: {hybrid} vs {off}"
         );
+        // Double-buffered staging (the default the gate scenarios now
+        // run): GPU-only wins everywhere.
+        for key in ["p1", "p2"] {
+            let (hybrid, off) = totals(key, StagingMode::DoubleBuffered);
+            assert!(
+                hybrid > off,
+                "double-buffered staging: GPU-only must win on {key}: {hybrid} vs {off}"
+            );
+        }
+    }
+
+    #[test]
+    fn staging_copy_tax_reduced_on_bline_scenarios() {
+        // PR 10's headline claim: double-buffered pinned staging halves
+        // the StagingCopy component on the blocking scenarios (the
+        // outbound pinned bounce is elided — StageOut drains straight
+        // from the transfer buffer). These are the frozen StagingCopy
+        // seconds of the single-buffer baseline (BENCH.json before the
+        // refreeze); the component must stay *strictly* below them.
+        const BASELINE_BLINE_STAGING_S: f64 = 2.6430567975385784;
+        const BASELINE_BLINEMULTI_STAGING_S: f64 = 4.923076923077294;
+        let m = scenario_matrix();
+        let staging = |id: &str| {
+            let s = m.iter().find(|s| s.id == id).expect("pinned id");
+            let r = run_scenario(s).expect("simulated run");
+            (r.components["StagingCopy"], r.total_s)
+        };
+        let (sc, total) = staging("p1/bline/n1073741824");
+        assert!(
+            sc < BASELINE_BLINE_STAGING_S,
+            "BLINE StagingCopy must stay below the single-buffer baseline: {sc}"
+        );
+        // Inbound-only staging is half the old two-way bounce.
+        assert!(sc < BASELINE_BLINE_STAGING_S * 0.55, "{sc}");
+        assert!(total < 4.65, "BLINE total must keep the win: {total}");
+        let (sc, total) = staging("p1/blinemulti/n2e9");
+        assert!(
+            sc < BASELINE_BLINEMULTI_STAGING_S,
+            "BLINEMULTI StagingCopy must stay below the single-buffer baseline: {sc}"
+        );
+        assert!(sc < BASELINE_BLINEMULTI_STAGING_S * 0.55, "{sc}");
+        assert!(total < 10.41, "BLINEMULTI total must keep the win: {total}");
     }
 
     #[test]

@@ -213,6 +213,48 @@ impl HybridMode {
     }
 }
 
+/// How the host↔pinned staging path is organized.
+///
+/// The paper's executors bounce every chunk through a single pinned
+/// staging buffer per stream per direction, serializing the host
+/// memcpy against the DMA that consumes it. [`StagingMode::DoubleBuffered`]
+/// splits the inbound buffer into two halves (chunk parity selects the
+/// half) so the host→pinned bounce of chunk `c` overlaps the DMA of
+/// chunk `c−1`, and — on the blocking approaches, where the sorted
+/// batch is still device-resident when it is written out — *elides*
+/// the outbound pinned bounce entirely, writing device→output in one
+/// pageable copy instead of two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StagingMode {
+    /// One pinned buffer per stream per direction; every chunk bounces
+    /// host↔pinned↔device exactly as §III-D2 describes.
+    Paper,
+    /// Two inbound halves per stream (parity-selected) overlapping the
+    /// bounce with the previous chunk's DMA; outbound bounce elided on
+    /// blocking approaches.
+    #[default]
+    DoubleBuffered,
+}
+
+impl StagingMode {
+    /// Stable CLI/display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StagingMode::Paper => "paper",
+            StagingMode::DoubleBuffered => "double",
+        }
+    }
+
+    /// Parse a CLI name (`"paper"` / `"double"`).
+    pub fn parse(s: &str) -> Option<StagingMode> {
+        match s {
+            "paper" | "single" => Some(StagingMode::Paper),
+            "double" | "db" | "double-buffered" => Some(StagingMode::DoubleBuffered),
+            _ => None,
+        }
+    }
+}
+
 /// CPU scheduling policy for parallel merges, sorts, and staging
 /// copies (the `algos::par` runtime).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -276,6 +318,9 @@ pub struct HetSortConfig {
     pub hybrid: HybridMode,
     /// How CPU workers claim parts inside parallel merges/sorts/copies.
     pub cpu_sched: CpuSched,
+    /// Host↔pinned staging organization (single-buffer paper shape or
+    /// double-buffered halves with outbound elision).
+    pub staging: StagingMode,
     /// Work-queue chunks created per CPU worker under
     /// [`CpuSched::SelfSched`]; `0` = auto (see [`Self::sched_chunks_eff`]).
     pub sched_chunks_per_thread: u32,
@@ -325,6 +370,7 @@ impl HetSortConfig {
             pair_strategy: PairStrategy::default(),
             hybrid: HybridMode::default(),
             cpu_sched: CpuSched::default(),
+            staging: StagingMode::default(),
             sched_chunks_per_thread: 0,
             elem_bytes: 8.0,
             device_sort: DeviceSortKind::default(),
@@ -380,6 +426,17 @@ impl HetSortConfig {
     pub fn with_cpu_sched(mut self, s: CpuSched) -> Self {
         self.cpu_sched = s;
         self
+    }
+
+    /// Select the staging organization.
+    pub fn with_staging(mut self, s: StagingMode) -> Self {
+        self.staging = s;
+        self
+    }
+
+    /// Is the double-buffered staging path selected?
+    pub fn double_buffered(&self) -> bool {
+        self.staging == StagingMode::DoubleBuffered
     }
 
     /// Set the self-scheduling chunks-per-worker knob (`0` = auto).
@@ -739,6 +796,19 @@ mod tests {
                 "fraction {bad} must be rejected"
             );
         }
+    }
+
+    #[test]
+    fn staging_mode_knob() {
+        let c = HetSortConfig::paper_defaults(platform1(), Approach::PipeData);
+        assert_eq!(c.staging, StagingMode::DoubleBuffered);
+        assert!(c.double_buffered());
+        let p = c.with_staging(StagingMode::Paper);
+        assert!(!p.double_buffered());
+        for m in [StagingMode::Paper, StagingMode::DoubleBuffered] {
+            assert_eq!(StagingMode::parse(m.name()), Some(m));
+        }
+        assert_eq!(StagingMode::parse("nope"), None);
     }
 
     #[test]

@@ -40,6 +40,7 @@ use crate::error::HetSortError;
 use crate::exec_real::{assemble_trace, cpu_part_spans, RealOutcome};
 use crate::exec_stream::StreamExec;
 use crate::plan::{MergeInput, MergeSrc, Plan};
+use crate::pool::PoolStats;
 use crate::report::RecoveryStats;
 
 /// Engine knobs. The default is the pinned determinism contract;
@@ -409,6 +410,7 @@ where
     // dag's merge schedule stays valid); any still unexecuted after
     // recovery run in phase 2.
     let mut recovery = RecoveryStats::default();
+    let mut pool_stats = PoolStats::default();
     let mut metrics = MetricsRegistry::new();
     let mut replans: Vec<Plan> = Vec::new();
     let mut lost_gpus: BTreeSet<usize> = Default::default();
@@ -486,6 +488,7 @@ where
             recovery.retries += sx.stats.retries;
             recovery.degraded_batches += sx.stats.degraded_batches;
             recovery.oom_replans += sx.stats.oom_replans;
+            pool_stats.absorb(sx.pool.stats);
             metrics.record_all(std::mem::take(&mut sx.span_log));
         }
         if cur.config.record_trace {
@@ -595,6 +598,7 @@ where
 
     metrics.record_all(merge_spans);
     recovery.fold_into(&mut metrics);
+    pool_stats.fold_into(&mut metrics);
 
     let wall_s = t0.elapsed().as_secs_f64();
     let verified = is_sorted(&b_out) && fingerprint(&b_out) == input_fp;
@@ -753,6 +757,7 @@ where
     let mut pair_out: Vec<Option<Vec<T>>> = (0..plan.pairs.len()).map(|_| None).collect();
     let mut b_out: Vec<T> = Vec::new();
     let mut recovery = RecoveryStats::default();
+    let mut pool_stats = PoolStats::default();
     let mut stream_logs: Vec<Vec<(usize, Vec<Access>)>> = Vec::new();
     let mut metrics = MetricsRegistry::new();
     let mut merge_spans: Vec<ObsSpan> = Vec::new();
@@ -1008,6 +1013,7 @@ where
                     recovery.retries += slot.sx.stats.retries;
                     recovery.degraded_batches += slot.sx.stats.degraded_batches;
                     recovery.oom_replans += slot.sx.stats.oom_replans;
+                    pool_stats.absorb(slot.sx.pool.stats);
                     stream_logs.push(std::mem::take(&mut slot.sx.access_log));
                     metrics.record_all(std::mem::take(&mut slot.sx.span_log));
                 }
@@ -1143,6 +1149,7 @@ where
                             recovery.retries += sx.stats.retries;
                             recovery.degraded_batches += sx.stats.degraded_batches;
                             recovery.oom_replans += sx.stats.oom_replans;
+                            pool_stats.absorb(sx.pool.stats);
                             metrics.record_all(std::mem::take(&mut sx.span_log));
                         }
                         for (b, buf) in partial.into_iter().enumerate() {
@@ -1258,6 +1265,7 @@ where
         .then(|| assemble_trace(plan, &stream_logs));
     metrics.record_all(merge_spans);
     recovery.fold_into(&mut metrics);
+    pool_stats.fold_into(&mut metrics);
     let wall_s = t0.elapsed().as_secs_f64();
     let verified = is_sorted(&b_out) && fingerprint(&b_out) == input_fp;
     Ok(RealOutcome {

@@ -375,8 +375,11 @@ impl PlanDag {
     /// * `cycle` — the dependency relation is not acyclic;
     /// * `duplicate-producer` — two nodes produce the same artifact
     ///   (a batch's sort, a chunk's copy, a merge slot's output);
-    /// * `fifo` — consecutive nodes of one stream lack the FIFO edge
-    ///   the stream interpreter relies on;
+    /// * `fifo` — a stream's nodes lack the FIFO discipline the stream
+    ///   interpreter relies on: one total chain under paper staging;
+    ///   per-lane chains (host staging vs device DMA/sort) plus the
+    ///   explicit cross and buffer-reuse edges under double-buffered
+    ///   staging;
     /// * `sort-input` — a sort does not depend on its batch's last
     ///   `HtoD` (would sort an incompletely-loaded buffer);
     /// * `merge-inputs` — a merge does not depend on the producer of
@@ -464,7 +467,17 @@ impl PlanDag {
         }
 
         // fifo: each stream's nodes (in id order) must chain via deps.
-        {
+        //
+        // Paper staging chains every node of a stream on one tail.
+        // Double-buffered staging splits each stream into a host lane
+        // (allocs + staging copies) and a device lane (HtoD/sort/DtoH)
+        // and demands, besides the per-lane chains, the explicit cross
+        // and buffer-reuse edges the relaxed discipline relies on.
+        // Every intra-stream edge the lowering emits is demanded here:
+        // the trace gives same-stream ops program order on one thread,
+        // so the happens-before analyzer can never see an intra-stream
+        // edge deletion — the structural validator must.
+        if !self.plan.config.double_buffered() {
             let mut tail: BTreeMap<usize, usize> = BTreeMap::new();
             for (i, node) in self.nodes.iter().enumerate() {
                 if let Some(s) = node.stream {
@@ -476,6 +489,121 @@ impl PlanDag {
                         }
                     }
                     tail.insert(s, i);
+                }
+            }
+        } else {
+            let elided = self.plan.stage_out_elided();
+            #[derive(Default)]
+            struct LaneState {
+                host_tail: Option<usize>,
+                dev_tail: Option<usize>,
+                cur_batch: Option<usize>,
+                stagein: BTreeMap<usize, usize>,
+                htod: BTreeMap<usize, usize>,
+                dtoh: BTreeMap<usize, usize>,
+                sout: BTreeMap<usize, usize>,
+                prev_htod: Option<usize>,
+                prev_sout: Option<usize>,
+            }
+            let mut lanes: BTreeMap<usize, LaneState> = BTreeMap::new();
+            let demand = |i: usize, deps: &[usize], need: usize, what: &str| {
+                if deps.contains(&need) {
+                    Ok(())
+                } else {
+                    Err(HetSortError::Plan {
+                        reason: format!("fifo: node {i} missing {what} dependency on node {need}"),
+                    })
+                }
+            };
+            for (i, node) in self.nodes.iter().enumerate() {
+                let Some(s) = node.stream else { continue };
+                let st = lanes.entry(s).or_default();
+                // Batch boundary: the previous batch's last HtoD and
+                // StageOut become the cross-batch reuse targets.
+                if let Some(b) = node.op.batch() {
+                    if st.cur_batch != Some(b) {
+                        st.prev_htod = st.htod.values().next_back().copied();
+                        st.prev_sout = st.sout.values().next_back().copied();
+                        st.stagein.clear();
+                        st.htod.clear();
+                        st.dtoh.clear();
+                        st.sout.clear();
+                        st.cur_batch = Some(b);
+                    }
+                }
+                let dev_lane = matches!(
+                    node.op,
+                    DagOp::HtoD { .. } | DagOp::Sort { .. } | DagOp::DtoH { .. }
+                );
+                let (tail, lane) = if dev_lane {
+                    (&mut st.dev_tail, "device-lane")
+                } else {
+                    (&mut st.host_tail, "host-lane")
+                };
+                if let Some(prev) = *tail {
+                    demand(i, &node.deps, prev, lane)?;
+                }
+                *tail = Some(i);
+                match node.op {
+                    DagOp::StagingCopy {
+                        chunk,
+                        dir_in: true,
+                        ..
+                    } => {
+                        // The half chunk c overwrites was read by
+                        // HtoD(c−2); the first chunk of a later batch
+                        // waits on the previous batch's last HtoD.
+                        if chunk >= 2 {
+                            if let Some(&h) = st.htod.get(&(chunk - 2)) {
+                                demand(i, &node.deps, h, "half-reuse")?;
+                            }
+                        } else if chunk == 0 {
+                            if let Some(h) = st.prev_htod {
+                                demand(i, &node.deps, h, "cross-batch half-reuse")?;
+                            }
+                        }
+                        st.stagein.insert(chunk, i);
+                    }
+                    DagOp::HtoD { chunk, .. } => {
+                        if let Some(&si) = st.stagein.get(&chunk) {
+                            demand(i, &node.deps, si, "staging-copy")?;
+                        }
+                        // Elided stage-out reads the device buffer at
+                        // the emission marker; the next batch's first
+                        // DMA must not overwrite it earlier.
+                        if elided && chunk == 0 {
+                            if let Some(m) = st.prev_sout {
+                                demand(i, &node.deps, m, "elided-marker")?;
+                            }
+                        }
+                        st.htod.insert(chunk, i);
+                    }
+                    DagOp::DtoH { chunk, .. } => {
+                        // Bounced stage-out shares one outbound buffer:
+                        // the DMA of chunk c overwrites what the
+                        // previous StageOut read.
+                        if !elided {
+                            if chunk >= 1 {
+                                if let Some(&o) = st.sout.get(&(chunk - 1)) {
+                                    demand(i, &node.deps, o, "out-buffer reuse")?;
+                                }
+                            } else if let Some(o) = st.prev_sout {
+                                demand(i, &node.deps, o, "cross-batch out-buffer reuse")?;
+                            }
+                        }
+                        st.dtoh.insert(chunk, i);
+                    }
+                    DagOp::StagingCopy {
+                        chunk,
+                        dir_in: false,
+                        ..
+                    } => {
+                        if let Some(&d) = st.dtoh.get(&chunk) {
+                            demand(i, &node.deps, d, "dtoh")?;
+                        }
+                        st.sout.insert(chunk, i);
+                    }
+                    _ => {}
                 }
             }
         }

@@ -43,6 +43,7 @@ use crate::optrace::{
     pinned_in_id, pinned_out_id, region_host_batch, REGION_A, REGION_B, REGION_W,
 };
 use crate::plan::{BatchInfo, Plan, StepKind};
+use crate::pool::BufferPool;
 use crate::report::RecoveryStats;
 
 /// How the current batch is being processed.
@@ -80,6 +81,9 @@ pub(crate) struct StreamExec<'a, T> {
     mode: Mode,
     /// Staging for Split/CpuFallback batches (holds the whole batch).
     host_batch: Vec<T>,
+    /// Recycled scratch buffers (Split-mode merge outputs), so repeated
+    /// recoveries stop zero-initializing a fresh batch-sized vector.
+    pub(crate) pool: BufferPool<T>,
     /// Per-stream recovery counters (merged by the caller).
     pub(crate) stats: RecoveryStats,
     /// When `config.record_trace` is set: the buffer accesses each step
@@ -127,6 +131,7 @@ where
             device_cap: usize::MAX,
             mode: Mode::Device,
             host_batch: Vec::new(),
+            pool: BufferPool::new(),
             stats: RecoveryStats::default(),
             access_log: Vec::new(),
             t0,
@@ -134,9 +139,20 @@ where
         }
     }
 
-    fn pin_in_buf(&self) -> Buffer {
+    /// Which half of the inbound staging buffer chunk `chunk` lands in:
+    /// double-buffered plans alternate halves per chunk so the stage-in
+    /// of chunk `c+1` can overlap the HtoD DMA of chunk `c`.
+    fn in_half(&self, chunk: usize) -> usize {
+        if self.plan.config.double_buffered() {
+            chunk % 2
+        } else {
+            0
+        }
+    }
+
+    fn pin_in_buf(&self, half: usize) -> Buffer {
         Buffer::Pinned {
-            id: pinned_in_id(self.stream),
+            id: pinned_in_id(self.stream, half),
         }
     }
 
@@ -281,30 +297,40 @@ where
         let mut acc: Vec<Access> = Vec::new();
         match &self.plan.steps[si].kind {
             StepKind::PinnedAlloc { dir_in, .. } => {
+                let elided = self.plan.stage_out_elided();
                 if *dir_in {
-                    self.pinned_in.resize(ps, T::default());
-                } else {
+                    // Double-buffered plans carve both halves out of
+                    // one allocation (`staging_halves() == 2`).
+                    self.pinned_in
+                        .resize(self.plan.staging_halves() * ps, T::default());
+                } else if !elided {
                     self.pinned_out.resize(ps, T::default());
                 }
-                // Blocking plans reuse one buffer both ways.
-                if self.pinned_out.is_empty() && !self.plan.asynchronous {
+                // Blocking plans reuse one buffer both ways — unless
+                // the stage-out is elided, in which case there is no
+                // outbound staging buffer at all.
+                if self.pinned_out.is_empty() && !self.plan.asynchronous && !elided {
                     self.pinned_out.resize(ps, T::default());
                 }
             }
-            StepKind::StageIn { start, len, .. } => {
+            StepKind::StageIn {
+                start, len, chunk, ..
+            } => {
                 // Host→pinned staging memcpy: the PARMEMCPY knob makes
                 // this copy parallel (self-scheduled chunks).
+                let half = self.in_half(*chunk);
+                let o = half * ps;
                 par_copy(
                     self.memcpy_threads,
                     &self.data[*start..*start + *len],
-                    &mut self.pinned_in[..*len],
+                    &mut self.pinned_in[o..o + *len],
                 );
                 acc.push(Access::read(Buffer::Host {
                     region: REGION_A,
                     start: *start,
                     len: *len,
                 }));
-                acc.push(Access::write(self.pin_in_buf()));
+                acc.push(Access::write(self.pin_in_buf(half)));
             }
             StepKind::HtoD {
                 batch,
@@ -323,7 +349,9 @@ where
                     match self.dma(FaultSite::HtoD) {
                         Ok(()) => {
                             let off = *start - b.start;
-                            acc.push(Access::read(self.pin_in_buf()));
+                            let half = self.in_half(*chunk);
+                            let o = half * ps;
+                            acc.push(Access::read(self.pin_in_buf(half)));
                             if self.mode == Mode::Device {
                                 acc.push(Access::write(self.dev_buf(&b)));
                             } else {
@@ -334,7 +362,7 @@ where
                             } else {
                                 &mut self.host_batch
                             };
-                            dst[off..off + *len].copy_from_slice(&self.pinned_in[..*len]);
+                            dst[off..off + *len].copy_from_slice(&self.pinned_in[o..o + *len]);
                         }
                         Err(attempts) => {
                             if self.policy.cpu_fallback {
@@ -398,15 +426,21 @@ where
                             run.copy_from_slice(&device[..run.len()]);
                         }
                         if b.len > cap {
+                            // Pooled merge output: repeated Split-mode
+                            // batches recycle one allocation instead of
+                            // zero-initializing a fresh batch-sized
+                            // vector per merge.
+                            let mut merged = self.pool.checkout(b.len);
                             let runs: Vec<&[T]> = self.host_batch.chunks(cap).collect();
-                            let mut merged = vec![T::default(); b.len];
                             par_multiway_merge_into_cfg(
                                 &self.sched,
                                 self.host_threads,
                                 &runs,
                                 &mut merged,
                             );
-                            self.host_batch = merged;
+                            drop(runs);
+                            let old = std::mem::replace(&mut self.host_batch, merged);
+                            self.pool.checkin(old);
                         }
                         let d = self.dev_buf(&b);
                         let hb = self.host_batch_buf(0, b.len);
@@ -438,26 +472,40 @@ where
             } => {
                 let b = self.plan.batches[*batch];
                 let off = *start - b.start;
+                let elided = self.plan.stage_out_elided();
                 if self.mode == Mode::Device {
                     self.device_check(&b)?;
                     match self.dma(FaultSite::DtoH) {
                         Ok(()) => {
-                            self.pinned_out[..*len].copy_from_slice(&self.device[off..off + *len]);
-                            acc.push(Access::read(self.dev_buf(&b)));
-                            acc.push(Access::write(self.pin_out_buf()));
+                            if elided {
+                                // Elided stage-out: the chunk stays
+                                // device-resident; the StageOut marker
+                                // pages it straight into W/B.
+                                acc.push(Access::read(self.dev_buf(&b)));
+                            } else {
+                                self.pinned_out[..*len]
+                                    .copy_from_slice(&self.device[off..off + *len]);
+                                acc.push(Access::read(self.dev_buf(&b)));
+                                acc.push(Access::write(self.pin_out_buf()));
+                            }
                         }
                         Err(attempts) => {
                             if self.policy.cpu_fallback {
                                 // The sorted batch is still device-
                                 // resident: fall back to a pageable-
-                                // style host copy of the whole batch.
-                                self.host_batch = self.device[..b.len].to_vec();
+                                // style host copy of the whole batch,
+                                // reusing the staging buffer's capacity
+                                // instead of cloning a fresh vector.
+                                self.host_batch.clear();
+                                self.host_batch.extend_from_slice(&self.device[..b.len]);
                                 self.degrade();
-                                self.pinned_out[..*len]
-                                    .copy_from_slice(&self.host_batch[off..off + *len]);
                                 acc.push(Access::read(self.dev_buf(&b)));
                                 acc.push(Access::write(self.host_batch_buf(0, b.len)));
-                                acc.push(Access::write(self.pin_out_buf()));
+                                if !elided {
+                                    self.pinned_out[..*len]
+                                        .copy_from_slice(&self.host_batch[off..off + *len]);
+                                    acc.push(Access::write(self.pin_out_buf()));
+                                }
                             } else {
                                 return Err(HetSortError::TransferFault {
                                     step: si,
@@ -468,7 +516,7 @@ where
                             }
                         }
                     }
-                } else {
+                } else if !elided {
                     self.pinned_out[..*len].copy_from_slice(&self.host_batch[off..off + *len]);
                     acc.push(Access::read(self.host_batch_buf(off, *len)));
                     acc.push(Access::write(self.pin_out_buf()));
@@ -477,13 +525,27 @@ where
             StepKind::StageOut {
                 batch, start, len, ..
             } => {
-                emit(*batch, *start, &self.pinned_out[..*len]);
                 let region = if self.plan.nb() > 1 {
                     REGION_W
                 } else {
                     REGION_B
                 };
-                acc.push(Access::read(self.pin_out_buf()));
+                if self.plan.stage_out_elided() {
+                    // The outbound bounce was elided: emit straight from
+                    // the source the batch actually lives in.
+                    let b = self.plan.batches[*batch];
+                    let off = *start - b.start;
+                    if self.mode == Mode::Device {
+                        emit(*batch, *start, &self.device[off..off + *len]);
+                        acc.push(Access::read(self.dev_buf(&b)));
+                    } else {
+                        emit(*batch, *start, &self.host_batch[off..off + *len]);
+                        acc.push(Access::read(self.host_batch_buf(off, *len)));
+                    }
+                } else {
+                    emit(*batch, *start, &self.pinned_out[..*len]);
+                    acc.push(Access::read(self.pin_out_buf()));
+                }
                 acc.push(Access::write(Buffer::Host {
                     region,
                     start: *start,

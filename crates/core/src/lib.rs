@@ -48,13 +48,14 @@ pub(crate) mod exec_stream;
 pub mod optrace;
 pub mod plan;
 pub mod plan_builders;
+pub mod pool;
 pub mod recover;
 pub mod reference;
 pub mod report;
 
 pub use config::{
     Approach, CpuSched, DeviceSortKind, HetSortConfig, HybridMode, PairStrategy, RecoveryPolicy,
-    SUPPORTED_ELEM_BYTES,
+    StagingMode, SUPPORTED_ELEM_BYTES,
 };
 pub use dag::exec::{
     execute_dag, execute_dag_opts, execute_dag_pooled, execute_dag_pooled_opts, DagExecOptions,

@@ -38,9 +38,17 @@
 //!   conflict.
 //! * `Dev { gpu, id }`: `id` is the owning stream — each stream keeps
 //!   one resident batch buffer, as the executors do.
-//! * `Pinned { id }`: `2·s` (inbound) / `2·s + 1` (outbound) for stream
-//!   `s`; blocking plans reuse the inbound id for both directions, as
-//!   the executors reuse the buffer.
+//! * `Pinned { id }`: stream `s` owns the id triple `3·s .. 3·s + 2`.
+//!   Inbound staging is `3·s + half` — double-buffered plans split the
+//!   one inbound allocation into two halves keyed by `chunk % 2`, so
+//!   the checker sees StageIn of chunk `c+1` and HtoD of chunk `c`
+//!   touching *different* identities (that overlap is the whole point
+//!   of double buffering). Outbound is `3·s + 2` for piped plans;
+//!   blocking plans reuse inbound half 0 (`3·s`) both ways, as the
+//!   executors reuse the buffer. Elided-stage-out plans
+//!   ([`Plan::stage_out_elided`]) have no outbound pinned buffer at
+//!   all: DtoH pages straight out of device memory and the StageOut
+//!   marker reads the device buffer.
 
 use hetsort_sim::{Access, Buffer, OpTrace, TraceKind};
 
@@ -65,18 +73,21 @@ pub fn region_pair(total_streams: usize, slot: usize) -> usize {
     3 + total_streams + slot
 }
 
-/// Pinned-buffer id of stream `s`'s inbound staging buffer.
-pub fn pinned_in_id(stream: usize) -> usize {
-    2 * stream
+/// Pinned-buffer id of stream `s`'s inbound staging buffer. `half` is
+/// `chunk % 2` for double-buffered plans and 0 otherwise — the two
+/// halves of a double-buffered allocation get distinct identities so
+/// the stage-in of one chunk may overlap the DMA of the previous.
+pub fn pinned_in_id(stream: usize, half: usize) -> usize {
+    3 * stream + half
 }
 
 /// Pinned-buffer id of stream `s`'s outbound staging buffer. Blocking
-/// plans allocate one buffer and reuse it both ways.
+/// plans allocate one buffer and reuse it both ways (inbound half 0).
 pub fn pinned_out_id(asynchronous: bool, stream: usize) -> usize {
     if asynchronous {
-        2 * stream + 1
+        3 * stream + 2
     } else {
-        2 * stream
+        3 * stream
     }
 }
 
@@ -116,11 +127,13 @@ fn src_read(plan: &Plan, src: MergeSrc) -> Access {
 /// The buffer accesses step `si` performs on the fault-free GPU path.
 pub fn static_step_accesses(plan: &Plan, si: usize) -> Vec<Access> {
     // Stream-less data ops get the sentinel lane `total_streams` so
-    // their pinned ids (`2·S`, `2·S + 1`) can never alias stream 0's
-    // real staging buffers.
+    // their pinned ids (`3·S ..`) can never alias stream 0's real
+    // staging buffers.
     let stream = plan.steps[si].stream.unwrap_or(plan.total_streams);
-    let pin_in = Buffer::Pinned {
-        id: pinned_in_id(stream),
+    let db = plan.config.double_buffered();
+    let elided = plan.stage_out_elided();
+    let pin_in = |chunk: usize| Buffer::Pinned {
+        id: pinned_in_id(stream, if db { chunk % 2 } else { 0 }),
     };
     let pin_out = Buffer::Pinned {
         id: pinned_out_id(plan.asynchronous, stream),
@@ -129,26 +142,41 @@ pub fn static_step_accesses(plan: &Plan, si: usize) -> Vec<Access> {
     let out_region = if plan.nb() > 1 { REGION_W } else { REGION_B };
     match &plan.steps[si].kind {
         StepKind::PinnedAlloc { .. } => Vec::new(),
-        StepKind::StageIn { start, len, .. } => vec![
+        StepKind::StageIn {
+            start, len, chunk, ..
+        } => vec![
             Access::read(Buffer::Host {
                 region: REGION_A,
                 start: *start,
                 len: *len,
             }),
-            Access::write(pin_in),
+            Access::write(pin_in(*chunk)),
         ],
-        StepKind::HtoD { batch, .. } => {
-            vec![Access::read(pin_in), Access::write(dev_buf(plan, *batch))]
+        StepKind::HtoD { batch, chunk, .. } => {
+            vec![
+                Access::read(pin_in(*chunk)),
+                Access::write(dev_buf(plan, *batch)),
+            ]
         }
         StepKind::GpuSort { batch } => {
             let d = dev_buf(plan, *batch);
             vec![Access::read(d), Access::write(d)]
         }
         StepKind::DtoH { batch, .. } => {
-            vec![Access::read(dev_buf(plan, *batch)), Access::write(pin_out)]
+            if elided {
+                vec![Access::read(dev_buf(plan, *batch))]
+            } else {
+                vec![Access::read(dev_buf(plan, *batch)), Access::write(pin_out)]
+            }
         }
-        StepKind::StageOut { start, len, .. } => vec![
-            Access::read(pin_out),
+        StepKind::StageOut {
+            batch, start, len, ..
+        } => vec![
+            if elided {
+                Access::read(dev_buf(plan, *batch))
+            } else {
+                Access::read(pin_out)
+            },
             Access::write(Buffer::Host {
                 region: out_region,
                 start: *start,
@@ -250,8 +278,10 @@ pub fn dag_node_accesses(dag: &PlanDag, i: usize) -> Vec<Access> {
     // [`static_step_accesses`]; `unwrap_or(0)` here would alias stream
     // 0's pinned buffers and fabricate conflicts in the checker.
     let stream = node.stream.unwrap_or(plan.total_streams);
-    let pin_in = Buffer::Pinned {
-        id: pinned_in_id(stream),
+    let db = plan.config.double_buffered();
+    let elided = plan.stage_out_elided();
+    let pin_in = |chunk: usize| Buffer::Pinned {
+        id: pinned_in_id(stream, if db { chunk % 2 } else { 0 }),
     };
     let pin_out = Buffer::Pinned {
         id: pinned_out_id(plan.asynchronous, stream),
@@ -275,6 +305,7 @@ pub fn dag_node_accesses(dag: &PlanDag, i: usize) -> Vec<Access> {
         DagOp::StagingCopy {
             start,
             len,
+            chunk,
             dir_in: true,
             ..
         } => vec![
@@ -283,30 +314,42 @@ pub fn dag_node_accesses(dag: &PlanDag, i: usize) -> Vec<Access> {
                 start: *start,
                 len: *len,
             }),
-            Access::write(pin_in),
+            Access::write(pin_in(*chunk)),
         ],
         DagOp::StagingCopy {
+            batch,
             start,
             len,
             dir_in: false,
             ..
         } => vec![
-            Access::read(pin_out),
+            if elided {
+                Access::read(dev_buf(plan, *batch))
+            } else {
+                Access::read(pin_out)
+            },
             Access::write(Buffer::Host {
                 region: out_region,
                 start: *start,
                 len: *len,
             }),
         ],
-        DagOp::HtoD { batch, .. } => {
-            vec![Access::read(pin_in), Access::write(dev_buf(plan, *batch))]
+        DagOp::HtoD { batch, chunk, .. } => {
+            vec![
+                Access::read(pin_in(*chunk)),
+                Access::write(dev_buf(plan, *batch)),
+            ]
         }
         DagOp::Sort { batch } => {
             let d = dev_buf(plan, *batch);
             vec![Access::read(d), Access::write(d)]
         }
         DagOp::DtoH { batch, .. } => {
-            vec![Access::read(dev_buf(plan, *batch)), Access::write(pin_out)]
+            if elided {
+                vec![Access::read(dev_buf(plan, *batch))]
+            } else {
+                vec![Access::read(dev_buf(plan, *batch)), Access::write(pin_out)]
+            }
         }
         DagOp::PairMerge { slot } | DagOp::CpuMerge { slot } => pair_accesses(*slot),
         DagOp::MultiwayMerge { inputs } => {
@@ -395,20 +438,40 @@ pub fn trace_dag_with_accesses(dag: &PlanDag, overrides: &[Option<Vec<Access>>])
                 bytes,
                 dir_in,
             } => {
-                let id = if *dir_in {
-                    pinned_in_id(*stream)
+                if *dir_in && plan.config.double_buffered() {
+                    // One double-sized allocation, but the two halves
+                    // get distinct identities: record an Alloc per
+                    // half so accesses, frees, and leak lints line up.
+                    for half in 0..2 {
+                        let buf = Buffer::Pinned {
+                            id: pinned_in_id(*stream, half),
+                        };
+                        alloced.push((th, buf));
+                        trace.push(
+                            th,
+                            format!("{} half {half}", dag_node_label(dag, si)),
+                            TraceKind::Alloc {
+                                buf,
+                                bytes: *bytes / 2.0,
+                            },
+                        );
+                    }
                 } else {
-                    pinned_out_id(plan.asynchronous, *stream)
-                };
-                alloced.push((th, Buffer::Pinned { id }));
-                trace.push(
-                    th,
-                    dag_node_label(dag, si),
-                    TraceKind::Alloc {
-                        buf: Buffer::Pinned { id },
-                        bytes: *bytes,
-                    },
-                );
+                    let id = if *dir_in {
+                        pinned_in_id(*stream, 0)
+                    } else {
+                        pinned_out_id(plan.asynchronous, *stream)
+                    };
+                    alloced.push((th, Buffer::Pinned { id }));
+                    trace.push(
+                        th,
+                        dag_node_label(dag, si),
+                        TraceKind::Alloc {
+                            buf: Buffer::Pinned { id },
+                            bytes: *bytes,
+                        },
+                    );
+                }
             }
             op => {
                 // Each stream's device buffer materializes at its first
@@ -531,6 +594,10 @@ mod tests {
             .position(|n| matches!(n.op, DagOp::HtoD { .. }))
             .unwrap();
         dag.nodes[i].stream = None;
+        let half = match dag.nodes[i].op {
+            DagOp::HtoD { chunk, .. } if dag.plan.config.double_buffered() => chunk % 2,
+            _ => 0,
+        };
         let acc = dag_node_accesses(&dag, i);
         let pinned_ids: Vec<usize> = acc
             .iter()
@@ -541,8 +608,8 @@ mod tests {
             .collect();
         assert!(!pinned_ids.is_empty(), "HtoD reads a pinned buffer");
         for id in pinned_ids {
-            assert_eq!(id, pinned_in_id(total), "sentinel lane, not stream 0");
-            assert_ne!(id, pinned_in_id(0), "must not alias stream 0");
+            assert_eq!(id, pinned_in_id(total, half), "sentinel lane, not stream 0");
+            assert_ne!(id, pinned_in_id(0, half), "must not alias stream 0");
         }
     }
 
@@ -556,7 +623,49 @@ mod tests {
             }),
             _ => false,
         }));
-        // Blocking plans reuse one pinned buffer both ways.
-        assert_eq!(pinned_out_id(p.asynchronous, 0), pinned_in_id(0));
+        // Blocking plans reuse one pinned buffer both ways (half 0).
+        assert_eq!(pinned_out_id(p.asynchronous, 0), pinned_in_id(0, 0));
+    }
+
+    #[test]
+    fn elided_stage_out_reads_the_device_buffer() {
+        // Blocking + double-buffered (paper_defaults) elides the
+        // outbound pinned bounce: the StageOut marker reads device
+        // memory, DtoH writes no pinned buffer, and the two inbound
+        // halves carry distinct identities.
+        let p = plan(Approach::BLineMulti, 4000);
+        assert!(p.stage_out_elided());
+        let dag = PlanDag::from_plan(p.clone());
+        for (i, node) in dag.nodes.iter().enumerate() {
+            let acc = dag_node_accesses(&dag, i);
+            match &node.op {
+                DagOp::DtoH { .. } => {
+                    assert!(
+                        acc.iter().all(|a| !matches!(a.buf, Buffer::Pinned { .. })),
+                        "elided DtoH must not touch pinned staging"
+                    );
+                }
+                DagOp::StagingCopy { dir_in: false, .. } => {
+                    assert!(
+                        acc.iter()
+                            .any(|a| !a.write && matches!(a.buf, Buffer::Dev { .. })),
+                        "elided StageOut reads device memory"
+                    );
+                }
+                DagOp::StagingCopy {
+                    chunk,
+                    dir_in: true,
+                    ..
+                } => {
+                    let want = pinned_in_id(node.stream.unwrap(), chunk % 2);
+                    assert!(
+                        acc.iter()
+                            .any(|a| a.write && a.buf == (Buffer::Pinned { id: want })),
+                        "StageIn c{chunk} writes its own half"
+                    );
+                }
+                _ => {}
+            }
+        }
     }
 }

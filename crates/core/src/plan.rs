@@ -233,6 +233,32 @@ impl Plan {
         self.batches.len()
     }
 
+    /// Does this plan skip the outbound pinned bounce entirely?
+    ///
+    /// Under [`StagingMode::DoubleBuffered`] the blocking approaches
+    /// keep the sorted batch device-resident while it is written out,
+    /// so the `DtoH → pinned_out → W/B` two-copy path collapses into a
+    /// single device→host copy: the `DtoH` step carries the (pageable)
+    /// transfer cost and the `StageOut` step becomes the zero-byte
+    /// marker at which the chunk is emitted. Piped plans keep the
+    /// bounce — their DMA engines need the pinned landing zone to
+    /// overlap transfers across streams.
+    ///
+    /// [`StagingMode::DoubleBuffered`]: crate::config::StagingMode::DoubleBuffered
+    pub fn stage_out_elided(&self) -> bool {
+        !self.asynchronous && self.config.double_buffered()
+    }
+
+    /// Inbound staging halves per stream: 2 when double-buffered
+    /// (chunk parity selects the half), 1 in the paper shape.
+    pub fn staging_halves(&self) -> usize {
+        if self.config.double_buffered() {
+            2
+        } else {
+            1
+        }
+    }
+
     /// The final multiway merge's input count `k` (0 when n_b = 1).
     pub fn multiway_k(&self) -> usize {
         self.steps
@@ -526,9 +552,14 @@ mod tests {
 
     #[test]
     fn fifo_chaining_is_encoded_in_deps() {
-        let plan = Plan::build(cfg(Approach::PipeData), 2000).unwrap();
-        // Every step in a stream (except the first) depends on the
-        // previous step of that stream.
+        // Paper staging: every step in a stream (except the first)
+        // depends on the previous step of that stream — one total FIFO.
+        use crate::config::StagingMode;
+        let plan = Plan::build(
+            cfg(Approach::PipeData).with_staging(StagingMode::Paper),
+            2000,
+        )
+        .unwrap();
         let mut last: Vec<Option<usize>> = vec![None; plan.total_streams];
         for (i, s) in plan.steps.iter().enumerate() {
             if let Some(st) = s.stream {
@@ -541,5 +572,82 @@ mod tests {
                 last[st] = Some(i);
             }
         }
+    }
+
+    #[test]
+    fn double_buffered_chains_per_lane() {
+        // Double-buffered staging splits each stream into a host lane
+        // (allocs + staging copies) and a device lane (HtoD/sort/DtoH);
+        // chaining holds per lane, and the cross edges HtoD←StageIn and
+        // StageOut←DtoH are explicit.
+        let plan = Plan::build(cfg(Approach::PipeData), 2000).unwrap();
+        assert!(plan.config.double_buffered());
+        assert!(!plan.stage_out_elided(), "piped plans keep the bounce");
+        let mut host: Vec<Option<usize>> = vec![None; plan.total_streams];
+        let mut dev: Vec<Option<usize>> = vec![None; plan.total_streams];
+        for (i, s) in plan.steps.iter().enumerate() {
+            let Some(st) = s.stream else { continue };
+            let dev_lane = matches!(
+                s.kind,
+                StepKind::HtoD { .. } | StepKind::GpuSort { .. } | StepKind::DtoH { .. }
+            );
+            let tail = if dev_lane {
+                &mut dev[st]
+            } else {
+                &mut host[st]
+            };
+            if let Some(prev) = *tail {
+                assert!(
+                    s.deps.contains(&prev),
+                    "step {i} missing lane dep on {prev}"
+                );
+            }
+            *tail = Some(i);
+        }
+        // Cross edges: each HtoD names its StageIn, each StageOut its DtoH.
+        for (i, s) in plan.steps.iter().enumerate() {
+            match s.kind {
+                StepKind::HtoD { batch, chunk, .. } => {
+                    let si = plan
+                        .steps
+                        .iter()
+                        .position(|t| {
+                            matches!(t.kind, StepKind::StageIn { batch: b, chunk: c, .. }
+                                if b == batch && c == chunk)
+                        })
+                        .unwrap();
+                    assert!(s.deps.contains(&si), "HtoD {i} missing StageIn dep");
+                }
+                StepKind::StageOut { batch, chunk, .. } => {
+                    let d = plan
+                        .steps
+                        .iter()
+                        .position(|t| {
+                            matches!(t.kind, StepKind::DtoH { batch: b, chunk: c, .. }
+                                if b == batch && c == chunk)
+                        })
+                        .unwrap();
+                    assert!(s.deps.contains(&d), "StageOut {i} missing DtoH dep");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn elided_stage_out_is_blocking_double_buffered_only() {
+        use crate::config::StagingMode;
+        let blocking = Plan::build(cfg(Approach::BLineMulti), 5000).unwrap();
+        assert!(blocking.stage_out_elided());
+        assert_eq!(blocking.staging_halves(), 2);
+        let piped = Plan::build(cfg(Approach::PipeData), 5000).unwrap();
+        assert!(!piped.stage_out_elided());
+        let paper = Plan::build(
+            cfg(Approach::BLineMulti).with_staging(StagingMode::Paper),
+            5000,
+        )
+        .unwrap();
+        assert!(!paper.stage_out_elided());
+        assert_eq!(paper.staging_halves(), 1);
     }
 }

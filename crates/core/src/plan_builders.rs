@@ -183,25 +183,47 @@ fn pair_schedule(config: &HetSortConfig, n: usize, nb: usize) -> (Vec<PairSpec>,
 fn lower(config: HetSortConfig, n: usize, piped: bool) -> Result<Plan, HetSortError> {
     let (nb, ngpu, total_streams, batches) = geometry(&config, n);
     let (pairs, final_inputs) = pair_schedule(&config, n, nb);
+    let db = config.double_buffered();
+    // Blocking + double-buffered: the sorted batch is still
+    // device-resident when it is written out, so the outbound pinned
+    // bounce is elided — `DtoH` carries the (pageable) device→host cost
+    // and `StageOut` becomes the zero-byte marker where the chunk is
+    // emitted straight from device memory.
+    let elided = db && !piped;
 
     let mut steps: Vec<Step> = Vec::new();
-    // Last step index per stream, for FIFO chaining.
-    let mut stream_tail: Vec<Option<usize>> = vec![None; total_streams];
+    // FIFO tails. The paper shape serializes every step of a stream on
+    // one tail; double-buffered staging splits each stream into a host
+    // lane (pinned allocs + staging copies) and a device lane (HtoD,
+    // sort, DtoH) so the host→pinned bounce of chunk c overlaps the
+    // DMA of chunk c−1. Buffer-reuse hazards that the single tail made
+    // implicit become explicit edges below (and the validator's `fifo`
+    // rule demands exactly this discipline).
+    let mut host_tail: Vec<Option<usize>> = vec![None; total_streams];
+    let mut dev_tail: Vec<Option<usize>> = vec![None; total_streams];
     let push = |steps: &mut Vec<Step>,
-                stream_tail: &mut Vec<Option<usize>>,
+                host_tail: &mut Vec<Option<usize>>,
+                dev_tail: &mut Vec<Option<usize>>,
                 kind: StepKind,
                 mut deps: Vec<usize>,
-                stream: Option<usize>| {
+                stream: Option<usize>,
+                dev_lane: bool| {
         if let Some(s) = stream {
-            if let Some(prev) = stream_tail[s] {
+            let tail = if db && dev_lane {
+                &mut dev_tail[s]
+            } else {
+                &mut host_tail[s]
+            };
+            if let Some(prev) = *tail {
                 deps.push(prev);
             }
+            let idx = steps.len();
+            steps.push(Step { kind, deps, stream });
+            *tail = Some(idx);
+            return idx;
         }
         let idx = steps.len();
         steps.push(Step { kind, deps, stream });
-        if let Some(s) = stream {
-            stream_tail[s] = Some(idx);
-        }
         idx
     };
 
@@ -209,22 +231,29 @@ fn lower(config: HetSortConfig, n: usize, piped: bool) -> Result<Plan, HetSortEr
     //    (reused in both directions, as in §IV-E's reproduction),
     //    two per stream (in + out) for piped approaches.
     let ps_bytes = config.elem_bytes * config.pinned_elems as f64;
+    // Double-buffered staging doubles the *inbound* buffer: two
+    // parity-selected halves share one allocation (one producer key, so
+    // the alloc count per stream is unchanged either way).
+    let in_bytes = if db { 2.0 * ps_bytes } else { ps_bytes };
     if piped {
         for s in 0..total_streams {
             push(
                 &mut steps,
-                &mut stream_tail,
+                &mut host_tail,
+                &mut dev_tail,
                 StepKind::PinnedAlloc {
                     stream: s,
-                    bytes: ps_bytes,
+                    bytes: in_bytes,
                     dir_in: true,
                 },
                 vec![],
                 Some(s),
+                false,
             );
             push(
                 &mut steps,
-                &mut stream_tail,
+                &mut host_tail,
+                &mut dev_tail,
                 StepKind::PinnedAlloc {
                     stream: s,
                     bytes: ps_bytes,
@@ -232,22 +261,27 @@ fn lower(config: HetSortConfig, n: usize, piped: bool) -> Result<Plan, HetSortEr
                 },
                 vec![],
                 Some(s),
+                false,
             );
         }
     } else {
         // Blocking approaches reuse one staging buffer per host thread
-        // for both directions (as in the §IV-E reproduction).
+        // for both directions (as in the §IV-E reproduction); elided
+        // stage-out never bounces outbound at all, so the inbound
+        // halves are the whole pinned footprint.
         for s in 0..total_streams {
             push(
                 &mut steps,
-                &mut stream_tail,
+                &mut host_tail,
+                &mut dev_tail,
                 StepKind::PinnedAlloc {
                     stream: s,
-                    bytes: ps_bytes,
+                    bytes: in_bytes,
                     dir_in: true,
                 },
                 vec![],
                 Some(s),
+                false,
             );
         }
     }
@@ -256,74 +290,137 @@ fn lower(config: HetSortConfig, n: usize, piped: bool) -> Result<Plan, HetSortEr
     //    stage-out, all FIFO within the batch's stream.
     let ps = config.pinned_elems;
     let mut last_stage_out: Vec<usize> = vec![0; nb];
+    // Per stream: the previous batch's last HtoD and StageOut, for the
+    // explicit buffer-reuse edges of the double-buffered discipline.
+    let mut prev_htod: Vec<Option<usize>> = vec![None; total_streams];
+    let mut prev_sout: Vec<Option<usize>> = vec![None; total_streams];
     for b in &batches {
-        let stream = Some(b.stream);
+        let s = b.stream;
+        let stream = Some(s);
         let nchunks = b.len.div_ceil(ps);
-        let mut last_htod = 0usize;
+        let mut htods: Vec<usize> = Vec::with_capacity(nchunks);
+        // A batch always has ≥ 1 chunk, so the loop below assigns this.
+        let mut last_htod = 0;
+        let mut souts: Vec<usize> = Vec::with_capacity(nchunks);
         for c in 0..nchunks {
             let cstart = b.start + c * ps;
             let clen = ps.min(b.start + b.len - cstart);
-            push(
+            // Double-buffered: the half chunk c overwrites (parity
+            // c % 2) was last read by HtoD(c−2); the first chunk of a
+            // later batch waits for the previous batch's last HtoD.
+            let mut si_deps = Vec::new();
+            if db {
+                if c >= 2 {
+                    si_deps.push(htods[c - 2]);
+                } else if c == 0 {
+                    if let Some(h) = prev_htod[s] {
+                        si_deps.push(h);
+                    }
+                }
+            }
+            let si = push(
                 &mut steps,
-                &mut stream_tail,
+                &mut host_tail,
+                &mut dev_tail,
                 StepKind::StageIn {
                     batch: b.index,
                     chunk: c,
                     start: cstart,
                     len: clen,
                 },
-                vec![],
+                si_deps,
                 stream,
+                false,
             );
-            last_htod = push(
+            // The DMA waits for its staging copy (explicit under the
+            // two-lane discipline; the single tail implies it in the
+            // paper shape). When stage-out is elided, the first HtoD of
+            // a batch also waits for the previous batch's last emission
+            // marker — the device buffer it overwrites was read there.
+            let mut h_deps = Vec::new();
+            if db {
+                h_deps.push(si);
+                if elided && c == 0 {
+                    if let Some(m) = prev_sout[s] {
+                        h_deps.push(m);
+                    }
+                }
+            }
+            let h = push(
                 &mut steps,
-                &mut stream_tail,
+                &mut host_tail,
+                &mut dev_tail,
                 StepKind::HtoD {
                     batch: b.index,
                     chunk: c,
                     start: cstart,
                     len: clen,
                 },
-                vec![],
+                h_deps,
                 stream,
+                true,
             );
+            htods.push(h);
+            last_htod = h;
         }
         let sort = push(
             &mut steps,
-            &mut stream_tail,
+            &mut host_tail,
+            &mut dev_tail,
             StepKind::GpuSort { batch: b.index },
             vec![last_htod],
             stream,
+            true,
         );
         let mut prev = sort;
         for c in 0..nchunks {
             let cstart = b.start + c * ps;
             let clen = ps.min(b.start + b.len - cstart);
-            push(
+            // Bounced stage-out reuses one outbound pinned buffer: the
+            // DMA of chunk c overwrites what StageOut(c−1) read (or, at
+            // a batch boundary, what the previous batch's last StageOut
+            // read). Elided mode has no outbound buffer to protect.
+            let mut d_deps = Vec::new();
+            if db && !elided {
+                if c >= 1 {
+                    d_deps.push(souts[c - 1]);
+                } else if let Some(o) = prev_sout[s] {
+                    d_deps.push(o);
+                }
+            }
+            let d = push(
                 &mut steps,
-                &mut stream_tail,
+                &mut host_tail,
+                &mut dev_tail,
                 StepKind::DtoH {
                     batch: b.index,
                     chunk: c,
                     start: cstart,
                     len: clen,
                 },
-                vec![],
+                d_deps,
                 stream,
+                true,
             );
+            let so_deps = if db { vec![d] } else { vec![] };
             prev = push(
                 &mut steps,
-                &mut stream_tail,
+                &mut host_tail,
+                &mut dev_tail,
                 StepKind::StageOut {
                     batch: b.index,
                     chunk: c,
                     start: cstart,
                     len: clen,
                 },
-                vec![],
+                so_deps,
                 stream,
+                false,
             );
+            souts.push(prev);
         }
+        prev_htod[s] = Some(last_htod);
+        prev_sout[s] = Some(prev);
         last_stage_out[b.index] = prev;
     }
 
@@ -340,10 +437,12 @@ fn lower(config: HetSortConfig, n: usize, piped: bool) -> Result<Plan, HetSortEr
         ];
         let idx = push(
             &mut steps,
-            &mut stream_tail,
+            &mut host_tail,
+            &mut dev_tail,
             StepKind::PairMerge { slot },
             deps,
             None,
+            false,
         );
         pair_steps.push(idx);
     }
@@ -359,12 +458,14 @@ fn lower(config: HetSortConfig, n: usize, piped: bool) -> Result<Plan, HetSortEr
             .collect();
         push(
             &mut steps,
-            &mut stream_tail,
+            &mut host_tail,
+            &mut dev_tail,
             StepKind::MultiwayMerge {
                 inputs: final_inputs,
             },
             deps,
             None,
+            false,
         );
     }
 

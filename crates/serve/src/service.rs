@@ -862,8 +862,10 @@ mod tests {
 
     fn budget_for(n_jobs: usize) -> ServeBudget {
         // One PipeMerge job at b_s = 1000 holds 2 streams × 2 × 8 B ×
-        // 1000 = 32 kB device, 4 × 8 B × 250 = 8 kB pinned.
-        ServeBudget::new(32_000.0 * n_jobs as f64, 8_000.0 * n_jobs as f64)
+        // 1000 = 32 kB device and, under the default double-buffered
+        // staging, 2 streams × 3 buffers (two inbound halves + one
+        // outbound) × 8 B × 250 = 12 kB pinned.
+        ServeBudget::new(32_000.0 * n_jobs as f64, 12_000.0 * n_jobs as f64)
     }
 
     fn data(n: usize, seed: u64) -> Vec<f64> {

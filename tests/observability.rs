@@ -83,6 +83,41 @@ fn metrics_json_round_trips_through_parser() {
 }
 
 #[test]
+fn split_merges_recycle_pooled_buffers() {
+    use hetsort::vgpu::FaultInjector;
+    use std::sync::Arc;
+
+    // oom:1 drops one stream into Split mode for the rest of the run;
+    // with 5 batches over 2 streams that stream merges 3 batches
+    // host-side. The first merge-output checkout must miss (pool is
+    // empty) and every later one must hit — before the buffer pool each
+    // merge allocated a fresh zeroed vector, observable here as
+    // pool.hits == 0.
+    let faults = Arc::new(FaultInjector::new().oom_on_alloc(1));
+    let cfg = HetSortConfig::paper_defaults(platform1(), Approach::PipeData)
+        .with_batch_elems(6_000)
+        .with_pinned_elems(1_000)
+        .with_faults(faults);
+    let plan = Plan::build(cfg, 25_000).expect("plan");
+    let data = generate(Distribution::Uniform, plan.n, 5)
+        .expect("valid workload")
+        .data;
+    let out = sort_real_plan(&plan, &data).expect("run survives OOM");
+    assert!(out.verified);
+    assert_eq!(
+        out.metrics.counter("pool.misses"),
+        1.0,
+        "only the first Split merge may allocate: {:?}",
+        out.metrics.counters()
+    );
+    assert!(
+        out.metrics.counter("pool.hits") >= 1.0,
+        "repeated Split merges must be serviced by recycled buffers: {:?}",
+        out.metrics.counters()
+    );
+}
+
+#[test]
 fn recovery_counters_surface_in_metrics() {
     use hetsort::vgpu::FaultInjector;
     use std::sync::Arc;
